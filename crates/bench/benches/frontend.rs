@@ -1,0 +1,47 @@
+//! Criterion benches for the front-end: SDL lexing/parsing, schema
+//! building (Def. 4.1), and consistency checking (Defs. 4.3–4.5) — the
+//! E8/E9 companions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pg_datagen::{SchemaGen, SchemaGenParams};
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8_sdl_parse");
+    for num_types in [8usize, 32, 128] {
+        let sdl = SchemaGen::new(SchemaGenParams::benchmarkable(num_types, 5)).generate();
+        group.throughput(Throughput::Bytes(sdl.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(num_types), &sdl, |b, s| {
+            b.iter(|| gql_sdl::parse(s).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_build_and_consistency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E9_schema_build_consistency");
+    for num_types in [8usize, 32, 128] {
+        let sdl = SchemaGen::new(SchemaGenParams::benchmarkable(num_types, 5)).generate();
+        let doc = gql_sdl::parse(&sdl).unwrap();
+        group.bench_with_input(BenchmarkId::new("build", num_types), &doc, |b, d| {
+            b.iter(|| gql_schema::build_schema(d).unwrap())
+        });
+        let schema = gql_schema::build_schema(&doc).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("consistency", num_types),
+            &schema,
+            |b, s| b.iter(|| gql_schema::consistency::check(s)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_print_roundtrip(c: &mut Criterion) {
+    let sdl = SchemaGen::new(SchemaGenParams::benchmarkable(32, 5)).generate();
+    let doc = gql_sdl::parse(&sdl).unwrap();
+    c.bench_function("E8_sdl_print", |b| {
+        b.iter(|| gql_sdl::print_document(&doc))
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_build_and_consistency, bench_print_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion benches for experiments E4/E5/E6: the Theorem 2 reduction
+//! pipeline, tableau scaling, and the §6.2 verdicts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpll::KsatParams;
+use pg_reason::{check_object_type, ReasonerConfig};
+use pg_schema::PgSchema;
+
+/// E4: deciding random 2-SAT instances through the reduction, vs the
+/// DPLL oracle directly.
+fn bench_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4_reduction_pipeline");
+    group.sample_size(10);
+    for vars in [3usize, 4, 5] {
+        let params = KsatParams {
+            num_vars: vars,
+            num_clauses: (vars as f64 * 1.5).round() as usize,
+            k: 2,
+            seed: 11,
+        };
+        let formula = dpll::random_ksat(&params);
+        group.bench_with_input(BenchmarkId::new("oracle", vars), &formula, |b, f| {
+            b.iter(|| dpll::solve(f))
+        });
+        group.bench_with_input(BenchmarkId::new("via_schema", vars), &formula, |b, f| {
+            b.iter(|| pg_reason::reduction::decide_via_reduction(f))
+        });
+    }
+    group.finish();
+}
+
+/// E5: tableau on required-chain schemas of growing depth.
+fn bench_tableau_chains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_tableau_chain_depth");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    // Depth is capped at 8 here — the exponential blow-up beyond that is
+    // measured by the `experiments` table generator (E5), not by
+    // Criterion, whose sampling would take minutes per point.
+    for depth in [2usize, 4, 8] {
+        let mut sdl = String::new();
+        for i in 0..depth {
+            sdl.push_str(&format!("type C{i} {{ next: C{} @required }}\n", i + 1));
+        }
+        sdl.push_str(&format!("type C{depth} {{ x: Int }}\n"));
+        let schema = PgSchema::parse(&sdl).unwrap();
+        let tbox = pg_reason::translate::translate(&schema);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &tbox, |b, tb| {
+            b.iter(|| {
+                pg_reason::tableau::check_concept_by_name(tb, "C0", &ReasonerConfig::default())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// E6: full satisfiability checks for the §6.2 diagrams.
+fn bench_diagram_verdicts(c: &mut Criterion) {
+    let cases = [
+        (
+            "diagram_a",
+            r#"
+            type OT1 { }
+            interface IT { hasOT1: [OT1] @uniqueForTarget }
+            type OT2 implements IT { hasOT1: [OT1] @requiredForTarget }
+            type OT3 implements IT { hasOT1: [OT1] @requiredForTarget }
+            "#,
+            "OT1",
+        ),
+        (
+            "diagram_c",
+            r#"
+            type OT1 { }
+            interface IT { f: [OT1] @uniqueForTarget }
+            type OT2 implements IT { f: [OT1] @required }
+            type OT3 implements IT { f: [OT1] @requiredForTarget }
+            "#,
+            "OT2",
+        ),
+    ];
+    let mut group = c.benchmark_group("E6_diagram_verdicts");
+    group.sample_size(10);
+    for (name, sdl, ty) in cases {
+        let schema = PgSchema::parse(sdl).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| check_object_type(&schema, ty, &ReasonerConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reduction,
+    bench_tableau_chains,
+    bench_diagram_verdicts
+);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion benches for experiments E2/E3: schema validation wall time,
+//! naive vs indexed engine, over graph and schema size sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pg_datagen::{GraphGen, GraphGenParams, SchemaGen, SchemaGenParams};
+use pg_schema::{validate, Engine, PgSchema, ValidationOptions};
+
+fn social_graph(nodes_per_type: usize) -> (PgSchema, pgraph::PropertyGraph) {
+    let schema = PgSchema::parse(pg_datagen::schemagen::social_schema()).unwrap();
+    let graph = GraphGen::new(
+        &schema,
+        GraphGenParams {
+            nodes_per_type,
+            ..Default::default()
+        },
+    )
+    .generate_conforming(5)
+    .expect("generable");
+    (schema, graph)
+}
+
+/// E2: graph-size sweep for both engines.
+fn bench_graph_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2_validation_graph_scaling");
+    group.sample_size(10);
+    for npt in [100usize, 400, 1600] {
+        let (schema, graph) = social_graph(npt);
+        let elements = (graph.node_count() + graph.edge_count()) as u64;
+        group.throughput(Throughput::Elements(elements));
+        group.bench_with_input(
+            BenchmarkId::new("indexed", graph.node_count()),
+            &graph,
+            |b, g| {
+                b.iter(|| validate(g, &schema, &ValidationOptions::with_engine(Engine::Indexed)))
+            },
+        );
+        if npt <= 400 {
+            group.bench_with_input(
+                BenchmarkId::new("naive", graph.node_count()),
+                &graph,
+                |b, g| {
+                    b.iter(|| {
+                        validate(g, &schema, &ValidationOptions::with_engine(Engine::Naive))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// E3: schema-size sweep at constant graph size.
+fn bench_schema_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3_validation_schema_scaling");
+    group.sample_size(10);
+    for num_types in [4usize, 16, 64] {
+        let sdl = SchemaGen::new(SchemaGenParams::benchmarkable(num_types, 42)).generate();
+        let schema = PgSchema::parse(&sdl).unwrap();
+        let graph = GraphGen::new(
+            &schema,
+            GraphGenParams {
+                nodes_per_type: (2000 / num_types).max(1),
+                ..Default::default()
+            },
+        )
+        .generate();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(num_types),
+            &graph,
+            |b, g| b.iter(|| validate(g, &schema, &ValidationOptions::default())),
+        );
+    }
+    group.finish();
+}
+
+/// E10-adjacent: cost of a validation run that must report many
+/// violations (worst-case reporting path).
+fn bench_violating_graphs(c: &mut Criterion) {
+    let (schema, mut graph) = social_graph(400);
+    for defect in pg_datagen::Defect::ALL {
+        let _ = pg_datagen::inject(&mut graph, &schema, defect);
+    }
+    c.bench_function("E10_validation_with_violations", |b| {
+        b.iter(|| validate(&graph, &schema, &ValidationOptions::default()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_graph_scaling,
+    bench_schema_scaling,
+    bench_violating_graphs
+);
+criterion_main!(benches);

@@ -1,0 +1,430 @@
+//! Subcommand implementations. Argument parsing is hand-rolled (the
+//! offline dependency set has no CLI crate) but strict: unknown flags are
+//! errors, and every command prints actionable output.
+
+use std::fmt::Write as _;
+use std::fs;
+
+use pg_schema::{validate, Engine, PgSchema, ValidationOptions};
+
+type Result<T> = std::result::Result<T, String>;
+
+const USAGE: &str = "\
+pgschema — GraphQL SDL schemas for Property Graphs
+
+USAGE:
+    pgschema validate <schema.graphql> <graph.json> [--engine naive|indexed] [--weak-only] [--json]
+    pgschema consistency <schema.graphql>
+    pgschema check-sat <schema.graphql> <TypeName> [--max-size K] [--field f] [--dot]
+    pgschema generate <schema.graphql> [--nodes N] [--seed S] [--out FILE]
+    pgschema reduce-sat <formula.cnf> [--out FILE]
+    pgschema describe <schema.graphql>
+    pgschema extend-api <schema.graphql> [--mutations] [--out FILE]
+    pgschema normalize <schema.graphql> [--out FILE]
+    pgschema import <nodes.csv> <edges.csv> [--schema FILE] [--out FILE]
+    pgschema diff <old.graphql> <new.graphql>
+";
+
+/// Entry point used by `main` (and by the CLI integration tests).
+pub fn run(args: &[String]) -> Result<()> {
+    let Some(cmd) = args.first() else {
+        return Err(format!("missing command\n{USAGE}"));
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "validate" => cmd_validate(rest),
+        "consistency" => cmd_consistency(rest),
+        "check-sat" => cmd_check_sat(rest),
+        "generate" => cmd_generate(rest),
+        "reduce-sat" => cmd_reduce_sat(rest),
+        "describe" => cmd_describe(rest),
+        "extend-api" => cmd_extend_api(rest),
+        "normalize" => cmd_normalize(rest),
+        "import" => cmd_import(rest),
+        "diff" => cmd_diff(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+/// Splits positional args from `--flag [value]` pairs.
+type ParsedFlags<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>, Vec<&'a str>);
+
+fn parse_flags<'a>(
+    rest: &'a [String],
+    value_flags: &[&str],
+    bool_flags: &[&str],
+) -> Result<ParsedFlags<'a>> {
+    let mut positional = Vec::new();
+    let mut values = Vec::new();
+    let mut bools = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let a = rest[i].as_str();
+        if let Some(flag) = a.strip_prefix("--") {
+            if bool_flags.contains(&flag) {
+                bools.push(flag);
+            } else if value_flags.contains(&flag) {
+                i += 1;
+                let v = rest
+                    .get(i)
+                    .ok_or_else(|| format!("--{flag} needs a value"))?;
+                values.push((flag, v.as_str()));
+            } else {
+                return Err(format!("unknown flag --{flag}"));
+            }
+        } else {
+            positional.push(a);
+        }
+        i += 1;
+    }
+    Ok((positional, values, bools))
+}
+
+fn load_schema(path: &str) -> Result<PgSchema> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    PgSchema::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_validate(rest: &[String]) -> Result<()> {
+    let (pos, values, bools) = parse_flags(rest, &["engine"], &["weak-only", "json"])?;
+    let [schema_path, graph_path] = pos.as_slice() else {
+        return Err("validate needs <schema.graphql> <graph.json>".to_owned());
+    };
+    let schema = load_schema(schema_path)?;
+    let graph_text =
+        fs::read_to_string(graph_path).map_err(|e| format!("cannot read {graph_path}: {e}"))?;
+    let graph = pgraph::json::from_json(&graph_text).map_err(|e| format!("{graph_path}: {e}"))?;
+    let mut options = ValidationOptions::default();
+    for (k, v) in values {
+        if k == "engine" {
+            options.engine = match v {
+                "naive" => Engine::Naive,
+                "indexed" => Engine::Indexed,
+                other => return Err(format!("unknown engine `{other}`")),
+            };
+        }
+    }
+    if bools.contains(&"weak-only") {
+        options = ValidationOptions {
+            engine: options.engine,
+            ..ValidationOptions::weak_only()
+        };
+    }
+    let report = validate(&graph, &schema, &options);
+    if bools.contains(&"json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{report}");
+    }
+    if report.conforms() {
+        Ok(())
+    } else {
+        Err(format!("{} violation(s)", report.len()))
+    }
+}
+
+fn cmd_consistency(rest: &[String]) -> Result<()> {
+    let (pos, _, _) = parse_flags(rest, &[], &[])?;
+    let [schema_path] = pos.as_slice() else {
+        return Err("consistency needs <schema.graphql>".to_owned());
+    };
+    let text =
+        fs::read_to_string(schema_path).map_err(|e| format!("cannot read {schema_path}: {e}"))?;
+    let doc = gql_sdl::parse(&text).map_err(|e| format!("{schema_path}: {e}"))?;
+    let schema =
+        gql_schema::build_schema(&doc).map_err(|ds| {
+            let mut msg = String::new();
+            for d in ds {
+                let _ = writeln!(msg, "{d}");
+            }
+            msg
+        })?;
+    let violations = gql_schema::consistency::check(&schema);
+    if violations.is_empty() {
+        println!("schema is consistent (Definition 4.5)");
+        Ok(())
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        Err(format!("{} consistency violation(s)", violations.len()))
+    }
+}
+
+fn cmd_check_sat(rest: &[String]) -> Result<()> {
+    let (pos, values, bools) = parse_flags(rest, &["max-size", "field"], &["dot"])?;
+    let [schema_path, type_name] = pos.as_slice() else {
+        return Err("check-sat needs <schema.graphql> <TypeName>".to_owned());
+    };
+    let as_dot = bools.contains(&"dot");
+    let schema = load_schema(schema_path)?;
+    let mut config = pg_reason::ReasonerConfig::default();
+    let mut field: Option<&str> = None;
+    for (k, v) in values {
+        match k {
+            "max-size" => {
+                config.max_graph_size = v
+                    .parse()
+                    .map_err(|_| format!("--max-size: not a number: {v}"))?;
+            }
+            "field" => field = Some(v),
+            _ => unreachable!(),
+        }
+    }
+    let result = match field {
+        Some(f) => {
+            let text = fs::read_to_string(schema_path)
+                .map_err(|e| format!("cannot read {schema_path}: {e}"))?;
+            let doc = gql_sdl::parse(&text).map_err(|e| e.to_string())?;
+            pg_reason::check_field_satisfiable(&doc, type_name, f, &config)?
+        }
+        None => pg_reason::check_type_satisfiable(&schema, type_name, &config),
+    };
+    match result {
+        pg_reason::Satisfiability::Satisfiable { witness, size } => {
+            println!("{type_name} is satisfiable: witness with {size} node(s)");
+            if as_dot {
+                println!("{}", pgraph::dot::to_dot(&witness));
+            } else {
+                println!("{}", pgraph::json::to_json(&witness));
+            }
+            Ok(())
+        }
+        pg_reason::Satisfiability::Unsatisfiable => {
+            println!("{type_name} is UNSATISFIABLE");
+            Err("unsatisfiable".to_owned())
+        }
+        pg_reason::Satisfiability::NoFiniteModelFound {
+            bound,
+            tableau_satisfiable,
+        } => {
+            match tableau_satisfiable {
+                Some(true) => println!(
+                    "{type_name}: no finite model up to {bound} node(s); \
+                     an infinite model exists (cf. §6.2 diagram (b))"
+                ),
+                _ => println!(
+                    "{type_name}: no finite model up to {bound} node(s); \
+                     tableau inconclusive (resource limit)"
+                ),
+            }
+            Err("no finite model found".to_owned())
+        }
+    }
+}
+
+fn cmd_generate(rest: &[String]) -> Result<()> {
+    let (pos, values, _) = parse_flags(rest, &["nodes", "seed", "out"], &[])?;
+    let [schema_path] = pos.as_slice() else {
+        return Err("generate needs <schema.graphql>".to_owned());
+    };
+    let schema = load_schema(schema_path)?;
+    let mut params = pg_datagen::GraphGenParams::default();
+    let mut out_path: Option<&str> = None;
+    for (k, v) in values {
+        match k {
+            "nodes" => {
+                params.nodes_per_type =
+                    v.parse().map_err(|_| format!("--nodes: not a number: {v}"))?
+            }
+            "seed" => {
+                params.seed = v.parse().map_err(|_| format!("--seed: not a number: {v}"))?
+            }
+            "out" => out_path = Some(v),
+            _ => unreachable!(),
+        }
+    }
+    let graph = pg_datagen::GraphGen::new(&schema, params)
+        .generate_conforming(10)
+        .ok_or("could not generate a conforming graph (schema obligations too tight)")?;
+    let json = pgraph::json::to_json(&graph);
+    match out_path {
+        Some(p) => {
+            fs::write(p, &json).map_err(|e| format!("cannot write {p}: {e}"))?;
+            println!(
+                "wrote conforming graph ({} nodes, {} edges) to {p}",
+                graph.node_count(),
+                graph.edge_count()
+            );
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn cmd_reduce_sat(rest: &[String]) -> Result<()> {
+    let (pos, values, _) = parse_flags(rest, &["out"], &[])?;
+    let [cnf_path] = pos.as_slice() else {
+        return Err("reduce-sat needs <formula.cnf>".to_owned());
+    };
+    let text = fs::read_to_string(cnf_path).map_err(|e| format!("cannot read {cnf_path}: {e}"))?;
+    let cnf = dpll::Cnf::parse_dimacs(&text).map_err(|e| e.to_string())?;
+    let red = pg_reason::reduction::reduce_cnf(&cnf);
+    let out_path = values.iter().find(|(k, _)| *k == "out").map(|(_, v)| *v);
+    match out_path {
+        Some(p) => {
+            fs::write(p, &red.sdl).map_err(|e| format!("cannot write {p}: {e}"))?;
+            println!(
+                "wrote reduction schema to {p}; check type {} (complete bound: {})",
+                red.object_type, red.bound
+            );
+        }
+        None => print!("{}", red.sdl),
+    }
+    Ok(())
+}
+
+fn cmd_extend_api(rest: &[String]) -> Result<()> {
+    let (pos, values, bools) = parse_flags(rest, &["out"], &["mutations"])?;
+    let [schema_path] = pos.as_slice() else {
+        return Err("extend-api needs <schema.graphql>".to_owned());
+    };
+    let text =
+        fs::read_to_string(schema_path).map_err(|e| format!("cannot read {schema_path}: {e}"))?;
+    let doc = gql_sdl::parse(&text).map_err(|e| format!("{schema_path}: {e}"))?;
+    let options = pg_schema::api_extension::ApiExtensionOptions {
+        include_mutation: bools.contains(&"mutations"),
+        ..Default::default()
+    };
+    let extended = pg_schema::api_extension::extend_to_api_schema(&doc, &options)?;
+    let printed = gql_sdl::print_document(&extended);
+    match values.iter().find(|(k, _)| *k == "out").map(|(_, v)| *v) {
+        Some(p) => {
+            fs::write(p, &printed).map_err(|e| format!("cannot write {p}: {e}"))?;
+            println!("wrote extended GraphQL API schema to {p}");
+        }
+        None => print!("{printed}"),
+    }
+    Ok(())
+}
+
+fn cmd_diff(rest: &[String]) -> Result<()> {
+    let (pos, _, _) = parse_flags(rest, &[], &[])?;
+    let [old_path, new_path] = pos.as_slice() else {
+        return Err("diff needs <old.graphql> <new.graphql>".to_owned());
+    };
+    let old = load_schema(old_path)?;
+    let new = load_schema(new_path)?;
+    let diff = pg_schema::diff::diff(&old, &new);
+    print!("{diff}");
+    if diff.is_breaking() {
+        Err(format!(
+            "{} breaking change(s)",
+            diff.breaking().count()
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+fn cmd_import(rest: &[String]) -> Result<()> {
+    let (pos, values, _) = parse_flags(rest, &["schema", "out"], &[])?;
+    let [nodes_path, edges_path] = pos.as_slice() else {
+        return Err("import needs <nodes.csv> <edges.csv>".to_owned());
+    };
+    let nodes =
+        fs::read_to_string(nodes_path).map_err(|e| format!("cannot read {nodes_path}: {e}"))?;
+    let edges =
+        fs::read_to_string(edges_path).map_err(|e| format!("cannot read {edges_path}: {e}"))?;
+    let graph = pgraph::csv::from_csv(&nodes, &edges).map_err(|e| e.to_string())?;
+    eprintln!(
+        "imported {} node(s), {} edge(s)",
+        graph.node_count(),
+        graph.edge_count()
+    );
+    if let Some((_, schema_path)) = values.iter().find(|(k, _)| *k == "schema") {
+        let schema = load_schema(schema_path)?;
+        let report = validate(&graph, &schema, &ValidationOptions::default());
+        eprint!("{report}");
+        if !report.conforms() {
+            return Err(format!("{} violation(s)", report.len()));
+        }
+    }
+    let json = pgraph::json::to_json(&graph);
+    match values.iter().find(|(k, _)| *k == "out").map(|(_, v)| *v) {
+        Some(p) => {
+            fs::write(p, &json).map_err(|e| format!("cannot write {p}: {e}"))?;
+            println!("wrote graph to {p}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn cmd_normalize(rest: &[String]) -> Result<()> {
+    let (pos, values, _) = parse_flags(rest, &["out"], &[])?;
+    let [schema_path] = pos.as_slice() else {
+        return Err("normalize needs <schema.graphql>".to_owned());
+    };
+    let text =
+        fs::read_to_string(schema_path).map_err(|e| format!("cannot read {schema_path}: {e}"))?;
+    let doc = gql_sdl::parse(&text).map_err(|e| format!("{schema_path}: {e}"))?;
+    let schema = gql_schema::build_schema(&doc).map_err(|ds| {
+        ds.iter().map(|d| format!("{d}\n")).collect::<String>()
+    })?;
+    let printed = gql_sdl::print_document(&gql_schema::emit::schema_to_document(&schema));
+    match values.iter().find(|(k, _)| *k == "out").map(|(_, v)| *v) {
+        Some(p) => {
+            fs::write(p, &printed).map_err(|e| format!("cannot write {p}: {e}"))?;
+            println!("wrote normalised schema to {p}");
+        }
+        None => print!("{printed}"),
+    }
+    Ok(())
+}
+
+fn cmd_describe(rest: &[String]) -> Result<()> {
+    let (pos, _, _) = parse_flags(rest, &[], &[])?;
+    let [schema_path] = pos.as_slice() else {
+        return Err("describe needs <schema.graphql>".to_owned());
+    };
+    let schema = load_schema(schema_path)?;
+    let s = schema.schema();
+    println!("object types: {}", s.object_types().count());
+    println!("interface types: {}", s.interface_types().count());
+    println!("union types: {}", s.union_types().count());
+    println!("key constraints: {}", schema.keys().len());
+    println!("constraint sites: {}", schema.constraint_sites().len());
+    for t in s.object_types().collect::<Vec<_>>() {
+        let attrs = schema.attributes(t);
+        let rels = schema.relationships(t);
+        println!(
+            "  type {} — {} attribute(s), {} relationship(s)",
+            s.type_name(t),
+            attrs.len(),
+            rels.len()
+        );
+        for a in attrs {
+            println!(
+                "      {}: {}{}",
+                a.name,
+                schema.display_type(&a.ty),
+                if a.required { " @required" } else { "" }
+            );
+        }
+        for r in rels {
+            let mut flags = String::new();
+            if r.required {
+                flags.push_str(" @required");
+            }
+            if r.distinct {
+                flags.push_str(" @distinct");
+            }
+            if r.no_loops {
+                flags.push_str(" @noLoops");
+            }
+            if r.unique_for_target {
+                flags.push_str(" @uniqueForTarget");
+            }
+            if r.required_for_target {
+                flags.push_str(" @requiredForTarget");
+            }
+            println!("      {} -> {}{}", r.name, schema.display_type(&r.ty), flags);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! `pgschema` — command-line front-end for SDL-based Property Graph
+//! schemas.
+//!
+//! ```text
+//! pgschema validate <schema.graphql> <graph.json> [--engine naive|indexed] [--weak-only]
+//! pgschema consistency <schema.graphql>
+//! pgschema check-sat <schema.graphql> <TypeName> [--max-size K]
+//! pgschema generate <schema.graphql> [--nodes N] [--seed S] [--out FILE]
+//! pgschema reduce-sat <formula.cnf> [--out FILE]
+//! pgschema describe <schema.graphql>
+//! ```
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pgschema: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Extending an SDL-based Property Graph schema into a GraphQL *API*
+//! schema — the "natural next step" §3.6 of the paper sketches:
+//!
+//! > "From a technical perspective, the only thing that needs to be added
+//! > … is the query type, and perhaps also the mutation type. … to enable
+//! > bidirectional traversal … the schema of the GraphQL API has to
+//! > explicitly mention potential edges also from the perspective of the
+//! > target nodes."
+//!
+//! [`extend_to_api_schema`] takes a parsed PG-schema document and emits a
+//! complete GraphQL API schema document:
+//!
+//! * a `Query` root with, per object type `T`, a collection field
+//!   `allT: [T]` and — when `T` carries a single-field `@key` over a
+//!   scalar — a lookup field `t(key: K!): T`;
+//! * inverse relationship fields on every possible *target* type: for a
+//!   relationship definition `f: … ` on source type `S` whose base covers
+//!   target type `T`, the field `rev_f_from_S: [S]` is added to `T`
+//!   (names are disambiguated by source type, since several source types
+//!   may declare the same edge label — Example 3.11);
+//! * optionally a `Mutation` root with `createT` stubs;
+//! * a `schema { query: … }` block.
+//!
+//! The output is an ordinary [`gql_sdl::ast::Document`]: printable,
+//! re-parseable, and a *consistent* GraphQL schema per Definition 4.5
+//! (tested). The PG-schema directives are left in place so the API schema
+//! still documents the integrity constraints.
+
+use gql_sdl::ast::{
+    Definition, Document, FieldDef, InputValueDef, ObjectTypeDef, OperationKind, SchemaDef,
+    Type, TypeDef,
+};
+use gql_sdl::{Pos, Span};
+
+use crate::pgschema::PgSchema;
+
+/// Options for [`extend_to_api_schema`].
+#[derive(Debug, Clone)]
+pub struct ApiExtensionOptions {
+    /// Also generate a `Mutation` type with `createT` stubs.
+    pub include_mutation: bool,
+    /// Prefix for inverse relationship fields (default `rev_`).
+    pub inverse_prefix: String,
+}
+
+impl Default for ApiExtensionOptions {
+    fn default() -> Self {
+        ApiExtensionOptions {
+            include_mutation: false,
+            inverse_prefix: "rev_".to_owned(),
+        }
+    }
+}
+
+fn span() -> Span {
+    Span::at(Pos::start())
+}
+
+fn lower_first(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_lowercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Produces the extended API document. Fails (with a message) if the
+/// input document does not build into a consistent PG schema, or if a
+/// type named `Query`/`Mutation` already exists.
+pub fn extend_to_api_schema(
+    doc: &Document,
+    options: &ApiExtensionOptions,
+) -> Result<Document, String> {
+    let schema = PgSchema::from_document(doc).map_err(|e| e.to_string())?;
+    let s = schema.schema();
+    if doc.type_def("Query").is_some() || doc.type_def("Mutation").is_some() {
+        return Err("document already defines Query/Mutation root types".to_owned());
+    }
+
+    let mut out = doc.clone();
+
+    // Inverse fields: group by (target object type) the list of (source
+    // type name, field name) pairs whose relationship can reach it.
+    for def in &mut out.definitions {
+        let Definition::Type(TypeDef::Object(obj)) = def else {
+            continue;
+        };
+        let Some(target_id) = s.type_id(&obj.name) else {
+            continue;
+        };
+        let mut inverse_fields = Vec::new();
+        for src in s.object_types().collect::<Vec<_>>() {
+            for rel in schema.relationships(src) {
+                if !schema.label_subtype_wrapped(&obj.name, &rel.ty) {
+                    continue;
+                }
+                let src_name = s.type_name(src);
+                inverse_fields.push(FieldDef {
+                    description: Some(format!(
+                        "Incoming `{}` edges from {} nodes (generated inverse field).",
+                        rel.name, src_name
+                    )),
+                    name: format!("{}{}_from_{}", options.inverse_prefix, rel.name, src_name),
+                    args: Vec::new(),
+                    ty: Type::List(Box::new(Type::Named(src_name.to_owned()))),
+                    directives: Vec::new(),
+                    span: span(),
+                });
+            }
+        }
+        // Keep deterministic order and avoid duplicates with existing
+        // fields.
+        inverse_fields.sort_by(|a, b| a.name.cmp(&b.name));
+        inverse_fields.retain(|f| obj.fields.iter().all(|g| g.name != f.name));
+        obj.fields.extend(inverse_fields);
+        let _ = target_id;
+    }
+
+    // Query root.
+    let mut query_fields = Vec::new();
+    for t in s.object_types().collect::<Vec<_>>() {
+        let name = s.type_name(t).to_owned();
+        query_fields.push(FieldDef {
+            description: Some(format!("All nodes labelled {name}.")),
+            name: format!("all{name}"),
+            args: Vec::new(),
+            ty: Type::List(Box::new(Type::Named(name.clone()))),
+            directives: Vec::new(),
+            span: span(),
+        });
+        // Key-based lookup for single-field scalar keys.
+        if let Some(key) = schema
+            .keys()
+            .iter()
+            .find(|k| k.site == t && k.fields.len() == 1)
+        {
+            if let Some(attr) = schema.attribute(&name, &key.fields[0]) {
+                let key_ty = s.type_name(attr.ty.base).to_owned();
+                query_fields.push(FieldDef {
+                    description: Some(format!("Lookup one {name} by its key.")),
+                    name: lower_first(&name),
+                    args: vec![InputValueDef {
+                        description: None,
+                        name: key.fields[0].clone(),
+                        ty: Type::NonNull(Box::new(Type::Named(key_ty))),
+                        default: None,
+                        directives: Vec::new(),
+                        span: span(),
+                    }],
+                    ty: Type::Named(name.clone()),
+                    directives: Vec::new(),
+                    span: span(),
+                });
+            }
+        }
+    }
+    out.definitions.push(Definition::Type(TypeDef::Object(ObjectTypeDef {
+        description: Some("Generated root query type (§3.6).".to_owned()),
+        name: "Query".to_owned(),
+        implements: Vec::new(),
+        directives: Vec::new(),
+        fields: query_fields,
+        span: span(),
+    })));
+
+    let mut operations = vec![(OperationKind::Query, "Query".to_owned())];
+    if options.include_mutation {
+        let mutation_fields = s
+            .object_types()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|t| {
+                let name = s.type_name(t).to_owned();
+                FieldDef {
+                    description: Some(format!("Create a new {name} node.")),
+                    name: format!("create{name}"),
+                    args: Vec::new(),
+                    ty: Type::Named(name),
+                    directives: Vec::new(),
+                    span: span(),
+                }
+            })
+            .collect();
+        out.definitions
+            .push(Definition::Type(TypeDef::Object(ObjectTypeDef {
+                description: Some("Generated root mutation type (§3.6).".to_owned()),
+                name: "Mutation".to_owned(),
+                implements: Vec::new(),
+                directives: Vec::new(),
+                fields: mutation_fields,
+                span: span(),
+            })));
+        operations.push((OperationKind::Mutation, "Mutation".to_owned()));
+    }
+    out.definitions.push(Definition::Schema(SchemaDef {
+        directives: Vec::new(),
+        operations,
+        span: span(),
+    }));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gql_sdl::{parse, print_document};
+
+    fn extend(src: &str, options: &ApiExtensionOptions) -> Document {
+        extend_to_api_schema(&parse(src).unwrap(), options).unwrap()
+    }
+
+    const SOCIAL: &str = r#"
+        type User @key(fields: ["id"]) {
+            id: ID! @required
+            login: String! @required
+            follows: [User] @distinct @noLoops
+        }
+        type Post { title: String! author: User }
+    "#;
+
+    #[test]
+    fn adds_query_root_and_schema_block() {
+        let doc = extend(SOCIAL, &ApiExtensionOptions::default());
+        let query = doc.object_types().find(|o| o.name == "Query").unwrap();
+        let names: Vec<&str> = query.fields.iter().map(|f| f.name.as_str()).collect();
+        assert!(names.contains(&"allUser"));
+        assert!(names.contains(&"allPost"));
+        assert!(names.contains(&"user")); // key lookup
+        assert!(!names.contains(&"post")); // Post has no key
+        assert!(matches!(doc.definitions.last(), Some(Definition::Schema(_))));
+    }
+
+    #[test]
+    fn adds_inverse_fields_for_bidirectional_traversal() {
+        let doc = extend(SOCIAL, &ApiExtensionOptions::default());
+        let user = doc.object_types().find(|o| o.name == "User").unwrap();
+        let names: Vec<&str> = user.fields.iter().map(|f| f.name.as_str()).collect();
+        // Incoming follows edges (from Users) and author edges (from Posts).
+        assert!(names.contains(&"rev_follows_from_User"), "{names:?}");
+        assert!(names.contains(&"rev_author_from_Post"), "{names:?}");
+    }
+
+    #[test]
+    fn example_3_11_gets_one_inverse_per_source_type() {
+        let doc = extend(
+            r#"
+            type Person { name: String! }
+            type Car { brand: String! owner: Person }
+            type Motorcycle { brand: String! owner: Person }
+            "#,
+            &ApiExtensionOptions::default(),
+        );
+        let person = doc.object_types().find(|o| o.name == "Person").unwrap();
+        let names: Vec<&str> = person.fields.iter().map(|f| f.name.as_str()).collect();
+        assert!(names.contains(&"rev_owner_from_Car"));
+        assert!(names.contains(&"rev_owner_from_Motorcycle"));
+    }
+
+    #[test]
+    fn interface_and_union_targets_fan_out_to_members() {
+        let doc = extend(
+            r#"
+            type Person { favoriteFood: Food }
+            union Food = Pizza | Pasta
+            type Pizza { n: Int }
+            type Pasta { n: Int }
+            "#,
+            &ApiExtensionOptions::default(),
+        );
+        for ty in ["Pizza", "Pasta"] {
+            let o = doc.object_types().find(|o| o.name == ty).unwrap();
+            assert!(
+                o.fields.iter().any(|f| f.name == "rev_favoriteFood_from_Person"),
+                "{ty} lacks inverse field"
+            );
+        }
+    }
+
+    #[test]
+    fn output_is_a_consistent_schema_and_roundtrips() {
+        let doc = extend(SOCIAL, &ApiExtensionOptions {
+            include_mutation: true,
+            ..Default::default()
+        });
+        let printed = print_document(&doc);
+        let reparsed = parse(&printed).expect("extended schema parses");
+        let (schema, diags) = gql_schema::build_schema_with_diagnostics(&reparsed);
+        let schema = schema.expect("extended schema builds");
+        assert!(gql_schema::consistency::check(&schema).is_empty());
+        // Only the schema-block warning is expected.
+        assert!(diags
+            .iter()
+            .all(|d| d.severity == gql_schema::Severity::Warning));
+        assert!(printed.contains("mutation: Mutation"));
+    }
+
+    #[test]
+    fn existing_roots_are_rejected() {
+        let err = extend_to_api_schema(
+            &parse("type Query { x: Int }").unwrap(),
+            &ApiExtensionOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.contains("already defines"));
+    }
+
+    #[test]
+    fn inconsistent_input_is_rejected() {
+        let err = extend_to_api_schema(
+            &parse("interface I { f: Int } type T implements I { g: Int }").unwrap(),
+            &ApiExtensionOptions::default(),
+        )
+        .unwrap_err();
+        assert!(err.contains("inconsistent"));
+    }
+}

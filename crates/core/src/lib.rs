@@ -1,0 +1,138 @@
+//! # pg-schema — GraphQL SDL schemas for Property Graphs
+//!
+//! The primary contribution of Hartig & Hidders: interpreting a GraphQL
+//! schema as a schema *for Property Graphs* and deciding whether a graph
+//! satisfies it.
+//!
+//! The semantics (paper §5) is split into three nested notions, all
+//! implemented here rule-by-rule:
+//!
+//! * **weak satisfaction** — rules [`Rule::WS1`]–[`Rule::WS4`]: typed
+//!   node/edge properties, typed edge targets, at-most-one edge for
+//!   non-list relationship fields;
+//! * **directives satisfaction** — rules [`Rule::DS1`]–[`Rule::DS7`]:
+//!   `@distinct`, `@noLoops`, `@uniqueForTarget`, `@requiredForTarget`,
+//!   `@required` (for properties and for edges), and `@key`;
+//! * **strong satisfaction** — rules [`Rule::SS1`]–[`Rule::SS4`]: every
+//!   node, property and edge must be *justified* by a schema element.
+//!
+//! Two interchangeable engines decide the same relation:
+//!
+//! * [`Engine::Naive`] transcribes the paper's first-order formulas
+//!   directly (nested loops; the `O(n²)`–`O(n³)` algorithm discussed after
+//!   Theorem 1), and
+//! * [`Engine::Indexed`] is the production engine: one `O(|V| + |E|)`
+//!   indexing pass plus hash-group checks, near-linear in practice.
+//!
+//! Engine agreement is property-tested; benchmark E2 in EXPERIMENTS.md
+//! measures the separation.
+//!
+//! ```
+//! use pg_schema::{PgSchema, validate, ValidationOptions};
+//! use pgraph::GraphBuilder;
+//!
+//! let doc = gql_sdl::parse(r#"
+//!     type User { id: ID! @required login: String! @required }
+//! "#).unwrap();
+//! let schema = PgSchema::from_document(&doc).unwrap();
+//! let graph = GraphBuilder::new()
+//!     .node("u", "User")
+//!     .prop("u", "id", "u-1")
+//!     .prop("u", "login", "alice")
+//!     .build()
+//!     .unwrap();
+//! let report = validate(&graph, &schema, &ValidationOptions::default());
+//! assert!(report.conforms());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api_extension;
+pub mod diff;
+mod indexed;
+mod naive;
+mod pgschema;
+pub mod report;
+
+pub use pgschema::{
+    AttributeDef, ConstraintSite, FieldClass, KeyConstraint, PgSchema, PgSchemaError,
+    RelationshipDef,
+};
+pub use report::{Rule, RuleFamily, ValidationReport, Violation};
+
+/// Which implementation decides satisfaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Direct transcription of the paper's first-order rules
+    /// (quadratic/cubic nested loops). Reference implementation.
+    Naive,
+    /// Index-assisted engine (near-linear). Default.
+    #[default]
+    Indexed,
+}
+
+/// Which rule families to check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValidationOptions {
+    /// The engine to use.
+    pub engine: Engine,
+    /// Check weak satisfaction (WS1–WS4). Default true.
+    pub weak: bool,
+    /// Check directive satisfaction (DS1–DS7). Default true.
+    pub directives: bool,
+    /// Check strong satisfaction (SS1–SS4). Default true.
+    pub strong: bool,
+}
+
+impl Default for ValidationOptions {
+    fn default() -> Self {
+        ValidationOptions {
+            engine: Engine::Indexed,
+            weak: true,
+            directives: true,
+            strong: true,
+        }
+    }
+}
+
+impl ValidationOptions {
+    /// All rule families with the given engine.
+    pub fn with_engine(engine: Engine) -> Self {
+        ValidationOptions {
+            engine,
+            ..Default::default()
+        }
+    }
+
+    /// Only weak satisfaction (Definition 5.1).
+    pub fn weak_only() -> Self {
+        ValidationOptions {
+            weak: true,
+            directives: false,
+            strong: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// Validates `graph` against `schema` — the Schema Validation Problem of
+/// §6.1 ("Does G strongly satisfy S?"), with per-rule violation reporting.
+pub fn validate(
+    graph: &pgraph::PropertyGraph,
+    schema: &PgSchema,
+    options: &ValidationOptions,
+) -> ValidationReport {
+    let mut report = match options.engine {
+        Engine::Naive => naive::run(graph, schema, options),
+        Engine::Indexed => indexed::run(graph, schema, options),
+    };
+    report.canonicalize();
+    report
+}
+
+/// Convenience: true iff `graph` strongly satisfies `schema`
+/// (Definition 5.3).
+pub fn strongly_satisfies(graph: &pgraph::PropertyGraph, schema: &PgSchema) -> bool {
+    validate(graph, schema, &ValidationOptions::default()).conforms()
+}

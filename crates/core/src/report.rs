@@ -1,0 +1,582 @@
+//! Validation reports: which rule failed, where, and why.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use pgraph::{EdgeId, NodeId};
+
+/// The fifteen rules of Definitions 5.1–5.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum Rule {
+    WS1,
+    WS2,
+    WS3,
+    WS4,
+    DS1,
+    DS2,
+    DS3,
+    DS4,
+    DS5,
+    DS6,
+    DS7,
+    SS1,
+    SS2,
+    SS3,
+    SS4,
+}
+
+impl Rule {
+    /// All rules in definition order.
+    pub const ALL: [Rule; 15] = [
+        Rule::WS1,
+        Rule::WS2,
+        Rule::WS3,
+        Rule::WS4,
+        Rule::DS1,
+        Rule::DS2,
+        Rule::DS3,
+        Rule::DS4,
+        Rule::DS5,
+        Rule::DS6,
+        Rule::DS7,
+        Rule::SS1,
+        Rule::SS2,
+        Rule::SS3,
+        Rule::SS4,
+    ];
+
+    /// Which of the three satisfaction notions the rule belongs to.
+    pub fn family(self) -> RuleFamily {
+        match self {
+            Rule::WS1 | Rule::WS2 | Rule::WS3 | Rule::WS4 => RuleFamily::Weak,
+            Rule::DS1
+            | Rule::DS2
+            | Rule::DS3
+            | Rule::DS4
+            | Rule::DS5
+            | Rule::DS6
+            | Rule::DS7 => RuleFamily::Directives,
+            Rule::SS1 | Rule::SS2 | Rule::SS3 | Rule::SS4 => RuleFamily::Strong,
+        }
+    }
+
+    /// The paper's one-line gloss for the rule.
+    pub fn gloss(self) -> &'static str {
+        match self {
+            Rule::WS1 => "node properties must be of the required type",
+            Rule::WS2 => "edge properties must be of the required type",
+            Rule::WS3 => "target nodes must be of the required type",
+            Rule::WS4 => "non-list fields contain at most one edge",
+            Rule::DS1 => "edges identified by nodes and label (@distinct)",
+            Rule::DS2 => "no loops (@noLoops)",
+            Rule::DS3 => "target has at most one incoming edge (@uniqueForTarget)",
+            Rule::DS4 => "target has at least one incoming edge (@requiredForTarget)",
+            Rule::DS5 => "property is required (@required)",
+            Rule::DS6 => "edge is required (@required)",
+            Rule::DS7 => "keys (@key)",
+            Rule::SS1 => "all nodes are justified",
+            Rule::SS2 => "all node properties are justified",
+            Rule::SS3 => "all edge properties are justified",
+            Rule::SS4 => "all edges are justified",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// The three satisfaction notions of §5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleFamily {
+    /// Definition 5.1 (weak schema satisfaction).
+    Weak,
+    /// Definition 5.2 (directives satisfaction).
+    Directives,
+    /// The additional justification rules of Definition 5.3.
+    Strong,
+}
+
+/// One violation of one rule, with enough context to locate and explain it.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Violation {
+    /// WS1: a node property value is outside `valuesW` of its declared type.
+    NodePropertyType {
+        /// The node.
+        node: NodeId,
+        /// The property/field name.
+        field: String,
+        /// Rendered offending value.
+        value: String,
+        /// Rendered declared type.
+        expected: String,
+    },
+    /// WS2: an edge property value is outside `valuesW` of its declared
+    /// argument type.
+    EdgePropertyType {
+        /// The edge.
+        edge: EdgeId,
+        /// The property/argument name.
+        prop: String,
+        /// Rendered offending value.
+        value: String,
+        /// Rendered declared type.
+        expected: String,
+    },
+    /// WS3: an edge's target node label is not a subtype of the field's
+    /// base type.
+    EdgeTargetType {
+        /// The edge.
+        edge: EdgeId,
+        /// The target node.
+        target: NodeId,
+        /// The target's label.
+        target_label: String,
+        /// Rendered expected base type.
+        expected: String,
+    },
+    /// WS4: more than one outgoing edge for a non-list relationship field.
+    NonListFieldMultiEdge {
+        /// The source node.
+        source: NodeId,
+        /// The edge label / field name.
+        field: String,
+        /// How many outgoing edges were found.
+        count: usize,
+    },
+    /// DS1: two parallel edges between the same endpoints with the same
+    /// label under `@distinct`.
+    DistinctViolated {
+        /// The source node.
+        source: NodeId,
+        /// The target node.
+        target: NodeId,
+        /// The edge label.
+        field: String,
+        /// Number of parallel edges.
+        count: usize,
+    },
+    /// DS2: a self-loop under `@noLoops`.
+    LoopViolated {
+        /// The node with the loop.
+        node: NodeId,
+        /// The edge label.
+        field: String,
+    },
+    /// DS3: a target with multiple incoming edges under `@uniqueForTarget`.
+    UniqueForTargetViolated {
+        /// The target node.
+        target: NodeId,
+        /// The edge label.
+        field: String,
+        /// Number of incoming edges.
+        count: usize,
+    },
+    /// DS4: a target with no incoming edge under `@requiredForTarget`.
+    RequiredForTargetViolated {
+        /// The node missing an incoming edge.
+        target: NodeId,
+        /// The edge label.
+        field: String,
+        /// The name of the type carrying the constraint.
+        site: String,
+    },
+    /// DS5: a missing (or empty-list) required property.
+    RequiredPropertyMissing {
+        /// The node.
+        node: NodeId,
+        /// The property name.
+        field: String,
+        /// True if the property exists but is an empty list (clause 2 of
+        /// DS5).
+        empty_list: bool,
+    },
+    /// DS6: a missing required outgoing edge.
+    RequiredEdgeMissing {
+        /// The source node.
+        node: NodeId,
+        /// The edge label.
+        field: String,
+    },
+    /// DS7: two distinct nodes agreeing on a key.
+    KeyViolated {
+        /// First node.
+        a: NodeId,
+        /// Second node.
+        b: NodeId,
+        /// The constrained type's name.
+        ty: String,
+        /// The key's property names.
+        fields: Vec<String>,
+    },
+    /// SS1: a node label that is not an object type of the schema.
+    UnjustifiedNode {
+        /// The node.
+        node: NodeId,
+        /// Its label.
+        label: String,
+    },
+    /// SS2: a node property not backed by an attribute definition.
+    UnjustifiedNodeProperty {
+        /// The node.
+        node: NodeId,
+        /// The property name.
+        prop: String,
+    },
+    /// SS3: an edge property not backed by a (scalar-based) argument
+    /// definition.
+    UnjustifiedEdgeProperty {
+        /// The edge.
+        edge: EdgeId,
+        /// The property name.
+        prop: String,
+    },
+    /// SS4: an edge not backed by a relationship definition.
+    UnjustifiedEdge {
+        /// The edge.
+        edge: EdgeId,
+        /// The edge label.
+        label: String,
+        /// The source node's label.
+        source_label: String,
+    },
+}
+
+impl Violation {
+    /// The rule this violation belongs to.
+    pub fn rule(&self) -> Rule {
+        match self {
+            Violation::NodePropertyType { .. } => Rule::WS1,
+            Violation::EdgePropertyType { .. } => Rule::WS2,
+            Violation::EdgeTargetType { .. } => Rule::WS3,
+            Violation::NonListFieldMultiEdge { .. } => Rule::WS4,
+            Violation::DistinctViolated { .. } => Rule::DS1,
+            Violation::LoopViolated { .. } => Rule::DS2,
+            Violation::UniqueForTargetViolated { .. } => Rule::DS3,
+            Violation::RequiredForTargetViolated { .. } => Rule::DS4,
+            Violation::RequiredPropertyMissing { .. } => Rule::DS5,
+            Violation::RequiredEdgeMissing { .. } => Rule::DS6,
+            Violation::KeyViolated { .. } => Rule::DS7,
+            Violation::UnjustifiedNode { .. } => Rule::SS1,
+            Violation::UnjustifiedNodeProperty { .. } => Rule::SS2,
+            Violation::UnjustifiedEdgeProperty { .. } => Rule::SS3,
+            Violation::UnjustifiedEdge { .. } => Rule::SS4,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.rule())?;
+        match self {
+            Violation::NodePropertyType {
+                node,
+                field,
+                value,
+                expected,
+            } => write!(f, "{node}.{field} = {value} does not conform to {expected}"),
+            Violation::EdgePropertyType {
+                edge,
+                prop,
+                value,
+                expected,
+            } => write!(f, "{edge}.{prop} = {value} does not conform to {expected}"),
+            Violation::EdgeTargetType {
+                edge,
+                target,
+                target_label,
+                expected,
+            } => write!(
+                f,
+                "{edge} points to {target} labelled {target_label:?}, expected ⊑ {expected}"
+            ),
+            Violation::NonListFieldMultiEdge {
+                source,
+                field,
+                count,
+            } => write!(
+                f,
+                "{source} has {count} outgoing {field:?} edges but the field is not list-typed"
+            ),
+            Violation::DistinctViolated {
+                source,
+                target,
+                field,
+                count,
+            } => write!(
+                f,
+                "{count} parallel {field:?} edges {source} → {target} under @distinct"
+            ),
+            Violation::LoopViolated { node, field } => {
+                write!(f, "self-loop {field:?} on {node} under @noLoops")
+            }
+            Violation::UniqueForTargetViolated {
+                target,
+                field,
+                count,
+            } => write!(
+                f,
+                "{target} has {count} incoming {field:?} edges under @uniqueForTarget"
+            ),
+            Violation::RequiredForTargetViolated { target, field, site } => write!(
+                f,
+                "{target} lacks an incoming {field:?} edge required by {site} (@requiredForTarget)"
+            ),
+            Violation::RequiredPropertyMissing {
+                node,
+                field,
+                empty_list,
+            } => {
+                if *empty_list {
+                    write!(f, "{node}.{field} is required but is an empty list")
+                } else {
+                    write!(f, "{node} lacks required property {field:?}")
+                }
+            }
+            Violation::RequiredEdgeMissing { node, field } => {
+                write!(f, "{node} lacks required outgoing {field:?} edge")
+            }
+            Violation::KeyViolated { a, b, ty, fields } => write!(
+                f,
+                "nodes {a} and {b} of type {ty} agree on key ({})",
+                fields.join(", ")
+            ),
+            Violation::UnjustifiedNode { node, label } => {
+                write!(f, "{node} has label {label:?} which is not an object type")
+            }
+            Violation::UnjustifiedNodeProperty { node, prop } => {
+                write!(f, "{node} has unjustified property {prop:?}")
+            }
+            Violation::UnjustifiedEdgeProperty { edge, prop } => {
+                write!(f, "{edge} has unjustified property {prop:?}")
+            }
+            Violation::UnjustifiedEdge {
+                edge,
+                label,
+                source_label,
+            } => write!(
+                f,
+                "{edge} labelled {label:?} is not a relationship of source type {source_label:?}"
+            ),
+        }
+    }
+}
+
+/// The outcome of a validation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ValidationReport {
+    violations: Vec<Violation>,
+}
+
+impl ValidationReport {
+    /// Creates a report from raw violations (engines use this).
+    pub fn new(violations: Vec<Violation>) -> Self {
+        ValidationReport { violations }
+    }
+
+    /// Adds one violation.
+    pub fn push(&mut self, v: Violation) {
+        self.violations.push(v);
+    }
+
+    /// True iff no rule is violated — the graph satisfies the schema at
+    /// the checked level.
+    pub fn conforms(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// All violations.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Violations of one rule.
+    pub fn by_rule(&self, rule: Rule) -> impl Iterator<Item = &Violation> {
+        self.violations.iter().filter(move |v| v.rule() == rule)
+    }
+
+    /// Violation counts per rule (only rules that fired).
+    pub fn counts(&self) -> BTreeMap<Rule, usize> {
+        let mut out = BTreeMap::new();
+        for v in &self.violations {
+            *out.entry(v.rule()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Sorts and deduplicates, so reports from different engines compare
+    /// equal.
+    pub fn canonicalize(&mut self) {
+        self.violations.sort();
+        self.violations.dedup();
+    }
+
+    /// Renders the report as a JSON document for machine consumption
+    /// (CI pipelines via `pgschema validate --json`):
+    ///
+    /// ```json
+    /// {"conforms": false, "violations": [
+    ///     {"rule": "WS1", "family": "weak", "message": "…"}]}
+    /// ```
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        out.push_str(&format!("\\u{:04x}", c as u32))
+                    }
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut out = format!("{{\"conforms\": {}, \"violations\": [", self.conforms());
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let family = match v.rule().family() {
+                RuleFamily::Weak => "weak",
+                RuleFamily::Directives => "directives",
+                RuleFamily::Strong => "strong",
+            };
+            out.push_str(&format!(
+                "{{\"rule\": \"{}\", \"family\": \"{family}\", \"message\": \"{}\"}}",
+                v.rule(),
+                esc(&v.to_string())
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Total number of violations.
+    pub fn len(&self) -> usize {
+        self.violations.len()
+    }
+
+    /// True if there are no violations.
+    pub fn is_empty(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.conforms() {
+            return writeln!(f, "graph strongly satisfies the schema");
+        }
+        writeln!(f, "{} violation(s):", self.violations.len())?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rules_partition_into_families() {
+        assert_eq!(
+            Rule::ALL
+                .iter()
+                .filter(|r| r.family() == RuleFamily::Weak)
+                .count(),
+            4
+        );
+        assert_eq!(
+            Rule::ALL
+                .iter()
+                .filter(|r| r.family() == RuleFamily::Directives)
+                .count(),
+            7
+        );
+        assert_eq!(
+            Rule::ALL
+                .iter()
+                .filter(|r| r.family() == RuleFamily::Strong)
+                .count(),
+            4
+        );
+        for r in Rule::ALL {
+            assert!(!r.gloss().is_empty());
+        }
+    }
+
+    #[test]
+    fn report_counts_and_canonicalization() {
+        let v1 = Violation::UnjustifiedNode {
+            node: NodeId::from_index(1),
+            label: "X".into(),
+        };
+        let v0 = Violation::UnjustifiedNode {
+            node: NodeId::from_index(0),
+            label: "X".into(),
+        };
+        let mut r = ValidationReport::new(vec![v1.clone(), v0.clone(), v1.clone()]);
+        r.canonicalize();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.violations()[0], v0);
+        assert_eq!(r.counts()[&Rule::SS1], 2);
+        assert!(!r.conforms());
+        assert!(r.to_string().contains("SS1"));
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_structures() {
+        let mut r = ValidationReport::default();
+        assert_eq!(r.to_json(), "{\"conforms\": true, \"violations\": []}");
+        r.push(Violation::UnjustifiedNodeProperty {
+            node: NodeId::from_index(0),
+            prop: "we\"ird\nname".into(),
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"conforms\": false"), "{json}");
+        assert!(json.contains("\"rule\": \"SS2\""), "{json}");
+        assert!(json.contains("\"family\": \"strong\""), "{json}");
+        // The Display message debug-quotes the property name; the JSON
+        // escaper then escapes those characters again.
+        assert!(json.contains(r#"we\\\"ird\\nname"#), "{json}");
+        // Must itself be valid JSON: cheap structural check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn display_of_each_violation_mentions_its_rule() {
+        let samples: Vec<Violation> = vec![
+            Violation::NodePropertyType {
+                node: NodeId::from_index(0),
+                field: "f".into(),
+                value: "3".into(),
+                expected: "String".into(),
+            },
+            Violation::KeyViolated {
+                a: NodeId::from_index(0),
+                b: NodeId::from_index(1),
+                ty: "User".into(),
+                fields: vec!["id".into()],
+            },
+            Violation::UnjustifiedEdge {
+                edge: EdgeId::from_index(0),
+                label: "rel".into(),
+                source_label: "A".into(),
+            },
+        ];
+        for v in samples {
+            let text = v.to_string();
+            assert!(text.contains(&v.rule().to_string()), "{text}");
+        }
+    }
+}

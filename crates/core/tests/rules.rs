@@ -1,0 +1,595 @@
+//! Rule-by-rule validation tests, run against BOTH engines.
+//!
+//! Every test constructs a minimal conforming graph, verifies it conforms,
+//! then injects exactly one defect and verifies that precisely the
+//! expected rule fires — on the naive and the indexed engine alike.
+
+use pg_schema::{validate, Engine, PgSchema, Rule, ValidationOptions};
+use pgraph::{GraphBuilder, PropertyGraph, Value};
+
+fn both_engines(g: &PropertyGraph, s: &PgSchema) -> [pg_schema::ValidationReport; 2] {
+    [
+        validate(g, s, &ValidationOptions::with_engine(Engine::Naive)),
+        validate(g, s, &ValidationOptions::with_engine(Engine::Indexed)),
+    ]
+}
+
+/// Asserts both engines agree and that exactly the given rules fire.
+fn assert_rules(g: &PropertyGraph, s: &PgSchema, expected: &[Rule]) {
+    let [naive, indexed] = both_engines(g, s);
+    assert_eq!(
+        naive, indexed,
+        "engines disagree:\nnaive: {naive}\nindexed: {indexed}"
+    );
+    let mut fired: Vec<Rule> = naive.counts().keys().copied().collect();
+    fired.sort();
+    let mut want = expected.to_vec();
+    want.sort();
+    want.dedup();
+    assert_eq!(fired, want, "report: {naive}");
+}
+
+fn schema_3_1() -> PgSchema {
+    PgSchema::parse(
+        r#"
+        type UserSession {
+            id: ID! @required
+            user(certainty: Float! comment: String): User! @required
+            startTime: Time! @required
+            endTime: Time!
+        }
+        type User @key(fields: ["id"]) {
+            id: ID! @required
+            login: String! @required
+            nicknames: [String!]!
+        }
+        scalar Time
+        "#,
+    )
+    .unwrap()
+}
+
+fn conforming_graph() -> PropertyGraph {
+    GraphBuilder::new()
+        .node("u", "User")
+        .prop("u", "id", Value::Id("u-1".into()))
+        .prop("u", "login", "alice")
+        .prop("u", "nicknames", Value::from(vec!["al"]))
+        .node("s", "UserSession")
+        .prop("s", "id", Value::Id("s-1".into()))
+        .prop("s", "startTime", "2019-06-30T10:00:00Z")
+        .edge("s", "u", "user")
+        .edge_prop("certainty", 0.9)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn example_3_1_conforming_graph_conforms() {
+    assert_rules(&conforming_graph(), &schema_3_1(), &[]);
+}
+
+#[test]
+fn empty_graph_conforms_to_example_3_1() {
+    // No @requiredForTarget in this schema, so the empty graph is fine.
+    assert_rules(&PropertyGraph::new(), &schema_3_1(), &[]);
+}
+
+#[test]
+fn ws1_wrong_property_type() {
+    let mut g = conforming_graph();
+    let u = g.nodes().find(|n| n.label() == "User").unwrap().id;
+    g.set_node_property(u, "login", Value::Int(42));
+    assert_rules(&g, &schema_3_1(), &[Rule::WS1]);
+}
+
+#[test]
+fn ws1_non_list_for_list_field() {
+    let mut g = conforming_graph();
+    let u = g.nodes().find(|n| n.label() == "User").unwrap().id;
+    g.set_node_property(u, "nicknames", Value::from("al"));
+    assert_rules(&g, &schema_3_1(), &[Rule::WS1]);
+}
+
+#[test]
+fn ws1_null_inside_non_null_list() {
+    let mut g = conforming_graph();
+    let u = g.nodes().find(|n| n.label() == "User").unwrap().id;
+    g.set_node_property(
+        u,
+        "nicknames",
+        Value::List(vec![Value::from("al"), Value::Null]),
+    );
+    assert_rules(&g, &schema_3_1(), &[Rule::WS1]);
+}
+
+#[test]
+fn ws2_wrong_edge_property_type() {
+    let mut g = conforming_graph();
+    let e = g.edge_ids().next().unwrap();
+    g.set_edge_property(e, "certainty", Value::from("high"));
+    assert_rules(&g, &schema_3_1(), &[Rule::WS2]);
+}
+
+#[test]
+fn optional_edge_property_conforms_when_typed() {
+    let mut g = conforming_graph();
+    let e = g.edge_ids().next().unwrap();
+    g.set_edge_property(e, "comment", Value::from("checked manually"));
+    assert_rules(&g, &schema_3_1(), &[]);
+    g.set_edge_property(e, "comment", Value::Int(3));
+    assert_rules(&g, &schema_3_1(), &[Rule::WS2]);
+}
+
+#[test]
+fn ws3_wrong_target_type() {
+    let mut g = conforming_graph();
+    // user edge pointing at another UserSession instead of a User.
+    let s2 = g.add_node("UserSession");
+    g.set_node_property(s2, "id", Value::Id("s-2".into()));
+    g.set_node_property(s2, "startTime", Value::from("t"));
+    let s = g
+        .nodes()
+        .find(|n| n.label() == "UserSession" && n.property("id") == Some(&Value::Id("s-1".into())))
+        .unwrap()
+        .id;
+    // Remove old edge by rebuilding: simpler to add a second session with
+    // a bad edge; but that session then has TWO user edges? No: new edge
+    // from s2, which otherwise misses its required user edge. Point s2's
+    // user edge at s (a UserSession, not a User).
+    g.add_edge(s2, s, "user").unwrap();
+    let e = g.edges().find(|e| e.source() == s2).unwrap().id;
+    g.set_edge_property(e, "certainty", Value::Float(1.0));
+    assert_rules(&g, &schema_3_1(), &[Rule::WS3]);
+}
+
+#[test]
+fn ws4_two_edges_for_non_list_field() {
+    let mut g = conforming_graph();
+    let s = g.nodes().find(|n| n.label() == "UserSession").unwrap().id;
+    let u2 = g.add_node("User");
+    g.set_node_property(u2, "id", Value::Id("u-2".into()));
+    g.set_node_property(u2, "login", Value::from("bob"));
+    let e = g.add_edge(s, u2, "user").unwrap();
+    g.set_edge_property(e, "certainty", Value::Float(0.5));
+    assert_rules(&g, &schema_3_1(), &[Rule::WS4]);
+}
+
+fn schema_books(extra: &str) -> PgSchema {
+    PgSchema::parse(&format!(
+        r#"
+        type Author {{
+            favoriteBook: Book
+            relatedAuthor: [Author] {extra}
+        }}
+        type Book {{
+            title: String!
+            author: [Author] @required @distinct
+        }}
+        "#
+    ))
+    .unwrap()
+}
+
+#[test]
+fn ds1_distinct_parallel_edges() {
+    let s = schema_books("");
+    let g = GraphBuilder::new()
+        .node("b", "Book")
+        .prop("b", "title", "Dune")
+        .node("a", "Author")
+        .edge("b", "a", "author")
+        .edge("b", "a", "author") // parallel duplicate
+        .build()
+        .unwrap();
+    assert_rules(&g, &s, &[Rule::DS1]);
+}
+
+#[test]
+fn ds1_two_different_targets_are_fine() {
+    let s = schema_books("");
+    let g = GraphBuilder::new()
+        .node("b", "Book")
+        .prop("b", "title", "Dune")
+        .node("a1", "Author")
+        .node("a2", "Author")
+        .edge("b", "a1", "author")
+        .edge("b", "a2", "author")
+        .build()
+        .unwrap();
+    assert_rules(&g, &s, &[]);
+}
+
+#[test]
+fn ds2_no_loops() {
+    let s = schema_books("@noloops");
+    let g = GraphBuilder::new()
+        .node("a", "Author")
+        .edge("a", "a", "relatedAuthor")
+        .build()
+        .unwrap();
+    assert_rules(&g, &s, &[Rule::DS2]);
+    // A relatedAuthor edge between two different authors is fine.
+    let g = GraphBuilder::new()
+        .node("a", "Author")
+        .node("b", "Author")
+        .edge("a", "b", "relatedAuthor")
+        .build()
+        .unwrap();
+    assert_rules(&g, &s, &[]);
+}
+
+fn schema_3_8() -> PgSchema {
+    PgSchema::parse(
+        r#"
+        type Book { title: String! }
+        type BookSeries {
+            contains: [Book] @required @uniqueForTarget
+        }
+        type Publisher {
+            published: [Book] @uniqueForTarget @requiredForTarget
+        }
+        "#,
+    )
+    .unwrap()
+}
+
+#[test]
+fn ds3_unique_for_target() {
+    // Two series containing the same book.
+    let g = GraphBuilder::new()
+        .node("b", "Book")
+        .prop("b", "title", "Dune")
+        .node("s1", "BookSeries")
+        .node("s2", "BookSeries")
+        .node("p", "Publisher")
+        .edge("s1", "b", "contains")
+        .edge("s2", "b", "contains")
+        .edge("p", "b", "published")
+        .build()
+        .unwrap();
+    assert_rules(&g, &schema_3_8(), &[Rule::DS3]);
+}
+
+#[test]
+fn ds4_required_for_target() {
+    // A book with no publisher.
+    let g = GraphBuilder::new()
+        .node("b", "Book")
+        .prop("b", "title", "Dune")
+        .build()
+        .unwrap();
+    assert_rules(&g, &schema_3_8(), &[Rule::DS4]);
+    // With a publisher it conforms.
+    let g = GraphBuilder::new()
+        .node("b", "Book")
+        .prop("b", "title", "Dune")
+        .node("p", "Publisher")
+        .edge("p", "b", "published")
+        .build()
+        .unwrap();
+    assert_rules(&g, &schema_3_8(), &[]);
+}
+
+#[test]
+fn example_3_8_at_most_one_incoming_contains() {
+    // One series twice → DS1 not at play (no @distinct on contains);
+    // parallel contains edges DO violate @uniqueForTarget.
+    let g = GraphBuilder::new()
+        .node("b", "Book")
+        .prop("b", "title", "Dune")
+        .node("s", "BookSeries")
+        .node("p", "Publisher")
+        .edge("s", "b", "contains")
+        .edge("s", "b", "contains")
+        .edge("p", "b", "published")
+        .build()
+        .unwrap();
+    assert_rules(&g, &schema_3_8(), &[Rule::DS3]);
+}
+
+#[test]
+fn ds5_missing_required_property() {
+    let mut g = conforming_graph();
+    let u = g.nodes().find(|n| n.label() == "User").unwrap().id;
+    g.remove_node_property(u, "login");
+    assert_rules(&g, &schema_3_1(), &[Rule::DS5]);
+}
+
+#[test]
+fn ds5_empty_required_list() {
+    let s = PgSchema::parse("type T { tags: [String!]! @required }").unwrap();
+    let g = GraphBuilder::new()
+        .node("t", "T")
+        .prop("t", "tags", Value::List(vec![]))
+        .build()
+        .unwrap();
+    assert_rules(&g, &s, &[Rule::DS5]);
+    let g = GraphBuilder::new()
+        .node("t", "T")
+        .prop("t", "tags", Value::from(vec!["x"]))
+        .build()
+        .unwrap();
+    assert_rules(&g, &s, &[]);
+}
+
+#[test]
+fn ds6_missing_required_edge() {
+    let s = schema_books("");
+    let g = GraphBuilder::new()
+        .node("b", "Book")
+        .prop("b", "title", "Dune")
+        .build()
+        .unwrap();
+    assert_rules(&g, &s, &[Rule::DS6]);
+}
+
+#[test]
+fn ds7_key_collision() {
+    let mut g = conforming_graph();
+    let u2 = g.add_node("User");
+    g.set_node_property(u2, "id", Value::Id("u-1".into())); // duplicate key
+    g.set_node_property(u2, "login", Value::from("bob"));
+    assert_rules(&g, &schema_3_1(), &[Rule::DS7]);
+}
+
+#[test]
+fn ds7_both_missing_key_property_collides() {
+    // DS7 clause (i): two nodes both lacking the key property "agree".
+    // They also violate DS5 (id is @required).
+    let s = PgSchema::parse(r#"type T @key(fields: ["k"]) { k: Int }"#).unwrap();
+    let g = GraphBuilder::new()
+        .node("a", "T")
+        .node("b", "T")
+        .build()
+        .unwrap();
+    assert_rules(&g, &s, &[Rule::DS7]);
+}
+
+#[test]
+fn ds7_distinct_keys_conform() {
+    let mut g = conforming_graph();
+    let u2 = g.add_node("User");
+    g.set_node_property(u2, "id", Value::Id("u-2".into()));
+    g.set_node_property(u2, "login", Value::from("bob"));
+    assert_rules(&g, &schema_3_1(), &[]);
+}
+
+#[test]
+fn ds7_composite_key() {
+    let s = PgSchema::parse(
+        r#"type P @key(fields: ["x", "y"]) { x: Int @required y: Int @required }"#,
+    )
+    .unwrap();
+    let g = GraphBuilder::new()
+        .node("a", "P")
+        .prop("a", "x", 1i64)
+        .prop("a", "y", 1i64)
+        .node("b", "P")
+        .prop("b", "x", 1i64)
+        .prop("b", "y", 2i64)
+        .build()
+        .unwrap();
+    assert_rules(&g, &s, &[]);
+    let g = GraphBuilder::new()
+        .node("a", "P")
+        .prop("a", "x", 1i64)
+        .prop("a", "y", 2i64)
+        .node("b", "P")
+        .prop("b", "x", 1i64)
+        .prop("b", "y", 2i64)
+        .build()
+        .unwrap();
+    assert_rules(&g, &s, &[Rule::DS7]);
+}
+
+#[test]
+fn ss1_unknown_label() {
+    let mut g = conforming_graph();
+    g.add_node("Alien");
+    assert_rules(&g, &schema_3_1(), &[Rule::SS1]);
+}
+
+#[test]
+fn ss1_interface_label_is_not_justified() {
+    let s = PgSchema::parse(
+        "interface Food { name: String! } type Pizza implements Food { name: String! }",
+    )
+    .unwrap();
+    let g = GraphBuilder::new()
+        .node("f", "Food")
+        .prop("f", "name", "abstract")
+        .build()
+        .unwrap();
+    // The node's label is an interface, not an object type.
+    assert_rules(&g, &s, &[Rule::SS1]);
+}
+
+#[test]
+fn ss2_unjustified_node_property() {
+    let mut g = conforming_graph();
+    let u = g.nodes().find(|n| n.label() == "User").unwrap().id;
+    g.set_node_property(u, "shoeSize", Value::Int(43));
+    assert_rules(&g, &schema_3_1(), &[Rule::SS2]);
+}
+
+#[test]
+fn ss2_property_named_like_relationship_is_unjustified() {
+    let mut g = conforming_graph();
+    let s = g.nodes().find(|n| n.label() == "UserSession").unwrap().id;
+    // "user" is a relationship field, not an attribute: a node *property*
+    // with that name is unjustified (cf. Example 3.3).
+    g.set_node_property(s, "user", Value::from("alice"));
+    assert_rules(&g, &schema_3_1(), &[Rule::SS2]);
+}
+
+#[test]
+fn ss3_unjustified_edge_property() {
+    let mut g = conforming_graph();
+    let e = g.edge_ids().next().unwrap();
+    g.set_edge_property(e, "color", Value::from("red"));
+    assert_rules(&g, &schema_3_1(), &[Rule::SS3]);
+}
+
+#[test]
+fn ss4_unjustified_edge_label() {
+    let mut g = conforming_graph();
+    let s = g.nodes().find(|n| n.label() == "UserSession").unwrap().id;
+    let u = g.nodes().find(|n| n.label() == "User").unwrap().id;
+    g.add_edge(s, u, "knows").unwrap();
+    assert_rules(&g, &schema_3_1(), &[Rule::SS4]);
+}
+
+#[test]
+fn ss4_edge_labelled_like_attribute() {
+    let mut g = conforming_graph();
+    let s = g.nodes().find(|n| n.label() == "UserSession").unwrap().id;
+    let u = g.nodes().find(|n| n.label() == "User").unwrap().id;
+    // "id" is an attribute field; an edge with that label violates SS4
+    // and WS3 (target cannot be ⊑ a scalar base type).
+    g.add_edge(s, u, "id").unwrap();
+    assert_rules(&g, &schema_3_1(), &[Rule::SS4, Rule::WS3]);
+}
+
+#[test]
+fn union_targets_accept_all_members() {
+    let s = PgSchema::parse(
+        r#"
+        type Person { name: String! favoriteFood: Food }
+        union Food = Pizza | Pasta
+        type Pizza { name: String! toppings: [String!]! }
+        type Pasta { name: String! }
+        "#,
+    )
+    .unwrap();
+    for target_ty in ["Pizza", "Pasta"] {
+        let g = GraphBuilder::new()
+            .node("p", "Person")
+            .prop("p", "name", "ann")
+            .node("f", target_ty)
+            .prop("f", "name", "x")
+            .prop(
+                "f",
+                "toppings",
+                if target_ty == "Pizza" {
+                    Value::from(vec!["cheese"])
+                } else {
+                    Value::Null
+                },
+            )
+            .edge("p", "f", "favoriteFood")
+            .build()
+            .unwrap();
+        // Pasta has no toppings field → that injected Null prop would be
+        // unjustified; only set it for Pizza.
+        let g = if target_ty == "Pasta" {
+            let mut g2 = g;
+            let f = g2.nodes().find(|n| n.label() == "Pasta").unwrap().id;
+            g2.remove_node_property(f, "toppings");
+            g2
+        } else {
+            g
+        };
+        assert_rules(&g, &s, &[]);
+    }
+    // A Person target is not in the union.
+    let g = GraphBuilder::new()
+        .node("p", "Person")
+        .prop("p", "name", "ann")
+        .node("q", "Person")
+        .prop("q", "name", "bob")
+        .edge("p", "q", "favoriteFood")
+        .build()
+        .unwrap();
+    assert_rules(&g, &s, &[Rule::WS3]);
+}
+
+#[test]
+fn interface_targets_accept_all_implementors() {
+    let s = PgSchema::parse(
+        r#"
+        type Person { name: String! favoriteFood: Food }
+        interface Food { name: String! }
+        type Pizza implements Food { name: String! toppings: [String!]! }
+        type Pasta implements Food { name: String! }
+        "#,
+    )
+    .unwrap();
+    let g = GraphBuilder::new()
+        .node("p", "Person")
+        .prop("p", "name", "ann")
+        .node("f", "Pasta")
+        .prop("f", "name", "carbonara")
+        .edge("p", "f", "favoriteFood")
+        .build()
+        .unwrap();
+    assert_rules(&g, &s, &[]);
+}
+
+#[test]
+fn example_3_11_multiple_source_types() {
+    let s = PgSchema::parse(
+        r#"
+        type Person { name: String! }
+        type Car { brand: String! owner: Person }
+        type Motorcycle { brand: String! owner: Person }
+        "#,
+    )
+    .unwrap();
+    let g = GraphBuilder::new()
+        .node("p", "Person")
+        .prop("p", "name", "ann")
+        .node("c", "Car")
+        .prop("c", "brand", "VW")
+        .node("m", "Motorcycle")
+        .prop("m", "brand", "BMW")
+        .edge("c", "p", "owner")
+        .edge("m", "p", "owner")
+        .build()
+        .unwrap();
+    assert_rules(&g, &s, &[]);
+}
+
+#[test]
+fn interface_required_constrains_implementors() {
+    // @required on an interface field constrains implementing nodes even
+    // if the repeated field on the object type lacks the directive
+    // (directives are not inherited-checked by consistency, but DS6
+    // quantifies over λ(v) ⊑ t).
+    let s = PgSchema::parse(
+        r#"
+        interface Owned { owner: Person @required }
+        type Person { name: String! }
+        type Car implements Owned { owner: Person }
+        "#,
+    )
+    .unwrap();
+    let g = GraphBuilder::new()
+        .node("c", "Car")
+        .build()
+        .unwrap();
+    assert_rules(&g, &s, &[Rule::DS6]);
+}
+
+#[test]
+fn weak_only_mode_skips_directives_and_strong() {
+    let mut g = conforming_graph();
+    let u = g.nodes().find(|n| n.label() == "User").unwrap().id;
+    g.remove_node_property(u, "login"); // DS5
+    g.set_node_property(u, "shoeSize", Value::Int(4)); // SS2
+    let r = validate(&g, &schema_3_1(), &ValidationOptions::weak_only());
+    assert!(r.conforms(), "{r}");
+}
+
+#[test]
+fn multiple_violations_are_all_reported() {
+    let mut g = conforming_graph();
+    let u = g.nodes().find(|n| n.label() == "User").unwrap().id;
+    g.set_node_property(u, "login", Value::Int(1)); // WS1
+    g.set_node_property(u, "ghost", Value::Int(2)); // SS2
+    g.add_node("Alien"); // SS1
+    let [naive, indexed] = both_engines(&g, &schema_3_1());
+    assert_eq!(naive, indexed);
+    assert_eq!(naive.len(), 3);
+    assert_eq!(naive.counts().len(), 3);
+}

@@ -1,0 +1,470 @@
+//! Violation injection.
+//!
+//! [`inject`] mutates a conforming graph so that it violates (at least)
+//! one chosen rule. Each [`Defect`] targets exactly one rule of §5; the
+//! detection-matrix test (E10) asserts the validator flags the targeted
+//! rule after injection. Injection is deterministic given the graph.
+//!
+//! Some defects are only *applicable* if the schema/graph has a matching
+//! site (e.g. a `@noLoops` relationship for [`Defect::AddLoop`]);
+//! `inject` returns `false` when no applicable site exists.
+
+use pg_schema::{PgSchema, Rule};
+use pgraph::{PropertyGraph, Value};
+
+/// One class of injectable defect, mapped to the rule it violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Defect {
+    /// WS1: overwrite a declared node property with a wrong-typed value.
+    WrongNodePropertyType,
+    /// WS2: overwrite a declared edge property with a wrong-typed value.
+    WrongEdgePropertyType,
+    /// WS3: retarget-like defect — add an edge with a declared label to a
+    /// node of the wrong type.
+    WrongEdgeTarget,
+    /// WS4: duplicate an edge of a non-list relationship.
+    DuplicateNonListEdge,
+    /// DS1: duplicate a `@distinct` edge (same endpoints).
+    DuplicateDistinctEdge,
+    /// DS2: add a self-loop on a `@noLoops` relationship.
+    AddLoop,
+    /// DS3: give a target a second incoming `@uniqueForTarget` edge.
+    SecondIncomingEdge,
+    /// DS4: strip all incoming `@requiredForTarget` edges from a target.
+    RemoveRequiredIncoming,
+    /// DS5: remove a `@required` property.
+    RemoveRequiredProperty,
+    /// DS6: remove all edges of a `@required` relationship from a node.
+    RemoveRequiredEdge,
+    /// DS7: copy one node's key values onto another node of the same type.
+    DuplicateKey,
+    /// SS1: relabel a node to an unknown label.
+    UnknownNodeLabel,
+    /// SS2: add an undeclared node property.
+    UndeclaredNodeProperty,
+    /// SS3: add an undeclared edge property.
+    UndeclaredEdgeProperty,
+    /// SS4: add an edge with an undeclared label.
+    UndeclaredEdgeLabel,
+}
+
+impl Defect {
+    /// All defects, in rule order.
+    pub const ALL: [Defect; 15] = [
+        Defect::WrongNodePropertyType,
+        Defect::WrongEdgePropertyType,
+        Defect::WrongEdgeTarget,
+        Defect::DuplicateNonListEdge,
+        Defect::DuplicateDistinctEdge,
+        Defect::AddLoop,
+        Defect::SecondIncomingEdge,
+        Defect::RemoveRequiredIncoming,
+        Defect::RemoveRequiredProperty,
+        Defect::RemoveRequiredEdge,
+        Defect::DuplicateKey,
+        Defect::UnknownNodeLabel,
+        Defect::UndeclaredNodeProperty,
+        Defect::UndeclaredEdgeProperty,
+        Defect::UndeclaredEdgeLabel,
+    ];
+
+    /// The rule this defect violates.
+    pub fn rule(self) -> Rule {
+        match self {
+            Defect::WrongNodePropertyType => Rule::WS1,
+            Defect::WrongEdgePropertyType => Rule::WS2,
+            Defect::WrongEdgeTarget => Rule::WS3,
+            Defect::DuplicateNonListEdge => Rule::WS4,
+            Defect::DuplicateDistinctEdge => Rule::DS1,
+            Defect::AddLoop => Rule::DS2,
+            Defect::SecondIncomingEdge => Rule::DS3,
+            Defect::RemoveRequiredIncoming => Rule::DS4,
+            Defect::RemoveRequiredProperty => Rule::DS5,
+            Defect::RemoveRequiredEdge => Rule::DS6,
+            Defect::DuplicateKey => Rule::DS7,
+            Defect::UnknownNodeLabel => Rule::SS1,
+            Defect::UndeclaredNodeProperty => Rule::SS2,
+            Defect::UndeclaredEdgeProperty => Rule::SS3,
+            Defect::UndeclaredEdgeLabel => Rule::SS4,
+        }
+    }
+}
+
+/// Applies the defect to the first applicable site. Returns `true` if an
+/// applicable site was found and mutated.
+pub fn inject(g: &mut PropertyGraph, schema: &PgSchema, defect: Defect) -> bool {
+    match defect {
+        Defect::WrongNodePropertyType => {
+            for n in g.node_ids().collect::<Vec<_>>() {
+                let label = g.node_label(n).unwrap_or("").to_owned();
+                let props: Vec<String> = g
+                    .node(n)
+                    .map(|nr| nr.properties().map(|(k, _)| k.to_owned()).collect())
+                    .unwrap_or_default();
+                for p in props {
+                    if let Some(attr) = schema.attribute(&label, &p) {
+                        // A bare list value never conforms to a non-list
+                        // type and vice versa; Bool breaks most scalars.
+                        let bad = if attr.ty.is_list() {
+                            Value::Bool(true)
+                        } else {
+                            Value::List(vec![Value::Bool(true)])
+                        };
+                        g.set_node_property(n, p, bad);
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        Defect::WrongEdgePropertyType => {
+            for e in g.edge_ids().collect::<Vec<_>>() {
+                let (src, _) = g.edge_endpoints(e).unwrap();
+                let src_label = g.node_label(src).unwrap_or("").to_owned();
+                let elabel = g.edge_label(e).unwrap_or("").to_owned();
+                let Some(rel) = schema.relationship(&src_label, &elabel) else {
+                    continue;
+                };
+                let props: Vec<String> = g
+                    .edge(e)
+                    .map(|er| er.properties().map(|(k, _)| k.to_owned()).collect())
+                    .unwrap_or_default();
+                for p in props {
+                    if let Some(ep) = rel.edge_props.iter().find(|x| x.name == p) {
+                        let bad = if ep.ty.is_list() {
+                            Value::Bool(true)
+                        } else {
+                            Value::List(vec![Value::Bool(true)])
+                        };
+                        g.set_edge_property(e, p, bad);
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        Defect::WrongEdgeTarget => {
+            // Find a node with a relationship whose target base has no
+            // subtype relation to the source's own type, then point the
+            // edge at a node of the source's type.
+            let nodes: Vec<_> = g.node_ids().collect();
+            for &v in &nodes {
+                let label = g.node_label(v).unwrap_or("").to_owned();
+                let Some(t) = schema.label_type(&label) else {
+                    continue;
+                };
+                for rel in schema.relationships(t).to_vec() {
+                    // A same-labelled second node as (wrong) target.
+                    let bad_target = nodes.iter().copied().find(|&w| {
+                        g.node_label(w) == Some(&label)
+                            && !schema.label_subtype(&label, rel.target_base)
+                    });
+                    if let Some(w) = bad_target {
+                        g.add_edge(v, w, rel.name.clone()).unwrap();
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        Defect::DuplicateNonListEdge => {
+            for e in g.edge_ids().collect::<Vec<_>>() {
+                let (src, dst) = g.edge_endpoints(e).unwrap();
+                let src_label = g.node_label(src).unwrap_or("").to_owned();
+                let elabel = g.edge_label(e).unwrap_or("").to_owned();
+                if let Some(rel) = schema.relationship(&src_label, &elabel) {
+                    if !rel.multi {
+                        let new = g.add_edge(src, dst, elabel).unwrap();
+                        copy_mandatory_props(g, schema, new);
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        Defect::DuplicateDistinctEdge => {
+            for e in g.edge_ids().collect::<Vec<_>>() {
+                let (src, dst) = g.edge_endpoints(e).unwrap();
+                let src_label = g.node_label(src).unwrap_or("").to_owned();
+                let elabel = g.edge_label(e).unwrap_or("").to_owned();
+                let distinct = schema.constraint_sites().iter().any(|site| {
+                    site.rel.name == elabel
+                        && site.rel.distinct
+                        && schema.label_subtype(&src_label, site.site)
+                });
+                if distinct {
+                    let new = g.add_edge(src, dst, elabel).unwrap();
+                    copy_mandatory_props(g, schema, new);
+                    return true;
+                }
+            }
+            false
+        }
+        Defect::AddLoop => {
+            for site in schema.constraint_sites() {
+                if !site.rel.no_loops {
+                    continue;
+                }
+                // A node below both the site (source side) and the target
+                // base (so only DS2 fires, not WS3).
+                let candidate = g.node_ids().find(|&v| {
+                    let l = g.node_label(v).unwrap_or("");
+                    schema.label_subtype(l, site.site)
+                        && schema.label_subtype(l, site.rel.target_base)
+                });
+                if let Some(v) = candidate {
+                    let e = g.add_edge(v, v, site.rel.name.clone()).unwrap();
+                    copy_mandatory_props(g, schema, e);
+                    return true;
+                }
+            }
+            false
+        }
+        Defect::SecondIncomingEdge => {
+            for e in g.edge_ids().collect::<Vec<_>>() {
+                let (src, dst) = g.edge_endpoints(e).unwrap();
+                let src_label = g.node_label(src).unwrap_or("").to_owned();
+                let elabel = g.edge_label(e).unwrap_or("").to_owned();
+                let unique = schema.constraint_sites().iter().any(|site| {
+                    site.rel.name == elabel
+                        && site.rel.unique_for_target
+                        && schema.label_subtype(&src_label, site.site)
+                });
+                if !unique {
+                    continue;
+                }
+                // A second source of the same type, not already pointing
+                // at dst; parallel duplicates work too.
+                let second = g
+                    .node_ids()
+                    .find(|&v| v != src && g.node_label(v) == Some(&src_label))
+                    .unwrap_or(src);
+                let rel_multi = schema
+                    .relationship(&src_label, &elabel)
+                    .is_some_and(|r| r.multi);
+                if second == src && !rel_multi {
+                    continue; // duplicating would hit WS4 instead
+                }
+                let new = g.add_edge(second, dst, elabel).unwrap();
+                copy_mandatory_props(g, schema, new);
+                return true;
+            }
+            false
+        }
+        Defect::RemoveRequiredIncoming => {
+            for site in schema.constraint_sites() {
+                if !site.rel.required_for_target {
+                    continue;
+                }
+                let obligated = g
+                    .node_ids()
+                    .find(|&w| {
+                        g.node_label(w)
+                            .is_some_and(|l| schema.label_subtype_wrapped(l, &site.rel.ty))
+                    });
+                if let Some(w) = obligated {
+                    let incoming: Vec<_> = g
+                        .in_edges(w)
+                        .filter(|e| e.label() == site.rel.name)
+                        .map(|e| e.id)
+                        .collect();
+                    for e in incoming {
+                        g.remove_edge(e).unwrap();
+                    }
+                    return true;
+                }
+            }
+            false
+        }
+        Defect::RemoveRequiredProperty => {
+            for n in g.node_ids().collect::<Vec<_>>() {
+                let label = g.node_label(n).unwrap_or("").to_owned();
+                let Some(t) = schema.label_type(&label) else {
+                    continue;
+                };
+                for attr in schema.attributes(t).to_vec() {
+                    if attr.required && g.node_property(n, &attr.name).is_some() {
+                        g.remove_node_property(n, &attr.name);
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        Defect::RemoveRequiredEdge => {
+            for n in g.node_ids().collect::<Vec<_>>() {
+                let label = g.node_label(n).unwrap_or("").to_owned();
+                let Some(t) = schema.label_type(&label) else {
+                    continue;
+                };
+                for rel in schema.relationships(t).to_vec() {
+                    if !rel.required {
+                        continue;
+                    }
+                    let out: Vec<_> = g
+                        .out_edges(n)
+                        .filter(|e| e.label() == rel.name)
+                        .map(|e| e.id)
+                        .collect();
+                    if out.is_empty() {
+                        continue;
+                    }
+                    for e in out {
+                        g.remove_edge(e).unwrap();
+                    }
+                    return true;
+                }
+            }
+            false
+        }
+        Defect::DuplicateKey => {
+            for key in schema.keys() {
+                let mut seen: Option<pgraph::NodeId> = None;
+                let nodes: Vec<_> = g
+                    .node_ids()
+                    .filter(|&n| {
+                        g.node_label(n)
+                            .is_some_and(|l| schema.label_subtype(l, key.site))
+                    })
+                    .collect();
+                for &n in &nodes {
+                    match seen {
+                        None => seen = Some(n),
+                        Some(first) => {
+                            for f in &key.fields {
+                                match g.node_property(first, f).cloned() {
+                                    Some(v) => {
+                                        g.set_node_property(n, f.clone(), v);
+                                    }
+                                    None => {
+                                        g.remove_node_property(n, f);
+                                    }
+                                }
+                            }
+                            return true;
+                        }
+                    }
+                }
+            }
+            false
+        }
+        Defect::UnknownNodeLabel => {
+            let first = g.node_ids().next();
+            if let Some(n) = first {
+                // Strip properties/edges so only SS1 fires.
+                let props: Vec<String> = g
+                    .node(n)
+                    .map(|nr| nr.properties().map(|(k, _)| k.to_owned()).collect())
+                    .unwrap_or_default();
+                for p in props {
+                    g.remove_node_property(n, &p);
+                }
+                let incident: Vec<_> = g
+                    .edges()
+                    .filter(|e| e.source() == n || e.target() == n)
+                    .map(|e| e.id)
+                    .collect();
+                for e in incident {
+                    g.remove_edge(e).unwrap();
+                }
+                g.set_node_label(n, "__Unknown__").unwrap();
+                return true;
+            }
+            false
+        }
+        Defect::UndeclaredNodeProperty => {
+            let first = g.node_ids().next();
+            if let Some(n) = first {
+                g.set_node_property(n, "__ghost__", Value::Int(1));
+                return true;
+            }
+            false
+        }
+        Defect::UndeclaredEdgeProperty => {
+            let first = g.edge_ids().next();
+            if let Some(e) = first {
+                g.set_edge_property(e, "__ghost__", Value::Int(1));
+                return true;
+            }
+            false
+        }
+        Defect::UndeclaredEdgeLabel => {
+            let nodes: Vec<_> = g.node_ids().collect();
+            if let (Some(&a), Some(&b)) = (nodes.first(), nodes.get(1).or(nodes.first())) {
+                g.add_edge(a, b, "__ghostRel__").unwrap();
+                return true;
+            }
+            false
+        }
+    }
+}
+
+/// Fills the mandatory edge properties of a freshly injected edge so the
+/// injection does not *additionally* trip WS2/DS-property rules.
+fn copy_mandatory_props(g: &mut PropertyGraph, schema: &PgSchema, e: pgraph::EdgeId) {
+    let (src, _) = g.edge_endpoints(e).unwrap();
+    let src_label = g.node_label(src).unwrap_or("").to_owned();
+    let elabel = g.edge_label(e).unwrap_or("").to_owned();
+    if let Some(rel) = schema.relationship(&src_label, &elabel) {
+        for ep in rel.edge_props.clone() {
+            if ep.mandatory {
+                let v = if ep.ty.is_list() {
+                    Value::List(vec![Value::Float(1.0)])
+                } else {
+                    Value::Float(1.0)
+                };
+                g.set_edge_property(e, ep.name, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphgen::{GraphGen, GraphGenParams};
+    use crate::schemagen::social_schema;
+    use pg_schema::validate;
+
+    #[test]
+    fn each_applicable_defect_triggers_its_rule_on_the_social_schema() {
+        let schema = PgSchema::parse(social_schema()).unwrap();
+        let base = GraphGen::new(
+            &schema,
+            GraphGenParams {
+                nodes_per_type: 12,
+                ..Default::default()
+            },
+        )
+        .generate_conforming(5)
+        .unwrap();
+        let mut applicable = 0;
+        for defect in Defect::ALL {
+            let mut g = base.clone();
+            if !inject(&mut g, &schema, defect) {
+                continue;
+            }
+            applicable += 1;
+            let report = validate(&g, &schema, &Default::default());
+            assert!(
+                report.by_rule(defect.rule()).next().is_some(),
+                "{defect:?} should trigger {} but report was:\n{report}",
+                defect.rule()
+            );
+        }
+        // The social schema has sites for most defects (no
+        // required/uniqueForTarget relationships → 3 defects inapplicable,
+        // and no wrong-target site without subtype overlap).
+        assert!(applicable >= 10, "only {applicable} defects applicable");
+    }
+
+    #[test]
+    fn injection_into_empty_graph_reports_inapplicable() {
+        let schema = PgSchema::parse(social_schema()).unwrap();
+        let mut g = PropertyGraph::new();
+        for defect in Defect::ALL {
+            assert!(!inject(&mut g, &schema, defect), "{defect:?}");
+            assert_eq!(g.node_count(), 0);
+        }
+    }
+}

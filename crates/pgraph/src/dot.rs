@@ -1,0 +1,98 @@
+//! Graphviz DOT export.
+//!
+//! Renders a Property Graph as a `digraph` for quick inspection of
+//! generated witnesses and fixtures (`pgschema check-sat … | dot -Tsvg`).
+//! Labels show `λ` plus the properties; edge labels show `λ(e)` plus
+//! properties. Output is deterministic.
+
+use std::fmt::Write as _;
+
+use crate::PropertyGraph;
+
+/// Escapes a string for a double-quoted DOT label.
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Renders the graph in DOT syntax.
+pub fn to_dot(g: &PropertyGraph) -> String {
+    let mut out = String::from("digraph pg {\n    rankdir=LR;\n    node [shape=box];\n");
+    for n in g.nodes() {
+        let mut label = format!(":{}", n.label());
+        for (k, v) in n.properties() {
+            let _ = write!(label, "\\n{k} = {v}");
+        }
+        let _ = writeln!(
+            out,
+            "    n{} [label=\"{}\"];",
+            n.id.index(),
+            escape(&label).replace("\\\\n", "\\n")
+        );
+    }
+    for e in g.edges() {
+        let mut label = e.label().to_owned();
+        for (k, v) in e.properties() {
+            let _ = write!(label, "\\n{k} = {v}");
+        }
+        let _ = writeln!(
+            out,
+            "    n{} -> n{} [label=\"{}\"];",
+            e.source().index(),
+            e.target().index(),
+            escape(&label).replace("\\\\n", "\\n")
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, Value};
+
+    #[test]
+    fn renders_nodes_edges_and_properties() {
+        let g = GraphBuilder::new()
+            .node("u", "User")
+            .prop("u", "login", "alice")
+            .node("s", "Session")
+            .edge("s", "u", "user")
+            .edge_prop("certainty", 0.5)
+            .build()
+            .unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph pg {"));
+        assert!(dot.contains(":User"), "{dot}");
+        assert!(dot.contains("login = \\\"alice\\\""), "{dot}");
+        assert!(dot.contains("n1 -> n0"), "{dot}");
+        assert!(dot.contains("certainty = 0.5"), "{dot}");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn empty_graph_is_valid_dot() {
+        let dot = to_dot(&crate::PropertyGraph::new());
+        assert_eq!(dot, "digraph pg {\n    rankdir=LR;\n    node [shape=box];\n}\n");
+    }
+
+    #[test]
+    fn quotes_and_newlines_are_escaped() {
+        let mut g = crate::PropertyGraph::new();
+        let n = g.add_node("T");
+        g.set_node_property(n, "q", Value::from("say \"hi\"\nthere"));
+        let dot = to_dot(&g);
+        assert!(!dot.contains("\"hi\"\n"), "unescaped quote/newline: {dot}");
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let g = GraphBuilder::new()
+            .node("a", "A")
+            .node("b", "B")
+            .edge("a", "b", "x")
+            .build()
+            .unwrap();
+        assert_eq!(to_dot(&g), to_dot(&g));
+    }
+}

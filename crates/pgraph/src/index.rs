@@ -1,0 +1,198 @@
+//! Secondary indexes over a [`PropertyGraph`].
+//!
+//! The indexed validation engine (Theorem 1's "tractable algorithm") needs
+//! constant-time access to:
+//!
+//! * all nodes with a given label (rules SS1, DS4–DS7),
+//! * all outgoing/incoming edges of a node grouped by edge label
+//!   (rules WS3–WS4, DS1–DS6),
+//! * multiplicity of `(source, label)` and `(source, label, target)` edge
+//!   groups (rules WS4, DS1, DS3).
+//!
+//! [`GraphIndex`] computes all of these in a single `O(|V| + |E|)` pass and
+//! is immutable thereafter — the validator treats a graph snapshot, exactly
+//! like the decision problem in the paper takes `G` as a fixed input.
+
+use std::collections::HashMap;
+
+use crate::{EdgeId, NodeId, PropertyGraph};
+
+/// An immutable snapshot index of a property graph.
+#[derive(Debug, Default)]
+pub struct GraphIndex {
+    /// label -> node ids carrying that label.
+    by_label: HashMap<String, Vec<NodeId>>,
+    /// (source node, edge label) -> edge ids.
+    out_by_label: HashMap<(NodeId, String), Vec<EdgeId>>,
+    /// (target node, edge label) -> edge ids.
+    in_by_label: HashMap<(NodeId, String), Vec<EdgeId>>,
+    /// (source, edge label, target) -> parallel edge ids.
+    parallel: HashMap<(NodeId, String, NodeId), Vec<EdgeId>>,
+}
+
+impl GraphIndex {
+    /// Builds the index in one pass over the graph.
+    pub fn build(g: &PropertyGraph) -> Self {
+        let mut ix = GraphIndex::default();
+        for n in g.nodes() {
+            ix.by_label
+                .entry(n.label().to_owned())
+                .or_default()
+                .push(n.id);
+        }
+        for e in g.edges() {
+            let label = e.label().to_owned();
+            ix.out_by_label
+                .entry((e.source(), label.clone()))
+                .or_default()
+                .push(e.id);
+            ix.in_by_label
+                .entry((e.target(), label.clone()))
+                .or_default()
+                .push(e.id);
+            ix.parallel
+                .entry((e.source(), label, e.target()))
+                .or_default()
+                .push(e.id);
+        }
+        ix
+    }
+
+    /// All nodes labelled `label` (empty slice if none).
+    pub fn nodes_with_label(&self, label: &str) -> &[NodeId] {
+        self.by_label.get(label).map_or(&[], Vec::as_slice)
+    }
+
+    /// All labels that occur on nodes.
+    pub fn node_labels(&self) -> impl Iterator<Item = &str> {
+        self.by_label.keys().map(String::as_str)
+    }
+
+    /// Outgoing edges of `v` with label `label`.
+    pub fn out_edges_labelled(&self, v: NodeId, label: &str) -> &[EdgeId] {
+        // Key is (NodeId, String); build a borrowed lookup via iteration-free
+        // map access using an owned key only when present is costly, so we
+        // accept one allocation per query here. Hot paths use
+        // `out_groups()` instead, which iterates without allocating.
+        self.out_by_label
+            .get(&(v, label.to_owned()))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Incoming edges of `v` with label `label`.
+    pub fn in_edges_labelled(&self, v: NodeId, label: &str) -> &[EdgeId] {
+        self.in_by_label
+            .get(&(v, label.to_owned()))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Iterates over every `(source, label, edges)` group.
+    pub fn out_groups(&self) -> impl Iterator<Item = (NodeId, &str, &[EdgeId])> {
+        self.out_by_label
+            .iter()
+            .map(|((v, l), es)| (*v, l.as_str(), es.as_slice()))
+    }
+
+    /// Iterates over every `(target, label, edges)` group.
+    pub fn in_groups(&self) -> impl Iterator<Item = (NodeId, &str, &[EdgeId])> {
+        self.in_by_label
+            .iter()
+            .map(|((v, l), es)| (*v, l.as_str(), es.as_slice()))
+    }
+
+    /// Iterates over every `(source, label, target, parallel edges)` group.
+    pub fn parallel_groups(
+        &self,
+    ) -> impl Iterator<Item = (NodeId, &str, NodeId, &[EdgeId])> {
+        self.parallel
+            .iter()
+            .map(|((s, l, t), es)| (*s, l.as_str(), *t, es.as_slice()))
+    }
+
+    /// Parallel edges `src --label--> dst`.
+    pub fn parallel_edges(&self, src: NodeId, label: &str, dst: NodeId) -> &[EdgeId] {
+        self.parallel
+            .get(&(src, label.to_owned(), dst))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct node labels.
+    pub fn label_count(&self) -> usize {
+        self.by_label.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample() -> PropertyGraph {
+        GraphBuilder::new()
+            .node("a1", "A")
+            .node("a2", "A")
+            .node("b", "B")
+            .edge("a1", "b", "rel")
+            .edge("a1", "b", "rel") // parallel
+            .edge("a2", "b", "rel")
+            .edge("b", "a1", "back")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn label_index() {
+        let g = sample();
+        let ix = GraphIndex::build(&g);
+        assert_eq!(ix.nodes_with_label("A").len(), 2);
+        assert_eq!(ix.nodes_with_label("B").len(), 1);
+        assert_eq!(ix.nodes_with_label("C").len(), 0);
+        assert_eq!(ix.label_count(), 2);
+    }
+
+    #[test]
+    fn adjacency_groups() {
+        let g = sample();
+        let ix = GraphIndex::build(&g);
+        let a1 = ix.nodes_with_label("A")[0];
+        let b = ix.nodes_with_label("B")[0];
+        assert_eq!(ix.out_edges_labelled(a1, "rel").len(), 2);
+        assert_eq!(ix.out_edges_labelled(a1, "back").len(), 0);
+        assert_eq!(ix.in_edges_labelled(b, "rel").len(), 3);
+        assert_eq!(ix.in_edges_labelled(a1, "back").len(), 1);
+    }
+
+    #[test]
+    fn parallel_group_detection() {
+        let g = sample();
+        let ix = GraphIndex::build(&g);
+        let a1 = ix.nodes_with_label("A")[0];
+        let b = ix.nodes_with_label("B")[0];
+        assert_eq!(ix.parallel_edges(a1, "rel", b).len(), 2);
+        let max_group = ix
+            .parallel_groups()
+            .map(|(_, _, _, es)| es.len())
+            .max()
+            .unwrap();
+        assert_eq!(max_group, 2);
+    }
+
+    #[test]
+    fn index_ignores_tombstones() {
+        let mut g = sample();
+        let a1 = g.node_ids().next().unwrap();
+        g.remove_node(a1).unwrap();
+        let ix = GraphIndex::build(&g);
+        assert_eq!(ix.nodes_with_label("A").len(), 1);
+        // a1's three incident edges are gone.
+        let total_edges: usize = ix.out_groups().map(|(_, _, es)| es.len()).sum();
+        assert_eq!(total_edges, g.edge_count());
+    }
+
+    #[test]
+    fn empty_graph_index() {
+        let ix = GraphIndex::build(&PropertyGraph::new());
+        assert_eq!(ix.label_count(), 0);
+        assert_eq!(ix.out_groups().count(), 0);
+    }
+}

@@ -1,0 +1,288 @@
+//! JSON interchange for Property Graphs.
+//!
+//! The format is deliberately simple and GraphQL-value-shaped:
+//!
+//! ```json
+//! {
+//!   "nodes": [ {"id": 0, "label": "User", "properties": {"login": "alice"}} ],
+//!   "edges": [ {"id": 0, "label": "user", "source": 1, "target": 0,
+//!               "properties": {"certainty": 0.9}} ]
+//! }
+//! ```
+//!
+//! Two lossy aspects are made explicit and controlled:
+//!
+//! * JSON has no `ID`/`Enum` kinds — they are encoded as tagged objects
+//!   `{"$id": "..."}` / `{"$enum": "..."}` so decode(encode(g)) == g.
+//! * Integers outside the f64-exact range survive because we serialise
+//!   through `serde_json::Number` (i64-capable), not through floats.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{NodeId, PropertyGraph, Value};
+
+/// Errors raised while decoding a JSON graph document.
+#[derive(Debug)]
+pub enum JsonError {
+    /// The document was not syntactically valid JSON / did not match the
+    /// expected shape.
+    Parse(serde_json::Error),
+    /// An edge referenced a node id that does not appear in `nodes`.
+    DanglingEdge {
+        /// The edge's position in the `edges` array.
+        edge_index: usize,
+        /// The missing node id.
+        node: u32,
+    },
+    /// A property value used a JSON feature the Value model cannot hold
+    /// (e.g. a nested object that is not an `$id`/`$enum` tag).
+    BadValue(String),
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Parse(e) => write!(f, "invalid graph JSON: {e}"),
+            JsonError::DanglingEdge { edge_index, node } => {
+                write!(f, "edge #{edge_index} references unknown node {node}")
+            }
+            JsonError::BadValue(msg) => write!(f, "unsupported property value: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl From<serde_json::Error> for JsonError {
+    fn from(e: serde_json::Error) -> Self {
+        JsonError::Parse(e)
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct NodeDoc {
+    id: u32,
+    label: String,
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    properties: BTreeMap<String, serde_json::Value>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct EdgeDoc {
+    id: u32,
+    label: String,
+    source: u32,
+    target: u32,
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    properties: BTreeMap<String, serde_json::Value>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct GraphDoc {
+    nodes: Vec<NodeDoc>,
+    edges: Vec<EdgeDoc>,
+}
+
+fn value_to_json(v: &Value) -> serde_json::Value {
+    use serde_json::json;
+    match v {
+        Value::Int(i) => json!(i),
+        Value::Float(f) => {
+            serde_json::Number::from_f64(*f).map_or(serde_json::Value::Null, serde_json::Value::Number)
+        }
+        Value::String(s) => json!(s),
+        Value::Bool(b) => json!(b),
+        Value::Id(s) => json!({ "$id": s }),
+        Value::Enum(s) => json!({ "$enum": s }),
+        Value::List(items) => {
+            serde_json::Value::Array(items.iter().map(value_to_json).collect())
+        }
+        Value::Null => serde_json::Value::Null,
+    }
+}
+
+fn value_from_json(v: &serde_json::Value) -> Result<Value, JsonError> {
+    match v {
+        serde_json::Value::Null => Ok(Value::Null),
+        serde_json::Value::Bool(b) => Ok(Value::Bool(*b)),
+        serde_json::Value::Number(n) => {
+            if let Some(i) = n.as_i64() {
+                Ok(Value::Int(i))
+            } else if let Some(f) = n.as_f64() {
+                Ok(Value::Float(f))
+            } else {
+                Err(JsonError::BadValue(format!("number out of range: {n}")))
+            }
+        }
+        serde_json::Value::String(s) => Ok(Value::String(s.clone())),
+        serde_json::Value::Array(items) => Ok(Value::List(
+            items.iter().map(value_from_json).collect::<Result<_, _>>()?,
+        )),
+        serde_json::Value::Object(map) => {
+            if map.len() == 1 {
+                if let Some(serde_json::Value::String(s)) = map.get("$id") {
+                    return Ok(Value::Id(s.clone()));
+                }
+                if let Some(serde_json::Value::String(s)) = map.get("$enum") {
+                    return Ok(Value::Enum(s.clone()));
+                }
+            }
+            Err(JsonError::BadValue(format!(
+                "objects other than $id/$enum tags are not property values: {map:?}"
+            )))
+        }
+    }
+}
+
+/// Serialises a graph to its canonical (pretty) JSON document.
+pub fn to_json(g: &PropertyGraph) -> String {
+    let doc = GraphDoc {
+        nodes: g
+            .nodes()
+            .map(|n| NodeDoc {
+                id: n.id.index() as u32,
+                label: n.label().to_owned(),
+                properties: n
+                    .properties()
+                    .map(|(k, v)| (k.to_owned(), value_to_json(v)))
+                    .collect(),
+            })
+            .collect(),
+        edges: g
+            .edges()
+            .map(|e| EdgeDoc {
+                id: e.id.index() as u32,
+                label: e.label().to_owned(),
+                source: e.source().index() as u32,
+                target: e.target().index() as u32,
+                properties: e
+                    .properties()
+                    .map(|(k, v)| (k.to_owned(), value_to_json(v)))
+                    .collect(),
+            })
+            .collect(),
+    };
+    serde_json::to_string_pretty(&doc).expect("graph doc serialises")
+}
+
+/// Parses a graph from its JSON document. Node ids in the document are
+/// arbitrary distinct numbers; they are remapped to dense ids.
+pub fn from_json(text: &str) -> Result<PropertyGraph, JsonError> {
+    let doc: GraphDoc = serde_json::from_str(text)?;
+    let mut g = PropertyGraph::with_capacity(doc.nodes.len(), doc.edges.len());
+    let mut remap = std::collections::HashMap::with_capacity(doc.nodes.len());
+    for n in &doc.nodes {
+        let id = g.add_node(n.label.clone());
+        remap.insert(n.id, id);
+        for (k, v) in &n.properties {
+            g.set_node_property(id, k.clone(), value_from_json(v)?);
+        }
+    }
+    for (ix, e) in doc.edges.iter().enumerate() {
+        let src = *remap.get(&e.source).ok_or(JsonError::DanglingEdge {
+            edge_index: ix,
+            node: e.source,
+        })?;
+        let dst: NodeId = *remap.get(&e.target).ok_or(JsonError::DanglingEdge {
+            edge_index: ix,
+            node: e.target,
+        })?;
+        let eid = g.add_edge(src, dst, e.label.clone()).expect("remapped");
+        for (k, v) in &e.properties {
+            g.set_edge_property(eid, k.clone(), value_from_json(v)?);
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample() -> PropertyGraph {
+        let mut g = GraphBuilder::new()
+            .node("u", "User")
+            .prop("u", "login", "alice")
+            .prop("u", "age", 30i64)
+            .node("s", "UserSession")
+            .edge("s", "u", "user")
+            .edge_prop("certainty", 0.75)
+            .build()
+            .unwrap();
+        let u = g.node_ids().next().unwrap();
+        g.set_node_property(u, "id", Value::Id("u-17".into()));
+        g.set_node_property(
+            u,
+            "nicknames",
+            Value::from(vec!["al", "lice"]),
+        );
+        g.set_node_property(u, "unit", Value::Enum("METER".into()));
+        g
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = sample();
+        let text = to_json(&g);
+        let g2 = from_json(&text).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn id_and_enum_survive_roundtrip() {
+        let g = sample();
+        let g2 = from_json(&to_json(&g)).unwrap();
+        let u = g2.nodes().find(|n| n.label() == "User").unwrap();
+        assert_eq!(u.property("id"), Some(&Value::Id("u-17".into())));
+        assert_eq!(u.property("unit"), Some(&Value::Enum("METER".into())));
+    }
+
+    #[test]
+    fn large_integers_are_exact() {
+        let mut g = PropertyGraph::new();
+        let n = g.add_node("N");
+        let big = (1i64 << 60) + 7;
+        g.set_node_property(n, "big", Value::Int(big));
+        let g2 = from_json(&to_json(&g)).unwrap();
+        let n2 = g2.nodes().next().unwrap();
+        assert_eq!(n2.property("big"), Some(&Value::Int(big)));
+    }
+
+    #[test]
+    fn dangling_edge_is_reported() {
+        let text = r#"{"nodes":[{"id":0,"label":"A"}],
+                       "edges":[{"id":0,"label":"rel","source":0,"target":9}]}"#;
+        match from_json(text) {
+            Err(JsonError::DanglingEdge { edge_index: 0, node: 9 }) => {}
+            other => panic!("expected dangling edge error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arbitrary_objects_are_rejected() {
+        let text = r#"{"nodes":[{"id":0,"label":"A",
+                        "properties":{"bad":{"x":1}}}],"edges":[]}"#;
+        assert!(matches!(from_json(text), Err(JsonError::BadValue(_))));
+    }
+
+    #[test]
+    fn sparse_document_ids_are_remapped() {
+        let text = r#"{"nodes":[{"id":100,"label":"A"},{"id":7,"label":"B"}],
+                       "edges":[{"id":3,"label":"rel","source":100,"target":7}]}"#;
+        let g = from_json(text).unwrap();
+        assert_eq!(g.node_count(), 2);
+        let e = g.edges().next().unwrap();
+        assert_eq!(g.node_label(e.source()), Some("A"));
+        assert_eq!(g.node_label(e.target()), Some("B"));
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let g = PropertyGraph::new();
+        assert_eq!(from_json(&to_json(&g)).unwrap(), g);
+    }
+}

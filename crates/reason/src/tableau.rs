@@ -1,0 +1,750 @@
+//! A completion-tree tableau for ALCQI.
+//!
+//! Decides concept satisfiability w.r.t. the (internalised) TBox, i.e.
+//! *unrestricted* satisfiability — models may be infinite; termination on
+//! infinite-model schemas comes from **pairwise blocking** (required in
+//! the presence of inverse roles and number restrictions).
+//!
+//! The calculus is the standard one for SHIQ restricted to ALCQI:
+//!
+//! * ⊓-, ⊔-rules; the TBox rule adds every internalised global constraint
+//!   to every node;
+//! * ∀-rule over role neighbours (successors and, via inverse, the
+//!   predecessor);
+//! * ≥-rule: generate `n` fresh, pairwise-distinct successors (only on
+//!   non-blocked nodes);
+//! * choose-rule: every neighbour of a `≤n R.C` node decides `C` vs `¬C`;
+//! * ≤-rule: too many `R.C`-neighbours → merge a non-distinct pair
+//!   (with pruning, and edge rewiring when merging into the predecessor);
+//!   all pairwise distinct → clash.
+//!
+//! Nondeterminism (⊔, choose, merge-pair selection) is explored by
+//! depth-first search over cloned states, bounded by
+//! [`crate::ReasonerConfig`] budgets.
+
+use std::collections::BTreeSet;
+
+use crate::concept::{Concept, Role, TBox};
+use crate::ReasonerConfig;
+
+/// The three-valued tableau outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableauOutcome {
+    /// A complete, clash-free completion tree exists: the concept is
+    /// satisfiable (possibly only in an infinite model).
+    Satisfiable,
+    /// Every branch closes: unsatisfiable.
+    Unsatisfiable,
+    /// Node or branch budget exhausted before a verdict.
+    ResourceLimit,
+}
+
+/// Checks satisfiability of the named concept w.r.t. the TBox. A name
+/// never interned in the TBox denotes a fresh concept, which (with the
+/// covering axiom over object types) is unsatisfiable for schema TBoxes.
+pub fn check_concept_by_name(
+    tbox: &TBox,
+    name: &str,
+    config: &ReasonerConfig,
+) -> TableauOutcome {
+    match tbox.find_concept(name) {
+        Some(id) => check_concept(tbox, &Concept::Name(id), config),
+        None => TableauOutcome::Unsatisfiable,
+    }
+}
+
+/// Checks satisfiability of an arbitrary concept w.r.t. the TBox.
+///
+/// The search recursion depth is proportional to the number of choice
+/// points on the current branch, which the branch budget allows to grow
+/// into the tens of thousands — so the search runs on a dedicated thread
+/// with a large stack, with an additional explicit depth cap as the
+/// second line of defence (exceeding it reports `ResourceLimit`).
+pub fn check_concept(tbox: &TBox, concept: &Concept, config: &ReasonerConfig) -> TableauOutcome {
+    let tbox = tbox.clone();
+    let concept = concept.clone();
+    let config = *config;
+    std::thread::Builder::new()
+        .name("alcqi-tableau".to_owned())
+        .stack_size(256 * 1024 * 1024)
+        .spawn(move || check_concept_on_this_stack(&tbox, &concept, &config))
+        .expect("tableau thread spawns")
+        .join()
+        .expect("tableau thread completes")
+}
+
+fn check_concept_on_this_stack(
+    tbox: &TBox,
+    concept: &Concept,
+    config: &ReasonerConfig,
+) -> TableauOutcome {
+    let mut engine = Engine {
+        tbox,
+        config,
+        branches_used: 0,
+        hit_limit: false,
+    };
+    let mut state = State::new(concept.clone());
+    let sat = engine.search(&mut state, 0);
+    if sat {
+        TableauOutcome::Satisfiable
+    } else if engine.hit_limit {
+        TableauOutcome::ResourceLimit
+    } else {
+        TableauOutcome::Unsatisfiable
+    }
+}
+
+/// Hard cap on choice-point nesting; far below what a 256 MiB stack
+/// supports, far above what real schemas need.
+const MAX_SEARCH_DEPTH: usize = 50_000;
+
+#[derive(Clone)]
+struct NodeData {
+    label: BTreeSet<Concept>,
+    parent: Option<usize>,
+    /// Roles `r` with `parent --r--> self`.
+    edge_roles: BTreeSet<Role>,
+    children: Vec<usize>,
+    distinct_from: BTreeSet<usize>,
+    alive: bool,
+}
+
+#[derive(Clone)]
+struct State {
+    nodes: Vec<NodeData>,
+}
+
+impl State {
+    fn new(root_concept: Concept) -> Self {
+        let mut label = BTreeSet::new();
+        label.insert(root_concept.simplify());
+        State {
+            nodes: vec![NodeData {
+                label,
+                parent: None,
+                edge_roles: BTreeSet::new(),
+                children: Vec::new(),
+                distinct_from: BTreeSet::new(),
+                alive: true,
+            }],
+        }
+    }
+
+    fn alive_nodes(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.nodes.len()).filter(|&i| self.nodes[i].alive)
+    }
+
+    /// All `role`-neighbours of `x`: children reached by `role`, plus the
+    /// parent if the inverse role labels the edge into `x`.
+    fn neighbours(&self, x: usize, role: Role) -> Vec<usize> {
+        let mut out = Vec::new();
+        for &c in &self.nodes[x].children {
+            if self.nodes[c].alive && self.nodes[c].edge_roles.contains(&role) {
+                out.push(c);
+            }
+        }
+        if let Some(p) = self.nodes[x].parent {
+            if self.nodes[p].alive && self.nodes[x].edge_roles.contains(&role.inverted()) {
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    fn distinct(&self, a: usize, b: usize) -> bool {
+        self.nodes[a].distinct_from.contains(&b)
+    }
+
+    fn mark_distinct(&mut self, a: usize, b: usize) {
+        self.nodes[a].distinct_from.insert(b);
+        self.nodes[b].distinct_from.insert(a);
+    }
+
+    fn add_child(&mut self, parent: usize, role: Role, concepts: Vec<Concept>) -> usize {
+        let ix = self.nodes.len();
+        let mut label = BTreeSet::new();
+        for c in concepts {
+            label.insert(c.simplify());
+        }
+        let mut edge_roles = BTreeSet::new();
+        edge_roles.insert(role);
+        self.nodes.push(NodeData {
+            label,
+            parent: Some(parent),
+            edge_roles,
+            children: Vec::new(),
+            distinct_from: BTreeSet::new(),
+            alive: true,
+        });
+        self.nodes[parent].children.push(ix);
+        ix
+    }
+
+    /// Removes `y` and its whole subtree.
+    fn prune(&mut self, y: usize) {
+        let mut stack = vec![y];
+        while let Some(n) = stack.pop() {
+            self.nodes[n].alive = false;
+            let children = std::mem::take(&mut self.nodes[n].children);
+            stack.extend(children);
+        }
+    }
+
+    /// Merges node `y` (a child of `x`) into `target`, which is either a
+    /// sibling child of `x` or the parent of `x`. Returns false on a
+    /// distinctness clash.
+    fn merge(&mut self, x: usize, y: usize, target: usize) -> bool {
+        if self.distinct(y, target) {
+            return false;
+        }
+        let label: Vec<Concept> = self.nodes[y].label.iter().cloned().collect();
+        self.nodes[target].label.extend(label);
+        let distinct: Vec<usize> = self.nodes[y].distinct_from.iter().copied().collect();
+        for d in distinct {
+            self.mark_distinct(target, d);
+        }
+        if self.nodes[x].parent == Some(target) {
+            // Merging a child into the predecessor: the edge x→y becomes
+            // an edge x→parent, recorded as inverse roles on x's own edge.
+            let roles: Vec<Role> = self.nodes[y].edge_roles.iter().copied().collect();
+            for r in roles {
+                self.nodes[x].edge_roles.insert(r.inverted());
+            }
+        } else {
+            // Sibling merge: target keeps x as parent, unions edge roles.
+            let roles: Vec<Role> = self.nodes[y].edge_roles.iter().copied().collect();
+            self.nodes[target].edge_roles.extend(roles);
+        }
+        self.prune(y);
+        true
+    }
+
+    /// Pairwise blocking: `x` (with parent `x'`) is directly blocked by an
+    /// ancestor pair `(y, y')` with identical labels and edge roles.
+    fn blocked(&self, x: usize) -> bool {
+        let mut cur = x;
+        // A node is blocked if it or any ancestor is directly blocked.
+        loop {
+            if self.directly_blocked(cur) {
+                return true;
+            }
+            match self.nodes[cur].parent {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    fn directly_blocked(&self, x: usize) -> bool {
+        let Some(xp) = self.nodes[x].parent else {
+            return false;
+        };
+        // Walk strict ancestors y of x (with their parents y').
+        let mut y = xp;
+        loop {
+            let Some(yp) = self.nodes[y].parent else {
+                return false;
+            };
+            if self.nodes[x].label == self.nodes[y].label
+                && self.nodes[xp].label == self.nodes[yp].label
+                && self.nodes[x].edge_roles == self.nodes[y].edge_roles
+            {
+                return true;
+            }
+            y = yp;
+        }
+    }
+
+    fn has_clash(&self) -> bool {
+        for x in self.alive_nodes() {
+            let label = &self.nodes[x].label;
+            if label.contains(&Concept::Bottom) {
+                return true;
+            }
+            for c in label {
+                if let Concept::Name(n) = c {
+                    if label.contains(&Concept::NegName(*n)) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+/// One applicable rule instance found by the scanner.
+enum Todo {
+    AddToLabel(usize, Vec<Concept>),
+    Or(usize, Vec<Concept>),
+    Generate {
+        node: usize,
+        n: u32,
+        role: Role,
+        concept: Concept,
+    },
+    Choose(usize, Concept),
+    MergePairs {
+        x: usize,
+        pairs: Vec<(usize, usize)>,
+    },
+    Clash,
+}
+
+struct Engine<'a> {
+    tbox: &'a TBox,
+    config: &'a ReasonerConfig,
+    branches_used: usize,
+    hit_limit: bool,
+}
+
+impl Engine<'_> {
+    fn search(&mut self, state: &mut State, depth: usize) -> bool {
+        if depth > MAX_SEARCH_DEPTH {
+            self.hit_limit = true;
+            return false;
+        }
+        loop {
+            if state.nodes.len() > self.config.max_tableau_nodes {
+                self.hit_limit = true;
+                return false;
+            }
+            if state.has_clash() {
+                return false;
+            }
+            match self.find_todo(state) {
+                None => return true, // complete and clash-free
+                Some(Todo::Clash) => return false,
+                Some(Todo::AddToLabel(x, cs)) => {
+                    for c in cs {
+                        state.nodes[x].label.insert(c.simplify());
+                    }
+                }
+                Some(Todo::Or(x, options)) => {
+                    return self.branch(state, depth, |st, opt: &Concept| {
+                        st.nodes[x].label.insert(opt.clone().simplify());
+                        true
+                    }, &options);
+                }
+                Some(Todo::Generate {
+                    node,
+                    n,
+                    role,
+                    concept,
+                }) => {
+                    let mut created = Vec::new();
+                    for _ in 0..n {
+                        let c = state.add_child(node, role, vec![concept.clone()]);
+                        created.push(c);
+                    }
+                    for (i, &a) in created.iter().enumerate() {
+                        for &b in created.iter().skip(i + 1) {
+                            state.mark_distinct(a, b);
+                        }
+                    }
+                }
+                Some(Todo::Choose(y, concept)) => {
+                    let options = vec![concept.clone(), concept.negate()];
+                    return self.branch(state, depth, |st, opt: &Concept| {
+                        st.nodes[y].label.insert(opt.clone().simplify());
+                        true
+                    }, &options);
+                }
+                Some(Todo::MergePairs { x, pairs }) => {
+                    return self.branch(state, depth, |st, &(keep, gone): &(usize, usize)| {
+                        // Merge `gone` into `keep`; if `keep` is x's
+                        // parent the child is folded upward, otherwise a
+                        // sibling merge. Ensure `gone` is a child of x.
+                        st.merge(x, gone, keep)
+                    }, &pairs);
+                }
+            }
+        }
+    }
+
+    /// Tries each option on a cloned state; true if any branch completes.
+    fn branch<T>(
+        &mut self,
+        state: &State,
+        depth: usize,
+        apply: impl Fn(&mut State, &T) -> bool,
+        options: &[T],
+    ) -> bool {
+        for opt in options {
+            self.branches_used += 1;
+            if self.branches_used > self.config.max_tableau_branches {
+                self.hit_limit = true;
+                return false;
+            }
+            let mut next = state.clone();
+            if !apply(&mut next, opt) {
+                continue;
+            }
+            if self.search(&mut next, depth + 1) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Deterministically scans for the first applicable rule.
+    fn find_todo(&self, state: &State) -> Option<Todo> {
+        let alive: Vec<usize> = state.alive_nodes().collect();
+        // TBox rule first: every node carries every global constraint.
+        for &x in &alive {
+            let missing: Vec<Concept> = self
+                .tbox
+                .globals
+                .iter()
+                .filter(|g| !state.nodes[x].label.contains(*g))
+                .cloned()
+                .collect();
+            if !missing.is_empty() {
+                return Some(Todo::AddToLabel(x, missing));
+            }
+        }
+        // ⊓-rule.
+        for &x in &alive {
+            for c in &state.nodes[x].label {
+                if let Concept::And(cs) = c {
+                    let missing: Vec<Concept> = cs
+                        .iter()
+                        .filter(|cc| !state.nodes[x].label.contains(*cc))
+                        .cloned()
+                        .collect();
+                    if !missing.is_empty() {
+                        return Some(Todo::AddToLabel(x, missing));
+                    }
+                }
+            }
+        }
+        // ∀-rule.
+        for &x in &alive {
+            for c in &state.nodes[x].label {
+                if let Concept::Forall(r, inner) = c {
+                    for y in state.neighbours(x, *r) {
+                        if !state.nodes[y].label.contains(inner.as_ref()) {
+                            return Some(Todo::AddToLabel(y, vec![(**inner).clone()]));
+                        }
+                    }
+                }
+            }
+        }
+        // choose-rule (before ≤ so merges count correctly). Membership is
+        // checked against the *simplified* forms — labels only ever hold
+        // simplified concepts.
+        for &x in &alive {
+            for c in &state.nodes[x].label {
+                if let Concept::AtMost(_, r, inner) = c {
+                    let neg = inner.negate().simplify();
+                    for y in state.neighbours(x, *r) {
+                        let has_c = state.nodes[y].label.contains(inner.as_ref());
+                        let has_not_c = state.nodes[y].label.contains(&neg);
+                        if !has_c && !has_not_c {
+                            return Some(Todo::Choose(y, (**inner).clone()));
+                        }
+                    }
+                }
+            }
+        }
+        // ⊔-rule.
+        for &x in &alive {
+            for c in &state.nodes[x].label {
+                if let Concept::Or(cs) = c {
+                    if cs.iter().all(|cc| !state.nodes[x].label.contains(cc)) {
+                        return Some(Todo::Or(x, cs.clone()));
+                    }
+                }
+            }
+        }
+        // ≤-rule (merge) before ≥ (generate) to keep trees small.
+        for &x in &alive {
+            for c in &state.nodes[x].label {
+                if let Concept::AtMost(n, r, inner) = c {
+                    let holders: Vec<usize> = state
+                        .neighbours(x, *r)
+                        .into_iter()
+                        .filter(|&y| state.nodes[y].label.contains(inner.as_ref()))
+                        .collect();
+                    if holders.len() > *n as usize {
+                        // Candidate merge pairs (gone must be a child of
+                        // x, so the parent — if among holders — can only
+                        // be the `keep` side).
+                        let mut pairs = Vec::new();
+                        for (i, &a) in holders.iter().enumerate() {
+                            for &b in holders.iter().skip(i + 1) {
+                                if state.distinct(a, b) {
+                                    continue;
+                                }
+                                // The dropped side must be a child of x,
+                                // so a parent among the pair is always the
+                                // `keep` side.
+                                let parent = state.nodes[x].parent;
+                                if Some(b) == parent {
+                                    pairs.push((b, a));
+                                } else {
+                                    pairs.push((a, b));
+                                }
+                            }
+                        }
+                        if pairs.is_empty() {
+                            return Some(Todo::Clash);
+                        }
+                        return Some(Todo::MergePairs { x, pairs });
+                    }
+                }
+            }
+        }
+        // ≥-rule (generating; skipped on blocked nodes).
+        for &x in &alive {
+            if state.blocked(x) {
+                continue;
+            }
+            for c in &state.nodes[x].label {
+                if let Concept::AtLeast(n, r, inner) = c {
+                    let holders: Vec<usize> = state
+                        .neighbours(x, *r)
+                        .into_iter()
+                        .filter(|&y| state.nodes[y].label.contains(inner.as_ref()))
+                        .collect();
+                    // Satisfied if n pairwise-distinct holders exist. With
+                    // n ∈ {1, 2} a simple check suffices; for general n we
+                    // approximate by requiring n holders that are pairwise
+                    // distinct (conservative: may regenerate).
+                    let satisfied = count_pairwise_distinct(state, &holders) >= *n as usize;
+                    if !satisfied {
+                        return Some(Todo::Generate {
+                            node: x,
+                            n: *n,
+                            role: *r,
+                            concept: (**inner).clone(),
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Size of a greedy pairwise-distinct subset of `nodes`.
+fn count_pairwise_distinct(state: &State, nodes: &[usize]) -> usize {
+    let mut chosen: Vec<usize> = Vec::new();
+    for &n in nodes {
+        if chosen.iter().all(|&c| state.distinct(c, n)) {
+            chosen.push(n);
+        }
+    }
+    // Any single node is a distinct set of size 1.
+    chosen.len().max(usize::from(!nodes.is_empty()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concept::TBox;
+
+    fn cfg() -> ReasonerConfig {
+        ReasonerConfig::default()
+    }
+
+    #[test]
+    fn atomic_concept_is_satisfiable_in_empty_tbox() {
+        let mut tb = TBox::new();
+        let a = tb.concept("A");
+        assert_eq!(check_concept(&tb, &a, &cfg()), TableauOutcome::Satisfiable);
+    }
+
+    #[test]
+    fn bottom_is_unsatisfiable() {
+        let tb = TBox::new();
+        assert_eq!(
+            check_concept(&tb, &Concept::Bottom, &cfg()),
+            TableauOutcome::Unsatisfiable
+        );
+    }
+
+    #[test]
+    fn contradiction_is_unsatisfiable() {
+        let mut tb = TBox::new();
+        let a = tb.concept("A");
+        let c = Concept::And(vec![a.clone(), a.negate()]);
+        assert_eq!(
+            check_concept(&tb, &c, &cfg()),
+            TableauOutcome::Unsatisfiable
+        );
+    }
+
+    #[test]
+    fn tbox_subsumption_propagates() {
+        // A ⊑ B, query A ⊓ ¬B → unsat.
+        let mut tb = TBox::new();
+        let a = tb.concept("A");
+        let b = tb.concept("B");
+        tb.add_subsumption(a.clone(), b.clone());
+        let q = Concept::And(vec![a.clone(), b.negate()]);
+        assert_eq!(
+            check_concept(&tb, &q, &cfg()),
+            TableauOutcome::Unsatisfiable
+        );
+        assert_eq!(check_concept(&tb, &a, &cfg()), TableauOutcome::Satisfiable);
+    }
+
+    #[test]
+    fn existential_creates_successor_with_forall_clash() {
+        // ∃r.A ⊓ ∀r.¬A → unsat.
+        let mut tb = TBox::new();
+        let a = tb.concept("A");
+        let r = tb.role("r");
+        let q = Concept::And(vec![
+            Concept::exists(r, a.clone()),
+            Concept::Forall(r, Box::new(a.negate())),
+        ]);
+        assert_eq!(
+            check_concept(&tb, &q, &cfg()),
+            TableauOutcome::Unsatisfiable
+        );
+    }
+
+    #[test]
+    fn disjunction_branches() {
+        // (A ⊔ B) ⊓ ¬A → satisfiable via B.
+        let mut tb = TBox::new();
+        let a = tb.concept("A");
+        let b = tb.concept("B");
+        let q = Concept::And(vec![Concept::Or(vec![a.clone(), b]), a.negate()]);
+        assert_eq!(check_concept(&tb, &q, &cfg()), TableauOutcome::Satisfiable);
+    }
+
+    #[test]
+    fn at_most_zero_with_exists_clashes() {
+        // ∃r.A ⊓ ≤0 r.A → unsat.
+        let mut tb = TBox::new();
+        let a = tb.concept("A");
+        let r = tb.role("r");
+        let q = Concept::And(vec![
+            Concept::exists(r, a.clone()),
+            Concept::AtMost(0, r, Box::new(a)),
+        ]);
+        assert_eq!(
+            check_concept(&tb, &q, &cfg()),
+            TableauOutcome::Unsatisfiable
+        );
+    }
+
+    #[test]
+    fn at_most_one_merges_two_existentials() {
+        // ∃r.(A ⊓ B) ⊓ ∃r.(A ⊓ C) ⊓ ≤1 r.A → satisfiable by merging.
+        let mut tb = TBox::new();
+        let a = tb.concept("A");
+        let b = tb.concept("B");
+        let c = tb.concept("C");
+        let r = tb.role("r");
+        let q = Concept::And(vec![
+            Concept::exists(r, Concept::And(vec![a.clone(), b])),
+            Concept::exists(r, Concept::And(vec![a.clone(), c])),
+            Concept::AtMost(1, r, Box::new(a)),
+        ]);
+        assert_eq!(check_concept(&tb, &q, &cfg()), TableauOutcome::Satisfiable);
+    }
+
+    #[test]
+    fn at_most_one_with_disjoint_successors_clashes() {
+        // ∃r.(A ⊓ B) ⊓ ∃r.(A ⊓ ¬B) ⊓ ≤1 r.A → merge forces B ⊓ ¬B.
+        let mut tb = TBox::new();
+        let a = tb.concept("A");
+        let b = tb.concept("B");
+        let r = tb.role("r");
+        let q = Concept::And(vec![
+            Concept::exists(r, Concept::And(vec![a.clone(), b.clone()])),
+            Concept::exists(r, Concept::And(vec![a.clone(), b.negate()])),
+            Concept::AtMost(1, r, Box::new(a)),
+        ]);
+        assert_eq!(
+            check_concept(&tb, &q, &cfg()),
+            TableauOutcome::Unsatisfiable
+        );
+    }
+
+    #[test]
+    fn inverse_roles_propagate_to_predecessor() {
+        // A ⊓ ∃r.(∀r⁻.B) ⊓ ¬B → the successor's ∀r⁻.B forces B on the
+        // root → clash with ¬B.
+        let mut tb = TBox::new();
+        let a = tb.concept("A");
+        let b = tb.concept("B");
+        let r = tb.role("r");
+        let q = Concept::And(vec![
+            a,
+            Concept::exists(
+                r,
+                Concept::Forall(r.inverted(), Box::new(b.clone())),
+            ),
+            b.negate(),
+        ]);
+        assert_eq!(
+            check_concept(&tb, &q, &cfg()),
+            TableauOutcome::Unsatisfiable
+        );
+    }
+
+    #[test]
+    fn infinite_model_terminates_via_blocking() {
+        // A ⊑ ∃r.A with query A: only infinite r-chains (or cycles —
+        // allowed in unrestricted models) satisfy it; blocking must
+        // terminate with Satisfiable.
+        let mut tb = TBox::new();
+        let a = tb.concept("A");
+        let r = tb.role("r");
+        tb.add_subsumption(a.clone(), Concept::exists(r, a.clone()));
+        assert_eq!(check_concept(&tb, &a, &cfg()), TableauOutcome::Satisfiable);
+    }
+
+    #[test]
+    fn unknown_concept_name_is_unsat_by_convention() {
+        let tb = TBox::new();
+        assert_eq!(
+            check_concept_by_name(&tb, "Ghost", &cfg()),
+            TableauOutcome::Unsatisfiable
+        );
+    }
+
+    #[test]
+    fn functionality_with_inverse_chain() {
+        // The diagram (c) pattern in miniature:
+        //   OT2 ⊑ ∃f.OT1           (OT2 points to an OT1)
+        //   OT1 ⊑ ∃f⁻.OT3          (every OT1 has an OT3 pointer)
+        //   OT1 ⊑ ≤1 f⁻.IT        (≤1 incoming from IT)
+        //   OT2 ⊑ IT, OT3 ⊑ IT    (via equivalence-free subsumptions)
+        //   OT2 ⊓ OT3 ⊑ ⊥
+        // → OT2 unsatisfiable.
+        let mut tb = TBox::new();
+        let ot1 = tb.concept("OT1");
+        let ot2 = tb.concept("OT2");
+        let ot3 = tb.concept("OT3");
+        let it = tb.concept("IT");
+        let f = tb.role("f");
+        tb.add_subsumption(ot2.clone(), Concept::exists(f, ot1.clone()));
+        tb.add_subsumption(ot1.clone(), Concept::exists(f.inverted(), ot3.clone()));
+        tb.add_subsumption(
+            ot1.clone(),
+            Concept::AtMost(1, f.inverted(), Box::new(it.clone())),
+        );
+        tb.add_subsumption(ot2.clone(), it.clone());
+        tb.add_subsumption(ot3.clone(), it.clone());
+        tb.add_subsumption(
+            Concept::And(vec![ot2.clone(), ot3.clone()]),
+            Concept::Bottom,
+        );
+        assert_eq!(
+            check_concept(&tb, &ot2, &cfg()),
+            TableauOutcome::Unsatisfiable
+        );
+        // OT3 alone is fine.
+        assert_eq!(
+            check_concept(&tb, &ot3, &cfg()),
+            TableauOutcome::Satisfiable
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! Schema → ALCQI TBox (the Theorem 3 construction).
+//!
+//! Following the paper's proof of Theorem 3, with each named type a
+//! concept name and each relationship field name a role name:
+//!
+//! * union `t = t1 | … | tn` and interface `t` implemented by `t1 … tn`:
+//!   `t ≡ t1 ⊔ … ⊔ tn`;
+//! * a non-scalar field `f` with base type `tt` on type `t`:
+//!   `∃f⁻.t ⊑ tt` (WS3, targets have the right type);
+//! * if the field's type is not a list type: `t ⊑ ≤1 f.tt` (WS4);
+//! * `@required` on a relationship field: `t ⊑ ∃f.tt` (DS6);
+//! * `@requiredForTarget`: `tt ⊑ ∃f⁻.t` (DS4);
+//! * `@uniqueForTarget`: `tt ⊑ ≤1 f⁻.t` (DS3);
+//! * exactly-one-object-type: `oti ⊓ otj ⊑ ⊥` pairwise and
+//!   `⊤ ⊑ ot1 ⊔ … ⊔ otn` (SS1 + single labels);
+//! * additionally `⊤ ⊑ ¬it` is **not** asserted — interface/union names
+//!   are derived concepts via their equivalences.
+//!
+//! `@distinct`, `@noLoops`, `@key` and all scalar-valued fields/arguments
+//! are dropped: the paper's proof shows they never affect satisfiability
+//! (parallel edges can be merged, loops unfolded, scalar values freely
+//! chosen).
+
+use gql_schema::TypeKind;
+use pg_schema::PgSchema;
+
+use crate::concept::{Concept, TBox};
+
+/// Builds the TBox for a Property Graph schema.
+pub fn translate(schema: &PgSchema) -> TBox {
+    let mut tb = TBox::new();
+    let s = schema.schema();
+
+    // Intern all object/interface/union type names as concepts, in schema
+    // order for determinism.
+    let object_types: Vec<_> = s.object_types().collect();
+    for &ot in &object_types {
+        tb.concept_id(s.type_name(ot));
+    }
+
+    // Unions and interfaces: t ≡ t1 ⊔ … ⊔ tn.
+    for t in s.type_ids() {
+        let members: Vec<_> = match &s.type_info(t).kind {
+            TypeKind::Union(ms) => ms.clone(),
+            TypeKind::Interface(_) => s.implementors(t).to_vec(),
+            _ => continue,
+        };
+        let name = tb.concept(s.type_name(t));
+        let disjunction = Concept::Or(
+            members
+                .iter()
+                .map(|&m| tb.concept(s.type_name(m)))
+                .collect(),
+        )
+        .simplify();
+        tb.add_equivalence(name, disjunction);
+    }
+
+    // Relationship-field axioms, for fields of object AND interface types.
+    let field_owners: Vec<_> = s.object_types().chain(s.interface_types()).collect();
+    for t in field_owners {
+        let t_concept = tb.concept(s.type_name(t));
+        for rel in schema.relationships(t).to_vec() {
+            let role = tb.role(&rel.name);
+            let tt_concept = tb.concept(s.type_name(rel.target_base));
+            // Range restriction: ∃f⁻.t ⊑ tt.
+            tb.add_subsumption(
+                Concept::exists(role.inverted(), t_concept.clone()),
+                tt_concept.clone(),
+            );
+            if !rel.multi {
+                // t ⊑ ≤1 f.tt.
+                tb.add_subsumption(
+                    t_concept.clone(),
+                    Concept::AtMost(1, role, Box::new(tt_concept.clone())),
+                );
+            }
+            if rel.required {
+                tb.add_subsumption(
+                    t_concept.clone(),
+                    Concept::exists(role, tt_concept.clone()),
+                );
+            }
+            if rel.required_for_target {
+                tb.add_subsumption(
+                    tt_concept.clone(),
+                    Concept::exists(role.inverted(), t_concept.clone()),
+                );
+            }
+            if rel.unique_for_target {
+                tb.add_subsumption(
+                    tt_concept.clone(),
+                    Concept::AtMost(1, role.inverted(), Box::new(t_concept.clone())),
+                );
+            }
+        }
+    }
+
+    // Every individual is exactly one object type.
+    let ot_concepts: Vec<Concept> = object_types
+        .iter()
+        .map(|&ot| tb.concept(s.type_name(ot)))
+        .collect();
+    for (i, a) in ot_concepts.iter().enumerate() {
+        for b in ot_concepts.iter().skip(i + 1) {
+            tb.add_subsumption(
+                Concept::And(vec![a.clone(), b.clone()]),
+                Concept::Bottom,
+            );
+        }
+    }
+    tb.add_subsumption(Concept::Top, Concept::Or(ot_concepts).simplify());
+
+    tb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tbox(src: &str) -> (PgSchema, TBox) {
+        let s = PgSchema::parse(src).unwrap();
+        let tb = translate(&s);
+        (s, tb)
+    }
+
+    #[test]
+    fn counts_axioms_for_simple_schema() {
+        let (_, tb) = tbox(
+            r#"
+            type A { toB: B @required }
+            type B { x: Int }
+            "#,
+        );
+        // Axioms: range(toB), non-list ≤1, required ∃, disjoint(A,B),
+        // covering. Scalar field x contributes nothing.
+        assert_eq!(tb.globals.len(), 5);
+        assert!(tb.find_concept("A").is_some());
+        assert!(tb.find_concept("B").is_some());
+        assert!(tb.find_concept("Int").is_none());
+    }
+
+    #[test]
+    fn unions_and_interfaces_become_equivalences() {
+        let (_, tb) = tbox(
+            r#"
+            union Food = Pizza | Pasta
+            type Pizza { n: Int }
+            type Pasta { n: Int }
+            interface Edible { n: Int }
+            type Bread implements Edible { n: Int }
+            "#,
+        );
+        // Food ≡ Pizza ⊔ Pasta (2 axioms), Edible ≡ Bread (2 axioms),
+        // disjointness C(3,2)=3, covering 1. No relationship fields.
+        assert_eq!(tb.globals.len(), 2 + 2 + 3 + 1);
+    }
+
+    #[test]
+    fn directives_map_to_inverse_role_axioms() {
+        let (_, tb) = tbox(
+            r#"
+            type Publisher { published: [Book] @uniqueForTarget @requiredForTarget }
+            type Book { title: String! }
+            "#,
+        );
+        let rendered: Vec<String> = tb.globals.iter().map(|c| tb.render(c)).collect();
+        let all = rendered.join("\n");
+        // Book ⊑ ∃published⁻.Publisher  →  internalised with ¬Book.
+        assert!(
+            all.contains("≥1 published⁻.Publisher"),
+            "missing requiredForTarget axiom in:\n{all}"
+        );
+        assert!(
+            all.contains("≤1 published⁻.Publisher"),
+            "missing uniqueForTarget axiom in:\n{all}"
+        );
+        // List type → no ≤1 published.Book axiom.
+        assert!(!all.contains("≤1 published.Book"), "{all}");
+    }
+
+    #[test]
+    fn distinct_noloops_keys_and_scalars_are_dropped() {
+        let (_, tb) = tbox(
+            r#"
+            type A @key(fields: ["x"]) {
+                x: Int @required
+                rel: [A] @distinct @noloops
+            }
+            "#,
+        );
+        // rel contributes only its range axiom (no cardinality, not
+        // required); plus covering (no disjointness with 1 type).
+        assert_eq!(tb.globals.len(), 2);
+    }
+
+    #[test]
+    fn empty_schema_translates() {
+        let (_, tb) = tbox("");
+        // Only the covering axiom over zero object types: ⊤ ⊑ ⊥.
+        assert_eq!(tb.globals.len(), 1);
+        assert_eq!(tb.globals[0], Concept::Bottom);
+    }
+
+    #[test]
+    fn interface_fields_generate_axioms() {
+        let (_, tb) = tbox(
+            r#"
+            interface IT { hasOT1: [OT1] @uniqueForTarget }
+            type OT1 { }
+            type OT2 implements IT { hasOT1: [OT1] @requiredForTarget }
+            "#,
+        );
+        let all: Vec<String> = tb.globals.iter().map(|c| tb.render(c)).collect();
+        let text = all.join("\n");
+        assert!(text.contains("≤1 hasOT1⁻.IT"), "{text}");
+        assert!(text.contains("≥1 hasOT1⁻.OT2"), "{text}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the satisfiability machinery: every produced
+//! witness strongly satisfies its schema, and obligation-free random
+//! schemas are always satisfiable.
+
+use pg_datagen::{SchemaGen, SchemaGenParams};
+use pg_reason::{check_object_type, ReasonerConfig, Satisfiability};
+use pg_schema::PgSchema;
+use proptest::prelude::*;
+
+fn config() -> ReasonerConfig {
+    ReasonerConfig {
+        max_graph_size: 12,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Obligation-free schemas (no target-side directives) always admit
+    /// finite models for every object type, and each witness strongly
+    /// satisfies the schema.
+    #[test]
+    fn benchmarkable_schemas_are_satisfiable_with_valid_witnesses(seed in 0u64..40) {
+        let sdl = SchemaGen::new(SchemaGenParams {
+            num_types: 3,
+            attrs_per_type: 2,
+            rels_per_type: 1,
+            ..SchemaGenParams::benchmarkable(3, seed)
+        })
+        .generate();
+        let schema = PgSchema::parse(&sdl).unwrap();
+        let names: Vec<String> = schema
+            .schema()
+            .object_types()
+            .map(|t| schema.schema().type_name(t).to_owned())
+            .collect();
+        for ty in names {
+            match check_object_type(&schema, &ty, &config()) {
+                Satisfiability::Satisfiable { witness, size } => {
+                    prop_assert!(size >= 1);
+                    prop_assert!(
+                        pg_schema::strongly_satisfies(&witness, &schema),
+                        "invalid witness for {} (seed {}):\n{}\n{}",
+                        ty,
+                        seed,
+                        pg_schema::validate(&witness, &schema, &Default::default()),
+                        sdl
+                    );
+                    prop_assert!(witness.nodes().any(|n| n.label() == ty));
+                }
+                other => {
+                    return Err(TestCaseError::fail(format!(
+                        "{ty} not satisfiable (seed {seed}): {other:?}\n{sdl}"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// The tableau never contradicts the finite search: if the tableau
+    /// says Unsatisfiable, no finite model may exist at any size we can
+    /// afford to check.
+    #[test]
+    fn tableau_unsat_implies_no_finite_model(seed in 0u64..30) {
+        let sdl = SchemaGen::new(SchemaGenParams {
+            num_types: 3,
+            attrs_per_type: 1,
+            rels_per_type: 2,
+            p_unique_for_target: 0.4,
+            p_required_for_target: 0.4,
+            seed,
+            ..Default::default()
+        })
+        .generate();
+        let schema = PgSchema::parse(&sdl).unwrap();
+        let tbox = pg_reason::translate::translate(&schema);
+        for t in schema.schema().object_types().collect::<Vec<_>>() {
+            let name = schema.schema().type_name(t).to_owned();
+            let outcome =
+                pg_reason::tableau::check_concept_by_name(&tbox, &name, &config());
+            if outcome == pg_reason::tableau::TableauOutcome::Unsatisfiable {
+                for k in 1..=4 {
+                    prop_assert!(
+                        pg_reason::finite::find_model(&schema, &name, k).is_none(),
+                        "tableau said UNSAT but a model of size {k} exists for {name} (seed {seed}):\n{sdl}"
+                    );
+                }
+            }
+        }
+    }
+}

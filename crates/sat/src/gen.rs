@@ -1,0 +1,119 @@
+//! Random k-SAT generation for the phase-transition benchmark (E4).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::cnf::{Cnf, Lit};
+
+/// Parameters of a uniform random k-SAT instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsatParams {
+    /// Number of propositional variables.
+    pub num_vars: usize,
+    /// Number of clauses.
+    pub num_clauses: usize,
+    /// Literals per clause (k = 3 for the classic phase transition at
+    /// clause/variable ratio ≈ 4.27).
+    pub k: usize,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl KsatParams {
+    /// Convenience: 3-SAT at a given clause/variable ratio.
+    pub fn three_sat(num_vars: usize, ratio: f64, seed: u64) -> Self {
+        KsatParams {
+            num_vars,
+            num_clauses: (num_vars as f64 * ratio).round() as usize,
+            k: 3,
+            seed,
+        }
+    }
+}
+
+/// Draws a uniform random k-SAT formula: each clause picks `k` distinct
+/// variables and independent random polarities.
+pub fn random_ksat(params: &KsatParams) -> Cnf {
+    assert!(params.k >= 1 && params.k <= params.num_vars.max(1));
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut cnf = Cnf::new(params.num_vars);
+    let mut vars: Vec<usize> = (0..params.num_vars).collect();
+    for _ in 0..params.num_clauses {
+        vars.shuffle(&mut rng);
+        let clause: Vec<Lit> = vars[..params.k]
+            .iter()
+            .map(|&v| {
+                if rng.gen_bool(0.5) {
+                    Lit::pos(v)
+                } else {
+                    Lit::neg(v)
+                }
+            })
+            .collect();
+        cnf.add_clause(clause);
+    }
+    cnf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::solve;
+
+    #[test]
+    fn generation_is_reproducible() {
+        let p = KsatParams::three_sat(20, 4.0, 7);
+        assert_eq!(random_ksat(&p), random_ksat(&p));
+        let p2 = KsatParams { seed: 8, ..p };
+        assert_ne!(random_ksat(&p), random_ksat(&p2));
+    }
+
+    #[test]
+    fn clauses_have_k_distinct_vars() {
+        let p = KsatParams {
+            num_vars: 10,
+            num_clauses: 50,
+            k: 3,
+            seed: 1,
+        };
+        let cnf = random_ksat(&p);
+        assert_eq!(cnf.num_clauses(), 50);
+        for c in cnf.clauses() {
+            assert_eq!(c.len(), 3);
+            let mut vars: Vec<usize> = c.iter().map(|l| l.var()).collect();
+            vars.sort();
+            vars.dedup();
+            assert_eq!(vars.len(), 3, "duplicate variable in clause");
+        }
+    }
+
+    #[test]
+    fn low_ratio_instances_are_mostly_sat() {
+        let mut sat = 0;
+        for seed in 0..10 {
+            let cnf = random_ksat(&KsatParams::three_sat(20, 1.0, seed));
+            if solve(&cnf).is_some() {
+                sat += 1;
+            }
+        }
+        assert!(sat >= 9, "only {sat}/10 low-ratio instances were SAT");
+    }
+
+    #[test]
+    fn high_ratio_instances_are_mostly_unsat() {
+        let mut unsat = 0;
+        for seed in 0..10 {
+            let cnf = random_ksat(&KsatParams::three_sat(20, 8.0, seed));
+            if solve(&cnf).is_none() {
+                unsat += 1;
+            }
+        }
+        assert!(unsat >= 9, "only {unsat}/10 high-ratio instances were UNSAT");
+    }
+
+    #[test]
+    fn ratio_controls_clause_count() {
+        let p = KsatParams::three_sat(40, 4.27, 0);
+        assert_eq!(p.num_clauses, 171);
+    }
+}

@@ -1,0 +1,359 @@
+//! A DPLL solver: unit propagation, pure-literal elimination, and
+//! branching on the most frequent unassigned variable.
+//!
+//! Complete and deterministic. Intended for the instance sizes of the
+//! Theorem 2 reduction experiments (tens of variables), where it is an
+//! adequate and dependency-free oracle.
+
+use crate::cnf::{Cnf, Lit};
+
+/// Statistics of one solver run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Number of branching decisions.
+    pub decisions: u64,
+    /// Number of literals assigned by unit propagation.
+    pub propagations: u64,
+    /// Number of conflicts (backtracks).
+    pub conflicts: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Assign {
+    Unset,
+    True,
+    False,
+}
+
+struct Dpll<'a> {
+    cnf: &'a Cnf,
+    assign: Vec<Assign>,
+    stats: SolveStats,
+}
+
+impl Dpll<'_> {
+    fn lit_value(&self, l: Lit) -> Assign {
+        match self.assign[l.var()] {
+            Assign::Unset => Assign::Unset,
+            Assign::True => {
+                if l.is_neg() {
+                    Assign::False
+                } else {
+                    Assign::True
+                }
+            }
+            Assign::False => {
+                if l.is_neg() {
+                    Assign::True
+                } else {
+                    Assign::False
+                }
+            }
+        }
+    }
+
+    fn set(&mut self, l: Lit) {
+        self.assign[l.var()] = if l.is_neg() {
+            Assign::False
+        } else {
+            Assign::True
+        };
+    }
+
+    /// Applies unit propagation and pure-literal elimination to a fixpoint.
+    /// Returns the literals assigned (for undo) or `None` on conflict.
+    fn simplify(&mut self) -> Option<Vec<usize>> {
+        let mut trail: Vec<usize> = Vec::new();
+        loop {
+            let mut changed = false;
+            // Unit propagation.
+            for clause in self.cnf.clauses() {
+                let mut unassigned: Option<Lit> = None;
+                let mut satisfied = false;
+                let mut open = 0usize;
+                for &l in clause {
+                    match self.lit_value(l) {
+                        Assign::True => {
+                            satisfied = true;
+                            break;
+                        }
+                        Assign::False => {}
+                        Assign::Unset => {
+                            open += 1;
+                            unassigned = Some(l);
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match open {
+                    0 => {
+                        self.stats.conflicts += 1;
+                        for v in trail {
+                            self.assign[v] = Assign::Unset;
+                        }
+                        return None;
+                    }
+                    1 => {
+                        let l = unassigned.expect("open == 1");
+                        self.set(l);
+                        trail.push(l.var());
+                        self.stats.propagations += 1;
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if changed {
+                continue;
+            }
+            // Pure-literal elimination: a variable occurring with only one
+            // polarity in non-satisfied clauses can be fixed.
+            let n = self.cnf.num_vars();
+            let mut pos = vec![false; n];
+            let mut neg = vec![false; n];
+            for clause in self.cnf.clauses() {
+                if clause.iter().any(|&l| self.lit_value(l) == Assign::True) {
+                    continue;
+                }
+                for &l in clause {
+                    if self.lit_value(l) == Assign::Unset {
+                        if l.is_neg() {
+                            neg[l.var()] = true;
+                        } else {
+                            pos[l.var()] = true;
+                        }
+                    }
+                }
+            }
+            for v in 0..n {
+                if self.assign[v] == Assign::Unset && (pos[v] ^ neg[v]) {
+                    let l = if pos[v] { Lit::pos(v) } else { Lit::neg(v) };
+                    self.set(l);
+                    trail.push(v);
+                    self.stats.propagations += 1;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return Some(trail);
+            }
+        }
+    }
+
+    fn all_satisfied(&self) -> bool {
+        self.cnf
+            .clauses()
+            .iter()
+            .all(|c| c.iter().any(|&l| self.lit_value(l) == Assign::True))
+    }
+
+    /// Picks the unassigned variable occurring most often in open clauses.
+    fn pick_branch_var(&self) -> Option<usize> {
+        let mut counts = vec![0u32; self.cnf.num_vars()];
+        for clause in self.cnf.clauses() {
+            if clause.iter().any(|&l| self.lit_value(l) == Assign::True) {
+                continue;
+            }
+            for &l in clause {
+                if self.lit_value(l) == Assign::Unset {
+                    counts[l.var()] += 1;
+                }
+            }
+        }
+        counts
+            .iter()
+            .enumerate()
+            .filter(|&(v, &c)| c > 0 && self.assign[v] == Assign::Unset)
+            .max_by_key(|&(_, &c)| c)
+            .map(|(v, _)| v)
+    }
+
+    fn search(&mut self) -> bool {
+        let Some(trail) = self.simplify() else {
+            return false;
+        };
+        if self.all_satisfied() {
+            return true;
+        }
+        let Some(v) = self.pick_branch_var() else {
+            // No open clauses have unassigned vars, yet not all satisfied:
+            // conflict (shouldn't happen after simplify, but be safe).
+            for t in trail {
+                self.assign[t] = Assign::Unset;
+            }
+            return false;
+        };
+        for value in [Assign::True, Assign::False] {
+            self.stats.decisions += 1;
+            self.assign[v] = value;
+            if self.search() {
+                return true;
+            }
+            self.assign[v] = Assign::Unset;
+        }
+        for t in trail {
+            self.assign[t] = Assign::Unset;
+        }
+        false
+    }
+}
+
+/// Decides satisfiability; returns a model if satisfiable.
+pub fn solve(cnf: &Cnf) -> Option<Vec<bool>> {
+    solve_with_stats(cnf).0
+}
+
+/// Like [`solve`], also returning run statistics.
+pub fn solve_with_stats(cnf: &Cnf) -> (Option<Vec<bool>>, SolveStats) {
+    let mut dpll = Dpll {
+        cnf,
+        assign: vec![Assign::Unset; cnf.num_vars()],
+        stats: SolveStats::default(),
+    };
+    if dpll.search() {
+        let model: Vec<bool> = dpll
+            .assign
+            .iter()
+            .map(|a| matches!(a, Assign::True))
+            .collect();
+        debug_assert!(cnf.eval(&model));
+        (Some(model), dpll.stats)
+    } else {
+        (None, dpll.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clause(lits: &[i32]) -> Vec<Lit> {
+        lits.iter()
+            .map(|&v| {
+                let var = v.unsigned_abs() as usize - 1;
+                if v > 0 {
+                    Lit::pos(var)
+                } else {
+                    Lit::neg(var)
+                }
+            })
+            .collect()
+    }
+
+    fn cnf(num_vars: usize, clauses: &[&[i32]]) -> Cnf {
+        let mut c = Cnf::new(num_vars);
+        for cl in clauses {
+            c.add_clause(clause(cl));
+        }
+        c
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        assert!(solve(&Cnf::new(0)).is_some());
+        assert!(solve(&Cnf::new(3)).is_some());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut c = Cnf::new(1);
+        c.add_clause([]);
+        assert!(solve(&c).is_none());
+    }
+
+    #[test]
+    fn unit_clauses_propagate() {
+        let c = cnf(3, &[&[1], &[-1, 2], &[-2, 3]]);
+        let m = solve(&c).unwrap();
+        assert_eq!(m, vec![true, true, true]);
+    }
+
+    #[test]
+    fn simple_unsat_core() {
+        let c = cnf(1, &[&[1], &[-1]]);
+        assert!(solve(&c).is_none());
+    }
+
+    #[test]
+    fn paper_theorem_2_example_formula_is_sat() {
+        // (A ∨ ¬B ∨ C) ∧ (¬A ∨ ¬C) ∧ (D ∨ B), vars A=1 B=2 C=3 D=4.
+        let c = cnf(4, &[&[1, -2, 3], &[-1, -3], &[4, 2]]);
+        let m = solve(&c).unwrap();
+        assert!(c.eval(&m));
+    }
+
+    #[test]
+    fn pigeonhole_2_into_1_is_unsat() {
+        // p1 in h1, p2 in h1, not both: x1 ∧ x2 ∧ (¬x1 ∨ ¬x2).
+        let c = cnf(2, &[&[1], &[2], &[-1, -2]]);
+        assert!(solve(&c).is_none());
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // Variables x(p,h) = 1 + p*2 + h for p in 0..3, h in 0..2.
+        let var = |p: i32, h: i32| 1 + p * 2 + h;
+        let mut clauses: Vec<Vec<i32>> = Vec::new();
+        for p in 0..3 {
+            clauses.push(vec![var(p, 0), var(p, 1)]);
+        }
+        for h in 0..2 {
+            for p1 in 0..3 {
+                for p2 in (p1 + 1)..3 {
+                    clauses.push(vec![-var(p1, h), -var(p2, h)]);
+                }
+            }
+        }
+        let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+        let c = cnf(6, &refs);
+        assert!(solve(&c).is_none());
+    }
+
+    #[test]
+    fn models_satisfy_their_formulas() {
+        let c = cnf(
+            5,
+            &[
+                &[1, 2, -3],
+                &[-1, 4],
+                &[3, -4, 5],
+                &[-2, -5],
+                &[2, 3, 4],
+            ],
+        );
+        let (model, stats) = solve_with_stats(&c);
+        let m = model.unwrap();
+        assert!(c.eval(&m));
+        assert!(stats.decisions + stats.propagations > 0);
+    }
+
+    #[test]
+    fn pure_literal_elimination_solves_without_branching() {
+        // All-positive occurrences: solvable purely.
+        let c = cnf(3, &[&[1, 2], &[2, 3], &[1, 3]]);
+        let (model, stats) = solve_with_stats(&c);
+        assert!(model.is_some());
+        assert_eq!(stats.decisions, 0);
+    }
+
+    #[test]
+    fn exhaustive_check_on_all_3var_formulas() {
+        // Randomised-ish exhaustiveness: compare DPLL against brute force
+        // over a set of small formulas.
+        let formulas: Vec<Cnf> = vec![
+            cnf(3, &[&[1, 2], &[-1, -2], &[2, 3], &[-3]]),
+            cnf(3, &[&[1], &[-1, 2], &[-2, 3], &[-3, -1]]),
+            cnf(3, &[&[1, 2, 3], &[-1, -2, -3], &[1, -2], &[2, -3], &[3, -1]]),
+            cnf(2, &[&[1, 2], &[1, -2], &[-1, 2], &[-1, -2]]),
+        ];
+        for c in formulas {
+            let brute = (0..1u32 << c.num_vars()).any(|bits| {
+                let m: Vec<bool> = (0..c.num_vars()).map(|i| bits >> i & 1 == 1).collect();
+                c.eval(&m)
+            });
+            assert_eq!(solve(&c).is_some(), brute, "formula: {c}");
+        }
+    }
+}

@@ -1,0 +1,911 @@
+//! Building a [`Schema`] from a parsed SDL document.
+//!
+//! Building enforces everything Definition 4.1 requires structurally
+//! (resolvable type references, the paper's wrapping-type restriction,
+//! unions over object types, implements over interfaces) and *ignores with
+//! a warning* the SDL features §3.6 of the paper excludes (input object
+//! types, root-operation `schema` blocks, arguments of attribute fields,
+//! complex argument types). Semantic consistency (Definitions 4.3–4.5) is
+//! checked separately by [`crate::consistency::check`].
+
+use std::collections::HashMap;
+
+use gql_sdl::ast;
+use gql_sdl::Span;
+use pgraph::Value;
+
+use crate::model::*;
+use crate::wrap::{Wrap, WrappedType};
+use crate::directives as dir;
+
+/// How severe a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// The schema cannot be built / used.
+    Error,
+    /// The construct is ignored by the Property-Graph semantics.
+    Warning,
+}
+
+/// What the diagnostic is about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiagnosticKind {
+    /// Two definitions share a name.
+    DuplicateType(String),
+    /// A referenced type name is not defined.
+    UnknownType(String),
+    /// A wrapping shape outside `t!`, `[t]`, `[t!]`, `[t]!`, `[t!]!`.
+    UnsupportedWrapping(String),
+    /// A union member that is not an object type.
+    BadUnionMember { /** union name */ union: String, /** offending member */ member: String },
+    /// An `implements` target that is not an interface type.
+    BadImplements { /** object name */ object: String, /** offending target */ target: String },
+    /// Duplicate field name within one type.
+    DuplicateField { /** type name */ ty: String, /** field name */ field: String },
+    /// Duplicate argument name within one field.
+    DuplicateArg { /** type name */ ty: String, /** field name */ field: String, /** arg name */ arg: String },
+    /// Duplicate enum symbol.
+    DuplicateEnumValue { /** enum name */ ty: String, /** symbol */ value: String },
+    /// An input object type: representable in SDL, ignored by the paper.
+    IgnoredInputType(String),
+    /// A `schema { ... }` block: ignored by the paper (§3.6).
+    IgnoredSchemaBlock,
+    /// A field argument whose type is not scalar-based: ignored (§3.6).
+    IgnoredComplexArgument { /** type name */ ty: String, /** field name */ field: String, /** arg name */ arg: String },
+    /// An argument on an *attribute* (scalar-typed) field: ignored (§3.6).
+    IgnoredAttributeArgument { /** type name */ ty: String, /** field name */ field: String, /** arg name */ arg: String },
+    /// A directive argument value that is an input object literal —
+    /// not representable as a property value.
+    UnrepresentableDirectiveArg { /** directive name */ directive: String, /** arg name */ arg: String },
+    /// A user redefinition of a built-in directive; the built-in wins.
+    RedefinedBuiltinDirective(String),
+    /// A type name that collides with a built-in scalar.
+    RedefinedBuiltinScalar(String),
+    /// A type extension could not be folded into its base definition.
+    ExtensionError(String),
+}
+
+/// A build-time diagnostic with a source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// How severe it is.
+    pub severity: Severity,
+    /// What it is about.
+    pub kind: DiagnosticKind,
+    /// Where in the SDL source.
+    pub span: Span,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{sev} at {}: {:?}", self.span.start, self.kind)
+    }
+}
+
+/// Builds a schema, failing if any error-severity diagnostic arises.
+/// Warnings are discarded; use [`build_schema_with_diagnostics`] to see
+/// them.
+pub fn build_schema(doc: &ast::Document) -> Result<Schema, Vec<Diagnostic>> {
+    let (schema, diags) = build_schema_with_diagnostics(doc);
+    match schema {
+        Some(s) => Ok(s),
+        None => Err(diags),
+    }
+}
+
+/// Builds a schema and returns all diagnostics. The schema is `None` iff
+/// an error-severity diagnostic was produced.
+pub fn build_schema_with_diagnostics(
+    doc: &ast::Document,
+) -> (Option<Schema>, Vec<Diagnostic>) {
+    // Fold `extend …` definitions into their bases first (spec §3.4.3).
+    let doc = match gql_sdl::extensions::merge_extensions(doc) {
+        Ok(merged) => merged,
+        Err(e) => {
+            return (
+                None,
+                vec![Diagnostic {
+                    severity: Severity::Error,
+                    kind: DiagnosticKind::ExtensionError(e.to_string()),
+                    span: Span::at(gql_sdl::Pos::start()),
+                }],
+            );
+        }
+    };
+    let doc = &doc;
+    let mut b = Builder::default();
+    b.register_builtins();
+    b.register_names(doc);
+    b.register_directive_defs(doc);
+    b.build_payloads(doc);
+    b.compute_implementors();
+    let has_error = b.diags.iter().any(|d| d.severity == Severity::Error);
+    if has_error {
+        (None, b.diags)
+    } else {
+        (Some(b.schema), b.diags)
+    }
+}
+
+#[derive(Default)]
+struct Builder {
+    schema: Schema,
+    diags: Vec<Diagnostic>,
+    /// input object type names (ignored, but must not be "unknown").
+    input_names: HashMap<String, Span>,
+}
+
+impl Builder {
+    fn error(&mut self, kind: DiagnosticKind, span: Span) {
+        self.diags.push(Diagnostic {
+            severity: Severity::Error,
+            kind,
+            span,
+        });
+    }
+
+    fn warn(&mut self, kind: DiagnosticKind, span: Span) {
+        self.diags.push(Diagnostic {
+            severity: Severity::Warning,
+            kind,
+            span,
+        });
+    }
+
+    fn add_type(&mut self, name: &str, kind: TypeKind) -> TypeId {
+        let id = TypeId::from_index(self.schema.types.len());
+        self.schema.types.push(TypeInfo {
+            name: name.to_owned(),
+            kind,
+            directives: Vec::new(),
+        });
+        self.schema.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    fn register_builtins(&mut self) {
+        for s in BuiltinScalar::ALL {
+            self.add_type(s.name(), TypeKind::Scalar(ScalarInfo::Builtin(s)));
+        }
+        let string = self.schema.by_name["String"];
+        // The paper (§4.3): "we assume that D contains the directives
+        // @distinct, @noLoops, @required, @requiredForTarget,
+        // @uniqueForTarget and @key, … they have no arguments, except for
+        // @key for which typeAD(@key, fields) = [String!]!".
+        let no_args = |name: &str| DirectiveDecl {
+            name: name.to_owned(),
+            args: Vec::new(),
+            locations: Vec::new(),
+        };
+        for name in [
+            dir::REQUIRED,
+            dir::DISTINCT,
+            dir::NO_LOOPS,
+            dir::UNIQUE_FOR_TARGET,
+            dir::REQUIRED_FOR_TARGET,
+        ] {
+            self.add_directive_decl(no_args(name));
+        }
+        self.add_directive_decl(DirectiveDecl {
+            name: dir::KEY.to_owned(),
+            args: vec![ArgInfo {
+                name: "fields".to_owned(),
+                ty: WrappedType::list(string, true, true),
+                scalar_based: true,
+                default: None,
+                directives: Vec::new(),
+            }],
+            locations: vec!["OBJECT".to_owned()],
+        });
+        // @deprecated is a spec built-in frequently present in real SDL;
+        // declaring it keeps such schemas directives-consistent. It has no
+        // Property-Graph meaning.
+        self.add_directive_decl(DirectiveDecl {
+            name: "deprecated".to_owned(),
+            args: vec![ArgInfo {
+                name: "reason".to_owned(),
+                ty: WrappedType::bare(string),
+                scalar_based: true,
+                default: Some(Value::String("No longer supported".to_owned())),
+                directives: Vec::new(),
+            }],
+            locations: vec!["FIELD_DEFINITION".to_owned(), "ENUM_VALUE".to_owned()],
+        });
+    }
+
+    fn add_directive_decl(&mut self, decl: DirectiveDecl) {
+        let ix = self.schema.directive_decls.len();
+        self.schema.dir_by_name.insert(decl.name.clone(), ix);
+        self.schema.directive_decls.push(decl);
+    }
+
+    fn register_names(&mut self, doc: &ast::Document) {
+        for def in &doc.definitions {
+            let ast::Definition::Type(t) = def else {
+                if let ast::Definition::Schema(s) = def {
+                    self.warn(DiagnosticKind::IgnoredSchemaBlock, s.span);
+                }
+                continue;
+            };
+            let name = t.name();
+            if BuiltinScalar::ALL.iter().any(|b| b.name() == name) {
+                self.error(DiagnosticKind::RedefinedBuiltinScalar(name.to_owned()), t.span());
+                continue;
+            }
+            if self.schema.by_name.contains_key(name) || self.input_names.contains_key(name) {
+                self.error(DiagnosticKind::DuplicateType(name.to_owned()), t.span());
+                continue;
+            }
+            match t {
+                ast::TypeDef::Scalar(_) => {
+                    self.add_type(name, TypeKind::Scalar(ScalarInfo::Custom));
+                }
+                ast::TypeDef::Enum(e) => {
+                    let mut values = Vec::with_capacity(e.values.len());
+                    for v in &e.values {
+                        if values.contains(&v.name) {
+                            self.error(
+                                DiagnosticKind::DuplicateEnumValue {
+                                    ty: name.to_owned(),
+                                    value: v.name.clone(),
+                                },
+                                e.span,
+                            );
+                        } else {
+                            values.push(v.name.clone());
+                        }
+                    }
+                    self.add_type(name, TypeKind::Scalar(ScalarInfo::Enum(values)));
+                }
+                ast::TypeDef::Object(_) => {
+                    self.add_type(name, TypeKind::Object(ObjectInfo::default()));
+                }
+                ast::TypeDef::Interface(_) => {
+                    self.add_type(name, TypeKind::Interface(ObjectInfo::default()));
+                }
+                ast::TypeDef::Union(_) => {
+                    self.add_type(name, TypeKind::Union(Vec::new()));
+                }
+                ast::TypeDef::InputObject(io) => {
+                    self.warn(DiagnosticKind::IgnoredInputType(name.to_owned()), io.span);
+                    self.input_names.insert(name.to_owned(), io.span);
+                    self.schema.ignored_input_types.push(name.to_owned());
+                }
+            }
+        }
+    }
+
+    fn register_directive_defs(&mut self, doc: &ast::Document) {
+        for def in &doc.definitions {
+            let ast::Definition::Directive(d) = def else {
+                continue;
+            };
+            let canonical = canonical_directive_name(&d.name);
+            if self.schema.dir_by_name.contains_key(canonical.as_str()) {
+                self.warn(
+                    DiagnosticKind::RedefinedBuiltinDirective(d.name.clone()),
+                    d.span,
+                );
+                continue;
+            }
+            let args = d
+                .args
+                .iter()
+                .filter_map(|a| self.convert_arg(a, &d.name, "", true))
+                .collect();
+            self.add_directive_decl(DirectiveDecl {
+                name: canonical,
+                args,
+                locations: d.locations.clone(),
+            });
+        }
+    }
+
+    fn build_payloads(&mut self, doc: &ast::Document) {
+        for def in &doc.definitions {
+            let ast::Definition::Type(t) = def else {
+                continue;
+            };
+            let Some(&id) = self.schema.by_name.get(t.name()) else {
+                continue; // duplicate or input type; already diagnosed
+            };
+            match t {
+                ast::TypeDef::Object(o) => {
+                    let implements = self.resolve_implements(o);
+                    let fields = self.convert_fields(&o.name, &o.fields);
+                    let directives = self.convert_directive_uses(&o.directives);
+                    let info = &mut self.schema.types[id.index()];
+                    info.directives = directives;
+                    info.kind = TypeKind::Object(make_object(implements, fields));
+                }
+                ast::TypeDef::Interface(i) => {
+                    let fields = self.convert_fields(&i.name, &i.fields);
+                    let directives = self.convert_directive_uses(&i.directives);
+                    let info = &mut self.schema.types[id.index()];
+                    info.directives = directives;
+                    info.kind = TypeKind::Interface(make_object(Vec::new(), fields));
+                }
+                ast::TypeDef::Union(u) => {
+                    let mut members = Vec::with_capacity(u.members.len());
+                    for m in &u.members {
+                        match self.schema.by_name.get(m) {
+                            Some(&mid)
+                                if matches!(
+                                    self.schema.types[mid.index()].kind,
+                                    TypeKind::Object(_)
+                                ) =>
+                            {
+                                members.push(mid);
+                            }
+                            Some(_) => self.error(
+                                DiagnosticKind::BadUnionMember {
+                                    union: u.name.clone(),
+                                    member: m.clone(),
+                                },
+                                u.span,
+                            ),
+                            None => {
+                                self.error(DiagnosticKind::UnknownType(m.clone()), u.span)
+                            }
+                        }
+                    }
+                    let directives = self.convert_directive_uses(&u.directives);
+                    let info = &mut self.schema.types[id.index()];
+                    info.directives = directives;
+                    info.kind = TypeKind::Union(members);
+                }
+                ast::TypeDef::Scalar(s) => {
+                    let directives = self.convert_directive_uses(&s.directives);
+                    self.schema.types[id.index()].directives = directives;
+                }
+                ast::TypeDef::Enum(e) => {
+                    let directives = self.convert_directive_uses(&e.directives);
+                    self.schema.types[id.index()].directives = directives;
+                }
+                ast::TypeDef::InputObject(_) => {}
+            }
+        }
+    }
+
+    fn resolve_implements(&mut self, o: &ast::ObjectTypeDef) -> Vec<TypeId> {
+        let mut out = Vec::with_capacity(o.implements.len());
+        for target in &o.implements {
+            match self.schema.by_name.get(target) {
+                Some(&tid)
+                    if matches!(
+                        self.schema.types[tid.index()].kind,
+                        TypeKind::Interface(_)
+                    ) =>
+                {
+                    out.push(tid);
+                }
+                Some(_) => self.error(
+                    DiagnosticKind::BadImplements {
+                        object: o.name.clone(),
+                        target: target.clone(),
+                    },
+                    o.span,
+                ),
+                None => self.error(DiagnosticKind::UnknownType(target.clone()), o.span),
+            }
+        }
+        out
+    }
+
+    fn convert_fields(&mut self, ty_name: &str, fields: &[ast::FieldDef]) -> Vec<FieldInfo> {
+        let mut out: Vec<FieldInfo> = Vec::with_capacity(fields.len());
+        for f in fields {
+            if out.iter().any(|x| x.name == f.name) {
+                self.error(
+                    DiagnosticKind::DuplicateField {
+                        ty: ty_name.to_owned(),
+                        field: f.name.clone(),
+                    },
+                    f.span,
+                );
+                continue;
+            }
+            let Some(wty) = self.convert_type(&f.ty, f.span) else {
+                continue;
+            };
+            let field_is_attribute = self.schema.is_scalar(wty.base);
+            let mut args: Vec<ArgInfo> = Vec::with_capacity(f.args.len());
+            for a in &f.args {
+                if args.iter().any(|x| x.name == a.name) {
+                    self.error(
+                        DiagnosticKind::DuplicateArg {
+                            ty: ty_name.to_owned(),
+                            field: f.name.clone(),
+                            arg: a.name.clone(),
+                        },
+                        a.span,
+                    );
+                    continue;
+                }
+                if field_is_attribute {
+                    // §3.6: "an attribute definition … should not contain
+                    // field arguments (and if it does, we ignore these
+                    // arguments)". We keep them (marked) for SDL fidelity.
+                    self.warn(
+                        DiagnosticKind::IgnoredAttributeArgument {
+                            ty: ty_name.to_owned(),
+                            field: f.name.clone(),
+                            arg: a.name.clone(),
+                        },
+                        a.span,
+                    );
+                }
+                if let Some(arg) = self.convert_arg(a, ty_name, &f.name, false) {
+                    args.push(arg);
+                }
+            }
+            out.push(FieldInfo {
+                name: f.name.clone(),
+                ty: wty,
+                args,
+                directives: self.convert_directive_uses(&f.directives),
+            });
+        }
+        out
+    }
+
+    /// Converts one argument definition. `in_directive_def` selects the
+    /// diagnostics context (directive declarations vs field arguments).
+    fn convert_arg(
+        &mut self,
+        a: &ast::InputValueDef,
+        owner: &str,
+        field: &str,
+        in_directive_def: bool,
+    ) -> Option<ArgInfo> {
+        // An argument may reference an input object type, which is not in
+        // T; per §3.6 such argument definitions are ignored for the
+        // Property-Graph semantics but must not be a hard error.
+        if self.input_names.contains_key(a.ty.base_name()) {
+            self.warn(
+                DiagnosticKind::IgnoredComplexArgument {
+                    ty: owner.to_owned(),
+                    field: field.to_owned(),
+                    arg: a.name.clone(),
+                },
+                a.span,
+            );
+            return None;
+        }
+        let wty = self.convert_type(&a.ty, a.span)?;
+        let scalar_based = self.schema.is_scalar(wty.base);
+        if !scalar_based && !in_directive_def {
+            self.warn(
+                DiagnosticKind::IgnoredComplexArgument {
+                    ty: owner.to_owned(),
+                    field: field.to_owned(),
+                    arg: a.name.clone(),
+                },
+                a.span,
+            );
+        }
+        let default = a.default.as_ref().map(const_to_value);
+        Some(ArgInfo {
+            name: a.name.clone(),
+            ty: wty,
+            scalar_based,
+            default,
+            directives: self.convert_directive_uses(&a.directives),
+        })
+    }
+
+    /// Converts an AST type into the paper's restricted wrapping shapes.
+    fn convert_type(&mut self, t: &ast::Type, span: Span) -> Option<WrappedType> {
+        use ast::Type as T;
+        let (wrap, base_name) = match t {
+            T::Named(n) => (Wrap::Bare, n),
+            T::NonNull(inner) => match inner.as_ref() {
+                T::Named(n) => (Wrap::NonNull, n),
+                T::List(l) => match l.as_ref() {
+                    T::Named(n) => (
+                        Wrap::List {
+                            inner_non_null: false,
+                            outer_non_null: true,
+                        },
+                        n,
+                    ),
+                    T::NonNull(inner2) => match inner2.as_ref() {
+                        T::Named(n) => (
+                            Wrap::List {
+                                inner_non_null: true,
+                                outer_non_null: true,
+                            },
+                            n,
+                        ),
+                        _ => return self.bad_wrapping(t, span),
+                    },
+                    _ => return self.bad_wrapping(t, span),
+                },
+                T::NonNull(_) => return self.bad_wrapping(t, span),
+            },
+            T::List(l) => match l.as_ref() {
+                T::Named(n) => (
+                    Wrap::List {
+                        inner_non_null: false,
+                        outer_non_null: false,
+                    },
+                    n,
+                ),
+                T::NonNull(inner) => match inner.as_ref() {
+                    T::Named(n) => (
+                        Wrap::List {
+                            inner_non_null: true,
+                            outer_non_null: false,
+                        },
+                        n,
+                    ),
+                    _ => return self.bad_wrapping(t, span),
+                },
+                T::List(_) => return self.bad_wrapping(t, span),
+            },
+        };
+        match self.schema.by_name.get(base_name) {
+            Some(&base) => Some(WrappedType { base, wrap }),
+            None => {
+                self.error(DiagnosticKind::UnknownType(base_name.clone()), span);
+                None
+            }
+        }
+    }
+
+    fn bad_wrapping(&mut self, t: &ast::Type, span: Span) -> Option<WrappedType> {
+        self.error(DiagnosticKind::UnsupportedWrapping(t.to_string()), span);
+        None
+    }
+
+    fn convert_directive_uses(&mut self, uses: &[ast::DirectiveUse]) -> Vec<AppliedDirective> {
+        uses.iter()
+            .map(|u| {
+                let args = u
+                    .args
+                    .iter()
+                    .map(|(k, v)| {
+                        if matches!(v, ast::ConstValue::Object(_)) {
+                            self.warn(
+                                DiagnosticKind::UnrepresentableDirectiveArg {
+                                    directive: u.name.clone(),
+                                    arg: k.clone(),
+                                },
+                                u.span,
+                            );
+                        }
+                        (k.clone(), const_to_value(v))
+                    })
+                    .collect();
+                AppliedDirective {
+                    name: canonical_directive_name(&u.name),
+                    args,
+                }
+            })
+            .collect()
+    }
+
+    fn compute_implementors(&mut self) {
+        let n = self.schema.types.len();
+        let mut impls: Vec<Vec<TypeId>> = vec![Vec::new(); n];
+        for id in 0..n {
+            let TypeKind::Object(o) = &self.schema.types[id].kind else {
+                continue;
+            };
+            for &it in &o.implements {
+                impls[it.index()].push(TypeId::from_index(id));
+            }
+        }
+        self.schema.implementors = impls;
+    }
+}
+
+fn make_object(implements: Vec<TypeId>, fields: Vec<FieldInfo>) -> ObjectInfo {
+    let field_index = fields
+        .iter()
+        .enumerate()
+        .map(|(ix, f)| (f.name.clone(), ix))
+        .collect();
+    ObjectInfo {
+        implements,
+        fields,
+        field_index,
+    }
+}
+
+/// Canonicalises directive-name spelling: the paper uses `@noloops` in §3
+/// and `@noLoops` in §4/§5. Everything else passes through.
+fn canonical_directive_name(name: &str) -> String {
+    if name.eq_ignore_ascii_case("noloops") {
+        crate::directives::NO_LOOPS.to_owned()
+    } else {
+        name.to_owned()
+    }
+}
+
+/// Converts a parsed constant into a property value. Input-object literals
+/// have no property-value counterpart and become `Null` (diagnosed by the
+/// caller).
+fn const_to_value(c: &ast::ConstValue) -> Value {
+    match c {
+        ast::ConstValue::Int(i) => Value::Int(*i),
+        ast::ConstValue::Float(x) => Value::Float(*x),
+        ast::ConstValue::String(s) => Value::String(s.clone()),
+        ast::ConstValue::Bool(b) => Value::Bool(*b),
+        ast::ConstValue::Null => Value::Null,
+        ast::ConstValue::Enum(n) => Value::Enum(n.clone()),
+        ast::ConstValue::List(items) => Value::List(items.iter().map(const_to_value).collect()),
+        ast::ConstValue::Object(_) => Value::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(src: &str) -> Schema {
+        build_schema(&gql_sdl::parse(src).unwrap()).unwrap()
+    }
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        build_schema_with_diagnostics(&gql_sdl::parse(src).unwrap()).1
+    }
+
+    #[test]
+    fn builds_example_3_1() {
+        let s = build(
+            r#"
+            type UserSession {
+                id: ID! @required
+                user: User! @required
+                startTime: Time! @required
+                endTime: Time!
+            }
+            type User {
+                id: ID! @required
+                login: String! @required
+                nicknames: [String!]!
+            }
+            scalar Time
+            "#,
+        );
+        let session = s.type_id("UserSession").unwrap();
+        let user_f = s.field(session, "user").unwrap();
+        assert!(!s.is_scalar(user_f.ty.base));
+        assert!(user_f.has_directive("required"));
+        let user = s.type_id("User").unwrap();
+        let nick = s.field(user, "nicknames").unwrap();
+        assert_eq!(
+            nick.ty.wrap,
+            Wrap::List {
+                inner_non_null: true,
+                outer_non_null: true
+            }
+        );
+        assert!(s.is_scalar(s.type_id("Time").unwrap()));
+    }
+
+    #[test]
+    fn builtins_preexist() {
+        let s = build("");
+        for b in BuiltinScalar::ALL {
+            assert!(s.type_id(b.name()).is_some(), "{} missing", b.name());
+        }
+        for d in [
+            "required",
+            "distinct",
+            "noLoops",
+            "uniqueForTarget",
+            "requiredForTarget",
+            "key",
+        ] {
+            assert!(s.directive_decl(d).is_some(), "@{d} missing");
+        }
+        let key = s.directive_decl("key").unwrap();
+        assert_eq!(
+            s.display_type(&key.arg("fields").unwrap().ty),
+            "[String!]!"
+        );
+    }
+
+    #[test]
+    fn enums_fold_into_scalars() {
+        let s = build("enum LenUnit { METER FEET }");
+        let id = s.type_id("LenUnit").unwrap();
+        assert!(s.is_scalar(id));
+        let Some(ScalarInfo::Enum(vals)) = s.scalar_info(id) else {
+            panic!("expected enum scalar");
+        };
+        assert_eq!(vals, &["METER", "FEET"]);
+    }
+
+    #[test]
+    fn unions_and_interfaces_resolve() {
+        let s = build(
+            r#"
+            union Food = Pizza | Pasta
+            type Pizza implements Edible { name: String! }
+            type Pasta implements Edible { name: String! }
+            interface Edible { name: String! }
+            "#,
+        );
+        let food = s.type_id("Food").unwrap();
+        assert_eq!(s.union_members(food).len(), 2);
+        let edible = s.type_id("Edible").unwrap();
+        let mut impls: Vec<_> = s
+            .implementors(edible)
+            .iter()
+            .map(|&t| s.type_name(t))
+            .collect();
+        impls.sort();
+        assert_eq!(impls, vec!["Pasta", "Pizza"]);
+    }
+
+    #[test]
+    fn unknown_type_is_an_error() {
+        let errs = diags("type T { f: Ghost }");
+        assert!(errs
+            .iter()
+            .any(|d| d.kind == DiagnosticKind::UnknownType("Ghost".into())));
+    }
+
+    #[test]
+    fn nested_lists_are_rejected() {
+        let errs = diags("type T { f: [[Int]] }");
+        assert!(errs
+            .iter()
+            .any(|d| matches!(&d.kind, DiagnosticKind::UnsupportedWrapping(w) if w == "[[Int]]")));
+    }
+
+    #[test]
+    fn duplicate_types_fields_args_are_errors() {
+        assert!(diags("type T { f: Int } type T { g: Int }")
+            .iter()
+            .any(|d| matches!(d.kind, DiagnosticKind::DuplicateType(_))));
+        assert!(diags("type T { f: Int f: String }")
+            .iter()
+            .any(|d| matches!(d.kind, DiagnosticKind::DuplicateField { .. })));
+        assert!(diags("type U {} type T { f(a: Int a: Int): U }")
+            .iter()
+            .any(|d| matches!(d.kind, DiagnosticKind::DuplicateArg { .. })));
+    }
+
+    #[test]
+    fn bad_union_member_and_implements_are_errors() {
+        assert!(diags("union U = Int")
+            .iter()
+            .any(|d| matches!(d.kind, DiagnosticKind::BadUnionMember { .. })));
+        assert!(diags("type A {} type B implements A { f: Int }")
+            .iter()
+            .any(|d| matches!(d.kind, DiagnosticKind::BadImplements { .. })));
+    }
+
+    #[test]
+    fn input_types_and_schema_blocks_warn_but_build() {
+        let (schema, ds) = build_schema_with_diagnostics(
+            &gql_sdl::parse(
+                "schema { query: Q } type Q { f: Int } input P { x: Int }",
+            )
+            .unwrap(),
+        );
+        let s = schema.unwrap();
+        assert_eq!(s.ignored_input_types(), &["P".to_owned()]);
+        assert!(ds.iter().any(|d| d.kind == DiagnosticKind::IgnoredSchemaBlock));
+        assert!(ds
+            .iter()
+            .all(|d| d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn complex_args_warn_and_are_dropped_or_marked() {
+        // Argument referencing an input type: dropped with a warning.
+        let (schema, ds) = build_schema_with_diagnostics(
+            &gql_sdl::parse("input P { x: Int } type U {} type T { f(p: P): U }").unwrap(),
+        );
+        let s = schema.unwrap();
+        let t = s.type_id("T").unwrap();
+        assert_eq!(s.field(t, "f").unwrap().args.len(), 0);
+        assert!(ds
+            .iter()
+            .any(|d| matches!(d.kind, DiagnosticKind::IgnoredComplexArgument { .. })));
+        // Argument of object type: kept but marked non-scalar.
+        let (schema, _) = build_schema_with_diagnostics(
+            &gql_sdl::parse("type U {} type T { f(p: U): U }").unwrap(),
+        );
+        let s = schema.unwrap();
+        let t = s.type_id("T").unwrap();
+        let arg = &s.field(t, "f").unwrap().args[0];
+        assert!(!arg.scalar_based);
+    }
+
+    #[test]
+    fn attribute_arguments_warn() {
+        let ds = diags("type T { len(unit: String): Float }");
+        assert!(ds
+            .iter()
+            .any(|d| matches!(d.kind, DiagnosticKind::IgnoredAttributeArgument { .. })));
+    }
+
+    #[test]
+    fn noloops_spelling_is_canonicalised() {
+        let s = build("type T { r: [T] @noloops }");
+        let t = s.type_id("T").unwrap();
+        assert!(s.field(t, "r").unwrap().has_directive("noLoops"));
+    }
+
+    #[test]
+    fn key_directive_args_convert_to_values() {
+        let s = build(r#"type User @key(fields: ["id", "login"]) { id: ID! login: String! }"#);
+        let u = s.type_id("User").unwrap();
+        let key = &s.type_directives(u)[0];
+        assert_eq!(key.name, "key");
+        let Value::List(items) = key.arg("fields").unwrap() else {
+            panic!("fields should be a list");
+        };
+        assert_eq!(items.len(), 2);
+    }
+
+    #[test]
+    fn redefining_builtin_scalar_is_an_error() {
+        assert!(diags("scalar Int")
+            .iter()
+            .any(|d| matches!(d.kind, DiagnosticKind::RedefinedBuiltinScalar(_))));
+    }
+
+    #[test]
+    fn user_directive_definitions_are_registered() {
+        let s = build("directive @weight(value: Float!) on FIELD_DEFINITION");
+        let d = s.directive_decl("weight").unwrap();
+        assert_eq!(s.display_type(&d.arg("value").unwrap().ty), "Float!");
+        assert_eq!(d.locations, vec!["FIELD_DEFINITION"]);
+    }
+
+    #[test]
+    fn redefined_builtin_directive_warns_and_keeps_builtin() {
+        let (schema, ds) = build_schema_with_diagnostics(
+            &gql_sdl::parse("directive @required(hard: Boolean) on FIELD_DEFINITION").unwrap(),
+        );
+        let s = schema.unwrap();
+        assert!(s.directive_decl("required").unwrap().args.is_empty());
+        assert!(ds
+            .iter()
+            .any(|d| matches!(d.kind, DiagnosticKind::RedefinedBuiltinDirective(_))));
+    }
+
+    #[test]
+    fn type_extensions_fold_into_the_schema() {
+        let s = build(
+            r#"
+            type User { id: ID! }
+            extend type User { email: String @required }
+            "#,
+        );
+        let user = s.type_id("User").unwrap();
+        assert_eq!(s.fields(user).count(), 2);
+        assert!(s.field(user, "email").unwrap().has_directive("required"));
+    }
+
+    #[test]
+    fn bad_extensions_are_build_errors() {
+        let errs = diags("extend type Ghost { x: Int }");
+        assert!(matches!(
+            errs.as_slice(),
+            [Diagnostic {
+                kind: DiagnosticKind::ExtensionError(_),
+                severity: Severity::Error,
+                ..
+            }]
+        ));
+    }
+
+    #[test]
+    fn empty_object_type_builds() {
+        let s = build("type OT1 { }");
+        let t = s.type_id("OT1").unwrap();
+        assert_eq!(s.fields(t).count(), 0);
+    }
+}

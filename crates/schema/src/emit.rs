@@ -1,0 +1,240 @@
+//! Emitting a built [`Schema`] back as an SDL document.
+//!
+//! [`schema_to_document`] reconstructs an `ast::Document` from the formal
+//! model — the canonical normalised form of a schema: built-in scalars
+//! and directive declarations are omitted, definitions appear in intern
+//! order, ignored constructs (input types, schema blocks) are gone.
+//! Rebuilding the emitted document yields an equal [`Schema`]
+//! (round-trip tested), which makes the emitter a normaliser:
+//! `parse → build → emit → print` is a canonical form for SDL text.
+
+use gql_sdl::ast;
+use gql_sdl::{Pos, Span};
+use pgraph::Value;
+
+use crate::model::*;
+use crate::wrap::Wrap;
+
+fn span() -> Span {
+    Span::at(Pos::start())
+}
+
+/// Reconstructs the SDL document of a schema (see module docs).
+pub fn schema_to_document(schema: &Schema) -> ast::Document {
+    let mut definitions = Vec::new();
+    for id in schema.type_ids() {
+        let info = schema.type_info(id);
+        // Skip built-in scalars.
+        if BuiltinScalar::ALL.iter().any(|b| b.name() == info.name) {
+            continue;
+        }
+        let def = match &info.kind {
+            TypeKind::Scalar(ScalarInfo::Builtin(_)) => continue,
+            TypeKind::Scalar(ScalarInfo::Custom) => {
+                ast::TypeDef::Scalar(ast::ScalarTypeDef {
+                    description: None,
+                    name: info.name.clone(),
+                    directives: emit_directives(&info.directives),
+                    span: span(),
+                })
+            }
+            TypeKind::Scalar(ScalarInfo::Enum(values)) => {
+                ast::TypeDef::Enum(ast::EnumTypeDef {
+                    description: None,
+                    name: info.name.clone(),
+                    directives: emit_directives(&info.directives),
+                    values: values
+                        .iter()
+                        .map(|v| ast::EnumValueDef {
+                            description: None,
+                            name: v.clone(),
+                            directives: Vec::new(),
+                        })
+                        .collect(),
+                    span: span(),
+                })
+            }
+            TypeKind::Object(obj) => ast::TypeDef::Object(ast::ObjectTypeDef {
+                description: None,
+                name: info.name.clone(),
+                implements: obj
+                    .implements
+                    .iter()
+                    .map(|&t| schema.type_name(t).to_owned())
+                    .collect(),
+                directives: emit_directives(&info.directives),
+                fields: emit_fields(schema, &obj.fields),
+                span: span(),
+            }),
+            TypeKind::Interface(iface) => ast::TypeDef::Interface(ast::InterfaceTypeDef {
+                description: None,
+                name: info.name.clone(),
+                directives: emit_directives(&info.directives),
+                fields: emit_fields(schema, &iface.fields),
+                span: span(),
+            }),
+            TypeKind::Union(members) => ast::TypeDef::Union(ast::UnionTypeDef {
+                description: None,
+                name: info.name.clone(),
+                directives: emit_directives(&info.directives),
+                members: members
+                    .iter()
+                    .map(|&t| schema.type_name(t).to_owned())
+                    .collect(),
+                span: span(),
+            }),
+        };
+        definitions.push(ast::Definition::Type(def));
+    }
+    ast::Document { definitions }
+}
+
+fn emit_fields(schema: &Schema, fields: &[FieldInfo]) -> Vec<ast::FieldDef> {
+    fields
+        .iter()
+        .map(|f| ast::FieldDef {
+            description: None,
+            name: f.name.clone(),
+            args: f
+                .args
+                .iter()
+                .map(|a| ast::InputValueDef {
+                    description: None,
+                    name: a.name.clone(),
+                    ty: emit_type(schema, &a.ty),
+                    default: a.default.as_ref().map(value_to_const),
+                    directives: emit_directives(&a.directives),
+                    span: span(),
+                })
+                .collect(),
+            ty: emit_type(schema, &f.ty),
+            directives: emit_directives(&f.directives),
+            span: span(),
+        })
+        .collect()
+}
+
+fn emit_type(schema: &Schema, ty: &crate::WrappedType) -> ast::Type {
+    let named = ast::Type::Named(schema.type_name(ty.base).to_owned());
+    match ty.wrap {
+        Wrap::Bare => named,
+        Wrap::NonNull => ast::Type::NonNull(Box::new(named)),
+        Wrap::List {
+            inner_non_null,
+            outer_non_null,
+        } => {
+            let inner = if inner_non_null {
+                ast::Type::NonNull(Box::new(named))
+            } else {
+                named
+            };
+            let list = ast::Type::List(Box::new(inner));
+            if outer_non_null {
+                ast::Type::NonNull(Box::new(list))
+            } else {
+                list
+            }
+        }
+    }
+}
+
+fn emit_directives(directives: &[AppliedDirective]) -> Vec<ast::DirectiveUse> {
+    directives
+        .iter()
+        .map(|d| ast::DirectiveUse {
+            name: d.name.clone(),
+            args: d
+                .args
+                .iter()
+                .map(|(k, v)| (k.clone(), value_to_const(v)))
+                .collect(),
+            span: span(),
+        })
+        .collect()
+}
+
+fn value_to_const(v: &Value) -> ast::ConstValue {
+    match v {
+        Value::Int(i) => ast::ConstValue::Int(*i),
+        Value::Float(f) => ast::ConstValue::Float(*f),
+        Value::String(s) => ast::ConstValue::String(s.clone()),
+        Value::Bool(b) => ast::ConstValue::Bool(*b),
+        Value::Id(s) => ast::ConstValue::String(s.clone()),
+        Value::Enum(n) => ast::ConstValue::Enum(n.clone()),
+        Value::List(items) => {
+            ast::ConstValue::List(items.iter().map(value_to_const).collect())
+        }
+        Value::Null => ast::ConstValue::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_schema;
+
+    fn roundtrip(src: &str) -> (Schema, Schema) {
+        let original = build_schema(&gql_sdl::parse(src).unwrap()).unwrap();
+        let emitted = gql_sdl::print_document(&schema_to_document(&original));
+        let rebuilt = build_schema(&gql_sdl::parse(&emitted).unwrap())
+            .unwrap_or_else(|e| panic!("emitted SDL does not rebuild: {e:?}\n{emitted}"));
+        (original, rebuilt)
+    }
+
+    #[test]
+    fn roundtrip_preserves_the_schema() {
+        let (a, b) = roundtrip(
+            r#"
+            type UserSession {
+                id: ID! @required
+                user(certainty: Float! comment: String = "n/a"): User! @required
+            }
+            type User @key(fields: ["id"]) {
+                id: ID! @required
+                nicknames: [String!]!
+            }
+            scalar Time
+            enum Unit { METER FEET }
+            interface Named { name: String }
+            union Subject = User
+            "#,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn builtins_are_not_emitted() {
+        let schema = build_schema(&gql_sdl::parse("type T { x: Int }").unwrap()).unwrap();
+        let doc = schema_to_document(&schema);
+        assert_eq!(doc.definitions.len(), 1);
+        let printed = gql_sdl::print_document(&doc);
+        assert!(!printed.contains("scalar Int"));
+    }
+
+    #[test]
+    fn normalisation_is_idempotent() {
+        let src = "type B { x: Int }\ntype A { b: [B!]! @distinct }";
+        let s1 = build_schema(&gql_sdl::parse(src).unwrap()).unwrap();
+        let once = gql_sdl::print_document(&schema_to_document(&s1));
+        let s2 = build_schema(&gql_sdl::parse(&once).unwrap()).unwrap();
+        let twice = gql_sdl::print_document(&schema_to_document(&s2));
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn interfaces_and_unions_survive() {
+        let (a, b) = roundtrip(
+            r#"
+            interface Food { name: String! }
+            type Pizza implements Food { name: String! }
+            type Pasta implements Food { name: String! }
+            union Meal = Pizza | Pasta
+            "#,
+        );
+        assert_eq!(a, b);
+        let meal = b.type_id("Meal").unwrap();
+        assert_eq!(b.union_members(meal).len(), 2);
+        let food = b.type_id("Food").unwrap();
+        assert_eq!(b.implementors(food).len(), 2);
+    }
+}

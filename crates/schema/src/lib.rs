@@ -1,0 +1,73 @@
+//! # gql-schema — the formal GraphQL schema model
+//!
+//! This crate implements §4 of Hartig & Hidders: a *concise formalization
+//! of the notion of schemas captured by the GraphQL SDL*, extended from
+//! Hartig & Pérez with non-null types, wrapping-type semantics, and
+//! directives.
+//!
+//! The pieces map one-to-one onto the paper:
+//!
+//! | Paper (§4)                         | Here                                   |
+//! |------------------------------------|----------------------------------------|
+//! | finite sets `F, A, T, S, D`        | interned tables inside [`Schema`]      |
+//! | `typeF : (OT ∪ IT) × F ⇀ T ∪ WT`   | [`Schema::field`] / [`FieldInfo::ty`]  |
+//! | `typeAF : dom(typeF) × A ⇀ S ∪ WS` | [`FieldInfo::args`]                    |
+//! | `typeAD : D × A ⇀ S ∪ WS`          | [`DirectiveDecl::args`]                |
+//! | `unionS : UT → 2^OT`               | [`TypeKind::Union`]                    |
+//! | `implementationS : IT → 2^OT`      | [`Schema::implementors`]               |
+//! | `directivesS` (on types/fields/args) | `directives` vectors on each item   |
+//! | wrapping types `t!,[t],[t!],[t]!,[t!]!` | [`Wrap`] / [`WrappedType`]        |
+//! | `basetype`                         | [`WrappedType::base`]                  |
+//! | `valuesW` (§4.1)                   | [`Schema::value_conforms`]             |
+//! | subtype relation `⊑S` (rules 1–7)  | [`subtype`]                            |
+//! | interface consistency (Def. 4.3)   | [`consistency::check`]                 |
+//! | directives consistency (Def. 4.4)  | [`consistency::check`]                 |
+//!
+//! Per footnote 1 of the paper, enum types are folded into the scalar
+//! types: an enum is a scalar whose value set is its symbol set.
+//!
+//! ```
+//! let doc = gql_sdl::parse("type User { id: ID! @required login: String! }").unwrap();
+//! let schema = gql_schema::build_schema(&doc).unwrap();
+//! let user = schema.type_id("User").unwrap();
+//! assert!(schema.object_type(user).is_some());
+//! assert_eq!(schema.fields(user).count(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod build;
+pub mod emit;
+pub mod consistency;
+mod model;
+pub mod subtype;
+mod values;
+mod wrap;
+
+pub use build::{
+    build_schema, build_schema_with_diagnostics, Diagnostic, DiagnosticKind, Severity,
+};
+pub use model::{
+    AppliedDirective, ArgInfo, BuiltinScalar, DirectiveDecl, FieldInfo, ObjectInfo, Schema,
+    ScalarInfo, TypeId, TypeKind,
+};
+pub use wrap::{Wrap, WrappedType};
+
+/// Names of the six schema directives the paper introduces (§3, §4.3).
+pub mod directives {
+    /// Mandatory property / mandatory edge (DS5/DS6).
+    pub const REQUIRED: &str = "required";
+    /// Edges identified by endpoints and label (DS1).
+    pub const DISTINCT: &str = "distinct";
+    /// No self-loop edges (DS2). The paper writes `@noloops` in §3 and
+    /// `@noLoops` in §4.3/§5; we canonicalise to this spelling and accept
+    /// both on input.
+    pub const NO_LOOPS: &str = "noLoops";
+    /// Target has at most one incoming edge of this type (DS3).
+    pub const UNIQUE_FOR_TARGET: &str = "uniqueForTarget";
+    /// Target has at least one incoming edge of this type (DS4).
+    pub const REQUIRED_FOR_TARGET: &str = "requiredForTarget";
+    /// Key constraint over node properties (DS7).
+    pub const KEY: &str = "key";
+}

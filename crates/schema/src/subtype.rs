@@ -1,0 +1,212 @@
+//! The subtype relation `⊑S` (paper §4.3).
+//!
+//! `⊑S` is the smallest relation over `T ∪ W_T` closed under:
+//!
+//! ```text
+//! (1) t ⊑ t
+//! (2) t ∈ implementationS(s)  ⟹  t ⊑ s
+//! (3) t ∈ unionS(s)           ⟹  t ⊑ s
+//! (4) t ⊑ s ⟹ [t] ⊑ [s]
+//! (5) t ⊑ s ⟹  t  ⊑ [s]
+//! (6) t ⊑ s ⟹  t! ⊑ s
+//! (7) t ⊑ s ⟹  t! ⊑ s!
+//! ```
+//!
+//! Because implementation/union hierarchies are one level deep and
+//! wrappings at most three levels, membership is decidable by direct
+//! structural recursion (this is the observation behind the AC0 bound in
+//! the proof of Theorem 1).
+
+use crate::model::{Schema, TypeId, TypeKind};
+use crate::wrap::{Wrap, WrappedType};
+
+/// Decides `sub ⊑S sup` for *named* types (rules 1–3).
+pub fn named_subtype(schema: &Schema, sub: TypeId, sup: TypeId) -> bool {
+    if sub == sup {
+        return true;
+    }
+    match &schema.type_info(sup).kind {
+        TypeKind::Interface(_) => schema.implementors(sup).contains(&sub),
+        TypeKind::Union(members) => members.contains(&sub),
+        _ => false,
+    }
+}
+
+/// A type expression in the shape the paper's rules operate on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Ty {
+    Named(TypeId),
+    NonNull(Box<Ty>),
+    List(Box<Ty>),
+}
+
+fn expand(w: &WrappedType) -> Ty {
+    let named = Ty::Named(w.base);
+    match w.wrap {
+        Wrap::Bare => named,
+        Wrap::NonNull => Ty::NonNull(Box::new(named)),
+        Wrap::List {
+            inner_non_null,
+            outer_non_null,
+        } => {
+            let inner = if inner_non_null {
+                Ty::NonNull(Box::new(named))
+            } else {
+                named
+            };
+            let list = Ty::List(Box::new(inner));
+            if outer_non_null {
+                Ty::NonNull(Box::new(list))
+            } else {
+                list
+            }
+        }
+    }
+}
+
+fn le(schema: &Schema, a: &Ty, b: &Ty) -> bool {
+    match (a, b) {
+        (Ty::Named(x), Ty::Named(y)) => named_subtype(schema, *x, *y),
+        // Rule 7 first, then rule 6 lets a non-null left drop its `!`
+        // against any right-hand side.
+        (Ty::NonNull(x), Ty::NonNull(y)) => le(schema, x, y),
+        (Ty::NonNull(x), _) => le(schema, x, b),
+        // Rule 4.
+        (Ty::List(x), Ty::List(y)) => le(schema, x, y),
+        // Rule 5: promote a non-list left into a singleton-list reading.
+        (_, Ty::List(y)) => le(schema, a, y),
+        _ => false,
+    }
+}
+
+/// Decides `sub ⊑S sup` for possibly wrapped types (rules 1–7).
+pub fn wrapped_subtype(schema: &Schema, sub: &WrappedType, sup: &WrappedType) -> bool {
+    le(schema, &expand(sub), &expand(sup))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_schema;
+
+    fn schema() -> Schema {
+        build_schema(
+            &gql_sdl::parse(
+                r#"
+                interface Food { name: String! }
+                type Pizza implements Food { name: String! }
+                type Pasta implements Food { name: String! }
+                union Meal = Pizza | Pasta
+                type Person { name: String! }
+                "#,
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reflexive_on_named_types() {
+        let s = schema();
+        for id in s.type_ids() {
+            assert!(named_subtype(&s, id, id));
+        }
+    }
+
+    #[test]
+    fn implementation_and_union_membership() {
+        let s = schema();
+        let pizza = s.type_id("Pizza").unwrap();
+        let pasta = s.type_id("Pasta").unwrap();
+        let food = s.type_id("Food").unwrap();
+        let meal = s.type_id("Meal").unwrap();
+        let person = s.type_id("Person").unwrap();
+        assert!(named_subtype(&s, pizza, food));
+        assert!(named_subtype(&s, pasta, food));
+        assert!(named_subtype(&s, pizza, meal));
+        assert!(!named_subtype(&s, person, food));
+        assert!(!named_subtype(&s, food, pizza)); // not symmetric
+        assert!(!named_subtype(&s, food, meal)); // interfaces ⋢ unions
+    }
+
+    #[test]
+    fn wrapped_rules_4_to_7() {
+        let s = schema();
+        let pizza = s.type_id("Pizza").unwrap();
+        let food = s.type_id("Food").unwrap();
+        let bare = |t| WrappedType::bare(t);
+        let nn = |t| WrappedType::non_null(t);
+        let list = |t| WrappedType::list(t, false, false);
+        let list_nn_inner = |t| WrappedType::list(t, true, false);
+
+        // Rule 4: [Pizza] ⊑ [Food]
+        assert!(wrapped_subtype(&s, &list(pizza), &list(food)));
+        // Rule 5: Pizza ⊑ [Food]
+        assert!(wrapped_subtype(&s, &bare(pizza), &list(food)));
+        // Rule 6: Pizza! ⊑ Food
+        assert!(wrapped_subtype(&s, &nn(pizza), &bare(food)));
+        // Rule 7: Pizza! ⊑ Food!
+        assert!(wrapped_subtype(&s, &nn(pizza), &nn(food)));
+        // Rules 6+5: Pizza! ⊑ [Food]
+        assert!(wrapped_subtype(&s, &nn(pizza), &list(food)));
+        // Rules 4 with inner non-null: [Pizza!] ⊑ [Food]
+        assert!(wrapped_subtype(&s, &list_nn_inner(pizza), &list(food)));
+        // [Pizza!]! ⊑ [Food!]! via rules 7 + 4 + 7.
+        assert!(wrapped_subtype(
+            &s,
+            &WrappedType::list(pizza, true, true),
+            &WrappedType::list(food, true, true)
+        ));
+    }
+
+    #[test]
+    fn non_derivable_judgements_fail() {
+        let s = schema();
+        let pizza = s.type_id("Pizza").unwrap();
+        let food = s.type_id("Food").unwrap();
+        // No rule introduces `!` on the right from a plain left.
+        assert!(!wrapped_subtype(
+            &s,
+            &WrappedType::bare(pizza),
+            &WrappedType::non_null(food)
+        ));
+        // [Pizza] ⊑ [Food]! needs a non-null left.
+        assert!(!wrapped_subtype(
+            &s,
+            &WrappedType::list(pizza, false, false),
+            &WrappedType::list(food, false, true)
+        ));
+        // Lists never subsume named types.
+        assert!(!wrapped_subtype(
+            &s,
+            &WrappedType::list(pizza, false, false),
+            &WrappedType::bare(food)
+        ));
+        // [Food] ⊑ [Pizza] is not derivable (no contravariance).
+        assert!(!wrapped_subtype(
+            &s,
+            &WrappedType::list(food, false, false),
+            &WrappedType::list(pizza, false, false)
+        ));
+        // Inner nullability mismatch: [Pizza] ⊑ [Food!] fails because
+        // Pizza ⊑ Food! is not derivable.
+        assert!(!wrapped_subtype(
+            &s,
+            &WrappedType::list(pizza, false, false),
+            &WrappedType::list(food, true, false)
+        ));
+    }
+
+    #[test]
+    fn outer_non_null_list_drops_on_left() {
+        let s = schema();
+        let pizza = s.type_id("Pizza").unwrap();
+        let food = s.type_id("Food").unwrap();
+        // [Pizza]! ⊑ [Food] via rule 6 then rule 4.
+        assert!(wrapped_subtype(
+            &s,
+            &WrappedType::list(pizza, false, true),
+            &WrappedType::list(food, false, false)
+        ));
+    }
+}

@@ -1,0 +1,228 @@
+//! The `valuesW` semantics of wrapped scalar types (paper §4.1).
+//!
+//! The paper defines, for `t ∈ Scalars ∪ W_Scalars`:
+//!
+//! 1. `valuesW(t) = values(t) ∪ {null}` for bare scalars,
+//! 2. `valuesW(t!) = valuesW(t) \ {null}`,
+//! 3. `valuesW([t]) = L(valuesW(t)) ∪ {null}` — finite lists over the
+//!    element space, plus null.
+//!
+//! [`Schema::value_conforms`] decides membership `v ∈ valuesW(t)` without
+//! materialising the (infinite) sets.
+
+use pgraph::Value;
+
+use crate::model::{BuiltinScalar, ScalarInfo, Schema};
+use crate::wrap::{Wrap, WrappedType};
+
+impl Schema {
+    /// Decides `v ∈ valuesW(ty)`.
+    ///
+    /// Returns `false` whenever `ty`'s base is not a scalar (the paper's
+    /// `valuesW` is only defined over `Scalars ∪ W_Scalars`).
+    pub fn value_conforms(&self, v: &Value, ty: &WrappedType) -> bool {
+        let Some(info) = self.scalar_info(ty.base) else {
+            return false;
+        };
+        match ty.wrap {
+            Wrap::Bare => v.is_null() || scalar_value_ok(v, info),
+            Wrap::NonNull => !v.is_null() && scalar_value_ok(v, info),
+            Wrap::List {
+                inner_non_null,
+                outer_non_null,
+            } => {
+                if v.is_null() {
+                    return !outer_non_null;
+                }
+                let Some(items) = v.as_list() else {
+                    return false;
+                };
+                items.iter().all(|item| {
+                    if item.is_null() {
+                        !inner_non_null
+                    } else {
+                        scalar_value_ok(item, info)
+                    }
+                })
+            }
+        }
+    }
+}
+
+/// Decides `v ∈ values(t)` for a non-null, non-list value `v` and a named
+/// scalar type `t`.
+fn scalar_value_ok(v: &Value, info: &ScalarInfo) -> bool {
+    match info {
+        ScalarInfo::Builtin(b) => match b {
+            // Spec §3.5.1: Int is a signed 32-bit integer.
+            BuiltinScalar::Int => v
+                .as_int()
+                .is_some_and(|i| i >= i32::MIN as i64 && i <= i32::MAX as i64),
+            // Spec §3.5.2: Float accepts integer input (coercion).
+            BuiltinScalar::Float => matches!(v, Value::Float(_) | Value::Int(_)),
+            BuiltinScalar::String => matches!(v, Value::String(_)),
+            BuiltinScalar::Boolean => matches!(v, Value::Bool(_)),
+            // Spec §3.5.5: ID serialises as String and accepts Int input.
+            BuiltinScalar::Id => matches!(v, Value::Id(_) | Value::String(_) | Value::Int(_)),
+        },
+        // A custom scalar's value space is opaque; any atomic value is in
+        // `values(t)` (lists and null are excluded — those arise only from
+        // wrapping).
+        ScalarInfo::Custom => !v.is_list() && !v.is_null(),
+        ScalarInfo::Enum(symbols) => match v {
+            Value::Enum(s) => symbols.iter().any(|x| x == s),
+            _ => false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_schema;
+
+    fn schema() -> Schema {
+        build_schema(
+            &gql_sdl::parse("scalar Time enum LenUnit { METER FEET } type T { f: Int }")
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn ty(s: &Schema, name: &str, wrap: Wrap) -> WrappedType {
+        WrappedType {
+            base: s.type_id(name).unwrap(),
+            wrap,
+        }
+    }
+
+    #[test]
+    fn bare_scalars_admit_null() {
+        let s = schema();
+        let int = ty(&s, "Int", Wrap::Bare);
+        assert!(s.value_conforms(&Value::Int(5), &int));
+        assert!(s.value_conforms(&Value::Null, &int));
+        assert!(!s.value_conforms(&Value::from("x"), &int));
+    }
+
+    #[test]
+    fn non_null_excludes_null() {
+        let s = schema();
+        let int_nn = ty(&s, "Int", Wrap::NonNull);
+        assert!(s.value_conforms(&Value::Int(5), &int_nn));
+        assert!(!s.value_conforms(&Value::Null, &int_nn));
+    }
+
+    #[test]
+    fn int_is_32_bit() {
+        let s = schema();
+        let int_nn = ty(&s, "Int", Wrap::NonNull);
+        assert!(s.value_conforms(&Value::Int(i32::MAX as i64), &int_nn));
+        assert!(!s.value_conforms(&Value::Int(i32::MAX as i64 + 1), &int_nn));
+        assert!(!s.value_conforms(&Value::Int(i32::MIN as i64 - 1), &int_nn));
+    }
+
+    #[test]
+    fn float_coerces_int() {
+        let s = schema();
+        let f = ty(&s, "Float", Wrap::NonNull);
+        assert!(s.value_conforms(&Value::Float(1.5), &f));
+        assert!(s.value_conforms(&Value::Int(2), &f));
+        assert!(!s.value_conforms(&Value::from("2"), &f));
+    }
+
+    #[test]
+    fn id_accepts_id_string_and_int() {
+        let s = schema();
+        let id = ty(&s, "ID", Wrap::NonNull);
+        assert!(s.value_conforms(&Value::Id("u1".into()), &id));
+        assert!(s.value_conforms(&Value::from("u1"), &id));
+        assert!(s.value_conforms(&Value::Int(9), &id));
+        assert!(!s.value_conforms(&Value::Bool(true), &id));
+    }
+
+    #[test]
+    fn enum_values_must_be_symbols_of_the_type() {
+        let s = schema();
+        let unit = ty(&s, "LenUnit", Wrap::NonNull);
+        assert!(s.value_conforms(&Value::Enum("METER".into()), &unit));
+        assert!(!s.value_conforms(&Value::Enum("MILE".into()), &unit));
+        assert!(!s.value_conforms(&Value::from("METER"), &unit));
+    }
+
+    #[test]
+    fn custom_scalars_accept_any_atomic_value() {
+        let s = schema();
+        let time = ty(&s, "Time", Wrap::NonNull);
+        assert!(s.value_conforms(&Value::from("2019-06-30T10:00:00Z"), &time));
+        assert!(s.value_conforms(&Value::Int(1561888800), &time));
+        assert!(!s.value_conforms(&Value::List(vec![]), &time));
+        assert!(!s.value_conforms(&Value::Null, &time));
+    }
+
+    #[test]
+    fn list_wrappings_follow_values_w() {
+        let s = schema();
+        let list = ty(
+            &s,
+            "String",
+            Wrap::List {
+                inner_non_null: false,
+                outer_non_null: false,
+            },
+        );
+        let list_inner_nn = ty(
+            &s,
+            "String",
+            Wrap::List {
+                inner_non_null: true,
+                outer_non_null: false,
+            },
+        );
+        let list_outer_nn = ty(
+            &s,
+            "String",
+            Wrap::List {
+                inner_non_null: false,
+                outer_non_null: true,
+            },
+        );
+        let with_null = Value::List(vec![Value::from("a"), Value::Null]);
+        let clean = Value::List(vec![Value::from("a"), Value::from("b")]);
+        let empty = Value::List(vec![]);
+        assert!(s.value_conforms(&with_null, &list));
+        assert!(!s.value_conforms(&with_null, &list_inner_nn));
+        assert!(s.value_conforms(&clean, &list_inner_nn));
+        assert!(s.value_conforms(&empty, &list_inner_nn)); // empty list OK
+        assert!(s.value_conforms(&Value::Null, &list));
+        assert!(!s.value_conforms(&Value::Null, &list_outer_nn));
+        // A bare scalar is not a list value.
+        assert!(!s.value_conforms(&Value::from("a"), &list));
+    }
+
+    #[test]
+    fn wrong_element_types_fail_in_lists() {
+        let s = schema();
+        let list = ty(
+            &s,
+            "Int",
+            Wrap::List {
+                inner_non_null: true,
+                outer_non_null: true,
+            },
+        );
+        assert!(s.value_conforms(&Value::from(vec![1i64, 2]), &list));
+        assert!(!s.value_conforms(
+            &Value::List(vec![Value::Int(1), Value::from("x")]),
+            &list
+        ));
+    }
+
+    #[test]
+    fn object_typed_references_never_conform() {
+        let s = schema();
+        let t = ty(&s, "T", Wrap::Bare);
+        assert!(!s.value_conforms(&Value::Int(1), &t));
+        assert!(!s.value_conforms(&Value::Null, &t));
+    }
+}

@@ -1,0 +1,150 @@
+//! Wrapping types (paper §4.1).
+//!
+//! The paper admits exactly six shapes over a named type `t`:
+//! `t`, `t!`, `[t]`, `[t!]`, `[t]!`, `[t!]!` — lists never nest and
+//! non-null never applies twice at the same level. [`Wrap`] encodes the
+//! shape and [`WrappedType`] pairs it with the underlying named type, so
+//! `basetype` is just a field access.
+
+use crate::model::TypeId;
+
+/// The wrapping shape of a type reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Wrap {
+    /// `t` — the bare named type.
+    Bare,
+    /// `t!`
+    NonNull,
+    /// `[t]`, `[t!]`, `[t]!`, `[t!]!` depending on the two flags.
+    List {
+        /// True for `[t!]` / `[t!]!` — elements must not be null.
+        inner_non_null: bool,
+        /// True for `[t]!` / `[t!]!` — the list itself must not be null.
+        outer_non_null: bool,
+    },
+}
+
+impl Wrap {
+    /// All six shapes, for exhaustive tests and generators.
+    pub const ALL: [Wrap; 6] = [
+        Wrap::Bare,
+        Wrap::NonNull,
+        Wrap::List {
+            inner_non_null: false,
+            outer_non_null: false,
+        },
+        Wrap::List {
+            inner_non_null: true,
+            outer_non_null: false,
+        },
+        Wrap::List {
+            inner_non_null: false,
+            outer_non_null: true,
+        },
+        Wrap::List {
+            inner_non_null: true,
+            outer_non_null: true,
+        },
+    ];
+
+    /// True if this shape is a list type (possibly non-null-wrapped).
+    ///
+    /// This is the discriminator WS4 uses: "`typeF(λ(v1), f)` is not a list
+    /// type or a list type wrapped in non-null type".
+    pub fn is_list(self) -> bool {
+        matches!(self, Wrap::List { .. })
+    }
+
+    /// True if the outermost type is non-null (`t!`, `[t]!`, `[t!]!`).
+    pub fn outer_non_null(self) -> bool {
+        match self {
+            Wrap::Bare => false,
+            Wrap::NonNull => true,
+            Wrap::List { outer_non_null, .. } => outer_non_null,
+        }
+    }
+}
+
+/// A (possibly wrapped) reference to a named type: an element of
+/// `T ∪ W_T`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WrappedType {
+    /// The underlying named type — the paper's `basetype`.
+    pub base: TypeId,
+    /// The wrapping shape.
+    pub wrap: Wrap,
+}
+
+impl WrappedType {
+    /// A bare reference to `base`.
+    pub fn bare(base: TypeId) -> Self {
+        WrappedType {
+            base,
+            wrap: Wrap::Bare,
+        }
+    }
+
+    /// `base!`
+    pub fn non_null(base: TypeId) -> Self {
+        WrappedType {
+            base,
+            wrap: Wrap::NonNull,
+        }
+    }
+
+    /// `[base]` with the given nullability flags.
+    pub fn list(base: TypeId, inner_non_null: bool, outer_non_null: bool) -> Self {
+        WrappedType {
+            base,
+            wrap: Wrap::List {
+                inner_non_null,
+                outer_non_null,
+            },
+        }
+    }
+
+    /// True if this is a list type (in any nullability variant).
+    pub fn is_list(&self) -> bool {
+        self.wrap.is_list()
+    }
+
+    /// Renders the type around a given base-type name, e.g.
+    /// `render("User")` on a `[t!]!` shape yields `"[User!]!"`.
+    pub fn render(&self, name: &str) -> String {
+        match self.wrap {
+            Wrap::Bare => name.to_owned(),
+            Wrap::NonNull => format!("{name}!"),
+            Wrap::List {
+                inner_non_null,
+                outer_non_null,
+            } => format!(
+                "[{name}{}]{}",
+                if inner_non_null { "!" } else { "" },
+                if outer_non_null { "!" } else { "" }
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_shapes_exist_and_classify() {
+        assert_eq!(Wrap::ALL.len(), 6);
+        assert_eq!(Wrap::ALL.iter().filter(|w| w.is_list()).count(), 4);
+        assert_eq!(Wrap::ALL.iter().filter(|w| w.outer_non_null()).count(), 3);
+    }
+
+    #[test]
+    fn render_shapes() {
+        let t = TypeId::from_index(0);
+        assert_eq!(WrappedType::bare(t).render("T"), "T");
+        assert_eq!(WrappedType::non_null(t).render("T"), "T!");
+        assert_eq!(WrappedType::list(t, false, false).render("T"), "[T]");
+        assert_eq!(WrappedType::list(t, true, false).render("T"), "[T!]");
+        assert_eq!(WrappedType::list(t, false, true).render("T"), "[T]!");
+        assert_eq!(WrappedType::list(t, true, true).render("T"), "[T!]!");
+    }
+}

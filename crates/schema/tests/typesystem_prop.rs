@@ -1,0 +1,161 @@
+//! Property tests for the §4 type system: `valuesW` monotonicity across
+//! wrappings, subtype-relation laws, and build determinism.
+
+use gql_schema::{build_schema, Schema, Wrap, WrappedType};
+use pgraph::Value;
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    build_schema(
+        &gql_sdl::parse(
+            r#"
+            scalar Time
+            enum Unit { METER FEET }
+            interface Food { name: String! }
+            type Pizza implements Food { name: String! }
+            type Pasta implements Food { name: String! }
+            union Meal = Pizza | Pasta
+            "#,
+        )
+        .unwrap(),
+    )
+    .unwrap()
+}
+
+fn scalar_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        "[ -~]{0,8}".prop_map(Value::String),
+        any::<bool>().prop_map(Value::Bool),
+        "[a-z0-9]{1,6}".prop_map(Value::Id),
+        prop_oneof![Just("METER"), Just("FEET"), Just("MILE")]
+            .prop_map(|s| Value::Enum(s.to_owned())),
+        Just(Value::Null),
+    ]
+}
+
+fn any_value() -> impl Strategy<Value = Value> {
+    let leaf = scalar_value();
+    leaf.prop_recursive(1, 8, 4, |inner| {
+        prop::collection::vec(inner, 0..4).prop_map(Value::List)
+    })
+}
+
+fn scalar_name() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("Int"),
+        Just("Float"),
+        Just("String"),
+        Just("Boolean"),
+        Just("ID"),
+        Just("Time"),
+        Just("Unit"),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Rule 2 of valuesW: valuesW(t!) = valuesW(t) \ {null} — so t!
+    /// conformance implies t conformance, and null never conforms to t!.
+    #[test]
+    fn non_null_conformance_implies_nullable(v in any_value(), base in scalar_name()) {
+        let s = schema();
+        let id = s.type_id(base).unwrap();
+        let nn = WrappedType::non_null(id);
+        let bare = WrappedType::bare(id);
+        if s.value_conforms(&v, &nn) {
+            prop_assert!(s.value_conforms(&v, &bare));
+            prop_assert!(!v.is_null());
+        }
+        // And conversely: bare-conformant non-null values conform to t!.
+        if s.value_conforms(&v, &bare) && !v.is_null() {
+            prop_assert!(s.value_conforms(&v, &nn));
+        }
+    }
+
+    /// Stricter list wrappings accept subsets: [t!]! ⊆ [t!] ⊆ [t] and
+    /// [t!]! ⊆ [t]! ⊆ [t] as value spaces.
+    #[test]
+    fn list_wrapping_value_spaces_nest(v in any_value(), base in scalar_name()) {
+        let s = schema();
+        let id = s.type_id(base).unwrap();
+        let l = |inner, outer| WrappedType::list(id, inner, outer);
+        if s.value_conforms(&v, &l(true, true)) {
+            prop_assert!(s.value_conforms(&v, &l(true, false)));
+            prop_assert!(s.value_conforms(&v, &l(false, true)));
+        }
+        if s.value_conforms(&v, &l(true, false)) || s.value_conforms(&v, &l(false, true)) {
+            prop_assert!(s.value_conforms(&v, &l(false, false)));
+        }
+    }
+
+    /// A non-null, non-list value never conforms to a list type, and a
+    /// list value never conforms to a bare/non-null scalar type.
+    #[test]
+    fn lists_and_scalars_do_not_cross(v in any_value(), base in scalar_name()) {
+        let s = schema();
+        let id = s.type_id(base).unwrap();
+        if v.is_list() {
+            prop_assert!(!s.value_conforms(&v, &WrappedType::non_null(id)));
+        } else if !v.is_null() {
+            prop_assert!(!s.value_conforms(
+                &v,
+                &WrappedType::list(id, false, true)
+            ));
+        }
+    }
+
+    /// ⊑S is reflexive on all 6 wrappings of all named types, and
+    /// wrapping in non-null on the left preserves it (rule 6).
+    #[test]
+    fn subtype_reflexivity_and_rule6(wrap_ix in 0usize..6) {
+        let s = schema();
+        for id in s.type_ids() {
+            let w = WrappedType { base: id, wrap: Wrap::ALL[wrap_ix] };
+            prop_assert!(gql_schema::subtype::wrapped_subtype(&s, &w, &w));
+            let nn = WrappedType::non_null(id);
+            let bare = WrappedType::bare(id);
+            prop_assert!(gql_schema::subtype::wrapped_subtype(&s, &nn, &bare));
+        }
+    }
+}
+
+/// ⊑S restricted to this schema is transitive (hierarchies are flat, so
+/// this is checkable by enumeration).
+#[test]
+fn named_subtype_is_transitive_here() {
+    let s = schema();
+    let ids: Vec<_> = s.type_ids().collect();
+    for &a in &ids {
+        for &b in &ids {
+            for &c in &ids {
+                if gql_schema::subtype::named_subtype(&s, a, b)
+                    && gql_schema::subtype::named_subtype(&s, b, c)
+                {
+                    assert!(
+                        gql_schema::subtype::named_subtype(&s, a, c),
+                        "⊑ not transitive: {} ⊑ {} ⊑ {}",
+                        s.type_name(a),
+                        s.type_name(b),
+                        s.type_name(c)
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Building the same document twice yields identical schemas.
+#[test]
+fn build_is_deterministic() {
+    let doc = gql_sdl::parse(
+        r#"
+        type A @key(fields: ["x"]) { x: Int! @required r: [B] @distinct }
+        type B { y: String }
+        "#,
+    )
+    .unwrap();
+    assert_eq!(build_schema(&doc).unwrap(), build_schema(&doc).unwrap());
+}

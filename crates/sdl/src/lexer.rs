@@ -1,0 +1,685 @@
+//! The GraphQL lexical analyser (spec §2.1, June 2018 edition).
+//!
+//! Whitespace, line terminators, commas, comments and a leading BOM are
+//! *ignored tokens*; everything else becomes a [`Token`]. The lexer is a
+//! plain hand-rolled scanner over the source `char` stream — GraphQL's
+//! lexical grammar is regular, so no lookahead beyond one character is
+//! needed except for `...` and the `"""` fence.
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::token::{Pos, Span, Token, TokenKind};
+
+/// Streaming tokenizer. Usually used through [`crate::parse`], but exposed
+/// for tooling (syntax highlighting, token-level tests).
+pub struct Lexer<'a> {
+    src: &'a str,
+    chars: std::str::CharIndices<'a>,
+    /// One-char lookahead: (byte offset, char).
+    peeked: Option<(usize, char)>,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        let mut lx = Lexer {
+            src,
+            chars: src.char_indices(),
+            peeked: None,
+            line: 1,
+            column: 1,
+        };
+        lx.peeked = lx.chars.next();
+        // Skip a UTF-8 byte-order mark if present (an ignored token).
+        if let Some((_, '\u{FEFF}')) = lx.peeked {
+            lx.bump();
+        }
+        lx
+    }
+
+    /// Tokenises the whole input, ending with an `Eof` token.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let done = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            column: self.column,
+            offset: self.peeked.map_or(self.src.len(), |(o, _)| o),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.peeked.map(|(_, c)| c)
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.chars.clone();
+        it.next().map(|(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let (_, c) = self.peeked?;
+        self.peeked = self.chars.next();
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_ignored(&mut self) {
+        loop {
+            match self.peek() {
+                Some(' ' | '\t' | ',' | '\n') => {
+                    self.bump();
+                }
+                Some('\r') => {
+                    self.bump();
+                    // CRLF counts as one line terminator; '\n' handling in
+                    // bump() already advanced the line if it follows.
+                    if self.peek() != Some('\n') {
+                        self.line += 1;
+                        self.column = 1;
+                    }
+                }
+                Some('#') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' || c == '\r' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Produces the next significant token.
+    pub fn next_token(&mut self) -> Result<Token, ParseError> {
+        self.skip_ignored();
+        let start = self.pos();
+        let Some(c) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                span: Span::at(start),
+            });
+        };
+        let kind = match c {
+            '!' => self.punct(TokenKind::Bang),
+            '$' => self.punct(TokenKind::Dollar),
+            '&' => self.punct(TokenKind::Amp),
+            '(' => self.punct(TokenKind::ParenL),
+            ')' => self.punct(TokenKind::ParenR),
+            ':' => self.punct(TokenKind::Colon),
+            '=' => self.punct(TokenKind::Eq),
+            '@' => self.punct(TokenKind::At),
+            '[' => self.punct(TokenKind::BracketL),
+            ']' => self.punct(TokenKind::BracketR),
+            '{' => self.punct(TokenKind::BraceL),
+            '}' => self.punct(TokenKind::BraceR),
+            '|' => self.punct(TokenKind::Pipe),
+            '.' => {
+                self.bump();
+                if self.peek() == Some('.') && self.peek2() == Some('.') {
+                    self.bump();
+                    self.bump();
+                    Ok(TokenKind::Spread)
+                } else {
+                    Err(ParseError::new(
+                        ParseErrorKind::UnexpectedCharacter('.'),
+                        start,
+                    ))
+                }
+            }
+            '"' => self.string(start),
+            c if c == '_' || c.is_ascii_alphabetic() => Ok(self.name()),
+            c if c == '-' || c.is_ascii_digit() => self.number(start),
+            other => {
+                self.bump();
+                Err(ParseError::new(
+                    ParseErrorKind::UnexpectedCharacter(other),
+                    start,
+                ))
+            }
+        }?;
+        Ok(Token {
+            kind,
+            span: Span {
+                start,
+                end: self.pos(),
+            },
+        })
+    }
+
+    fn punct(&mut self, kind: TokenKind) -> Result<TokenKind, ParseError> {
+        self.bump();
+        Ok(kind)
+    }
+
+    fn name(&mut self) -> TokenKind {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c == '_' || c.is_ascii_alphanumeric() {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenKind::Name(s)
+    }
+
+    fn number(&mut self, start: Pos) -> Result<TokenKind, ParseError> {
+        let mut text = String::new();
+        if self.peek() == Some('-') {
+            text.push('-');
+            self.bump();
+        }
+        // IntegerPart: 0 | NonZeroDigit Digit*
+        match self.peek() {
+            Some('0') => {
+                text.push('0');
+                self.bump();
+                if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    return Err(self.bad_number(text, start));
+                }
+            }
+            Some(c) if c.is_ascii_digit() => {
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            _ => return Err(self.bad_number(text, start)),
+        }
+        let mut is_float = false;
+        if self.peek() == Some('.') {
+            // Only a FractionalPart if a digit follows; `1.` is malformed,
+            // and `1...` would be a spread after an int (not valid SDL
+            // anyway, but the lexer must not eat the dots).
+            if matches!(self.peek2(), Some(c) if c.is_ascii_digit()) {
+                is_float = true;
+                text.push('.');
+                self.bump();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            } else {
+                text.push('.');
+                self.bump();
+                return Err(self.bad_number(text, start));
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            is_float = true;
+            text.push('e');
+            self.bump();
+            if matches!(self.peek(), Some('+' | '-')) {
+                text.push(self.bump().unwrap());
+            }
+            let mut any = false;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    any = true;
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            if !any {
+                return Err(self.bad_number(text, start));
+            }
+        }
+        // Spec: a number may not be immediately followed by a name start.
+        if matches!(self.peek(), Some(c) if c == '_' || c.is_ascii_alphabetic()) {
+            text.push(self.peek().unwrap());
+            return Err(self.bad_number(text, start));
+        }
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|_| self.bad_number(text.clone(), start))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|_| self.bad_number(text.clone(), start))
+        }
+    }
+
+    fn bad_number(&self, text: String, start: Pos) -> ParseError {
+        ParseError::new(ParseErrorKind::BadNumber(text), start)
+    }
+
+    fn string(&mut self, start: Pos) -> Result<TokenKind, ParseError> {
+        self.bump(); // opening quote
+        if self.peek() == Some('"') {
+            self.bump();
+            if self.peek() == Some('"') {
+                self.bump();
+                return self.block_string(start);
+            }
+            // Empty string "".
+            return Ok(TokenKind::Str {
+                value: String::new(),
+                block: false,
+            });
+        }
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                None | Some('\n') | Some('\r') => {
+                    return Err(ParseError::new(ParseErrorKind::UnterminatedString, start));
+                }
+                Some('"') => {
+                    self.bump();
+                    return Ok(TokenKind::Str {
+                        value,
+                        block: false,
+                    });
+                }
+                Some('\\') => {
+                    self.bump();
+                    let esc = self.bump().ok_or_else(|| {
+                        ParseError::new(ParseErrorKind::UnterminatedString, start)
+                    })?;
+                    match esc {
+                        '"' => value.push('"'),
+                        '\\' => value.push('\\'),
+                        '/' => value.push('/'),
+                        'b' => value.push('\u{0008}'),
+                        'f' => value.push('\u{000C}'),
+                        'n' => value.push('\n'),
+                        'r' => value.push('\r'),
+                        't' => value.push('\t'),
+                        'u' => {
+                            let mut code = 0u32;
+                            let mut digits = String::new();
+                            for _ in 0..4 {
+                                let d = self.bump().ok_or_else(|| {
+                                    ParseError::new(
+                                        ParseErrorKind::UnterminatedString,
+                                        start,
+                                    )
+                                })?;
+                                digits.push(d);
+                                code = code * 16
+                                    + d.to_digit(16).ok_or_else(|| {
+                                        ParseError::new(
+                                            ParseErrorKind::BadEscape(format!("\\u{digits}")),
+                                            start,
+                                        )
+                                    })?;
+                            }
+                            value.push(char::from_u32(code).ok_or_else(|| {
+                                ParseError::new(
+                                    ParseErrorKind::BadEscape(format!("\\u{digits}")),
+                                    start,
+                                )
+                            })?);
+                        }
+                        other => {
+                            return Err(ParseError::new(
+                                ParseErrorKind::BadEscape(format!("\\{other}")),
+                                start,
+                            ));
+                        }
+                    }
+                }
+                Some(c) => {
+                    value.push(c);
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn block_string(&mut self, start: Pos) -> Result<TokenKind, ParseError> {
+        // We are just past the opening `"""`.
+        let mut raw = String::new();
+        loop {
+            match self.peek() {
+                None => {
+                    return Err(ParseError::new(ParseErrorKind::UnterminatedString, start));
+                }
+                Some('"') => {
+                    // Possible fence.
+                    if self.peek2() == Some('"') {
+                        let mut it = self.chars.clone();
+                        it.next();
+                        if it.next().map(|(_, c)| c) == Some('"') {
+                            self.bump();
+                            self.bump();
+                            self.bump();
+                            return Ok(TokenKind::Str {
+                                value: dedent_block(&raw),
+                                block: true,
+                            });
+                        }
+                    }
+                    raw.push('"');
+                    self.bump();
+                }
+                Some('\\') => {
+                    // Only `\"""` is an escape in block strings.
+                    if self.peek2() == Some('"') {
+                        let mut it = self.chars.clone();
+                        it.next();
+                        let third = it.next().map(|(_, c)| c);
+                        let fourth = it.next().map(|(_, c)| c);
+                        if third == Some('"') && fourth == Some('"') {
+                            self.bump();
+                            self.bump();
+                            self.bump();
+                            self.bump();
+                            raw.push_str("\"\"\"");
+                            continue;
+                        }
+                    }
+                    raw.push('\\');
+                    self.bump();
+                }
+                Some(c) => {
+                    raw.push(c);
+                    self.bump();
+                }
+            }
+        }
+    }
+}
+
+/// Implements the spec's `BlockStringValue` algorithm: strip the common
+/// indentation of all lines but the first, then drop leading/trailing blank
+/// lines.
+fn dedent_block(raw: &str) -> String {
+    let lines: Vec<&str> = raw.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l)).collect();
+    let mut common: Option<usize> = None;
+    for line in lines.iter().skip(1) {
+        let indent = line.len() - line.trim_start_matches([' ', '\t']).len();
+        if indent < line.len() {
+            common = Some(common.map_or(indent, |c| c.min(indent)));
+        }
+    }
+    let mut out: Vec<String> = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        if i == 0 {
+            out.push((*line).to_owned());
+        } else {
+            let cut = common.unwrap_or(0).min(line.len());
+            out.push(line[cut..].to_owned());
+        }
+    }
+    while out.first().is_some_and(|l| l.trim().is_empty()) {
+        out.remove(0);
+    }
+    while out.last().is_some_and(|l| l.trim().is_empty()) {
+        out.pop();
+    }
+    out.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn punctuators() {
+        let ks = kinds("! $ & ( ) ... : = @ [ ] { } |");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Bang,
+                TokenKind::Dollar,
+                TokenKind::Amp,
+                TokenKind::ParenL,
+                TokenKind::ParenR,
+                TokenKind::Spread,
+                TokenKind::Colon,
+                TokenKind::Eq,
+                TokenKind::At,
+                TokenKind::BracketL,
+                TokenKind::BracketR,
+                TokenKind::BraceL,
+                TokenKind::BraceR,
+                TokenKind::Pipe,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn names_and_keywords_are_names() {
+        assert_eq!(
+            kinds("type User implements Node"),
+            vec![
+                TokenKind::Name("type".into()),
+                TokenKind::Name("User".into()),
+                TokenKind::Name("implements".into()),
+                TokenKind::Name("Node".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn commas_and_comments_are_ignored() {
+        assert_eq!(
+            kinds("a, b # trailing comment\n , ,c"),
+            vec![
+                TokenKind::Name("a".into()),
+                TokenKind::Name("b".into()),
+                TokenKind::Name("c".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn bom_is_skipped() {
+        assert_eq!(
+            kinds("\u{FEFF}x"),
+            vec![TokenKind::Name("x".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn integers() {
+        assert_eq!(
+            kinds("0 -0 42 -17"),
+            vec![
+                TokenKind::Int(0),
+                TokenKind::Int(0),
+                TokenKind::Int(42),
+                TokenKind::Int(-17),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn leading_zero_is_rejected() {
+        assert!(matches!(
+            Lexer::new("017").tokenize(),
+            Err(ParseError {
+                kind: ParseErrorKind::BadNumber(_),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn floats() {
+        assert_eq!(
+            kinds("1.5 -0.25 2e3 1.5e-2"),
+            vec![
+                TokenKind::Float(1.5),
+                TokenKind::Float(-0.25),
+                TokenKind::Float(2000.0),
+                TokenKind::Float(0.015),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dangling_dot_or_exponent_is_rejected() {
+        assert!(Lexer::new("1.").tokenize().is_err());
+        assert!(Lexer::new("1e").tokenize().is_err());
+        assert!(Lexer::new("1eX").tokenize().is_err());
+    }
+
+    #[test]
+    fn number_followed_by_name_is_rejected() {
+        assert!(Lexer::new("1x").tokenize().is_err());
+    }
+
+    #[test]
+    fn simple_strings() {
+        assert_eq!(
+            kinds(r#""hello" "" "a\"b""#),
+            vec![
+                TokenKind::Str {
+                    value: "hello".into(),
+                    block: false
+                },
+                TokenKind::Str {
+                    value: "".into(),
+                    block: false
+                },
+                TokenKind::Str {
+                    value: "a\"b".into(),
+                    block: false
+                },
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds(r#""\t\n\\A""#),
+            vec![
+                TokenKind::Str {
+                    value: "\t\n\\A".into(),
+                    block: false
+                },
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_escape_is_rejected() {
+        assert!(matches!(
+            Lexer::new(r#""\q""#).tokenize(),
+            Err(ParseError {
+                kind: ParseErrorKind::BadEscape(_),
+                ..
+            })
+        ));
+        assert!(Lexer::new(r#""\uZZZZ""#).tokenize().is_err());
+    }
+
+    #[test]
+    fn newline_in_string_is_rejected() {
+        assert!(matches!(
+            Lexer::new("\"ab\ncd\"").tokenize(),
+            Err(ParseError {
+                kind: ParseErrorKind::UnterminatedString,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn block_strings_dedent() {
+        let src = "\"\"\"\n    Hello,\n      World!\n\n    Yours,\n      GraphQL.\n  \"\"\"";
+        assert_eq!(
+            kinds(src),
+            vec![
+                TokenKind::Str {
+                    value: "Hello,\n  World!\n\nYours,\n  GraphQL.".into(),
+                    block: true
+                },
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn block_string_triple_quote_escape() {
+        let src = r#""""contains \""" fence""""#;
+        assert_eq!(
+            kinds(src),
+            vec![
+                TokenKind::Str {
+                    value: "contains \"\"\" fence".into(),
+                    block: true
+                },
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines_and_columns() {
+        let toks = Lexer::new("a\n  bb").tokenize().unwrap();
+        assert_eq!(toks[0].span.start.line, 1);
+        assert_eq!(toks[0].span.start.column, 1);
+        assert_eq!(toks[1].span.start.line, 2);
+        assert_eq!(toks[1].span.start.column, 3);
+    }
+
+    #[test]
+    fn crlf_advances_lines() {
+        let toks = Lexer::new("a\r\nb\rc").tokenize().unwrap();
+        assert_eq!(toks[1].span.start.line, 2);
+        assert_eq!(toks[2].span.start.line, 3);
+    }
+
+    #[test]
+    fn unknown_character_is_reported_with_position() {
+        let err = Lexer::new("a ^").tokenize().unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::UnexpectedCharacter('^'));
+        assert_eq!(err.pos.column, 3);
+    }
+
+    #[test]
+    fn lone_dots_are_rejected() {
+        assert!(Lexer::new("..").tokenize().is_err());
+        assert!(Lexer::new(".").tokenize().is_err());
+    }
+}

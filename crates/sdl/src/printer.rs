@@ -1,0 +1,265 @@
+//! Canonical SDL pretty-printer (see round-trip proptests in `tests/`).
+//!
+//! The printer produces spec-conformant SDL such that
+//! `parse(print_document(&doc))` yields a document equal to `doc` up to
+//! source spans (verified by a proptest round-trip in `tests/`). Output
+//! style: four-space indentation, one field per line, descriptions as
+//! block strings when multi-line.
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Renders a whole document.
+pub fn print_document(doc: &Document) -> String {
+    let mut out = String::new();
+    for (i, def) in doc.definitions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        match def {
+            Definition::Schema(s) => print_schema(&mut out, s),
+            Definition::Type(t) => print_type_def(&mut out, t),
+            Definition::Extend(t) => {
+                out.push_str("extend ");
+                print_type_def(&mut out, t);
+            }
+            Definition::Directive(d) => print_directive_def(&mut out, d),
+        }
+    }
+    out
+}
+
+fn print_description(out: &mut String, description: &Option<String>, indent: &str) {
+    if let Some(d) = description {
+        if d.contains('\n') || d.contains('"') {
+            let _ = writeln!(out, "{indent}\"\"\"");
+            for line in d.split('\n') {
+                let _ = writeln!(out, "{indent}{line}");
+            }
+            let _ = writeln!(out, "{indent}\"\"\"");
+        } else {
+            let _ = writeln!(out, "{indent}{d:?}");
+        }
+    }
+}
+
+fn print_schema(out: &mut String, s: &SchemaDef) {
+    out.push_str("schema");
+    print_directive_uses(out, &s.directives);
+    out.push_str(" {\n");
+    for (op, ty) in &s.operations {
+        let _ = writeln!(out, "    {op}: {ty}");
+    }
+    out.push_str("}\n");
+}
+
+fn print_type_def(out: &mut String, t: &TypeDef) {
+    match t {
+        TypeDef::Scalar(d) => {
+            print_description(out, &d.description, "");
+            let _ = write!(out, "scalar {}", d.name);
+            print_directive_uses(out, &d.directives);
+            out.push('\n');
+        }
+        TypeDef::Object(d) => {
+            print_description(out, &d.description, "");
+            let _ = write!(out, "type {}", d.name);
+            if !d.implements.is_empty() {
+                let _ = write!(out, " implements {}", d.implements.join(" & "));
+            }
+            print_directive_uses(out, &d.directives);
+            print_fields(out, &d.fields);
+        }
+        TypeDef::Interface(d) => {
+            print_description(out, &d.description, "");
+            let _ = write!(out, "interface {}", d.name);
+            print_directive_uses(out, &d.directives);
+            print_fields(out, &d.fields);
+        }
+        TypeDef::Union(d) => {
+            print_description(out, &d.description, "");
+            let _ = write!(out, "union {}", d.name);
+            print_directive_uses(out, &d.directives);
+            if !d.members.is_empty() {
+                let _ = write!(out, " = {}", d.members.join(" | "));
+            }
+            out.push('\n');
+        }
+        TypeDef::Enum(d) => {
+            print_description(out, &d.description, "");
+            let _ = write!(out, "enum {}", d.name);
+            print_directive_uses(out, &d.directives);
+            if d.values.is_empty() {
+                out.push('\n');
+                return;
+            }
+            out.push_str(" {\n");
+            for v in &d.values {
+                print_description(out, &v.description, "    ");
+                let _ = write!(out, "    {}", v.name);
+                print_directive_uses(out, &v.directives);
+                out.push('\n');
+            }
+            out.push_str("}\n");
+        }
+        TypeDef::InputObject(d) => {
+            print_description(out, &d.description, "");
+            let _ = write!(out, "input {}", d.name);
+            print_directive_uses(out, &d.directives);
+            if d.fields.is_empty() {
+                out.push('\n');
+                return;
+            }
+            out.push_str(" {\n");
+            for f in &d.fields {
+                print_description(out, &f.description, "    ");
+                out.push_str("    ");
+                print_input_value(out, f);
+                out.push('\n');
+            }
+            out.push_str("}\n");
+        }
+    }
+}
+
+fn print_fields(out: &mut String, fields: &[FieldDef]) {
+    if fields.is_empty() {
+        // An empty body still prints as `{\n}` so that "empty object type"
+        // (used by the paper's Example 6.1, `type OT1 {}`) survives a
+        // round-trip as an object-with-fields-block.
+        out.push_str(" {\n}\n");
+        return;
+    }
+    out.push_str(" {\n");
+    for f in fields {
+        print_description(out, &f.description, "    ");
+        let _ = write!(out, "    {}", f.name);
+        if !f.args.is_empty() {
+            out.push('(');
+            for (i, a) in f.args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_input_value(out, a);
+            }
+            out.push(')');
+        }
+        let _ = write!(out, ": {}", f.ty);
+        print_directive_uses(out, &f.directives);
+        out.push('\n');
+    }
+    out.push_str("}\n");
+}
+
+fn print_input_value(out: &mut String, v: &InputValueDef) {
+    let _ = write!(out, "{}: {}", v.name, v.ty);
+    if let Some(d) = &v.default {
+        let _ = write!(out, " = {d}");
+    }
+    print_directive_uses(out, &v.directives);
+}
+
+fn print_directive_uses(out: &mut String, uses: &[DirectiveUse]) {
+    for u in uses {
+        let _ = write!(out, " @{}", u.name);
+        if !u.args.is_empty() {
+            out.push('(');
+            for (i, (k, v)) in u.args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{k}: {v}");
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn print_directive_def(out: &mut String, d: &DirectiveDef) {
+    print_description(out, &d.description, "");
+    let _ = write!(out, "directive @{}", d.name);
+    if !d.args.is_empty() {
+        out.push('(');
+        for (i, a) in d.args.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            print_input_value(out, a);
+        }
+        out.push(')');
+    }
+    let _ = write!(out, " on {}", d.locations.join(" | "));
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    /// Strips spans by reprinting: two documents are "structurally equal"
+    /// if their canonical prints coincide.
+    fn canon(src: &str) -> String {
+        print_document(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn roundtrip_is_stable_on_example_3_1() {
+        let src = r#"
+            type UserSession {
+                id: ID! @required
+                user(certainty: Float! comment: String): User! @required
+                startTime: Time! @required
+                endTime: Time!
+            }
+            type User @key(fields: ["id"]) {
+                id: ID! @required
+                login: String! @required
+                nicknames: [String!]!
+            }
+            scalar Time
+        "#;
+        let once = canon(src);
+        let twice = canon(&once);
+        assert_eq!(once, twice);
+        assert!(once.contains("user(certainty: Float!, comment: String): User! @required"));
+        assert!(once.contains("@key(fields: [\"id\"])"));
+    }
+
+    #[test]
+    fn empty_object_type_prints_with_body() {
+        assert_eq!(canon("type OT1 { }"), "type OT1 {\n}\n");
+    }
+
+    #[test]
+    fn union_and_schema_print() {
+        let out = canon("schema { query: Q } union Food = Pizza | Pasta");
+        assert!(out.contains("schema {\n    query: Q\n}"));
+        assert!(out.contains("union Food = Pizza | Pasta"));
+    }
+
+    #[test]
+    fn enum_and_input_print() {
+        let out = canon("enum E { A B } input P { x: Int = 3 }");
+        assert!(out.contains("enum E {\n    A\n    B\n}"));
+        assert!(out.contains("input P {\n    x: Int = 3\n}"));
+    }
+
+    #[test]
+    fn descriptions_print_and_survive() {
+        let out = canon("\"single\" type T { f: Int }");
+        assert!(out.starts_with("\"single\"\ntype T"));
+        let out2 = canon(&out);
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn directive_definition_prints() {
+        let out = canon("directive @key(fields: [String!]!) on OBJECT | INTERFACE");
+        assert_eq!(
+            out,
+            "directive @key(fields: [String!]!) on OBJECT | INTERFACE\n"
+        );
+    }
+}

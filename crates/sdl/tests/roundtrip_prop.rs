@@ -1,0 +1,214 @@
+//! Property test: `parse(print(doc))` is the identity on canonical form.
+//!
+//! Random documents are generated structurally (not as text), printed,
+//! re-parsed, re-printed — the two printouts must coincide, and the two
+//! ASTs must agree modulo source spans (checked via a span-erasing
+//! canonicalisation through a second print).
+
+use gql_sdl::ast::*;
+use gql_sdl::{parse, print_document, Pos, Span};
+use proptest::prelude::*;
+
+fn span() -> Span {
+    Span::at(Pos::start())
+}
+
+fn ident() -> impl Strategy<Value = String> {
+    // Avoid SDL keywords at definition heads by prefixing.
+    "[A-Z][A-Za-z0-9]{0,6}".prop_map(|s| format!("N{s}"))
+}
+
+fn field_name() -> impl Strategy<Value = String> {
+    "[a-z][A-Za-z0-9]{0,6}".prop_map(|s| format!("f{s}"))
+}
+
+fn const_value() -> impl Strategy<Value = ConstValue> {
+    let leaf = prop_oneof![
+        any::<i32>().prop_map(|i| ConstValue::Int(i as i64)),
+        // Restrict floats to values whose display round-trips as a float
+        // token (finite, plain decimal).
+        (-1000i32..1000, 1u32..100).prop_map(|(a, b)| {
+            ConstValue::Float(a as f64 + b as f64 / 128.0)
+        }),
+        "[ -~]{0,12}".prop_map(ConstValue::String),
+        any::<bool>().prop_map(ConstValue::Bool),
+        Just(ConstValue::Null),
+        "[A-Z]{1,6}".prop_map(|s| ConstValue::Enum(format!("E{s}"))),
+    ];
+    leaf.prop_recursive(2, 8, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..3).prop_map(ConstValue::List),
+            prop::collection::vec(("[a-z]{1,5}".prop_map(|s| format!("k{s}")), inner), 0..3)
+                .prop_map(ConstValue::Object),
+        ]
+    })
+}
+
+fn ty() -> impl Strategy<Value = Type> {
+    ident().prop_flat_map(|name| {
+        (0usize..6).prop_map(move |shape| {
+            let base = Type::Named(name.clone());
+            match shape {
+                0 => base,
+                1 => Type::NonNull(Box::new(base)),
+                2 => Type::List(Box::new(base)),
+                3 => Type::List(Box::new(Type::NonNull(Box::new(base)))),
+                4 => Type::NonNull(Box::new(Type::List(Box::new(base)))),
+                _ => Type::NonNull(Box::new(Type::List(Box::new(Type::NonNull(
+                    Box::new(base),
+                ))))),
+            }
+        })
+    })
+}
+
+fn directive_use() -> impl Strategy<Value = DirectiveUse> {
+    (
+        "[a-z]{1,6}".prop_map(|s| format!("d{s}")),
+        prop::collection::vec(("[a-z]{1,5}".prop_map(|s| format!("a{s}")), const_value()), 0..2),
+    )
+        .prop_map(|(name, args)| DirectiveUse {
+            name,
+            args,
+            span: span(),
+        })
+}
+
+fn input_value() -> impl Strategy<Value = InputValueDef> {
+    (
+        field_name(),
+        ty(),
+        prop::option::of(const_value()),
+        prop::collection::vec(directive_use(), 0..2),
+    )
+        .prop_map(|(name, ty, default, directives)| InputValueDef {
+            description: None,
+            name,
+            ty,
+            default,
+            directives,
+            span: span(),
+        })
+}
+
+fn field_def() -> impl Strategy<Value = FieldDef> {
+    (
+        field_name(),
+        prop::collection::vec(input_value(), 0..3),
+        ty(),
+        prop::collection::vec(directive_use(), 0..3),
+        prop::option::of("[ -!#-~]{0,20}"), // printable, no quotes issues handled by printer
+    )
+        .prop_map(|(name, mut args, ty, directives, description)| {
+            // Unique argument names.
+            args.dedup_by(|a, b| a.name == b.name);
+            FieldDef {
+                description,
+                name,
+                args,
+                ty,
+                directives,
+                span: span(),
+            }
+        })
+}
+
+fn object_type() -> impl Strategy<Value = TypeDef> {
+    (
+        ident(),
+        prop::collection::vec(ident(), 0..2),
+        prop::collection::vec(directive_use(), 0..2),
+        prop::collection::vec(field_def(), 0..5),
+    )
+        .prop_map(|(name, implements, directives, mut fields)| {
+            fields.dedup_by(|a, b| a.name == b.name);
+            TypeDef::Object(ObjectTypeDef {
+                description: None,
+                name,
+                implements,
+                directives,
+                fields,
+                span: span(),
+            })
+        })
+}
+
+fn union_type() -> impl Strategy<Value = TypeDef> {
+    (ident(), prop::collection::vec(ident(), 1..4)).prop_map(|(name, members)| {
+        TypeDef::Union(UnionTypeDef {
+            description: None,
+            name,
+            directives: Vec::new(),
+            members,
+            span: span(),
+        })
+    })
+}
+
+fn enum_type() -> impl Strategy<Value = TypeDef> {
+    (
+        ident(),
+        prop::collection::vec("[A-Z]{1,6}".prop_map(|s| format!("V{s}")), 1..4),
+    )
+        .prop_map(|(name, mut values)| {
+            values.dedup();
+            TypeDef::Enum(EnumTypeDef {
+                description: None,
+                name,
+                directives: Vec::new(),
+                values: values
+                    .into_iter()
+                    .map(|v| EnumValueDef {
+                        description: None,
+                        name: v,
+                        directives: Vec::new(),
+                    })
+                    .collect(),
+                span: span(),
+            })
+        })
+}
+
+fn scalar_type() -> impl Strategy<Value = TypeDef> {
+    ident().prop_map(|name| {
+        TypeDef::Scalar(ScalarTypeDef {
+            description: None,
+            name,
+            directives: Vec::new(),
+            span: span(),
+        })
+    })
+}
+
+fn document() -> impl Strategy<Value = Document> {
+    prop::collection::vec(
+        prop_oneof![object_type(), union_type(), enum_type(), scalar_type()],
+        0..6,
+    )
+    .prop_map(|defs| Document {
+        definitions: defs.into_iter().map(Definition::Type).collect(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_print_is_stable(doc in document()) {
+        let once = print_document(&doc);
+        let reparsed = parse(&once)
+            .unwrap_or_else(|e| panic!("printer emitted unparseable SDL: {e}\n---\n{once}"));
+        let twice = print_document(&reparsed);
+        prop_assert_eq!(&once, &twice, "non-canonical print:\n{}", once);
+    }
+
+    #[test]
+    fn parse_never_panics_on_arbitrary_input(input in "[ -~\\n]{0,200}") {
+        let _ = parse(&input); // must not panic, errors are fine
+    }
+
+    #[test]
+    fn lexer_never_panics_on_arbitrary_unicode(input in "\\PC{0,100}") {
+        let _ = gql_sdl::Lexer::new(&input).tokenize();
+    }
+}

@@ -1,0 +1,95 @@
+//! Schema satisfiability audit — reproduces §6.2 of the paper: Example
+//! 6.1 / diagram (a), plus the diagrams (b) and (c) conflict patterns.
+//!
+//! Diagram (a): an object type whose targets need incoming edges from two
+//! different implementors of an interface that allows at most one.
+//! Diagram (b): a schema whose only models are infinite chains — finitely
+//! unsatisfiable although the tableau (unrestricted semantics) finds a
+//! model.
+//! Diagram (c): a type forced to coincide with a differently-labelled
+//! node.
+//!
+//! Note: the paper prints Example 6.1's interface field as `hasOT1: OT1`,
+//! which is interface-inconsistent under its own Definition 4.3
+//! (`[OT1] ⊑ OT1` is not derivable); we use `[OT1]`, which preserves the
+//! conflict. Run with: `cargo run --example satisfiability_audit`
+
+use pg_reason::{check_object_type, ReasonerConfig, Satisfiability};
+use pg_schema::PgSchema;
+
+fn audit(name: &str, sdl: &str, types: &[&str]) -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== {name} ===");
+    let schema = PgSchema::parse(sdl)?;
+    let config = ReasonerConfig::default();
+    for ty in types {
+        match check_object_type(&schema, ty, &config) {
+            Satisfiability::Satisfiable { size, witness } => {
+                println!("  {ty}: satisfiable (witness: {size} node(s), {} edge(s))",
+                    witness.edge_count());
+                assert!(pg_schema::strongly_satisfies(&witness, &schema));
+            }
+            Satisfiability::Unsatisfiable => println!("  {ty}: UNSATISFIABLE"),
+            Satisfiability::NoFiniteModelFound {
+                bound,
+                tableau_satisfiable,
+            } => match tableau_satisfiable {
+                Some(true) => println!(
+                    "  {ty}: no finite model (≤ {bound} nodes) — infinite models exist"
+                ),
+                _ => println!("  {ty}: no finite model (≤ {bound} nodes) — tableau inconclusive"),
+            },
+        }
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Example 6.1 / diagram (a): OT1 conflicts.
+    audit(
+        "Example 6.1 / diagram (a)",
+        r#"
+        type OT1 { }
+        interface IT { hasOT1: [OT1] @uniqueForTarget }
+        type OT2 implements IT { hasOT1: [OT1] @requiredForTarget }
+        type OT3 implements IT { hasOT1: [OT1] @requiredForTarget }
+        "#,
+        &["OT1", "OT2", "OT3"],
+    )?;
+
+    // Diagram (b): every OT2 node starts an infinite alternating chain of
+    // OT1/OT3 nodes, none of which may coincide.
+    audit(
+        "diagram (b): infinite chains only",
+        r#"
+        type OT1 { toOT3: [OT3] @required @uniqueForTarget }
+        interface IT { toOT1: [OT1] @uniqueForTarget }
+        type OT2 implements IT { toOT1: [OT1] @required }
+        type OT3 implements IT { toOT1: [OT1] @required }
+        "#,
+        &["OT2"],
+    )?;
+
+    // Diagram (c): an OT2 node would have to *be* an OT3 node.
+    audit(
+        "diagram (c): forced label coincidence",
+        r#"
+        type OT1 { }
+        interface IT { f: [OT1] @uniqueForTarget }
+        type OT2 implements IT { f: [OT1] @required }
+        type OT3 implements IT { f: [OT1] @requiredForTarget }
+        "#,
+        &["OT2", "OT3", "OT1"],
+    )?;
+
+    // A healthy schema for contrast.
+    audit(
+        "satisfiable control schema",
+        r#"
+        type Author { favoriteBook: Book relatedAuthor: [Author] @distinct @noLoops }
+        type Book { title: String! author: [Author] @required @distinct }
+        "#,
+        &["Author", "Book"],
+    )?;
+    Ok(())
+}

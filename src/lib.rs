@@ -1,0 +1,7 @@
+//! Umbrella crate: re-exports the workspace public API for examples and integration tests.
+pub use gql_schema as schema;
+pub use gql_sdl as sdl;
+pub use pg_reason as reason;
+pub use pg_schema as core;
+pub use pgraph as graph;
+

@@ -1,0 +1,103 @@
+//! E1: the cardinality table of §3.3 —
+//!
+//! | "rel" is a …      | definition in type A                  |
+//! |-------------------|---------------------------------------|
+//! | 1:1 relationship  | `rel: B @uniqueForTarget`             |
+//! | 1:N relationship  | `rel: B`                              |
+//! | N:1 relationship  | `rel: [B] @uniqueForTarget`           |
+//! | N:M relationship  | `rel: [B]`                            |
+//!
+//! "1" on the left bounds how many A-sources a B may have (incoming);
+//! "1" on the right bounds how many B-targets an A may have (outgoing).
+//! For each row we assert the two limiting scenarios: fan-out from one A
+//! to two Bs, and fan-in from two As to one B.
+
+use pg_schema::{validate, PgSchema, Rule, ValidationOptions};
+use pgraph::{GraphBuilder, PropertyGraph};
+
+fn schema(rel_def: &str) -> PgSchema {
+    PgSchema::parse(&format!(
+        "type A {{ rel: {rel_def} }}\ntype B {{ x: Int }}"
+    ))
+    .unwrap()
+}
+
+/// One A with edges to two different Bs.
+fn fan_out() -> PropertyGraph {
+    GraphBuilder::new()
+        .node("a", "A")
+        .node("b1", "B")
+        .node("b2", "B")
+        .edge("a", "b1", "rel")
+        .edge("a", "b2", "rel")
+        .build()
+        .unwrap()
+}
+
+/// Two As with edges to the same B.
+fn fan_in() -> PropertyGraph {
+    GraphBuilder::new()
+        .node("a1", "A")
+        .node("a2", "A")
+        .node("b", "B")
+        .edge("a1", "b", "rel")
+        .edge("a2", "b", "rel")
+        .build()
+        .unwrap()
+}
+
+fn rules(g: &PropertyGraph, s: &PgSchema) -> Vec<Rule> {
+    validate(g, s, &ValidationOptions::default())
+        .counts()
+        .keys()
+        .copied()
+        .collect()
+}
+
+#[test]
+fn row_1_one_to_one() {
+    let s = schema("B @uniqueForTarget");
+    // Neither fan-out (right side 1) nor fan-in (left side 1) is allowed.
+    assert_eq!(rules(&fan_out(), &s), vec![Rule::WS4]);
+    assert_eq!(rules(&fan_in(), &s), vec![Rule::DS3]);
+}
+
+#[test]
+fn row_2_one_to_many() {
+    // 1:N — one A per B (…wait: the table's 1:N means each A has at most
+    // one B (non-list), but a B may be shared by many As.
+    let s = schema("B");
+    assert_eq!(rules(&fan_out(), &s), vec![Rule::WS4]);
+    assert_eq!(rules(&fan_in(), &s), vec![]);
+}
+
+#[test]
+fn row_3_many_to_one() {
+    let s = schema("[B] @uniqueForTarget");
+    assert_eq!(rules(&fan_out(), &s), vec![]);
+    assert_eq!(rules(&fan_in(), &s), vec![Rule::DS3]);
+}
+
+#[test]
+fn row_4_many_to_many() {
+    let s = schema("[B]");
+    assert_eq!(rules(&fan_out(), &s), vec![]);
+    assert_eq!(rules(&fan_in(), &s), vec![]);
+}
+
+#[test]
+fn single_edges_conform_in_all_four_rows() {
+    let single = GraphBuilder::new()
+        .node("a", "A")
+        .node("b", "B")
+        .edge("a", "b", "rel")
+        .build()
+        .unwrap();
+    for def in ["B @uniqueForTarget", "B", "[B] @uniqueForTarget", "[B]"] {
+        let s = schema(def);
+        assert!(
+            pg_schema::strongly_satisfies(&single, &s),
+            "single edge should conform under `rel: {def}`"
+        );
+    }
+}

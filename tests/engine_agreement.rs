@@ -1,0 +1,109 @@
+//! Property-based tests: the naive and indexed validation engines decide
+//! the same relation, on random schemas × random (possibly mutated)
+//! graphs; generated conforming graphs conform; injected defects are
+//! caught.
+
+use pg_datagen::{GraphGen, GraphGenParams, SchemaGen, SchemaGenParams};
+use pg_schema::{validate, Engine, PgSchema, ValidationOptions};
+use proptest::prelude::*;
+
+fn schema_for(seed: u64) -> PgSchema {
+    let sdl = SchemaGen::new(SchemaGenParams {
+        num_types: 5,
+        attrs_per_type: 3,
+        rels_per_type: 2,
+        seed,
+        ..Default::default()
+    })
+    .generate();
+    PgSchema::parse(&sdl).expect("generated schemas build")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Engines agree violation-for-violation on arbitrary (conforming or
+    /// not) generated graphs.
+    #[test]
+    fn engines_agree(schema_seed in 0u64..30, graph_seed in 0u64..30) {
+        let schema = schema_for(schema_seed);
+        let gen = GraphGen::new(&schema, GraphGenParams {
+            nodes_per_type: 6,
+            seed: graph_seed,
+            ..Default::default()
+        });
+        // Raw generate — may or may not conform (target obligations).
+        let graph = gen.generate();
+        let naive = validate(&graph, &schema, &ValidationOptions::with_engine(Engine::Naive));
+        let indexed = validate(&graph, &schema, &ValidationOptions::with_engine(Engine::Indexed));
+        prop_assert_eq!(&naive, &indexed, "naive:\n{}indexed:\n{}", naive, indexed);
+    }
+
+    /// Conforming generation + injection: each applicable defect is
+    /// caught by its rule, on both engines.
+    #[test]
+    fn injected_defects_are_caught(schema_seed in 0u64..12, defect_ix in 0usize..15) {
+        let sdl = SchemaGen::new(SchemaGenParams::benchmarkable(5, schema_seed)).generate();
+        let schema = PgSchema::parse(&sdl).unwrap();
+        let Some(base) = GraphGen::new(&schema, GraphGenParams {
+            nodes_per_type: 6,
+            ..Default::default()
+        }).generate_conforming(5) else {
+            return Ok(()); // schema obligations unsatisfiable — skip
+        };
+        let defect = pg_datagen::Defect::ALL[defect_ix];
+        let mut g = base.clone();
+        if !pg_datagen::inject(&mut g, &schema, defect) {
+            return Ok(()); // defect not applicable to this schema
+        }
+        for engine in [Engine::Naive, Engine::Indexed] {
+            let report = validate(&g, &schema, &ValidationOptions::with_engine(engine));
+            prop_assert!(
+                report.by_rule(defect.rule()).next().is_some(),
+                "{:?} not caught by {:?}; report:\n{}", defect, engine, report
+            );
+        }
+    }
+
+    /// Graphs round-tripped through JSON validate identically.
+    #[test]
+    fn json_roundtrip_preserves_validation(schema_seed in 0u64..10, graph_seed in 0u64..10) {
+        let schema = schema_for(schema_seed);
+        let graph = GraphGen::new(&schema, GraphGenParams {
+            nodes_per_type: 5,
+            seed: graph_seed,
+            ..Default::default()
+        }).generate();
+        let roundtripped = pgraph::json::from_json(&pgraph::json::to_json(&graph)).unwrap();
+        let a = validate(&graph, &schema, &ValidationOptions::default());
+        let b = validate(&roundtripped, &schema, &ValidationOptions::default());
+        prop_assert_eq!(a.len(), b.len());
+        prop_assert_eq!(a.counts(), b.counts());
+    }
+}
+
+/// Weak ⊆ strong: a strong-conforming graph is weak-conforming, and
+/// violations found in weak-only mode are a subset of the full run.
+#[test]
+fn weak_violations_are_a_subset_of_strong() {
+    for seed in 0..10u64 {
+        let schema = schema_for(seed);
+        let graph = GraphGen::new(
+            &schema,
+            GraphGenParams {
+                nodes_per_type: 6,
+                seed,
+                ..Default::default()
+            },
+        )
+        .generate();
+        let weak = validate(&graph, &schema, &ValidationOptions::weak_only());
+        let full = validate(&graph, &schema, &ValidationOptions::default());
+        for v in weak.violations() {
+            assert!(
+                full.violations().contains(v),
+                "weak-only violation missing from full run: {v}"
+            );
+        }
+    }
+}

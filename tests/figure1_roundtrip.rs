@@ -1,0 +1,110 @@
+//! E8: the appendix's Figure 1 (the Star-Wars schema) parses, builds,
+//! prints, and round-trips; root operation types are representable but
+//! ignored by the Property-Graph semantics (§3.6).
+
+use gql_sdl::{parse, print_document};
+
+const FIGURE_1: &str = r#"
+type Starship {
+    id: ID!
+    name: String
+    length(unit: LenUnit = METER): Float
+}
+
+enum LenUnit { METER FEET }
+
+interface Character {
+    id: ID!
+    name: String
+    friends: [Character]
+}
+
+type Human implements Character {
+    id: ID!
+    name: String
+    friends: [Character]
+    starships: [Starship]
+}
+
+type Droid implements Character {
+    id: ID!
+    name: String
+    friends: [Character]
+    primaryFunction: String!
+}
+
+type Query {
+    hero(episode: Episode): Character
+    search(text: String): [SearchResult]
+}
+
+enum Episode { NEWHOPE EMPIRE JEDI }
+
+union SearchResult = Human | Droid | Starship
+
+schema {
+    query: Query
+}
+"#;
+
+#[test]
+fn figure_1_parses_completely() {
+    let doc = parse(FIGURE_1).unwrap();
+    assert_eq!(doc.definitions.len(), 9);
+    assert_eq!(doc.object_types().count(), 4);
+    assert_eq!(doc.interface_types().count(), 1);
+    assert_eq!(doc.union_types().count(), 1);
+}
+
+#[test]
+fn figure_1_roundtrips_through_the_printer() {
+    let doc = parse(FIGURE_1).unwrap();
+    let printed = print_document(&doc);
+    let reparsed = parse(&printed).unwrap();
+    assert_eq!(print_document(&reparsed), printed, "printer not canonical");
+    assert_eq!(reparsed.definitions.len(), doc.definitions.len());
+}
+
+#[test]
+fn figure_1_builds_as_pg_schema_with_warnings_only() {
+    let doc = parse(FIGURE_1).unwrap();
+    let (schema, diags) = gql_schema::build_schema_with_diagnostics(&doc);
+    let schema = schema.expect("figure 1 builds");
+    // The schema block is ignored with a warning; everything else is a
+    // regular type. Query is just an object type (harmless).
+    assert!(diags
+        .iter()
+        .all(|d| d.severity == gql_schema::Severity::Warning));
+    assert!(schema.type_id("Character").is_some());
+    let violations = gql_schema::consistency::check(&schema);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn figure_1_classification() {
+    let doc = parse(FIGURE_1).unwrap();
+    let schema = pg_schema::PgSchema::from_document(&doc).unwrap();
+    let human = schema.label_type("Human").unwrap();
+    // id/name attributes; friends/starships relationships.
+    assert_eq!(schema.attributes(human).len(), 2);
+    assert_eq!(schema.relationships(human).len(), 2);
+    // length(unit: …) is an attribute-with-argument: argument ignored.
+    let starship = schema.label_type("Starship").unwrap();
+    assert_eq!(schema.attributes(starship).len(), 3);
+    // Enum LenUnit folded into scalars.
+    assert!(schema.schema().is_scalar(schema.label_type("LenUnit").unwrap()));
+}
+
+#[test]
+fn figure_1_union_and_interface_subtyping() {
+    let doc = parse(FIGURE_1).unwrap();
+    let schema = pg_schema::PgSchema::from_document(&doc).unwrap();
+    let sr = schema.label_type("SearchResult").unwrap();
+    let character = schema.label_type("Character").unwrap();
+    for member in ["Human", "Droid", "Starship"] {
+        assert!(schema.label_subtype(member, sr), "{member} ⋢ SearchResult");
+    }
+    assert!(schema.label_subtype("Human", character));
+    assert!(schema.label_subtype("Droid", character));
+    assert!(!schema.label_subtype("Starship", character));
+}
