@@ -38,10 +38,13 @@ fn bench_build_and_consistency(c: &mut Criterion) {
 fn bench_print_roundtrip(c: &mut Criterion) {
     let sdl = SchemaGen::new(SchemaGenParams::benchmarkable(32, 5)).generate();
     let doc = gql_sdl::parse(&sdl).unwrap();
-    c.bench_function("E8_sdl_print", |b| {
-        b.iter(|| gql_sdl::print_document(&doc))
-    });
+    c.bench_function("E8_sdl_print", |b| b.iter(|| gql_sdl::print_document(&doc)));
 }
 
-criterion_group!(benches, bench_parse, bench_build_and_consistency, bench_print_roundtrip);
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_build_and_consistency,
+    bench_print_roundtrip
+);
 criterion_main!(benches);

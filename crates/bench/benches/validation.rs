@@ -39,9 +39,7 @@ fn bench_graph_scaling(c: &mut Criterion) {
                 BenchmarkId::new("naive", graph.node_count()),
                 &graph,
                 |b, g| {
-                    b.iter(|| {
-                        validate(g, &schema, &ValidationOptions::with_engine(Engine::Naive))
-                    })
+                    b.iter(|| validate(g, &schema, &ValidationOptions::with_engine(Engine::Naive)))
                 },
             );
         }
@@ -64,11 +62,9 @@ fn bench_schema_scaling(c: &mut Criterion) {
             },
         )
         .generate();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(num_types),
-            &graph,
-            |b, g| b.iter(|| validate(g, &schema, &ValidationOptions::default())),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(num_types), &graph, |b, g| {
+            b.iter(|| validate(g, &schema, &ValidationOptions::default()))
+        });
     }
     group.finish();
 }

@@ -1,0 +1,100 @@
+//! Criterion benches for the parallel validation engine: indexed vs
+//! parallel at 1/2/4/8 workers over a graph-size sweep, plus the cost of
+//! metrics collection and the early-exit win of `max_violations`.
+//!
+//! The interesting comparison is `parallel/T` against `indexed` at the
+//! same graph size: the parallel engine pays one extra report merge and
+//! a DS7 table reduce, and buys shard-local scans. On a single-core host
+//! the sweep degenerates into measuring that overhead — still useful as
+//! a regression guard.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pg_datagen::{GraphGen, GraphGenParams};
+use pg_schema::{validate, Engine, PgSchema, ValidationOptions};
+
+fn social_graph(nodes_per_type: usize) -> (PgSchema, pgraph::PropertyGraph) {
+    let schema = PgSchema::parse(pg_datagen::schemagen::social_schema()).unwrap();
+    let graph = GraphGen::new(
+        &schema,
+        GraphGenParams {
+            nodes_per_type,
+            ..Default::default()
+        },
+    )
+    .generate_conforming(5)
+    .expect("generable");
+    (schema, graph)
+}
+
+/// E2-parallel: indexed vs parallel at several worker counts.
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2p_validation_parallel_scaling");
+    group.sample_size(10);
+    for npt in [400usize, 1600] {
+        let (schema, graph) = social_graph(npt);
+        let elements = (graph.node_count() + graph.edge_count()) as u64;
+        group.throughput(Throughput::Elements(elements));
+        group.bench_with_input(
+            BenchmarkId::new("indexed", graph.node_count()),
+            &graph,
+            |b, g| {
+                b.iter(|| validate(g, &schema, &ValidationOptions::with_engine(Engine::Indexed)))
+            },
+        );
+        for threads in [1usize, 2, 4, 8] {
+            let options = ValidationOptions::builder()
+                .engine(Engine::Parallel)
+                .threads(threads)
+                .build();
+            group.bench_with_input(
+                BenchmarkId::new(format!("parallel/{threads}"), graph.node_count()),
+                &graph,
+                |b, g| b.iter(|| validate(g, &schema, &options)),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Overhead of opt-in metrics collection (should be noise).
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let (schema, graph) = social_graph(400);
+    let mut group = c.benchmark_group("E2p_metrics_overhead");
+    group.sample_size(10);
+    for (label, collect) in [("off", false), ("on", true)] {
+        let options = ValidationOptions::builder()
+            .engine(Engine::Parallel)
+            .threads(4)
+            .collect_metrics(collect)
+            .build();
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| validate(&graph, &schema, &options))
+        });
+    }
+    group.finish();
+}
+
+/// Early exit: a violation-dense graph validated to completion vs
+/// stopping after the first 10 violations.
+fn bench_max_violations_early_exit(c: &mut Criterion) {
+    let (schema, mut graph) = social_graph(400);
+    for defect in pg_datagen::Defect::ALL {
+        let _ = pg_datagen::inject(&mut graph, &schema, defect);
+    }
+    let mut group = c.benchmark_group("E2p_max_violations_early_exit");
+    group.sample_size(10);
+    group.bench_function("unlimited", |b| {
+        b.iter(|| validate(&graph, &schema, &ValidationOptions::default()))
+    });
+    let capped = ValidationOptions::builder().max_violations(10).build();
+    group.bench_function("cap_10", |b| b.iter(|| validate(&graph, &schema, &capped)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parallel_scaling,
+    bench_metrics_overhead,
+    bench_max_violations_early_exit
+);
+criterion_main!(benches);

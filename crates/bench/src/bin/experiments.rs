@@ -11,7 +11,11 @@ use pg_bench::tables;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
     let run = |id: &str| wanted.is_empty() || wanted.contains(&id);
 
     if run("E1") {
@@ -30,7 +34,10 @@ fn main() {
     if run("E3") {
         println!("## E3 — validation vs schema size (combined complexity)\n");
         let counts: &[usize] = if quick { &[4, 8] } else { &[4, 8, 16, 32, 64] };
-        println!("{}", tables::schema_scaling(counts, 3000, if quick { 2 } else { 5 }));
+        println!(
+            "{}",
+            tables::schema_scaling(counts, 3000, if quick { 2 } else { 5 })
+        );
     }
     if run("E4") {
         println!("## E4a — random 3-SAT phase transition (DPLL oracle)\n");
@@ -38,12 +45,22 @@ fn main() {
         println!("{}", tables::phase_transition(vars, instances));
         println!("## E4b — Theorem 2 reduction pipeline\n");
         let var_counts: &[usize] = if quick { &[3, 4] } else { &[3, 4, 5, 6] };
-        println!("{}", tables::reduction_scaling(var_counts, 1.5, if quick { 2 } else { 5 }));
+        println!(
+            "{}",
+            tables::reduction_scaling(var_counts, 1.5, if quick { 2 } else { 5 })
+        );
     }
     if run("E5") {
         println!("## E5 — tableau scaling (Theorem 3)\n");
-        let depths: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8, 12, 16] };
-        println!("{}", tables::reasoner_scaling(depths, if quick { 1 } else { 3 }));
+        let depths: &[usize] = if quick {
+            &[1, 2, 4]
+        } else {
+            &[1, 2, 4, 8, 12, 16]
+        };
+        println!(
+            "{}",
+            tables::reasoner_scaling(depths, if quick { 1 } else { 3 })
+        );
     }
     if run("E6") {
         println!("## E6 — §6.2 satisfiability verdicts\n");
@@ -51,8 +68,15 @@ fn main() {
     }
     if run("E9") {
         println!("## E9 — consistency checking scaling (Defs. 4.3–4.5)\n");
-        let counts: &[usize] = if quick { &[4, 8] } else { &[8, 16, 32, 64, 128] };
-        println!("{}", tables::consistency_scaling(counts, if quick { 2 } else { 10 }));
+        let counts: &[usize] = if quick {
+            &[4, 8]
+        } else {
+            &[8, 16, 32, 64, 128]
+        };
+        println!(
+            "{}",
+            tables::consistency_scaling(counts, if quick { 2 } else { 10 })
+        );
     }
     if run("E10") {
         println!("## E10 — violation detection matrix\n");
@@ -65,8 +89,11 @@ fn main() {
     }
     if run("E12") {
         println!("## E12 — ablation: DPLL vs CDCL at the phase transition\n");
-        let (counts, instances): (&[usize], u64) =
-            if quick { (&[15, 20], 6) } else { (&[20, 30, 40, 50], 20) };
+        let (counts, instances): (&[usize], u64) = if quick {
+            (&[15, 20], 6)
+        } else {
+            (&[20, 30, 40, 50], 20)
+        };
         println!("{}", tables::solver_ablation(counts, instances));
     }
     if run("headline") && !quick {

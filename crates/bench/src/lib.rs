@@ -75,9 +75,7 @@ mod tests {
 
     #[test]
     fn exponent_of_quadratic_series_is_two() {
-        let pts: Vec<(f64, f64)> = (1..=8)
-            .map(|i| (i as f64, 0.5 * (i * i) as f64))
-            .collect();
+        let pts: Vec<(f64, f64)> = (1..=8).map(|i| (i as f64, 0.5 * (i * i) as f64)).collect();
         assert!((fit_exponent(&pts) - 2.0).abs() < 1e-9);
     }
 

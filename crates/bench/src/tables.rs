@@ -27,8 +27,7 @@ pub fn cardinality_table() -> String {
         ("N:M", "rel: [B]"),
     ];
     for (kind, def) in rows {
-        let schema =
-            PgSchema::parse(&format!("type A {{ {def} }}\ntype B {{ x: Int }}")).unwrap();
+        let schema = PgSchema::parse(&format!("type A {{ {def} }}\ntype B {{ x: Int }}")).unwrap();
         let fan_out = pgraph::GraphBuilder::new()
             .node("a", "A")
             .node("b1", "B")
@@ -50,8 +49,7 @@ pub fn cardinality_table() -> String {
             if r.conforms() {
                 "allowed".to_owned()
             } else {
-                let rules: Vec<String> =
-                    r.counts().keys().map(|k| k.to_string()).collect();
+                let rules: Vec<String> = r.counts().keys().map(|k| k.to_string()).collect();
                 format!("rejected ({})", rules.join(", "))
             }
         };
@@ -89,12 +87,20 @@ pub fn validation_scaling(sizes: &[usize], naive_cap: usize, iters: usize) -> St
         let n = graph.node_count();
         let e = graph.edge_count();
         let t_indexed = time_median(iters, || {
-            validate(&graph, &schema, &ValidationOptions::with_engine(Engine::Indexed))
+            validate(
+                &graph,
+                &schema,
+                &ValidationOptions::with_engine(Engine::Indexed),
+            )
         });
         indexed_pts.push((n as f64, t_indexed.as_secs_f64()));
         let (naive_cell, ratio_cell) = if npt <= naive_cap {
             let t_naive = time_median(iters, || {
-                validate(&graph, &schema, &ValidationOptions::with_engine(Engine::Naive))
+                validate(
+                    &graph,
+                    &schema,
+                    &ValidationOptions::with_engine(Engine::Naive),
+                )
             });
             naive_pts.push((n as f64, t_naive.as_secs_f64()));
             (
@@ -121,9 +127,8 @@ pub fn validation_scaling(sizes: &[usize], naive_cap: usize, iters: usize) -> St
 
 /// E3 — validation time vs schema size at (roughly) constant graph size.
 pub fn schema_scaling(type_counts: &[usize], total_nodes: usize, iters: usize) -> String {
-    let mut out = String::from(
-        "| object types | nodes | edges | indexed validation |\n|---|---|---|---|\n",
-    );
+    let mut out =
+        String::from("| object types | nodes | edges | indexed validation |\n|---|---|---|---|\n");
     for &nt in type_counts {
         let sdl = SchemaGen::new(SchemaGenParams::benchmarkable(nt, 42)).generate();
         let schema = PgSchema::parse(&sdl).unwrap();
@@ -151,9 +156,8 @@ pub fn schema_scaling(type_counts: &[usize], total_nodes: usize, iters: usize) -
 
 /// E4a — the classic random 3-SAT phase transition, via the DPLL oracle.
 pub fn phase_transition(num_vars: usize, instances: u64) -> String {
-    let mut out = String::from(
-        "| clause/var ratio | SAT fraction | median decisions |\n|---|---|---|\n",
-    );
+    let mut out =
+        String::from("| clause/var ratio | SAT fraction | median decisions |\n|---|---|---|\n");
     for ratio10 in [10u32, 20, 30, 38, 43, 48, 60, 80] {
         let ratio = ratio10 as f64 / 10.0;
         let mut sat = 0u64;
@@ -219,9 +223,8 @@ pub fn reduction_scaling(var_counts: &[usize], ratio: f64, seeds: u64) -> String
 
 /// E5 — tableau scaling on required-chain schemas of growing depth.
 pub fn reasoner_scaling(depths: &[usize], iters: usize) -> String {
-    let mut out = String::from(
-        "| chain depth | types | tableau verdict | time |\n|---|---|---|---|\n",
-    );
+    let mut out =
+        String::from("| chain depth | types | tableau verdict | time |\n|---|---|---|---|\n");
     for &d in depths {
         let mut sdl = String::new();
         for i in 0..d {
@@ -235,7 +238,12 @@ pub fn reasoner_scaling(depths: &[usize], iters: usize) -> String {
         let t = time_median(iters, || {
             pg_reason::tableau::check_concept_by_name(&tbox, "C0", &config)
         });
-        let _ = writeln!(out, "| {d} | {} | {outcome:?} | {} |", d + 1, fmt_duration(t));
+        let _ = writeln!(
+            out,
+            "| {d} | {} | {outcome:?} | {} |",
+            d + 1,
+            fmt_duration(t)
+        );
     }
     out
 }
@@ -282,8 +290,7 @@ pub fn satisfiability_verdicts() -> String {
             "Book",
         ),
     ];
-    let mut out =
-        String::from("| schema | queried type | verdict |\n|---|---|---|\n");
+    let mut out = String::from("| schema | queried type | verdict |\n|---|---|---|\n");
     for (name, sdl, ty) in cases {
         let schema = PgSchema::parse(sdl).unwrap();
         let verdict = match check_object_type(&schema, ty, &ReasonerConfig::default()) {
@@ -386,9 +393,8 @@ pub fn detection_matrix() -> String {
 /// must be refuted).
 pub fn symmetry_ablation(var_counts: &[usize]) -> String {
     use pg_reason::finite::{find_model_with_options, FiniteSearchOptions};
-    let mut out = String::from(
-        "| vars | clauses | with symmetry breaking | without |\n|---|---|---|---|\n",
-    );
+    let mut out =
+        String::from("| vars | clauses | with symmetry breaking | without |\n|---|---|---|---|\n");
     for &n in var_counts {
         // Pigeonhole-flavoured UNSAT: x1 … xn all true, plus pairwise
         // exclusion of the first two — guaranteed UNSAT, structured.
@@ -406,9 +412,7 @@ pub fn symmetry_ablation(var_counts: &[usize]) -> String {
             };
             let t = time_median(1, || {
                 for k in 1..=red.bound {
-                    if find_model_with_options(&schema, &red.object_type, k, &options)
-                        .is_some()
-                    {
+                    if find_model_with_options(&schema, &red.object_type, k, &options).is_some() {
                         panic!("UNSAT formula produced a model");
                     }
                 }
@@ -485,8 +489,14 @@ mod tests {
     #[test]
     fn cardinality_table_matches_paper() {
         let t = cardinality_table();
-        assert!(t.contains("| 1:1 | `rel: B @uniqueForTarget` | rejected (WS4) | rejected (DS3) |"), "{t}");
-        assert!(t.contains("| N:M | `rel: [B]` | allowed | allowed |"), "{t}");
+        assert!(
+            t.contains("| 1:1 | `rel: B @uniqueForTarget` | rejected (WS4) | rejected (DS3) |"),
+            "{t}"
+        );
+        assert!(
+            t.contains("| N:M | `rel: [B]` | allowed | allowed |"),
+            "{t}"
+        );
     }
 
     #[test]

@@ -13,7 +13,8 @@ const USAGE: &str = "\
 pgschema — GraphQL SDL schemas for Property Graphs
 
 USAGE:
-    pgschema validate <schema.graphql> <graph.json> [--engine naive|indexed] [--weak-only] [--json]
+    pgschema validate <schema.graphql> <graph.json> [--engine naive|indexed|parallel]
+                      [--threads N] [--max-violations N] [--metrics] [--weak-only] [--json]
     pgschema consistency <schema.graphql>
     pgschema check-sat <schema.graphql> <TypeName> [--max-size K] [--field f] [--dot]
     pgschema generate <schema.graphql> [--nodes N] [--seed S] [--out FILE]
@@ -90,7 +91,11 @@ fn load_schema(path: &str) -> Result<PgSchema> {
 }
 
 fn cmd_validate(rest: &[String]) -> Result<()> {
-    let (pos, values, bools) = parse_flags(rest, &["engine"], &["weak-only", "json"])?;
+    let (pos, values, bools) = parse_flags(
+        rest,
+        &["engine", "threads", "max-violations"],
+        &["weak-only", "json", "metrics"],
+    )?;
     let [schema_path, graph_path] = pos.as_slice() else {
         return Err("validate needs <schema.graphql> <graph.json>".to_owned());
     };
@@ -98,32 +103,56 @@ fn cmd_validate(rest: &[String]) -> Result<()> {
     let graph_text =
         fs::read_to_string(graph_path).map_err(|e| format!("cannot read {graph_path}: {e}"))?;
     let graph = pgraph::json::from_json(&graph_text).map_err(|e| format!("{graph_path}: {e}"))?;
-    let mut options = ValidationOptions::default();
+    let mut builder = ValidationOptions::builder().collect_metrics(bools.contains(&"metrics"));
+    if bools.contains(&"weak-only") {
+        builder = builder.families(true, false, false);
+    }
     for (k, v) in values {
-        if k == "engine" {
-            options.engine = match v {
-                "naive" => Engine::Naive,
-                "indexed" => Engine::Indexed,
-                other => return Err(format!("unknown engine `{other}`")),
-            };
+        match k {
+            "engine" => {
+                builder = builder.engine(match v {
+                    "naive" => Engine::Naive,
+                    "indexed" => Engine::Indexed,
+                    "parallel" => Engine::Parallel,
+                    other => return Err(format!("unknown engine `{other}`")),
+                });
+            }
+            "threads" => {
+                builder = builder.threads(
+                    v.parse()
+                        .map_err(|_| format!("--threads: not a number: {v}"))?,
+                );
+            }
+            "max-violations" => {
+                builder = builder.max_violations(
+                    v.parse()
+                        .map_err(|_| format!("--max-violations: not a number: {v}"))?,
+                );
+            }
+            _ => unreachable!(),
         }
     }
-    if bools.contains(&"weak-only") {
-        options = ValidationOptions {
-            engine: options.engine,
-            ..ValidationOptions::weak_only()
-        };
-    }
-    let report = validate(&graph, &schema, &options);
+    let report = validate(&graph, &schema, &builder.build());
     if bools.contains(&"json") {
         println!("{}", report.to_json());
     } else {
         print!("{report}");
+        if let Some(m) = report.metrics() {
+            println!("{m}");
+        }
     }
     if report.conforms() {
         Ok(())
     } else {
-        Err(format!("{} violation(s)", report.len()))
+        Err(format!(
+            "{} violation(s){}",
+            report.len(),
+            if report.truncated() {
+                " (truncated)"
+            } else {
+                ""
+            }
+        ))
     }
 }
 
@@ -135,14 +164,13 @@ fn cmd_consistency(rest: &[String]) -> Result<()> {
     let text =
         fs::read_to_string(schema_path).map_err(|e| format!("cannot read {schema_path}: {e}"))?;
     let doc = gql_sdl::parse(&text).map_err(|e| format!("{schema_path}: {e}"))?;
-    let schema =
-        gql_schema::build_schema(&doc).map_err(|ds| {
-            let mut msg = String::new();
-            for d in ds {
-                let _ = writeln!(msg, "{d}");
-            }
-            msg
-        })?;
+    let schema = gql_schema::build_schema(&doc).map_err(|ds| {
+        let mut msg = String::new();
+        for d in ds {
+            let _ = writeln!(msg, "{d}");
+        }
+        msg
+    })?;
     let violations = gql_schema::consistency::check(&schema);
     if violations.is_empty() {
         println!("schema is consistent (Definition 4.5)");
@@ -228,11 +256,14 @@ fn cmd_generate(rest: &[String]) -> Result<()> {
     for (k, v) in values {
         match k {
             "nodes" => {
-                params.nodes_per_type =
-                    v.parse().map_err(|_| format!("--nodes: not a number: {v}"))?
+                params.nodes_per_type = v
+                    .parse()
+                    .map_err(|_| format!("--nodes: not a number: {v}"))?
             }
             "seed" => {
-                params.seed = v.parse().map_err(|_| format!("--seed: not a number: {v}"))?
+                params.seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed: not a number: {v}"))?
             }
             "out" => out_path = Some(v),
             _ => unreachable!(),
@@ -290,7 +321,8 @@ fn cmd_extend_api(rest: &[String]) -> Result<()> {
         include_mutation: bools.contains(&"mutations"),
         ..Default::default()
     };
-    let extended = pg_schema::api_extension::extend_to_api_schema(&doc, &options)?;
+    let extended = pg_schema::api_extension::extend_to_api_schema(&doc, &options)
+        .map_err(|e| e.to_string())?;
     let printed = gql_sdl::print_document(&extended);
     match values.iter().find(|(k, _)| *k == "out").map(|(_, v)| *v) {
         Some(p) => {
@@ -312,10 +344,7 @@ fn cmd_diff(rest: &[String]) -> Result<()> {
     let diff = pg_schema::diff::diff(&old, &new);
     print!("{diff}");
     if diff.is_breaking() {
-        Err(format!(
-            "{} breaking change(s)",
-            diff.breaking().count()
-        ))
+        Err(format!("{} breaking change(s)", diff.breaking().count()))
     } else {
         Ok(())
     }
@@ -363,9 +392,8 @@ fn cmd_normalize(rest: &[String]) -> Result<()> {
     let text =
         fs::read_to_string(schema_path).map_err(|e| format!("cannot read {schema_path}: {e}"))?;
     let doc = gql_sdl::parse(&text).map_err(|e| format!("{schema_path}: {e}"))?;
-    let schema = gql_schema::build_schema(&doc).map_err(|ds| {
-        ds.iter().map(|d| format!("{d}\n")).collect::<String>()
-    })?;
+    let schema = gql_schema::build_schema(&doc)
+        .map_err(|ds| ds.iter().map(|d| format!("{d}\n")).collect::<String>())?;
     let printed = gql_sdl::print_document(&gql_schema::emit::schema_to_document(&schema));
     match values.iter().find(|(k, _)| *k == "out").map(|(_, v)| *v) {
         Some(p) => {
@@ -423,7 +451,12 @@ fn cmd_describe(rest: &[String]) -> Result<()> {
             if r.required_for_target {
                 flags.push_str(" @requiredForTarget");
             }
-            println!("      {} -> {}{}", r.name, schema.display_type(&r.ty), flags);
+            println!(
+                "      {} -> {}{}",
+                r.name,
+                schema.display_type(&r.ty),
+                flags
+            );
         }
     }
     Ok(())

@@ -38,7 +38,11 @@ fn validate_accepts_conforming_graph() {
     let schema = write_tmp("s1.graphql", SCHEMA);
     let graph = write_tmp("g1.json", GOOD_GRAPH);
     let out = pgschema(&["validate", &schema, &graph]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("strongly satisfies"));
 }
 
@@ -123,8 +127,21 @@ fn check_sat_reports_witness_and_unsat() {
 fn generate_then_validate_roundtrip() {
     let schema = write_tmp("s8.graphql", SCHEMA);
     let graph_path = write_tmp("g8.json", "");
-    let out = pgschema(&["generate", &schema, "--nodes", "12", "--seed", "3", "--out", &graph_path]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = pgschema(&[
+        "generate",
+        &schema,
+        "--nodes",
+        "12",
+        "--seed",
+        "3",
+        "--out",
+        &graph_path,
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let out = pgschema(&["validate", &schema, &graph_path]);
     assert!(out.status.success());
 }
@@ -158,18 +175,21 @@ fn bad_usage_fails_cleanly() {
     assert!(!pgschema(&[]).status.success());
     assert!(!pgschema(&["frobnicate"]).status.success());
     assert!(!pgschema(&["validate", "only-one-arg"]).status.success());
-    assert!(!pgschema(&["validate", "a", "b", "--bogus"]).status.success());
+    assert!(!pgschema(&["validate", "a", "b", "--bogus"])
+        .status
+        .success());
     assert!(pgschema(&["help"]).status.success());
 }
 
 #[test]
 fn check_sat_field_mode_follows_the_paper_recipe() {
-    let schema = write_tmp(
-        "s10.graphql",
-        "type A { toB: B }\ntype B { x: Int }",
-    );
+    let schema = write_tmp("s10.graphql", "type A { toB: B }\ntype B { x: Int }");
     let out = pgschema(&["check-sat", &schema, "A", "--field", "toB"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("satisfiable"));
     let out = pgschema(&["check-sat", &schema, "A", "--field", "ghost"]);
     assert!(!out.status.success());
@@ -179,7 +199,11 @@ fn check_sat_field_mode_follows_the_paper_recipe() {
 fn extend_api_emits_query_root_and_inverse_fields() {
     let schema = write_tmp("s11.graphql", pg_datagen::schemagen::social_schema());
     let out = pgschema(&["extend-api", &schema, "--mutations"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let sdl = String::from_utf8_lossy(&out.stdout);
     assert!(sdl.contains("type Query"), "{sdl}");
     assert!(sdl.contains("allUser: [User]"), "{sdl}");
@@ -224,7 +248,11 @@ fn import_csv_and_validate() {
         }"#,
     );
     let out = pgschema(&["import", &nodes, &edges, "--schema", &schema]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("\"nodes\""), "{stdout}");
     // Duplicate keys make validation fail through import as well.

@@ -27,12 +27,55 @@
 //! still documents the integrity constraints.
 
 use gql_sdl::ast::{
-    Definition, Document, FieldDef, InputValueDef, ObjectTypeDef, OperationKind, SchemaDef,
-    Type, TypeDef,
+    Definition, Document, FieldDef, InputValueDef, ObjectTypeDef, OperationKind, SchemaDef, Type,
+    TypeDef,
 };
 use gql_sdl::{Pos, Span};
 
-use crate::pgschema::PgSchema;
+use crate::pgschema::{PgSchema, PgSchemaError};
+
+/// An error extending a PG schema into an API schema.
+///
+/// Replaces the stringly-typed error of earlier revisions; the
+/// [`Display`](std::fmt::Display) renderings are unchanged, so code that
+/// matched on the message text keeps working via `to_string()`.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ApiExtensionError {
+    /// The input document does not build into a consistent PG schema
+    /// (the extension is only defined over consistent schemas,
+    /// Definition 4.5).
+    InvalidSchema(PgSchemaError),
+    /// The document already defines the named root operation type; the
+    /// extension would clash with it.
+    RootTypeExists(&'static str),
+}
+
+impl std::fmt::Display for ApiExtensionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiExtensionError::InvalidSchema(e) => write!(f, "{e}"),
+            ApiExtensionError::RootTypeExists(name) => {
+                write!(f, "document already defines a {name} root type")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApiExtensionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ApiExtensionError::InvalidSchema(e) => Some(e),
+            ApiExtensionError::RootTypeExists(_) => None,
+        }
+    }
+}
+
+impl From<PgSchemaError> for ApiExtensionError {
+    fn from(e: PgSchemaError) -> Self {
+        ApiExtensionError::InvalidSchema(e)
+    }
+}
 
 /// Options for [`extend_to_api_schema`].
 #[derive(Debug, Clone)]
@@ -64,17 +107,22 @@ fn lower_first(s: &str) -> String {
     }
 }
 
-/// Produces the extended API document. Fails (with a message) if the
-/// input document does not build into a consistent PG schema, or if a
-/// type named `Query`/`Mutation` already exists.
+/// Produces the extended API document. Fails with
+/// [`ApiExtensionError::InvalidSchema`] if the input document does not
+/// build into a consistent PG schema, or
+/// [`ApiExtensionError::RootTypeExists`] if a type named
+/// `Query`/`Mutation` already exists.
 pub fn extend_to_api_schema(
     doc: &Document,
     options: &ApiExtensionOptions,
-) -> Result<Document, String> {
-    let schema = PgSchema::from_document(doc).map_err(|e| e.to_string())?;
+) -> Result<Document, ApiExtensionError> {
+    let schema = PgSchema::from_document(doc)?;
     let s = schema.schema();
-    if doc.type_def("Query").is_some() || doc.type_def("Mutation").is_some() {
-        return Err("document already defines Query/Mutation root types".to_owned());
+    if doc.type_def("Query").is_some() {
+        return Err(ApiExtensionError::RootTypeExists("Query"));
+    }
+    if doc.type_def("Mutation").is_some() {
+        return Err(ApiExtensionError::RootTypeExists("Mutation"));
     }
 
     let mut out = doc.clone();
@@ -154,14 +202,15 @@ pub fn extend_to_api_schema(
             }
         }
     }
-    out.definitions.push(Definition::Type(TypeDef::Object(ObjectTypeDef {
-        description: Some("Generated root query type (§3.6).".to_owned()),
-        name: "Query".to_owned(),
-        implements: Vec::new(),
-        directives: Vec::new(),
-        fields: query_fields,
-        span: span(),
-    })));
+    out.definitions
+        .push(Definition::Type(TypeDef::Object(ObjectTypeDef {
+            description: Some("Generated root query type (§3.6).".to_owned()),
+            name: "Query".to_owned(),
+            implements: Vec::new(),
+            directives: Vec::new(),
+            fields: query_fields,
+            span: span(),
+        })));
 
     let mut operations = vec![(OperationKind::Query, "Query".to_owned())];
     if options.include_mutation {
@@ -227,7 +276,10 @@ mod tests {
         assert!(names.contains(&"allPost"));
         assert!(names.contains(&"user")); // key lookup
         assert!(!names.contains(&"post")); // Post has no key
-        assert!(matches!(doc.definitions.last(), Some(Definition::Schema(_))));
+        assert!(matches!(
+            doc.definitions.last(),
+            Some(Definition::Schema(_))
+        ));
     }
 
     #[test]
@@ -270,7 +322,9 @@ mod tests {
         for ty in ["Pizza", "Pasta"] {
             let o = doc.object_types().find(|o| o.name == ty).unwrap();
             assert!(
-                o.fields.iter().any(|f| f.name == "rev_favoriteFood_from_Person"),
+                o.fields
+                    .iter()
+                    .any(|f| f.name == "rev_favoriteFood_from_Person"),
                 "{ty} lacks inverse field"
             );
         }
@@ -278,10 +332,13 @@ mod tests {
 
     #[test]
     fn output_is_a_consistent_schema_and_roundtrips() {
-        let doc = extend(SOCIAL, &ApiExtensionOptions {
-            include_mutation: true,
-            ..Default::default()
-        });
+        let doc = extend(
+            SOCIAL,
+            &ApiExtensionOptions {
+                include_mutation: true,
+                ..Default::default()
+            },
+        );
         let printed = print_document(&doc);
         let reparsed = parse(&printed).expect("extended schema parses");
         let (schema, diags) = gql_schema::build_schema_with_diagnostics(&reparsed);
@@ -301,7 +358,9 @@ mod tests {
             &ApiExtensionOptions::default(),
         )
         .unwrap_err();
-        assert!(err.contains("already defines"));
+        assert!(matches!(err, ApiExtensionError::RootTypeExists("Query")));
+        assert!(err.to_string().contains("already defines"));
+        assert!(std::error::Error::source(&err).is_none());
     }
 
     #[test]
@@ -311,6 +370,8 @@ mod tests {
             &ApiExtensionOptions::default(),
         )
         .unwrap_err();
-        assert!(err.contains("inconsistent"));
+        assert!(matches!(err, ApiExtensionError::InvalidSchema(_)));
+        assert!(err.to_string().contains("inconsistent"));
+        assert!(std::error::Error::source(&err).is_some());
     }
 }

@@ -169,10 +169,18 @@ impl fmt::Display for SchemaChange {
                 new,
                 ..
             } => write!(f, "field {ty}.{field}: {old} → {new}"),
-            SchemaChange::ConstraintAdded { ty, field, directive } => {
+            SchemaChange::ConstraintAdded {
+                ty,
+                field,
+                directive,
+            } => {
                 write!(f, "@{directive} added on {ty}.{field}")
             }
-            SchemaChange::ConstraintRemoved { ty, field, directive } => {
+            SchemaChange::ConstraintRemoved {
+                ty,
+                field,
+                directive,
+            } => {
                 write!(f, "@{directive} removed from {ty}.{field}")
             }
             SchemaChange::KeyAdded { ty, fields } => {
@@ -454,8 +462,7 @@ fn diff_edge_props(
     field: &str,
     changes: &mut Vec<SchemaChange>,
 ) {
-    let (Some(or), Some(nr)) = (old.relationship(ty, field), new.relationship(ty, field))
-    else {
+    let (Some(or), Some(nr)) = (old.relationship(ty, field), new.relationship(ty, field)) else {
         return;
     };
     for p in &nr.edge_props {
@@ -522,14 +529,20 @@ mod tests {
 
     #[test]
     fn added_type_and_field_are_compatible() {
-        let diff = d("type A { x: Int }", "type A { x: Int y: Float } type B { z: Int }");
+        let diff = d(
+            "type A { x: Int }",
+            "type A { x: Int y: Float } type B { z: Int }",
+        );
         assert!(!diff.is_breaking(), "{diff}");
         assert_eq!(diff.changes.len(), 2);
     }
 
     #[test]
     fn removed_type_and_field_break() {
-        let diff = d("type A { x: Int y: Int } type B { z: Int }", "type A { x: Int }");
+        let diff = d(
+            "type A { x: Int y: Int } type B { z: Int }",
+            "type A { x: Int }",
+        );
         assert!(diff.is_breaking());
         assert_eq!(diff.breaking().count(), 2);
     }
@@ -579,16 +592,10 @@ mod tests {
 
     #[test]
     fn directive_changes_classify() {
-        let add = d(
-            "type A { r: [A] }",
-            "type A { r: [A] @distinct @noLoops }",
-        );
+        let add = d("type A { r: [A] }", "type A { r: [A] @distinct @noLoops }");
         assert!(add.is_breaking());
         assert_eq!(add.breaking().count(), 2);
-        let remove = d(
-            "type A { r: [A] @distinct @noLoops }",
-            "type A { r: [A] }",
-        );
+        let remove = d("type A { r: [A] @distinct @noLoops }", "type A { r: [A] }");
         assert!(!remove.is_breaking(), "{remove}");
         assert_eq!(remove.changes.len(), 2);
     }

@@ -16,16 +16,20 @@
 //! * **strong satisfaction** — rules [`Rule::SS1`]–[`Rule::SS4`]: every
 //!   node, property and edge must be *justified* by a schema element.
 //!
-//! Two interchangeable engines decide the same relation:
+//! Three interchangeable engines decide the same relation:
 //!
 //! * [`Engine::Naive`] transcribes the paper's first-order formulas
 //!   directly (nested loops; the `O(n²)`–`O(n³)` algorithm discussed after
-//!   Theorem 1), and
-//! * [`Engine::Indexed`] is the production engine: one `O(|V| + |E|)`
-//!   indexing pass plus hash-group checks, near-linear in practice.
+//!   Theorem 1),
+//! * [`Engine::Indexed`] is the serial production engine: one
+//!   `O(|V| + |E|)` indexing pass plus hash-group checks, near-linear in
+//!   practice, and
+//! * [`Engine::Parallel`] shards the node/edge id spaces over worker
+//!   threads running the indexed engine's rule checks, merging shard
+//!   reports deterministically.
 //!
-//! Engine agreement is property-tested; benchmark E2 in EXPERIMENTS.md
-//! measures the separation.
+//! Three-way engine agreement is property-tested; benchmark E2 in
+//! EXPERIMENTS.md measures the separation.
 //!
 //! ```
 //! use pg_schema::{PgSchema, validate, ValidationOptions};
@@ -44,6 +48,20 @@
 //! let report = validate(&graph, &schema, &ValidationOptions::default());
 //! assert!(report.conforms());
 //! ```
+//!
+//! Non-default runs are configured through the builder:
+//!
+//! ```
+//! use pg_schema::{Engine, ValidationOptions};
+//!
+//! let options = ValidationOptions::builder()
+//!     .engine(Engine::Parallel)
+//!     .threads(4)
+//!     .max_violations(100)
+//!     .collect_metrics(true)
+//!     .build();
+//! assert_eq!(options.engine, Engine::Parallel);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,15 +69,18 @@
 pub mod api_extension;
 pub mod diff;
 mod indexed;
+mod metrics;
 mod naive;
+mod parallel;
 mod pgschema;
 pub mod report;
 
+pub use api_extension::ApiExtensionError;
 pub use pgschema::{
     AttributeDef, ConstraintSite, FieldClass, KeyConstraint, PgSchema, PgSchemaError,
     RelationshipDef,
 };
-pub use report::{Rule, RuleFamily, ValidationReport, Violation};
+pub use report::{FamilyMetrics, Rule, RuleFamily, ValidationMetrics, ValidationReport, Violation};
 
 /// Which implementation decides satisfaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -67,12 +88,25 @@ pub enum Engine {
     /// Direct transcription of the paper's first-order rules
     /// (quadratic/cubic nested loops). Reference implementation.
     Naive,
-    /// Index-assisted engine (near-linear). Default.
+    /// Index-assisted serial engine (near-linear). Default.
     #[default]
     Indexed,
+    /// Sharded multi-threaded engine: the id space is partitioned into
+    /// per-worker slices running the indexed checks; cross-shard rules
+    /// (`@key`) aggregate shard-local tables in one merge pass. Worker
+    /// count comes from [`ValidationOptions::threads`].
+    Parallel,
 }
 
-/// Which rule families to check.
+/// Which rule families to check, with which engine, and under which
+/// resource limits.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`ValidationOptions::builder`] (or the [`Default`]/
+/// [`with_engine`](Self::with_engine)/[`weak_only`](Self::weak_only)
+/// shorthands) rather than a struct literal, so adding options stays a
+/// compatible change.
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ValidationOptions {
     /// The engine to use.
@@ -83,6 +117,16 @@ pub struct ValidationOptions {
     pub directives: bool,
     /// Check strong satisfaction (SS1–SS4). Default true.
     pub strong: bool,
+    /// Worker threads for [`Engine::Parallel`]; `0` (default) means one
+    /// per available CPU. Serial engines ignore this.
+    pub threads: usize,
+    /// Stop collecting after this many violations and mark the report
+    /// [`truncated`](ValidationReport::truncated). `None` (default)
+    /// reports everything.
+    pub max_violations: Option<usize>,
+    /// Record [`ValidationMetrics`] (per-family wall time, scan counters,
+    /// shard sizes) on the report. Default false.
+    pub collect_metrics: bool,
 }
 
 impl Default for ValidationOptions {
@@ -92,11 +136,21 @@ impl Default for ValidationOptions {
             weak: true,
             directives: true,
             strong: true,
+            threads: 0,
+            max_violations: None,
+            collect_metrics: false,
         }
     }
 }
 
 impl ValidationOptions {
+    /// Starts building a configuration from the defaults.
+    pub fn builder() -> ValidationOptionsBuilder {
+        ValidationOptionsBuilder {
+            options: ValidationOptions::default(),
+        }
+    }
+
     /// All rule families with the given engine.
     pub fn with_engine(engine: Engine) -> Self {
         ValidationOptions {
@@ -116,6 +170,66 @@ impl ValidationOptions {
     }
 }
 
+/// Builder for [`ValidationOptions`].
+///
+/// ```
+/// use pg_schema::{Engine, ValidationOptions};
+///
+/// // Weak + directives only, naive engine, stop after 10 violations.
+/// let options = ValidationOptions::builder()
+///     .engine(Engine::Naive)
+///     .families(true, true, false)
+///     .max_violations(10)
+///     .build();
+/// assert!(!options.strong);
+/// assert_eq!(options.max_violations, Some(10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ValidationOptionsBuilder {
+    options: ValidationOptions,
+}
+
+impl ValidationOptionsBuilder {
+    /// Selects the engine (default [`Engine::Indexed`]).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.options.engine = engine;
+        self
+    }
+
+    /// Selects the rule families to check: weak (WS1–WS4), directives
+    /// (DS1–DS7), strong (SS1–SS4). Default all three.
+    pub fn families(mut self, weak: bool, directives: bool, strong: bool) -> Self {
+        self.options.weak = weak;
+        self.options.directives = directives;
+        self.options.strong = strong;
+        self
+    }
+
+    /// Worker threads for [`Engine::Parallel`] (`0` = one per CPU).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.options.threads = threads;
+        self
+    }
+
+    /// Stops collecting after `max` violations; the report is then marked
+    /// [`truncated`](ValidationReport::truncated).
+    pub fn max_violations(mut self, max: usize) -> Self {
+        self.options.max_violations = Some(max);
+        self
+    }
+
+    /// Records [`ValidationMetrics`] on the report.
+    pub fn collect_metrics(mut self, collect: bool) -> Self {
+        self.options.collect_metrics = collect;
+        self
+    }
+
+    /// Finishes, yielding the configuration.
+    pub fn build(self) -> ValidationOptions {
+        self.options
+    }
+}
+
 /// Validates `graph` against `schema` — the Schema Validation Problem of
 /// §6.1 ("Does G strongly satisfy S?"), with per-rule violation reporting.
 pub fn validate(
@@ -126,7 +240,15 @@ pub fn validate(
     let mut report = match options.engine {
         Engine::Naive => naive::run(graph, schema, options),
         Engine::Indexed => indexed::run(graph, schema, options),
+        Engine::Parallel => parallel::run(graph, schema, options),
     };
+    // Once the limit is reached the engines stop scanning, so whether
+    // further violations exist is unknown — that is what `truncated`
+    // reports. Checked before canonicalisation, which may dedup the
+    // report back below the limit.
+    if report.at_limit() {
+        report.set_truncated(true);
+    }
     report.canonicalize();
     report
 }

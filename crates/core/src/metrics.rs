@@ -1,0 +1,85 @@
+//! Crate-private instrumentation plumbing shared by the engines.
+//!
+//! Engines drive a [`MetricsRecorder`] unconditionally; when metrics were
+//! not requested every method is a no-op, so the hot paths carry no
+//! branches beyond one `Option` check per rule-family block.
+
+use std::time::Instant;
+
+use crate::report::{FamilyMetrics, RuleFamily, ValidationMetrics, ValidationReport};
+
+/// Accumulates [`ValidationMetrics`] for one validation run.
+pub(crate) struct MetricsRecorder {
+    metrics: Option<ValidationMetrics>,
+}
+
+impl MetricsRecorder {
+    pub(crate) fn new(enabled: bool, engine: &'static str, threads: usize) -> Self {
+        MetricsRecorder {
+            metrics: enabled.then(|| ValidationMetrics {
+                engine,
+                threads,
+                ..ValidationMetrics::default()
+            }),
+        }
+    }
+
+    pub(crate) fn index_build(&mut self, nanos: u64) {
+        if let Some(m) = &mut self.metrics {
+            m.index_build_nanos = nanos;
+        }
+    }
+
+    pub(crate) fn scanned(&mut self, nodes: u64, edges: u64) {
+        if let Some(m) = &mut self.metrics {
+            m.nodes_scanned += nodes;
+            m.edges_scanned += edges;
+        }
+    }
+
+    /// Runs one rule-family block, recording its wall time and the
+    /// violations it contributed to `r`.
+    pub(crate) fn family(
+        &mut self,
+        family: RuleFamily,
+        r: &mut ValidationReport,
+        block: impl FnOnce(&mut ValidationReport),
+    ) {
+        if self.metrics.is_none() {
+            block(r);
+            return;
+        }
+        let before = r.len();
+        let start = Instant::now();
+        block(r);
+        let nanos = start.elapsed().as_nanos() as u64;
+        if let Some(m) = &mut self.metrics {
+            m.families.push(FamilyMetrics {
+                family,
+                nanos,
+                violations: r.len() - before,
+            });
+        }
+    }
+
+    /// Records a family measured externally (the parallel engine reduces
+    /// per-worker timings itself).
+    pub(crate) fn family_record(&mut self, fm: FamilyMetrics) {
+        if let Some(m) = &mut self.metrics {
+            m.families.push(fm);
+        }
+    }
+
+    pub(crate) fn shard_elements(&mut self, elements: Vec<u64>) {
+        if let Some(m) = &mut self.metrics {
+            m.shard_elements = elements;
+        }
+    }
+
+    /// Attaches the collected metrics (if any) to the report.
+    pub(crate) fn finish(self, r: &mut ValidationReport) {
+        if let Some(m) = self.metrics {
+            r.set_metrics(m);
+        }
+    }
+}

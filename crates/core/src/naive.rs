@@ -10,8 +10,9 @@
 
 use pgraph::{PropertyGraph, Value};
 
+use crate::metrics::MetricsRecorder;
 use crate::pgschema::PgSchema;
-use crate::report::{ValidationReport, Violation};
+use crate::report::{RuleFamily, ValidationReport, Violation};
 use crate::ValidationOptions;
 
 pub(crate) fn run(
@@ -19,22 +20,33 @@ pub(crate) fn run(
     s: &PgSchema,
     options: &ValidationOptions,
 ) -> ValidationReport {
-    let mut r = ValidationReport::default();
+    let mut r = ValidationReport::with_limit(options.max_violations);
+    let mut rec = MetricsRecorder::new(options.collect_metrics, "naive", 1);
+    let (nv, ne) = (g.node_count() as u64, g.edge_count() as u64);
     if options.weak {
-        ws1(g, s, &mut r);
-        ws2(g, s, &mut r);
-        ws3(g, s, &mut r);
-        ws4(g, s, &mut r);
+        rec.family(RuleFamily::Weak, &mut r, |r| {
+            ws1(g, s, r);
+            ws2(g, s, r);
+            ws3(g, s, r);
+            ws4(g, s, r);
+        });
+        // Outer-loop passes: two over V (WS1, WS4), two over E (WS2, WS3).
+        rec.scanned(2 * nv, 2 * ne);
     }
-    if options.directives {
-        ds1_ds2_ds3(g, s, &mut r);
-        ds4(g, s, &mut r);
-        ds5_ds6(g, s, &mut r);
-        ds7(g, s, &mut r);
+    if options.directives && !r.at_limit() {
+        rec.family(RuleFamily::Directives, &mut r, |r| {
+            ds1_ds2_ds3(g, s, r);
+            ds4(g, s, r);
+            ds5_ds6(g, s, r);
+            ds7(g, s, r);
+        });
+        rec.scanned(3 * nv, ne);
     }
-    if options.strong {
-        ss(g, s, &mut r);
+    if options.strong && !r.at_limit() {
+        rec.family(RuleFamily::Strong, &mut r, |r| ss(g, s, r));
+        rec.scanned(nv, ne);
     }
+    rec.finish(&mut r);
     r
 }
 
@@ -42,6 +54,9 @@ pub(crate) fn run(
 ///      ⟹ σ(v,f) ∈ valuesW(typeF(λ(v),f)).
 fn ws1(g: &PropertyGraph, s: &PgSchema, r: &mut ValidationReport) {
     for n in g.nodes() {
+        if r.at_limit() {
+            return;
+        }
         for (prop, value) in n.properties() {
             if let Some(attr) = s.attribute(n.label(), prop) {
                 if !s.schema().value_conforms(value, &attr.ty) {
@@ -61,6 +76,9 @@ fn ws1(g: &PropertyGraph, s: &PgSchema, r: &mut ValidationReport) {
 ///      ⟹ σ(e,a) ∈ valuesW(typeAF(f,a)).
 fn ws2(g: &PropertyGraph, s: &PgSchema, r: &mut ValidationReport) {
     for e in g.edges() {
+        if r.at_limit() {
+            return;
+        }
         let Some(src_label) = g.node_label(e.source()) else {
             continue;
         };
@@ -90,6 +108,9 @@ fn ws2(g: &PropertyGraph, s: &PgSchema, r: &mut ValidationReport) {
 /// the subtype condition and is reported here (and again by SS4).
 fn ws3(g: &PropertyGraph, s: &PgSchema, r: &mut ValidationReport) {
     for e in g.edges() {
+        if r.at_limit() {
+            return;
+        }
         let Some(src_label) = g.node_label(e.source()) else {
             continue;
         };
@@ -116,6 +137,9 @@ fn ws3(g: &PropertyGraph, s: &PgSchema, r: &mut ValidationReport) {
 ///      field, count the outgoing edges with that label.
 fn ws4(g: &PropertyGraph, s: &PgSchema, r: &mut ValidationReport) {
     for n in g.nodes() {
+        if r.at_limit() {
+            return;
+        }
         let Some(t) = s.label_type(n.label()) else {
             continue;
         };
@@ -123,10 +147,7 @@ fn ws4(g: &PropertyGraph, s: &PgSchema, r: &mut ValidationReport) {
             if f.ty.is_list() {
                 continue;
             }
-            let count = g
-                .out_edges(n.id)
-                .filter(|e| e.label() == f.name)
-                .count();
+            let count = g.out_edges(n.id).filter(|e| e.label() == f.name).count();
             if count > 1 {
                 r.push(Violation::NonListFieldMultiEdge {
                     source: n.id,
@@ -147,9 +168,15 @@ fn ws4(g: &PropertyGraph, s: &PgSchema, r: &mut ValidationReport) {
 /// evident intent.
 fn ds1_ds2_ds3(g: &PropertyGraph, s: &PgSchema, r: &mut ValidationReport) {
     for site in s.constraint_sites() {
+        if r.at_limit() {
+            return;
+        }
         let rel = &site.rel;
         if rel.distinct {
             for e1 in g.edges() {
+                if r.at_limit() {
+                    return;
+                }
                 if e1.label() != rel.name
                     || !s.label_subtype(g.node_label(e1.source()).unwrap_or(""), site.site)
                 {
@@ -188,6 +215,9 @@ fn ds1_ds2_ds3(g: &PropertyGraph, s: &PgSchema, r: &mut ValidationReport) {
         }
         if rel.unique_for_target {
             for e1 in g.edges() {
+                if r.at_limit() {
+                    return;
+                }
                 if e1.label() != rel.name
                     || !s.label_subtype(g.node_label(e1.source()).unwrap_or(""), site.site)
                 {
@@ -198,10 +228,7 @@ fn ds1_ds2_ds3(g: &PropertyGraph, s: &PgSchema, r: &mut ValidationReport) {
                     .filter(|e2| {
                         e2.label() == rel.name
                             && e2.target() == e1.target()
-                            && s.label_subtype(
-                                g.node_label(e2.source()).unwrap_or(""),
-                                site.site,
-                            )
+                            && s.label_subtype(g.node_label(e2.source()).unwrap_or(""), site.site)
                     })
                     .count();
                 if count > 1 {
@@ -225,6 +252,9 @@ fn ds4(g: &PropertyGraph, s: &PgSchema, r: &mut ValidationReport) {
             continue;
         }
         for n in g.nodes() {
+            if r.at_limit() {
+                return;
+            }
             if !s.label_subtype_wrapped(n.label(), &rel.ty) {
                 continue;
             }
@@ -260,6 +290,9 @@ fn ds5_ds6(g: &PropertyGraph, s: &PgSchema, r: &mut ValidationReport) {
                 continue;
             }
             for n in g.nodes() {
+                if r.at_limit() {
+                    return;
+                }
                 if !s.label_subtype(n.label(), t) {
                     continue;
                 }
@@ -287,6 +320,9 @@ fn ds5_ds6(g: &PropertyGraph, s: &PgSchema, r: &mut ValidationReport) {
             continue;
         }
         for n in g.nodes() {
+            if r.at_limit() {
+                return;
+            }
             if !s.label_subtype(n.label(), site.site) {
                 continue;
             }
@@ -320,14 +356,17 @@ fn ds7(g: &PropertyGraph, s: &PgSchema, r: &mut ValidationReport) {
             .filter(|n| s.label_subtype(n.label(), key.site))
             .collect();
         for (i, a) in nodes.iter().enumerate() {
+            if r.at_limit() {
+                return;
+            }
             for b in nodes.iter().skip(i + 1) {
-                let agree = scalar_fields.iter().all(|f| {
-                    match (a.property(f), b.property(f)) {
+                let agree = scalar_fields
+                    .iter()
+                    .all(|f| match (a.property(f), b.property(f)) {
                         (None, None) => true,
                         (Some(x), Some(y)) => x == y,
                         _ => false,
-                    }
-                });
+                    });
                 if agree {
                     r.push(Violation::KeyViolated {
                         a: a.id,
@@ -345,6 +384,9 @@ fn ds7(g: &PropertyGraph, s: &PgSchema, r: &mut ValidationReport) {
 /// edges.
 fn ss(g: &PropertyGraph, s: &PgSchema, r: &mut ValidationReport) {
     for n in g.nodes() {
+        if r.at_limit() {
+            return;
+        }
         // SS1: λ(v) ∈ OT.
         if !s.is_object_label(n.label()) {
             r.push(Violation::UnjustifiedNode {
@@ -363,6 +405,9 @@ fn ss(g: &PropertyGraph, s: &PgSchema, r: &mut ValidationReport) {
         }
     }
     for e in g.edges() {
+        if r.at_limit() {
+            return;
+        }
         let src_label = g.node_label(e.source()).unwrap_or("");
         let rel = s.relationship(src_label, e.label());
         // SS4: the edge label must be a relationship field of the source's
@@ -376,8 +421,7 @@ fn ss(g: &PropertyGraph, s: &PgSchema, r: &mut ValidationReport) {
         }
         // SS3: every edge property is backed by a scalar-based argument.
         for (prop, _) in e.properties() {
-            let justified =
-                rel.is_some_and(|rd| rd.edge_props.iter().any(|p| p.name == prop));
+            let justified = rel.is_some_and(|rd| rd.edge_props.iter().any(|p| p.name == prop));
             if !justified {
                 r.push(Violation::UnjustifiedEdgeProperty {
                     edge: e.id,

@@ -1,0 +1,401 @@
+//! The parallel validation engine.
+//!
+//! Partitions the node and edge id spaces into one contiguous shard per
+//! worker ([`pgraph::shard::GraphShards`]) and runs the indexed engine's
+//! rule checks shard-locally on scoped threads ([`std::thread::scope`] —
+//! no dependencies beyond std). Work is assigned so every violation is
+//! produced by exactly one worker:
+//!
+//! * element-local rules (WS1–WS3, DS2, DS5, DS6, SS1–SS4) run over the
+//!   shard's own live nodes and edges;
+//! * group-keyed rules read the shared [`GraphIndex`] but only process
+//!   groups whose key element the shard owns — WS4 and DS1 key on the
+//!   source node, DS3 and DS4 on the target node;
+//! * the one genuinely cross-shard rule, `@key` (DS7), is split
+//!   map-reduce style: each worker builds shard-local key-tuple tables
+//!   ([`indexed::ds7_collect`]), the main thread merges them (tables
+//!   from disjoint shards merge by appending node lists) and emits the
+//!   violations in one pass ([`indexed::ds7_emit`]).
+//!
+//! Workers never synchronise: graph, index and schema are borrowed
+//! immutably and each worker writes its own [`ValidationReport`].
+//! Reports are merged in shard order and canonicalised by the caller,
+//! so the outcome is deterministic for any thread count and agrees
+//! violation-for-violation with the serial engines (property-tested
+//! three ways in `tests/engine_agreement.rs`).
+
+use std::collections::HashMap;
+use std::thread;
+use std::time::Instant;
+
+use pgraph::index::GraphIndex;
+use pgraph::shard::{GraphShard, GraphShards};
+use pgraph::{NodeId, PropertyGraph, Value};
+
+use crate::indexed;
+use crate::metrics::MetricsRecorder;
+use crate::pgschema::PgSchema;
+use crate::report::{FamilyMetrics, RuleFamily, ValidationReport};
+use crate::ValidationOptions;
+
+/// Upper bound on workers — far above any plausible CPU count, it only
+/// guards against absurd `--threads` requests spawning thousands of OS
+/// threads.
+const MAX_THREADS: usize = 256;
+
+fn effective_threads(requested: usize) -> usize {
+    let t = if requested == 0 {
+        thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    t.clamp(1, MAX_THREADS)
+}
+
+/// What one worker sends back: its shard-local report, per-family wall
+/// times, the shard-local DS7 key tables (one per `@key`, in schema
+/// order), and its scan counters.
+struct WorkerOutput {
+    report: ValidationReport,
+    families: Vec<FamilyMetrics>,
+    key_tables: Vec<HashMap<Vec<Option<Value>>, Vec<NodeId>>>,
+    nodes_scanned: u64,
+    edges_scanned: u64,
+    elements: u64,
+}
+
+pub(crate) fn run(
+    g: &PropertyGraph,
+    s: &PgSchema,
+    options: &ValidationOptions,
+) -> ValidationReport {
+    let threads = effective_threads(options.threads);
+    let mut rec = MetricsRecorder::new(options.collect_metrics, "parallel", threads);
+
+    // The index is built once, serially, and shared read-only by all
+    // workers (same O(|V| + |E|) pass as the indexed engine).
+    let start = Instant::now();
+    let ix = GraphIndex::build(g);
+    let labels: Vec<String> = ix.node_labels().map(str::to_owned).collect();
+    rec.index_build(start.elapsed().as_nanos() as u64);
+
+    let shards = GraphShards::new(g, threads);
+    let outputs: Vec<WorkerOutput> = thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|shard| {
+                let (ix, labels) = (&ix, &labels);
+                scope.spawn(move || worker(g, s, ix, labels, options, shard))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("validation worker panicked"))
+            .collect()
+    });
+
+    merge(s, options, outputs, rec)
+}
+
+fn worker(
+    g: &PropertyGraph,
+    s: &PgSchema,
+    ix: &GraphIndex,
+    labels: &[String],
+    options: &ValidationOptions,
+    shard: GraphShard<'_>,
+) -> WorkerOutput {
+    let mut r = ValidationReport::with_limit(options.max_violations);
+    let mut families = Vec::new();
+    let mut nodes_scanned = 0u64;
+    let mut edges_scanned = 0u64;
+    let (shard_nodes, shard_edges) = if options.collect_metrics {
+        (shard.node_count() as u64, shard.edge_count() as u64)
+    } else {
+        (0, 0)
+    };
+    let owns = |n: NodeId| shard.owns_node(n);
+    let mut key_tables = Vec::new();
+
+    // Same family structure and fused-scan attribution as the serial
+    // indexed engine, instantiated with this shard's iterators and
+    // ownership predicate.
+    if options.weak {
+        let before = r.len();
+        let start = Instant::now();
+        indexed::scan_node_properties(shard.nodes(), s, options, &mut r);
+        indexed::scan_edges(g, shard.edges(), s, options, &mut r);
+        indexed::ws4(g, s, ix, &mut r, owns);
+        families.push(FamilyMetrics {
+            family: RuleFamily::Weak,
+            nanos: start.elapsed().as_nanos() as u64,
+            violations: r.len() - before,
+        });
+        nodes_scanned += shard_nodes;
+        edges_scanned += shard_edges;
+    }
+    if options.directives && !r.at_limit() {
+        let before = r.len();
+        let start = Instant::now();
+        indexed::ds1(g, s, ix, &mut r, owns);
+        indexed::ds2(g, s, shard.edges(), &mut r);
+        indexed::ds3(g, s, ix, &mut r, owns);
+        indexed::ds4(g, s, ix, labels, &mut r, owns);
+        indexed::ds5(g, s, ix, labels, &mut r, owns);
+        indexed::ds6(g, s, ix, labels, &mut r, owns);
+        // DS7 map phase; the reduce runs on the main thread after join.
+        for key in s.keys() {
+            let scalar_fields = indexed::ds7_scalar_fields(s, key);
+            key_tables.push(indexed::ds7_collect(
+                g,
+                s,
+                ix,
+                labels,
+                key,
+                &scalar_fields,
+                owns,
+            ));
+        }
+        families.push(FamilyMetrics {
+            family: RuleFamily::Directives,
+            nanos: start.elapsed().as_nanos() as u64,
+            violations: r.len() - before,
+        });
+        nodes_scanned += shard_nodes;
+        edges_scanned += shard_edges;
+    }
+    if options.strong && !r.at_limit() {
+        let before = r.len();
+        let start = Instant::now();
+        if !options.weak {
+            indexed::scan_node_properties(shard.nodes(), s, options, &mut r);
+            indexed::scan_edges(g, shard.edges(), s, options, &mut r);
+            edges_scanned += shard_edges;
+        }
+        indexed::ss1(shard.nodes(), s, &mut r);
+        families.push(FamilyMetrics {
+            family: RuleFamily::Strong,
+            nanos: start.elapsed().as_nanos() as u64,
+            violations: r.len() - before,
+        });
+        nodes_scanned += shard_nodes;
+    }
+
+    WorkerOutput {
+        report: r,
+        families,
+        key_tables,
+        nodes_scanned,
+        edges_scanned,
+        elements: shard_nodes + shard_edges,
+    }
+}
+
+/// Merges the worker outputs in shard order: violations first, then the
+/// DS7 reduce, then the metrics (per-family wall time is the slowest
+/// worker — the critical path — with the reduce time added to the
+/// directives entry).
+fn merge(
+    s: &PgSchema,
+    options: &ValidationOptions,
+    mut outputs: Vec<WorkerOutput>,
+    mut rec: MetricsRecorder,
+) -> ValidationReport {
+    let mut merged = ValidationReport::with_limit(options.max_violations);
+    let mut worker_truncated = false;
+    let mut elements = Vec::with_capacity(outputs.len());
+    let mut nodes_scanned = 0u64;
+    let mut edges_scanned = 0u64;
+    for out in &mut outputs {
+        worker_truncated |= out.report.truncated();
+        for v in out.report.take_violations() {
+            merged.push(v);
+        }
+        nodes_scanned += out.nodes_scanned;
+        edges_scanned += out.edges_scanned;
+        elements.push(out.elements);
+    }
+
+    // DS7 reduce: merge the shard-local key tables, then emit as the
+    // serial engine would.
+    let start = Instant::now();
+    let mut ds7_violations = 0;
+    if options.directives {
+        let before = merged.len();
+        for (ki, key) in s.keys().iter().enumerate() {
+            let mut table: HashMap<Vec<Option<Value>>, Vec<NodeId>> = HashMap::new();
+            for out in &mut outputs {
+                if let Some(local) = out.key_tables.get_mut(ki) {
+                    for (tuple, mut nodes) in local.drain() {
+                        table.entry(tuple).or_default().append(&mut nodes);
+                    }
+                }
+            }
+            indexed::ds7_emit(s, key, table, &mut merged);
+        }
+        ds7_violations = merged.len() - before;
+    }
+    let reduce_nanos = start.elapsed().as_nanos() as u64;
+
+    if worker_truncated {
+        merged.set_truncated(true);
+    }
+
+    for family in [RuleFamily::Weak, RuleFamily::Directives, RuleFamily::Strong] {
+        let per_worker: Vec<&FamilyMetrics> = outputs
+            .iter()
+            .flat_map(|o| o.families.iter())
+            .filter(|f| f.family == family)
+            .collect();
+        if per_worker.is_empty() {
+            continue;
+        }
+        let mut fm = FamilyMetrics {
+            family,
+            nanos: per_worker.iter().map(|f| f.nanos).max().unwrap_or(0),
+            violations: per_worker.iter().map(|f| f.violations).sum(),
+        };
+        if family == RuleFamily::Directives {
+            fm.nanos += reduce_nanos;
+            fm.violations += ds7_violations;
+        }
+        rec.family_record(fm);
+    }
+    rec.scanned(nodes_scanned, edges_scanned);
+    rec.shard_elements(elements);
+    rec.finish(&mut merged);
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use pgraph::{GraphBuilder, PropertyGraph, Value};
+
+    use crate::{validate, Engine, PgSchema, ValidationOptions};
+
+    fn schema() -> PgSchema {
+        let doc = gql_sdl::parse(
+            r#"
+            type User @key(fields: ["login"]) {
+                login: String! @required
+                follows: [User] @noLoops
+                bestFriend: User
+            }
+            "#,
+        )
+        .unwrap();
+        PgSchema::from_document(&doc).unwrap()
+    }
+
+    /// A graph whose defects span the whole id space, so any shard split
+    /// cuts through violation groups.
+    fn defective_graph(n: usize) -> PropertyGraph {
+        let mut b = GraphBuilder::new();
+        for i in 0..n {
+            let id = format!("u{i}");
+            b = b.node(&id, "User");
+            // Duplicate logins (DS7 pairs across distant ids), a missing
+            // one every 7th node (DS5), a mistyped one every 11th (WS1).
+            if i % 7 != 0 {
+                if i % 11 == 0 {
+                    b = b.prop(&id, "login", Value::Int(9));
+                } else {
+                    b = b.prop(&id, "login", format!("login-{}", i % 5));
+                }
+            }
+        }
+        for i in 0..n {
+            // Self-loops every 13th node (DS2), stray labels (SS4).
+            if i % 13 == 0 {
+                b = b.edge(format!("u{i}"), format!("u{i}"), "follows");
+            }
+            if i % 17 == 0 {
+                b = b.edge(format!("u{i}"), format!("u{}", (i + 1) % n), "mystery");
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_indexed_across_thread_counts() {
+        let s = schema();
+        let g = defective_graph(120);
+        let expected = validate(&g, &s, &ValidationOptions::default());
+        assert!(!expected.conforms());
+        for threads in [1, 2, 3, 8, 64] {
+            let opts = ValidationOptions::builder()
+                .engine(Engine::Parallel)
+                .threads(threads)
+                .build();
+            let got = validate(&g, &s, &opts);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_collects_metrics() {
+        let s = schema();
+        let g = defective_graph(60);
+        let opts = ValidationOptions::builder()
+            .engine(Engine::Parallel)
+            .threads(4)
+            .collect_metrics(true)
+            .build();
+        let report = validate(&g, &s, &opts);
+        let m = report.metrics().expect("metrics requested");
+        assert_eq!(m.engine, "parallel");
+        assert_eq!(m.threads, 4);
+        assert_eq!(m.shard_elements.len(), 4);
+        assert_eq!(
+            m.shard_elements.iter().sum::<u64>(),
+            (g.node_count() + g.edge_count()) as u64
+        );
+        assert!(m.nodes_scanned >= g.node_count() as u64);
+        assert_eq!(m.families.len(), 3);
+        assert!(m.shard_skew().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn parallel_honors_max_violations() {
+        let s = schema();
+        let g = defective_graph(120);
+        let opts = ValidationOptions::builder()
+            .engine(Engine::Parallel)
+            .threads(4)
+            .max_violations(5)
+            .build();
+        let report = validate(&g, &s, &opts);
+        assert!(report.truncated());
+        assert!(report.len() <= 5);
+        assert!(!report.conforms());
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let s = schema();
+        let g = defective_graph(30);
+        let opts = ValidationOptions::builder()
+            .engine(Engine::Parallel)
+            .build();
+        assert_eq!(
+            validate(&g, &s, &opts),
+            validate(&g, &s, &ValidationOptions::default())
+        );
+    }
+
+    #[test]
+    fn empty_graph_with_more_threads_than_elements() {
+        let s = schema();
+        let g = PropertyGraph::new();
+        let opts = ValidationOptions::builder()
+            .engine(Engine::Parallel)
+            .threads(16)
+            .collect_metrics(true)
+            .build();
+        let report = validate(&g, &s, &opts);
+        assert!(report.conforms());
+        assert_eq!(report.metrics().unwrap().shard_elements.len(), 16);
+    }
+}

@@ -201,10 +201,7 @@ impl PgSchema {
                             distinct: has(&f.directives, dir::DISTINCT),
                             no_loops: has(&f.directives, dir::NO_LOOPS),
                             unique_for_target: has(&f.directives, dir::UNIQUE_FOR_TARGET),
-                            required_for_target: has(
-                                &f.directives,
-                                dir::REQUIRED_FOR_TARGET,
-                            ),
+                            required_for_target: has(&f.directives, dir::REQUIRED_FOR_TARGET),
                             edge_props: f
                                 .args
                                 .iter()
@@ -295,9 +292,8 @@ impl PgSchema {
     /// where the field type may be `[B]` etc. — rule 5 lets a named type
     /// sit below a list type).
     pub fn label_subtype_wrapped(&self, label: &str, ty: &WrappedType) -> bool {
-        self.label_type(label).is_some_and(|l| {
-            subtype::wrapped_subtype(&self.schema, &WrappedType::bare(l), ty)
-        })
+        self.label_type(label)
+            .is_some_and(|l| subtype::wrapped_subtype(&self.schema, &WrappedType::bare(l), ty))
     }
 
     /// The attribute definition `(t, name)` if `label` is a type with that
@@ -316,7 +312,8 @@ impl PgSchema {
 
     /// True if `label` names an object type (SS1).
     pub fn is_object_label(&self, label: &str) -> bool {
-        self.label_type(label).is_some_and(|t| self.schema.is_object(t))
+        self.label_type(label)
+            .is_some_and(|t| self.schema.is_object(t))
     }
 
     /// Renders a wrapped type for reports.
@@ -349,8 +346,7 @@ mod tests {
 
     #[test]
     fn example_3_2_classification() {
-        let s = pg(
-            r#"
+        let s = pg(r#"
             type UserSession {
                 id: ID! @required
                 user: User! @required
@@ -359,10 +355,13 @@ mod tests {
             }
             type User { id: ID! login: String! nicknames: [String!]! }
             scalar Time
-            "#,
-        );
+            "#);
         let session = s.label_type("UserSession").unwrap();
-        let attrs: Vec<_> = s.attributes(session).iter().map(|a| a.name.as_str()).collect();
+        let attrs: Vec<_> = s
+            .attributes(session)
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect();
         assert_eq!(attrs, vec!["id", "startTime", "endTime"]);
         let rels: Vec<_> = s
             .relationships(session)
@@ -378,8 +377,7 @@ mod tests {
 
     #[test]
     fn example_3_6_cardinalities() {
-        let s = pg(
-            r#"
+        let s = pg(r#"
             type Author {
                 favoriteBook: Book
                 relatedAuthor: [Author]
@@ -388,8 +386,7 @@ mod tests {
                 title: String!
                 author: [Author] @required
             }
-            "#,
-        );
+            "#);
         let author = s.label_type("Author").unwrap();
         let fav = &s.relationships(author)[0];
         assert!(!fav.multi && !fav.required);
@@ -402,14 +399,12 @@ mod tests {
 
     #[test]
     fn directive_flags_are_read() {
-        let s = pg(
-            r#"
+        let s = pg(r#"
             type BookSeries { contains: [Book] @required @uniqueForTarget @distinct }
             type Book { title: String! }
             type Author { relatedAuthor: [Author] @distinct @noloops }
             type Publisher { published: [Book] @uniqueForTarget @requiredForTarget }
-            "#,
-        );
+            "#);
         let series = s.label_type("BookSeries").unwrap();
         let c = &s.relationships(series)[0];
         assert!(c.required && c.unique_for_target && c.distinct);
@@ -424,14 +419,12 @@ mod tests {
 
     #[test]
     fn edge_properties_from_example_3_12() {
-        let s = pg(
-            r#"
+        let s = pg(r#"
             type UserSession {
                 user(certainty: Float! comment: String): User! @required
             }
             type User { id: ID! }
-            "#,
-        );
+            "#);
         let rel = s.relationship("UserSession", "user").unwrap();
         assert_eq!(rel.edge_props.len(), 2);
         assert!(rel.edge_props[0].mandatory); // certainty: Float!
@@ -440,12 +433,10 @@ mod tests {
 
     #[test]
     fn keys_from_example_3_4() {
-        let s = pg(
-            r#"type User @key(fields: ["id"]) @key(fields: ["login"]) {
+        let s = pg(r#"type User @key(fields: ["id"]) @key(fields: ["login"]) {
                 id: ID! @required
                 login: String! @required
-            }"#,
-        );
+            }"#);
         assert_eq!(s.keys().len(), 2);
         assert_eq!(s.keys()[0].fields, vec!["id"]);
         assert_eq!(s.keys()[1].fields, vec!["login"]);
@@ -458,14 +449,12 @@ mod tests {
         // Definition 4.3 and is not derivable — the example as printed is
         // interface-inconsistent. Using `[OT1]` on the interface preserves
         // the intended satisfiability conflict (see pg-reason fixtures).
-        let s = pg(
-            r#"
+        let s = pg(r#"
             type OT1 { }
             interface IT { hasOT1: [OT1] @uniqueForTarget }
             type OT2 implements IT { hasOT1: [OT1] @requiredForTarget }
             type OT3 implements IT { hasOT1: [OT1] @requiredForTarget }
-            "#,
-        );
+            "#);
         // Sites: IT (unique), OT2 (requiredForTarget), OT3 (requiredForTarget).
         assert_eq!(s.constraint_sites().len(), 3);
         let it = s.label_type("IT").unwrap();
@@ -476,12 +465,10 @@ mod tests {
 
     #[test]
     fn label_subtype_wrapped_handles_lists() {
-        let s = pg(
-            r#"
+        let s = pg(r#"
             type A { bs: [B] }
             type B { x: Int }
-            "#,
-        );
+            "#);
         let a = s.label_type("A").unwrap();
         let rel = &s.relationships(a)[0];
         assert!(s.label_subtype_wrapped("B", &rel.ty));
@@ -491,21 +478,19 @@ mod tests {
 
     #[test]
     fn inconsistent_schema_is_rejected() {
-        let err = PgSchema::parse("interface I { f: Int } type T implements I { g: Int }")
-            .unwrap_err();
+        let err =
+            PgSchema::parse("interface I { f: Int } type T implements I { g: Int }").unwrap_err();
         assert!(err.to_string().contains("inconsistent"));
     }
 
     #[test]
     fn union_typed_fields_are_relationships() {
-        let s = pg(
-            r#"
+        let s = pg(r#"
             type Person { favoriteFood: Food name: String! }
             union Food = Pizza | Pasta
             type Pizza { name: String! }
             type Pasta { name: String! }
-            "#,
-        );
+            "#);
         let rel = s.relationship("Person", "favoriteFood").unwrap();
         assert_eq!(s.schema().type_name(rel.target_base), "Food");
         assert!(s.label_subtype_wrapped("Pizza", &rel.ty));

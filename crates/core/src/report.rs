@@ -50,13 +50,9 @@ impl Rule {
     pub fn family(self) -> RuleFamily {
         match self {
             Rule::WS1 | Rule::WS2 | Rule::WS3 | Rule::WS4 => RuleFamily::Weak,
-            Rule::DS1
-            | Rule::DS2
-            | Rule::DS3
-            | Rule::DS4
-            | Rule::DS5
-            | Rule::DS6
-            | Rule::DS7 => RuleFamily::Directives,
+            Rule::DS1 | Rule::DS2 | Rule::DS3 | Rule::DS4 | Rule::DS5 | Rule::DS6 | Rule::DS7 => {
+                RuleFamily::Directives
+            }
             Rule::SS1 | Rule::SS2 | Rule::SS3 | Rule::SS4 => RuleFamily::Strong,
         }
     }
@@ -321,7 +317,11 @@ impl fmt::Display for Violation {
                 f,
                 "{target} has {count} incoming {field:?} edges under @uniqueForTarget"
             ),
-            Violation::RequiredForTargetViolated { target, field, site } => write!(
+            Violation::RequiredForTargetViolated {
+                target,
+                field,
+                site,
+            } => write!(
                 f,
                 "{target} lacks an incoming {field:?} edge required by {site} (@requiredForTarget)"
             ),
@@ -365,27 +365,205 @@ impl fmt::Display for Violation {
     }
 }
 
+/// Wall time and violation count attributed to one rule family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FamilyMetrics {
+    /// The rule family the block checked.
+    pub family: RuleFamily,
+    /// Wall-clock nanoseconds spent in the family's rule block. For the
+    /// parallel engine this is the slowest shard's time (the critical
+    /// path), not the sum over workers.
+    pub nanos: u64,
+    /// Violations the block produced (before cross-engine
+    /// canonicalisation).
+    pub violations: usize,
+}
+
+/// Opt-in instrumentation of one validation run, collected when
+/// [`ValidationOptions::collect_metrics`](crate::ValidationOptions) is
+/// set and surfaced through [`ValidationReport::metrics`].
+///
+/// Fused scans (the indexed and parallel engines check WS and SS rules
+/// in one pass over properties/edges) are attributed to the *earliest*
+/// family the scan serves — weak, when both weak and strong are enabled.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ValidationMetrics {
+    /// Engine name: `"naive"`, `"indexed"` or `"parallel"`.
+    pub engine: &'static str,
+    /// Worker threads used (1 for the serial engines).
+    pub threads: usize,
+    /// Live nodes visited, summed over all rule blocks (a node scanned
+    /// by two blocks counts twice).
+    pub nodes_scanned: u64,
+    /// Live edges visited, summed over all rule blocks.
+    pub edges_scanned: u64,
+    /// Nanoseconds building the [`pgraph::index::GraphIndex`] (0 for the
+    /// naive engine, which runs index-free).
+    pub index_build_nanos: u64,
+    /// Per-family timing, in the order the families ran.
+    pub families: Vec<FamilyMetrics>,
+    /// Live elements (`|V| + |E|`) per shard — empty for serial engines.
+    /// The spread between entries is the shard skew.
+    pub shard_elements: Vec<u64>,
+}
+
+impl ValidationMetrics {
+    /// Total wall time over all recorded family blocks plus index build.
+    pub fn total_nanos(&self) -> u64 {
+        self.index_build_nanos + self.families.iter().map(|f| f.nanos).sum::<u64>()
+    }
+
+    /// Shard skew: largest shard's element count divided by the mean
+    /// (1.0 = perfectly balanced). `None` for serial engines.
+    pub fn shard_skew(&self) -> Option<f64> {
+        let max = *self.shard_elements.iter().max()?;
+        let sum: u64 = self.shard_elements.iter().sum();
+        if sum == 0 {
+            return Some(1.0);
+        }
+        let mean = sum as f64 / self.shard_elements.len() as f64;
+        Some(max as f64 / mean)
+    }
+}
+
+impl fmt::Display for ValidationMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "engine: {} ({} thread{})",
+            self.engine,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" }
+        )?;
+        writeln!(
+            f,
+            "scanned: {} node visits, {} edge visits",
+            self.nodes_scanned, self.edges_scanned
+        )?;
+        if self.index_build_nanos > 0 {
+            writeln!(
+                f,
+                "index build: {:.3} ms",
+                self.index_build_nanos as f64 / 1e6
+            )?;
+        }
+        for fam in &self.families {
+            writeln!(
+                f,
+                "{:<10} {:>10.3} ms  {} violation(s)",
+                format!("{:?}:", fam.family).to_lowercase(),
+                fam.nanos as f64 / 1e6,
+                fam.violations
+            )?;
+        }
+        if let Some(skew) = self.shard_skew() {
+            writeln!(
+                f,
+                "shards: {} ({} elements), skew {:.2}",
+                self.shard_elements.len(),
+                self.shard_elements.iter().sum::<u64>(),
+                skew
+            )?;
+        }
+        write!(f, "total: {:.3} ms", self.total_nanos() as f64 / 1e6)
+    }
+}
+
 /// The outcome of a validation run.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Equality compares the *verdict* — violations and the truncation flag —
+/// and deliberately ignores [`metrics`](Self::metrics), so reports from
+/// different engines (or timed vs untimed runs) compare equal whenever
+/// they agree on what is wrong with the graph.
+#[derive(Debug, Clone, Default)]
 pub struct ValidationReport {
     violations: Vec<Violation>,
+    limit: Option<usize>,
+    truncated: bool,
+    metrics: Option<ValidationMetrics>,
 }
+
+impl PartialEq for ValidationReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.violations == other.violations && self.truncated == other.truncated
+    }
+}
+
+impl Eq for ValidationReport {}
 
 impl ValidationReport {
     /// Creates a report from raw violations (engines use this).
     pub fn new(violations: Vec<Violation>) -> Self {
-        ValidationReport { violations }
+        ValidationReport {
+            violations,
+            limit: None,
+            truncated: false,
+            metrics: None,
+        }
     }
 
-    /// Adds one violation.
+    /// Creates an empty report that will accept at most `limit`
+    /// violations; further pushes are dropped and mark the report
+    /// [`truncated`](Self::truncated).
+    pub fn with_limit(limit: Option<usize>) -> Self {
+        ValidationReport {
+            limit,
+            ..ValidationReport::default()
+        }
+    }
+
+    /// Adds one violation (dropped, setting the truncation flag, once the
+    /// limit is reached).
     pub fn push(&mut self, v: Violation) {
+        if let Some(limit) = self.limit {
+            if self.violations.len() >= limit {
+                self.truncated = true;
+                return;
+            }
+        }
         self.violations.push(v);
     }
 
+    /// True once the violation limit has been reached — engines use this
+    /// to stop scanning early.
+    pub(crate) fn at_limit(&self) -> bool {
+        self.limit.is_some_and(|l| self.violations.len() >= l)
+    }
+
+    /// True iff the report was cut short by
+    /// [`max_violations`](crate::ValidationOptions::max_violations):
+    /// the graph has at least the reported violations, and may have more.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    pub(crate) fn set_truncated(&mut self, truncated: bool) {
+        self.truncated = truncated;
+    }
+
+    /// Instrumentation of the run, when
+    /// [`collect_metrics`](crate::ValidationOptions::collect_metrics)
+    /// was set.
+    pub fn metrics(&self) -> Option<&ValidationMetrics> {
+        self.metrics.as_ref()
+    }
+
+    pub(crate) fn set_metrics(&mut self, metrics: ValidationMetrics) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Moves the accumulated violations out (the parallel engine merges
+    /// shard-local reports this way).
+    pub(crate) fn take_violations(&mut self) -> Vec<Violation> {
+        std::mem::take(&mut self.violations)
+    }
+
     /// True iff no rule is violated — the graph satisfies the schema at
-    /// the checked level.
+    /// the checked level. A [`truncated`](Self::truncated) report never
+    /// conforms: the scan stopped early, so unseen violations may exist
+    /// (relevant for `max_violations(0)`, which checks nothing at all).
     pub fn conforms(&self) -> bool {
-        self.violations.is_empty()
+        self.violations.is_empty() && !self.truncated
     }
 
     /// All violations.
@@ -418,9 +596,13 @@ impl ValidationReport {
     /// (CI pipelines via `pgschema validate --json`):
     ///
     /// ```json
-    /// {"conforms": false, "violations": [
+    /// {"conforms": false, "truncated": false, "violations": [
     ///     {"rule": "WS1", "family": "weak", "message": "…"}]}
     /// ```
+    ///
+    /// When metrics were collected a `"metrics"` object is appended with
+    /// engine, threads, scan counters, per-family nanosecond timings and
+    /// per-shard element counts.
     pub fn to_json(&self) -> String {
         fn esc(s: &str) -> String {
             let mut out = String::with_capacity(s.len() + 2);
@@ -431,31 +613,64 @@ impl ValidationReport {
                     '\n' => out.push_str("\\n"),
                     '\r' => out.push_str("\\r"),
                     '\t' => out.push_str("\\t"),
-                    c if (c as u32) < 0x20 => {
-                        out.push_str(&format!("\\u{:04x}", c as u32))
-                    }
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
                     c => out.push(c),
                 }
             }
             out
         }
-        let mut out = format!("{{\"conforms\": {}, \"violations\": [", self.conforms());
+        fn family_name(f: RuleFamily) -> &'static str {
+            match f {
+                RuleFamily::Weak => "weak",
+                RuleFamily::Directives => "directives",
+                RuleFamily::Strong => "strong",
+            }
+        }
+        let mut out = format!(
+            "{{\"conforms\": {}, \"truncated\": {}, \"violations\": [",
+            self.conforms(),
+            self.truncated
+        );
         for (i, v) in self.violations.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
             }
-            let family = match v.rule().family() {
-                RuleFamily::Weak => "weak",
-                RuleFamily::Directives => "directives",
-                RuleFamily::Strong => "strong",
-            };
             out.push_str(&format!(
-                "{{\"rule\": \"{}\", \"family\": \"{family}\", \"message\": \"{}\"}}",
+                "{{\"rule\": \"{}\", \"family\": \"{}\", \"message\": \"{}\"}}",
                 v.rule(),
+                family_name(v.rule().family()),
                 esc(&v.to_string())
             ));
         }
-        out.push_str("]}");
+        out.push(']');
+        if let Some(m) = &self.metrics {
+            out.push_str(&format!(
+                ", \"metrics\": {{\"engine\": \"{}\", \"threads\": {}, \
+                 \"nodes_scanned\": {}, \"edges_scanned\": {}, \
+                 \"index_build_nanos\": {}, \"families\": [",
+                m.engine, m.threads, m.nodes_scanned, m.edges_scanned, m.index_build_nanos
+            ));
+            for (i, fam) in m.families.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"family\": \"{}\", \"nanos\": {}, \"violations\": {}}}",
+                    family_name(fam.family),
+                    fam.nanos,
+                    fam.violations
+                ));
+            }
+            out.push_str("], \"shard_elements\": [");
+            for (i, n) in m.shard_elements.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&n.to_string());
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
         out
     }
 
@@ -475,7 +690,15 @@ impl fmt::Display for ValidationReport {
         if self.conforms() {
             return writeln!(f, "graph strongly satisfies the schema");
         }
-        writeln!(f, "{} violation(s):", self.violations.len())?;
+        if self.truncated {
+            writeln!(
+                f,
+                "{} violation(s) (truncated; more may exist):",
+                self.violations.len()
+            )?;
+        } else {
+            writeln!(f, "{} violation(s):", self.violations.len())?;
+        }
         for v in &self.violations {
             writeln!(f, "  {v}")?;
         }
@@ -535,9 +758,84 @@ mod tests {
     }
 
     #[test]
+    fn limited_report_truncates_and_flags() {
+        let mk = |ix| Violation::UnjustifiedNode {
+            node: NodeId::from_index(ix),
+            label: "X".into(),
+        };
+        let mut r = ValidationReport::with_limit(Some(2));
+        assert!(!r.truncated());
+        r.push(mk(0));
+        assert!(!r.at_limit());
+        r.push(mk(1));
+        assert!(r.at_limit());
+        r.push(mk(2));
+        assert_eq!(r.len(), 2);
+        assert!(r.truncated());
+        assert!(r.to_json().contains("\"truncated\": true"));
+        assert!(r.to_string().contains("truncated"));
+        // Equality ignores metrics but not the truncation flag.
+        let full = ValidationReport::new(vec![mk(0), mk(1)]);
+        assert_ne!(r, full);
+    }
+
+    #[test]
+    fn equality_ignores_metrics() {
+        let v = Violation::UnjustifiedNode {
+            node: NodeId::from_index(0),
+            label: "X".into(),
+        };
+        let a = ValidationReport::new(vec![v.clone()]);
+        let mut b = ValidationReport::new(vec![v]);
+        b.set_metrics(ValidationMetrics {
+            engine: "indexed",
+            threads: 1,
+            ..ValidationMetrics::default()
+        });
+        assert_eq!(a, b);
+        assert!(b.metrics().is_some());
+    }
+
+    #[test]
+    fn metrics_render_in_json_and_text() {
+        let mut r = ValidationReport::default();
+        r.set_metrics(ValidationMetrics {
+            engine: "parallel",
+            threads: 4,
+            nodes_scanned: 100,
+            edges_scanned: 50,
+            index_build_nanos: 1_000,
+            families: vec![FamilyMetrics {
+                family: RuleFamily::Weak,
+                nanos: 2_000,
+                violations: 3,
+            }],
+            shard_elements: vec![40, 40, 40, 30],
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"metrics\""), "{json}");
+        assert!(json.contains("\"engine\": \"parallel\""), "{json}");
+        assert!(
+            json.contains("\"shard_elements\": [40, 40, 40, 30]"),
+            "{json}"
+        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let m = r.metrics().unwrap();
+        assert_eq!(m.total_nanos(), 3_000);
+        let skew = m.shard_skew().unwrap();
+        assert!((skew - 40.0 / 37.5).abs() < 1e-9);
+        let text = m.to_string();
+        assert!(text.contains("engine: parallel (4 threads)"), "{text}");
+        assert!(text.contains("skew"), "{text}");
+    }
+
+    #[test]
     fn json_rendering_escapes_and_structures() {
         let mut r = ValidationReport::default();
-        assert_eq!(r.to_json(), "{\"conforms\": true, \"violations\": []}");
+        assert_eq!(
+            r.to_json(),
+            "{\"conforms\": true, \"truncated\": false, \"violations\": []}"
+        );
         r.push(Violation::UnjustifiedNodeProperty {
             node: NodeId::from_index(0),
             prop: "we\"ird\nname".into(),

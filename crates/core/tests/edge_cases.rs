@@ -19,7 +19,10 @@ fn empty_schema_accepts_only_the_empty_graph() {
     let mut g = PropertyGraph::new();
     g.add_node("Anything");
     let report = both(&g, &s);
-    assert_eq!(report.counts().keys().copied().collect::<Vec<_>>(), vec![Rule::SS1]);
+    assert_eq!(
+        report.counts().keys().copied().collect::<Vec<_>>(),
+        vec![Rule::SS1]
+    );
 }
 
 #[test]
@@ -196,10 +199,7 @@ fn unique_for_target_ignores_sources_outside_the_site() {
 
 #[test]
 fn enum_property_values_are_checked_against_symbols() {
-    let s = PgSchema::parse(
-        "enum Unit { METER FEET } type M { unit: Unit! @required }",
-    )
-    .unwrap();
+    let s = PgSchema::parse("enum Unit { METER FEET } type M { unit: Unit! @required }").unwrap();
     let ok = GraphBuilder::new()
         .node("m", "M")
         .prop("m", "unit", Value::Enum("METER".into()))

@@ -357,10 +357,9 @@ fn ds7_distinct_keys_conform() {
 
 #[test]
 fn ds7_composite_key() {
-    let s = PgSchema::parse(
-        r#"type P @key(fields: ["x", "y"]) { x: Int @required y: Int @required }"#,
-    )
-    .unwrap();
+    let s =
+        PgSchema::parse(r#"type P @key(fields: ["x", "y"]) { x: Int @required y: Int @required }"#)
+            .unwrap();
     let g = GraphBuilder::new()
         .node("a", "P")
         .prop("a", "x", 1i64)
@@ -564,10 +563,7 @@ fn interface_required_constrains_implementors() {
         "#,
     )
     .unwrap();
-    let g = GraphBuilder::new()
-        .node("c", "Car")
-        .build()
-        .unwrap();
+    let g = GraphBuilder::new().node("c", "Car").build().unwrap();
     assert_rules(&g, &s, &[Rule::DS6]);
 }
 

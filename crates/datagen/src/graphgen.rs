@@ -105,8 +105,7 @@ impl<'s> GraphGen<'s> {
                 unique_for_target: rel.unique_for_target,
             };
             for site in self.schema.constraint_sites() {
-                if site.rel.name == rel.name
-                    && gql_schema::subtype::named_subtype(s, t, site.site)
+                if site.rel.name == rel.name && gql_schema::subtype::named_subtype(s, t, site.site)
                 {
                     flags.distinct |= site.rel.distinct;
                     flags.no_loops |= site.rel.no_loops;
@@ -124,8 +123,7 @@ impl<'s> GraphGen<'s> {
                 let flags = eff(t, rel);
                 let targets = self.target_pool(&by_type, rel);
                 for &v in by_type.get(&t).map(Vec::as_slice).unwrap_or(&[]) {
-                    let wants_edges =
-                        rel.required || rng.gen_bool(self.params.p_optional_edge);
+                    let wants_edges = rel.required || rng.gen_bool(self.params.p_optional_edge);
                     let want = match (wants_edges, rel.multi) {
                         (false, _) => 0,
                         (true, false) => 1,
@@ -182,9 +180,7 @@ impl<'s> GraphGen<'s> {
                         continue;
                     };
                     // Respect the source's own cardinality.
-                    if !v_rel.multi
-                        && g.out_edges(v).any(|e| e.label() == rel.name)
-                    {
+                    if !v_rel.multi && g.out_edges(v).any(|e| e.label() == rel.name) {
                         continue;
                     }
                     let e = g.add_edge(v, w, rel.name.clone()).expect("nodes exist");
@@ -301,8 +297,7 @@ impl<'s> GraphGen<'s> {
             }
         }
         for attr in self.schema.attributes(t).to_vec() {
-            let fill = required.contains(&attr.name)
-                || rng.gen_bool(self.params.p_optional_attr);
+            let fill = required.contains(&attr.name) || rng.gen_bool(self.params.p_optional_attr);
             if fill {
                 *uniq += 1;
                 g.set_node_property(id, attr.name.clone(), self.value_for(&attr.ty, *uniq));

@@ -256,12 +256,10 @@ pub fn inject(g: &mut PropertyGraph, schema: &PgSchema, defect: Defect) -> bool 
                 if !site.rel.required_for_target {
                     continue;
                 }
-                let obligated = g
-                    .node_ids()
-                    .find(|&w| {
-                        g.node_label(w)
-                            .is_some_and(|l| schema.label_subtype_wrapped(l, &site.rel.ty))
-                    });
+                let obligated = g.node_ids().find(|&w| {
+                    g.node_label(w)
+                        .is_some_and(|l| schema.label_subtype_wrapped(l, &site.rel.ty))
+                });
                 if let Some(w) = obligated {
                     let incoming: Vec<_> = g
                         .in_edges(w)

@@ -220,8 +220,8 @@ mod tests {
                 ..Default::default()
             })
             .generate();
-            let schema = PgSchema::parse(&sdl)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{sdl}"));
+            let schema =
+                PgSchema::parse(&sdl).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{sdl}"));
             assert_eq!(schema.schema().object_types().count(), 8);
         }
     }
@@ -238,8 +238,7 @@ mod tests {
 
     #[test]
     fn benchmarkable_schemas_have_no_target_obligations() {
-        let sdl =
-            SchemaGen::new(SchemaGenParams::benchmarkable(6, 3)).generate();
+        let sdl = SchemaGen::new(SchemaGenParams::benchmarkable(6, 3)).generate();
         assert!(!sdl.contains("uniqueForTarget"));
         assert!(!sdl.contains("requiredForTarget"));
         let schema = PgSchema::parse(&sdl).unwrap();

@@ -48,10 +48,25 @@ impl fmt::Display for BuildError {
 impl std::error::Error for BuildError {}
 
 enum Op {
-    Node { name: String, label: String },
-    NodeProp { name: String, key: String, value: Value },
-    Edge { src: String, dst: String, label: String },
-    EdgeProp { edge: usize, key: String, value: Value },
+    Node {
+        name: String,
+        label: String,
+    },
+    NodeProp {
+        name: String,
+        key: String,
+        value: Value,
+    },
+    Edge {
+        src: String,
+        dst: String,
+        label: String,
+    },
+    EdgeProp {
+        edge: usize,
+        key: String,
+        value: Value,
+    },
 }
 
 /// Collects a graph description and materialises it with [`build`].

@@ -65,7 +65,10 @@ impl fmt::Display for CsvError {
             CsvError::BadHeader(h) => write!(f, "bad header column `{h}`"),
             CsvError::RowTooLong { line } => write!(f, "line {line}: more cells than headers"),
             CsvError::BadCell { line, column, cell } => {
-                write!(f, "line {line}: cell {cell:?} does not parse for column `{column}`")
+                write!(
+                    f,
+                    "line {line}: cell {cell:?} does not parse for column `{column}`"
+                )
             }
             CsvError::UnknownNode { line, id } => {
                 write!(f, "line {line}: unknown node id {id:?}")
@@ -135,9 +138,9 @@ fn parse_header(line: &str, edges: bool) -> Result<Vec<Column>, CsvError> {
                 "START_ID" => ColType::StartId,
                 "END_ID" => ColType::EndId,
                 "TYPE" => ColType::EdgeType,
-                other => ColType::Prop(parse_prop_type(other).ok_or_else(|| {
-                    CsvError::BadHeader(cell.clone())
-                })?),
+                other => ColType::Prop(
+                    parse_prop_type(other).ok_or_else(|| CsvError::BadHeader(cell.clone()))?,
+                ),
             };
             Ok(Column {
                 name: name.to_owned(),
@@ -435,7 +438,8 @@ u1,p1,authored,
 
     #[test]
     fn quoted_fields_with_commas_and_quotes() {
-        let nodes = "id:ID,label:LABEL,bio:String\nu1,User,\"likes, among others, \"\"graphs\"\"\"\n";
+        let nodes =
+            "id:ID,label:LABEL,bio:String\nu1,User,\"likes, among others, \"\"graphs\"\"\"\n";
         let g = from_csv(nodes, "").unwrap();
         let u = g.nodes().next().unwrap();
         assert_eq!(
@@ -455,7 +459,10 @@ u1,p1,authored,
             Err(CsvError::BadCell { line: 2, .. })
         ));
         assert!(matches!(
-            from_csv(NODES, "source:START_ID,target:END_ID,label:TYPE\nu1,ghost,x\n"),
+            from_csv(
+                NODES,
+                "source:START_ID,target:END_ID,label:TYPE\nu1,ghost,x\n"
+            ),
             Err(CsvError::UnknownNode { line: 2, .. })
         ));
         assert_eq!(

@@ -11,7 +11,9 @@ use crate::PropertyGraph;
 
 /// Escapes a string for a double-quoted DOT label.
 fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 /// Renders the graph in DOT syntax.
@@ -73,7 +75,10 @@ mod tests {
     #[test]
     fn empty_graph_is_valid_dot() {
         let dot = to_dot(&crate::PropertyGraph::new());
-        assert_eq!(dot, "digraph pg {\n    rankdir=LR;\n    node [shape=box];\n}\n");
+        assert_eq!(
+            dot,
+            "digraph pg {\n    rankdir=LR;\n    node [shape=box];\n}\n"
+        );
     }
 
     #[test]

@@ -198,6 +198,21 @@ impl PropertyGraph {
         self.live_edges
     }
 
+    /// Upper bound (exclusive) on raw node indexes: every live node id
+    /// satisfies `id.index() < node_index_bound()`. Includes tombstones,
+    /// so it can exceed [`node_count`](Self::node_count); use
+    /// [`node`](Self::node) to skip them. This is the basis for
+    /// partitioning the id space into [`shard`](crate::shard) ranges.
+    pub fn node_index_bound(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Upper bound (exclusive) on raw edge indexes; see
+    /// [`node_index_bound`](Self::node_index_bound).
+    pub fn edge_index_bound(&self) -> usize {
+        self.edges.len()
+    }
+
     /// True if the graph has no nodes (and therefore no edges).
     pub fn is_empty(&self) -> bool {
         self.live_nodes == 0
@@ -325,7 +340,10 @@ impl PropertyGraph {
         name: impl Into<String>,
         value: Value,
     ) -> Option<Value> {
-        assert!(self.contains_node(id), "set_node_property: {id} not in graph");
+        assert!(
+            self.contains_node(id),
+            "set_node_property: {id} not in graph"
+        );
         self.nodes[id.index()].props.insert(name.into(), value)
     }
 
@@ -341,7 +359,10 @@ impl PropertyGraph {
         name: impl Into<String>,
         value: Value,
     ) -> Option<Value> {
-        assert!(self.contains_edge(id), "set_edge_property: {id} not in graph");
+        assert!(
+            self.contains_edge(id),
+            "set_edge_property: {id} not in graph"
+        );
         self.edges[id.index()].props.insert(name.into(), value)
     }
 
@@ -585,11 +606,7 @@ mod tests {
         assert_eq!(labels, vec!["B", "C"]);
         let e = compact.edges().next().unwrap();
         assert_eq!(e.label(), "next");
-        let c_new = compact
-            .nodes()
-            .find(|n| n.label() == "C")
-            .unwrap()
-            .id;
+        let c_new = compact.nodes().find(|n| n.label() == "C").unwrap().id;
         assert_eq!(compact.node_property(c_new, "p"), Some(&Value::Int(7)));
     }
 

@@ -101,9 +101,7 @@ impl GraphIndex {
     }
 
     /// Iterates over every `(source, label, target, parallel edges)` group.
-    pub fn parallel_groups(
-        &self,
-    ) -> impl Iterator<Item = (NodeId, &str, NodeId, &[EdgeId])> {
+    pub fn parallel_groups(&self) -> impl Iterator<Item = (NodeId, &str, NodeId, &[EdgeId])> {
         self.parallel
             .iter()
             .map(|((s, l, t), es)| (*s, l.as_str(), *t, es.as_slice()))

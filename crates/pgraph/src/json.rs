@@ -14,13 +14,15 @@
 //!
 //! * JSON has no `ID`/`Enum` kinds — they are encoded as tagged objects
 //!   `{"$id": "..."}` / `{"$enum": "..."}` so decode(encode(g)) == g.
-//! * Integers outside the f64-exact range survive because we serialise
-//!   through `serde_json::Number` (i64-capable), not through floats.
+//! * Integers are kept exact: whole-number tokens parse as `i64`, and the
+//!   printer always writes floats with a `.` or exponent so the
+//!   `Int`/`Float` distinction survives a roundtrip.
+//!
+//! The reader/printer below is self-contained (no external JSON crate):
+//! a recursive-descent parser over bytes and a two-space pretty printer.
 
 use std::collections::BTreeMap;
 use std::fmt;
-
-use serde::{Deserialize, Serialize};
 
 use crate::{NodeId, PropertyGraph, Value};
 
@@ -28,8 +30,9 @@ use crate::{NodeId, PropertyGraph, Value};
 #[derive(Debug)]
 pub enum JsonError {
     /// The document was not syntactically valid JSON / did not match the
-    /// expected shape.
-    Parse(serde_json::Error),
+    /// expected shape. The payload describes the problem and its byte
+    /// offset.
+    Parse(String),
     /// An edge referenced a node id that does not appear in `nodes`.
     DanglingEdge {
         /// The edge's position in the `edges` array.
@@ -56,142 +59,580 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
-impl From<serde_json::Error> for JsonError {
-    fn from(e: serde_json::Error) -> Self {
-        JsonError::Parse(e)
+// ---------------------------------------------------------------------------
+// Generic JSON tree
+// ---------------------------------------------------------------------------
+
+/// Parsed JSON value. Object member order is preserved.
+enum Json {
+    Null,
+    Bool(bool),
+    /// A whole-number token that fits `i64`.
+    Int(i64),
+    /// Any other numeric token.
+    Float(f64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Int(_) | Json::Float(_) => "number",
+            Json::Str(_) => "string",
+            Json::Array(_) => "array",
+            Json::Object(_) => "object",
+        }
     }
 }
 
-#[derive(Serialize, Deserialize)]
-struct NodeDoc {
-    id: u32,
-    label: String,
-    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
-    properties: BTreeMap<String, serde_json::Value>,
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
 }
 
-#[derive(Serialize, Deserialize)]
-struct EdgeDoc {
-    id: u32,
-    label: String,
-    source: u32,
-    target: u32,
-    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
-    properties: BTreeMap<String, serde_json::Value>,
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: impl fmt::Display) -> JsonError {
+        JsonError::Parse(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format_args!("expected {:?}", b as char)))
+        }
+    }
+
+    fn parse_document(mut self) -> Result<Json, JsonError> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+
+    fn parse_value(&mut self) -> Result<Json, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Json::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Json::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(self.err(format_args!("unexpected character {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format_args!("expected {word:?}")))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        if self.peek() != Some(b'"') {
+            return Err(self.err("expected string"));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: \uHHHH\uLLLL.
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(cp)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| self.err("lone surrogate escape"))?
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(self.err(format_args!("bad escape \\{}", other as char)))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (the input is a &str, so byte
+                    // boundaries are valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("bad \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let token =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number token is ASCII");
+        if !is_float {
+            if let Ok(i) = token.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+            // Whole number outside i64: degrade to float like serde_json's
+            // lossy path.
+        }
+        token
+            .parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| self.err(format_args!("bad number token {token:?}")))
+    }
 }
 
-#[derive(Serialize, Deserialize)]
-struct GraphDoc {
-    nodes: Vec<NodeDoc>,
-    edges: Vec<EdgeDoc>,
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
-fn value_to_json(v: &Value) -> serde_json::Value {
-    use serde_json::json;
+/// Writes `f` so it re-parses as a float: Rust's shortest-roundtrip
+/// `Display`, plus a forced `.0` when that prints a bare integer.
+fn push_float(out: &mut String, f: f64) {
+    debug_assert!(f.is_finite(), "non-finite floats have no JSON form");
+    let s = format!("{f}");
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn print_json(out: &mut String, v: &Json, indent: usize) {
+    const STEP: usize = 2;
     match v {
-        Value::Int(i) => json!(i),
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Int(i) => out.push_str(&i.to_string()),
+        Json::Float(f) => push_float(out, *f),
+        Json::Str(s) => escape_into(out, s),
+        Json::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (ix, item) in items.iter().enumerate() {
+                if ix > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent + STEP));
+                print_json(out, item, indent + STEP);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push(']');
+        }
+        Json::Object(members) => {
+            if members.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (ix, (k, val)) in members.iter().enumerate() {
+                if ix > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent + STEP));
+                escape_into(out, k);
+                out.push_str(": ");
+                print_json(out, val, indent + STEP);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push('}');
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Graph <-> JSON mapping
+// ---------------------------------------------------------------------------
+
+fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Int(i) => Json::Int(*i),
         Value::Float(f) => {
-            serde_json::Number::from_f64(*f).map_or(serde_json::Value::Null, serde_json::Value::Number)
+            if f.is_finite() {
+                Json::Float(*f)
+            } else {
+                Json::Null
+            }
         }
-        Value::String(s) => json!(s),
-        Value::Bool(b) => json!(b),
-        Value::Id(s) => json!({ "$id": s }),
-        Value::Enum(s) => json!({ "$enum": s }),
-        Value::List(items) => {
-            serde_json::Value::Array(items.iter().map(value_to_json).collect())
-        }
-        Value::Null => serde_json::Value::Null,
+        Value::String(s) => Json::Str(s.clone()),
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Id(s) => Json::Object(vec![("$id".to_owned(), Json::Str(s.clone()))]),
+        Value::Enum(s) => Json::Object(vec![("$enum".to_owned(), Json::Str(s.clone()))]),
+        Value::List(items) => Json::Array(items.iter().map(value_to_json).collect()),
+        Value::Null => Json::Null,
     }
 }
 
-fn value_from_json(v: &serde_json::Value) -> Result<Value, JsonError> {
+fn value_from_json(v: &Json) -> Result<Value, JsonError> {
     match v {
-        serde_json::Value::Null => Ok(Value::Null),
-        serde_json::Value::Bool(b) => Ok(Value::Bool(*b)),
-        serde_json::Value::Number(n) => {
-            if let Some(i) = n.as_i64() {
-                Ok(Value::Int(i))
-            } else if let Some(f) = n.as_f64() {
-                Ok(Value::Float(f))
-            } else {
-                Err(JsonError::BadValue(format!("number out of range: {n}")))
-            }
-        }
-        serde_json::Value::String(s) => Ok(Value::String(s.clone())),
-        serde_json::Value::Array(items) => Ok(Value::List(
-            items.iter().map(value_from_json).collect::<Result<_, _>>()?,
+        Json::Null => Ok(Value::Null),
+        Json::Bool(b) => Ok(Value::Bool(*b)),
+        Json::Int(i) => Ok(Value::Int(*i)),
+        Json::Float(f) => Ok(Value::Float(*f)),
+        Json::Str(s) => Ok(Value::String(s.clone())),
+        Json::Array(items) => Ok(Value::List(
+            items
+                .iter()
+                .map(value_from_json)
+                .collect::<Result<_, _>>()?,
         )),
-        serde_json::Value::Object(map) => {
-            if map.len() == 1 {
-                if let Some(serde_json::Value::String(s)) = map.get("$id") {
-                    return Ok(Value::Id(s.clone()));
-                }
-                if let Some(serde_json::Value::String(s)) = map.get("$enum") {
-                    return Ok(Value::Enum(s.clone()));
+        Json::Object(members) => {
+            if members.len() == 1 {
+                if let (key, Json::Str(s)) = &members[0] {
+                    if key == "$id" {
+                        return Ok(Value::Id(s.clone()));
+                    }
+                    if key == "$enum" {
+                        return Ok(Value::Enum(s.clone()));
+                    }
                 }
             }
+            let keys: Vec<&str> = members.iter().map(|(k, _)| k.as_str()).collect();
             Err(JsonError::BadValue(format!(
-                "objects other than $id/$enum tags are not property values: {map:?}"
+                "objects other than $id/$enum tags are not property values: keys {keys:?}"
             )))
         }
     }
 }
 
+/// Field lookup in a parsed object (serde-style: unknown members are
+/// ignored, missing required members are an error).
+fn get<'j>(members: &'j [(String, Json)], key: &str) -> Option<&'j Json> {
+    members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_u32(members: &[(String, Json)], key: &str, ctx: &str) -> Result<u32, JsonError> {
+    match get(members, key) {
+        Some(Json::Int(i)) if *i >= 0 && *i <= u32::MAX as i64 => Ok(*i as u32),
+        Some(other) => Err(JsonError::Parse(format!(
+            "{ctx}: field {key:?} must be a u32, got {}",
+            other.kind()
+        ))),
+        None => Err(JsonError::Parse(format!("{ctx}: missing field {key:?}"))),
+    }
+}
+
+fn get_str<'j>(members: &'j [(String, Json)], key: &str, ctx: &str) -> Result<&'j str, JsonError> {
+    match get(members, key) {
+        Some(Json::Str(s)) => Ok(s),
+        Some(other) => Err(JsonError::Parse(format!(
+            "{ctx}: field {key:?} must be a string, got {}",
+            other.kind()
+        ))),
+        None => Err(JsonError::Parse(format!("{ctx}: missing field {key:?}"))),
+    }
+}
+
+fn get_properties<'j>(
+    members: &'j [(String, Json)],
+    ctx: &str,
+) -> Result<&'j [(String, Json)], JsonError> {
+    match get(members, "properties") {
+        Some(Json::Object(props)) => Ok(props),
+        Some(other) => Err(JsonError::Parse(format!(
+            "{ctx}: field \"properties\" must be an object, got {}",
+            other.kind()
+        ))),
+        None => Ok(&[]),
+    }
+}
+
+fn as_object<'j>(v: &'j Json, ctx: &str) -> Result<&'j [(String, Json)], JsonError> {
+    match v {
+        Json::Object(members) => Ok(members),
+        other => Err(JsonError::Parse(format!(
+            "{ctx}: expected an object, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn as_array<'j>(v: &'j Json, ctx: &str) -> Result<&'j [Json], JsonError> {
+    match v {
+        Json::Array(items) => Ok(items),
+        other => Err(JsonError::Parse(format!(
+            "{ctx}: expected an array, got {}",
+            other.kind()
+        ))),
+    }
+}
+
 /// Serialises a graph to its canonical (pretty) JSON document.
+///
+/// Properties are emitted in sorted key order so the output is
+/// deterministic regardless of insertion order.
 pub fn to_json(g: &PropertyGraph) -> String {
-    let doc = GraphDoc {
-        nodes: g
-            .nodes()
-            .map(|n| NodeDoc {
-                id: n.id.index() as u32,
-                label: n.label().to_owned(),
-                properties: n
-                    .properties()
-                    .map(|(k, v)| (k.to_owned(), value_to_json(v)))
-                    .collect(),
+    fn props_json<'a>(props: impl Iterator<Item = (&'a str, &'a Value)>) -> Json {
+        let sorted: BTreeMap<&str, &Value> = props.collect();
+        Json::Object(
+            sorted
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), value_to_json(v)))
+                .collect(),
+        )
+    }
+    let nodes = Json::Array(
+        g.nodes()
+            .map(|n| {
+                let mut members = vec![
+                    ("id".to_owned(), Json::Int(n.id.index() as i64)),
+                    ("label".to_owned(), Json::Str(n.label().to_owned())),
+                ];
+                let props = props_json(n.properties());
+                if !matches!(&props, Json::Object(m) if m.is_empty()) {
+                    members.push(("properties".to_owned(), props));
+                }
+                Json::Object(members)
             })
             .collect(),
-        edges: g
-            .edges()
-            .map(|e| EdgeDoc {
-                id: e.id.index() as u32,
-                label: e.label().to_owned(),
-                source: e.source().index() as u32,
-                target: e.target().index() as u32,
-                properties: e
-                    .properties()
-                    .map(|(k, v)| (k.to_owned(), value_to_json(v)))
-                    .collect(),
+    );
+    let edges = Json::Array(
+        g.edges()
+            .map(|e| {
+                let mut members = vec![
+                    ("id".to_owned(), Json::Int(e.id.index() as i64)),
+                    ("label".to_owned(), Json::Str(e.label().to_owned())),
+                    ("source".to_owned(), Json::Int(e.source().index() as i64)),
+                    ("target".to_owned(), Json::Int(e.target().index() as i64)),
+                ];
+                let props = props_json(e.properties());
+                if !matches!(&props, Json::Object(m) if m.is_empty()) {
+                    members.push(("properties".to_owned(), props));
+                }
+                Json::Object(members)
             })
             .collect(),
-    };
-    serde_json::to_string_pretty(&doc).expect("graph doc serialises")
+    );
+    let doc = Json::Object(vec![
+        ("nodes".to_owned(), nodes),
+        ("edges".to_owned(), edges),
+    ]);
+    let mut out = String::new();
+    print_json(&mut out, &doc, 0);
+    out
 }
 
 /// Parses a graph from its JSON document. Node ids in the document are
 /// arbitrary distinct numbers; they are remapped to dense ids.
 pub fn from_json(text: &str) -> Result<PropertyGraph, JsonError> {
-    let doc: GraphDoc = serde_json::from_str(text)?;
-    let mut g = PropertyGraph::with_capacity(doc.nodes.len(), doc.edges.len());
-    let mut remap = std::collections::HashMap::with_capacity(doc.nodes.len());
-    for n in &doc.nodes {
-        let id = g.add_node(n.label.clone());
-        remap.insert(n.id, id);
-        for (k, v) in &n.properties {
+    let doc = Parser::new(text).parse_document()?;
+    let root = as_object(&doc, "document")?;
+    let nodes = as_array(
+        get(root, "nodes")
+            .ok_or_else(|| JsonError::Parse("document: missing field \"nodes\"".into()))?,
+        "nodes",
+    )?;
+    let edges = as_array(
+        get(root, "edges")
+            .ok_or_else(|| JsonError::Parse("document: missing field \"edges\"".into()))?,
+        "edges",
+    )?;
+
+    let mut g = PropertyGraph::with_capacity(nodes.len(), edges.len());
+    let mut remap = std::collections::HashMap::with_capacity(nodes.len());
+    for (ix, n) in nodes.iter().enumerate() {
+        let ctx = format!("node #{ix}");
+        let members = as_object(n, &ctx)?;
+        let doc_id = get_u32(members, "id", &ctx)?;
+        let label = get_str(members, "label", &ctx)?;
+        let id = g.add_node(label.to_owned());
+        remap.insert(doc_id, id);
+        for (k, v) in get_properties(members, &ctx)? {
             g.set_node_property(id, k.clone(), value_from_json(v)?);
         }
     }
-    for (ix, e) in doc.edges.iter().enumerate() {
-        let src = *remap.get(&e.source).ok_or(JsonError::DanglingEdge {
+    for (ix, e) in edges.iter().enumerate() {
+        let ctx = format!("edge #{ix}");
+        let members = as_object(e, &ctx)?;
+        let source = get_u32(members, "source", &ctx)?;
+        let target = get_u32(members, "target", &ctx)?;
+        let label = get_str(members, "label", &ctx)?;
+        let src = *remap.get(&source).ok_or(JsonError::DanglingEdge {
             edge_index: ix,
-            node: e.source,
+            node: source,
         })?;
-        let dst: NodeId = *remap.get(&e.target).ok_or(JsonError::DanglingEdge {
+        let dst: NodeId = *remap.get(&target).ok_or(JsonError::DanglingEdge {
             edge_index: ix,
-            node: e.target,
+            node: target,
         })?;
-        let eid = g.add_edge(src, dst, e.label.clone()).expect("remapped");
-        for (k, v) in &e.properties {
+        let eid = g.add_edge(src, dst, label.to_owned()).expect("remapped");
+        for (k, v) in get_properties(members, &ctx)? {
             g.set_edge_property(eid, k.clone(), value_from_json(v)?);
         }
     }
@@ -215,11 +656,7 @@ mod tests {
             .unwrap();
         let u = g.node_ids().next().unwrap();
         g.set_node_property(u, "id", Value::Id("u-17".into()));
-        g.set_node_property(
-            u,
-            "nicknames",
-            Value::from(vec!["al", "lice"]),
-        );
+        g.set_node_property(u, "nicknames", Value::from(vec!["al", "lice"]));
         g.set_node_property(u, "unit", Value::Enum("METER".into()));
         g
     }
@@ -253,11 +690,46 @@ mod tests {
     }
 
     #[test]
+    fn whole_valued_floats_stay_floats() {
+        let mut g = PropertyGraph::new();
+        let n = g.add_node("N");
+        g.set_node_property(n, "f", Value::Float(120_000_000_000.0));
+        g.set_node_property(n, "g", Value::Float(-3.0));
+        let g2 = from_json(&to_json(&g)).unwrap();
+        let n2 = g2.nodes().next().unwrap();
+        assert_eq!(n2.property("f"), Some(&Value::Float(120_000_000_000.0)));
+        assert_eq!(n2.property("g"), Some(&Value::Float(-3.0)));
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let mut g = PropertyGraph::new();
+        let n = g.add_node("N");
+        let tricky = "quote\" slash\\ newline\n tab\t ctrl\u{1} π❤";
+        g.set_node_property(n, "s", Value::String(tricky.into()));
+        let g2 = from_json(&to_json(&g)).unwrap();
+        let n2 = g2.nodes().next().unwrap();
+        assert_eq!(n2.property("s"), Some(&Value::String(tricky.into())));
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_decode() {
+        let text = r#"{"nodes":[{"id":0,"label":"A",
+                        "properties":{"s":"\ud83d\ude00ok"}}],"edges":[]}"#;
+        let g = from_json(text).unwrap();
+        let n = g.nodes().next().unwrap();
+        assert_eq!(n.property("s"), Some(&Value::String("😀ok".into())));
+    }
+
+    #[test]
     fn dangling_edge_is_reported() {
         let text = r#"{"nodes":[{"id":0,"label":"A"}],
                        "edges":[{"id":0,"label":"rel","source":0,"target":9}]}"#;
         match from_json(text) {
-            Err(JsonError::DanglingEdge { edge_index: 0, node: 9 }) => {}
+            Err(JsonError::DanglingEdge {
+                edge_index: 0,
+                node: 9,
+            }) => {}
             other => panic!("expected dangling edge error, got {other:?}"),
         }
     }
@@ -267,6 +739,14 @@ mod tests {
         let text = r#"{"nodes":[{"id":0,"label":"A",
                         "properties":{"bad":{"x":1}}}],"edges":[]}"#;
         assert!(matches!(from_json(text), Err(JsonError::BadValue(_))));
+    }
+
+    #[test]
+    fn syntax_errors_name_a_position() {
+        let err = from_json("{\"nodes\": [,]}").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("invalid graph JSON"), "{msg}");
+        assert!(msg.contains("byte"), "{msg}");
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod csv;
 pub mod dot;
 pub mod index;
 pub mod json;
+pub mod shard;
 pub mod stats;
 pub mod traverse;
 

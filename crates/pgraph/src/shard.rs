@@ -1,0 +1,205 @@
+//! Read-only shard views over a [`PropertyGraph`].
+//!
+//! A [`GraphShards`] partitions the node and edge id spaces into `k`
+//! contiguous raw-index ranges. Each [`GraphShard`] is a cheap view
+//! (`Copy`-sized: a reference plus two ranges) that iterates only the
+//! live elements of its slice, so `k` workers can scan disjoint parts of
+//! one shared graph without any synchronisation — the graph is borrowed
+//! immutably for the lifetime of the shards.
+//!
+//! Contiguous ranges (rather than `id % k` striping) keep each worker's
+//! memory accesses sequential over the underlying element tables. With
+//! tombstones present the *live* populations of equal-width ranges can
+//! differ; [`GraphShard::node_count`]/[`GraphShard::edge_count`] expose
+//! the real per-shard populations so callers can report skew.
+
+use std::ops::Range;
+
+use crate::graph::{EdgeRef, NodeRef};
+use crate::{EdgeId, NodeId, PropertyGraph};
+
+/// A partition of one graph's id spaces into `k` contiguous slices.
+#[derive(Debug, Clone)]
+pub struct GraphShards<'g> {
+    graph: &'g PropertyGraph,
+    node_ranges: Vec<Range<usize>>,
+    edge_ranges: Vec<Range<usize>>,
+}
+
+/// Splits `0..bound` into `k` near-equal contiguous ranges (the first
+/// `bound % k` ranges are one longer). Always returns exactly `k` ranges;
+/// trailing ones are empty when `bound < k`.
+fn even_ranges(bound: usize, k: usize) -> Vec<Range<usize>> {
+    assert!(k > 0, "shard count must be positive");
+    let base = bound / k;
+    let extra = bound % k;
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+impl<'g> GraphShards<'g> {
+    /// Partitions `graph` into `k` shards (`k >= 1`).
+    pub fn new(graph: &'g PropertyGraph, k: usize) -> Self {
+        GraphShards {
+            graph,
+            node_ranges: even_ranges(graph.node_index_bound(), k),
+            edge_ranges: even_ranges(graph.edge_index_bound(), k),
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.node_ranges.len()
+    }
+
+    /// True when there are no shards (never: `k >= 1`). Exists for
+    /// clippy's `len_without_is_empty`.
+    pub fn is_empty(&self) -> bool {
+        self.node_ranges.is_empty()
+    }
+
+    /// The `i`-th shard view.
+    pub fn shard(&self, i: usize) -> GraphShard<'g> {
+        GraphShard {
+            graph: self.graph,
+            index: i,
+            nodes: self.node_ranges[i].clone(),
+            edges: self.edge_ranges[i].clone(),
+        }
+    }
+
+    /// All shard views in order.
+    pub fn iter(&self) -> impl Iterator<Item = GraphShard<'g>> + '_ {
+        (0..self.len()).map(|i| self.shard(i))
+    }
+}
+
+/// One contiguous slice of a graph's node and edge id spaces.
+#[derive(Debug, Clone)]
+pub struct GraphShard<'g> {
+    graph: &'g PropertyGraph,
+    index: usize,
+    nodes: Range<usize>,
+    edges: Range<usize>,
+}
+
+impl<'g> GraphShard<'g> {
+    /// This shard's position within its partition.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g PropertyGraph {
+        self.graph
+    }
+
+    /// Live nodes whose raw index falls in this shard.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeRef<'g>> + '_ {
+        let g = self.graph;
+        self.nodes
+            .clone()
+            .filter_map(move |ix| g.node(NodeId::from_index(ix)))
+    }
+
+    /// Live edges whose raw index falls in this shard.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef<'g>> + '_ {
+        let g = self.graph;
+        self.edges
+            .clone()
+            .filter_map(move |ix| g.edge(EdgeId::from_index(ix)))
+    }
+
+    /// True iff this shard owns the node id (live or not). Group-keyed
+    /// work (e.g. "all out-edges of v") is assigned to the shard owning
+    /// the key node, so each group is processed exactly once.
+    pub fn owns_node(&self, id: NodeId) -> bool {
+        self.nodes.contains(&id.index())
+    }
+
+    /// True iff this shard owns the edge id (live or not).
+    pub fn owns_edge(&self, id: EdgeId) -> bool {
+        self.edges.contains(&id.index())
+    }
+
+    /// Number of live nodes in this shard (walks the slice).
+    pub fn node_count(&self) -> usize {
+        self.nodes().count()
+    }
+
+    /// Number of live edges in this shard (walks the slice).
+    pub fn edge_count(&self) -> usize {
+        self.edges().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        let ids: Vec<NodeId> = (0..n).map(|i| g.add_node(format!("T{}", i % 3))).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], "next").unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn even_ranges_cover_and_balance() {
+        for (bound, k) in [(10, 3), (0, 4), (7, 7), (3, 8), (100, 1)] {
+            let ranges = even_ranges(bound, k);
+            assert_eq!(ranges.len(), k);
+            assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), bound);
+            // Contiguous and ordered.
+            let mut pos = 0;
+            for r in &ranges {
+                assert_eq!(r.start, pos);
+                pos = r.end;
+            }
+            // Balanced within one element.
+            let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+            let (lo, hi) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+            assert!(hi - lo <= 1, "{lens:?}");
+        }
+    }
+
+    #[test]
+    fn shards_partition_nodes_and_edges() {
+        let g = sample(23);
+        for k in [1, 2, 5, 64] {
+            let shards = GraphShards::new(&g, k);
+            let nodes: usize = shards.iter().map(|s| s.node_count()).sum();
+            let edges: usize = shards.iter().map(|s| s.edge_count()).sum();
+            assert_eq!(nodes, g.node_count());
+            assert_eq!(edges, g.edge_count());
+            // Every node is owned by exactly one shard.
+            for id in g.node_ids() {
+                assert_eq!(shards.iter().filter(|s| s.owns_node(id)).count(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn shards_skip_tombstones() {
+        let mut g = sample(10);
+        let victim = g.node_ids().nth(4).unwrap();
+        let _ = g.remove_node(victim);
+        let shards = GraphShards::new(&g, 3);
+        let seen: Vec<NodeId> = shards
+            .iter()
+            .flat_map(|s| s.nodes().map(|n| n.id).collect::<Vec<_>>())
+            .collect();
+        assert_eq!(seen.len(), g.node_count());
+        assert!(!seen.contains(&victim));
+        // Ownership still covers the tombstoned id (exactly one shard).
+        assert_eq!(shards.iter().filter(|s| s.owns_node(victim)).count(), 1);
+    }
+}

@@ -20,18 +20,13 @@ pub fn reachable_from(g: &PropertyGraph, start: NodeId) -> Vec<NodeId> {
 }
 
 /// Like [`reachable_from`] but reuses a prebuilt index.
-pub fn reachable_from_indexed(
-    g: &PropertyGraph,
-    _ix: &GraphIndex,
-    start: NodeId,
-) -> Vec<NodeId> {
+pub fn reachable_from_indexed(g: &PropertyGraph, _ix: &GraphIndex, start: NodeId) -> Vec<NodeId> {
     let mut seen: HashSet<NodeId> = HashSet::new();
     let mut order = Vec::new();
     let mut queue = VecDeque::new();
     // Build a quick successor map once; GraphIndex groups by (node,label)
     // which would force label enumeration here.
-    let mut succ: std::collections::HashMap<NodeId, Vec<NodeId>> =
-        std::collections::HashMap::new();
+    let mut succ: std::collections::HashMap<NodeId, Vec<NodeId>> = std::collections::HashMap::new();
     for e in g.edges() {
         succ.entry(e.source()).or_default().push(e.target());
     }
@@ -72,15 +67,11 @@ pub fn in_degrees(g: &PropertyGraph) -> Vec<usize> {
 pub fn has_cycle(g: &PropertyGraph) -> bool {
     // Kahn's algorithm: a cycle exists iff topological elimination stalls.
     let mut indeg = in_degrees(g);
-    let mut succ: std::collections::HashMap<NodeId, Vec<NodeId>> =
-        std::collections::HashMap::new();
+    let mut succ: std::collections::HashMap<NodeId, Vec<NodeId>> = std::collections::HashMap::new();
     for e in g.edges() {
         succ.entry(e.source()).or_default().push(e.target());
     }
-    let mut queue: VecDeque<NodeId> = g
-        .node_ids()
-        .filter(|n| indeg[n.index()] == 0)
-        .collect();
+    let mut queue: VecDeque<NodeId> = g.node_ids().filter(|n| indeg[n.index()] == 0).collect();
     let mut removed = 0usize;
     while let Some(v) = queue.pop_front() {
         removed += 1;
@@ -98,8 +89,7 @@ pub fn has_cycle(g: &PropertyGraph) -> bool {
 
 /// Number of weakly connected components.
 pub fn weakly_connected_components(g: &PropertyGraph) -> usize {
-    let mut adj: std::collections::HashMap<NodeId, Vec<NodeId>> =
-        std::collections::HashMap::new();
+    let mut adj: std::collections::HashMap<NodeId, Vec<NodeId>> = std::collections::HashMap::new();
     for e in g.edges() {
         adj.entry(e.source()).or_default().push(e.target());
         adj.entry(e.target()).or_default().push(e.source());

@@ -35,16 +35,21 @@ fn graph_spec() -> impl Strategy<Value = GraphSpec> {
             prop::collection::vec("[A-Z][a-z]{0,5}", n..=n),
             prop::collection::vec((0..n, 0..n, "[a-z]{1,6}".prop_map(String::from)), 0..20),
             prop::collection::vec((0..n, "[a-z]{1,5}".prop_map(String::from), value()), 0..10),
-            prop::collection::vec((0..20usize, "[a-z]{1,5}".prop_map(String::from), value()), 0..6),
+            prop::collection::vec(
+                (0..20usize, "[a-z]{1,5}".prop_map(String::from), value()),
+                0..6,
+            ),
             prop::collection::vec(0..n, 0..3),
         )
-            .prop_map(|(labels, edges, node_props, edge_props, removals)| GraphSpec {
-                labels,
-                edges,
-                node_props,
-                edge_props,
-                removals,
-            })
+            .prop_map(
+                |(labels, edges, node_props, edge_props, removals)| GraphSpec {
+                    labels,
+                    edges,
+                    node_props,
+                    edge_props,
+                    removals,
+                },
+            )
     })
 }
 

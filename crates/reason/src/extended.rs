@@ -9,7 +9,7 @@
 //! > satisfiability: add the @required to the field definition and check
 //! > if the type of the field definition is satisfiable."
 
-use gql_sdl::ast::{ConstValue, Definition, Document, DirectiveUse, TypeDef};
+use gql_sdl::ast::{ConstValue, Definition, DirectiveUse, Document, TypeDef};
 use gql_sdl::{Pos, Span};
 use pg_schema::PgSchema;
 

@@ -166,12 +166,7 @@ impl Encoding {
 
         // Per-object-type relationship constraints.
         // Precompute, per (object type, field): Some(rel) if declared.
-        let rel_of = |t: TypeId, f: &str| {
-            schema
-                .relationships(t)
-                .iter()
-                .find(|r| r.name == f)
-        };
+        let rel_of = |t: TypeId, f: &str| schema.relationships(t).iter().find(|r| r.name == f);
 
         for (t_ix, &t) in object_types.iter().enumerate() {
             for (f_ix, f) in field_names.iter().enumerate() {
@@ -203,9 +198,11 @@ impl Encoding {
                                     Lit::neg(enc.type_var(v, t_ix)),
                                     Lit::neg(enc.edge_var(v, f_ix, w)),
                                 ];
-                                c.extend(target_ok.iter().map(|&s_ix| {
-                                    Lit::pos(enc.type_var(w, s_ix))
-                                }));
+                                c.extend(
+                                    target_ok
+                                        .iter()
+                                        .map(|&s_ix| Lit::pos(enc.type_var(w, s_ix))),
+                                );
                                 clauses.push(c);
                             }
                         }
@@ -227,9 +224,7 @@ impl Encoding {
                         if rel.required {
                             for v in 0..k {
                                 let mut c = vec![Lit::neg(enc.type_var(v, t_ix))];
-                                c.extend(
-                                    (0..k).map(|w| Lit::pos(enc.edge_var(v, f_ix, w))),
-                                );
+                                c.extend((0..k).map(|w| Lit::pos(enc.edge_var(v, f_ix, w))));
                                 clauses.push(c);
                             }
                         }
@@ -292,11 +287,7 @@ impl Encoding {
                     .iter()
                     .enumerate()
                     .filter(|(_, &ot2)| {
-                        gql_schema::subtype::wrapped_subtype(
-                            s,
-                            &WrappedType::bare(ot2),
-                            &rel.ty,
-                        )
+                        gql_schema::subtype::wrapped_subtype(s, &WrappedType::bare(ot2), &rel.ty)
                     })
                     .map(|(i, _)| i)
                     .collect();
@@ -304,10 +295,7 @@ impl Encoding {
                     for w in 0..k {
                         for v1 in 0..k {
                             for v2 in (v1 + 1)..k {
-                                clauses.push(vec![
-                                    Lit::neg(aux(v1, w)),
-                                    Lit::neg(aux(v2, w)),
-                                ]);
+                                clauses.push(vec![Lit::neg(aux(v1, w)), Lit::neg(aux(v2, w))]);
                             }
                         }
                     }
@@ -404,7 +392,11 @@ impl Encoding {
                         for ep in &rel.edge_props {
                             if ep.mandatory {
                                 uniq += 1;
-                                g.set_edge_property(e, ep.name.clone(), fresh_value(s, &ep.ty, uniq));
+                                g.set_edge_property(
+                                    e,
+                                    ep.name.clone(),
+                                    fresh_value(s, &ep.ty, uniq),
+                                );
                             }
                         }
                     }
@@ -456,8 +448,8 @@ mod tests {
     }
 
     fn assert_witness(schema: &PgSchema, ty: &str, k: usize) -> PropertyGraph {
-        let g = find_model(schema, ty, k)
-            .unwrap_or_else(|| panic!("no model of size {k} for {ty}"));
+        let g =
+            find_model(schema, ty, k).unwrap_or_else(|| panic!("no model of size {k} for {ty}"));
         assert!(
             strongly_satisfies(&g, schema),
             "witness does not strongly satisfy:\n{}",
@@ -477,7 +469,9 @@ mod tests {
 
     #[test]
     fn required_properties_are_filled() {
-        let s = pg(r#"type A @key(fields: ["k"]) { x: Int! @required k: String! tags: [String!]! @required }"#);
+        let s = pg(
+            r#"type A @key(fields: ["k"]) { x: Int! @required k: String! tags: [String!]! @required }"#,
+        );
         let g = assert_witness(&s, "A", 1);
         let n = g.nodes().next().unwrap();
         assert!(n.property("x").is_some());
@@ -486,12 +480,10 @@ mod tests {
 
     #[test]
     fn required_edge_forces_second_node_or_loop() {
-        let s = pg(
-            r#"
+        let s = pg(r#"
             type A { toB: B @required }
             type B { x: Int }
-            "#,
-        );
+            "#);
         assert!(find_model(&s, "A", 1).is_none()); // a lone A can't point at a B
         let g = assert_witness(&s, "A", 2);
         assert_eq!(g.edge_count(), 1);
@@ -509,12 +501,10 @@ mod tests {
 
     #[test]
     fn mandatory_edge_properties_are_filled() {
-        let s = pg(
-            r#"
+        let s = pg(r#"
             type A { toB(w: Float! note: String): B @required }
             type B { x: Int }
-            "#,
-        );
+            "#);
         let g = assert_witness(&s, "A", 2);
         let e = g.edges().next().unwrap();
         assert!(e.property("w").is_some());
@@ -523,12 +513,10 @@ mod tests {
 
     #[test]
     fn required_for_target_needs_a_source() {
-        let s = pg(
-            r#"
+        let s = pg(r#"
             type Publisher { published: [Book] @requiredForTarget }
             type Book { title: String! @required }
-            "#,
-        );
+            "#);
         // A Book alone is impossible; Book + Publisher works.
         assert!(find_model(&s, "Book", 1).is_none());
         assert_witness(&s, "Book", 2);
@@ -540,14 +528,12 @@ mod tests {
     fn unique_for_target_limits_incoming() {
         // Diagram (a) / Example 6.1 (consistent variant): OT1 needs
         // incoming from both OT2 and OT3, but ≤1 incoming from IT nodes.
-        let s = pg(
-            r#"
+        let s = pg(r#"
             type OT1 { }
             interface IT { hasOT1: [OT1] @uniqueForTarget }
             type OT2 implements IT { hasOT1: [OT1] @requiredForTarget }
             type OT3 implements IT { hasOT1: [OT1] @requiredForTarget }
-            "#,
-        );
+            "#);
         for k in 1..=5 {
             assert!(find_model(&s, "OT1", k).is_none(), "OT1 sat at size {k}?");
         }
@@ -560,12 +546,10 @@ mod tests {
         // A must point at B, C requires incoming from A… but A's field is
         // non-list so one A cannot serve two different targets; sat needs
         // one A per B.
-        let s = pg(
-            r#"
+        let s = pg(r#"
             type A { toB: B @required }
             type B { x: Int }
-            "#,
-        );
+            "#);
         let g = assert_witness(&s, "A", 2);
         let a_nodes: Vec<_> = g.nodes().filter(|n| n.label() == "A").collect();
         for a in a_nodes {
@@ -583,14 +567,12 @@ mod tests {
 
     #[test]
     fn union_targets_work() {
-        let s = pg(
-            r#"
+        let s = pg(r#"
             type Person { favoriteFood: Food @required }
             union Food = Pizza | Pasta
             type Pizza { n: Int }
             type Pasta { n: Int }
-            "#,
-        );
+            "#);
         let g = assert_witness(&s, "Person", 2);
         let food = g
             .edges()

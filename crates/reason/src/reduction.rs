@@ -225,12 +225,7 @@ mod tests {
         let red = reduce_cnf(&f);
         let schema = PgSchema::parse(&red.sdl).unwrap();
         // OT + 3+2+2 literal types.
-        assert_eq!(
-            schema.schema().object_types().count(),
-            1 + 7,
-            "{}",
-            red.sdl
-        );
+        assert_eq!(schema.schema().object_types().count(), 1 + 7, "{}", red.sdl);
         // 3 clause interfaces + conflicts: pairs (A,¬A): α(1,1)=A? atoms:
         // c0: x0 ¬x1 x2; c1: ¬x0 ¬x2; c2: x3 x1. Complementary pairs:
         // (x0,¬x0), (¬x1,x1), (x2,¬x2) → 3 conflict interfaces.
@@ -269,10 +264,7 @@ mod tests {
         let red = reduce_cnf(&unsat_f);
         let schema = PgSchema::parse(&red.sdl).unwrap();
         let result = check_object_type(&schema, "OT", &ReasonerConfig::default());
-        assert!(
-            !result.is_satisfiable(),
-            "UNSAT formula produced a witness"
-        );
+        assert!(!result.is_satisfiable(), "UNSAT formula produced a witness");
     }
 
     #[test]

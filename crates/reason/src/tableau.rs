@@ -42,11 +42,7 @@ pub enum TableauOutcome {
 /// Checks satisfiability of the named concept w.r.t. the TBox. A name
 /// never interned in the TBox denotes a fresh concept, which (with the
 /// covering axiom over object types) is unsatisfiable for schema TBoxes.
-pub fn check_concept_by_name(
-    tbox: &TBox,
-    name: &str,
-    config: &ReasonerConfig,
-) -> TableauOutcome {
+pub fn check_concept_by_name(tbox: &TBox, name: &str, config: &ReasonerConfig) -> TableauOutcome {
     match tbox.find_concept(name) {
         Some(id) => check_concept(tbox, &Concept::Name(id), config),
         None => TableauOutcome::Unsatisfiable,
@@ -322,10 +318,15 @@ impl Engine<'_> {
                     }
                 }
                 Some(Todo::Or(x, options)) => {
-                    return self.branch(state, depth, |st, opt: &Concept| {
-                        st.nodes[x].label.insert(opt.clone().simplify());
-                        true
-                    }, &options);
+                    return self.branch(
+                        state,
+                        depth,
+                        |st, opt: &Concept| {
+                            st.nodes[x].label.insert(opt.clone().simplify());
+                            true
+                        },
+                        &options,
+                    );
                 }
                 Some(Todo::Generate {
                     node,
@@ -346,18 +347,28 @@ impl Engine<'_> {
                 }
                 Some(Todo::Choose(y, concept)) => {
                     let options = vec![concept.clone(), concept.negate()];
-                    return self.branch(state, depth, |st, opt: &Concept| {
-                        st.nodes[y].label.insert(opt.clone().simplify());
-                        true
-                    }, &options);
+                    return self.branch(
+                        state,
+                        depth,
+                        |st, opt: &Concept| {
+                            st.nodes[y].label.insert(opt.clone().simplify());
+                            true
+                        },
+                        &options,
+                    );
                 }
                 Some(Todo::MergePairs { x, pairs }) => {
-                    return self.branch(state, depth, |st, &(keep, gone): &(usize, usize)| {
-                        // Merge `gone` into `keep`; if `keep` is x's
-                        // parent the child is folded upward, otherwise a
-                        // sibling merge. Ensure `gone` is a child of x.
-                        st.merge(x, gone, keep)
-                    }, &pairs);
+                    return self.branch(
+                        state,
+                        depth,
+                        |st, &(keep, gone): &(usize, usize)| {
+                            // Merge `gone` into `keep`; if `keep` is x's
+                            // parent the child is folded upward, otherwise a
+                            // sibling merge. Ensure `gone` is a child of x.
+                            st.merge(x, gone, keep)
+                        },
+                        &pairs,
+                    );
                 }
             }
         }
@@ -677,10 +688,7 @@ mod tests {
         let r = tb.role("r");
         let q = Concept::And(vec![
             a,
-            Concept::exists(
-                r,
-                Concept::Forall(r.inverted(), Box::new(b.clone())),
-            ),
+            Concept::exists(r, Concept::Forall(r.inverted(), Box::new(b.clone()))),
             b.negate(),
         ]);
         assert_eq!(

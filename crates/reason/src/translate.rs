@@ -76,10 +76,7 @@ pub fn translate(schema: &PgSchema) -> TBox {
                 );
             }
             if rel.required {
-                tb.add_subsumption(
-                    t_concept.clone(),
-                    Concept::exists(role, tt_concept.clone()),
-                );
+                tb.add_subsumption(t_concept.clone(), Concept::exists(role, tt_concept.clone()));
             }
             if rel.required_for_target {
                 tb.add_subsumption(
@@ -103,10 +100,7 @@ pub fn translate(schema: &PgSchema) -> TBox {
         .collect();
     for (i, a) in ot_concepts.iter().enumerate() {
         for b in ot_concepts.iter().skip(i + 1) {
-            tb.add_subsumption(
-                Concept::And(vec![a.clone(), b.clone()]),
-                Concept::Bottom,
-            );
+            tb.add_subsumption(Concept::And(vec![a.clone(), b.clone()]), Concept::Bottom);
         }
     }
     tb.add_subsumption(Concept::Top, Concept::Or(ot_concepts).simplify());

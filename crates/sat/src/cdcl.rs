@@ -311,8 +311,7 @@ impl Solver {
     fn pick_branch(&mut self) -> Option<Lit> {
         let mut best: Option<usize> = None;
         for v in 0..self.assign.len() {
-            if self.assign[v].is_none()
-                && best.is_none_or(|b| self.activity[v] > self.activity[b])
+            if self.assign[v].is_none() && best.is_none_or(|b| self.activity[v] > self.activity[b])
             {
                 best = Some(v);
             }
@@ -352,8 +351,7 @@ impl Solver {
                 self.decay();
                 if self.stats.conflicts >= self.conflicts_until_restart {
                     self.restart_interval = (self.restart_interval as f64 * 1.5) as u64;
-                    self.conflicts_until_restart =
-                        self.stats.conflicts + self.restart_interval;
+                    self.conflicts_until_restart = self.stats.conflicts + self.restart_interval;
                     self.stats.restarts += 1;
                     self.backjump(0);
                 }

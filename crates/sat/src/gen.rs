@@ -108,7 +108,10 @@ mod tests {
                 unsat += 1;
             }
         }
-        assert!(unsat >= 9, "only {unsat}/10 high-ratio instances were UNSAT");
+        assert!(
+            unsat >= 9,
+            "only {unsat}/10 high-ratio instances were UNSAT"
+        );
     }
 
     #[test]

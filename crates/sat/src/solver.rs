@@ -315,13 +315,7 @@ mod tests {
     fn models_satisfy_their_formulas() {
         let c = cnf(
             5,
-            &[
-                &[1, 2, -3],
-                &[-1, 4],
-                &[3, -4, 5],
-                &[-2, -5],
-                &[2, 3, 4],
-            ],
+            &[&[1, 2, -3], &[-1, 4], &[3, -4, 5], &[-2, -5], &[2, 3, 4]],
         );
         let (model, stats) = solve_with_stats(&c);
         let m = model.unwrap();
@@ -345,7 +339,10 @@ mod tests {
         let formulas: Vec<Cnf> = vec![
             cnf(3, &[&[1, 2], &[-1, -2], &[2, 3], &[-3]]),
             cnf(3, &[&[1], &[-1, 2], &[-2, 3], &[-3, -1]]),
-            cnf(3, &[&[1, 2, 3], &[-1, -2, -3], &[1, -2], &[2, -3], &[3, -1]]),
+            cnf(
+                3,
+                &[&[1, 2, 3], &[-1, -2, -3], &[1, -2], &[2, -3], &[3, -1]],
+            ),
             cnf(2, &[&[1, 2], &[1, -2], &[-1, 2], &[-1, -2]]),
         ];
         for c in formulas {

@@ -14,9 +14,9 @@ use gql_sdl::ast;
 use gql_sdl::Span;
 use pgraph::Value;
 
+use crate::directives as dir;
 use crate::model::*;
 use crate::wrap::{Wrap, WrappedType};
-use crate::directives as dir;
 
 /// How severe a diagnostic is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,26 +37,72 @@ pub enum DiagnosticKind {
     /// A wrapping shape outside `t!`, `[t]`, `[t!]`, `[t]!`, `[t!]!`.
     UnsupportedWrapping(String),
     /// A union member that is not an object type.
-    BadUnionMember { /** union name */ union: String, /** offending member */ member: String },
+    BadUnionMember {
+        /** union name */
+        union: String,
+        /** offending member */
+        member: String,
+    },
     /// An `implements` target that is not an interface type.
-    BadImplements { /** object name */ object: String, /** offending target */ target: String },
+    BadImplements {
+        /** object name */
+        object: String,
+        /** offending target */
+        target: String,
+    },
     /// Duplicate field name within one type.
-    DuplicateField { /** type name */ ty: String, /** field name */ field: String },
+    DuplicateField {
+        /** type name */
+        ty: String,
+        /** field name */
+        field: String,
+    },
     /// Duplicate argument name within one field.
-    DuplicateArg { /** type name */ ty: String, /** field name */ field: String, /** arg name */ arg: String },
+    DuplicateArg {
+        /** type name */
+        ty: String,
+        /** field name */
+        field: String,
+        /** arg name */
+        arg: String,
+    },
     /// Duplicate enum symbol.
-    DuplicateEnumValue { /** enum name */ ty: String, /** symbol */ value: String },
+    DuplicateEnumValue {
+        /** enum name */
+        ty: String,
+        /** symbol */
+        value: String,
+    },
     /// An input object type: representable in SDL, ignored by the paper.
     IgnoredInputType(String),
     /// A `schema { ... }` block: ignored by the paper (§3.6).
     IgnoredSchemaBlock,
     /// A field argument whose type is not scalar-based: ignored (§3.6).
-    IgnoredComplexArgument { /** type name */ ty: String, /** field name */ field: String, /** arg name */ arg: String },
+    IgnoredComplexArgument {
+        /** type name */
+        ty: String,
+        /** field name */
+        field: String,
+        /** arg name */
+        arg: String,
+    },
     /// An argument on an *attribute* (scalar-typed) field: ignored (§3.6).
-    IgnoredAttributeArgument { /** type name */ ty: String, /** field name */ field: String, /** arg name */ arg: String },
+    IgnoredAttributeArgument {
+        /** type name */
+        ty: String,
+        /** field name */
+        field: String,
+        /** arg name */
+        arg: String,
+    },
     /// A directive argument value that is an input object literal —
     /// not representable as a property value.
-    UnrepresentableDirectiveArg { /** directive name */ directive: String, /** arg name */ arg: String },
+    UnrepresentableDirectiveArg {
+        /** directive name */
+        directive: String,
+        /** arg name */
+        arg: String,
+    },
     /// A user redefinition of a built-in directive; the built-in wins.
     RedefinedBuiltinDirective(String),
     /// A type name that collides with a built-in scalar.
@@ -99,9 +145,7 @@ pub fn build_schema(doc: &ast::Document) -> Result<Schema, Vec<Diagnostic>> {
 
 /// Builds a schema and returns all diagnostics. The schema is `None` iff
 /// an error-severity diagnostic was produced.
-pub fn build_schema_with_diagnostics(
-    doc: &ast::Document,
-) -> (Option<Schema>, Vec<Diagnostic>) {
+pub fn build_schema_with_diagnostics(doc: &ast::Document) -> (Option<Schema>, Vec<Diagnostic>) {
     // Fold `extend …` definitions into their bases first (spec §3.4.3).
     let doc = match gql_sdl::extensions::merge_extensions(doc) {
         Ok(merged) => merged,
@@ -233,7 +277,10 @@ impl Builder {
             };
             let name = t.name();
             if BuiltinScalar::ALL.iter().any(|b| b.name() == name) {
-                self.error(DiagnosticKind::RedefinedBuiltinScalar(name.to_owned()), t.span());
+                self.error(
+                    DiagnosticKind::RedefinedBuiltinScalar(name.to_owned()),
+                    t.span(),
+                );
                 continue;
             }
             if self.schema.by_name.contains_key(name) || self.input_names.contains_key(name) {
@@ -348,9 +395,7 @@ impl Builder {
                                 },
                                 u.span,
                             ),
-                            None => {
-                                self.error(DiagnosticKind::UnknownType(m.clone()), u.span)
-                            }
+                            None => self.error(DiagnosticKind::UnknownType(m.clone()), u.span),
                         }
                     }
                     let directives = self.convert_directive_uses(&u.directives);
@@ -376,10 +421,7 @@ impl Builder {
         for target in &o.implements {
             match self.schema.by_name.get(target) {
                 Some(&tid)
-                    if matches!(
-                        self.schema.types[tid.index()].kind,
-                        TypeKind::Interface(_)
-                    ) =>
+                    if matches!(self.schema.types[tid.index()].kind, TypeKind::Interface(_)) =>
                 {
                     out.push(tid);
                 }
@@ -706,10 +748,7 @@ mod tests {
             assert!(s.directive_decl(d).is_some(), "@{d} missing");
         }
         let key = s.directive_decl("key").unwrap();
-        assert_eq!(
-            s.display_type(&key.arg("fields").unwrap().ty),
-            "[String!]!"
-        );
+        assert_eq!(s.display_type(&key.arg("fields").unwrap().ty), "[String!]!");
     }
 
     #[test]
@@ -787,17 +826,14 @@ mod tests {
     #[test]
     fn input_types_and_schema_blocks_warn_but_build() {
         let (schema, ds) = build_schema_with_diagnostics(
-            &gql_sdl::parse(
-                "schema { query: Q } type Q { f: Int } input P { x: Int }",
-            )
-            .unwrap(),
+            &gql_sdl::parse("schema { query: Q } type Q { f: Int } input P { x: Int }").unwrap(),
         );
         let s = schema.unwrap();
         assert_eq!(s.ignored_input_types(), &["P".to_owned()]);
-        assert!(ds.iter().any(|d| d.kind == DiagnosticKind::IgnoredSchemaBlock));
         assert!(ds
             .iter()
-            .all(|d| d.severity == Severity::Warning));
+            .any(|d| d.kind == DiagnosticKind::IgnoredSchemaBlock));
+        assert!(ds.iter().all(|d| d.severity == Severity::Warning));
     }
 
     #[test]

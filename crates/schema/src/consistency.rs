@@ -306,7 +306,9 @@ fn check_directives(schema: &Schema, out: &mut Vec<ConsistencyViolation>) {
             check_one_directive(
                 schema,
                 d,
-                DirectiveSite::Type { ty: ty_name.clone() },
+                DirectiveSite::Type {
+                    ty: ty_name.clone(),
+                },
                 out,
             );
         }
@@ -417,9 +419,7 @@ mod tests {
 
     #[test]
     fn missing_interface_field_is_caught() {
-        let v = violations(
-            "interface I { f: Int } type T implements I { g: Int }",
-        );
+        let v = violations("interface I { f: Int } type T implements I { g: Int }");
         assert!(matches!(
             v.as_slice(),
             [ConsistencyViolation::MissingInterfaceField { object, field, .. }]
@@ -453,16 +453,13 @@ mod tests {
 
     #[test]
     fn interface_args_must_match_exactly() {
-        let v = violations(
-            "interface I { f(a: Int): Int } type T implements I { f(a: Int!): Int }",
-        );
+        let v =
+            violations("interface I { f(a: Int): Int } type T implements I { f(a: Int!): Int }");
         assert!(matches!(
             v.as_slice(),
             [ConsistencyViolation::ArgTypeMismatch { .. }]
         ));
-        let v = violations(
-            "interface I { f(a: Int): Int } type T implements I { f: Int }",
-        );
+        let v = violations("interface I { f(a: Int): Int } type T implements I { f: Int }");
         assert!(matches!(
             v.as_slice(),
             [ConsistencyViolation::MissingInterfaceArg { .. }]
@@ -471,16 +468,12 @@ mod tests {
 
     #[test]
     fn extra_args_must_be_nullable() {
-        let v = violations(
-            "interface I { f: Int } type T implements I { f(extra: String!): Int }",
-        );
+        let v = violations("interface I { f: Int } type T implements I { f(extra: String!): Int }");
         assert!(matches!(
             v.as_slice(),
             [ConsistencyViolation::ExtraArgNonNull { arg, .. }] if arg == "extra"
         ));
-        let v = violations(
-            "interface I { f: Int } type T implements I { f(extra: String): Int }",
-        );
+        let v = violations("interface I { f: Int } type T implements I { f(extra: String): Int }");
         assert!(v.is_empty(), "{v:?}");
     }
 
@@ -530,21 +523,19 @@ mod tests {
 
     #[test]
     fn directives_on_args_are_checked_too() {
-        let v = violations(
-            "type U {} type T { r(w: Float @fancy(x: 1)): U }",
-        );
+        let v = violations("type U {} type T { r(w: Float @fancy(x: 1)): U }");
         assert!(matches!(
             v.as_slice(),
-            [ConsistencyViolation::UndeclaredDirectiveArg { site: DirectiveSite::Arg { .. }, .. }]
+            [ConsistencyViolation::UndeclaredDirectiveArg {
+                site: DirectiveSite::Arg { .. },
+                ..
+            }]
         ));
     }
 
     #[test]
     fn violations_display() {
         let v = violations("interface I { f: Int } type T implements I { g: Int }");
-        assert_eq!(
-            v[0].to_string(),
-            "type T implements I but lacks field `f`"
-        );
+        assert_eq!(v[0].to_string(), "type T implements I but lacks field `f`");
     }
 }

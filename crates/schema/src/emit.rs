@@ -30,30 +30,26 @@ pub fn schema_to_document(schema: &Schema) -> ast::Document {
         }
         let def = match &info.kind {
             TypeKind::Scalar(ScalarInfo::Builtin(_)) => continue,
-            TypeKind::Scalar(ScalarInfo::Custom) => {
-                ast::TypeDef::Scalar(ast::ScalarTypeDef {
-                    description: None,
-                    name: info.name.clone(),
-                    directives: emit_directives(&info.directives),
-                    span: span(),
-                })
-            }
-            TypeKind::Scalar(ScalarInfo::Enum(values)) => {
-                ast::TypeDef::Enum(ast::EnumTypeDef {
-                    description: None,
-                    name: info.name.clone(),
-                    directives: emit_directives(&info.directives),
-                    values: values
-                        .iter()
-                        .map(|v| ast::EnumValueDef {
-                            description: None,
-                            name: v.clone(),
-                            directives: Vec::new(),
-                        })
-                        .collect(),
-                    span: span(),
-                })
-            }
+            TypeKind::Scalar(ScalarInfo::Custom) => ast::TypeDef::Scalar(ast::ScalarTypeDef {
+                description: None,
+                name: info.name.clone(),
+                directives: emit_directives(&info.directives),
+                span: span(),
+            }),
+            TypeKind::Scalar(ScalarInfo::Enum(values)) => ast::TypeDef::Enum(ast::EnumTypeDef {
+                description: None,
+                name: info.name.clone(),
+                directives: emit_directives(&info.directives),
+                values: values
+                    .iter()
+                    .map(|v| ast::EnumValueDef {
+                        description: None,
+                        name: v.clone(),
+                        directives: Vec::new(),
+                    })
+                    .collect(),
+                span: span(),
+            }),
             TypeKind::Object(obj) => ast::TypeDef::Object(ast::ObjectTypeDef {
                 description: None,
                 name: info.name.clone(),
@@ -161,9 +157,7 @@ fn value_to_const(v: &Value) -> ast::ConstValue {
         Value::Bool(b) => ast::ConstValue::Bool(*b),
         Value::Id(s) => ast::ConstValue::String(s.clone()),
         Value::Enum(n) => ast::ConstValue::Enum(n.clone()),
-        Value::List(items) => {
-            ast::ConstValue::List(items.iter().map(value_to_const).collect())
-        }
+        Value::List(items) => ast::ConstValue::List(items.iter().map(value_to_const).collect()),
         Value::Null => ast::ConstValue::Null,
     }
 }

@@ -38,8 +38,8 @@
 #![warn(missing_docs)]
 
 mod build;
-pub mod emit;
 pub mod consistency;
+pub mod emit;
 mod model;
 pub mod subtype;
 mod values;
@@ -49,8 +49,8 @@ pub use build::{
     build_schema, build_schema_with_diagnostics, Diagnostic, DiagnosticKind, Severity,
 };
 pub use model::{
-    AppliedDirective, ArgInfo, BuiltinScalar, DirectiveDecl, FieldInfo, ObjectInfo, Schema,
-    ScalarInfo, TypeId, TypeKind,
+    AppliedDirective, ArgInfo, BuiltinScalar, DirectiveDecl, FieldInfo, ObjectInfo, ScalarInfo,
+    Schema, TypeId, TypeKind,
 };
 pub use wrap::{Wrap, WrappedType};
 

@@ -307,9 +307,7 @@ impl Schema {
 
     /// `implementationS(t)` — object types implementing interface `t`.
     pub fn implementors(&self, id: TypeId) -> &[TypeId] {
-        self.implementors
-            .get(id.index())
-            .map_or(&[], Vec::as_slice)
+        self.implementors.get(id.index()).map_or(&[], Vec::as_slice)
     }
 
     /// True if `id` is a scalar (including enum) type — membership in `S`.

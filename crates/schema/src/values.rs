@@ -83,8 +83,7 @@ mod tests {
 
     fn schema() -> Schema {
         build_schema(
-            &gql_sdl::parse("scalar Time enum LenUnit { METER FEET } type T { f: Int }")
-                .unwrap(),
+            &gql_sdl::parse("scalar Time enum LenUnit { METER FEET } type T { f: Int }").unwrap(),
         )
         .unwrap()
     }
@@ -212,10 +211,7 @@ mod tests {
             },
         );
         assert!(s.value_conforms(&Value::from(vec![1i64, 2]), &list));
-        assert!(!s.value_conforms(
-            &Value::List(vec![Value::Int(1), Value::from("x")]),
-            &list
-        ));
+        assert!(!s.value_conforms(&Value::List(vec![Value::Int(1), Value::from("x")]), &list));
     }
 
     #[test]

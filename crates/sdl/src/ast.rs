@@ -443,10 +443,7 @@ mod tests {
         assert_eq!(Type::List(Box::new(t.clone())).to_string(), "[T]");
         let inner_nn = Type::List(Box::new(Type::NonNull(Box::new(t.clone()))));
         assert_eq!(inner_nn.to_string(), "[T!]");
-        assert_eq!(
-            Type::NonNull(Box::new(inner_nn)).to_string(),
-            "[T!]!"
-        );
+        assert_eq!(Type::NonNull(Box::new(inner_nn)).to_string(), "[T!]!");
     }
 
     #[test]
@@ -467,8 +464,7 @@ mod tests {
         assert_eq!(ConstValue::Float(2.5).to_string(), "2.5");
         assert_eq!(ConstValue::String("a\"b".into()).to_string(), r#""a\"b""#);
         assert_eq!(
-            ConstValue::List(vec![ConstValue::Int(1), ConstValue::Enum("E".into())])
-                .to_string(),
+            ConstValue::List(vec![ConstValue::Int(1), ConstValue::Enum("E".into())]).to_string(),
             "[1, E]"
         );
         assert_eq!(

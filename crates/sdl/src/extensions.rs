@@ -47,7 +47,10 @@ impl fmt::Display for MergeError {
                 write!(f, "{span}: extension of unknown type `{name}`")
             }
             MergeError::KindMismatch { name, span } => {
-                write!(f, "{span}: extension kind does not match definition of `{name}`")
+                write!(
+                    f,
+                    "{span}: extension kind does not match definition of `{name}`"
+                )
             }
             MergeError::Duplicate { name, item, span } => {
                 write!(f, "{span}: extension of `{name}` re-declares `{item}`")
@@ -258,10 +261,8 @@ mod tests {
 
     #[test]
     fn extensions_chain() {
-        let doc = parse(
-            "type T { a: Int } extend type T { b: Int } extend type T { c: Int }",
-        )
-        .unwrap();
+        let doc =
+            parse("type T { a: Int } extend type T { b: Int } extend type T { c: Int }").unwrap();
         let merged = merge_extensions(&doc).unwrap();
         let t = merged.object_types().next().unwrap();
         let names: Vec<&str> = t.fields.iter().map(|f| f.name.as_str()).collect();

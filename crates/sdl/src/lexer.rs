@@ -320,10 +320,7 @@ impl<'a> Lexer<'a> {
                             let mut digits = String::new();
                             for _ in 0..4 {
                                 let d = self.bump().ok_or_else(|| {
-                                    ParseError::new(
-                                        ParseErrorKind::UnterminatedString,
-                                        start,
-                                    )
+                                    ParseError::new(ParseErrorKind::UnterminatedString, start)
                                 })?;
                                 digits.push(d);
                                 code = code * 16
@@ -415,7 +412,10 @@ impl<'a> Lexer<'a> {
 /// indentation of all lines but the first, then drop leading/trailing blank
 /// lines.
 fn dedent_block(raw: &str) -> String {
-    let lines: Vec<&str> = raw.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l)).collect();
+    let lines: Vec<&str> = raw
+        .split('\n')
+        .map(|l| l.strip_suffix('\r').unwrap_or(l))
+        .collect();
     let mut common: Option<usize> = None;
     for line in lines.iter().skip(1) {
         let indent = line.len() - line.trim_start_matches([' ', '\t']).len();

@@ -63,7 +63,9 @@ impl Parser {
         match &self.peek().kind {
             TokenKind::Name(_) => {
                 let t = self.bump();
-                let TokenKind::Name(n) = t.kind else { unreachable!() };
+                let TokenKind::Name(n) = t.kind else {
+                    unreachable!()
+                };
                 Ok((n, t.span))
             }
             _ => Err(self.unexpected("a name")),
@@ -625,18 +627,13 @@ mod tests {
         assert_eq!(session.fields[0].directives[0].name, "required");
         let user = doc.object_types().nth(1).unwrap();
         assert_eq!(user.fields[2].ty.to_string(), "[String!]!");
-        assert!(matches!(
-            doc.type_def("Time"),
-            Some(TypeDef::Scalar(_))
-        ));
+        assert!(matches!(doc.type_def("Time"), Some(TypeDef::Scalar(_))));
     }
 
     #[test]
     fn parses_key_directive_with_list_argument() {
-        let doc = parse(
-            r#"type User @key(fields: ["id"]) @key(fields: ["login"]) { id: ID! }"#,
-        )
-        .unwrap();
+        let doc =
+            parse(r#"type User @key(fields: ["id"]) @key(fields: ["login"]) { id: ID! }"#).unwrap();
         let user = doc.object_types().next().unwrap();
         assert_eq!(user.directives.len(), 2);
         assert_eq!(
@@ -714,10 +711,7 @@ mod tests {
 
     #[test]
     fn parses_directive_definition() {
-        let doc = parse(
-            "directive @key(fields: [String!]!) on OBJECT | INTERFACE",
-        )
-        .unwrap();
+        let doc = parse("directive @key(fields: [String!]!) on OBJECT | INTERFACE").unwrap();
         let Definition::Directive(d) = &doc.definitions[0] else {
             panic!("expected directive def");
         };

@@ -27,9 +27,8 @@ fn const_value() -> impl Strategy<Value = ConstValue> {
         any::<i32>().prop_map(|i| ConstValue::Int(i as i64)),
         // Restrict floats to values whose display round-trips as a float
         // token (finite, plain decimal).
-        (-1000i32..1000, 1u32..100).prop_map(|(a, b)| {
-            ConstValue::Float(a as f64 + b as f64 / 128.0)
-        }),
+        (-1000i32..1000, 1u32..100)
+            .prop_map(|(a, b)| { ConstValue::Float(a as f64 + b as f64 / 128.0) }),
         "[ -~]{0,12}".prop_map(ConstValue::String),
         any::<bool>().prop_map(ConstValue::Bool),
         Just(ConstValue::Null),
@@ -54,9 +53,9 @@ fn ty() -> impl Strategy<Value = Type> {
                 2 => Type::List(Box::new(base)),
                 3 => Type::List(Box::new(Type::NonNull(Box::new(base)))),
                 4 => Type::NonNull(Box::new(Type::List(Box::new(base)))),
-                _ => Type::NonNull(Box::new(Type::List(Box::new(Type::NonNull(
-                    Box::new(base),
-                ))))),
+                _ => Type::NonNull(Box::new(Type::List(Box::new(Type::NonNull(Box::new(
+                    base,
+                )))))),
             }
         })
     })
@@ -65,7 +64,10 @@ fn ty() -> impl Strategy<Value = Type> {
 fn directive_use() -> impl Strategy<Value = DirectiveUse> {
     (
         "[a-z]{1,6}".prop_map(|s| format!("d{s}")),
-        prop::collection::vec(("[a-z]{1,5}".prop_map(|s| format!("a{s}")), const_value()), 0..2),
+        prop::collection::vec(
+            ("[a-z]{1,5}".prop_map(|s| format!("a{s}")), const_value()),
+            0..2,
+        ),
     )
         .prop_map(|(name, args)| DirectiveUse {
             name,

@@ -45,8 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\ngenerated GraphQL API schema:\n{printed}");
 
     // 3. The result is itself a consistent GraphQL schema…
-    let rebuilt = gql_schema::build_schema(&gql_sdl::parse(&printed)?)
-        .map_err(|e| format!("{e:?}"))?;
+    let rebuilt =
+        gql_schema::build_schema(&gql_sdl::parse(&printed)?).map_err(|e| format!("{e:?}"))?;
     assert!(gql_schema::consistency::check(&rebuilt).is_empty());
 
     // …with bidirectional traversal: Posts are reachable from their
@@ -56,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .find(|o| o.name == "User")
         .expect("User survives extension");
     assert!(user.fields.iter().any(|f| f.name == "rev_author_from_Post"));
-    assert!(user.fields.iter().any(|f| f.name == "rev_follows_from_User"));
+    assert!(user
+        .fields
+        .iter()
+        .any(|f| f.name == "rev_follows_from_User"));
     println!("bidirectional traversal fields present — the §3.6 limitation is addressed.");
     Ok(())
 }

@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
 
     let report = validate(&graph, &schema, &ValidationOptions::default());
-    println!("conforming graph: {}", if report.conforms() { "OK" } else { "FAIL" });
+    println!(
+        "conforming graph: {}",
+        if report.conforms() { "OK" } else { "FAIL" }
+    );
     assert!(report.conforms());
 
     // Break it three ways and watch the rules fire.

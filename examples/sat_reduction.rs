@@ -19,10 +19,17 @@ fn main() {
     println!("φ = {phi}");
 
     let red = reduce_cnf(&phi);
-    println!("\nreduction schema ({} bytes of SDL):\n{}", red.sdl.len(), red.sdl);
+    println!(
+        "\nreduction schema ({} bytes of SDL):\n{}",
+        red.sdl.len(),
+        red.sdl
+    );
 
     let oracle = dpll::solve(&phi);
-    println!("DPLL oracle: {}", if oracle.is_some() { "SAT" } else { "UNSAT" });
+    println!(
+        "DPLL oracle: {}",
+        if oracle.is_some() { "SAT" } else { "UNSAT" }
+    );
 
     match decide_via_reduction(&phi) {
         Some(witness) => {

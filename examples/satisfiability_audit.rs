@@ -24,8 +24,10 @@ fn audit(name: &str, sdl: &str, types: &[&str]) -> Result<(), Box<dyn std::error
     for ty in types {
         match check_object_type(&schema, ty, &config) {
             Satisfiability::Satisfiable { size, witness } => {
-                println!("  {ty}: satisfiable (witness: {size} node(s), {} edge(s))",
-                    witness.edge_count());
+                println!(
+                    "  {ty}: satisfiable (witness: {size} node(s), {} edge(s))",
+                    witness.edge_count()
+                );
                 assert!(pg_schema::strongly_satisfies(&witness, &schema));
             }
             Satisfiability::Unsatisfiable => println!("  {ty}: UNSATISFIABLE"),
@@ -33,9 +35,9 @@ fn audit(name: &str, sdl: &str, types: &[&str]) -> Result<(), Box<dyn std::error
                 bound,
                 tableau_satisfiable,
             } => match tableau_satisfiable {
-                Some(true) => println!(
-                    "  {ty}: no finite model (≤ {bound} nodes) — infinite models exist"
-                ),
+                Some(true) => {
+                    println!("  {ty}: no finite model (≤ {bound} nodes) — infinite models exist")
+                }
                 _ => println!("  {ty}: no finite model (≤ {bound} nodes) — tableau inconclusive"),
             },
         }

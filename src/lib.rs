@@ -4,4 +4,3 @@ pub use gql_sdl as sdl;
 pub use pg_reason as reason;
 pub use pg_schema as core;
 pub use pgraph as graph;
-

@@ -16,10 +16,7 @@ use pg_schema::{validate, PgSchema, Rule, ValidationOptions};
 use pgraph::{GraphBuilder, PropertyGraph};
 
 fn schema(rel_def: &str) -> PgSchema {
-    PgSchema::parse(&format!(
-        "type A {{ rel: {rel_def} }}\ntype B {{ x: Int }}"
-    ))
-    .unwrap()
+    PgSchema::parse(&format!("type A {{ rel: {rel_def} }}\ntype B {{ x: Int }}")).unwrap()
 }
 
 /// One A with edges to two different Bs.

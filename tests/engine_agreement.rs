@@ -1,7 +1,7 @@
-//! Property-based tests: the naive and indexed validation engines decide
-//! the same relation, on random schemas × random (possibly mutated)
-//! graphs; generated conforming graphs conform; injected defects are
-//! caught.
+//! Property-based tests: the naive, indexed and parallel validation
+//! engines decide the same relation, on random schemas × random
+//! (possibly mutated) graphs and across worker counts; generated
+//! conforming graphs conform; injected defects are caught.
 
 use pg_datagen::{GraphGen, GraphGenParams, SchemaGen, SchemaGenParams};
 use pg_schema::{validate, Engine, PgSchema, ValidationOptions};
@@ -23,7 +23,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Engines agree violation-for-violation on arbitrary (conforming or
-    /// not) generated graphs.
+    /// not) generated graphs — three ways, and for the parallel engine
+    /// across worker counts (1 exercises the degenerate shard, 2 the
+    /// cross-shard merge, 8 shards smaller than some label groups).
     #[test]
     fn engines_agree(schema_seed in 0u64..30, graph_seed in 0u64..30) {
         let schema = schema_for(schema_seed);
@@ -37,6 +39,17 @@ proptest! {
         let naive = validate(&graph, &schema, &ValidationOptions::with_engine(Engine::Naive));
         let indexed = validate(&graph, &schema, &ValidationOptions::with_engine(Engine::Indexed));
         prop_assert_eq!(&naive, &indexed, "naive:\n{}indexed:\n{}", naive, indexed);
+        for threads in [1usize, 2, 8] {
+            let opts = ValidationOptions::builder()
+                .engine(Engine::Parallel)
+                .threads(threads)
+                .build();
+            let parallel = validate(&graph, &schema, &opts);
+            prop_assert_eq!(
+                &parallel, &indexed,
+                "parallel ({} threads):\n{}indexed:\n{}", threads, parallel, indexed
+            );
+        }
     }
 
     /// Conforming generation + injection: each applicable defect is
@@ -56,11 +69,23 @@ proptest! {
         if !pg_datagen::inject(&mut g, &schema, defect) {
             return Ok(()); // defect not applicable to this schema
         }
-        for engine in [Engine::Naive, Engine::Indexed] {
+        for engine in [Engine::Naive, Engine::Indexed, Engine::Parallel] {
             let report = validate(&g, &schema, &ValidationOptions::with_engine(engine));
             prop_assert!(
                 report.by_rule(defect.rule()).next().is_some(),
                 "{:?} not caught by {:?}; report:\n{}", defect, engine, report
+            );
+        }
+        // Injected defects survive sharding at any worker count.
+        for threads in [2usize, 8] {
+            let opts = ValidationOptions::builder()
+                .engine(Engine::Parallel)
+                .threads(threads)
+                .build();
+            let report = validate(&g, &schema, &opts);
+            prop_assert!(
+                report.by_rule(defect.rule()).next().is_some(),
+                "{:?} lost at {} threads; report:\n{}", defect, threads, report
             );
         }
     }

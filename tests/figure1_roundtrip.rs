@@ -92,7 +92,9 @@ fn figure_1_classification() {
     let starship = schema.label_type("Starship").unwrap();
     assert_eq!(schema.attributes(starship).len(), 3);
     // Enum LenUnit folded into scalars.
-    assert!(schema.schema().is_scalar(schema.label_type("LenUnit").unwrap()));
+    assert!(schema
+        .schema()
+        .is_scalar(schema.label_type("LenUnit").unwrap()));
 }
 
 #[test]

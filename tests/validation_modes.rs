@@ -29,19 +29,17 @@ fn tri_violating_graph() -> PropertyGraph {
 }
 
 fn options(weak: bool, directives: bool, strong: bool, engine: Engine) -> ValidationOptions {
-    ValidationOptions {
-        engine,
-        weak,
-        directives,
-        strong,
-    }
+    ValidationOptions::builder()
+        .engine(engine)
+        .families(weak, directives, strong)
+        .build()
 }
 
 #[test]
 fn each_family_is_independently_selectable() {
     let s = schema();
     let g = tri_violating_graph();
-    for engine in [Engine::Naive, Engine::Indexed] {
+    for engine in [Engine::Naive, Engine::Indexed, Engine::Parallel] {
         let weak = validate(&g, &s, &options(true, false, false, engine));
         assert_eq!(weak.len(), 1, "{weak}");
         assert_eq!(weak.violations()[0].rule(), Rule::WS1);
@@ -60,11 +58,14 @@ fn each_family_is_independently_selectable() {
 fn full_run_is_the_union_of_the_families() {
     let s = schema();
     let g = tri_violating_graph();
-    for engine in [Engine::Naive, Engine::Indexed] {
+    for engine in [Engine::Naive, Engine::Indexed, Engine::Parallel] {
         let full = validate(&g, &s, &ValidationOptions::with_engine(engine));
         assert_eq!(full.len(), 3, "{full}");
-        let mut families: Vec<RuleFamily> =
-            full.violations().iter().map(|v| v.rule().family()).collect();
+        let mut families: Vec<RuleFamily> = full
+            .violations()
+            .iter()
+            .map(|v| v.rule().family())
+            .collect();
         families.dedup();
         assert_eq!(
             families,
@@ -112,15 +113,74 @@ fn directive_constraints_apply_even_on_weakly_invalid_graphs() {
 }
 
 #[test]
+fn max_violations_truncates_on_every_engine() {
+    let s = schema();
+    let g = tri_violating_graph();
+    for engine in [Engine::Naive, Engine::Indexed, Engine::Parallel] {
+        let opts = ValidationOptions::builder()
+            .engine(engine)
+            .max_violations(1)
+            .build();
+        let r = validate(&g, &s, &opts);
+        assert!(r.truncated(), "{engine:?}");
+        assert!(r.len() <= 1, "{engine:?}: {r}");
+        assert!(!r.conforms());
+        // The unlimited run still sees all three violations.
+        let full = validate(&g, &s, &ValidationOptions::with_engine(engine));
+        assert_eq!(full.len(), 3, "{engine:?}");
+        assert!(!full.truncated());
+        // A zero limit checks nothing, so it must not certify conformance.
+        let zero = ValidationOptions::builder()
+            .engine(engine)
+            .max_violations(0)
+            .build();
+        let r = validate(&g, &s, &zero);
+        assert!(r.is_empty() && r.truncated() && !r.conforms(), "{engine:?}");
+    }
+}
+
+#[test]
+fn metrics_are_opt_in_and_engine_tagged() {
+    let s = schema();
+    let g = tri_violating_graph();
+    let silent = validate(&g, &s, &ValidationOptions::default());
+    assert!(silent.metrics().is_none());
+    for (engine, name) in [
+        (Engine::Naive, "naive"),
+        (Engine::Indexed, "indexed"),
+        (Engine::Parallel, "parallel"),
+    ] {
+        let opts = ValidationOptions::builder()
+            .engine(engine)
+            .collect_metrics(true)
+            .build();
+        let r = validate(&g, &s, &opts);
+        assert_eq!(r, silent, "metrics must not change the verdict");
+        let m = r.metrics().expect("metrics were requested");
+        assert_eq!(m.engine, name);
+        assert_eq!(m.families.len(), 3, "{engine:?}: {m}");
+        assert!(m.nodes_scanned >= 1, "{engine:?}");
+        let attributed: usize = m.families.iter().map(|f| f.violations).sum();
+        assert_eq!(attributed, r.len(), "{engine:?}: {m}");
+        if engine == Engine::Parallel {
+            assert!(!m.shard_elements.is_empty());
+            assert!(m.shard_skew().is_some());
+        } else {
+            assert!(m.shard_elements.is_empty());
+            assert!(m.shard_skew().is_none());
+        }
+        // The JSON rendering carries the metrics block.
+        assert!(r.to_json().contains("\"metrics\""));
+    }
+}
+
+#[test]
 fn report_accessors_are_consistent() {
     let s = schema();
     let g = tri_violating_graph();
     let report = validate(&g, &s, &ValidationOptions::default());
     assert_eq!(report.violations().len(), report.len());
-    assert_eq!(
-        report.counts().values().sum::<usize>(),
-        report.len()
-    );
+    assert_eq!(report.counts().values().sum::<usize>(), report.len());
     for rule in Rule::ALL {
         assert_eq!(
             report.by_rule(rule).count(),

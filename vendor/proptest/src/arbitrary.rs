@@ -1,0 +1,104 @@
+//! `any::<T>()` for the primitive types the workspace tests use.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical strategy, as in `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// The canonical strategy for this type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy backing [`any`] for one primitive type.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+macro_rules! impl_any {
+    ($t:ty, |$rng:ident| $draw:expr) => {
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, $rng: &mut TestRng) -> $t {
+                $draw
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = Any<$t>;
+            fn arbitrary() -> Any<$t> {
+                Any(PhantomData)
+            }
+        }
+    };
+}
+
+impl_any!(bool, |rng| rng.next_u64() & 1 == 1);
+impl_any!(u8, |rng| rng.next_u64() as u8);
+impl_any!(u16, |rng| rng.next_u64() as u16);
+impl_any!(u32, |rng| rng.next_u64() as u32);
+impl_any!(u64, |rng| rng.next_u64());
+impl_any!(usize, |rng| rng.next_u64() as usize);
+impl_any!(i8, |rng| rng.next_u64() as i8);
+impl_any!(i16, |rng| rng.next_u64() as i16);
+impl_any!(i32, |rng| rng.next_u64() as i32);
+impl_any!(i64, |rng| rng.next_u64() as i64);
+impl_any!(isize, |rng| rng.next_u64() as isize);
+// Finite, non-NaN floats only: serialization roundtrip properties rely on
+// `x == x`. Mix small human-scale values with full-range bit patterns.
+impl_any!(f64, |rng| {
+    loop {
+        let v = if rng.next_u64() & 1 == 0 {
+            // Small values around zero, including negatives and fractions.
+            (rng.next_u64() as i64 % 2_000_000) as f64 / 128.0
+        } else {
+            f64::from_bits(rng.next_u64())
+        };
+        if v.is_finite() {
+            return v;
+        }
+    }
+});
+impl_any!(f32, |rng| {
+    loop {
+        let v = f32::from_bits(rng.next_u64() as u32);
+        if v.is_finite() {
+            return v;
+        }
+    }
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_are_always_finite() {
+        let mut rng = TestRng::for_case("any-f64", 0);
+        let s = any::<f64>();
+        for _ in 0..5000 {
+            let v = s.generate(&mut rng);
+            assert!(v.is_finite(), "non-finite f64 generated: {v}");
+        }
+    }
+
+    #[test]
+    fn bools_cover_both_values() {
+        let mut rng = TestRng::for_case("any-bool", 0);
+        let s = any::<bool>();
+        let trues = (0..100).filter(|_| s.generate(&mut rng)).count();
+        assert!(trues > 10 && trues < 90);
+    }
+}

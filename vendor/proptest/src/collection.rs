@@ -1,0 +1,89 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An inclusive size window for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    /// Bounds as an inclusive `(lo, hi)` pair.
+    pub fn bounds(self) -> (usize, usize) {
+        (self.lo, self.hi)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Strategy producing a `Vec` whose length is drawn from `size` and whose
+/// elements come from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let (lo, hi) = self.size.bounds();
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Just;
+
+    #[test]
+    fn length_respects_all_size_range_forms() {
+        let mut rng = TestRng::for_case("vec-sizes", 0);
+        for _ in 0..200 {
+            assert_eq!(vec(Just(0u8), 3usize).generate(&mut rng).len(), 3);
+            let a = vec(Just(0u8), 1..4).generate(&mut rng).len();
+            assert!((1..4).contains(&a));
+            let b = vec(Just(0u8), 2..=5).generate(&mut rng).len();
+            assert!((2..=5).contains(&b));
+        }
+    }
+}
