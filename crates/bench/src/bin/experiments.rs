@@ -31,6 +31,15 @@ fn main() {
         };
         println!("{}", tables::validation_scaling(sizes, cap, iters));
     }
+    if run("E2i") {
+        println!("## E2i — incremental revalidation vs full re-validation\n");
+        let (sizes, iters): (&[usize], usize) = if quick {
+            (&[200, 400], 3)
+        } else {
+            (&[1000, 4000, 16000], 5)
+        };
+        println!("{}", tables::incremental_scaling(sizes, iters));
+    }
     if run("E3") {
         println!("## E3 — validation vs schema size (combined complexity)\n");
         let counts: &[usize] = if quick { &[4, 8] } else { &[4, 8, 16, 32, 64] };

@@ -8,9 +8,12 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use dpll::KsatParams;
-use pg_datagen::{inject, Defect, GraphGen, GraphGenParams, SchemaGen, SchemaGenParams};
+use pg_datagen::{
+    inject, Defect, DeltaGen, DeltaGenParams, GraphGen, GraphGenParams, SchemaGen, SchemaGenParams,
+};
 use pg_reason::{check_object_type, ReasonerConfig, Satisfiability};
-use pg_schema::{validate, Engine, PgSchema, ValidationOptions};
+use pg_schema::{validate, Engine, IncrementalEngine, PgSchema, ValidationOptions};
+use pgraph::{GraphDelta, Value};
 
 use crate::{fit_exponent, fmt_duration, time_median};
 
@@ -122,6 +125,104 @@ pub fn validation_scaling(sizes: &[usize], naive_cap: usize, iters: usize) -> St
         fit_exponent(&indexed_pts),
         fit_exponent(&naive_pts)
     );
+    out
+}
+
+/// E2i — incremental revalidation vs full re-validation, per delta.
+///
+/// For each graph size, a full indexed pass is timed against an
+/// [`IncrementalEngine`] absorbing (a) a single-op delta toggling one
+/// node property and (b) a pre-generated 16-op random [`DeltaGen`]
+/// batch. The `re-checked` column is the dirty-region size the 1-op
+/// delta actually touched, out of all live elements.
+pub fn incremental_scaling(sizes: &[usize], iters: usize) -> String {
+    let schema = PgSchema::parse(pg_datagen::schemagen::social_schema()).unwrap();
+    let mut out = String::from(
+        "| nodes | edges | full indexed | 1-op delta | speedup | 16-op delta | re-checked (1-op) |\n\
+         |---|---|---|---|---|---|---|\n",
+    );
+    for &npt in sizes {
+        let graph = GraphGen::new(
+            &schema,
+            GraphGenParams {
+                nodes_per_type: npt,
+                ..Default::default()
+            },
+        )
+        .generate_conforming(5)
+        .expect("social schema generable");
+        let n = graph.node_count();
+        let e = graph.edge_count();
+        let t_full = time_median(iters, || {
+            validate(
+                &graph,
+                &schema,
+                &ValidationOptions::with_engine(Engine::Indexed),
+            )
+        });
+
+        // (a) Single-op deltas: toggle one declared attribute of the
+        // first node between two well-typed values.
+        let options = ValidationOptions::default();
+        let mut engine = IncrementalEngine::new(graph.clone(), &schema, &options);
+        let target = graph.node_ids().next().expect("non-empty graph");
+        let attr = graph
+            .node_label(target)
+            .and_then(|l| schema.label_type(l))
+            .and_then(|t| schema.attributes(t).first())
+            .map_or_else(|| "x".to_owned(), |a| a.name.clone());
+        let outcome = engine
+            .apply(&GraphDelta::new().set_node_property(
+                target,
+                attr.clone(),
+                Value::String("e2i-prime".to_owned()),
+            ))
+            .expect("1-op delta applies");
+        let mut flip = false;
+        let t_one = time_median(iters.max(20) * 5, || {
+            flip = !flip;
+            let v = Value::String(if flip { "e2i-a" } else { "e2i-b" }.to_owned());
+            engine
+                .apply(&GraphDelta::new().set_node_property(target, attr.clone(), v))
+                .expect("1-op delta applies");
+        });
+
+        // (b) 16-op random batches, pre-generated against a scratch
+        // clone so generation cost stays out of the timing.
+        let gen = DeltaGen::new(
+            &schema,
+            DeltaGenParams {
+                ops: 16,
+                ..Default::default()
+            },
+        );
+        let mut scratch = graph.clone();
+        let deltas: Vec<GraphDelta> = (0..iters.max(10) as u64)
+            .map(|seed| {
+                let d = gen.generate_seeded(&scratch, seed);
+                d.apply_to(&mut scratch)
+                    .expect("conflict-free by construction");
+                d
+            })
+            .collect();
+        let mut batch_engine = IncrementalEngine::new(graph.clone(), &schema, &options);
+        let mut i = 0;
+        let t_batch = time_median(deltas.len(), || {
+            batch_engine.apply(&deltas[i]).expect("applies");
+            i += 1;
+        });
+
+        let _ = writeln!(
+            out,
+            "| {n} | {e} | {} | {} | {:.0}× | {} | {} of {} |",
+            fmt_duration(t_full),
+            fmt_duration(t_one),
+            t_full.as_secs_f64() / t_one.as_secs_f64(),
+            fmt_duration(t_batch),
+            outcome.elements_rechecked,
+            outcome.elements_total,
+        );
+    }
     out
 }
 
@@ -503,6 +604,13 @@ mod tests {
     fn validation_scaling_smoke() {
         let t = validation_scaling(&[20, 40], 40, 1);
         assert!(t.contains("fitted growth exponent"), "{t}");
+    }
+
+    #[test]
+    fn incremental_scaling_smoke() {
+        let t = incremental_scaling(&[20], 1);
+        assert!(t.contains("of "), "{t}");
+        assert_eq!(t.lines().count(), 3, "{t}");
     }
 
     #[test]

@@ -13,8 +13,10 @@ const USAGE: &str = "\
 pgschema — GraphQL SDL schemas for Property Graphs
 
 USAGE:
-    pgschema validate <schema.graphql> <graph.json> [--engine naive|indexed|parallel]
-                      [--threads N] [--max-violations N] [--metrics] [--weak-only] [--json]
+    pgschema validate <schema.graphql> <graph.json>
+                      [--engine naive|indexed|parallel|incremental] [--threads N]
+                      [--max-violations N] [--metrics] [--weak-only] [--json]
+                      [--watch-delta delta.json]...
     pgschema consistency <schema.graphql>
     pgschema check-sat <schema.graphql> <TypeName> [--max-size K] [--field f] [--dot]
     pgschema generate <schema.graphql> [--nodes N] [--seed S] [--out FILE]
@@ -93,7 +95,7 @@ fn load_schema(path: &str) -> Result<PgSchema> {
 fn cmd_validate(rest: &[String]) -> Result<()> {
     let (pos, values, bools) = parse_flags(
         rest,
-        &["engine", "threads", "max-violations"],
+        &["engine", "threads", "max-violations", "watch-delta"],
         &["weak-only", "json", "metrics"],
     )?;
     let [schema_path, graph_path] = pos.as_slice() else {
@@ -107,6 +109,7 @@ fn cmd_validate(rest: &[String]) -> Result<()> {
     if bools.contains(&"weak-only") {
         builder = builder.families(true, false, false);
     }
+    let mut delta_paths: Vec<&str> = Vec::new();
     for (k, v) in values {
         match k {
             "engine" => {
@@ -114,6 +117,7 @@ fn cmd_validate(rest: &[String]) -> Result<()> {
                     "naive" => Engine::Naive,
                     "indexed" => Engine::Indexed,
                     "parallel" => Engine::Parallel,
+                    "incremental" => Engine::Incremental,
                     other => return Err(format!("unknown engine `{other}`")),
                 });
             }
@@ -129,8 +133,18 @@ fn cmd_validate(rest: &[String]) -> Result<()> {
                         .map_err(|_| format!("--max-violations: not a number: {v}"))?,
                 );
             }
+            "watch-delta" => delta_paths.push(v),
             _ => unreachable!(),
         }
+    }
+    if !delta_paths.is_empty() {
+        return validate_deltas(
+            graph,
+            &schema,
+            &builder.build(),
+            &delta_paths,
+            bools.contains(&"json"),
+        );
     }
     let report = validate(&graph, &schema, &builder.build());
     if bools.contains(&"json") {
@@ -153,6 +167,55 @@ fn cmd_validate(rest: &[String]) -> Result<()> {
                 ""
             }
         ))
+    }
+}
+
+/// `validate --watch-delta`: seed an incremental session with the graph,
+/// then apply each delta file in order, reporting what every step
+/// re-checked. Exit status reflects the *final* report.
+fn validate_deltas(
+    graph: pgraph::PropertyGraph,
+    schema: &PgSchema,
+    options: &ValidationOptions,
+    delta_paths: &[&str],
+    json: bool,
+) -> Result<()> {
+    let mut engine = pg_schema::IncrementalEngine::new(graph, schema, options);
+    if json {
+        // NDJSON: one report per line — the seed state, then one line per
+        // applied delta.
+        println!("{}", engine.report().to_json());
+    } else {
+        print!("initial: {}", engine.report());
+    }
+    for path in delta_paths {
+        let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let delta = pgraph::json::delta_from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        let outcome = engine.apply(&delta).map_err(|e| format!("{path}: {e}"))?;
+        if json {
+            println!("{}", engine.report().to_json());
+        } else {
+            println!(
+                "applied {path}: re-checked {} of {} element(s), \
+                 +{} / -{} violation(s)",
+                outcome.elements_rechecked,
+                outcome.elements_total,
+                outcome.violations_added,
+                outcome.violations_removed
+            );
+        }
+    }
+    let report = engine.report();
+    if !json {
+        print!("final: {report}");
+        if let Some(m) = report.metrics() {
+            println!("{m}");
+        }
+    }
+    if report.conforms() {
+        Ok(())
+    } else {
+        Err(format!("{} violation(s)", report.len()))
     }
 }
 

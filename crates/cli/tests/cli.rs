@@ -65,7 +65,7 @@ fn validate_rejects_violating_graph_with_rule_names() {
 fn validate_engines_agree_via_flag() {
     let schema = write_tmp("s3.graphql", SCHEMA);
     let graph = write_tmp("g3.json", GOOD_GRAPH);
-    for engine in ["naive", "indexed"] {
+    for engine in ["naive", "indexed", "incremental"] {
         let out = pgschema(&["validate", &schema, &graph, "--engine", engine]);
         assert!(out.status.success(), "engine {engine}");
     }
@@ -85,7 +85,62 @@ fn validate_json_output() {
     assert!(!out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("\"conforms\": false"), "{stdout}");
+    assert!(stdout.contains("\"engine\": \"indexed\""), "{stdout}");
+    assert!(stdout.contains("\"truncated\": false"), "{stdout}");
     assert!(stdout.contains("\"rule\": \"WS1\""), "{stdout}");
+}
+
+#[test]
+fn validate_watch_delta_tracks_mutations() {
+    let schema = write_tmp("swd.graphql", SCHEMA);
+    let graph = write_tmp("gwd.json", GOOD_GRAPH);
+    let break_login = write_tmp(
+        "d1.json",
+        r#"{"ops": [{"op": "set-node-property", "node": 0, "name": "login", "value": 7}]}"#,
+    );
+    let repair_login = write_tmp(
+        "d2.json",
+        r#"{"ops": [{"op": "set-node-property", "node": 0, "name": "login", "value": "bob"}]}"#,
+    );
+    // Break then repair: conforming at the end, exit 0, both steps shown.
+    let out = pgschema(&[
+        "validate",
+        &schema,
+        &graph,
+        "--watch-delta",
+        &break_login,
+        "--watch-delta",
+        &repair_login,
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("+1 / -0 violation(s)"), "{stdout}");
+    assert!(stdout.contains("+0 / -1 violation(s)"), "{stdout}");
+    // Break only: exit 1 and an NDJSON report per step in --json mode.
+    let out = pgschema(&[
+        "validate",
+        &schema,
+        &graph,
+        "--json",
+        "--watch-delta",
+        &break_login,
+    ]);
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "{stdout}");
+    assert!(lines[0].contains("\"conforms\": true"), "{stdout}");
+    assert!(lines[1].contains("\"conforms\": false"), "{stdout}");
+    assert!(lines[1].contains("\"engine\": \"incremental\""), "{stdout}");
+    assert!(lines[1].contains("\"rule\": \"WS1\""), "{stdout}");
+    // A delta referencing a missing element is a clean error.
+    let bad = write_tmp("d3.json", r#"{"ops": [{"op": "remove-node", "node": 99}]}"#);
+    let out = pgschema(&["validate", &schema, &graph, "--watch-delta", &bad]);
+    assert!(!out.status.success());
 }
 
 #[test]

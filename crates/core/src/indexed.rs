@@ -40,8 +40,21 @@ pub(crate) fn run(
     s: &PgSchema,
     options: &ValidationOptions,
 ) -> ValidationReport {
+    run_named(g, s, options, "indexed")
+}
+
+/// The full indexed pass under a caller-chosen engine name — the
+/// incremental engine's seeding run and the stateless
+/// `Engine::Incremental` path report themselves as `"incremental"` while
+/// running exactly this code.
+pub(crate) fn run_named(
+    g: &PropertyGraph,
+    s: &PgSchema,
+    options: &ValidationOptions,
+    engine_name: &'static str,
+) -> ValidationReport {
     let mut r = ValidationReport::with_limit(options.max_violations);
-    let mut rec = MetricsRecorder::new(options.collect_metrics, "indexed", 1);
+    let mut rec = MetricsRecorder::new(options.collect_metrics, engine_name, 1);
 
     let start = Instant::now();
     let ix = GraphIndex::build(g);

@@ -16,20 +16,27 @@
 //! * **strong satisfaction** — rules [`Rule::SS1`]–[`Rule::SS4`]: every
 //!   node, property and edge must be *justified* by a schema element.
 //!
-//! Three interchangeable engines decide the same relation:
+//! Four interchangeable engines decide the same relation:
 //!
 //! * [`Engine::Naive`] transcribes the paper's first-order formulas
 //!   directly (nested loops; the `O(n²)`–`O(n³)` algorithm discussed after
 //!   Theorem 1),
 //! * [`Engine::Indexed`] is the serial production engine: one
 //!   `O(|V| + |E|)` indexing pass plus hash-group checks, near-linear in
-//!   practice, and
+//!   practice,
 //! * [`Engine::Parallel`] shards the node/edge id spaces over worker
 //!   threads running the indexed engine's rule checks, merging shard
-//!   reports deterministically.
+//!   reports deterministically, and
+//! * [`Engine::Incremental`] is the stateless face of the
+//!   [`IncrementalEngine`], which keeps a report up to date across
+//!   [`pgraph::GraphDelta`] mutations by re-checking only the dirty
+//!   region (see the [`incremental`] module for the rule dependency
+//!   analysis).
 //!
-//! Three-way engine agreement is property-tested; benchmark E2 in
-//! EXPERIMENTS.md measures the separation.
+//! Four-way engine agreement is property-tested — including agreement of
+//! the incremental engine with full revalidation after arbitrary mutation
+//! sequences; benchmarks E2 and E2i in EXPERIMENTS.md measure the
+//! separations.
 //!
 //! ```
 //! use pg_schema::{PgSchema, validate, ValidationOptions};
@@ -68,6 +75,7 @@
 
 pub mod api_extension;
 pub mod diff;
+pub mod incremental;
 mod indexed;
 mod metrics;
 mod naive;
@@ -76,6 +84,7 @@ mod pgschema;
 pub mod report;
 
 pub use api_extension::ApiExtensionError;
+pub use incremental::{DeltaOutcome, IncrementalEngine};
 pub use pgschema::{
     AttributeDef, ConstraintSite, FieldClass, KeyConstraint, PgSchema, PgSchemaError,
     RelationshipDef,
@@ -96,6 +105,24 @@ pub enum Engine {
     /// (`@key`) aggregate shard-local tables in one merge pass. Worker
     /// count comes from [`ValidationOptions::threads`].
     Parallel,
+    /// Delta-driven engine. A bare [`validate`] call has no prior report
+    /// to patch, so this degenerates to one full indexed-library pass;
+    /// the speedup comes from holding an [`IncrementalEngine`] session
+    /// and feeding it [`pgraph::GraphDelta`]s.
+    Incremental,
+}
+
+impl Engine {
+    /// The engine's wire name, as reported by
+    /// [`ValidationReport::engine`] and the CLI's `--engine` flag.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Naive => "naive",
+            Engine::Indexed => "indexed",
+            Engine::Parallel => "parallel",
+            Engine::Incremental => "incremental",
+        }
+    }
 }
 
 /// Which rule families to check, with which engine, and under which
@@ -241,7 +268,9 @@ pub fn validate(
         Engine::Naive => naive::run(graph, schema, options),
         Engine::Indexed => indexed::run(graph, schema, options),
         Engine::Parallel => parallel::run(graph, schema, options),
+        Engine::Incremental => incremental::run(graph, schema, options),
     };
+    report.set_engine(options.engine.name());
     // Once the limit is reached the engines stop scanning, so whether
     // further violations exist is unknown — that is what `truncated`
     // reports. Checked before canonicalisation, which may dedup the

@@ -388,7 +388,8 @@ pub struct FamilyMetrics {
 /// family the scan serves — weak, when both weak and strong are enabled.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ValidationMetrics {
-    /// Engine name: `"naive"`, `"indexed"` or `"parallel"`.
+    /// Engine name: `"naive"`, `"indexed"`, `"parallel"` or
+    /// `"incremental"`.
     pub engine: &'static str,
     /// Worker threads used (1 for the serial engines).
     pub threads: usize,
@@ -405,6 +406,15 @@ pub struct ValidationMetrics {
     /// Live elements (`|V| + |E|`) per shard — empty for serial engines.
     /// The spread between entries is the shard skew.
     pub shard_elements: Vec<u64>,
+    /// Elements actually re-checked by the run. Equals
+    /// [`elements_total`](Self::elements_total) for the full engines; the
+    /// incremental engine reports the dirty-region size here, so the
+    /// ratio of the two is the work saved by a delta-driven re-check.
+    pub elements_rechecked: u64,
+    /// Live elements (`|V| + |E|`) of the validated graph. `0` when the
+    /// engine did not record the recheck ratio (full engines before a
+    /// graph was measured).
+    pub elements_total: u64,
 }
 
 impl ValidationMetrics {
@@ -465,6 +475,15 @@ impl fmt::Display for ValidationMetrics {
                 skew
             )?;
         }
+        if self.elements_total > 0 {
+            writeln!(
+                f,
+                "re-checked: {} of {} elements ({:.2}%)",
+                self.elements_rechecked,
+                self.elements_total,
+                100.0 * self.elements_rechecked as f64 / self.elements_total as f64
+            )?;
+        }
         write!(f, "total: {:.3} ms", self.total_nanos() as f64 / 1e6)
     }
 }
@@ -481,6 +500,7 @@ pub struct ValidationReport {
     limit: Option<usize>,
     truncated: bool,
     metrics: Option<ValidationMetrics>,
+    engine: Option<&'static str>,
 }
 
 impl PartialEq for ValidationReport {
@@ -496,9 +516,7 @@ impl ValidationReport {
     pub fn new(violations: Vec<Violation>) -> Self {
         ValidationReport {
             violations,
-            limit: None,
-            truncated: false,
-            metrics: None,
+            ..ValidationReport::default()
         }
     }
 
@@ -539,6 +557,18 @@ impl ValidationReport {
 
     pub(crate) fn set_truncated(&mut self, truncated: bool) {
         self.truncated = truncated;
+    }
+
+    /// The engine that produced the report (`"naive"`, `"indexed"`,
+    /// `"parallel"` or `"incremental"`), set by [`validate`](crate::validate)
+    /// and by the incremental engine; `None` for hand-assembled reports.
+    /// Ignored by equality, like [`metrics`](Self::metrics).
+    pub fn engine(&self) -> Option<&'static str> {
+        self.engine
+    }
+
+    pub(crate) fn set_engine(&mut self, engine: &'static str) {
+        self.engine = Some(engine);
     }
 
     /// Instrumentation of the run, when
@@ -596,13 +626,17 @@ impl ValidationReport {
     /// (CI pipelines via `pgschema validate --json`):
     ///
     /// ```json
-    /// {"conforms": false, "truncated": false, "violations": [
-    ///     {"rule": "WS1", "family": "weak", "message": "…"}]}
+    /// {"conforms": false, "engine": "indexed", "truncated": false,
+    ///  "violations": [{"rule": "WS1", "family": "weak", "message": "…"}]}
     /// ```
     ///
+    /// The `"engine"` key appears when [`engine`](Self::engine) is set
+    /// (always, for reports coming out of [`validate`](crate::validate)).
     /// When metrics were collected a `"metrics"` object is appended with
-    /// engine, threads, scan counters, per-family nanosecond timings and
-    /// per-shard element counts.
+    /// engine, threads, scan counters, per-family nanosecond timings,
+    /// per-shard element counts and the re-checked/total element counters.
+    /// The full schema of this document is specified in the repository
+    /// README ("JSON report schema").
     pub fn to_json(&self) -> String {
         fn esc(s: &str) -> String {
             let mut out = String::with_capacity(s.len() + 2);
@@ -626,11 +660,14 @@ impl ValidationReport {
                 RuleFamily::Strong => "strong",
             }
         }
-        let mut out = format!(
-            "{{\"conforms\": {}, \"truncated\": {}, \"violations\": [",
-            self.conforms(),
+        let mut out = format!("{{\"conforms\": {}", self.conforms());
+        if let Some(engine) = self.engine {
+            out.push_str(&format!(", \"engine\": \"{engine}\""));
+        }
+        out.push_str(&format!(
+            ", \"truncated\": {}, \"violations\": [",
             self.truncated
-        );
+        ));
         for (i, v) in self.violations.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
@@ -668,7 +705,10 @@ impl ValidationReport {
                 }
                 out.push_str(&n.to_string());
             }
-            out.push_str("]}");
+            out.push_str(&format!(
+                "], \"elements_rechecked\": {}, \"elements_total\": {}}}",
+                m.elements_rechecked, m.elements_total
+            ));
         }
         out.push('}');
         out
@@ -811,6 +851,8 @@ mod tests {
                 violations: 3,
             }],
             shard_elements: vec![40, 40, 40, 30],
+            elements_rechecked: 150,
+            elements_total: 150,
         });
         let json = r.to_json();
         assert!(json.contains("\"metrics\""), "{json}");

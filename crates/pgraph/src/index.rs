@@ -58,6 +58,50 @@ impl GraphIndex {
         ix
     }
 
+    /// Builds an index over a *subgraph*: only the given nodes populate the
+    /// label index and only the given edges populate the adjacency groups.
+    /// Dead ids are skipped silently.
+    ///
+    /// This is the substrate of incremental revalidation: for a dirty node
+    /// set `D`, indexing `D` plus every edge incident to a node of `D`
+    /// yields groups that are *complete* for every group key in `D` (all
+    /// incident edges of a dirty node are present), while groups keyed by
+    /// non-dirty nodes may be partial — callers must filter those out via
+    /// their ownership predicate, exactly as the sharded engine does.
+    pub fn build_partial(
+        g: &PropertyGraph,
+        nodes: impl IntoIterator<Item = NodeId>,
+        edges: impl IntoIterator<Item = EdgeId>,
+    ) -> Self {
+        let mut ix = GraphIndex::default();
+        for id in nodes {
+            if let Some(n) = g.node(id) {
+                ix.by_label
+                    .entry(n.label().to_owned())
+                    .or_default()
+                    .push(id);
+            }
+        }
+        for id in edges {
+            if let Some(e) = g.edge(id) {
+                let label = e.label().to_owned();
+                ix.out_by_label
+                    .entry((e.source(), label.clone()))
+                    .or_default()
+                    .push(id);
+                ix.in_by_label
+                    .entry((e.target(), label.clone()))
+                    .or_default()
+                    .push(id);
+                ix.parallel
+                    .entry((e.source(), label, e.target()))
+                    .or_default()
+                    .push(id);
+            }
+        }
+        ix
+    }
+
     /// All nodes labelled `label` (empty slice if none).
     pub fn nodes_with_label(&self, label: &str) -> &[NodeId] {
         self.by_label.get(label).map_or(&[], Vec::as_slice)
@@ -192,5 +236,28 @@ mod tests {
         let ix = GraphIndex::build(&PropertyGraph::new());
         assert_eq!(ix.label_count(), 0);
         assert_eq!(ix.out_groups().count(), 0);
+    }
+
+    #[test]
+    fn partial_index_covers_exactly_the_given_elements() {
+        let g = sample();
+        let a1 = g.node_ids().next().unwrap();
+        let incident: Vec<_> = g
+            .edges()
+            .filter(|e| e.source() == a1 || e.target() == a1)
+            .map(|e| e.id)
+            .collect();
+        let ix = GraphIndex::build_partial(&g, [a1], incident.clone());
+        assert_eq!(ix.nodes_with_label("A"), &[a1]);
+        assert_eq!(ix.nodes_with_label("B"), &[] as &[NodeId]);
+        // Groups keyed by a1 are complete.
+        assert_eq!(ix.out_edges_labelled(a1, "rel").len(), 2);
+        assert_eq!(ix.in_edges_labelled(a1, "back").len(), 1);
+        // Dead ids are skipped.
+        let mut g2 = g.clone();
+        g2.remove_node(a1).unwrap();
+        let ix2 = GraphIndex::build_partial(&g2, [a1], incident);
+        assert_eq!(ix2.label_count(), 0);
+        assert_eq!(ix2.out_groups().count(), 0);
     }
 }

@@ -19,6 +19,9 @@
 //! from its substrate:
 //!
 //! * mutation and bulk-construction APIs ([`PropertyGraph`], [`GraphBuilder`]),
+//! * mutation logs ([`delta::GraphDelta`]) that capture an evolution step
+//!   as a value and report exactly what they touched — the substrate for
+//!   incremental revalidation,
 //! * secondary indexes (label index, out/in adjacency grouped by edge label)
 //!   via [`index::GraphIndex`],
 //! * traversal helpers ([`traverse`]),
@@ -48,6 +51,7 @@ mod graph;
 mod value;
 
 pub mod csv;
+pub mod delta;
 pub mod dot;
 pub mod index;
 pub mod json;
@@ -56,5 +60,6 @@ pub mod stats;
 pub mod traverse;
 
 pub use builder::{BuildError, GraphBuilder};
+pub use delta::{DeltaEffect, DeltaOp, EdgeTouch, GraphDelta};
 pub use graph::{EdgeId, EdgeRef, GraphError, NodeId, NodeRef, PropertyGraph};
 pub use value::{Value, ValueKind};

@@ -1,4 +1,10 @@
-//! A completion-tree tableau for ALCQI.
+//! A completion-tree tableau for ALCQI — the decision procedure behind
+//! Theorem 3.
+//!
+//! The paper's Theorem 3 places object-type satisfiability in PSPACE by
+//! translating the schema into an ALCQI TBox (see
+//! [`translate`](crate::translate)) and appealing to a decision
+//! procedure for that logic; this module *is* that procedure.
 //!
 //! Decides concept satisfiability w.r.t. the (internalised) TBox, i.e.
 //! *unrestricted* satisfiability — models may be infinite; termination on

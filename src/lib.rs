@@ -1,6 +1,28 @@
-//! Umbrella crate: re-exports the workspace public API for examples and integration tests.
+//! Umbrella crate for the `pg-schema` workspace.
+//!
+//! Re-exports the workspace public API under stable module names for the
+//! `examples/` programs and the cross-crate integration tests in
+//! `tests/`:
+//!
+//! * [`graph`] — the Property Graph model (`pgraph`),
+//! * [`sdl`] — the GraphQL SDL front-end (`gql-sdl`),
+//! * [`schema`] — the formal schema model of §4 (`gql-schema`),
+//! * [`core`] — validation semantics and engines (`pg-schema`),
+//! * [`reason`] — the §6.2 satisfiability reasoner (`pg-reason`).
+//!
+//! The crate also anchors the repository's documentation tests: the
+//! fenced Rust snippets in `README.md` are compiled and run as doctests
+//! of the hidden `ReadmeDoctests` item below, so the README's API
+//! examples cannot rot.
+
 pub use gql_schema as schema;
 pub use gql_sdl as sdl;
 pub use pg_reason as reason;
 pub use pg_schema as core;
 pub use pgraph as graph;
+
+/// Compiles every ```` ```rust ```` snippet in `README.md` under
+/// `cargo test --doc`.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;

@@ -1,10 +1,12 @@
-//! Property-based tests: the naive, indexed and parallel validation
-//! engines decide the same relation, on random schemas × random
-//! (possibly mutated) graphs and across worker counts; generated
-//! conforming graphs conform; injected defects are caught.
+//! Property-based tests: the naive, indexed, parallel and incremental
+//! validation engines decide the same relation, on random schemas ×
+//! random (possibly mutated) graphs, across worker counts, and — for
+//! the incremental engine — after every step of arbitrary mutation
+//! sequences; generated conforming graphs conform; injected defects are
+//! caught.
 
-use pg_datagen::{GraphGen, GraphGenParams, SchemaGen, SchemaGenParams};
-use pg_schema::{validate, Engine, PgSchema, ValidationOptions};
+use pg_datagen::{DeltaGen, DeltaGenParams, GraphGen, GraphGenParams, SchemaGen, SchemaGenParams};
+use pg_schema::{validate, Engine, IncrementalEngine, PgSchema, ValidationOptions};
 use proptest::prelude::*;
 
 fn schema_for(seed: u64) -> PgSchema {
@@ -23,9 +25,11 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Engines agree violation-for-violation on arbitrary (conforming or
-    /// not) generated graphs — three ways, and for the parallel engine
-    /// across worker counts (1 exercises the degenerate shard, 2 the
-    /// cross-shard merge, 8 shards smaller than some label groups).
+    /// not) generated graphs — four ways (a bare validate through
+    /// `Engine::Incremental` takes the delta engine's full-pass path),
+    /// and for the parallel engine across worker counts (1 exercises the
+    /// degenerate shard, 2 the cross-shard merge, 8 shards smaller than
+    /// some label groups).
     #[test]
     fn engines_agree(schema_seed in 0u64..30, graph_seed in 0u64..30) {
         let schema = schema_for(schema_seed);
@@ -39,6 +43,12 @@ proptest! {
         let naive = validate(&graph, &schema, &ValidationOptions::with_engine(Engine::Naive));
         let indexed = validate(&graph, &schema, &ValidationOptions::with_engine(Engine::Indexed));
         prop_assert_eq!(&naive, &indexed, "naive:\n{}indexed:\n{}", naive, indexed);
+        let incremental =
+            validate(&graph, &schema, &ValidationOptions::with_engine(Engine::Incremental));
+        prop_assert_eq!(
+            &incremental, &indexed,
+            "incremental:\n{}indexed:\n{}", incremental, indexed
+        );
         for threads in [1usize, 2, 8] {
             let opts = ValidationOptions::builder()
                 .engine(Engine::Parallel)
@@ -69,7 +79,12 @@ proptest! {
         if !pg_datagen::inject(&mut g, &schema, defect) {
             return Ok(()); // defect not applicable to this schema
         }
-        for engine in [Engine::Naive, Engine::Indexed, Engine::Parallel] {
+        for engine in [
+            Engine::Naive,
+            Engine::Indexed,
+            Engine::Parallel,
+            Engine::Incremental,
+        ] {
             let report = validate(&g, &schema, &ValidationOptions::with_engine(engine));
             prop_assert!(
                 report.by_rule(defect.rule()).next().is_some(),
@@ -88,6 +103,61 @@ proptest! {
                 "{:?} lost at {} threads; report:\n{}", defect, threads, report
             );
         }
+    }
+
+    /// The incremental engine's patched report equals a full
+    /// revalidation after **every** step of an arbitrary mutation
+    /// sequence — the agreement property closes over deltas, not just
+    /// static graphs. Sequences are drawn by [`DeltaGen`] against the
+    /// engine's own evolving graph, so they mix structural ops
+    /// (add/remove node/edge, cascading removals), property churn
+    /// (well-typed and deliberately ill-typed writes) and relabels.
+    #[test]
+    fn incremental_agrees_after_mutation_sequences(
+        schema_seed in 0u64..16,
+        graph_seed in 0u64..8,
+        delta_seed in 0u64..1_000,
+    ) {
+        let schema = schema_for(schema_seed);
+        let graph = GraphGen::new(&schema, GraphGenParams {
+            nodes_per_type: 5,
+            seed: graph_seed,
+            ..Default::default()
+        }).generate();
+        let options = ValidationOptions::default();
+        let mut engine = IncrementalEngine::new(graph, &schema, &options);
+        let gen = DeltaGen::new(&schema, DeltaGenParams {
+            ops: 8,
+            p_structural: 0.5,
+            ..Default::default()
+        });
+        for step in 0..6u64 {
+            let seed = delta_seed.wrapping_mul(31).wrapping_add(step);
+            let delta = gen.generate_seeded(engine.graph(), seed);
+            engine.apply(&delta).expect("conflict-free by construction");
+            let patched = engine.report();
+            let full = validate(
+                engine.graph(),
+                &schema,
+                &ValidationOptions::with_engine(Engine::Indexed),
+            );
+            prop_assert_eq!(
+                &patched, &full,
+                "step {}:\npatched:\n{}full:\n{}", step, patched, full
+            );
+        }
+        // The end state also agrees with the reference transcription of
+        // the paper's formulas.
+        let naive = validate(
+            engine.graph(),
+            &schema,
+            &ValidationOptions::with_engine(Engine::Naive),
+        );
+        let patched = engine.report();
+        prop_assert_eq!(
+            &patched, &naive,
+            "end state:\npatched:\n{}naive:\n{}", patched, naive
+        );
     }
 
     /// Graphs round-tripped through JSON validate identically.

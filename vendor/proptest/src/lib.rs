@@ -7,7 +7,7 @@
 //! * the [`Strategy`](strategy::Strategy) trait with `prop_map`,
 //!   `prop_flat_map`, `prop_recursive` and `boxed`;
 //! * strategies for integer ranges, `&str` regex-subset patterns,
-//!   tuples, [`Just`](strategy::Just), unions ([`prop_oneof!`]),
+//!   tuples, [`Just`](strategy::Just), unions (`prop_oneof!`),
 //!   [`collection::vec`], [`option::of`] and [`arbitrary::any`];
 //! * the [`proptest!`] macro plus [`prop_assert!`] / [`prop_assert_eq!`],
 //!   with a deterministic per-test-case RNG.

@@ -201,7 +201,7 @@ impl<T: Debug + 'static> Strategy for Recursive<T> {
     }
 }
 
-/// Uniform choice between strategies — the engine behind [`prop_oneof!`].
+/// Uniform choice between strategies — the engine behind [`prop_oneof!`](crate::prop_oneof).
 pub struct Union<T> {
     options: Vec<BoxedStrategy<T>>,
 }
