@@ -26,6 +26,8 @@ USAGE:
     pgschema normalize <schema.graphql> [--out FILE]
     pgschema import <nodes.csv> <edges.csv> [--schema FILE] [--out FILE]
     pgschema diff <old.graphql> <new.graphql>
+    pgschema serve [--addr HOST:PORT] [--threads N] [--queue-depth N]
+                   [--log-format text|json|off]
 ";
 
 /// Entry point used by `main` (and by the CLI integration tests).
@@ -45,6 +47,7 @@ pub fn run(args: &[String]) -> Result<()> {
         "normalize" => cmd_normalize(rest),
         "import" => cmd_import(rest),
         "diff" => cmd_diff(rest),
+        "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -113,13 +116,8 @@ fn cmd_validate(rest: &[String]) -> Result<()> {
     for (k, v) in values {
         match k {
             "engine" => {
-                builder = builder.engine(match v {
-                    "naive" => Engine::Naive,
-                    "indexed" => Engine::Indexed,
-                    "parallel" => Engine::Parallel,
-                    "incremental" => Engine::Incremental,
-                    other => return Err(format!("unknown engine `{other}`")),
-                });
+                builder = builder
+                    .engine(Engine::from_name(v).ok_or_else(|| format!("unknown engine `{v}`"))?);
             }
             "threads" => {
                 builder = builder.threads(
@@ -139,6 +137,7 @@ fn cmd_validate(rest: &[String]) -> Result<()> {
     }
     if !delta_paths.is_empty() {
         return validate_deltas(
+            &mut std::io::stdout().lock(),
             graph,
             &schema,
             &builder.build(),
@@ -173,7 +172,14 @@ fn cmd_validate(rest: &[String]) -> Result<()> {
 /// `validate --watch-delta`: seed an incremental session with the graph,
 /// then apply each delta file in order, reporting what every step
 /// re-checked. Exit status reflects the *final* report.
-fn validate_deltas(
+///
+/// In `--json` mode the output is NDJSON — one report per line: the
+/// seed state, then one line per applied delta — and `out` is flushed
+/// after *every* line. Stdout is block-buffered when piped, so without
+/// the per-line flush a consumer following the stream would not see a
+/// report until the buffer happened to fill.
+fn validate_deltas<W: std::io::Write>(
+    out: &mut W,
     graph: pgraph::PropertyGraph,
     schema: &PgSchema,
     options: &ValidationOptions,
@@ -182,34 +188,35 @@ fn validate_deltas(
 ) -> Result<()> {
     let mut engine = pg_schema::IncrementalEngine::new(graph, schema, options);
     if json {
-        // NDJSON: one report per line — the seed state, then one line per
-        // applied delta.
-        println!("{}", engine.report().to_json());
+        write_line(out, &engine.report().to_json())?;
     } else {
-        print!("initial: {}", engine.report());
+        write_chunk(out, &format!("initial: {}", engine.report()))?;
     }
     for path in delta_paths {
         let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let delta = pgraph::json::delta_from_json(&text).map_err(|e| format!("{path}: {e}"))?;
         let outcome = engine.apply(&delta).map_err(|e| format!("{path}: {e}"))?;
         if json {
-            println!("{}", engine.report().to_json());
+            write_line(out, &engine.report().to_json())?;
         } else {
-            println!(
-                "applied {path}: re-checked {} of {} element(s), \
-                 +{} / -{} violation(s)",
-                outcome.elements_rechecked,
-                outcome.elements_total,
-                outcome.violations_added,
-                outcome.violations_removed
-            );
+            write_line(
+                out,
+                &format!(
+                    "applied {path}: re-checked {} of {} element(s), \
+                     +{} / -{} violation(s)",
+                    outcome.elements_rechecked,
+                    outcome.elements_total,
+                    outcome.violations_added,
+                    outcome.violations_removed
+                ),
+            )?;
         }
     }
     let report = engine.report();
     if !json {
-        print!("final: {report}");
+        write_chunk(out, &format!("final: {report}"))?;
         if let Some(m) = report.metrics() {
-            println!("{m}");
+            write_line(out, &format!("{m}"))?;
         }
     }
     if report.conforms() {
@@ -217,6 +224,66 @@ fn validate_deltas(
     } else {
         Err(format!("{} violation(s)", report.len()))
     }
+}
+
+/// Writes one output line and flushes, so piped consumers see it now.
+fn write_line<W: std::io::Write>(out: &mut W, line: &str) -> Result<()> {
+    writeln!(out, "{line}")
+        .and_then(|()| out.flush())
+        .map_err(|e| format!("cannot write output: {e}"))
+}
+
+/// Writes already-terminated text (multi-line reports) and flushes.
+fn write_chunk<W: std::io::Write>(out: &mut W, text: &str) -> Result<()> {
+    write!(out, "{text}")
+        .and_then(|()| out.flush())
+        .map_err(|e| format!("cannot write output: {e}"))
+}
+
+/// `pgschema serve`: run the `pg-schemad` validation daemon until
+/// SIGTERM or ctrl-c, then drain in-flight requests and exit cleanly.
+fn cmd_serve(rest: &[String]) -> Result<()> {
+    let (pos, values, _) =
+        parse_flags(rest, &["addr", "threads", "queue-depth", "log-format"], &[])?;
+    if !pos.is_empty() {
+        return Err(format!("serve takes no positional arguments, got {pos:?}"));
+    }
+    let mut config = pg_server::ServerConfig::default();
+    for (k, v) in values {
+        match k {
+            "addr" => config.addr = v.to_owned(),
+            "threads" => {
+                config.threads = v
+                    .parse()
+                    .map_err(|_| format!("--threads: not a number: {v}"))?;
+            }
+            "queue-depth" => {
+                config.queue_depth = v
+                    .parse()
+                    .map_err(|_| format!("--queue-depth: not a number: {v}"))?;
+            }
+            "log-format" => {
+                config.log_format = pg_server::LogFormat::from_name(v)
+                    .ok_or_else(|| format!("--log-format: expected text|json|off, got `{v}`"))?;
+            }
+            _ => unreachable!(),
+        }
+    }
+    let threads = config.threads;
+    let queue_depth = config.queue_depth;
+    let server = pg_server::Server::bind(config).map_err(|e| format!("cannot bind server: {e}"))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("cannot read bound address: {e}"))?;
+    let shutdown = pg_server::signal::install();
+    eprintln!(
+        "pg-schemad listening on http://{addr} ({threads} worker(s), accept queue {queue_depth})"
+    );
+    server
+        .run(shutdown)
+        .map_err(|e| format!("server error: {e}"))?;
+    eprintln!("pg-schemad: drained, bye");
+    Ok(())
 }
 
 fn cmd_consistency(rest: &[String]) -> Result<()> {
@@ -523,4 +590,86 @@ fn cmd_describe(rest: &[String]) -> Result<()> {
         }
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A writer that records how many times it was flushed, to pin the
+    /// NDJSON streaming contract: one flush per report line.
+    struct FlushCounter {
+        bytes: Vec<u8>,
+        flushes: usize,
+    }
+
+    impl std::io::Write for FlushCounter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.bytes.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.flushes += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn watch_delta_ndjson_flushes_after_every_report_line() {
+        let schema = PgSchema::parse("type User { login: String! @required }").unwrap();
+        let graph = pgraph::GraphBuilder::new()
+            .node("u", "User")
+            .prop("u", "login", "alice")
+            .build()
+            .unwrap();
+        let u = graph.node_ids().next().unwrap();
+
+        let dir = std::env::temp_dir();
+        let break_path = dir.join(format!("pgschema-flush-{}-break.json", std::process::id()));
+        let repair_path = dir.join(format!("pgschema-flush-{}-repair.json", std::process::id()));
+        fs::write(
+            &break_path,
+            pgraph::json::delta_to_json(&pgraph::GraphDelta::new().set_node_property(
+                u,
+                "login",
+                pgraph::Value::Int(1),
+            )),
+        )
+        .unwrap();
+        fs::write(
+            &repair_path,
+            pgraph::json::delta_to_json(&pgraph::GraphDelta::new().set_node_property(
+                u,
+                "login",
+                "bob".into(),
+            )),
+        )
+        .unwrap();
+
+        let mut out = FlushCounter {
+            bytes: Vec::new(),
+            flushes: 0,
+        };
+        let result = validate_deltas(
+            &mut out,
+            graph,
+            &schema,
+            &ValidationOptions::default(),
+            &[break_path.to_str().unwrap(), repair_path.to_str().unwrap()],
+            true,
+        );
+        let _ = fs::remove_file(&break_path);
+        let _ = fs::remove_file(&repair_path);
+        result.expect("final state conforms");
+
+        let text = String::from_utf8(out.bytes).unwrap();
+        let lines: Vec<&str> = text.lines().filter(|l| !l.is_empty()).collect();
+        assert_eq!(lines.len(), 3, "seed report + one line per delta");
+        for line in &lines {
+            pgraph::json::Json::parse(line).expect("every NDJSON line is standalone JSON");
+        }
+        // The regression: stdout block-buffering must never hold a
+        // report line back, so the stream is flushed after each one.
+        assert_eq!(out.flushes, lines.len(), "one flush per report line");
+    }
 }

@@ -49,6 +49,7 @@
 //! independent of `|V| + |E|`. Experiment E2i (EXPERIMENTS.md) measures
 //! the resulting speedup over full indexed validation.
 
+use std::borrow::Borrow;
 use std::collections::{BTreeSet, HashMap};
 
 use pgraph::index::GraphIndex;
@@ -97,8 +98,12 @@ pub struct DeltaOutcome {
 /// [`GraphDelta`]s by re-checking only the dirty region.
 ///
 /// The engine owns the graph (mutations must flow through
-/// [`apply`](Self::apply) so the derived state stays in sync) and borrows
-/// the schema. [`report`](Self::report) is always equal to what a full
+/// [`apply`](Self::apply) so the derived state stays in sync) and holds
+/// the schema through any `S: Borrow<PgSchema>` — a plain `&PgSchema`
+/// for the scoped, single-owner sessions the CLI runs, or an owning
+/// handle such as `Arc<PgSchema>` for long-lived server sessions that
+/// outlive the scope the schema was parsed in.
+/// [`report`](Self::report) is always equal to what a full
 /// [`validate`](crate::validate) of the current graph would produce.
 ///
 /// Two options are interpreted specially: `engine` is ignored (this *is*
@@ -135,9 +140,9 @@ pub struct DeltaOutcome {
 ///     .unwrap();
 /// assert!(engine.report().conforms());
 /// ```
-pub struct IncrementalEngine<'s> {
+pub struct IncrementalEngine<S: Borrow<PgSchema>> {
     graph: PropertyGraph,
-    schema: &'s PgSchema,
+    schema: S,
     options: ValidationOptions,
     /// Canonical (sorted, deduped) violations of the current graph.
     violations: Vec<Violation>,
@@ -151,47 +156,63 @@ pub struct IncrementalEngine<'s> {
     metrics: Option<ValidationMetrics>,
 }
 
-impl<'s> IncrementalEngine<'s> {
+impl<S: Borrow<PgSchema>> IncrementalEngine<S> {
     /// Seeds the session: one full indexed-engine pass over `graph`, plus
     /// the adjacency and key tables later deltas are checked against.
-    pub fn new(graph: PropertyGraph, schema: &'s PgSchema, options: &ValidationOptions) -> Self {
+    pub fn new(graph: PropertyGraph, schema: S, options: &ValidationOptions) -> Self {
         let mut options = *options;
         options.max_violations = None;
-        let mut report = indexed::run_named(&graph, schema, &options, "incremental");
-        report.canonicalize();
-        let seed_metrics = report.metrics().cloned();
-
-        let mut out: Vec<Vec<EdgeId>> = vec![Vec::new(); graph.node_index_bound()];
-        let mut inc: Vec<Vec<EdgeId>> = vec![Vec::new(); graph.node_index_bound()];
-        for e in graph.edges() {
-            out[e.source().index()].push(e.id);
-            inc[e.target().index()].push(e.id);
-        }
-
-        let key_tables = build_key_tables(schema, &graph, &options);
         let mut engine = IncrementalEngine {
             graph,
             schema,
             options,
-            violations: report.take_violations(),
-            out,
-            inc,
-            key_tables,
+            violations: Vec::new(),
+            out: Vec::new(),
+            inc: Vec::new(),
+            key_tables: Vec::new(),
             metrics: None,
         };
-        if engine.options.collect_metrics {
-            let total = (engine.graph.node_count() + engine.graph.edge_count()) as u64;
+        engine.reseed();
+        engine
+    }
+
+    /// Rebuilds every piece of derived state — report, adjacency lists,
+    /// key tables — from the current graph with one full indexed pass.
+    /// Used to seed a new session and to recover from a partially
+    /// applied delta.
+    fn reseed(&mut self) {
+        let schema = self.schema.borrow();
+        let mut report = indexed::run_named(&self.graph, schema, &self.options, "incremental");
+        report.canonicalize();
+        let seed_metrics = report.metrics().cloned();
+        self.violations = report.take_violations();
+
+        self.out = vec![Vec::new(); self.graph.node_index_bound()];
+        self.inc = vec![Vec::new(); self.graph.node_index_bound()];
+        for e in self.graph.edges() {
+            self.out[e.source().index()].push(e.id);
+            self.inc[e.target().index()].push(e.id);
+        }
+
+        self.key_tables = build_key_tables(schema, &self.graph, &self.options);
+        self.metrics = None;
+        if self.options.collect_metrics {
+            let total = (self.graph.node_count() + self.graph.edge_count()) as u64;
             let mut m = seed_metrics.unwrap_or_default();
             m.elements_rechecked = total;
             m.elements_total = total;
-            engine.metrics = Some(m);
+            self.metrics = Some(m);
         }
-        engine
     }
 
     /// The current graph.
     pub fn graph(&self) -> &PropertyGraph {
         &self.graph
+    }
+
+    /// The schema the session validates against.
+    pub fn schema(&self) -> &PgSchema {
+        self.schema.borrow()
     }
 
     /// The options the session validates under.
@@ -221,8 +242,7 @@ impl<'s> IncrementalEngine<'s> {
         let effect = match delta.apply_to(&mut self.graph) {
             Ok(eff) => eff,
             Err(e) => {
-                let graph = std::mem::take(&mut self.graph);
-                *self = IncrementalEngine::new(graph, self.schema, &self.options);
+                self.reseed();
                 return Err(e);
             }
         };
@@ -318,7 +338,7 @@ impl<'s> IncrementalEngine<'s> {
         let labels: Vec<String> = ix.node_labels().map(str::to_owned).collect();
         let owns = |n: NodeId| dirty.contains(&n);
         let g = &self.graph;
-        let s = self.schema;
+        let s = self.schema.borrow();
         let o = &self.options;
         let dirty_nodes = || dirty.iter().filter_map(|&v| g.node(v));
         let region_edges = || local_edges.iter().filter_map(|&e| g.edge(e));

@@ -123,6 +123,19 @@ impl Engine {
             Engine::Incremental => "incremental",
         }
     }
+
+    /// Parses a wire name back into an engine — the inverse of
+    /// [`name`](Self::name), shared by the CLI's `--engine` flag and the
+    /// validation server's `?engine=` query parameter.
+    pub fn from_name(name: &str) -> Option<Engine> {
+        match name {
+            "naive" => Some(Engine::Naive),
+            "indexed" => Some(Engine::Indexed),
+            "parallel" => Some(Engine::Parallel),
+            "incremental" => Some(Engine::Incremental),
+            _ => None,
+        }
+    }
 }
 
 /// Which rule families to check, with which engine, and under which

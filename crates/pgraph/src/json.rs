@@ -20,6 +20,11 @@
 //!
 //! The reader/printer below is self-contained (no external JSON crate):
 //! a recursive-descent parser over bytes and a two-space pretty printer.
+//! The parsed tree type [`Json`] and the value-level codecs
+//! ([`graph_to_value`]/[`graph_from_value`],
+//! [`delta_to_value`]/[`delta_from_value`]) are public, so consumers that
+//! embed graphs or deltas inside larger documents (the `pg-server` HTTP
+//! bodies) reuse this machinery instead of parsing twice.
 //!
 //! Mutation logs ([`GraphDelta`]) share the machinery: a delta document is
 //! `{"ops": [...]}` where each op is a tagged object such as
@@ -72,20 +77,39 @@ impl std::error::Error for JsonError {}
 // ---------------------------------------------------------------------------
 
 /// Parsed JSON value. Object member order is preserved.
-enum Json {
+///
+/// This is the tree every (de)serializer in this module works over; it is
+/// public so consumers with composite payloads — e.g. an HTTP body
+/// `{"schema": "...", "graph": {...}}` — can parse once with
+/// [`Json::parse`], pick members apart with [`Json::get`]/[`Json::as_str`],
+/// and hand sub-trees to [`graph_from_value`] / [`delta_from_value`]
+/// instead of re-implementing a JSON parser.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
     /// A whole-number token that fits `i64`.
     Int(i64),
     /// Any other numeric token.
     Float(f64),
+    /// A string.
     Str(String),
+    /// An array.
     Array(Vec<Json>),
+    /// An object, with member order preserved.
     Object(Vec<(String, Json)>),
 }
 
 impl Json {
-    fn kind(&self) -> &'static str {
+    /// Parses one complete JSON document (trailing garbage is an error).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        Parser::new(text).parse_document()
+    }
+
+    /// The value's JSON type name, for error messages.
+    pub fn kind(&self) -> &'static str {
         match self {
             Json::Null => "null",
             Json::Bool(_) => "bool",
@@ -94,6 +118,49 @@ impl Json {
             Json::Array(_) => "array",
             Json::Object(_) => "object",
         }
+    }
+
+    /// Member lookup on an object (`None` for missing keys and for
+    /// non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => get(members, key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is a whole-number token.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    /// Pretty-prints with the module's canonical two-space indentation —
+    /// the same layout [`to_json`] emits.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        print_json(&mut out, self, 0);
+        f.write_str(&out)
     }
 }
 
@@ -546,6 +613,12 @@ fn as_array<'j>(v: &'j Json, ctx: &str) -> Result<&'j [Json], JsonError> {
 /// Properties are emitted in sorted key order so the output is
 /// deterministic regardless of insertion order.
 pub fn to_json(g: &PropertyGraph) -> String {
+    graph_to_value(g).to_string()
+}
+
+/// Builds the [`Json`] tree of a graph document — [`to_json`] without the
+/// final rendering, for embedding a graph inside a larger payload.
+pub fn graph_to_value(g: &PropertyGraph) -> Json {
     fn props_json<'a>(props: impl Iterator<Item = (&'a str, &'a Value)>) -> Json {
         let sorted: BTreeMap<&str, &Value> = props.collect();
         Json::Object(
@@ -587,20 +660,22 @@ pub fn to_json(g: &PropertyGraph) -> String {
             })
             .collect(),
     );
-    let doc = Json::Object(vec![
+    Json::Object(vec![
         ("nodes".to_owned(), nodes),
         ("edges".to_owned(), edges),
-    ]);
-    let mut out = String::new();
-    print_json(&mut out, &doc, 0);
-    out
+    ])
 }
 
 /// Parses a graph from its JSON document. Node ids in the document are
 /// arbitrary distinct numbers; they are remapped to dense ids.
 pub fn from_json(text: &str) -> Result<PropertyGraph, JsonError> {
-    let doc = Parser::new(text).parse_document()?;
-    let root = as_object(&doc, "document")?;
+    graph_from_value(&Json::parse(text)?)
+}
+
+/// Decodes a graph from an already-parsed [`Json`] tree — [`from_json`]
+/// without the parsing step, for graphs embedded in a larger document.
+pub fn graph_from_value(doc: &Json) -> Result<PropertyGraph, JsonError> {
+    let root = as_object(doc, "document")?;
     let nodes = as_array(
         get(root, "nodes")
             .ok_or_else(|| JsonError::Parse("document: missing field \"nodes\"".into()))?,
@@ -767,11 +842,13 @@ fn op_from_json(v: &Json, ctx: &str) -> Result<DeltaOp, JsonError> {
 
 /// Serialises a mutation log to its JSON document (`{"ops": [...]}`).
 pub fn delta_to_json(delta: &GraphDelta) -> String {
+    delta_to_value(delta).to_string()
+}
+
+/// Builds the [`Json`] tree of a mutation log (`{"ops": [...]}`).
+pub fn delta_to_value(delta: &GraphDelta) -> Json {
     let ops = Json::Array(delta.ops().iter().map(op_to_json).collect());
-    let doc = Json::Object(vec![("ops".to_owned(), ops)]);
-    let mut out = String::new();
-    print_json(&mut out, &doc, 0);
-    out
+    Json::Object(vec![("ops".to_owned(), ops)])
 }
 
 /// Parses a mutation log from its JSON document.
@@ -781,8 +858,12 @@ pub fn delta_to_json(delta: &GraphDelta) -> String {
 /// delta itself creates (dense continuation ids, see
 /// [`DeltaOp`]).
 pub fn delta_from_json(text: &str) -> Result<GraphDelta, JsonError> {
-    let doc = Parser::new(text).parse_document()?;
-    let root = as_object(&doc, "document")?;
+    delta_from_value(&Json::parse(text)?)
+}
+
+/// Decodes a mutation log from an already-parsed [`Json`] tree.
+pub fn delta_from_value(doc: &Json) -> Result<GraphDelta, JsonError> {
+    let root = as_object(doc, "document")?;
     let ops = as_array(
         get(root, "ops")
             .ok_or_else(|| JsonError::Parse("document: missing field \"ops\"".into()))?,
@@ -961,6 +1042,38 @@ mod tests {
         assert!(err.to_string().contains("unknown op"), "{err}");
         let err = delta_from_json(r#"{"ops": [{"op": "add-node"}]}"#).unwrap_err();
         assert!(err.to_string().contains("op #0"), "{err}");
+    }
+
+    #[test]
+    fn embedded_graph_and_delta_decode_from_value_trees() {
+        // The server's request shape: graph and delta nested in an
+        // envelope, decoded via the public value-level API.
+        let g = sample();
+        let delta = GraphDelta::new().set_node_property(
+            g.node_ids().next().unwrap(),
+            "age",
+            Value::Int(31),
+        );
+        let envelope = Json::Object(vec![
+            (
+                "schema".to_owned(),
+                Json::Str("type User { x: Int }".to_owned()),
+            ),
+            ("graph".to_owned(), graph_to_value(&g)),
+            ("delta".to_owned(), delta_to_value(&delta)),
+        ]);
+        let text = envelope.to_string();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("type User { x: Int }")
+        );
+        let g2 = graph_from_value(parsed.get("graph").unwrap()).unwrap();
+        assert_eq!(g, g2);
+        let d2 = delta_from_value(parsed.get("delta").unwrap()).unwrap();
+        assert_eq!(delta, d2);
+        assert!(parsed.get("missing").is_none());
+        assert!(parsed.get("schema").unwrap().get("x").is_none());
     }
 
     #[test]

@@ -1,0 +1,405 @@
+//! `pgload` — the load generator and smoke tester for `pg-schema serve`.
+//!
+//! Drives N concurrent keep-alive connections of one-shot `/validate`
+//! and/or incremental-session delta traffic against a running daemon
+//! and reports throughput plus p50/p95/p99 client-observed latency —
+//! the measurement behind the E3s table in EXPERIMENTS.md.
+//!
+//! ```text
+//! pgload --addr 127.0.0.1:7878 --mode oneshot --connections 8 --duration 10
+//! pgload --addr 127.0.0.1:7878 --mode session --connections 8 --duration 10
+//! pgload --addr 127.0.0.1:7878 --mode mixed   --connections 8 --duration 10
+//! pgload --addr 127.0.0.1:7878 --smoke   # CI: one pass over the surface
+//! ```
+
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use pg_server::http::read_response;
+use pg_server::workload::{sample_graph, toggle_delta, user_ids, SCHEMA_SDL};
+use pgraph::json::{self, Json};
+
+/// One keep-alive client connection.
+struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    fn request(&mut self, method: &str, target: &str, body: &[u8]) -> io::Result<(u16, Vec<u8>)> {
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nhost: pgload\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        let mut out = Vec::with_capacity(head.len() + body.len());
+        out.extend_from_slice(head.as_bytes());
+        out.extend_from_slice(body);
+        self.stream.write_all(&out)?;
+        let (status, _headers, body) = read_response(&mut self.stream, &mut self.buf)?;
+        Ok((status, body))
+    }
+}
+
+/// The `{"schema": …, "graph": …}` envelope for the worked-example
+/// workload.
+fn envelope(users: usize) -> String {
+    let graph = sample_graph(users);
+    let mut out = String::new();
+    out.push_str("{\"schema\":");
+    pg_server::http::push_json_string(&mut out, SCHEMA_SDL);
+    out.push_str(",\"graph\":");
+    out.push_str(&json::to_json(&graph));
+    out.push('}');
+    out
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Oneshot,
+    Session,
+    Mixed,
+}
+
+struct WorkerStats {
+    latencies_micros: Vec<u64>,
+    errors: u64,
+    shed: u64,
+}
+
+/// One worker driving a single connection until `deadline`.
+fn run_worker(
+    addr: &str,
+    oneshot: bool,
+    users: usize,
+    engine: &str,
+    deadline: Instant,
+    stop: &AtomicBool,
+) -> WorkerStats {
+    let mut stats = WorkerStats {
+        latencies_micros: Vec::with_capacity(1 << 16),
+        errors: 0,
+        shed: 0,
+    };
+    let body = envelope(users);
+    let graph = sample_graph(users);
+    let user = user_ids(&graph)[0];
+    let target = format!("/validate?engine={engine}");
+
+    'reconnect: loop {
+        if stop.load(Ordering::Relaxed) || Instant::now() >= deadline {
+            return stats;
+        }
+        let mut client = match Client::connect(addr) {
+            Ok(client) => client,
+            Err(_) => {
+                stats.errors += 1;
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+
+        // Session mode: create this connection's own session first.
+        let session_id = if oneshot {
+            None
+        } else {
+            match client.request("POST", "/sessions", body.as_bytes()) {
+                Ok((201, response)) => {
+                    let text = String::from_utf8_lossy(&response).into_owned();
+                    match Json::parse(&text)
+                        .ok()
+                        .and_then(|d| d.get("session")?.as_i64())
+                    {
+                        Some(id) => Some(id as u64),
+                        None => {
+                            stats.errors += 1;
+                            continue 'reconnect;
+                        }
+                    }
+                }
+                Ok((503, _)) => {
+                    stats.shed += 1;
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue 'reconnect;
+                }
+                _ => {
+                    stats.errors += 1;
+                    continue 'reconnect;
+                }
+            }
+        };
+        let delta_target = session_id.map(|id| format!("/sessions/{id}/deltas"));
+        let report_target = session_id.map(|id| format!("/sessions/{id}/report"));
+
+        let mut i = 0u64;
+        loop {
+            if stop.load(Ordering::Relaxed) || Instant::now() >= deadline {
+                if let Some(id) = session_id {
+                    let _ = client.request("DELETE", &format!("/sessions/{id}"), b"");
+                }
+                return stats;
+            }
+            let started = Instant::now();
+            let result = if oneshot {
+                client.request("POST", &target, body.as_bytes())
+            } else if i % 16 == 15 {
+                client.request("GET", report_target.as_deref().unwrap(), b"")
+            } else {
+                let delta = json::delta_to_json(&toggle_delta(user, i));
+                client.request("POST", delta_target.as_deref().unwrap(), delta.as_bytes())
+            };
+            let micros = started.elapsed().as_micros() as u64;
+            i += 1;
+            match result {
+                Ok((200, _)) => stats.latencies_micros.push(micros),
+                Ok((503, _)) => {
+                    stats.shed += 1;
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue 'reconnect;
+                }
+                Ok((_, _)) => stats.errors += 1,
+                Err(_) => {
+                    stats.errors += 1;
+                    continue 'reconnect;
+                }
+            }
+        }
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * p).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn run_load(addr: &str, mode: Mode, connections: usize, seconds: u64, users: usize, engine: &str) {
+    let deadline = Instant::now() + Duration::from_secs(seconds);
+    let stop = AtomicBool::new(false);
+    let started = Instant::now();
+    let stop_ref = &stop;
+    let stats: Vec<WorkerStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                let oneshot = match mode {
+                    Mode::Oneshot => true,
+                    Mode::Session => false,
+                    Mode::Mixed => c % 2 == 0,
+                };
+                scope.spawn(move || run_worker(addr, oneshot, users, engine, deadline, stop_ref))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut errors = 0u64;
+    let mut shed = 0u64;
+    for s in &stats {
+        latencies.extend_from_slice(&s.latencies_micros);
+        errors += s.errors;
+        shed += s.shed;
+    }
+    latencies.sort_unstable();
+    let requests = latencies.len() as u64;
+    let mode_name = match mode {
+        Mode::Oneshot => "oneshot",
+        Mode::Session => "session",
+        Mode::Mixed => "mixed",
+    };
+    println!(
+        "mode={mode_name} connections={connections} duration_s={elapsed:.1} \
+         requests={requests} errors={errors} shed={shed} \
+         throughput_rps={:.0} p50_us={} p95_us={} p99_us={}",
+        requests as f64 / elapsed,
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+    );
+}
+
+/// One deterministic pass over the HTTP surface; any unexpected response
+/// is a process-exit failure. CI runs this between daemon start and
+/// SIGTERM.
+fn run_smoke(addr: &str) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+
+    let (status, body) = client
+        .request("GET", "/healthz", b"")
+        .map_err(|e| format!("healthz: {e}"))?;
+    if status != 200 {
+        return Err(format!("healthz: status {status}"));
+    }
+    if body != b"ok\n" {
+        return Err("healthz: unexpected body".into());
+    }
+
+    // Stateless validation on every engine agrees the sample conforms.
+    let envelope = envelope(4);
+    for engine in ["naive", "indexed", "parallel", "incremental"] {
+        let (status, body) = client
+            .request(
+                "POST",
+                &format!("/validate?engine={engine}"),
+                envelope.as_bytes(),
+            )
+            .map_err(|e| format!("validate({engine}): {e}"))?;
+        if status != 200 {
+            return Err(format!("validate({engine}): status {status}"));
+        }
+        let report = Json::parse(&String::from_utf8_lossy(&body))
+            .map_err(|e| format!("validate({engine}): bad report JSON: {e}"))?;
+        if report.get("conforms") != Some(&Json::Bool(true)) {
+            return Err(format!("validate({engine}): sample should conform"));
+        }
+    }
+
+    // Session round trip: create, break, observe, repair, verify.
+    let (status, body) = client
+        .request("POST", "/sessions", envelope.as_bytes())
+        .map_err(|e| format!("create session: {e}"))?;
+    if status != 201 {
+        return Err(format!("create session: status {status}"));
+    }
+    let created = Json::parse(&String::from_utf8_lossy(&body))
+        .map_err(|e| format!("create session: bad JSON: {e}"))?;
+    let id = created
+        .get("session")
+        .and_then(Json::as_i64)
+        .ok_or("create session: no id")?;
+    let graph = sample_graph(4);
+    let user = user_ids(&graph)[0];
+
+    let break_delta = json::delta_to_json(&toggle_delta(user, 0));
+    let (status, body) = client
+        .request(
+            "POST",
+            &format!("/sessions/{id}/deltas"),
+            break_delta.as_bytes(),
+        )
+        .map_err(|e| format!("breaking delta: {e}"))?;
+    if status != 200 {
+        return Err(format!("breaking delta: status {status}"));
+    }
+    let patched = Json::parse(&String::from_utf8_lossy(&body))
+        .map_err(|e| format!("breaking delta: bad JSON: {e}"))?;
+    if patched.get("report").and_then(|r| r.get("conforms")) != Some(&Json::Bool(false)) {
+        return Err("breaking delta: report should not conform".into());
+    }
+
+    let repair_delta = json::delta_to_json(&toggle_delta(user, 1));
+    let (status, _) = client
+        .request(
+            "POST",
+            &format!("/sessions/{id}/deltas"),
+            repair_delta.as_bytes(),
+        )
+        .map_err(|e| format!("repair delta: {e}"))?;
+    if status != 200 {
+        return Err(format!("repair delta: status {status}"));
+    }
+
+    let (status, body) = client
+        .request("GET", &format!("/sessions/{id}/report"), b"")
+        .map_err(|e| format!("report: {e}"))?;
+    if status != 200 {
+        return Err(format!("report: status {status}"));
+    }
+    let report = Json::parse(&String::from_utf8_lossy(&body))
+        .map_err(|e| format!("report: bad JSON: {e}"))?;
+    if report.get("conforms") != Some(&Json::Bool(true)) {
+        return Err("report: repaired session should conform".into());
+    }
+
+    let (status, body) = client
+        .request("GET", "/metrics", b"")
+        .map_err(|e| format!("metrics: {e}"))?;
+    let text = String::from_utf8_lossy(&body).into_owned();
+    if status != 200 || !text.contains("pgschemad_validations_total") {
+        return Err("metrics: missing pgschemad_validations_total".into());
+    }
+    if !text.contains("pgschemad_sessions_live 1") {
+        return Err("metrics: expected one live session".into());
+    }
+
+    let (status, _) = client
+        .request("DELETE", &format!("/sessions/{id}"), b"")
+        .map_err(|e| format!("delete session: {e}"))?;
+    if status != 200 {
+        return Err(format!("delete session: status {status}"));
+    }
+
+    println!("smoke: ok");
+    Ok(())
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pgload --addr HOST:PORT [--mode oneshot|session|mixed] \
+         [--connections N] [--duration SECS] [--users N] \
+         [--engine naive|indexed|parallel|incremental] [--smoke]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut mode = Mode::Oneshot;
+    let mut connections = 8usize;
+    let mut duration = 10u64;
+    let mut users = 4usize;
+    let mut engine = "indexed".to_owned();
+    let mut smoke = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match flag.as_str() {
+            "--addr" => addr = value(&mut i),
+            "--mode" => {
+                mode = match value(&mut i).as_str() {
+                    "oneshot" => Mode::Oneshot,
+                    "session" => Mode::Session,
+                    "mixed" => Mode::Mixed,
+                    _ => usage(),
+                }
+            }
+            "--connections" => connections = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--duration" => duration = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--users" => users = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--engine" => engine = value(&mut i),
+            "--smoke" => smoke = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    if smoke {
+        if let Err(message) = run_smoke(&addr) {
+            eprintln!("smoke: FAIL: {message}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    run_load(&addr, mode, connections, duration, users, &engine);
+}

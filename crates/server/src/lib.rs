@@ -1,0 +1,56 @@
+//! # pg-server — the `pg-schemad` validation daemon
+//!
+//! Long-lived serving layer over the validation engines of [`pg_schema`]:
+//! the paper frames schema validation as the decision problem a graph
+//! database runs *continuously* (Theorem 1), and this crate is that
+//! database-side service. It is built on `std` alone — `std::net` plus a
+//! hand-rolled HTTP/1.1 — to match the workspace's offline vendoring
+//! constraint.
+//!
+//! ## Architecture
+//!
+//! * one **accept thread** owns the listener, pushing connections onto a
+//!   [bounded queue](pool::BoundedQueue); when the queue is full the
+//!   accept thread itself answers `503` + `Retry-After` and closes the
+//!   socket, so saturation sheds load instead of queueing unboundedly;
+//! * a **worker pool** ([`ServerConfig::threads`]) pops connections and
+//!   serves keep-alive request loops;
+//! * a **session registry** ([`registry::SessionRegistry`]) holds one
+//!   [`pg_schema::IncrementalEngine`] per session behind a per-session
+//!   mutex — deltas to different sessions never contend;
+//! * **graceful shutdown**: SIGTERM / ctrl-c (see [`signal`]) flips a
+//!   shared flag; the accept loop stops, queued connections drain, and
+//!   each worker finishes its in-flight request before exiting.
+//!
+//! ## HTTP surface
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /validate?engine=naive\|indexed\|parallel\|incremental` | stateless one-shot validation |
+//! | `POST /sessions` | create an incremental session (schema + graph) |
+//! | `POST /sessions/{id}/deltas` | apply a [`pgraph::GraphDelta`], returns the patched report |
+//! | `GET /sessions/{id}/report` | current report |
+//! | `GET /sessions/{id}/graph` | current graph document |
+//! | `DELETE /sessions/{id}` | drop the session |
+//! | `GET /healthz` | liveness |
+//! | `GET /metrics` | Prometheus text format ([`metrics::Metrics`]) |
+//!
+//! Request and response bodies reuse the `pgraph::json` value types and
+//! (de)serializers — the server adds no JSON parser of its own.
+//!
+//! The `pgload` binary (in `src/bin`) is the matching load generator:
+//! N concurrent connections of mixed one-shot/delta traffic, reporting
+//! throughput and p50/p95/p99 latency (EXPERIMENTS.md §E3s), plus a
+//! `--smoke` mode CI uses to exercise the surface end to end.
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod metrics;
+pub mod pool;
+pub mod registry;
+pub mod server;
+pub mod signal;
+pub mod workload;
+
+pub use server::{LogFormat, Server, ServerConfig};

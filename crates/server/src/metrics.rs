@@ -1,0 +1,259 @@
+//! Server instrumentation behind `GET /metrics`, rendered in the
+//! Prometheus text exposition format. Everything on the hot path is a
+//! relaxed atomic increment; the only lock is the per-`(route, status)`
+//! request-count map, which touches a handful of entries and is held for
+//! nanoseconds.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use pg_schema::{Engine, ValidationMetrics};
+
+/// Upper bounds (µs) of the request-latency histogram buckets; the last
+/// implicit bucket is `+Inf`.
+pub const LATENCY_BUCKETS_MICROS: [u64; 10] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 50_000, 250_000,
+];
+
+const ENGINES: [Engine; 4] = [
+    Engine::Naive,
+    Engine::Indexed,
+    Engine::Parallel,
+    Engine::Incremental,
+];
+
+/// Per-engine counters aggregated from [`ValidationMetrics`] of the runs
+/// the server executed.
+#[derive(Default)]
+struct EngineCounters {
+    validations: AtomicU64,
+    nodes_scanned: AtomicU64,
+    edges_scanned: AtomicU64,
+    elements_rechecked: AtomicU64,
+    elements_total: AtomicU64,
+}
+
+/// All counters the daemon exports. One instance lives for the server's
+/// lifetime, shared by every worker via `Arc`.
+pub struct Metrics {
+    /// `(route template, status)` → request count.
+    requests: Mutex<BTreeMap<(&'static str, u16), u64>>,
+    /// Cumulative histogram counts per bucket of
+    /// [`LATENCY_BUCKETS_MICROS`], plus one `+Inf` slot at the end.
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS_MICROS.len() + 1],
+    latency_sum_micros: AtomicU64,
+    latency_count: AtomicU64,
+    /// Connections shed with `503` because the accept queue was full.
+    shed: AtomicU64,
+    /// Per-engine validation counters, indexed like [`ENGINES`].
+    engines: [EngineCounters; 4],
+}
+
+impl Metrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Metrics {
+            requests: Mutex::new(BTreeMap::new()),
+            latency_buckets: Default::default(),
+            latency_sum_micros: AtomicU64::new(0),
+            latency_count: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            engines: Default::default(),
+        }
+    }
+
+    /// Records one served request: its route template (e.g.
+    /// `/sessions/{id}/deltas`), status code and latency.
+    pub fn record_request(&self, route: &'static str, status: u16, micros: u64) {
+        *self
+            .requests
+            .lock()
+            .unwrap()
+            .entry((route, status))
+            .or_insert(0) += 1;
+        let bucket = LATENCY_BUCKETS_MICROS
+            .iter()
+            .position(|&b| micros <= b)
+            .unwrap_or(LATENCY_BUCKETS_MICROS.len());
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one connection shed with `503` by the accept thread.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections shed so far.
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Folds one validation run's [`ValidationMetrics`] into the
+    /// per-engine counters.
+    pub fn record_validation(&self, engine: Engine, m: Option<&ValidationMetrics>) {
+        let c = &self.engines[engine_index(engine)];
+        c.validations.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = m {
+            c.nodes_scanned
+                .fetch_add(m.nodes_scanned, Ordering::Relaxed);
+            c.edges_scanned
+                .fetch_add(m.edges_scanned, Ordering::Relaxed);
+            c.elements_rechecked
+                .fetch_add(m.elements_rechecked, Ordering::Relaxed);
+            c.elements_total
+                .fetch_add(m.elements_total, Ordering::Relaxed);
+        }
+    }
+
+    /// Renders every counter in the Prometheus text format. The two
+    /// gauges that live outside this struct — queue depth and live
+    /// session count — are sampled by the caller at render time.
+    pub fn render(&self, queue_depth: usize, sessions_live: usize) -> String {
+        let mut out = String::with_capacity(4096);
+
+        out.push_str(
+            "# HELP pgschemad_http_requests_total Requests served, by route and status.\n",
+        );
+        out.push_str("# TYPE pgschemad_http_requests_total counter\n");
+        for ((route, status), count) in self.requests.lock().unwrap().iter() {
+            out.push_str(&format!(
+                "pgschemad_http_requests_total{{route=\"{route}\",status=\"{status}\"}} {count}\n"
+            ));
+        }
+
+        out.push_str(
+            "# HELP pgschemad_request_duration_micros Request latency histogram (microseconds).\n",
+        );
+        out.push_str("# TYPE pgschemad_request_duration_micros histogram\n");
+        let mut cumulative = 0u64;
+        for (i, &bound) in LATENCY_BUCKETS_MICROS.iter().enumerate() {
+            cumulative += self.latency_buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "pgschemad_request_duration_micros_bucket{{le=\"{bound}\"}} {cumulative}\n"
+            ));
+        }
+        cumulative += self.latency_buckets[LATENCY_BUCKETS_MICROS.len()].load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "pgschemad_request_duration_micros_bucket{{le=\"+Inf\"}} {cumulative}\n"
+        ));
+        out.push_str(&format!(
+            "pgschemad_request_duration_micros_sum {}\n",
+            self.latency_sum_micros.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "pgschemad_request_duration_micros_count {}\n",
+            self.latency_count.load(Ordering::Relaxed)
+        ));
+
+        out.push_str("# HELP pgschemad_validations_total Validation runs, by engine.\n");
+        out.push_str("# TYPE pgschemad_validations_total counter\n");
+        for engine in ENGINES {
+            let c = &self.engines[engine_index(engine)];
+            out.push_str(&format!(
+                "pgschemad_validations_total{{engine=\"{}\"}} {}\n",
+                engine.name(),
+                c.validations.load(Ordering::Relaxed)
+            ));
+        }
+        type Getter = fn(&EngineCounters) -> u64;
+        let families: [(&str, &str, Getter); 4] = [
+            (
+                "pgschemad_nodes_scanned_total",
+                "Nodes scanned by validation runs, by engine.",
+                |c| c.nodes_scanned.load(Ordering::Relaxed),
+            ),
+            (
+                "pgschemad_edges_scanned_total",
+                "Edges scanned by validation runs, by engine.",
+                |c| c.edges_scanned.load(Ordering::Relaxed),
+            ),
+            (
+                "pgschemad_elements_rechecked_total",
+                "Elements re-checked (dirty region for incremental runs), by engine.",
+                |c| c.elements_rechecked.load(Ordering::Relaxed),
+            ),
+            (
+                "pgschemad_elements_total",
+                "Live elements of the validated graphs, by engine.",
+                |c| c.elements_total.load(Ordering::Relaxed),
+            ),
+        ];
+        for (metric, help, get) in families {
+            out.push_str(&format!(
+                "# HELP {metric} {help}\n# TYPE {metric} counter\n"
+            ));
+            for engine in ENGINES {
+                out.push_str(&format!(
+                    "{metric}{{engine=\"{}\"}} {}\n",
+                    engine.name(),
+                    get(&self.engines[engine_index(engine)])
+                ));
+            }
+        }
+
+        out.push_str("# HELP pgschemad_sessions_live Incremental sessions currently held.\n");
+        out.push_str("# TYPE pgschemad_sessions_live gauge\n");
+        out.push_str(&format!("pgschemad_sessions_live {sessions_live}\n"));
+        out.push_str("# HELP pgschemad_queue_depth Connections waiting in the accept queue.\n");
+        out.push_str("# TYPE pgschemad_queue_depth gauge\n");
+        out.push_str(&format!("pgschemad_queue_depth {queue_depth}\n"));
+        out.push_str("# HELP pgschemad_shed_total Connections shed with 503 (queue full).\n");
+        out.push_str("# TYPE pgschemad_shed_total counter\n");
+        out.push_str(&format!("pgschemad_shed_total {}\n", self.shed_count()));
+        out
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+fn engine_index(engine: Engine) -> usize {
+    match engine {
+        Engine::Naive => 0,
+        Engine::Indexed => 1,
+        Engine::Parallel => 2,
+        Engine::Incremental => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_all_families() {
+        let m = Metrics::new();
+        m.record_request("/validate", 200, 120);
+        m.record_request("/validate", 200, 80_000);
+        m.record_request("/healthz", 200, 3);
+        m.record_shed();
+        m.record_validation(Engine::Indexed, None);
+        let text = m.render(2, 5);
+        assert!(
+            text.contains("pgschemad_http_requests_total{route=\"/validate\",status=\"200\"} 2")
+        );
+        assert!(text.contains("pgschemad_request_duration_micros_count 3"));
+        assert!(text.contains("pgschemad_request_duration_micros_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("pgschemad_validations_total{engine=\"indexed\"} 1"));
+        assert!(text.contains("pgschemad_sessions_live 5"));
+        assert!(text.contains("pgschemad_queue_depth 2"));
+        assert!(text.contains("pgschemad_shed_total 1"));
+    }
+
+    #[test]
+    fn histogram_is_cumulative() {
+        let m = Metrics::new();
+        m.record_request("/healthz", 200, 10); // le=50
+        m.record_request("/healthz", 200, 60); // le=100
+        let text = m.render(0, 0);
+        assert!(text.contains("pgschemad_request_duration_micros_bucket{le=\"50\"} 1"));
+        assert!(text.contains("pgschemad_request_duration_micros_bucket{le=\"100\"} 2"));
+        assert!(text.contains("pgschemad_request_duration_micros_bucket{le=\"250\"} 2"));
+    }
+}

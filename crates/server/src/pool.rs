@@ -1,0 +1,132 @@
+//! Bounded handoff queue between the accept thread and the worker pool.
+//!
+//! The queue is the backpressure point of the daemon: the accept thread
+//! [`try_push`](BoundedQueue::try_push)es each new connection and, when
+//! the queue is at capacity, the push *fails immediately* — the caller
+//! sheds the connection with `503` + `Retry-After` instead of letting
+//! latency grow unboundedly. Workers block in
+//! [`pop`](BoundedQueue::pop) until work arrives or the queue is
+//! [`close`](BoundedQueue::close)d, which is how graceful shutdown
+//! drains: close stops new pushes, pops continue until empty, then every
+//! worker sees `None` and exits.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity MPMC queue with reject-on-full semantics.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    available: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(capacity.max(1)),
+                closed: false,
+            }),
+            capacity: capacity.max(1),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item`, or returns it if the queue is full or closed —
+    /// never blocks. A full queue is the signal to shed load.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().unwrap();
+        if state.closed || state.queue.len() >= self.capacity {
+            return Err(item);
+        }
+        state.queue.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available (`Some`) or the queue is closed
+    /// *and drained* (`None`). Closing wakes all blocked poppers.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).unwrap();
+        }
+    }
+
+    /// Stops accepting pushes; blocked and future [`pop`](Self::pop)s
+    /// drain what is queued and then return `None`.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Items currently queued (racy, for the `/metrics` gauge).
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap().queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_returns_none() {
+        let q = Arc::new(BoundedQueue::new(8));
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err(8));
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(8));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        q.close();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), None);
+        }
+    }
+}

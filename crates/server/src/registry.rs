@@ -1,0 +1,136 @@
+//! The concurrent session registry: one incremental validation session
+//! per id, each an [`IncrementalEngine`] owning its graph and holding
+//! its schema through an `Arc<PgSchema>` (sessions outlive the request
+//! that parsed the schema).
+//!
+//! Locking is two-level: a registry-wide `RwLock` guards only the id →
+//! session map (held for a hash lookup), while each session has its own
+//! `Mutex` serialising deltas and report reads *of that session*.
+//! Traffic to different sessions therefore runs fully in parallel
+//! across the worker pool; interleaved deltas to one session are
+//! serialised, which is exactly the consistency the incremental engine
+//! needs (mutations must flow through [`IncrementalEngine::apply`] so
+//! the derived state stays in sync).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use pg_schema::{IncrementalEngine, PgSchema, ValidationOptions};
+use pgraph::PropertyGraph;
+
+/// One live validation session.
+pub struct Session {
+    /// The engine holding the graph, the schema and the current report.
+    pub engine: IncrementalEngine<Arc<PgSchema>>,
+    /// Deltas successfully applied since the session was created.
+    pub deltas_applied: u64,
+}
+
+/// Registry of live sessions, shared by all workers.
+pub struct SessionRegistry {
+    sessions: RwLock<HashMap<u64, Arc<Mutex<Session>>>>,
+    next_id: AtomicU64,
+}
+
+impl SessionRegistry {
+    /// An empty registry; ids start at 1.
+    pub fn new() -> Self {
+        SessionRegistry {
+            sessions: RwLock::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Creates a session by seeding an incremental engine with a full
+    /// validation pass; returns its id.
+    pub fn create(
+        &self,
+        graph: PropertyGraph,
+        schema: Arc<PgSchema>,
+        options: &ValidationOptions,
+    ) -> u64 {
+        let engine = IncrementalEngine::new(graph, schema, options);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let session = Arc::new(Mutex::new(Session {
+            engine,
+            deltas_applied: 0,
+        }));
+        self.sessions.write().unwrap().insert(id, session);
+        id
+    }
+
+    /// The session with this id, if it exists. The returned handle is
+    /// cloned out of the map, so the registry lock is released before
+    /// the caller locks the session.
+    pub fn get(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
+        self.sessions.read().unwrap().get(&id).cloned()
+    }
+
+    /// Drops the session with this id; false if there was none.
+    pub fn remove(&self, id: u64) -> bool {
+        self.sessions.write().unwrap().remove(&id).is_some()
+    }
+
+    /// Number of live sessions (the `/metrics` gauge).
+    pub fn len(&self) -> usize {
+        self.sessions.read().unwrap().len()
+    }
+
+    /// True when no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for SessionRegistry {
+    fn default() -> Self {
+        SessionRegistry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgraph::{GraphBuilder, GraphDelta, Value};
+
+    fn session_parts() -> (PropertyGraph, Arc<PgSchema>) {
+        let schema = PgSchema::parse("type User { login: String! @required }").unwrap();
+        let graph = GraphBuilder::new()
+            .node("u", "User")
+            .prop("u", "login", "alice")
+            .build()
+            .unwrap();
+        (graph, Arc::new(schema))
+    }
+
+    #[test]
+    fn create_get_remove() {
+        let reg = SessionRegistry::new();
+        let (graph, schema) = session_parts();
+        let id = reg.create(graph, schema, &ValidationOptions::default());
+        assert_eq!(reg.len(), 1);
+        let session = reg.get(id).expect("session exists");
+        assert!(session.lock().unwrap().engine.report().conforms());
+        assert!(reg.get(id + 1).is_none());
+        assert!(reg.remove(id));
+        assert!(!reg.remove(id));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn sessions_absorb_deltas_through_the_arc_schema() {
+        let reg = SessionRegistry::new();
+        let (graph, schema) = session_parts();
+        let u = graph.node_ids().next().unwrap();
+        let id = reg.create(graph, schema, &ValidationOptions::default());
+        let session = reg.get(id).unwrap();
+        let mut s = session.lock().unwrap();
+        let outcome = s
+            .engine
+            .apply(&GraphDelta::new().set_node_property(u, "login", Value::Int(3)))
+            .unwrap();
+        assert_eq!(outcome.violations_added, 1);
+        assert!(!s.engine.report().conforms());
+    }
+}

@@ -1,0 +1,493 @@
+//! The daemon itself: listener, worker pool, routing and request
+//! logging. See the crate docs for the architecture overview and the
+//! route table.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pg_schema::{validate, Engine, PgSchema, ValidationOptions};
+use pgraph::json::{self, Json};
+
+use crate::http::{self, push_json_string, ReadOutcome, Request, Response};
+use crate::metrics::Metrics;
+use crate::pool::BoundedQueue;
+use crate::registry::SessionRegistry;
+
+/// How workers poll the shutdown flag while waiting on an idle
+/// keep-alive connection, and how the accept loop sleeps when idle.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Shape of the per-request log lines (`--log-format`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LogFormat {
+    /// `method=… path=… status=… micros=… engine=…` key-value text.
+    #[default]
+    Text,
+    /// One JSON object per line.
+    Json,
+    /// No request logging (load-test runs).
+    Off,
+}
+
+impl LogFormat {
+    /// Parses the `--log-format` flag value.
+    pub fn from_name(name: &str) -> Option<LogFormat> {
+        match name {
+            "text" => Some(LogFormat::Text),
+            "json" => Some(LogFormat::Json),
+            "off" => Some(LogFormat::Off),
+            _ => None,
+        }
+    }
+}
+
+/// Daemon configuration (the `serve` subcommand's flags).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7878`. Port 0 picks a free port.
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub threads: usize,
+    /// Accept-queue capacity; connections beyond it are shed with `503`.
+    pub queue_depth: usize,
+    /// Request-log shape.
+    pub log_format: LogFormat,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_owned(),
+            threads: 8,
+            queue_depth: 64,
+            log_format: LogFormat::Text,
+        }
+    }
+}
+
+/// Shared state every worker sees.
+struct Ctx {
+    metrics: Metrics,
+    registry: SessionRegistry,
+    queue: BoundedQueue<TcpStream>,
+    log_format: LogFormat,
+}
+
+/// A bound, not-yet-running daemon. [`bind`](Server::bind) first, read
+/// [`local_addr`](Server::local_addr) (tests bind port 0), then
+/// [`run`](Server::run) until the shutdown flag flips.
+pub struct Server {
+    listener: TcpListener,
+    threads: usize,
+    ctx: Ctx,
+}
+
+impl Server {
+    /// Binds the listener. The listener is switched to nonblocking so
+    /// the accept loop can interleave accepts with shutdown polling —
+    /// glibc installs SA_RESTART handlers, so a blocking `accept(2)`
+    /// would sleep straight through SIGTERM.
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            threads: config.threads.max(1),
+            ctx: Ctx {
+                metrics: Metrics::new(),
+                registry: SessionRegistry::new(),
+                queue: BoundedQueue::new(config.queue_depth),
+                log_format: config.log_format,
+            },
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until `shutdown` becomes true, then drains: the accept
+    /// loop stops, queued connections are still served, and each worker
+    /// finishes its in-flight request before exiting. Returns once every
+    /// worker has exited.
+    pub fn run(self, shutdown: &AtomicBool) -> io::Result<()> {
+        let ctx = &self.ctx;
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads {
+                scope.spawn(move || {
+                    while let Some(stream) = ctx.queue.pop() {
+                        serve_connection(ctx, stream, shutdown);
+                    }
+                });
+            }
+
+            while !shutdown.load(Ordering::Relaxed) {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        if let Err(stream) = ctx.queue.try_push(stream) {
+                            shed(ctx, stream);
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => std::thread::sleep(POLL_INTERVAL),
+                }
+            }
+            // Drain: no new connections, wake idle workers, serve what
+            // is queued, exit.
+            ctx.queue.close();
+        });
+        Ok(())
+    }
+}
+
+/// Answers a connection the queue has no room for: `503` with a
+/// `Retry-After` hint, written from the accept thread, then close.
+fn shed(ctx: &Ctx, mut stream: TcpStream) {
+    ctx.metrics.record_shed();
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let response =
+        Response::error(503, "accept queue full, retry shortly").with_header("retry-after", "1");
+    let _ = response.write_to(&mut stream, true);
+    ctx.metrics.record_request("(shed)", 503, 0);
+    log_request(ctx.log_format, "-", "(shed)", 503, 0, None);
+}
+
+/// One worker's keep-alive loop over a single connection.
+fn serve_connection(ctx: &Ctx, mut stream: TcpStream, shutdown: &AtomicBool) {
+    if stream.set_nonblocking(false).is_err() || stream.set_nodelay(true).is_err() {
+        return;
+    }
+    // The read timeout is the worker's shutdown poll: an idle keep-alive
+    // connection wakes every tick to check the flag.
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let mut buf = Vec::new();
+    loop {
+        match http::read_request(&mut stream, &mut buf) {
+            Ok(ReadOutcome::Request(request)) => {
+                let started = Instant::now();
+                let handled = route(ctx, &request);
+                let close = request.wants_close() || shutdown.load(Ordering::Relaxed);
+                let write_ok = handled.response.write_to(&mut stream, close).is_ok();
+                let micros = started.elapsed().as_micros() as u64;
+                ctx.metrics
+                    .record_request(handled.route, handled.response.status, micros);
+                log_request(
+                    ctx.log_format,
+                    &request.method,
+                    &request.path,
+                    handled.response.status,
+                    micros,
+                    handled.engine,
+                );
+                if close || !write_ok {
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Closed) => return,
+            Ok(ReadOutcome::TimedOut) => {
+                if shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let response = Response::error(400, &e.to_string());
+                let _ = response.write_to(&mut stream, true);
+                ctx.metrics.record_request("(bad-request)", 400, 0);
+                log_request(ctx.log_format, "-", "(bad-request)", 400, 0, None);
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// A routed response plus its labels for metrics and the request log.
+struct Handled {
+    route: &'static str,
+    response: Response,
+    engine: Option<&'static str>,
+}
+
+impl Handled {
+    fn plain(route: &'static str, response: Response) -> Handled {
+        Handled {
+            route,
+            response,
+            engine: None,
+        }
+    }
+}
+
+fn route(ctx: &Ctx, request: &Request) -> Handled {
+    let method = request.method.as_str();
+    let path = request.path.as_str();
+    match (method, path) {
+        ("GET", "/healthz") => Handled::plain("/healthz", Response::text(200, "ok\n")),
+        ("GET", "/metrics") => Handled::plain(
+            "/metrics",
+            Response::text(
+                200,
+                ctx.metrics.render(ctx.queue.depth(), ctx.registry.len()),
+            ),
+        ),
+        ("POST", "/validate") => handle_validate(ctx, request),
+        ("POST", "/sessions") => handle_create_session(ctx, request),
+        (_, "/healthz" | "/metrics" | "/validate" | "/sessions") => Handled::plain(
+            path_template(path),
+            Response::error(405, "method not allowed"),
+        ),
+        _ => match parse_session_path(path) {
+            Some((id, tail)) => route_session(ctx, request, id, tail),
+            None => Handled::plain("(unknown)", Response::error(404, "no such route")),
+        },
+    }
+}
+
+fn path_template(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/metrics" => "/metrics",
+        "/validate" => "/validate",
+        "/sessions" => "/sessions",
+        _ => "(unknown)",
+    }
+}
+
+/// Splits `/sessions/{id}` or `/sessions/{id}/{tail}`.
+fn parse_session_path(path: &str) -> Option<(u64, &str)> {
+    let rest = path.strip_prefix("/sessions/")?;
+    let (id, tail) = match rest.split_once('/') {
+        Some((id, tail)) => (id, tail),
+        None => (rest, ""),
+    };
+    Some((id.parse().ok()?, tail))
+}
+
+fn route_session(ctx: &Ctx, request: &Request, id: u64, tail: &str) -> Handled {
+    match (request.method.as_str(), tail) {
+        ("POST", "deltas") => handle_delta(ctx, request, id),
+        ("GET", "report") => handle_report(ctx, id),
+        ("GET", "graph") => handle_graph(ctx, id),
+        ("DELETE", "") => Handled::plain(
+            "/sessions/{id}",
+            if ctx.registry.remove(id) {
+                Response::json(200, "{\"deleted\":true}")
+            } else {
+                Response::error(404, "no such session")
+            },
+        ),
+        ("POST" | "GET" | "DELETE", "deltas" | "report" | "graph" | "") => {
+            Handled::plain("(unknown)", Response::error(405, "method not allowed"))
+        }
+        _ => Handled::plain("(unknown)", Response::error(404, "no such route")),
+    }
+}
+
+/// Decodes the `{"schema": <sdl string>, "graph": <graph document>}`
+/// envelope shared by `POST /validate` and `POST /sessions`.
+fn parse_envelope(body: &[u8]) -> Result<(PgSchema, pgraph::PropertyGraph), String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    let sdl = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing string field \"schema\"".to_owned())?;
+    let schema = PgSchema::parse(sdl).map_err(|e| format!("schema: {e}"))?;
+    let graph_value = doc
+        .get("graph")
+        .ok_or_else(|| "missing field \"graph\"".to_owned())?;
+    let graph = json::graph_from_value(graph_value).map_err(|e| format!("graph: {e}"))?;
+    Ok((schema, graph))
+}
+
+fn handle_validate(ctx: &Ctx, request: &Request) -> Handled {
+    let engine = match request.query_param("engine") {
+        None => Engine::Indexed,
+        Some(name) => match Engine::from_name(name) {
+            Some(engine) => engine,
+            None => {
+                return Handled::plain(
+                    "/validate",
+                    Response::error(400, &format!("unknown engine {name:?}")),
+                )
+            }
+        },
+    };
+    let (schema, graph) = match parse_envelope(&request.body) {
+        Ok(parts) => parts,
+        Err(message) => return Handled::plain("/validate", Response::error(400, &message)),
+    };
+    let options = ValidationOptions::builder()
+        .engine(engine)
+        .collect_metrics(true)
+        .build();
+    let report = validate(&graph, &schema, &options);
+    ctx.metrics.record_validation(engine, report.metrics());
+    Handled {
+        route: "/validate",
+        response: Response::json(200, report.to_json()),
+        engine: Some(engine.name()),
+    }
+}
+
+fn handle_create_session(ctx: &Ctx, request: &Request) -> Handled {
+    let (schema, graph) = match parse_envelope(&request.body) {
+        Ok(parts) => parts,
+        Err(message) => return Handled::plain("/sessions", Response::error(400, &message)),
+    };
+    let options = ValidationOptions::builder().collect_metrics(true).build();
+    let id = ctx.registry.create(graph, Arc::new(schema), &options);
+    let session = ctx.registry.get(id).expect("session just created");
+    let report = session.lock().unwrap().engine.report();
+    ctx.metrics
+        .record_validation(Engine::Incremental, report.metrics());
+    let body = format!("{{\"session\":{},\"report\":{}}}", id, report.to_json());
+    Handled {
+        route: "/sessions",
+        response: Response::json(201, body),
+        engine: Some("incremental"),
+    }
+}
+
+fn handle_delta(ctx: &Ctx, request: &Request, id: u64) -> Handled {
+    const ROUTE: &str = "/sessions/{id}/deltas";
+    let delta = match std::str::from_utf8(&request.body)
+        .map_err(|_| "body is not UTF-8".to_owned())
+        .and_then(|text| json::delta_from_json(text).map_err(|e| e.to_string()))
+    {
+        Ok(delta) => delta,
+        Err(message) => return Handled::plain(ROUTE, Response::error(400, &message)),
+    };
+    let session = match ctx.registry.get(id) {
+        Some(session) => session,
+        None => return Handled::plain(ROUTE, Response::error(404, "no such session")),
+    };
+    let mut session = session.lock().unwrap();
+    match session.engine.apply(&delta) {
+        Ok(outcome) => {
+            session.deltas_applied += 1;
+            let report = session.engine.report();
+            let deltas_applied = session.deltas_applied;
+            drop(session);
+            ctx.metrics
+                .record_validation(Engine::Incremental, report.metrics());
+            let body = format!(
+                "{{\"outcome\":{{\"elements_rechecked\":{},\"elements_total\":{},\
+                 \"violations_added\":{},\"violations_removed\":{}}},\
+                 \"deltas_applied\":{},\"report\":{}}}",
+                outcome.elements_rechecked,
+                outcome.elements_total,
+                outcome.violations_added,
+                outcome.violations_removed,
+                deltas_applied,
+                report.to_json()
+            );
+            Handled {
+                route: ROUTE,
+                response: Response::json(200, body),
+                engine: Some("incremental"),
+            }
+        }
+        // The delta named elements the session's graph does not have:
+        // the state is untouched (the engine reseeds), report the
+        // conflict to the client.
+        Err(e) => Handled::plain(ROUTE, Response::error(409, &e.to_string())),
+    }
+}
+
+fn handle_report(ctx: &Ctx, id: u64) -> Handled {
+    const ROUTE: &str = "/sessions/{id}/report";
+    match ctx.registry.get(id) {
+        Some(session) => {
+            let report = session.lock().unwrap().engine.report();
+            Handled {
+                route: ROUTE,
+                response: Response::json(200, report.to_json()),
+                engine: Some("incremental"),
+            }
+        }
+        None => Handled::plain(ROUTE, Response::error(404, "no such session")),
+    }
+}
+
+fn handle_graph(ctx: &Ctx, id: u64) -> Handled {
+    const ROUTE: &str = "/sessions/{id}/graph";
+    match ctx.registry.get(id) {
+        Some(session) => {
+            let body = json::to_json(session.lock().unwrap().engine.graph());
+            Handled::plain(ROUTE, Response::json(200, body))
+        }
+        None => Handled::plain(ROUTE, Response::error(404, "no such session")),
+    }
+}
+
+/// Writes the one-line request log to stderr.
+fn log_request(
+    format: LogFormat,
+    method: &str,
+    path: &str,
+    status: u16,
+    micros: u64,
+    engine: Option<&'static str>,
+) {
+    let line = match format {
+        LogFormat::Off => return,
+        LogFormat::Text => format!(
+            "method={method} path={path} status={status} micros={micros} engine={}",
+            engine.unwrap_or("-")
+        ),
+        LogFormat::Json => {
+            let mut line = String::with_capacity(96);
+            line.push_str("{\"method\":");
+            push_json_string(&mut line, method);
+            line.push_str(",\"path\":");
+            push_json_string(&mut line, path);
+            line.push_str(&format!(
+                ",\"status\":{status},\"micros\":{micros},\"engine\":"
+            ));
+            match engine {
+                Some(engine) => push_json_string(&mut line, engine),
+                None => line.push_str("null"),
+            }
+            line.push('}');
+            line
+        }
+    };
+    let stderr = io::stderr();
+    let mut out = stderr.lock();
+    let _ = writeln!(out, "{line}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_paths_parse() {
+        assert_eq!(
+            parse_session_path("/sessions/7/deltas"),
+            Some((7, "deltas"))
+        );
+        assert_eq!(parse_session_path("/sessions/12"), Some((12, "")));
+        assert_eq!(parse_session_path("/sessions/x/report"), None);
+        assert_eq!(parse_session_path("/metrics"), None);
+    }
+
+    #[test]
+    fn log_formats_parse() {
+        assert_eq!(LogFormat::from_name("text"), Some(LogFormat::Text));
+        assert_eq!(LogFormat::from_name("json"), Some(LogFormat::Json));
+        assert_eq!(LogFormat::from_name("off"), Some(LogFormat::Off));
+        assert_eq!(LogFormat::from_name("xml"), None);
+    }
+}

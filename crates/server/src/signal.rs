@@ -1,0 +1,48 @@
+//! SIGTERM / SIGINT → a process-global shutdown flag.
+//!
+//! `std` exposes no signal API, and the workspace vendors no `libc`
+//! crate, so this module carries the one unavoidable FFI declaration
+//! itself: `signal(2)` from the C runtime, installing a handler that
+//! does the only async-signal-safe thing worth doing — a relaxed store
+//! to a static `AtomicBool`. The accept loop polls that flag (the
+//! listener runs nonblocking precisely because glibc's `signal()`
+//! installs SA_RESTART handlers, which would otherwise leave a blocking
+//! `accept(2)` sleeping through the signal).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-global "a termination signal arrived" flag.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+extern "C" {
+    // `signal(2)`. The true return type is the previous handler
+    // (a function pointer); it is declared as `usize` here because the
+    // value is ignored and the two are ABI-identical on every platform
+    // this daemon targets.
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+/// Installs the SIGTERM and SIGINT handlers (idempotent) and returns the
+/// flag they set. Callers embed the flag into their accept/poll loops;
+/// tests skip this and drive a flag of their own.
+pub fn install() -> &'static AtomicBool {
+    // SAFETY: `signal` is the C runtime's own registration call, and the
+    // handler only performs an atomic store, which is async-signal-safe.
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+    &SHUTDOWN
+}
+
+/// True once a termination signal has been observed.
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}

@@ -1,0 +1,363 @@
+//! End-to-end tests over a real socket: the daemon is started in
+//! process on port 0, driven by hand-rolled HTTP clients, and shut down
+//! via the same flag SIGTERM flips.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pg_schema::{validate, Engine, ValidationOptions};
+use pg_server::http::read_response;
+use pg_server::workload::{sample_graph, toggle_delta, user_ids, SCHEMA_SDL};
+use pg_server::{LogFormat, Server, ServerConfig};
+use pgraph::json::{self, Json};
+
+struct Daemon {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: JoinHandle<io::Result<()>>,
+}
+
+impl Daemon {
+    fn start(threads: usize, queue_depth: usize) -> Daemon {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads,
+            queue_depth,
+            log_format: LogFormat::Off,
+        })
+        .expect("bind");
+        let addr = server.local_addr().expect("local addr");
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::spawn(move || server.run(&flag));
+        Daemon {
+            addr,
+            shutdown,
+            handle,
+        }
+    }
+
+    fn stop(self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.handle
+            .join()
+            .expect("server thread")
+            .expect("clean shutdown");
+    }
+}
+
+struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        Client {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn request(&mut self, method: &str, target: &str, body: &[u8]) -> (u16, Vec<u8>) {
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes()).unwrap();
+        self.stream.write_all(body).unwrap();
+        let (status, _headers, body) =
+            read_response(&mut self.stream, &mut self.buf).expect("response");
+        (status, body)
+    }
+
+    fn request_json(&mut self, method: &str, target: &str, body: &[u8]) -> (u16, Json) {
+        let (status, body) = self.request(method, target, body);
+        let text = String::from_utf8(body).expect("UTF-8 body");
+        (status, Json::parse(&text).expect("JSON body"))
+    }
+}
+
+fn envelope(users: usize) -> Vec<u8> {
+    let graph = sample_graph(users);
+    let mut out = String::new();
+    out.push_str("{\"schema\":");
+    pg_server::http::push_json_string(&mut out, SCHEMA_SDL);
+    out.push_str(",\"graph\":");
+    out.push_str(&json::to_json(&graph));
+    out.push('}');
+    out.into_bytes()
+}
+
+#[test]
+fn stateless_validate_on_every_engine() {
+    let daemon = Daemon::start(2, 16);
+    let mut client = Client::connect(daemon.addr);
+
+    let (status, body) = client.request("GET", "/healthz", b"");
+    assert_eq!((status, body.as_slice()), (200, b"ok\n".as_slice()));
+
+    for engine in ["naive", "indexed", "parallel", "incremental"] {
+        let (status, report) =
+            client.request_json("POST", &format!("/validate?engine={engine}"), &envelope(3));
+        assert_eq!(status, 200, "engine {engine}");
+        assert_eq!(report.get("conforms"), Some(&Json::Bool(true)));
+        assert_eq!(
+            report.get("engine").and_then(Json::as_str),
+            Some(engine),
+            "report names the engine that ran"
+        );
+    }
+
+    let (status, _) = client.request_json("POST", "/validate?engine=quantum", &envelope(1));
+    assert_eq!(status, 400);
+    let (status, _) = client.request_json("POST", "/validate", b"{\"schema\": 7}");
+    assert_eq!(status, 400);
+    let (status, _) = client.request_json("GET", "/nope", b"");
+    assert_eq!(status, 404);
+    let (status, _) = client.request_json("DELETE", "/validate", b"");
+    assert_eq!(status, 405);
+
+    daemon.stop();
+}
+
+#[test]
+fn session_delta_round_trip() {
+    let daemon = Daemon::start(2, 16);
+    let mut client = Client::connect(daemon.addr);
+
+    let (status, created) = client.request_json("POST", "/sessions", &envelope(4));
+    assert_eq!(status, 201);
+    let id = created.get("session").and_then(Json::as_i64).unwrap();
+    assert_eq!(
+        created.get("report").and_then(|r| r.get("conforms")),
+        Some(&Json::Bool(true))
+    );
+
+    let graph = sample_graph(4);
+    let user = user_ids(&graph)[0];
+
+    // Break, then verify the patched report arrives with the response.
+    let delta = json::delta_to_json(&toggle_delta(user, 0));
+    let (status, patched) =
+        client.request_json("POST", &format!("/sessions/{id}/deltas"), delta.as_bytes());
+    assert_eq!(status, 200);
+    assert_eq!(
+        patched.get("report").and_then(|r| r.get("conforms")),
+        Some(&Json::Bool(false))
+    );
+    let outcome = patched.get("outcome").unwrap();
+    assert_eq!(
+        outcome.get("violations_added").and_then(Json::as_i64),
+        Some(1)
+    );
+
+    // The stored report and graph agree.
+    let (status, report) = client.request_json("GET", &format!("/sessions/{id}/report"), b"");
+    assert_eq!(status, 200);
+    assert_eq!(report.get("conforms"), Some(&Json::Bool(false)));
+    let (status, graph_doc) = client.request_json("GET", &format!("/sessions/{id}/graph"), b"");
+    assert_eq!(status, 200);
+    let served = json::graph_from_value(&graph_doc).unwrap();
+    let schema = pg_schema::PgSchema::parse(SCHEMA_SDL).unwrap();
+    assert!(!pg_schema::strongly_satisfies(&served, &schema));
+
+    // A delta naming a missing node conflicts without corrupting state.
+    let bogus = r#"{"ops":[{"op":"remove-node","node":999}]}"#;
+    let (status, _) =
+        client.request_json("POST", &format!("/sessions/{id}/deltas"), bogus.as_bytes());
+    assert_eq!(status, 409);
+    let (status, report) = client.request_json("GET", &format!("/sessions/{id}/report"), b"");
+    assert_eq!(status, 200);
+    assert_eq!(report.get("conforms"), Some(&Json::Bool(false)));
+
+    // Delete, then the id is gone.
+    let (status, _) = client.request_json("DELETE", &format!("/sessions/{id}"), b"");
+    assert_eq!(status, 200);
+    let (status, _) = client.request_json("GET", &format!("/sessions/{id}/report"), b"");
+    assert_eq!(status, 404);
+
+    daemon.stop();
+}
+
+#[test]
+fn metrics_count_requests_and_sessions() {
+    let daemon = Daemon::start(2, 16);
+    let mut client = Client::connect(daemon.addr);
+
+    client.request("POST", "/validate?engine=parallel", &envelope(2));
+    let (status, created) = client.request_json("POST", "/sessions", &envelope(2));
+    assert_eq!(status, 201);
+    assert!(created.get("session").is_some());
+
+    let (status, body) = client.request("GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("pgschemad_validations_total{engine=\"parallel\"} 1"));
+    assert!(text.contains("pgschemad_sessions_live 1"));
+    assert!(text.contains("pgschemad_http_requests_total{route=\"/validate\",status=\"200\"} 1"));
+    assert!(text.contains("pgschemad_request_duration_micros_bucket"));
+
+    daemon.stop();
+}
+
+#[test]
+fn saturated_queue_sheds_with_503_and_retry_after() {
+    // One worker and a queue of one: the worker parks on the first idle
+    // connection, the queue holds the second, every further accept must
+    // be shed.
+    let daemon = Daemon::start(1, 1);
+    let mut idle: Vec<TcpStream> = (0..5)
+        .map(|_| {
+            let s = TcpStream::connect(daemon.addr).expect("connect");
+            s.set_read_timeout(Some(Duration::from_millis(1500)))
+                .unwrap();
+            s
+        })
+        .collect();
+    // Give the accept thread time to classify all five.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let mut shed = 0;
+    let mut retry_after = 0;
+    for stream in &mut idle {
+        let mut buf = Vec::new();
+        if let Ok((status, headers, _body)) = read_response(stream, &mut buf) {
+            if status == 503 {
+                shed += 1;
+                if headers
+                    .iter()
+                    .any(|(name, value)| name == "retry-after" && value == "1")
+                {
+                    retry_after += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        shed >= 3,
+        "expected at least 3 shed connections, got {shed}"
+    );
+    assert_eq!(retry_after, shed, "every 503 carries Retry-After");
+
+    daemon.stop();
+}
+
+#[test]
+fn graceful_shutdown_completes_in_flight_work() {
+    let daemon = Daemon::start(2, 16);
+    let mut client = Client::connect(daemon.addr);
+    let (status, _) = client.request("GET", "/healthz", b"");
+    assert_eq!(status, 200);
+
+    // Flip the flag (what SIGTERM does) and require a clean exit while a
+    // keep-alive connection is still open.
+    daemon.shutdown.store(true, Ordering::Relaxed);
+    daemon
+        .handle
+        .join()
+        .expect("server thread")
+        .expect("clean shutdown");
+}
+
+/// Satellite: hammer one session from many threads — interleaved delta
+/// POSTs and report GETs — then require the final report to equal a
+/// from-scratch validation by all four engines (the engine-agreement
+/// oracle of `tests/engine_agreement.rs`, aimed at the server).
+#[test]
+fn hammered_session_report_equals_from_scratch_validation() {
+    let daemon = Daemon::start(4, 32);
+    let mut client = Client::connect(daemon.addr);
+
+    let users = 8;
+    let (status, created) = client.request_json("POST", "/sessions", &envelope(users));
+    assert_eq!(status, 201);
+    let id = created.get("session").and_then(Json::as_i64).unwrap();
+
+    let graph = sample_graph(users);
+    let user_nodes = user_ids(&graph);
+
+    // Four writer threads, each toggling its own user node so the
+    // interleaving is conflict-free: even threads apply an odd number of
+    // deltas (ending broken), odd threads an even number (ending
+    // repaired). Two reader threads poll the report concurrently.
+    let writers = 4;
+    std::thread::scope(|scope| {
+        for (t, &user) in user_nodes.iter().enumerate().take(writers) {
+            let addr = daemon.addr;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                let deltas = if t % 2 == 0 { 9 } else { 10 };
+                for i in 0..deltas {
+                    let delta = json::delta_to_json(&toggle_delta(user, i));
+                    let (status, _) =
+                        client.request("POST", &format!("/sessions/{id}/deltas"), delta.as_bytes());
+                    assert_eq!(status, 200, "writer {t} delta {i}");
+                }
+            });
+        }
+        for _ in 0..2 {
+            let addr = daemon.addr;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                for _ in 0..20 {
+                    let (status, report) =
+                        client.request_json("GET", &format!("/sessions/{id}/report"), b"");
+                    assert_eq!(status, 200);
+                    // Any intermediate report is internally consistent:
+                    // conforms iff no violations.
+                    let conforms = report.get("conforms") == Some(&Json::Bool(true));
+                    let empty = report
+                        .get("violations")
+                        .and_then(Json::as_array)
+                        .is_some_and(|v| v.is_empty());
+                    assert_eq!(conforms, empty);
+                }
+            });
+        }
+    });
+
+    // Oracle: fetch the final graph, revalidate from scratch with all
+    // four engines, and require each to agree with the session's report.
+    let (status, final_report) = client.request_json("GET", &format!("/sessions/{id}/report"), b"");
+    assert_eq!(status, 200);
+    let (status, graph_doc) = client.request_json("GET", &format!("/sessions/{id}/graph"), b"");
+    assert_eq!(status, 200);
+    let served = json::graph_from_value(&graph_doc).unwrap();
+    let schema = pg_schema::PgSchema::parse(SCHEMA_SDL).unwrap();
+
+    // Two writers ended broken (WS1 on their user's login).
+    assert_eq!(final_report.get("conforms"), Some(&Json::Bool(false)));
+    for engine in [
+        Engine::Naive,
+        Engine::Indexed,
+        Engine::Parallel,
+        Engine::Incremental,
+    ] {
+        let scratch = validate(&served, &schema, &ValidationOptions::with_engine(engine));
+        let scratch_doc = Json::parse(&scratch.to_json()).unwrap();
+        assert_eq!(
+            final_report.get("conforms"),
+            scratch_doc.get("conforms"),
+            "{} disagrees on conformance",
+            engine.name()
+        );
+        assert_eq!(
+            final_report.get("violations"),
+            scratch_doc.get("violations"),
+            "{} disagrees on the violation set",
+            engine.name()
+        );
+    }
+
+    daemon.stop();
+}
