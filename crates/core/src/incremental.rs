@@ -26,15 +26,16 @@
 //! dirty node set `D` and the set `L` of live edges incident to `D` cover
 //! every anchor whose rule inputs the mutation can have changed.
 //! Violations anchored in `D ∪ L` (or at removed elements) are dropped,
-//! and the rule library of the indexed engine is re-run restricted to the
-//! dirty region: element scans walk `D` and `L`, group-keyed rules run
-//! over a partial [`GraphIndex`] of the region with `owns = D.contains` —
-//! the same ownership-predicate mechanism the sharded `parallel` engine
-//! uses, with "shard" = the dirty set (groups keyed by a node of `D` are
+//! and the shared rule kernels (the crate-private `rules` module) are
+//! re-run over a dirty `Scope`: element scans walk `D` and `L`,
+//! group-keyed kernels run over a partial [`GraphIndex`] of the region
+//! whose scope owns exactly the nodes of `D` — the same
+//! ownership-predicate mechanism the sharded `parallel` engine uses,
+//! with "shard" = the dirty set (groups keyed by a node of `D` are
 //! complete in the partial index, because *all* of that node's incident
 //! edges are in `L`). DS7 is maintained as a persistent tuple table per
-//! key (the map side of the parallel engine's map-reduce), so only
-//! affected key groups are re-emitted.
+//! key (`Ds7Plan::Recheck` — the durable form of the parallel engine's
+//! map side), so only affected key groups are re-emitted.
 //!
 //! Soundness rests on a symmetry invariant: *everything dropped is
 //! re-derivable, and everything re-derived was dropped* — node-anchored
@@ -50,14 +51,16 @@
 //! the resulting speedup over full indexed validation.
 
 use std::borrow::Borrow;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 use pgraph::index::GraphIndex;
-use pgraph::{DeltaEffect, EdgeId, GraphDelta, GraphError, NodeId, PropertyGraph, Value};
+use pgraph::{DeltaEffect, EdgeId, GraphDelta, GraphError, NodeId, PropertyGraph};
 
 use crate::indexed;
+use crate::metrics::families_from_rules;
 use crate::pgschema::PgSchema;
 use crate::report::{ValidationMetrics, ValidationReport, Violation};
+use crate::rules::{self, Ds7Plan, KeyTable, Scope, Sink};
 use crate::ValidationOptions;
 
 /// Stateless entry point behind [`Engine::Incremental`](crate::Engine):
@@ -70,15 +73,6 @@ pub(crate) fn run(
     options: &ValidationOptions,
 ) -> ValidationReport {
     indexed::run_named(g, s, options, "incremental")
-}
-
-/// Per-`@key` state: each node's current key tuple and the groups of
-/// nodes sharing one — the persistent form of the indexed engine's DS7
-/// collect phase.
-struct KeyTable {
-    scalar_fields: Vec<String>,
-    tuples: HashMap<NodeId, Vec<Option<Value>>>,
-    groups: HashMap<Vec<Option<Value>>, Vec<NodeId>>,
 }
 
 /// What one [`apply`](IncrementalEngine::apply) call did.
@@ -194,7 +188,7 @@ impl<S: Borrow<PgSchema>> IncrementalEngine<S> {
             self.inc[e.target().index()].push(e.id);
         }
 
-        self.key_tables = build_key_tables(schema, &self.graph, &self.options);
+        self.key_tables = rules::directives::build_key_tables(schema, &self.graph, &self.options);
         self.metrics = None;
         if self.options.collect_metrics {
             let total = (self.graph.node_count() + self.graph.edge_count()) as u64;
@@ -329,6 +323,8 @@ impl<S: Borrow<PgSchema>> IncrementalEngine<S> {
         });
 
         // -- 4. re-derive over the dirty region -------------------------
+        // The same kernels every engine runs, under a dirty scope and the
+        // DS7 recheck plan against this session's persistent key tables.
         let mut fresh = ValidationReport::default();
         let ix = GraphIndex::build_partial(
             &self.graph,
@@ -336,34 +332,13 @@ impl<S: Borrow<PgSchema>> IncrementalEngine<S> {
             local_edges.iter().copied(),
         );
         let labels: Vec<String> = ix.node_labels().map(str::to_owned).collect();
-        let owns = |n: NodeId| dirty.contains(&n);
         let g = &self.graph;
         let s = self.schema.borrow();
         let o = &self.options;
-        let dirty_nodes = || dirty.iter().filter_map(|&v| g.node(v));
-        let region_edges = || local_edges.iter().filter_map(|&e| g.edge(e));
-
-        if o.weak {
-            indexed::scan_node_properties(dirty_nodes(), s, o, &mut fresh);
-            indexed::scan_edges(g, region_edges(), s, o, &mut fresh);
-            indexed::ws4(g, s, &ix, &mut fresh, owns);
-        }
-        if o.directives {
-            indexed::ds1(g, s, &ix, &mut fresh, owns);
-            indexed::ds2(g, s, region_edges(), &mut fresh);
-            indexed::ds3(g, s, &ix, &mut fresh, owns);
-            indexed::ds4(g, s, &ix, &labels, &mut fresh, owns);
-            indexed::ds5(g, s, &ix, &labels, &mut fresh, owns);
-            indexed::ds6(g, s, &ix, &labels, &mut fresh, owns);
-            recheck_keys(s, g, &mut self.key_tables, &dirty, &mut fresh);
-        }
-        if o.strong {
-            if !o.weak {
-                indexed::scan_node_properties(dirty_nodes(), s, o, &mut fresh);
-                indexed::scan_edges(g, region_edges(), s, o, &mut fresh);
-            }
-            indexed::ss1(dirty_nodes(), s, &mut fresh);
-        }
+        let scope = Scope::dirty(g, s, &ix, &labels, &dirty, &local_edges);
+        let mut sink = Sink::new(&mut fresh, o.collect_metrics);
+        rules::run(&scope, o, &mut sink, Ds7Plan::Recheck(&mut self.key_tables));
+        let sink_out = sink.finish();
 
         // -- 5. merge ----------------------------------------------------
         // `kept` and the re-derived set have disjoint anchor spaces by the
@@ -382,15 +357,20 @@ impl<S: Borrow<PgSchema>> IncrementalEngine<S> {
         let rechecked = (dirty.len() + local_edges.len()) as u64;
         let total = (self.graph.node_count() + self.graph.edge_count()) as u64;
         if self.options.collect_metrics {
-            self.metrics = Some(ValidationMetrics {
+            let mut m = ValidationMetrics {
                 engine: "incremental",
                 threads: 1,
-                nodes_scanned: dirty.len() as u64,
-                edges_scanned: local_edges.len() as u64,
                 elements_rechecked: rechecked,
                 elements_total: total,
                 ..ValidationMetrics::default()
-            });
+            };
+            if let Some(out) = sink_out {
+                m.families = families_from_rules(&out.rules);
+                m.rules = out.rules;
+                m.nodes_scanned = out.nodes_scanned;
+                m.edges_scanned = out.edges_scanned;
+            }
+            self.metrics = Some(m);
         }
         DeltaOutcome {
             elements_rechecked: rechecked as usize,
@@ -424,95 +404,6 @@ fn diff_counts(old: &[Violation], new: &[Violation]) -> (usize, usize) {
     (added + new.len() - j, removed + old.len() - i)
 }
 
-/// Seeds one tuple table per key constraint (directives only).
-fn build_key_tables(s: &PgSchema, g: &PropertyGraph, options: &ValidationOptions) -> Vec<KeyTable> {
-    if !options.directives {
-        return Vec::new();
-    }
-    s.keys()
-        .iter()
-        .map(|key| {
-            let scalar_fields: Vec<String> = indexed::ds7_scalar_fields(s, key)
-                .into_iter()
-                .map(str::to_owned)
-                .collect();
-            let mut table = KeyTable {
-                scalar_fields,
-                tuples: HashMap::new(),
-                groups: HashMap::new(),
-            };
-            for n in g.nodes() {
-                if s.label_subtype(n.label(), key.site) {
-                    let tuple: Vec<Option<Value>> = table
-                        .scalar_fields
-                        .iter()
-                        .map(|f| g.node_property(n.id, f).cloned())
-                        .collect();
-                    table.groups.entry(tuple.clone()).or_default().push(n.id);
-                    table.tuples.insert(n.id, tuple);
-                }
-            }
-            table
-        })
-        .collect()
-}
-
-/// DS7 on the dirty node set: move each dirty node between tuple groups
-/// and re-emit the pairs it now participates in. Pairs between two
-/// non-dirty nodes were never dropped and stay valid (their tuples did
-/// not change).
-fn recheck_keys(
-    s: &PgSchema,
-    g: &PropertyGraph,
-    tables: &mut [KeyTable],
-    dirty: &BTreeSet<NodeId>,
-    r: &mut ValidationReport,
-) {
-    for (key, table) in s.keys().iter().zip(tables) {
-        for &v in dirty {
-            if let Some(old) = table.tuples.remove(&v) {
-                if let Some(group) = table.groups.get_mut(&old) {
-                    group.retain(|&n| n != v);
-                    if group.is_empty() {
-                        table.groups.remove(&old);
-                    }
-                }
-            }
-            let Some(label) = g.node_label(v) else {
-                continue; // removed node: it only leaves its group
-            };
-            if !s.label_subtype(label, key.site) {
-                continue;
-            }
-            let tuple: Vec<Option<Value>> = table
-                .scalar_fields
-                .iter()
-                .map(|f| g.node_property(v, f).cloned())
-                .collect();
-            table.groups.entry(tuple.clone()).or_default().push(v);
-            table.tuples.insert(v, tuple);
-        }
-        // Emit the pairs involving dirty members of their (new) groups.
-        for &v in dirty {
-            let Some(tuple) = table.tuples.get(&v) else {
-                continue;
-            };
-            for &w in &table.groups[tuple] {
-                if w == v {
-                    continue;
-                }
-                let (a, b) = if v < w { (v, w) } else { (w, v) };
-                r.push(Violation::KeyViolated {
-                    a,
-                    b,
-                    ty: s.schema().type_name(key.site).to_owned(),
-                    fields: key.fields.clone(),
-                });
-            }
-        }
-    }
-}
-
 /// The elements a violation is anchored at: `(node, edge, ds7 pair)`.
 /// Exactly one of the three is `Some` for every variant.
 #[allow(clippy::type_complexity)]
@@ -540,7 +431,7 @@ fn anchors(v: &Violation) -> (Option<NodeId>, Option<EdgeId>, Option<(NodeId, No
 mod tests {
     use super::*;
     use crate::{validate, Engine, ValidationOptions};
-    use pgraph::GraphBuilder;
+    use pgraph::{GraphBuilder, Value};
 
     fn schema() -> PgSchema {
         let doc = gql_sdl::parse(

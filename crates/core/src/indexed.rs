@@ -1,38 +1,32 @@
-//! The indexed validation engine — and the shared rule library.
+//! The indexed validation engine — a thin planner over the rule kernels.
 //!
 //! One `O(|V| + |E|)` pass builds a [`GraphIndex`] (label index, adjacency
-//! grouped by edge label, parallel-edge groups); every rule then reduces
-//! to hash-group lookups:
+//! grouped by edge label, parallel-edge groups); the
+//! [`rules`](crate::rules) layer then evaluates every enabled kernel over
+//! a whole-graph [`Scope`](crate::rules::Scope):
 //!
-//! * WS1/WS2/SS1–SS3 are single scans over properties,
-//! * WS3/SS4 are single scans over edges,
+//! * WS1/SS1/SS2 are single scans over nodes and their properties,
+//! * WS2/WS3/DS2/SS3/SS4 are single scans over edges,
 //! * WS4/DS1/DS3 read the precomputed `(source, label)` / `(source,
 //!   label, target)` / `(target, label)` groups,
 //! * DS4–DS6 scan label buckets of the node-label index,
-//! * DS7 builds one hash map from key tuples to nodes per `@key`.
+//! * DS7 builds one hash map from key tuples to nodes per `@key`
+//!   ([`Ds7Plan::Inline`]).
 //!
 //! The result is near-linear in `|V| + |E|` for a fixed schema — the
 //! practical counterpart of the paper's AC0/`O(n²)` analysis — and is
 //! property-tested to agree violation-for-violation with the naive
 //! engine.
-//!
-//! The rule functions are `pub(crate)` and deliberately generic: element
-//! scans take the node/edge iterator to walk, group-keyed rules take an
-//! `owns` predicate selecting the groups to process, and DS7 is split
-//! into a collect and an emit phase. The serial engine instantiates them
-//! with whole-graph iterators and `|_| true`; the parallel engine feeds
-//! shard iterators and shard-ownership predicates, so both engines run
-//! the *same* checks by construction.
 
-use std::collections::HashMap;
 use std::time::Instant;
 
 use pgraph::index::GraphIndex;
-use pgraph::{EdgeRef, NodeId, NodeRef, PropertyGraph, Value};
+use pgraph::PropertyGraph;
 
 use crate::metrics::MetricsRecorder;
-use crate::pgschema::{KeyConstraint, PgSchema};
-use crate::report::{RuleFamily, ValidationReport, Violation};
+use crate::pgschema::PgSchema;
+use crate::report::ValidationReport;
+use crate::rules::{self, Ds7Plan, Scope, Sink};
 use crate::ValidationOptions;
 
 pub(crate) fn run(
@@ -58,532 +52,14 @@ pub(crate) fn run_named(
 
     let start = Instant::now();
     let ix = GraphIndex::build(g);
-    // Labels actually present, with their subtype relationships to the
-    // schema's constraint sites resolved once.
     let labels: Vec<String> = ix.node_labels().map(str::to_owned).collect();
     rec.index_build(start.elapsed().as_nanos() as u64);
 
-    let (nv, ne) = (g.node_count() as u64, g.edge_count() as u64);
+    let scope = Scope::full(g, s, &ix, &labels);
+    let mut sink = Sink::new(&mut r, options.collect_metrics);
+    rules::run(&scope, options, &mut sink, Ds7Plan::Inline);
+    rec.absorb(sink.finish());
 
-    // The property/edge scans serve both the weak and the strong rules in
-    // one fused pass; they run inside the earliest enabled family block.
-    if options.weak {
-        rec.family(RuleFamily::Weak, &mut r, |r| {
-            scan_node_properties(g.nodes(), s, options, r);
-            scan_edges(g, g.edges(), s, options, r);
-            ws4(g, s, &ix, r, |_| true);
-        });
-        rec.scanned(nv, ne);
-    }
-    if options.directives && !r.at_limit() {
-        rec.family(RuleFamily::Directives, &mut r, |r| {
-            ds1(g, s, &ix, r, |_| true);
-            ds2(g, s, g.edges(), r);
-            ds3(g, s, &ix, r, |_| true);
-            ds4(g, s, &ix, &labels, r, |_| true);
-            ds5(g, s, &ix, &labels, r, |_| true);
-            ds6(g, s, &ix, &labels, r, |_| true);
-            ds7(g, s, &ix, &labels, r);
-        });
-        rec.scanned(nv, ne);
-    }
-    if options.strong && !r.at_limit() {
-        rec.family(RuleFamily::Strong, &mut r, |r| {
-            if !options.weak {
-                scan_node_properties(g.nodes(), s, options, r);
-                scan_edges(g, g.edges(), s, options, r);
-            }
-            ss1(g.nodes(), s, r);
-        });
-        rec.scanned(nv, if options.weak { 0 } else { ne });
-    }
     rec.finish(&mut r);
     r
-}
-
-/// WS1 + SS2 in one property scan over the given nodes.
-pub(crate) fn scan_node_properties<'g>(
-    nodes: impl Iterator<Item = NodeRef<'g>>,
-    s: &PgSchema,
-    options: &ValidationOptions,
-    r: &mut ValidationReport,
-) {
-    for n in nodes {
-        if r.at_limit() {
-            return;
-        }
-        for (prop, value) in n.properties() {
-            match s.attribute(n.label(), prop) {
-                Some(attr) => {
-                    if options.weak && !s.schema().value_conforms(value, &attr.ty) {
-                        r.push(Violation::NodePropertyType {
-                            node: n.id,
-                            field: prop.to_owned(),
-                            value: value.to_string(),
-                            expected: s.display_type(&attr.ty),
-                        });
-                    }
-                }
-                None => {
-                    if options.strong {
-                        r.push(Violation::UnjustifiedNodeProperty {
-                            node: n.id,
-                            prop: prop.to_owned(),
-                        });
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// WS2 + WS3 + SS3 + SS4 in one scan over the given edges.
-pub(crate) fn scan_edges<'g>(
-    g: &PropertyGraph,
-    edges: impl Iterator<Item = EdgeRef<'g>>,
-    s: &PgSchema,
-    options: &ValidationOptions,
-    r: &mut ValidationReport,
-) {
-    for e in edges {
-        if r.at_limit() {
-            return;
-        }
-        let src_label = g.node_label(e.source()).unwrap_or("");
-        let rel = s.relationship(src_label, e.label());
-        if options.strong {
-            if rel.is_none() {
-                r.push(Violation::UnjustifiedEdge {
-                    edge: e.id,
-                    label: e.label().to_owned(),
-                    source_label: src_label.to_owned(),
-                });
-            }
-            for (prop, _) in e.properties() {
-                let justified = rel.is_some_and(|rd| rd.edge_props.iter().any(|p| p.name == prop));
-                if !justified {
-                    r.push(Violation::UnjustifiedEdgeProperty {
-                        edge: e.id,
-                        prop: prop.to_owned(),
-                    });
-                }
-            }
-        }
-        if !options.weak {
-            continue;
-        }
-        // WS2: typed edge properties (relationship fields only; attribute
-        // field arguments are ignored per §3.6).
-        if let Some(rel) = rel {
-            for (prop, value) in e.properties() {
-                if let Some(ep) = rel.edge_props.iter().find(|p| p.name == prop) {
-                    if !s.schema().value_conforms(value, &ep.ty) {
-                        r.push(Violation::EdgePropertyType {
-                            edge: e.id,
-                            prop: prop.to_owned(),
-                            value: value.to_string(),
-                            expected: s.display_type(&ep.ty),
-                        });
-                    }
-                }
-            }
-        }
-        // WS3: over *all* field definitions of the source type.
-        if let Some(src_ty) = s.label_type(src_label) {
-            if let Some(field) = s.schema().field(src_ty, e.label()) {
-                let target_label = g.node_label(e.target()).unwrap_or("");
-                if !s.label_subtype(target_label, field.ty.base) {
-                    r.push(Violation::EdgeTargetType {
-                        edge: e.id,
-                        target: e.target(),
-                        target_label: target_label.to_owned(),
-                        expected: s.schema().type_name(field.ty.base).to_owned(),
-                    });
-                }
-            }
-        }
-    }
-}
-
-/// WS4 via the `(source, label)` out-groups whose source `owns` selects.
-pub(crate) fn ws4(
-    g: &PropertyGraph,
-    s: &PgSchema,
-    ix: &GraphIndex,
-    r: &mut ValidationReport,
-    owns: impl Fn(NodeId) -> bool,
-) {
-    for (source, label, edges) in ix.out_groups() {
-        if r.at_limit() {
-            return;
-        }
-        if edges.len() < 2 || !owns(source) {
-            continue;
-        }
-        let Some(src_label) = g.node_label(source) else {
-            continue;
-        };
-        let Some(src_ty) = s.label_type(src_label) else {
-            continue;
-        };
-        let Some(field) = s.schema().field(src_ty, label) else {
-            continue;
-        };
-        if !field.ty.is_list() {
-            r.push(Violation::NonListFieldMultiEdge {
-                source,
-                field: label.to_owned(),
-                count: edges.len(),
-            });
-        }
-    }
-}
-
-/// DS1 via the parallel-edge groups whose source `owns` selects.
-pub(crate) fn ds1(
-    g: &PropertyGraph,
-    s: &PgSchema,
-    ix: &GraphIndex,
-    r: &mut ValidationReport,
-    owns: impl Fn(NodeId) -> bool,
-) {
-    for site in s.constraint_sites() {
-        if !site.rel.distinct {
-            continue;
-        }
-        for (src, label, dst, edges) in ix.parallel_groups() {
-            if r.at_limit() {
-                return;
-            }
-            if label != site.rel.name || edges.len() < 2 || !owns(src) {
-                continue;
-            }
-            if s.label_subtype(g.node_label(src).unwrap_or(""), site.site) {
-                r.push(Violation::DistinctViolated {
-                    source: src,
-                    target: dst,
-                    field: label.to_owned(),
-                    count: edges.len(),
-                });
-            }
-        }
-    }
-}
-
-/// DS2 via one scan over the given edges per site.
-pub(crate) fn ds2<'g>(
-    g: &PropertyGraph,
-    s: &PgSchema,
-    edges: impl Iterator<Item = EdgeRef<'g>>,
-    r: &mut ValidationReport,
-) {
-    let loop_sites: Vec<_> = s
-        .constraint_sites()
-        .iter()
-        .filter(|site| site.rel.no_loops)
-        .collect();
-    if loop_sites.is_empty() {
-        return;
-    }
-    for e in edges {
-        if r.at_limit() {
-            return;
-        }
-        if e.source() != e.target() {
-            continue;
-        }
-        for site in &loop_sites {
-            if e.label() == site.rel.name
-                && s.label_subtype(g.node_label(e.source()).unwrap_or(""), site.site)
-            {
-                r.push(Violation::LoopViolated {
-                    node: e.source(),
-                    field: site.rel.name.clone(),
-                });
-            }
-        }
-    }
-}
-
-/// DS3 via the `(target, label)` in-groups whose target `owns` selects,
-/// counting only edges whose source is below the constraint site (cf. the
-/// DS3 reading note in the naive engine).
-pub(crate) fn ds3(
-    g: &PropertyGraph,
-    s: &PgSchema,
-    ix: &GraphIndex,
-    r: &mut ValidationReport,
-    owns: impl Fn(NodeId) -> bool,
-) {
-    for site in s.constraint_sites() {
-        if !site.rel.unique_for_target {
-            continue;
-        }
-        for (target, label, edges) in ix.in_groups() {
-            if r.at_limit() {
-                return;
-            }
-            if label != site.rel.name || edges.len() < 2 || !owns(target) {
-                continue;
-            }
-            let count = edges
-                .iter()
-                .filter(|&&e| {
-                    let src = g.edge_endpoints(e).map(|(s0, _)| s0);
-                    src.is_some_and(|v| s.label_subtype(g.node_label(v).unwrap_or(""), site.site))
-                })
-                .count();
-            if count > 1 {
-                r.push(Violation::UniqueForTargetViolated {
-                    target,
-                    field: label.to_owned(),
-                    count,
-                });
-            }
-        }
-    }
-}
-
-/// DS4 via the label index: for every owned node whose label is below the
-/// field type, check the incoming `(target, label)` group.
-pub(crate) fn ds4(
-    g: &PropertyGraph,
-    s: &PgSchema,
-    ix: &GraphIndex,
-    labels: &[String],
-    r: &mut ValidationReport,
-    owns: impl Fn(NodeId) -> bool,
-) {
-    for site in s.constraint_sites() {
-        if !site.rel.required_for_target {
-            continue;
-        }
-        for label in labels {
-            if r.at_limit() {
-                return;
-            }
-            if !s.label_subtype_wrapped(label, &site.rel.ty) {
-                continue;
-            }
-            for &n in ix.nodes_with_label(label) {
-                if !owns(n) {
-                    continue;
-                }
-                let ok = ix.in_edges_labelled(n, &site.rel.name).iter().any(|&e| {
-                    g.edge_endpoints(e).is_some_and(|(src, _)| {
-                        s.label_subtype(g.node_label(src).unwrap_or(""), site.site)
-                    })
-                });
-                if !ok {
-                    r.push(Violation::RequiredForTargetViolated {
-                        target: n,
-                        field: site.rel.name.clone(),
-                        site: s.schema().type_name(site.site).to_owned(),
-                    });
-                }
-            }
-        }
-    }
-}
-
-/// DS5 via the label index, over owned nodes.
-pub(crate) fn ds5(
-    g: &PropertyGraph,
-    s: &PgSchema,
-    ix: &GraphIndex,
-    labels: &[String],
-    r: &mut ValidationReport,
-    owns: impl Fn(NodeId) -> bool,
-) {
-    let sites: Vec<_> = s
-        .schema()
-        .object_types()
-        .chain(s.schema().interface_types())
-        .flat_map(|t| {
-            s.attributes(t)
-                .iter()
-                .filter(|a| a.required)
-                .map(move |a| (t, a))
-        })
-        .collect();
-    for (t, attr) in sites {
-        for label in labels {
-            if r.at_limit() {
-                return;
-            }
-            if !s.label_subtype(label, t) {
-                continue;
-            }
-            for &n in ix.nodes_with_label(label) {
-                if !owns(n) {
-                    continue;
-                }
-                match g.node_property(n, &attr.name) {
-                    None => r.push(Violation::RequiredPropertyMissing {
-                        node: n,
-                        field: attr.name.clone(),
-                        empty_list: false,
-                    }),
-                    Some(Value::List(items)) if attr.ty.is_list() && items.is_empty() => {
-                        r.push(Violation::RequiredPropertyMissing {
-                            node: n,
-                            field: attr.name.clone(),
-                            empty_list: true,
-                        });
-                    }
-                    Some(_) => {}
-                }
-            }
-        }
-    }
-}
-
-/// DS6 via the label index and out-groups, over owned nodes.
-pub(crate) fn ds6(
-    _g: &PropertyGraph,
-    s: &PgSchema,
-    ix: &GraphIndex,
-    labels: &[String],
-    r: &mut ValidationReport,
-    owns: impl Fn(NodeId) -> bool,
-) {
-    for site in s.constraint_sites() {
-        if !site.rel.required {
-            continue;
-        }
-        for label in labels {
-            if r.at_limit() {
-                return;
-            }
-            if !s.label_subtype(label, site.site) {
-                continue;
-            }
-            for &n in ix.nodes_with_label(label) {
-                if !owns(n) {
-                    continue;
-                }
-                if ix.out_edges_labelled(n, &site.rel.name).is_empty() {
-                    r.push(Violation::RequiredEdgeMissing {
-                        node: n,
-                        field: site.rel.name.clone(),
-                    });
-                }
-            }
-        }
-    }
-}
-
-/// The scalar fields of a key (only those participate in DS7; condition
-/// `typeS(t, fi) ∈ S∪WS`).
-pub(crate) fn ds7_scalar_fields<'s>(s: &'s PgSchema, key: &'s KeyConstraint) -> Vec<&'s str> {
-    key.fields
-        .iter()
-        .filter(|f| {
-            s.schema()
-                .field(key.site, f)
-                .is_some_and(|fi| s.schema().is_scalar(fi.ty.base))
-        })
-        .map(String::as_str)
-        .collect()
-}
-
-/// DS7 map phase: groups the owned nodes below the key's site by their
-/// key tuple.
-///
-/// A key tuple is the vector of `Option<Value>` over the key's scalar
-/// fields; DS7's "agree" relation (both lack the property, or both have
-/// equal values) is exactly tuple equality, so tables from disjoint
-/// shards merge by appending the node lists.
-pub(crate) fn ds7_collect(
-    g: &PropertyGraph,
-    s: &PgSchema,
-    ix: &GraphIndex,
-    labels: &[String],
-    key: &KeyConstraint,
-    scalar_fields: &[&str],
-    owns: impl Fn(NodeId) -> bool,
-) -> HashMap<Vec<Option<Value>>, Vec<NodeId>> {
-    let mut groups: HashMap<Vec<Option<Value>>, Vec<NodeId>> = HashMap::new();
-    for label in labels {
-        if !s.label_subtype(label, key.site) {
-            continue;
-        }
-        for &n in ix.nodes_with_label(label) {
-            if !owns(n) {
-                continue;
-            }
-            let tuple: Vec<Option<Value>> = scalar_fields
-                .iter()
-                .map(|f| g.node_property(n, f).cloned())
-                .collect();
-            groups.entry(tuple).or_default().push(n);
-        }
-    }
-    groups
-}
-
-/// DS7 reduce phase: emits one violation per unordered pair of nodes
-/// sharing a key tuple, in sorted node order.
-pub(crate) fn ds7_emit(
-    s: &PgSchema,
-    key: &KeyConstraint,
-    groups: HashMap<Vec<Option<Value>>, Vec<NodeId>>,
-    r: &mut ValidationReport,
-) {
-    for mut nodes in groups.into_values() {
-        if nodes.len() < 2 {
-            continue;
-        }
-        if r.at_limit() {
-            return;
-        }
-        nodes.sort();
-        for (i, &a) in nodes.iter().enumerate() {
-            for &b in nodes.iter().skip(i + 1) {
-                r.push(Violation::KeyViolated {
-                    a,
-                    b,
-                    ty: s.schema().type_name(key.site).to_owned(),
-                    fields: key.fields.clone(),
-                });
-            }
-        }
-    }
-}
-
-/// DS7 for the serial engine: collect and emit per key.
-fn ds7(
-    g: &PropertyGraph,
-    s: &PgSchema,
-    ix: &GraphIndex,
-    labels: &[String],
-    r: &mut ValidationReport,
-) {
-    for key in s.keys() {
-        if r.at_limit() {
-            return;
-        }
-        let scalar_fields = ds7_scalar_fields(s, key);
-        let groups = ds7_collect(g, s, ix, labels, key, &scalar_fields, |_| true);
-        ds7_emit(s, key, groups, r);
-    }
-}
-
-/// SS1 via one scan over the given nodes.
-pub(crate) fn ss1<'g>(
-    nodes: impl Iterator<Item = NodeRef<'g>>,
-    s: &PgSchema,
-    r: &mut ValidationReport,
-) {
-    for n in nodes {
-        if r.at_limit() {
-            return;
-        }
-        if !s.is_object_label(n.label()) {
-            r.push(Violation::UnjustifiedNode {
-                node: n.id,
-                label: n.label().to_owned(),
-            });
-        }
-    }
 }

@@ -82,6 +82,7 @@ mod naive;
 mod parallel;
 mod pgschema;
 pub mod report;
+mod rules;
 
 pub use api_extension::ApiExtensionError;
 pub use incremental::{DeltaOutcome, IncrementalEngine};
@@ -89,7 +90,9 @@ pub use pgschema::{
     AttributeDef, ConstraintSite, FieldClass, KeyConstraint, PgSchema, PgSchemaError,
     RelationshipDef,
 };
-pub use report::{FamilyMetrics, Rule, RuleFamily, ValidationMetrics, ValidationReport, Violation};
+pub use report::{
+    FamilyMetrics, Rule, RuleFamily, RuleMetrics, ValidationMetrics, ValidationReport, Violation,
+};
 
 /// Which implementation decides satisfaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

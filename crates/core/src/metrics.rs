@@ -6,7 +6,29 @@
 
 use std::time::Instant;
 
-use crate::report::{FamilyMetrics, RuleFamily, ValidationMetrics, ValidationReport};
+use crate::report::{FamilyMetrics, RuleFamily, RuleMetrics, ValidationMetrics, ValidationReport};
+use crate::rules::SinkOutput;
+
+/// Sums per-rule entries into per-family rollups, in order of first
+/// appearance (rule order, so Weak, Directives, Strong when all are on).
+pub(crate) fn families_from_rules(rules: &[RuleMetrics]) -> Vec<FamilyMetrics> {
+    let mut families: Vec<FamilyMetrics> = Vec::with_capacity(3);
+    for rm in rules {
+        let family = rm.rule.family();
+        match families.iter_mut().find(|f| f.family == family) {
+            Some(f) => {
+                f.nanos += rm.nanos;
+                f.violations += rm.violations;
+            }
+            None => families.push(FamilyMetrics {
+                family,
+                nanos: rm.nanos,
+                violations: rm.violations,
+            }),
+        }
+    }
+    families
+}
 
 /// Accumulates [`ValidationMetrics`] for one validation run.
 pub(crate) struct MetricsRecorder {
@@ -62,11 +84,23 @@ impl MetricsRecorder {
         }
     }
 
-    /// Records a family measured externally (the parallel engine reduces
-    /// per-worker timings itself).
-    pub(crate) fn family_record(&mut self, fm: FamilyMetrics) {
+    /// Absorbs one [`Sink`](crate::rules::Sink)'s per-rule output: the
+    /// rule entries are appended and the scan counters added. Family
+    /// rollups are derived from the rules at [`finish`](Self::finish).
+    pub(crate) fn absorb(&mut self, out: Option<SinkOutput>) {
+        let (Some(m), Some(out)) = (&mut self.metrics, out) else {
+            return;
+        };
+        m.rules.extend(out.rules);
+        m.nodes_scanned += out.nodes_scanned;
+        m.edges_scanned += out.edges_scanned;
+    }
+
+    /// Records per-rule metrics reduced externally (the parallel engine
+    /// merges per-worker timings itself).
+    pub(crate) fn rules_record(&mut self, rules: Vec<RuleMetrics>) {
         if let Some(m) = &mut self.metrics {
-            m.families.push(fm);
+            m.rules = rules;
         }
     }
 
@@ -76,9 +110,15 @@ impl MetricsRecorder {
         }
     }
 
-    /// Attaches the collected metrics (if any) to the report.
+    /// Attaches the collected metrics (if any) to the report. Engines
+    /// that recorded per-rule entries but no family blocks (the kernel
+    /// planners) get their family rollups derived here by summing rule
+    /// time and violations per family, in order of first appearance.
     pub(crate) fn finish(self, r: &mut ValidationReport) {
-        if let Some(m) = self.metrics {
+        if let Some(mut m) = self.metrics {
+            if m.families.is_empty() && !m.rules.is_empty() {
+                m.families = families_from_rules(&m.rules);
+            }
             r.set_metrics(m);
         }
     }

@@ -1,10 +1,12 @@
-//! The parallel validation engine.
+//! The parallel validation engine — a sharding planner over the rule
+//! kernels.
 //!
 //! Partitions the node and edge id spaces into one contiguous shard per
-//! worker ([`pgraph::shard::GraphShards`]) and runs the indexed engine's
-//! rule checks shard-locally on scoped threads ([`std::thread::scope`] —
-//! no dependencies beyond std). Work is assigned so every violation is
-//! produced by exactly one worker:
+//! worker ([`pgraph::shard::GraphShards`]) and runs the shared rule
+//! kernels ([`crate::rules`]) shard-locally on scoped threads
+//! ([`std::thread::scope`] — no dependencies beyond std). Each worker
+//! evaluates every kernel over a shard [`Scope`], which assigns work so
+//! every violation is produced by exactly one worker:
 //!
 //! * element-local rules (WS1–WS3, DS2, DS5, DS6, SS1–SS4) run over the
 //!   shard's own live nodes and edges;
@@ -12,17 +14,20 @@
 //!   groups whose key element the shard owns — WS4 and DS1 key on the
 //!   source node, DS3 and DS4 on the target node;
 //! * the one genuinely cross-shard rule, `@key` (DS7), is split
-//!   map-reduce style: each worker builds shard-local key-tuple tables
-//!   ([`indexed::ds7_collect`]), the main thread merges them (tables
-//!   from disjoint shards merge by appending node lists) and emits the
-//!   violations in one pass ([`indexed::ds7_emit`]).
+//!   map-reduce style ([`Ds7Plan::Map`]): each worker builds shard-local
+//!   key-tuple tables, the main thread merges them (tables from disjoint
+//!   shards merge by appending node lists) and emits the violations in
+//!   one pass.
 //!
 //! Workers never synchronise: graph, index and schema are borrowed
 //! immutably and each worker writes its own [`ValidationReport`].
 //! Reports are merged in shard order and canonicalised by the caller,
 //! so the outcome is deterministic for any thread count and agrees
 //! violation-for-violation with the serial engines (property-tested
-//! three ways in `tests/engine_agreement.rs`).
+//! three ways in `tests/engine_agreement.rs`). Per-rule metrics merge as
+//! the critical path: wall time is the slowest worker's, elements and
+//! violations are summed, and the DS7 entry additionally absorbs the
+//! reduce.
 
 use std::collections::HashMap;
 use std::thread;
@@ -32,10 +37,10 @@ use pgraph::index::GraphIndex;
 use pgraph::shard::{GraphShard, GraphShards};
 use pgraph::{NodeId, PropertyGraph, Value};
 
-use crate::indexed;
 use crate::metrics::MetricsRecorder;
 use crate::pgschema::PgSchema;
-use crate::report::{FamilyMetrics, RuleFamily, ValidationReport};
+use crate::report::{Rule, RuleMetrics, ValidationReport};
+use crate::rules::{self, directives, Ds7Plan, Scope, Sink};
 use crate::ValidationOptions;
 
 /// Upper bound on workers — far above any plausible CPU count, it only
@@ -54,12 +59,12 @@ fn effective_threads(requested: usize) -> usize {
     t.clamp(1, MAX_THREADS)
 }
 
-/// What one worker sends back: its shard-local report, per-family wall
-/// times, the shard-local DS7 key tables (one per `@key`, in schema
-/// order), and its scan counters.
+/// What one worker sends back: its shard-local report, per-rule metrics,
+/// the shard-local DS7 key tables (one per `@key`, in schema order), and
+/// its scan counters.
 struct WorkerOutput {
     report: ValidationReport,
-    families: Vec<FamilyMetrics>,
+    rules: Vec<RuleMetrics>,
     key_tables: Vec<HashMap<Vec<Option<Value>>, Vec<NodeId>>>,
     nodes_scanned: u64,
     edges_scanned: u64,
@@ -108,95 +113,36 @@ fn worker(
     shard: GraphShard<'_>,
 ) -> WorkerOutput {
     let mut r = ValidationReport::with_limit(options.max_violations);
-    let mut families = Vec::new();
-    let mut nodes_scanned = 0u64;
-    let mut edges_scanned = 0u64;
-    let (shard_nodes, shard_edges) = if options.collect_metrics {
-        (shard.node_count() as u64, shard.edge_count() as u64)
-    } else {
-        (0, 0)
-    };
-    let owns = |n: NodeId| shard.owns_node(n);
     let mut key_tables = Vec::new();
 
-    // Same family structure and fused-scan attribution as the serial
-    // indexed engine, instantiated with this shard's iterators and
-    // ownership predicate.
-    if options.weak {
-        let before = r.len();
-        let start = Instant::now();
-        indexed::scan_node_properties(shard.nodes(), s, options, &mut r);
-        indexed::scan_edges(g, shard.edges(), s, options, &mut r);
-        indexed::ws4(g, s, ix, &mut r, owns);
-        families.push(FamilyMetrics {
-            family: RuleFamily::Weak,
-            nanos: start.elapsed().as_nanos() as u64,
-            violations: r.len() - before,
-        });
-        nodes_scanned += shard_nodes;
-        edges_scanned += shard_edges;
-    }
-    if options.directives && !r.at_limit() {
-        let before = r.len();
-        let start = Instant::now();
-        indexed::ds1(g, s, ix, &mut r, owns);
-        indexed::ds2(g, s, shard.edges(), &mut r);
-        indexed::ds3(g, s, ix, &mut r, owns);
-        indexed::ds4(g, s, ix, labels, &mut r, owns);
-        indexed::ds5(g, s, ix, labels, &mut r, owns);
-        indexed::ds6(g, s, ix, labels, &mut r, owns);
-        // DS7 map phase; the reduce runs on the main thread after join.
-        for key in s.keys() {
-            let scalar_fields = indexed::ds7_scalar_fields(s, key);
-            key_tables.push(indexed::ds7_collect(
-                g,
-                s,
-                ix,
-                labels,
-                key,
-                &scalar_fields,
-                owns,
-            ));
-        }
-        families.push(FamilyMetrics {
-            family: RuleFamily::Directives,
-            nanos: start.elapsed().as_nanos() as u64,
-            violations: r.len() - before,
-        });
-        nodes_scanned += shard_nodes;
-        edges_scanned += shard_edges;
-    }
-    if options.strong && !r.at_limit() {
-        let before = r.len();
-        let start = Instant::now();
-        if !options.weak {
-            indexed::scan_node_properties(shard.nodes(), s, options, &mut r);
-            indexed::scan_edges(g, shard.edges(), s, options, &mut r);
-            edges_scanned += shard_edges;
-        }
-        indexed::ss1(shard.nodes(), s, &mut r);
-        families.push(FamilyMetrics {
-            family: RuleFamily::Strong,
-            nanos: start.elapsed().as_nanos() as u64,
-            violations: r.len() - before,
-        });
-        nodes_scanned += shard_nodes;
-    }
+    let scope = Scope::shard(g, s, ix, labels, &shard);
+    let mut sink = Sink::new(&mut r, options.collect_metrics);
+    rules::run(&scope, options, &mut sink, Ds7Plan::Map(&mut key_tables));
+    let out = sink.finish();
 
+    let (rules, nodes_scanned, edges_scanned) = match out {
+        Some(o) => (o.rules, o.nodes_scanned, o.edges_scanned),
+        None => (Vec::new(), 0, 0),
+    };
+    let elements = if options.collect_metrics {
+        (shard.node_count() + shard.edge_count()) as u64
+    } else {
+        0
+    };
     WorkerOutput {
         report: r,
-        families,
+        rules,
         key_tables,
         nodes_scanned,
         edges_scanned,
-        elements: shard_nodes + shard_edges,
+        elements,
     }
 }
 
 /// Merges the worker outputs in shard order: violations first, then the
-/// DS7 reduce, then the metrics (per-family wall time is the slowest
-/// worker — the critical path — with the reduce time added to the
-/// directives entry).
+/// DS7 reduce, then the metrics (per-rule wall time is the slowest
+/// worker — the critical path — with the reduce time and violations
+/// added to the DS7 entry).
 fn merge(
     s: &PgSchema,
     options: &ValidationOptions,
@@ -233,7 +179,7 @@ fn merge(
                     }
                 }
             }
-            indexed::ds7_emit(s, key, table, &mut merged);
+            directives::ds7_emit(s, key, table, &mut merged);
         }
         ds7_violations = merged.len() - before;
     }
@@ -243,25 +189,50 @@ fn merge(
         merged.set_truncated(true);
     }
 
-    for family in [RuleFamily::Weak, RuleFamily::Directives, RuleFamily::Strong] {
-        let per_worker: Vec<&FamilyMetrics> = outputs
-            .iter()
-            .flat_map(|o| o.families.iter())
-            .filter(|f| f.family == family)
-            .collect();
-        if per_worker.is_empty() {
-            continue;
+    if options.collect_metrics {
+        let mut rules_merged: Vec<RuleMetrics> = Vec::new();
+        for rule in Rule::ALL {
+            let per_worker: Vec<&RuleMetrics> = outputs
+                .iter()
+                .flat_map(|o| o.rules.iter())
+                .filter(|m| m.rule == rule)
+                .collect();
+            if per_worker.is_empty() {
+                continue;
+            }
+            rules_merged.push(RuleMetrics {
+                rule,
+                nanos: per_worker.iter().map(|m| m.nanos).max().unwrap_or(0),
+                elements_scanned: per_worker.iter().map(|m| m.elements_scanned).sum(),
+                violations: per_worker.iter().map(|m| m.violations).sum(),
+            });
         }
-        let mut fm = FamilyMetrics {
-            family,
-            nanos: per_worker.iter().map(|f| f.nanos).max().unwrap_or(0),
-            violations: per_worker.iter().map(|f| f.violations).sum(),
-        };
-        if family == RuleFamily::Directives {
-            fm.nanos += reduce_nanos;
-            fm.violations += ds7_violations;
+        if options.directives {
+            match rules_merged.iter_mut().find(|m| m.rule == Rule::DS7) {
+                Some(m) => {
+                    m.nanos += reduce_nanos;
+                    m.violations += ds7_violations;
+                }
+                // All workers early-exited before DS7: attribute the
+                // reduce alone, keeping rule order.
+                None => {
+                    let at = rules_merged
+                        .iter()
+                        .position(|m| m.rule > Rule::DS7)
+                        .unwrap_or(rules_merged.len());
+                    rules_merged.insert(
+                        at,
+                        RuleMetrics {
+                            rule: Rule::DS7,
+                            nanos: reduce_nanos,
+                            elements_scanned: 0,
+                            violations: ds7_violations,
+                        },
+                    );
+                }
+            }
         }
-        rec.family_record(fm);
+        rec.rules_record(rules_merged);
     }
     rec.scanned(nodes_scanned, edges_scanned);
     rec.shard_elements(elements);
@@ -273,6 +244,7 @@ fn merge(
 mod tests {
     use pgraph::{GraphBuilder, PropertyGraph, Value};
 
+    use crate::report::Rule;
     use crate::{validate, Engine, PgSchema, ValidationOptions};
 
     fn schema() -> PgSchema {
@@ -355,6 +327,19 @@ mod tests {
         assert!(m.nodes_scanned >= g.node_count() as u64);
         assert_eq!(m.families.len(), 3);
         assert!(m.shard_skew().unwrap() >= 1.0);
+        // One merged entry per rule, in rule order, with violations
+        // attributed to the right rule across shards.
+        assert_eq!(m.rules.len(), Rule::ALL.len());
+        assert!(m.rules.windows(2).all(|w| w[0].rule < w[1].rule));
+        let by_rule = |rule| m.rules.iter().find(|r| r.rule == rule).unwrap();
+        assert_eq!(
+            by_rule(Rule::DS7).violations,
+            report.by_rule(Rule::DS7).count()
+        );
+        assert_eq!(
+            by_rule(Rule::DS5).violations,
+            report.by_rule(Rule::DS5).count()
+        );
     }
 
     #[test]

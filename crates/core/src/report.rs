@@ -365,16 +365,39 @@ impl fmt::Display for Violation {
     }
 }
 
+/// Wall time, elements examined and violation count attributed to one
+/// rule kernel.
+///
+/// Produced by the kernel engines (indexed, parallel, incremental),
+/// which run each of the fifteen rules as a separate kernel; the naive
+/// oracle records only [`FamilyMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleMetrics {
+    /// The rule the kernel checked.
+    pub rule: Rule,
+    /// Wall-clock nanoseconds spent in the kernel. For the parallel
+    /// engine this is the slowest shard's time (the critical path), not
+    /// the sum over workers; DS7 additionally includes the cross-shard
+    /// reduce.
+    pub nanos: u64,
+    /// Elements the kernel examined: nodes or edges for the scan rules,
+    /// index groups or per-site node-bucket entries for the group-keyed
+    /// rules. Summed over workers for the parallel engine.
+    pub elements_scanned: u64,
+    /// Violations the kernel produced (before cross-engine
+    /// canonicalisation and dedup).
+    pub violations: usize,
+}
+
 /// Wall time and violation count attributed to one rule family.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FamilyMetrics {
     /// The rule family the block checked.
     pub family: RuleFamily,
-    /// Wall-clock nanoseconds spent in the family's rule block. For the
-    /// parallel engine this is the slowest shard's time (the critical
-    /// path), not the sum over workers.
+    /// Wall-clock nanoseconds spent in the family's rule kernels (for
+    /// the naive engine: in the family's rule block).
     pub nanos: u64,
-    /// Violations the block produced (before cross-engine
+    /// Violations the family's rules produced (before cross-engine
     /// canonicalisation).
     pub violations: usize,
 }
@@ -382,10 +405,6 @@ pub struct FamilyMetrics {
 /// Opt-in instrumentation of one validation run, collected when
 /// [`ValidationOptions::collect_metrics`](crate::ValidationOptions) is
 /// set and surfaced through [`ValidationReport::metrics`].
-///
-/// Fused scans (the indexed and parallel engines check WS and SS rules
-/// in one pass over properties/edges) are attributed to the *earliest*
-/// family the scan serves — weak, when both weak and strong are enabled.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ValidationMetrics {
     /// Engine name: `"naive"`, `"indexed"`, `"parallel"` or
@@ -401,7 +420,13 @@ pub struct ValidationMetrics {
     /// Nanoseconds building the [`pgraph::index::GraphIndex`] (0 for the
     /// naive engine, which runs index-free).
     pub index_build_nanos: u64,
-    /// Per-family timing, in the order the families ran.
+    /// Per-rule timing, element and violation counters, in the order
+    /// the kernels ran. Empty for the naive engine, which runs the
+    /// paper's formulas as family blocks rather than per-rule kernels.
+    pub rules: Vec<RuleMetrics>,
+    /// Per-family timing, in the order the families ran. For the kernel
+    /// engines this is the per-family aggregation of
+    /// [`rules`](Self::rules).
     pub families: Vec<FamilyMetrics>,
     /// Live elements (`|V| + |E|`) per shard — empty for serial engines.
     /// The spread between entries is the shard skew.
@@ -455,6 +480,16 @@ impl fmt::Display for ValidationMetrics {
                 f,
                 "index build: {:.3} ms",
                 self.index_build_nanos as f64 / 1e6
+            )?;
+        }
+        for rule in &self.rules {
+            writeln!(
+                f,
+                "  {:<5} {:>10.3} ms  {:>8} scanned  {} violation(s)",
+                rule.rule.to_string() + ":",
+                rule.nanos as f64 / 1e6,
+                rule.elements_scanned,
+                rule.violations
             )?;
         }
         for fam in &self.families {
@@ -627,13 +662,16 @@ impl ValidationReport {
     ///
     /// ```json
     /// {"conforms": false, "engine": "indexed", "truncated": false,
-    ///  "violations": [{"rule": "WS1", "family": "weak", "message": "…"}]}
+    ///  "violations": [{"rule": "WS1", "family": "weak", "message": "…"}],
+    ///  "rule_counts": {"WS1": 1}}
     /// ```
     ///
     /// The `"engine"` key appears when [`engine`](Self::engine) is set
     /// (always, for reports coming out of [`validate`](crate::validate)).
-    /// When metrics were collected a `"metrics"` object is appended with
-    /// engine, threads, scan counters, per-family nanosecond timings,
+    /// `"rule_counts"` maps each rule that fired to its violation count
+    /// (an empty object for a conforming graph). When metrics were
+    /// collected a `"metrics"` object is appended with engine, threads,
+    /// scan counters, per-rule and per-family nanosecond timings,
     /// per-shard element counts and the re-checked/total element counters.
     /// The full schema of this document is specified in the repository
     /// README ("JSON report schema").
@@ -680,13 +718,32 @@ impl ValidationReport {
             ));
         }
         out.push(']');
+        out.push_str(", \"rule_counts\": {");
+        for (i, (rule, count)) in self.counts().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{rule}\": {count}"));
+        }
+        out.push('}');
         if let Some(m) = &self.metrics {
             out.push_str(&format!(
                 ", \"metrics\": {{\"engine\": \"{}\", \"threads\": {}, \
                  \"nodes_scanned\": {}, \"edges_scanned\": {}, \
-                 \"index_build_nanos\": {}, \"families\": [",
+                 \"index_build_nanos\": {}, \"rules\": [",
                 m.engine, m.threads, m.nodes_scanned, m.edges_scanned, m.index_build_nanos
             ));
+            for (i, rm) in m.rules.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"rule\": \"{}\", \"nanos\": {}, \"elements_scanned\": {}, \
+                     \"violations\": {}}}",
+                    rm.rule, rm.nanos, rm.elements_scanned, rm.violations
+                ));
+            }
+            out.push_str("], \"families\": [");
             for (i, fam) in m.families.iter().enumerate() {
                 if i > 0 {
                     out.push_str(", ");
@@ -845,6 +902,12 @@ mod tests {
             nodes_scanned: 100,
             edges_scanned: 50,
             index_build_nanos: 1_000,
+            rules: vec![RuleMetrics {
+                rule: Rule::WS1,
+                nanos: 2_000,
+                elements_scanned: 100,
+                violations: 3,
+            }],
             families: vec![FamilyMetrics {
                 family: RuleFamily::Weak,
                 nanos: 2_000,
@@ -858,6 +921,13 @@ mod tests {
         assert!(json.contains("\"metrics\""), "{json}");
         assert!(json.contains("\"engine\": \"parallel\""), "{json}");
         assert!(
+            json.contains(
+                "\"rules\": [{\"rule\": \"WS1\", \"nanos\": 2000, \
+                 \"elements_scanned\": 100, \"violations\": 3}]"
+            ),
+            "{json}"
+        );
+        assert!(
             json.contains("\"shard_elements\": [40, 40, 40, 30]"),
             "{json}"
         );
@@ -868,6 +938,7 @@ mod tests {
         assert!((skew - 40.0 / 37.5).abs() < 1e-9);
         let text = m.to_string();
         assert!(text.contains("engine: parallel (4 threads)"), "{text}");
+        assert!(text.contains("WS1:"), "{text}");
         assert!(text.contains("skew"), "{text}");
     }
 
@@ -876,7 +947,8 @@ mod tests {
         let mut r = ValidationReport::default();
         assert_eq!(
             r.to_json(),
-            "{\"conforms\": true, \"truncated\": false, \"violations\": []}"
+            "{\"conforms\": true, \"truncated\": false, \"violations\": [], \
+             \"rule_counts\": {}}"
         );
         r.push(Violation::UnjustifiedNodeProperty {
             node: NodeId::from_index(0),

@@ -1,0 +1,462 @@
+//! Kernels for directive satisfaction — rules DS1–DS7 (Definition 5.2).
+//!
+//! DS7 (`@key`) is the one rule relating *pairs* of nodes, so its kernel
+//! is split into a tuple-collect and a pair-emit phase. The three
+//! [`Ds7Plan`](super::Ds7Plan)s compose them differently: [`ds7`] runs
+//! both inline, [`ds7_map`] collects shard-local tables for a later
+//! cross-shard [`ds7_emit`] reduce, and [`ds7_recheck`] maintains the
+//! persistent [`KeyTable`]s of an incremental session.
+
+use std::collections::HashMap;
+
+use pgraph::{NodeId, PropertyGraph, Value};
+
+use crate::pgschema::{KeyConstraint, PgSchema};
+use crate::report::{Rule, Violation};
+use crate::ValidationOptions;
+
+use super::{Scope, Sink};
+
+/// DS1 (`@distinct`): no parallel edges between the same endpoints with
+/// the same label — via the parallel-edge groups whose source the scope
+/// owns.
+pub(crate) fn ds1(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
+    sink.rule(Rule::DS1, |sink| {
+        let (g, s) = (scope.g, scope.s);
+        for site in s.constraint_sites() {
+            if !site.rel.distinct {
+                continue;
+            }
+            for (src, label, dst, edges) in scope.ix.parallel_groups() {
+                if sink.at_limit() {
+                    return;
+                }
+                if label != site.rel.name || edges.len() < 2 || !scope.owns(src) {
+                    continue;
+                }
+                sink.group_visited();
+                if s.label_subtype(g.node_label(src).unwrap_or(""), site.site) {
+                    sink.push(Violation::DistinctViolated {
+                        source: src,
+                        target: dst,
+                        field: label.to_owned(),
+                        count: edges.len(),
+                    });
+                }
+            }
+        }
+    });
+}
+
+/// DS2 (`@noLoops`): no self-loops — one scan over the scope's edges per
+/// run (all loop sites checked in the same pass).
+pub(crate) fn ds2(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
+    sink.rule(Rule::DS2, |sink| {
+        let (g, s) = (scope.g, scope.s);
+        let loop_sites: Vec<_> = s
+            .constraint_sites()
+            .iter()
+            .filter(|site| site.rel.no_loops)
+            .collect();
+        if loop_sites.is_empty() {
+            return;
+        }
+        for e in scope.edges() {
+            if sink.at_limit() {
+                return;
+            }
+            sink.edge_visited();
+            if e.source() != e.target() {
+                continue;
+            }
+            for site in &loop_sites {
+                if e.label() == site.rel.name
+                    && s.label_subtype(g.node_label(e.source()).unwrap_or(""), site.site)
+                {
+                    sink.push(Violation::LoopViolated {
+                        node: e.source(),
+                        field: site.rel.name.clone(),
+                    });
+                }
+            }
+        }
+    });
+}
+
+/// DS3 (`@uniqueForTarget`): at most one incoming edge per target — via
+/// the `(target, label)` in-groups whose target the scope owns, counting
+/// only edges whose source is below the constraint site (cf. the DS3
+/// reading note in the naive engine).
+pub(crate) fn ds3(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
+    sink.rule(Rule::DS3, |sink| {
+        let (g, s) = (scope.g, scope.s);
+        for site in s.constraint_sites() {
+            if !site.rel.unique_for_target {
+                continue;
+            }
+            for (target, label, edges) in scope.ix.in_groups() {
+                if sink.at_limit() {
+                    return;
+                }
+                if label != site.rel.name || edges.len() < 2 || !scope.owns(target) {
+                    continue;
+                }
+                sink.group_visited();
+                let count = edges
+                    .iter()
+                    .filter(|&&e| {
+                        let src = g.edge_endpoints(e).map(|(s0, _)| s0);
+                        src.is_some_and(|v| {
+                            s.label_subtype(g.node_label(v).unwrap_or(""), site.site)
+                        })
+                    })
+                    .count();
+                if count > 1 {
+                    sink.push(Violation::UniqueForTargetViolated {
+                        target,
+                        field: label.to_owned(),
+                        count,
+                    });
+                }
+            }
+        }
+    });
+}
+
+/// DS4 (`@requiredForTarget`): at least one incoming edge per target —
+/// via the label index: for every owned node whose label is below the
+/// field type, check the incoming `(target, label)` group.
+pub(crate) fn ds4(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
+    sink.rule(Rule::DS4, |sink| {
+        let (g, s, ix) = (scope.g, scope.s, scope.ix);
+        for site in s.constraint_sites() {
+            if !site.rel.required_for_target {
+                continue;
+            }
+            for label in scope.labels {
+                if sink.at_limit() {
+                    return;
+                }
+                if !s.label_subtype_wrapped(label, &site.rel.ty) {
+                    continue;
+                }
+                for &n in ix.nodes_with_label(label) {
+                    if !scope.owns(n) {
+                        continue;
+                    }
+                    sink.group_visited();
+                    let ok = ix.in_edges_labelled(n, &site.rel.name).iter().any(|&e| {
+                        g.edge_endpoints(e).is_some_and(|(src, _)| {
+                            s.label_subtype(g.node_label(src).unwrap_or(""), site.site)
+                        })
+                    });
+                    if !ok {
+                        sink.push(Violation::RequiredForTargetViolated {
+                            target: n,
+                            field: site.rel.name.clone(),
+                            site: s.schema().type_name(site.site).to_owned(),
+                        });
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// DS5 (`@required` on attributes): required properties are present and
+/// non-empty — via the label index, over owned nodes.
+pub(crate) fn ds5(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
+    sink.rule(Rule::DS5, |sink| {
+        let (g, s, ix) = (scope.g, scope.s, scope.ix);
+        let sites: Vec<_> = s
+            .schema()
+            .object_types()
+            .chain(s.schema().interface_types())
+            .flat_map(|t| {
+                s.attributes(t)
+                    .iter()
+                    .filter(|a| a.required)
+                    .map(move |a| (t, a))
+            })
+            .collect();
+        for (t, attr) in sites {
+            for label in scope.labels {
+                if sink.at_limit() {
+                    return;
+                }
+                if !s.label_subtype(label, t) {
+                    continue;
+                }
+                for &n in ix.nodes_with_label(label) {
+                    if !scope.owns(n) {
+                        continue;
+                    }
+                    sink.group_visited();
+                    match g.node_property(n, &attr.name) {
+                        None => sink.push(Violation::RequiredPropertyMissing {
+                            node: n,
+                            field: attr.name.clone(),
+                            empty_list: false,
+                        }),
+                        Some(Value::List(items)) if attr.ty.is_list() && items.is_empty() => {
+                            sink.push(Violation::RequiredPropertyMissing {
+                                node: n,
+                                field: attr.name.clone(),
+                                empty_list: true,
+                            });
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// DS6 (`@required` on relationships): required outgoing edges exist —
+/// via the label index and out-groups, over owned nodes.
+pub(crate) fn ds6(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
+    sink.rule(Rule::DS6, |sink| {
+        let (s, ix) = (scope.s, scope.ix);
+        for site in s.constraint_sites() {
+            if !site.rel.required {
+                continue;
+            }
+            for label in scope.labels {
+                if sink.at_limit() {
+                    return;
+                }
+                if !s.label_subtype(label, site.site) {
+                    continue;
+                }
+                for &n in ix.nodes_with_label(label) {
+                    if !scope.owns(n) {
+                        continue;
+                    }
+                    sink.group_visited();
+                    if ix.out_edges_labelled(n, &site.rel.name).is_empty() {
+                        sink.push(Violation::RequiredEdgeMissing {
+                            node: n,
+                            field: site.rel.name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// The scalar fields of a key (only those participate in DS7; condition
+/// `typeS(t, fi) ∈ S∪WS`).
+pub(crate) fn ds7_scalar_fields<'s>(s: &'s PgSchema, key: &'s KeyConstraint) -> Vec<&'s str> {
+    key.fields
+        .iter()
+        .filter(|f| {
+            s.schema()
+                .field(key.site, f)
+                .is_some_and(|fi| s.schema().is_scalar(fi.ty.base))
+        })
+        .map(String::as_str)
+        .collect()
+}
+
+/// DS7 map phase: groups the owned nodes below the key's site by their
+/// key tuple.
+///
+/// A key tuple is the vector of `Option<Value>` over the key's scalar
+/// fields; DS7's "agree" relation (both lack the property, or both have
+/// equal values) is exactly tuple equality, so tables from disjoint
+/// shards merge by appending the node lists.
+fn ds7_collect(
+    scope: &Scope<'_, '_>,
+    sink: &mut Sink<'_>,
+    key: &KeyConstraint,
+    scalar_fields: &[&str],
+) -> HashMap<Vec<Option<Value>>, Vec<NodeId>> {
+    let (g, s, ix) = (scope.g, scope.s, scope.ix);
+    let mut groups: HashMap<Vec<Option<Value>>, Vec<NodeId>> = HashMap::new();
+    for label in scope.labels {
+        if !s.label_subtype(label, key.site) {
+            continue;
+        }
+        for &n in ix.nodes_with_label(label) {
+            if !scope.owns(n) {
+                continue;
+            }
+            sink.group_visited();
+            let tuple: Vec<Option<Value>> = scalar_fields
+                .iter()
+                .map(|f| g.node_property(n, f).cloned())
+                .collect();
+            groups.entry(tuple).or_default().push(n);
+        }
+    }
+    groups
+}
+
+/// DS7 reduce phase: emits one violation per unordered pair of nodes
+/// sharing a key tuple, in sorted node order. Used inline by [`ds7`] and
+/// by the parallel engine's cross-shard merge.
+pub(crate) fn ds7_emit(
+    s: &PgSchema,
+    key: &KeyConstraint,
+    groups: HashMap<Vec<Option<Value>>, Vec<NodeId>>,
+    r: &mut crate::report::ValidationReport,
+) {
+    for mut nodes in groups.into_values() {
+        if nodes.len() < 2 {
+            continue;
+        }
+        if r.at_limit() {
+            return;
+        }
+        nodes.sort();
+        for (i, &a) in nodes.iter().enumerate() {
+            for &b in nodes.iter().skip(i + 1) {
+                r.push(Violation::KeyViolated {
+                    a,
+                    b,
+                    ty: s.schema().type_name(key.site).to_owned(),
+                    fields: key.fields.clone(),
+                });
+            }
+        }
+    }
+}
+
+/// DS7 (`@key`), inline plan: collect and emit per key (serial
+/// full-graph engines).
+pub(crate) fn ds7(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
+    sink.rule(Rule::DS7, |sink| {
+        let s = scope.s;
+        for key in s.keys() {
+            if sink.at_limit() {
+                return;
+            }
+            let scalar_fields = ds7_scalar_fields(s, key);
+            let groups = ds7_collect(scope, sink, key, &scalar_fields);
+            ds7_emit(s, key, groups, sink.report);
+        }
+    });
+}
+
+/// DS7, map plan: collect one shard-local tuple table per key (in schema
+/// key order) for the caller's cross-shard reduce. Emits no violations
+/// itself; the recorded DS7 timing covers the map side only — the
+/// planner adds the reduce time after the join.
+pub(crate) fn ds7_map(
+    scope: &Scope<'_, '_>,
+    sink: &mut Sink<'_>,
+    tables: &mut Vec<HashMap<Vec<Option<Value>>, Vec<NodeId>>>,
+) {
+    sink.rule(Rule::DS7, |sink| {
+        for key in scope.s.keys() {
+            let scalar_fields = ds7_scalar_fields(scope.s, key);
+            tables.push(ds7_collect(scope, sink, key, &scalar_fields));
+        }
+    });
+}
+
+/// Per-`@key` persistent state of an incremental session: each node's
+/// current key tuple and the groups of nodes sharing one — the durable
+/// form of the DS7 collect phase.
+pub(crate) struct KeyTable {
+    scalar_fields: Vec<String>,
+    tuples: HashMap<NodeId, Vec<Option<Value>>>,
+    groups: HashMap<Vec<Option<Value>>, Vec<NodeId>>,
+}
+
+/// Seeds one tuple table per key constraint (directives only) from a
+/// full pass over the graph.
+pub(crate) fn build_key_tables(
+    s: &PgSchema,
+    g: &PropertyGraph,
+    options: &ValidationOptions,
+) -> Vec<KeyTable> {
+    if !options.directives {
+        return Vec::new();
+    }
+    s.keys()
+        .iter()
+        .map(|key| {
+            let scalar_fields: Vec<String> = ds7_scalar_fields(s, key)
+                .into_iter()
+                .map(str::to_owned)
+                .collect();
+            let mut table = KeyTable {
+                scalar_fields,
+                tuples: HashMap::new(),
+                groups: HashMap::new(),
+            };
+            for n in g.nodes() {
+                if s.label_subtype(n.label(), key.site) {
+                    let tuple: Vec<Option<Value>> = table
+                        .scalar_fields
+                        .iter()
+                        .map(|f| g.node_property(n.id, f).cloned())
+                        .collect();
+                    table.groups.entry(tuple.clone()).or_default().push(n.id);
+                    table.tuples.insert(n.id, tuple);
+                }
+            }
+            table
+        })
+        .collect()
+}
+
+/// DS7, recheck plan: move each dirty node between tuple groups and
+/// re-emit the pairs it now participates in. Pairs between two non-dirty
+/// nodes were never dropped and stay valid (their tuples did not
+/// change). Requires a dirty scope.
+pub(crate) fn ds7_recheck(scope: &Scope<'_, '_>, sink: &mut Sink<'_>, tables: &mut [KeyTable]) {
+    let dirty = scope
+        .dirty_nodes()
+        .expect("DS7 recheck plan requires a dirty scope");
+    sink.rule(Rule::DS7, |sink| {
+        let (g, s) = (scope.g, scope.s);
+        for (key, table) in s.keys().iter().zip(tables) {
+            for &v in dirty {
+                sink.group_visited();
+                if let Some(old) = table.tuples.remove(&v) {
+                    if let Some(group) = table.groups.get_mut(&old) {
+                        group.retain(|&n| n != v);
+                        if group.is_empty() {
+                            table.groups.remove(&old);
+                        }
+                    }
+                }
+                let Some(label) = g.node_label(v) else {
+                    continue; // removed node: it only leaves its group
+                };
+                if !s.label_subtype(label, key.site) {
+                    continue;
+                }
+                let tuple: Vec<Option<Value>> = table
+                    .scalar_fields
+                    .iter()
+                    .map(|f| g.node_property(v, f).cloned())
+                    .collect();
+                table.groups.entry(tuple.clone()).or_default().push(v);
+                table.tuples.insert(v, tuple);
+            }
+            // Emit the pairs involving dirty members of their (new) groups.
+            for &v in dirty {
+                let Some(tuple) = table.tuples.get(&v) else {
+                    continue;
+                };
+                for &w in &table.groups[tuple] {
+                    if w == v {
+                        continue;
+                    }
+                    let (a, b) = if v < w { (v, w) } else { (w, v) };
+                    sink.push(Violation::KeyViolated {
+                        a,
+                        b,
+                        ty: s.schema().type_name(key.site).to_owned(),
+                        fields: key.fields.clone(),
+                    });
+                }
+            }
+        }
+    });
+}

@@ -1,0 +1,386 @@
+//! The rule-kernel layer: each of the paper's fifteen rules, implemented
+//! exactly once.
+//!
+//! The paper defines one set of semantics — [`Rule::WS1`]–[`Rule::WS4`]
+//! (Definition 5.1), [`Rule::DS1`]–[`Rule::DS7`] (Definition 5.2) and
+//! [`Rule::SS1`]–[`Rule::SS4`] (Definition 5.3) — while the crate ships
+//! several execution strategies for it. This module separates the two
+//! concerns:
+//!
+//! * a **kernel** is the single implementation of one rule, written
+//!   against an abstract evaluation [`Scope`] and a result [`Sink`]
+//!   (modules [`weak`], [`directives`], [`strong`], one per family);
+//! * an **engine** is a *planner*: it decides which kernels to run over
+//!   which scope and merges the results. `indexed.rs`, `parallel.rs` and
+//!   `incremental.rs` contain only this planning/scoping logic;
+//!   `naive.rs` deliberately stays outside the layer as the independent
+//!   oracle the kernels are property-tested against
+//!   (`tests/engine_agreement.rs`).
+//!
+//! # Scope
+//!
+//! A [`Scope`] bundles the graph, schema, [`GraphIndex`] and label list
+//! with an evaluation *domain* — which slice of the graph the kernels
+//! should derive violations for:
+//!
+//! * **full** — the whole graph (the serial indexed engine, and the
+//!   seeding pass of an incremental session); benchmark E2 runs kernels
+//!   under this scope;
+//! * **shard** — one contiguous id-range shard of the parallel engine;
+//!   element scans walk the shard's own live elements and group-keyed
+//!   kernels process exactly the groups whose key element the shard
+//!   owns, so every violation is derived by exactly one worker (E2p);
+//! * **dirty** — the dirty region computed from a
+//!   [`GraphDelta`](pgraph::GraphDelta) closure by the incremental
+//!   engine: a set of dirty nodes plus the live edges incident to them,
+//!   evaluated over a partial index of that region (E2i).
+//!
+//! Kernels never ask which variant they run under: element scans iterate
+//! [`Scope::nodes`]/[`Scope::edges`], group-keyed kernels filter shared
+//! index groups through [`Scope::owns`]. That one predicate is what
+//! makes the same kernel body correct in all three plans.
+//!
+//! # Sink
+//!
+//! A [`Sink`] is the uniform write side: kernels push [`Violation`]s
+//! through it. It centralises
+//!
+//! * `max_violations` early-exit ([`Sink::at_limit`] short-circuits both
+//!   within and between kernels),
+//! * per-rule observability — wall time, elements examined and
+//!   violations per kernel, recorded as [`RuleMetrics`] when metrics
+//!   are requested and zero-cost (a dead branch per element) when not,
+//! * deterministic ordering: kernels themselves emit in a
+//!   domain-dependent order, so every planner canonicalises its merged
+//!   report (sort by the derived `Ord` on [`Violation`] = (rule, anchor
+//!   element id, payload), then dedup) before it reaches the caller —
+//!   [`validate`](crate::validate) and
+//!   [`IncrementalEngine::report`](crate::IncrementalEngine::report)
+//!   both guarantee this canonical order, which is why reports from all
+//!   four engines compare byte-identically.
+//!
+//! # DS7 and the three plans
+//!
+//! `@key` (DS7) is the one rule whose violations pair *two* elements, so
+//! its kernel is split into a tuple-collect and a pair-emit phase
+//! (see [`directives`]). [`Ds7Plan`] selects how the planner composes
+//! them: inline (collect + emit in one go), map (collect only; the
+//! parallel engine reduces the shard-local tables after join), or
+//! recheck (the incremental engine's persistent [`KeyTable`]s are
+//! updated for the dirty nodes and only affected pairs re-emitted).
+
+pub(crate) mod directives;
+pub(crate) mod strong;
+pub(crate) mod weak;
+
+use std::collections::{BTreeSet, HashMap};
+use std::time::Instant;
+
+use pgraph::index::GraphIndex;
+use pgraph::shard::GraphShard;
+use pgraph::{EdgeId, EdgeRef, NodeId, NodeRef, PropertyGraph, Value};
+
+use crate::pgschema::PgSchema;
+use crate::report::{Rule, RuleMetrics, ValidationReport, Violation};
+use crate::ValidationOptions;
+
+pub(crate) use directives::KeyTable;
+
+/// The slice of the graph a kernel invocation derives violations for.
+enum Domain<'a, 'g> {
+    /// The whole graph.
+    Full,
+    /// One contiguous id-range shard (parallel engine).
+    Shard(&'a GraphShard<'g>),
+    /// The dirty region of a delta: dirty nodes plus their incident live
+    /// edges (incremental engine).
+    Dirty {
+        nodes: &'a BTreeSet<NodeId>,
+        edges: &'a BTreeSet<EdgeId>,
+    },
+}
+
+/// Everything a rule kernel reads: graph, schema, index, the labels
+/// present, and the evaluation domain. See the module docs for the three
+/// domain variants and how the planners instantiate them.
+pub(crate) struct Scope<'a, 'g> {
+    /// The graph under validation (always the *whole* graph — domains
+    /// restrict which elements are scanned, not what lookups can see).
+    pub(crate) g: &'g PropertyGraph,
+    /// The schema validated against.
+    pub(crate) s: &'a PgSchema,
+    /// Label/adjacency/parallel-edge groups: full for the full and shard
+    /// domains, partial (covering the dirty region) for the dirty one.
+    pub(crate) ix: &'a GraphIndex,
+    /// The node labels present in `ix`, resolved once by the planner.
+    pub(crate) labels: &'a [String],
+    domain: Domain<'a, 'g>,
+}
+
+impl<'a, 'g> Scope<'a, 'g> {
+    /// Whole-graph scope (indexed engine, incremental seeding).
+    pub(crate) fn full(
+        g: &'g PropertyGraph,
+        s: &'a PgSchema,
+        ix: &'a GraphIndex,
+        labels: &'a [String],
+    ) -> Self {
+        Scope {
+            g,
+            s,
+            ix,
+            labels,
+            domain: Domain::Full,
+        }
+    }
+
+    /// One worker's shard of the parallel engine.
+    pub(crate) fn shard(
+        g: &'g PropertyGraph,
+        s: &'a PgSchema,
+        ix: &'a GraphIndex,
+        labels: &'a [String],
+        shard: &'a GraphShard<'g>,
+    ) -> Self {
+        Scope {
+            g,
+            s,
+            ix,
+            labels,
+            domain: Domain::Shard(shard),
+        }
+    }
+
+    /// The dirty region of the incremental engine: `nodes` is the dirty
+    /// node closure, `edges` the live edges incident to it, and `ix` a
+    /// partial index over exactly that region.
+    pub(crate) fn dirty(
+        g: &'g PropertyGraph,
+        s: &'a PgSchema,
+        ix: &'a GraphIndex,
+        labels: &'a [String],
+        nodes: &'a BTreeSet<NodeId>,
+        edges: &'a BTreeSet<EdgeId>,
+    ) -> Self {
+        Scope {
+            g,
+            s,
+            ix,
+            labels,
+            domain: Domain::Dirty { nodes, edges },
+        }
+    }
+
+    /// Does this scope own the given node? Group-keyed kernels process
+    /// exactly the index groups whose key element is owned, which is
+    /// what makes shard/dirty evaluation partition-exact.
+    #[inline]
+    pub(crate) fn owns(&self, n: NodeId) -> bool {
+        match &self.domain {
+            Domain::Full => true,
+            Domain::Shard(shard) => shard.owns_node(n),
+            Domain::Dirty { nodes, .. } => nodes.contains(&n),
+        }
+    }
+
+    /// The live nodes of the domain, in ascending id order.
+    pub(crate) fn nodes(&self) -> Box<dyn Iterator<Item = NodeRef<'g>> + '_> {
+        match &self.domain {
+            Domain::Full => Box::new(self.g.nodes()),
+            Domain::Shard(shard) => Box::new(shard.nodes()),
+            Domain::Dirty { nodes, .. } => Box::new(nodes.iter().filter_map(|&v| self.g.node(v))),
+        }
+    }
+
+    /// The live edges of the domain, in ascending id order.
+    pub(crate) fn edges(&self) -> Box<dyn Iterator<Item = EdgeRef<'g>> + '_> {
+        match &self.domain {
+            Domain::Full => Box::new(self.g.edges()),
+            Domain::Shard(shard) => Box::new(shard.edges()),
+            Domain::Dirty { edges, .. } => Box::new(edges.iter().filter_map(|&e| self.g.edge(e))),
+        }
+    }
+
+    /// The dirty node set — `Some` only under the dirty domain. DS7's
+    /// recheck plan uses this to move exactly the dirty nodes between
+    /// key groups.
+    pub(crate) fn dirty_nodes(&self) -> Option<&BTreeSet<NodeId>> {
+        match &self.domain {
+            Domain::Dirty { nodes, .. } => Some(nodes),
+            _ => None,
+        }
+    }
+}
+
+/// Per-rule instrumentation accumulated by a [`Sink`], handed back to
+/// the planner by [`Sink::finish`].
+pub(crate) struct SinkOutput {
+    /// One entry per kernel that ran, in execution order.
+    pub(crate) rules: Vec<RuleMetrics>,
+    /// Node visits summed over all kernels.
+    pub(crate) nodes_scanned: u64,
+    /// Edge visits summed over all kernels.
+    pub(crate) edges_scanned: u64,
+}
+
+struct SinkMetrics {
+    rules: Vec<RuleMetrics>,
+    nodes_scanned: u64,
+    edges_scanned: u64,
+    /// Elements examined by the kernel currently running.
+    current: u64,
+}
+
+/// The uniform write side of every kernel: violations, `max_violations`
+/// early-exit and per-rule metrics flow through here. See module docs.
+pub(crate) struct Sink<'r> {
+    report: &'r mut ValidationReport,
+    metrics: Option<SinkMetrics>,
+}
+
+impl<'r> Sink<'r> {
+    /// Wraps a report; with `collect` set, per-rule [`RuleMetrics`] are
+    /// recorded around every [`rule`](Self::rule) invocation.
+    pub(crate) fn new(report: &'r mut ValidationReport, collect: bool) -> Self {
+        Sink {
+            report,
+            metrics: collect.then(|| SinkMetrics {
+                rules: Vec::with_capacity(Rule::ALL.len()),
+                nodes_scanned: 0,
+                edges_scanned: 0,
+                current: 0,
+            }),
+        }
+    }
+
+    /// Emits one violation (dropped, marking the report truncated, once
+    /// the limit is reached).
+    #[inline]
+    pub(crate) fn push(&mut self, v: Violation) {
+        self.report.push(v);
+    }
+
+    /// True once `max_violations` is reached — kernels return early and
+    /// [`rule`](Self::rule) skips kernels entirely.
+    #[inline]
+    pub(crate) fn at_limit(&self) -> bool {
+        self.report.at_limit()
+    }
+
+    /// Counts one node visit for the running kernel.
+    #[inline]
+    pub(crate) fn node_visited(&mut self) {
+        if let Some(m) = &mut self.metrics {
+            m.current += 1;
+            m.nodes_scanned += 1;
+        }
+    }
+
+    /// Counts one edge visit for the running kernel.
+    #[inline]
+    pub(crate) fn edge_visited(&mut self) {
+        if let Some(m) = &mut self.metrics {
+            m.current += 1;
+            m.edges_scanned += 1;
+        }
+    }
+
+    /// Counts one index-group (or per-site bucket entry) visit for the
+    /// running kernel.
+    #[inline]
+    pub(crate) fn group_visited(&mut self) {
+        if let Some(m) = &mut self.metrics {
+            m.current += 1;
+        }
+    }
+
+    /// Runs one kernel, timing it and attributing elements/violations to
+    /// `rule` when metrics are collected. Skipped entirely once the
+    /// violation limit is reached.
+    pub(crate) fn rule(&mut self, rule: Rule, kernel: impl FnOnce(&mut Self)) {
+        if self.at_limit() {
+            return;
+        }
+        if self.metrics.is_none() {
+            kernel(self);
+            return;
+        }
+        if let Some(m) = &mut self.metrics {
+            m.current = 0;
+        }
+        let before = self.report.len();
+        let start = Instant::now();
+        kernel(self);
+        let nanos = start.elapsed().as_nanos() as u64;
+        let violations = self.report.len() - before;
+        if let Some(m) = &mut self.metrics {
+            m.rules.push(RuleMetrics {
+                rule,
+                nanos,
+                elements_scanned: m.current,
+                violations,
+            });
+        }
+    }
+
+    /// Ends the sink, releasing the report borrow and handing the
+    /// per-rule metrics (if collected) to the planner.
+    pub(crate) fn finish(self) -> Option<SinkOutput> {
+        self.metrics.map(|m| SinkOutput {
+            rules: m.rules,
+            nodes_scanned: m.nodes_scanned,
+            edges_scanned: m.edges_scanned,
+        })
+    }
+}
+
+/// How a planner executes DS7 (`@key`) — the one rule whose collect and
+/// emit phases engines compose differently. See module docs.
+pub(crate) enum Ds7Plan<'p> {
+    /// Collect and emit in one pass (serial full-graph engines).
+    Inline,
+    /// Map phase only: one shard-local tuple table per key is pushed for
+    /// the caller's cross-shard reduce (parallel engine).
+    Map(&'p mut Vec<HashMap<Vec<Option<Value>>, Vec<NodeId>>>),
+    /// Move the scope's dirty nodes between the persistent per-key
+    /// tables and re-emit exactly the pairs they participate in
+    /// (incremental engine). Requires a dirty scope.
+    Recheck(&'p mut [KeyTable]),
+}
+
+/// Runs every enabled kernel over `scope` in rule order (WS1–WS4,
+/// DS1–DS7, SS1–SS4), with `max_violations` early-exit between and
+/// within kernels. This is the entire rule schedule; the engines differ
+/// only in the scope they build and the [`Ds7Plan`] they pass.
+pub(crate) fn run(
+    scope: &Scope<'_, '_>,
+    options: &ValidationOptions,
+    sink: &mut Sink<'_>,
+    ds7: Ds7Plan<'_>,
+) {
+    if options.weak {
+        weak::ws1(scope, sink);
+        weak::ws2(scope, sink);
+        weak::ws3(scope, sink);
+        weak::ws4(scope, sink);
+    }
+    if options.directives {
+        directives::ds1(scope, sink);
+        directives::ds2(scope, sink);
+        directives::ds3(scope, sink);
+        directives::ds4(scope, sink);
+        directives::ds5(scope, sink);
+        directives::ds6(scope, sink);
+        match ds7 {
+            Ds7Plan::Inline => directives::ds7(scope, sink),
+            Ds7Plan::Map(tables) => directives::ds7_map(scope, sink, tables),
+            Ds7Plan::Recheck(tables) => directives::ds7_recheck(scope, sink, tables),
+        }
+    }
+    if options.strong {
+        strong::ss1(scope, sink);
+        strong::ss2(scope, sink);
+        strong::ss3(scope, sink);
+        strong::ss4(scope, sink);
+    }
+}

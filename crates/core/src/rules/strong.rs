@@ -1,0 +1,94 @@
+//! Kernels for strong satisfaction — rules SS1–SS4 (Definition 5.3).
+
+use crate::report::{Rule, Violation};
+
+use super::{Scope, Sink};
+
+/// SS1: every node label is an object type of the schema — one scan over
+/// the scope's nodes.
+pub(crate) fn ss1(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
+    sink.rule(Rule::SS1, |sink| {
+        let s = scope.s;
+        for n in scope.nodes() {
+            if sink.at_limit() {
+                return;
+            }
+            sink.node_visited();
+            if !s.is_object_label(n.label()) {
+                sink.push(Violation::UnjustifiedNode {
+                    node: n.id,
+                    label: n.label().to_owned(),
+                });
+            }
+        }
+    });
+}
+
+/// SS2: every node property is backed by an attribute definition — one
+/// scan over the scope's nodes.
+pub(crate) fn ss2(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
+    sink.rule(Rule::SS2, |sink| {
+        let s = scope.s;
+        for n in scope.nodes() {
+            if sink.at_limit() {
+                return;
+            }
+            sink.node_visited();
+            for (prop, _) in n.properties() {
+                if s.attribute(n.label(), prop).is_none() {
+                    sink.push(Violation::UnjustifiedNodeProperty {
+                        node: n.id,
+                        prop: prop.to_owned(),
+                    });
+                }
+            }
+        }
+    });
+}
+
+/// SS3: every edge property is backed by a relationship argument — one
+/// scan over the scope's edges.
+pub(crate) fn ss3(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
+    sink.rule(Rule::SS3, |sink| {
+        let (g, s) = (scope.g, scope.s);
+        for e in scope.edges() {
+            if sink.at_limit() {
+                return;
+            }
+            sink.edge_visited();
+            let src_label = g.node_label(e.source()).unwrap_or("");
+            let rel = s.relationship(src_label, e.label());
+            for (prop, _) in e.properties() {
+                let justified = rel.is_some_and(|rd| rd.edge_props.iter().any(|p| p.name == prop));
+                if !justified {
+                    sink.push(Violation::UnjustifiedEdgeProperty {
+                        edge: e.id,
+                        prop: prop.to_owned(),
+                    });
+                }
+            }
+        }
+    });
+}
+
+/// SS4: every edge is backed by a relationship definition — one scan
+/// over the scope's edges.
+pub(crate) fn ss4(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
+    sink.rule(Rule::SS4, |sink| {
+        let (g, s) = (scope.g, scope.s);
+        for e in scope.edges() {
+            if sink.at_limit() {
+                return;
+            }
+            sink.edge_visited();
+            let src_label = g.node_label(e.source()).unwrap_or("");
+            if s.relationship(src_label, e.label()).is_none() {
+                sink.push(Violation::UnjustifiedEdge {
+                    edge: e.id,
+                    label: e.label().to_owned(),
+                    source_label: src_label.to_owned(),
+                });
+            }
+        }
+    });
+}

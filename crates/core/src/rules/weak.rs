@@ -1,0 +1,126 @@
+//! Kernels for weak satisfaction — rules WS1–WS4 (Definition 5.1).
+
+use crate::report::{Rule, Violation};
+
+use super::{Scope, Sink};
+
+/// WS1: node property values conform to their declared attribute types —
+/// one scan over the scope's nodes.
+pub(crate) fn ws1(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
+    sink.rule(Rule::WS1, |sink| {
+        let s = scope.s;
+        for n in scope.nodes() {
+            if sink.at_limit() {
+                return;
+            }
+            sink.node_visited();
+            for (prop, value) in n.properties() {
+                if let Some(attr) = s.attribute(n.label(), prop) {
+                    if !s.schema().value_conforms(value, &attr.ty) {
+                        sink.push(Violation::NodePropertyType {
+                            node: n.id,
+                            field: prop.to_owned(),
+                            value: value.to_string(),
+                            expected: s.display_type(&attr.ty),
+                        });
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// WS2: edge property values conform to their declared argument types
+/// (relationship fields only; attribute field arguments are ignored per
+/// §3.6) — one scan over the scope's edges.
+pub(crate) fn ws2(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
+    sink.rule(Rule::WS2, |sink| {
+        let (g, s) = (scope.g, scope.s);
+        for e in scope.edges() {
+            if sink.at_limit() {
+                return;
+            }
+            sink.edge_visited();
+            let src_label = g.node_label(e.source()).unwrap_or("");
+            let Some(rel) = s.relationship(src_label, e.label()) else {
+                continue;
+            };
+            for (prop, value) in e.properties() {
+                if let Some(ep) = rel.edge_props.iter().find(|p| p.name == prop) {
+                    if !s.schema().value_conforms(value, &ep.ty) {
+                        sink.push(Violation::EdgePropertyType {
+                            edge: e.id,
+                            prop: prop.to_owned(),
+                            value: value.to_string(),
+                            expected: s.display_type(&ep.ty),
+                        });
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// WS3: an edge's target label is a subtype of the field's base type —
+/// checked over *all* field definitions of the source type, in one scan
+/// over the scope's edges.
+pub(crate) fn ws3(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
+    sink.rule(Rule::WS3, |sink| {
+        let (g, s) = (scope.g, scope.s);
+        for e in scope.edges() {
+            if sink.at_limit() {
+                return;
+            }
+            sink.edge_visited();
+            let src_label = g.node_label(e.source()).unwrap_or("");
+            let Some(src_ty) = s.label_type(src_label) else {
+                continue;
+            };
+            let Some(field) = s.schema().field(src_ty, e.label()) else {
+                continue;
+            };
+            let target_label = g.node_label(e.target()).unwrap_or("");
+            if !s.label_subtype(target_label, field.ty.base) {
+                sink.push(Violation::EdgeTargetType {
+                    edge: e.id,
+                    target: e.target(),
+                    target_label: target_label.to_owned(),
+                    expected: s.schema().type_name(field.ty.base).to_owned(),
+                });
+            }
+        }
+    });
+}
+
+/// WS4: at most one outgoing edge per non-list relationship field — via
+/// the `(source, label)` out-groups whose source the scope owns.
+pub(crate) fn ws4(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
+    sink.rule(Rule::WS4, |sink| {
+        let (g, s) = (scope.g, scope.s);
+        for (source, label, edges) in scope.ix.out_groups() {
+            if sink.at_limit() {
+                return;
+            }
+            if edges.len() < 2 || !scope.owns(source) {
+                continue;
+            }
+            sink.group_visited();
+            let Some(src_label) = g.node_label(source) else {
+                continue;
+            };
+            let Some(src_ty) = s.label_type(src_label) else {
+                continue;
+            };
+            let Some(field) = s.schema().field(src_ty, label) else {
+                continue;
+            };
+            if !field.ty.is_list() {
+                sink.push(Violation::NonListFieldMultiEdge {
+                    source,
+                    field: label.to_owned(),
+                    count: edges.len(),
+                });
+            }
+        }
+    });
+}

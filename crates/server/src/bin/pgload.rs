@@ -324,6 +324,9 @@ fn run_smoke(addr: &str) -> Result<(), String> {
     if report.get("conforms") != Some(&Json::Bool(true)) {
         return Err("report: repaired session should conform".into());
     }
+    if report.get("rule_counts").is_none() {
+        return Err("report: missing per-rule counts".into());
+    }
 
     let (status, body) = client
         .request("GET", "/metrics", b"")
@@ -334,6 +337,11 @@ fn run_smoke(addr: &str) -> Result<(), String> {
     }
     if !text.contains("pgschemad_sessions_live 1") {
         return Err("metrics: expected one live session".into());
+    }
+    if !text.contains("pgschemad_rule_violations_total{rule=\"WS1\"}")
+        || !text.contains("pgschemad_rule_nanos_total{rule=\"DS7\"}")
+    {
+        return Err("metrics: missing per-rule counter families".into());
     }
 
     let (status, _) = client

@@ -8,7 +8,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use pg_schema::{Engine, ValidationMetrics};
+use pg_schema::{Engine, Rule, ValidationMetrics};
 
 /// Upper bounds (µs) of the request-latency histogram buckets; the last
 /// implicit bucket is `+Inf`.
@@ -48,6 +48,12 @@ pub struct Metrics {
     shed: AtomicU64,
     /// Per-engine validation counters, indexed like [`ENGINES`].
     engines: [EngineCounters; 4],
+    /// Violations found per rule across all runs, indexed like
+    /// [`Rule::ALL`].
+    rule_violations: [AtomicU64; Rule::ALL.len()],
+    /// Wall time spent per rule kernel across all runs (nanoseconds),
+    /// indexed like [`Rule::ALL`].
+    rule_nanos: [AtomicU64; Rule::ALL.len()],
 }
 
 impl Metrics {
@@ -60,6 +66,8 @@ impl Metrics {
             latency_count: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             engines: Default::default(),
+            rule_violations: Default::default(),
+            rule_nanos: Default::default(),
         }
     }
 
@@ -105,6 +113,11 @@ impl Metrics {
                 .fetch_add(m.elements_rechecked, Ordering::Relaxed);
             c.elements_total
                 .fetch_add(m.elements_total, Ordering::Relaxed);
+            for rm in &m.rules {
+                let i = rule_index(rm.rule);
+                self.rule_violations[i].fetch_add(rm.violations as u64, Ordering::Relaxed);
+                self.rule_nanos[i].fetch_add(rm.nanos, Ordering::Relaxed);
+            }
         }
     }
 
@@ -194,6 +207,27 @@ impl Metrics {
             }
         }
 
+        out.push_str(
+            "# HELP pgschemad_rule_violations_total Violations found by validation runs, by rule.\n",
+        );
+        out.push_str("# TYPE pgschemad_rule_violations_total counter\n");
+        for (i, rule) in Rule::ALL.iter().enumerate() {
+            out.push_str(&format!(
+                "pgschemad_rule_violations_total{{rule=\"{rule}\"}} {}\n",
+                self.rule_violations[i].load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str(
+            "# HELP pgschemad_rule_nanos_total Wall time spent per rule kernel (nanoseconds).\n",
+        );
+        out.push_str("# TYPE pgschemad_rule_nanos_total counter\n");
+        for (i, rule) in Rule::ALL.iter().enumerate() {
+            out.push_str(&format!(
+                "pgschemad_rule_nanos_total{{rule=\"{rule}\"}} {}\n",
+                self.rule_nanos[i].load(Ordering::Relaxed)
+            ));
+        }
+
         out.push_str("# HELP pgschemad_sessions_live Incremental sessions currently held.\n");
         out.push_str("# TYPE pgschemad_sessions_live gauge\n");
         out.push_str(&format!("pgschemad_sessions_live {sessions_live}\n"));
@@ -211,6 +245,13 @@ impl Default for Metrics {
     fn default() -> Self {
         Metrics::new()
     }
+}
+
+fn rule_index(rule: Rule) -> usize {
+    Rule::ALL
+        .iter()
+        .position(|&r| r == rule)
+        .expect("Rule::ALL covers every rule")
 }
 
 fn engine_index(engine: Engine) -> usize {
@@ -244,6 +285,43 @@ mod tests {
         assert!(text.contains("pgschemad_sessions_live 5"));
         assert!(text.contains("pgschemad_queue_depth 2"));
         assert!(text.contains("pgschemad_shed_total 1"));
+        // Per-rule families render a sample for every rule even before
+        // any run recorded rule metrics.
+        assert!(text.contains("pgschemad_rule_violations_total{rule=\"DS7\"} 0"));
+        assert!(text.contains("pgschemad_rule_nanos_total{rule=\"SS4\"} 0"));
+    }
+
+    #[test]
+    fn rule_counters_accumulate_across_runs() {
+        use pg_schema::{RuleMetrics, ValidationMetrics};
+        let m = Metrics::new();
+        let run = |ws1_violations| ValidationMetrics {
+            engine: "indexed",
+            threads: 1,
+            rules: vec![
+                RuleMetrics {
+                    rule: Rule::WS1,
+                    nanos: 1_000,
+                    elements_scanned: 10,
+                    violations: ws1_violations,
+                },
+                RuleMetrics {
+                    rule: Rule::DS7,
+                    nanos: 500,
+                    elements_scanned: 4,
+                    violations: 1,
+                },
+            ],
+            ..ValidationMetrics::default()
+        };
+        m.record_validation(Engine::Indexed, Some(&run(2)));
+        m.record_validation(Engine::Parallel, Some(&run(3)));
+        let text = m.render(0, 0);
+        assert!(text.contains("pgschemad_rule_violations_total{rule=\"WS1\"} 5"));
+        assert!(text.contains("pgschemad_rule_violations_total{rule=\"DS7\"} 2"));
+        assert!(text.contains("pgschemad_rule_nanos_total{rule=\"WS1\"} 2000"));
+        assert!(text.contains("pgschemad_rule_nanos_total{rule=\"DS7\"} 1000"));
+        assert!(text.contains("pgschemad_rule_violations_total{rule=\"SS1\"} 0"));
     }
 
     #[test]

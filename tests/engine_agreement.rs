@@ -3,11 +3,28 @@
 //! random (possibly mutated) graphs, across worker counts, and — for
 //! the incremental engine — after every step of arbitrary mutation
 //! sequences; generated conforming graphs conform; injected defects are
-//! caught.
+//! caught. Agreement is checked down to per-rule violation multisets
+//! and byte-identical canonical renderings, with and without
+//! `max_violations` truncation — the naive oracle versus the shared
+//! rule kernels (CI job `kernel-parity`).
 
 use pg_datagen::{DeltaGen, DeltaGenParams, GraphGen, GraphGenParams, SchemaGen, SchemaGenParams};
-use pg_schema::{validate, Engine, IncrementalEngine, PgSchema, ValidationOptions};
+use pg_schema::{
+    validate, Engine, IncrementalEngine, PgSchema, Rule, ValidationOptions, ValidationReport,
+};
 use proptest::prelude::*;
+
+/// Every engine configuration the agreement suite compares against the
+/// naive oracle: serial kernels, the stateless incremental path, and the
+/// parallel planner at 1 (degenerate shard), 2 (cross-shard merge) and 8
+/// (shards smaller than some label groups) workers.
+const KERNEL_CONFIGS: [(Engine, usize); 5] = [
+    (Engine::Indexed, 1),
+    (Engine::Incremental, 1),
+    (Engine::Parallel, 1),
+    (Engine::Parallel, 2),
+    (Engine::Parallel, 8),
+];
 
 fn schema_for(seed: u64) -> PgSchema {
     let sdl = SchemaGen::new(SchemaGenParams {
@@ -158,6 +175,136 @@ proptest! {
             &patched, &naive,
             "end state:\npatched:\n{}naive:\n{}", patched, naive
         );
+    }
+
+    /// Per-rule violation multisets agree across all four engines. Full
+    /// report equality already implies this; asserting it per rule keeps
+    /// the failure signal sharp (which kernel diverged) and pins the
+    /// property the kernel layer promises: each of the fifteen rules has
+    /// exactly one implementation, so no engine can disagree on any
+    /// rule's violation set.
+    #[test]
+    fn per_rule_multisets_agree(schema_seed in 0u64..16, graph_seed in 0u64..16) {
+        let schema = schema_for(schema_seed);
+        let graph = GraphGen::new(&schema, GraphGenParams {
+            nodes_per_type: 6,
+            seed: graph_seed,
+            ..Default::default()
+        }).generate();
+        let oracle = validate(&graph, &schema, &ValidationOptions::with_engine(Engine::Naive));
+        for (engine, threads) in KERNEL_CONFIGS {
+            let opts = ValidationOptions::builder()
+                .engine(engine)
+                .threads(threads)
+                .build();
+            let got = validate(&graph, &schema, &opts);
+            prop_assert_eq!(got.counts(), oracle.counts(), "{:?}/{}", engine, threads);
+            for rule in Rule::ALL {
+                let a: Vec<_> = got.by_rule(rule).collect();
+                let b: Vec<_> = oracle.by_rule(rule).collect();
+                prop_assert_eq!(
+                    a, b,
+                    "{:?} multiset diverged on {:?} at {} threads", rule, engine, threads
+                );
+            }
+        }
+        // Under truncation identical subsets are not promised (engines
+        // reach the limit along different scan orders), but every engine
+        // must stay within the limit, flag the truncation, and return
+        // only genuine violations.
+        let total = oracle.len();
+        if total > 1 {
+            let limit = total / 2;
+            for (engine, threads) in KERNEL_CONFIGS {
+                let opts = ValidationOptions::builder()
+                    .engine(engine)
+                    .threads(threads)
+                    .max_violations(limit)
+                    .build();
+                let got = validate(&graph, &schema, &opts);
+                prop_assert!(got.truncated(), "{:?}/{} not flagged truncated", engine, threads);
+                prop_assert!(!got.conforms());
+                prop_assert!(got.len() <= limit, "{:?}/{} exceeded limit", engine, threads);
+                for v in got.violations() {
+                    prop_assert!(
+                        oracle.violations().contains(v),
+                        "{:?}/{} fabricated {} under truncation", engine, threads, v
+                    );
+                }
+            }
+        }
+    }
+
+    /// Canonical ordering makes reports byte-comparable: re-serialising
+    /// each engine's violation stream (minus the engine/metrics
+    /// identity) yields the identical JSON document and the identical
+    /// rendered lines.
+    #[test]
+    fn reports_render_byte_identically(schema_seed in 0u64..12, graph_seed in 0u64..12) {
+        let schema = schema_for(schema_seed);
+        let graph = GraphGen::new(&schema, GraphGenParams {
+            nodes_per_type: 6,
+            seed: graph_seed,
+            ..Default::default()
+        }).generate();
+        let render = |opts: &ValidationOptions| {
+            let r = validate(&graph, &schema, opts);
+            let canonical = ValidationReport::new(r.violations().to_vec());
+            (canonical.to_json(), canonical.to_string())
+        };
+        let (oracle_json, oracle_text) =
+            render(&ValidationOptions::with_engine(Engine::Naive));
+        for (engine, threads) in KERNEL_CONFIGS {
+            let opts = ValidationOptions::builder()
+                .engine(engine)
+                .threads(threads)
+                .build();
+            let (json, text) = render(&opts);
+            prop_assert_eq!(&json, &oracle_json, "{:?}/{} JSON diverged", engine, threads);
+            prop_assert_eq!(&text, &oracle_text, "{:?}/{} text diverged", engine, threads);
+        }
+    }
+
+    /// Per-rule metrics attribute every violation to the kernel that
+    /// found it: for each engine the recorded `RuleMetrics.violations`
+    /// equals the report's per-rule count, and timing entries stay in
+    /// rule order.
+    #[test]
+    fn rule_metrics_match_report(schema_seed in 0u64..8, graph_seed in 0u64..8) {
+        let schema = schema_for(schema_seed);
+        let graph = GraphGen::new(&schema, GraphGenParams {
+            nodes_per_type: 6,
+            seed: graph_seed,
+            ..Default::default()
+        }).generate();
+        for (engine, threads) in KERNEL_CONFIGS {
+            let opts = ValidationOptions::builder()
+                .engine(engine)
+                .threads(threads)
+                .collect_metrics(true)
+                .build();
+            let report = validate(&graph, &schema, &opts);
+            let m = report.metrics().expect("metrics requested");
+            prop_assert_eq!(m.rules.len(), Rule::ALL.len(), "{:?}/{}", engine, threads);
+            prop_assert!(m.rules.windows(2).all(|w| w[0].rule < w[1].rule));
+            for rm in &m.rules {
+                // Kernel counts are pre-canonicalization, so duplicate
+                // emissions (e.g. one loop edge matching two @noLoops
+                // sites) may inflate them — but never fabricate or lose
+                // a rule's violations.
+                let canonical = report.by_rule(rm.rule).count();
+                prop_assert!(
+                    rm.violations >= canonical,
+                    "{:?} undercounted on {:?} at {} threads: {} < {}",
+                    rm.rule, engine, threads, rm.violations, canonical
+                );
+                prop_assert_eq!(
+                    rm.violations == 0,
+                    canonical == 0,
+                    "{:?} misattributed on {:?} at {} threads", rm.rule, engine, threads
+                );
+            }
+        }
     }
 
     /// Graphs round-tripped through JSON validate identically.
