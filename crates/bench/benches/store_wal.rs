@@ -1,0 +1,99 @@
+//! Criterion benches for the durable session store (EXPERIMENTS.md
+//! §E3d): per-record WAL append cost under each fsync policy, and
+//! recovery (snapshot + WAL replay) time against WAL size.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_store::{FsyncPolicy, Store};
+use pgraph::{GraphBuilder, GraphDelta, PropertyGraph, Value};
+
+fn bench_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("pg-bench-store")
+        .join(format!("{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn seed_graph() -> PropertyGraph {
+    GraphBuilder::new()
+        .node("u", "User")
+        .prop("u", "login", "alice")
+        .build()
+        .unwrap()
+}
+
+fn toggle(graph: &PropertyGraph, i: u64) -> GraphDelta {
+    let user = graph.node_ids().next().unwrap();
+    GraphDelta::new().set_node_property(user, "login", Value::Int(i as i64))
+}
+
+const SDL: &str = "type User { login: String! @required }";
+
+/// Append cost per record, by fsync policy. `always` pays an fdatasync
+/// per acknowledged record; `interval` amortises syncs over the window;
+/// `never` leaves durability to the OS page cache.
+fn bench_wal_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3d_wal_append");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let policies = [
+        ("always", FsyncPolicy::Always),
+        (
+            "interval_100ms",
+            FsyncPolicy::Interval(Duration::from_millis(100)),
+        ),
+        ("never", FsyncPolicy::Never),
+    ];
+    for (name, policy) in policies {
+        let dir = bench_dir(&format!("append-{name}"));
+        let (store, _) = Store::open(&dir, policy).unwrap();
+        let graph = seed_graph();
+        store.append_create(1, SDL, &graph).unwrap();
+        let delta = toggle(&graph, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &delta, |b, d| {
+            b.iter(|| store.append_delta(1, black_box(d)).unwrap())
+        });
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+/// Recovery time (open = newest valid snapshot + WAL tail replay) as
+/// the un-compacted WAL grows.
+fn bench_recovery_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3d_recovery_replay");
+    group.sample_size(10);
+    for records in [100u64, 1_000, 10_000] {
+        let dir = bench_dir(&format!("replay-{records}"));
+        {
+            let (store, _) = Store::open(&dir, FsyncPolicy::Never).unwrap();
+            let graph = seed_graph();
+            store.append_create(1, SDL, &graph).unwrap();
+            for i in 0..records {
+                store.append_delta(1, &toggle(&graph, i)).unwrap();
+            }
+            store.sync().unwrap();
+            eprintln!(
+                "wal size at {records} records: {} bytes",
+                store.wal_size_bytes()
+            );
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(records), &dir, |b, dir| {
+            b.iter(|| {
+                let (store, recovered) = Store::open(dir, FsyncPolicy::Never).unwrap();
+                assert_eq!(recovered.sessions.len(), 1);
+                black_box((store, recovered))
+            })
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wal_append, bench_recovery_replay);
+criterion_main!(benches);

@@ -27,7 +27,12 @@ USAGE:
     pgschema import <nodes.csv> <edges.csv> [--schema FILE] [--out FILE]
     pgschema diff <old.graphql> <new.graphql>
     pgschema serve [--addr HOST:PORT] [--threads N] [--queue-depth N]
-                   [--log-format text|json|off]
+                   [--log-format text|json|off] [--data-dir DIR]
+                   [--fsync always|interval[:MILLIS]|never]
+                   [--compact-after-bytes N] [--max-sessions N]
+    pgschema store inspect <data-dir>
+    pgschema store compact <data-dir>
+    pgschema store replay <data-dir>
 ";
 
 /// Entry point used by `main` (and by the CLI integration tests).
@@ -48,6 +53,7 @@ pub fn run(args: &[String]) -> Result<()> {
         "import" => cmd_import(rest),
         "diff" => cmd_diff(rest),
         "serve" => cmd_serve(rest),
+        "store" => cmd_store(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -243,8 +249,20 @@ fn write_chunk<W: std::io::Write>(out: &mut W, text: &str) -> Result<()> {
 /// `pgschema serve`: run the `pg-schemad` validation daemon until
 /// SIGTERM or ctrl-c, then drain in-flight requests and exit cleanly.
 fn cmd_serve(rest: &[String]) -> Result<()> {
-    let (pos, values, _) =
-        parse_flags(rest, &["addr", "threads", "queue-depth", "log-format"], &[])?;
+    let (pos, values, _) = parse_flags(
+        rest,
+        &[
+            "addr",
+            "threads",
+            "queue-depth",
+            "log-format",
+            "data-dir",
+            "fsync",
+            "compact-after-bytes",
+            "max-sessions",
+        ],
+        &[],
+    )?;
     if !pos.is_empty() {
         return Err(format!("serve takes no positional arguments, got {pos:?}"));
     }
@@ -265,6 +283,23 @@ fn cmd_serve(rest: &[String]) -> Result<()> {
             "log-format" => {
                 config.log_format = pg_server::LogFormat::from_name(v)
                     .ok_or_else(|| format!("--log-format: expected text|json|off, got `{v}`"))?;
+            }
+            "data-dir" => config.data_dir = Some(v.into()),
+            "fsync" => {
+                config.fsync = pg_store::FsyncPolicy::from_name(v).ok_or_else(|| {
+                    format!("--fsync: expected always|interval[:millis]|never, got `{v}`")
+                })?;
+            }
+            "compact-after-bytes" => {
+                config.compact_after_bytes = v
+                    .parse()
+                    .map_err(|_| format!("--compact-after-bytes: not a number: {v}"))?;
+            }
+            "max-sessions" => {
+                config.max_sessions = Some(
+                    v.parse()
+                        .map_err(|_| format!("--max-sessions: not a number: {v}"))?,
+                );
             }
             _ => unreachable!(),
         }
@@ -533,6 +568,161 @@ fn cmd_normalize(rest: &[String]) -> Result<()> {
         None => print!("{printed}"),
     }
     Ok(())
+}
+
+/// `pgschema store inspect|compact|replay <data-dir>`: offline tooling
+/// over a `--data-dir` written by `pgschema serve`.
+fn cmd_store(rest: &[String]) -> Result<()> {
+    let Some(action) = rest.first() else {
+        return Err("store needs an action: inspect|compact|replay <data-dir>".to_owned());
+    };
+    let (pos, _, _) = parse_flags(&rest[1..], &[], &[])?;
+    let [dir] = pos.as_slice() else {
+        return Err(format!("store {action} needs exactly one <data-dir>"));
+    };
+    let dir = std::path::Path::new(dir);
+    match action.as_str() {
+        "inspect" => store_inspect(dir),
+        "compact" => store_compact(dir),
+        "replay" => store_replay(dir),
+        other => Err(format!("unknown store action `{other}`\n{USAGE}")),
+    }
+}
+
+/// Read-only inventory: never truncates torn tails or deletes stale
+/// files, so it is safe against a live server's directory.
+fn store_inspect(dir: &std::path::Path) -> Result<()> {
+    let report = pg_store::scan(dir).map_err(|e| format!("cannot scan {}: {e}", dir.display()))?;
+    if report.snapshots.is_empty() && report.segments.is_empty() {
+        println!(
+            "{}: empty store (no snapshots, no WAL segments)",
+            dir.display()
+        );
+        return Ok(());
+    }
+    for s in &report.snapshots {
+        println!(
+            "snapshot generation={} bytes={} valid={} sessions={} base_seq={} ({})",
+            s.generation,
+            s.bytes,
+            s.valid,
+            s.sessions,
+            s.base_seq,
+            s.path.display()
+        );
+    }
+    let mut torn = false;
+    for seg in &report.segments {
+        let (creates, deltas, deletes) = seg.records;
+        print!(
+            "segment first_seq={} bytes={} valid_bytes={} creates={creates} deltas={deltas} \
+             deletes={deletes} last_seq={} ({})",
+            seg.first_seq,
+            seg.bytes,
+            seg.valid_bytes,
+            seg.last_seq.map_or("-".to_owned(), |s| s.to_string()),
+            seg.path.display()
+        );
+        match &seg.torn {
+            Some(reason) => {
+                torn = true;
+                println!(" TORN: {reason}");
+            }
+            None => println!(),
+        }
+    }
+    if torn {
+        println!("note: torn tail(s) found; recovery will truncate them on next open");
+    }
+    Ok(())
+}
+
+/// Opens the store (running full recovery) and forces one compaction
+/// cycle: snapshot every live session, drop superseded WAL segments.
+fn store_compact(dir: &std::path::Path) -> Result<()> {
+    let (store, recovered) = pg_store::Store::open(dir, pg_store::FsyncPolicy::Always)
+        .map_err(|e| format!("cannot open {}: {e}", dir.display()))?;
+    let mut compaction = store
+        .try_begin_compaction()
+        .map_err(|e| format!("cannot start compaction: {e}"))?
+        .ok_or("compaction already in progress")?;
+    for s in &recovered.sessions {
+        compaction.add_session(s.id, s.last_seq, s.deltas_applied, &s.schema_sdl, &s.graph);
+    }
+    let outcome = compaction
+        .finish(recovered.next_session_id)
+        .map_err(|e| format!("compaction failed: {e}"))?;
+    println!(
+        "compacted {} to generation {}: {} session(s) captured, {} segment(s) removed, \
+         snapshot is {} byte(s)",
+        dir.display(),
+        outcome.generation,
+        outcome.sessions,
+        outcome.segments_removed,
+        outcome.snapshot_bytes
+    );
+    Ok(())
+}
+
+/// Replays the store exactly as server startup would (including
+/// truncating any torn tail), then validates every recovered session
+/// from scratch with all four engines and requires them to agree.
+fn store_replay(dir: &std::path::Path) -> Result<()> {
+    let (_store, recovered) = pg_store::Store::open(dir, pg_store::FsyncPolicy::Never)
+        .map_err(|e| format!("cannot open {}: {e}", dir.display()))?;
+    let info = &recovered.info;
+    println!(
+        "recovered {} session(s): snapshot generation {}, {} record(s) replayed, \
+         {} skipped{}",
+        recovered.sessions.len(),
+        info.snapshot_generation
+            .map_or("-".to_owned(), |g| g.to_string()),
+        info.records_replayed,
+        info.records_skipped,
+        match &info.truncated {
+            Some(t) => format!(
+                "; torn tail truncated at {} offset {}",
+                t.segment.display(),
+                t.offset
+            ),
+            None => String::new(),
+        }
+    );
+    let mut failures = 0usize;
+    for s in &recovered.sessions {
+        let schema = PgSchema::parse(&s.schema_sdl)
+            .map_err(|e| format!("session {}: stored schema no longer parses: {e}", s.id))?;
+        let engines = [
+            Engine::Naive,
+            Engine::Indexed,
+            Engine::Parallel,
+            Engine::Incremental,
+        ];
+        let reports =
+            engines.map(|e| validate(&s.graph, &schema, &ValidationOptions::with_engine(e)));
+        let agree = reports
+            .iter()
+            .all(|r| r.violations() == reports[0].violations());
+        if !agree {
+            failures += 1;
+        }
+        println!(
+            "session {}: {} node(s), {} edge(s), {} delta(s) applied, last_seq={}, \
+             conforms={}, {} violation(s), engines_agree={agree}",
+            s.id,
+            s.graph.node_count(),
+            s.graph.edge_count(),
+            s.deltas_applied,
+            s.last_seq,
+            reports[0].conforms(),
+            reports[0].len()
+        );
+    }
+    if failures > 0 {
+        Err(format!("{failures} session(s) with engine disagreement"))
+    } else {
+        Ok(())
+    }
 }
 
 fn cmd_describe(rest: &[String]) -> Result<()> {

@@ -480,6 +480,21 @@ impl PropertyGraph {
         out
     }
 
+    /// Rebuilds a graph from raw element tables, recomputing the live
+    /// counters from the `alive` flags. Used by the binary snapshot codec,
+    /// which must reproduce the id space *exactly* — tombstones included —
+    /// so that replayed deltas resolve ids the same way they originally did.
+    pub(crate) fn from_raw_parts(nodes: Vec<NodeData>, edges: Vec<EdgeData>) -> PropertyGraph {
+        let live_nodes = nodes.iter().filter(|n| n.alive).count();
+        let live_edges = edges.iter().filter(|e| e.alive).count();
+        PropertyGraph {
+            nodes,
+            edges,
+            live_nodes,
+            live_edges,
+        }
+    }
+
     fn require_node(&self, id: NodeId) -> Result<(), GraphError> {
         if self.contains_node(id) {
             Ok(())

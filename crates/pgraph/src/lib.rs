@@ -50,6 +50,7 @@ mod builder;
 mod graph;
 mod value;
 
+pub mod binary;
 pub mod csv;
 pub mod delta;
 pub mod dot;

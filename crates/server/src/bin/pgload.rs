@@ -10,10 +10,11 @@
 //! pgload --addr 127.0.0.1:7878 --mode session --connections 8 --duration 10
 //! pgload --addr 127.0.0.1:7878 --mode mixed   --connections 8 --duration 10
 //! pgload --addr 127.0.0.1:7878 --smoke   # CI: one pass over the surface
+//! pgload --restart-check path/to/pgschema   # CI: durability across SIGKILL
 //! ```
 
 use std::io::{self, Write};
-use std::net::TcpStream;
+use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
@@ -355,11 +356,228 @@ fn run_smoke(addr: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Strips the volatile `metrics` member (wall times differ run to run)
+/// so two reports over the same state compare byte-for-byte.
+fn canonical_report(body: &[u8]) -> Result<String, String> {
+    let doc = Json::parse(&String::from_utf8_lossy(body)).map_err(|e| format!("bad JSON: {e}"))?;
+    let canonical = match doc {
+        Json::Object(members) => Json::Object(
+            members
+                .into_iter()
+                .filter(|(name, _)| name != "metrics")
+                .collect(),
+        ),
+        other => other,
+    };
+    Ok(canonical.to_string())
+}
+
+/// The restart check (`--restart-check <pgschema-binary>`): load durable
+/// sessions into a freshly spawned daemon, SIGKILL it, relaunch it on
+/// the same `--data-dir`, and require every session's report and graph
+/// to come back byte-for-byte identical (reports compared with their
+/// volatile timing metrics stripped). Also checks that a deleted session
+/// stays deleted and that new sequence numbers keep flowing after
+/// recovery.
+fn run_restart_check(server_bin: &str) -> Result<(), String> {
+    let data_dir = std::env::temp_dir().join(format!("pgload-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    // Reserve a port by binding to 0 and releasing it; the daemon binds
+    // it back a moment later.
+    let port = TcpListener::bind("127.0.0.1:0")
+        .and_then(|l| l.local_addr())
+        .map_err(|e| format!("cannot pick a port: {e}"))?
+        .port();
+    let addr = format!("127.0.0.1:{port}");
+    let spawn = || -> Result<std::process::Child, String> {
+        std::process::Command::new(server_bin)
+            .args([
+                "serve",
+                "--addr",
+                &addr,
+                "--threads",
+                "2",
+                "--log-format",
+                "off",
+                "--fsync",
+                "always",
+                "--data-dir",
+            ])
+            .arg(&data_dir)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .map_err(|e| format!("cannot spawn {server_bin}: {e}"))
+    };
+    let wait_ready = || -> Result<Client, String> {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Ok(mut client) = Client::connect(&addr) {
+                if let Ok((200, _)) = client.request("GET", "/healthz", b"") {
+                    return Ok(client);
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(format!("daemon on {addr} not ready within 10s"));
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    };
+
+    let mut child = spawn()?;
+    let result = (|| -> Result<(), String> {
+        let mut client = wait_ready()?;
+
+        // Three sessions with different histories: left broken, broken
+        // then repaired, and untouched. Plus one conflicting delta that
+        // returns 409 — its deterministic partial effects must survive
+        // the restart too.
+        let mut ids = Vec::new();
+        for users in [2usize, 4, 6] {
+            let (status, body) = client
+                .request("POST", "/sessions", envelope(users).as_bytes())
+                .map_err(|e| format!("create: {e}"))?;
+            if status != 201 {
+                return Err(format!("create: status {status}"));
+            }
+            let id = Json::parse(&String::from_utf8_lossy(&body))
+                .ok()
+                .and_then(|d| d.get("session")?.as_i64())
+                .ok_or("create: no session id")?;
+            ids.push((id, users));
+        }
+        for (i, &(id, users)) in ids.iter().enumerate() {
+            let graph = sample_graph(users);
+            let user = user_ids(&graph)[0];
+            let deltas: u64 = match i {
+                0 => 1, // ends broken
+                1 => 2, // broken, then repaired
+                _ => 0, // untouched
+            };
+            for d in 0..deltas {
+                let delta = json::delta_to_json(&toggle_delta(user, d));
+                let (status, _) = client
+                    .request("POST", &format!("/sessions/{id}/deltas"), delta.as_bytes())
+                    .map_err(|e| format!("delta: {e}"))?;
+                if status != 200 {
+                    return Err(format!("delta: status {status}"));
+                }
+            }
+        }
+        let conflict = r#"{"ops":[{"op":"remove-node","node":99999}]}"#;
+        let (status, _) = client
+            .request(
+                "POST",
+                &format!("/sessions/{}/deltas", ids[0].0),
+                conflict.as_bytes(),
+            )
+            .map_err(|e| format!("conflicting delta: {e}"))?;
+        if status != 409 {
+            return Err(format!("conflicting delta: expected 409, got {status}"));
+        }
+
+        // A deleted session must stay deleted across the restart.
+        let (status, body) = client
+            .request("POST", "/sessions", envelope(3).as_bytes())
+            .map_err(|e| format!("create doomed: {e}"))?;
+        if status != 201 {
+            return Err(format!("create doomed: status {status}"));
+        }
+        let doomed = Json::parse(&String::from_utf8_lossy(&body))
+            .ok()
+            .and_then(|d| d.get("session")?.as_i64())
+            .ok_or("create doomed: no session id")?;
+        let (status, _) = client
+            .request("DELETE", &format!("/sessions/{doomed}"), b"")
+            .map_err(|e| format!("delete doomed: {e}"))?;
+        if status != 200 {
+            return Err(format!("delete doomed: status {status}"));
+        }
+
+        let mut before = Vec::new();
+        for &(id, _) in &ids {
+            let (status, report) = client
+                .request("GET", &format!("/sessions/{id}/report"), b"")
+                .map_err(|e| format!("report: {e}"))?;
+            if status != 200 {
+                return Err(format!("report: status {status}"));
+            }
+            let (status, graph) = client
+                .request("GET", &format!("/sessions/{id}/graph"), b"")
+                .map_err(|e| format!("graph: {e}"))?;
+            if status != 200 {
+                return Err(format!("graph: status {status}"));
+            }
+            before.push((id, canonical_report(&report)?, graph));
+        }
+
+        // SIGKILL: no drain, no flush beyond what `--fsync always`
+        // already guaranteed per acknowledged append.
+        child.kill().map_err(|e| format!("kill: {e}"))?;
+        let _ = child.wait();
+        child = spawn()?;
+        let mut client = wait_ready()?;
+
+        for (id, report_before, graph_before) in &before {
+            let (status, report) = client
+                .request("GET", &format!("/sessions/{id}/report"), b"")
+                .map_err(|e| format!("report after restart: {e}"))?;
+            if status != 200 {
+                return Err(format!("report after restart: status {status}"));
+            }
+            if &canonical_report(&report)? != report_before {
+                return Err(format!("session {id}: report changed across restart"));
+            }
+            let (status, graph) = client
+                .request("GET", &format!("/sessions/{id}/graph"), b"")
+                .map_err(|e| format!("graph after restart: {e}"))?;
+            if status != 200 {
+                return Err(format!("graph after restart: status {status}"));
+            }
+            if &graph != graph_before {
+                return Err(format!("session {id}: graph changed across restart"));
+            }
+        }
+        let (status, _) = client
+            .request("GET", &format!("/sessions/{doomed}/report"), b"")
+            .map_err(|e| format!("doomed after restart: {e}"))?;
+        if status != 404 {
+            return Err(format!("doomed session should stay deleted, got {status}"));
+        }
+        // Recovery must keep handing out fresh ids.
+        let (status, body) = client
+            .request("POST", "/sessions", envelope(2).as_bytes())
+            .map_err(|e| format!("post-restart create: {e}"))?;
+        if status != 201 {
+            return Err(format!("post-restart create: status {status}"));
+        }
+        let new_id = Json::parse(&String::from_utf8_lossy(&body))
+            .ok()
+            .and_then(|d| d.get("session")?.as_i64())
+            .ok_or("post-restart create: no session id")?;
+        if new_id <= doomed {
+            return Err(format!(
+                "session ids must not be reused: {new_id} after {doomed}"
+            ));
+        }
+        Ok(())
+    })();
+
+    let _ = child.kill();
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&data_dir);
+    result?;
+    println!("restart-check: ok");
+    Ok(())
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: pgload --addr HOST:PORT [--mode oneshot|session|mixed] \
          [--connections N] [--duration SECS] [--users N] \
-         [--engine naive|indexed|parallel|incremental] [--smoke]"
+         [--engine naive|indexed|parallel|incremental] [--smoke] \
+         [--restart-check PGSCHEMA_BIN]"
     );
     std::process::exit(2);
 }
@@ -373,6 +591,7 @@ fn main() {
     let mut users = 4usize;
     let mut engine = "indexed".to_owned();
     let mut smoke = false;
+    let mut restart_check: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -396,12 +615,20 @@ fn main() {
             "--users" => users = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--engine" => engine = value(&mut i),
             "--smoke" => smoke = true,
+            "--restart-check" => restart_check = Some(value(&mut i)),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
         i += 1;
     }
 
+    if let Some(server_bin) = restart_check {
+        if let Err(message) = run_restart_check(&server_bin) {
+            eprintln!("restart-check: FAIL: {message}");
+            std::process::exit(1);
+        }
+        return;
+    }
     if smoke {
         if let Err(message) = run_smoke(&addr) {
             eprintln!("smoke: FAIL: {message}");

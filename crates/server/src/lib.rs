@@ -31,9 +31,20 @@
 //! | `POST /sessions/{id}/deltas` | apply a [`pgraph::GraphDelta`], returns the patched report |
 //! | `GET /sessions/{id}/report` | current report |
 //! | `GET /sessions/{id}/graph` | current graph document |
+//! | `POST /sessions/{id}/compact` | snapshot the store, drop superseded WAL segments |
 //! | `DELETE /sessions/{id}` | drop the session |
 //! | `GET /healthz` | liveness |
 //! | `GET /metrics` | Prometheus text format ([`metrics::Metrics`]) |
+//!
+//! ## Durability
+//!
+//! With `--data-dir` the registry is backed by a [`pg_store::Store`]:
+//! session creates, deltas and deletes are appended to a checksummed WAL
+//! before the response is acknowledged (fsync timing set by `--fsync
+//! always|interval[:millis]|never`), and startup replays newest valid
+//! snapshot + WAL tail, tolerating torn tails. Sessions come back
+//! *dormant* and revalidate lazily on their first report. `--max-sessions`
+//! bounds the registry with LRU eviction; evicted ids answer `410 Gone`.
 //!
 //! Request and response bodies reuse the `pgraph::json` value types and
 //! (de)serializers — the server adds no JSON parser of its own.

@@ -16,6 +16,29 @@ pub const LATENCY_BUCKETS_MICROS: [u64; 10] = [
     50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 50_000, 250_000,
 ];
 
+/// Upper bounds (µs) of the WAL append-latency histogram. Appends are
+/// a buffered write plus, depending on the fsync policy, an `fdatasync`
+/// — so the buckets reach lower than the request histogram (a cached
+/// append is single-digit µs) but still cover slow rotational syncs.
+pub const WAL_LATENCY_BUCKETS_MICROS: [u64; 8] = [5, 10, 25, 50, 100, 500, 2_500, 10_000];
+
+/// Gauges and store counters sampled outside [`Metrics`] at render time
+/// (queue depth, live/evicted/recovered session counts, and — when the
+/// server runs with `--data-dir` — the store's own counters).
+#[derive(Default)]
+pub struct RenderGauges {
+    /// Connections waiting in the accept queue.
+    pub queue_depth: usize,
+    /// Sessions currently held by the registry.
+    pub sessions_live: usize,
+    /// Sessions rebuilt from the store at startup.
+    pub sessions_recovered: u64,
+    /// Sessions evicted by `--max-sessions` since startup.
+    pub sessions_evicted: u64,
+    /// The store's counters, when the server is durable.
+    pub store: Option<pg_store::StoreStats>,
+}
+
 const ENGINES: [Engine; 4] = [
     Engine::Naive,
     Engine::Indexed,
@@ -54,6 +77,11 @@ pub struct Metrics {
     /// Wall time spent per rule kernel across all runs (nanoseconds),
     /// indexed like [`Rule::ALL`].
     rule_nanos: [AtomicU64; Rule::ALL.len()],
+    /// WAL append-latency histogram (includes the fsync when the policy
+    /// syncs on the append path), plus one `+Inf` slot at the end.
+    wal_append_buckets: [AtomicU64; WAL_LATENCY_BUCKETS_MICROS.len() + 1],
+    wal_append_sum_micros: AtomicU64,
+    wal_append_count: AtomicU64,
 }
 
 impl Metrics {
@@ -68,7 +96,23 @@ impl Metrics {
             engines: Default::default(),
             rule_violations: Default::default(),
             rule_nanos: Default::default(),
+            wal_append_buckets: Default::default(),
+            wal_append_sum_micros: AtomicU64::new(0),
+            wal_append_count: AtomicU64::new(0),
         }
+    }
+
+    /// Records the latency of one durable WAL append (write plus
+    /// whatever syncing the fsync policy performed inline).
+    pub fn record_wal_append(&self, micros: u64) {
+        let bucket = WAL_LATENCY_BUCKETS_MICROS
+            .iter()
+            .position(|&b| micros <= b)
+            .unwrap_or(WAL_LATENCY_BUCKETS_MICROS.len());
+        self.wal_append_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.wal_append_sum_micros
+            .fetch_add(micros, Ordering::Relaxed);
+        self.wal_append_count.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records one served request: its route template (e.g.
@@ -121,10 +165,11 @@ impl Metrics {
         }
     }
 
-    /// Renders every counter in the Prometheus text format. The two
-    /// gauges that live outside this struct — queue depth and live
-    /// session count — are sampled by the caller at render time.
-    pub fn render(&self, queue_depth: usize, sessions_live: usize) -> String {
+    /// Renders every counter in the Prometheus text format. Gauges that
+    /// live outside this struct — queue depth, session counts and the
+    /// store's counters — are sampled by the caller into a
+    /// [`RenderGauges`] at render time.
+    pub fn render(&self, g: &RenderGauges) -> String {
         let mut out = String::with_capacity(4096);
 
         out.push_str(
@@ -230,13 +275,93 @@ impl Metrics {
 
         out.push_str("# HELP pgschemad_sessions_live Incremental sessions currently held.\n");
         out.push_str("# TYPE pgschemad_sessions_live gauge\n");
-        out.push_str(&format!("pgschemad_sessions_live {sessions_live}\n"));
+        out.push_str(&format!("pgschemad_sessions_live {}\n", g.sessions_live));
+        out.push_str(
+            "# HELP pgschemad_sessions_recovered_total Sessions rebuilt from the store at startup.\n",
+        );
+        out.push_str("# TYPE pgschemad_sessions_recovered_total counter\n");
+        out.push_str(&format!(
+            "pgschemad_sessions_recovered_total {}\n",
+            g.sessions_recovered
+        ));
+        out.push_str(
+            "# HELP pgschemad_sessions_evicted_total Sessions evicted by --max-sessions.\n",
+        );
+        out.push_str("# TYPE pgschemad_sessions_evicted_total counter\n");
+        out.push_str(&format!(
+            "pgschemad_sessions_evicted_total {}\n",
+            g.sessions_evicted
+        ));
         out.push_str("# HELP pgschemad_queue_depth Connections waiting in the accept queue.\n");
         out.push_str("# TYPE pgschemad_queue_depth gauge\n");
-        out.push_str(&format!("pgschemad_queue_depth {queue_depth}\n"));
+        out.push_str(&format!("pgschemad_queue_depth {}\n", g.queue_depth));
         out.push_str("# HELP pgschemad_shed_total Connections shed with 503 (queue full).\n");
         out.push_str("# TYPE pgschemad_shed_total counter\n");
         out.push_str(&format!("pgschemad_shed_total {}\n", self.shed_count()));
+
+        out.push_str(
+            "# HELP pgschemad_wal_append_duration_micros WAL append latency histogram \
+             (microseconds; includes inline fsync).\n",
+        );
+        out.push_str("# TYPE pgschemad_wal_append_duration_micros histogram\n");
+        let mut cumulative = 0u64;
+        for (i, &bound) in WAL_LATENCY_BUCKETS_MICROS.iter().enumerate() {
+            cumulative += self.wal_append_buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "pgschemad_wal_append_duration_micros_bucket{{le=\"{bound}\"}} {cumulative}\n"
+            ));
+        }
+        cumulative +=
+            self.wal_append_buckets[WAL_LATENCY_BUCKETS_MICROS.len()].load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "pgschemad_wal_append_duration_micros_bucket{{le=\"+Inf\"}} {cumulative}\n"
+        ));
+        out.push_str(&format!(
+            "pgschemad_wal_append_duration_micros_sum {}\n",
+            self.wal_append_sum_micros.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "pgschemad_wal_append_duration_micros_count {}\n",
+            self.wal_append_count.load(Ordering::Relaxed)
+        ));
+
+        if let Some(stats) = &g.store {
+            let counters: [(&str, &str, u64); 4] = [
+                (
+                    "pgschemad_wal_appends_total",
+                    "Records appended to the WAL since startup.",
+                    stats.appends,
+                ),
+                (
+                    "pgschemad_wal_fsyncs_total",
+                    "Explicit fsyncs issued by the store since startup.",
+                    stats.fsyncs,
+                ),
+                (
+                    "pgschemad_wal_appended_bytes_total",
+                    "Bytes appended to the WAL since startup.",
+                    stats.appended_bytes,
+                ),
+                (
+                    "pgschemad_store_snapshots_total",
+                    "Snapshots written by compaction since startup.",
+                    stats.snapshots,
+                ),
+            ];
+            for (metric, help, value) in counters {
+                out.push_str(&format!(
+                    "# HELP {metric} {help}\n# TYPE {metric} counter\n{metric} {value}\n"
+                ));
+            }
+            out.push_str(
+                "# HELP pgschemad_wal_size_bytes Live WAL bytes not yet superseded by a snapshot.\n",
+            );
+            out.push_str("# TYPE pgschemad_wal_size_bytes gauge\n");
+            out.push_str(&format!(
+                "pgschemad_wal_size_bytes {}\n",
+                stats.wal_size_bytes
+            ));
+        }
         out
     }
 }
@@ -275,7 +400,18 @@ mod tests {
         m.record_request("/healthz", 200, 3);
         m.record_shed();
         m.record_validation(Engine::Indexed, None);
-        let text = m.render(2, 5);
+        m.record_wal_append(7);
+        let text = m.render(&RenderGauges {
+            queue_depth: 2,
+            sessions_live: 5,
+            sessions_recovered: 3,
+            sessions_evicted: 1,
+            store: Some(pg_store::StoreStats {
+                appends: 9,
+                appended_bytes: 4096,
+                ..Default::default()
+            }),
+        });
         assert!(
             text.contains("pgschemad_http_requests_total{route=\"/validate\",status=\"200\"} 2")
         );
@@ -283,8 +419,15 @@ mod tests {
         assert!(text.contains("pgschemad_request_duration_micros_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("pgschemad_validations_total{engine=\"indexed\"} 1"));
         assert!(text.contains("pgschemad_sessions_live 5"));
+        assert!(text.contains("pgschemad_sessions_recovered_total 3"));
+        assert!(text.contains("pgschemad_sessions_evicted_total 1"));
         assert!(text.contains("pgschemad_queue_depth 2"));
         assert!(text.contains("pgschemad_shed_total 1"));
+        assert!(text.contains("pgschemad_wal_append_duration_micros_bucket{le=\"10\"} 1"));
+        assert!(text.contains("pgschemad_wal_append_duration_micros_count 1"));
+        assert!(text.contains("pgschemad_wal_appends_total 9"));
+        assert!(text.contains("pgschemad_wal_appended_bytes_total 4096"));
+        assert!(text.contains("pgschemad_wal_size_bytes 0"));
         // Per-rule families render a sample for every rule even before
         // any run recorded rule metrics.
         assert!(text.contains("pgschemad_rule_violations_total{rule=\"DS7\"} 0"));
@@ -316,7 +459,9 @@ mod tests {
         };
         m.record_validation(Engine::Indexed, Some(&run(2)));
         m.record_validation(Engine::Parallel, Some(&run(3)));
-        let text = m.render(0, 0);
+        let text = m.render(&RenderGauges::default());
+        // Without a store, the store-only families stay absent.
+        assert!(!text.contains("pgschemad_wal_appends_total"));
         assert!(text.contains("pgschemad_rule_violations_total{rule=\"WS1\"} 5"));
         assert!(text.contains("pgschemad_rule_violations_total{rule=\"DS7\"} 2"));
         assert!(text.contains("pgschemad_rule_nanos_total{rule=\"WS1\"} 2000"));
@@ -329,7 +474,7 @@ mod tests {
         let m = Metrics::new();
         m.record_request("/healthz", 200, 10); // le=50
         m.record_request("/healthz", 200, 60); // le=100
-        let text = m.render(0, 0);
+        let text = m.render(&RenderGauges::default());
         assert!(text.contains("pgschemad_request_duration_micros_bucket{le=\"50\"} 1"));
         assert!(text.contains("pgschemad_request_duration_micros_bucket{le=\"100\"} 2"));
         assert!(text.contains("pgschemad_request_duration_micros_bucket{le=\"250\"} 2"));

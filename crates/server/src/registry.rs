@@ -4,72 +4,360 @@
 //! that parsed the schema).
 //!
 //! Locking is two-level: a registry-wide `RwLock` guards only the id →
-//! session map (held for a hash lookup), while each session has its own
+//! slot map (held for a hash lookup), while each slot has its own
 //! `Mutex` serialising deltas and report reads *of that session*.
 //! Traffic to different sessions therefore runs fully in parallel
 //! across the worker pool; interleaved deltas to one session are
 //! serialised, which is exactly the consistency the incremental engine
-//! needs (mutations must flow through [`IncrementalEngine::apply`] so
-//! the derived state stays in sync).
+//! needs — and, when a [`Store`] is attached, exactly the consistency
+//! the WAL needs: appends happen inside the session's critical section,
+//! so per-session log order equals apply order.
+//!
+//! With a store attached (`--data-dir`) the registry is durable:
+//! session creation, every delta (including ones that fail mid-way —
+//! their partial effects are deterministic) and deletion are logged
+//! before the response is acknowledged, and [`SessionRegistry::with_store`]
+//! (Self::with_store) rebuilds every session on startup. Recovered
+//! sessions start *dormant* — graph and SDL in memory, no engine — and
+//! are revalidated lazily by the first request that touches them
+//! ([`Session::engine`]).
+//!
+//! With `--max-sessions` the registry is bounded: creating past the cap
+//! evicts the least-recently-used session. Evicted ids keep answering
+//! [`Lookup::Evicted`] (HTTP `410 Gone`) for the life of the process;
+//! durably they are deleted, so after a restart they are
+//! indistinguishable from removed sessions (`404`).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 use pg_schema::{IncrementalEngine, PgSchema, ValidationOptions};
-use pgraph::PropertyGraph;
+use pg_store::{Recovered, Store};
+use pgraph::{GraphDelta, PropertyGraph};
 
-/// One live validation session.
+/// A session's engine, materialised lazily after recovery.
+enum SessionState {
+    /// The engine is live (seeded by a full validation pass).
+    Ready(Box<IncrementalEngine<Arc<PgSchema>>>),
+    /// Recovered from disk but not yet revalidated; the first request
+    /// that needs the engine pays for the seeding pass.
+    Dormant {
+        /// The recovered graph.
+        graph: PropertyGraph,
+    },
+    /// Hydration failed (the stored SDL no longer parses) — terminal.
+    Poisoned,
+}
+
+/// One validation session.
 pub struct Session {
-    /// The engine holding the graph, the schema and the current report.
-    pub engine: IncrementalEngine<Arc<PgSchema>>,
+    state: SessionState,
+    /// The schema's SDL source, kept verbatim for WAL records and
+    /// snapshot capture.
+    pub schema_sdl: String,
+    options: ValidationOptions,
     /// Deltas successfully applied since the session was created.
     pub deltas_applied: u64,
+    /// Sequence number of this session's last WAL record (0 without a
+    /// store).
+    pub last_seq: u64,
+}
+
+impl Session {
+    /// The engine, hydrating a dormant session first (one full
+    /// validation pass through the incremental engine's seeding path).
+    pub fn engine(&mut self) -> Result<&mut IncrementalEngine<Arc<PgSchema>>, String> {
+        if matches!(self.state, SessionState::Dormant { .. }) {
+            let SessionState::Dormant { graph } =
+                std::mem::replace(&mut self.state, SessionState::Poisoned)
+            else {
+                unreachable!()
+            };
+            let schema = PgSchema::parse(&self.schema_sdl)
+                .map_err(|e| format!("recovered schema no longer parses: {e}"))?;
+            self.state = SessionState::Ready(Box::new(IncrementalEngine::new(
+                graph,
+                Arc::new(schema),
+                &self.options,
+            )));
+        }
+        match &mut self.state {
+            SessionState::Ready(engine) => Ok(engine),
+            _ => Err("session failed hydration".to_owned()),
+        }
+    }
+
+    /// The session's graph, without forcing hydration (snapshot capture
+    /// must not trigger full revalidations).
+    pub fn graph(&self) -> &PropertyGraph {
+        match &self.state {
+            SessionState::Ready(engine) => engine.graph(),
+            SessionState::Dormant { graph } => graph,
+            SessionState::Poisoned => {
+                static EMPTY: std::sync::OnceLock<PropertyGraph> = std::sync::OnceLock::new();
+                EMPTY.get_or_init(PropertyGraph::new)
+            }
+        }
+    }
+
+    /// True once the engine has been seeded.
+    pub fn is_hydrated(&self) -> bool {
+        matches!(self.state, SessionState::Ready(_))
+    }
+}
+
+/// A session plus its LRU stamp. The stamp lives outside the session
+/// mutex so lookups can bump it without blocking behind an in-flight
+/// delta.
+pub struct SessionSlot {
+    /// The session, serialising all access to its engine and graph.
+    pub session: Mutex<Session>,
+    last_used: AtomicU64,
+}
+
+/// Result of a registry lookup.
+pub enum Lookup {
+    /// The session is live.
+    Found(Arc<SessionSlot>),
+    /// The id existed but was evicted by `--max-sessions` (HTTP 410).
+    Evicted,
+    /// The id never existed or was deleted (HTTP 404).
+    Missing,
+}
+
+/// What [`SessionRegistry::create`] did.
+pub struct CreateOutcome {
+    /// The new session's id.
+    pub id: u64,
+    /// The created slot — handed back so the caller can read the seed
+    /// report without a second lookup (which could race with eviction).
+    pub slot: Arc<SessionSlot>,
+    /// The LRU victim evicted to make room, if the registry was full.
+    pub evicted: Option<u64>,
+    /// Microseconds spent appending (and fsyncing) the WAL record, when
+    /// a store is attached.
+    pub wal_micros: Option<u64>,
+}
+
+/// What [`SessionRegistry::remove`] found.
+pub enum RemoveOutcome {
+    /// Removed; carries the WAL append latency when a store is attached.
+    Removed(Option<u64>),
+    /// The id had already been evicted (HTTP 410).
+    Evicted,
+    /// No such session (HTTP 404).
+    Missing,
 }
 
 /// Registry of live sessions, shared by all workers.
 pub struct SessionRegistry {
-    sessions: RwLock<HashMap<u64, Arc<Mutex<Session>>>>,
+    sessions: RwLock<HashMap<u64, Arc<SessionSlot>>>,
+    evicted: Mutex<HashSet<u64>>,
     next_id: AtomicU64,
+    clock: AtomicU64,
+    store: Option<Arc<Store>>,
+    max_sessions: Option<usize>,
+    evicted_total: AtomicU64,
+    recovered_total: u64,
 }
 
 impl SessionRegistry {
-    /// An empty registry; ids start at 1.
+    /// An unbounded, purely in-memory registry; ids start at 1.
     pub fn new() -> Self {
+        SessionRegistry::in_memory(None)
+    }
+
+    /// An in-memory registry, optionally bounded by `--max-sessions`.
+    pub fn in_memory(max_sessions: Option<usize>) -> Self {
         SessionRegistry {
             sessions: RwLock::new(HashMap::new()),
+            evicted: Mutex::new(HashSet::new()),
             next_id: AtomicU64::new(1),
+            clock: AtomicU64::new(0),
+            store: None,
+            max_sessions,
+            evicted_total: AtomicU64::new(0),
+            recovered_total: 0,
         }
     }
 
+    /// A durable registry over an opened store, rehydrating every
+    /// recovered session as dormant (revalidated lazily on first use).
+    /// If recovery brought back more sessions than `max_sessions`
+    /// allows, the lowest ids (the oldest sessions) are evicted up
+    /// front.
+    pub fn with_store(
+        store: Arc<Store>,
+        recovered: Recovered,
+        options: &ValidationOptions,
+        max_sessions: Option<usize>,
+    ) -> io::Result<Self> {
+        let mut map = HashMap::with_capacity(recovered.sessions.len());
+        let mut clock = 0u64;
+        let recovered_total = recovered.sessions.len() as u64;
+        let mut over_cap = Vec::new();
+        let keep_from = max_sessions
+            .map(|cap| recovered.sessions.len().saturating_sub(cap))
+            .unwrap_or(0);
+        for (ix, s) in recovered.sessions.into_iter().enumerate() {
+            if ix < keep_from {
+                over_cap.push(s.id);
+                continue;
+            }
+            let slot = Arc::new(SessionSlot {
+                session: Mutex::new(Session {
+                    state: SessionState::Dormant { graph: s.graph },
+                    schema_sdl: s.schema_sdl,
+                    options: *options,
+                    deltas_applied: s.deltas_applied,
+                    last_seq: s.last_seq,
+                }),
+                last_used: AtomicU64::new(clock),
+            });
+            clock += 1;
+            map.insert(s.id, slot);
+        }
+        let registry = SessionRegistry {
+            sessions: RwLock::new(map),
+            evicted: Mutex::new(HashSet::new()),
+            next_id: AtomicU64::new(recovered.next_session_id),
+            clock: AtomicU64::new(clock),
+            store: Some(store),
+            max_sessions,
+            evicted_total: AtomicU64::new(0),
+            recovered_total,
+        };
+        for id in over_cap {
+            registry.mark_evicted(id)?;
+        }
+        Ok(registry)
+    }
+
+    /// The attached store, if the registry is durable.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
+    }
+
+    /// Sessions rebuilt from disk at startup.
+    pub fn recovered_total(&self) -> u64 {
+        self.recovered_total
+    }
+
+    /// Sessions evicted by the LRU bound so far.
+    pub fn evicted_total(&self) -> u64 {
+        self.evicted_total.load(Ordering::Relaxed)
+    }
+
     /// Creates a session by seeding an incremental engine with a full
-    /// validation pass; returns its id.
+    /// validation pass; logs it durably before returning when a store
+    /// is attached. Evicts the least-recently-used session first if the
+    /// registry is at its bound.
     pub fn create(
         &self,
         graph: PropertyGraph,
         schema: Arc<PgSchema>,
+        schema_sdl: &str,
         options: &ValidationOptions,
-    ) -> u64 {
+    ) -> io::Result<CreateOutcome> {
         let engine = IncrementalEngine::new(graph, schema, options);
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let session = Arc::new(Mutex::new(Session {
-            engine,
-            deltas_applied: 0,
-        }));
-        self.sessions.write().unwrap().insert(id, session);
-        id
+        let slot = Arc::new(SessionSlot {
+            session: Mutex::new(Session {
+                state: SessionState::Ready(Box::new(engine)),
+                schema_sdl: schema_sdl.to_owned(),
+                options: *options,
+                deltas_applied: 0,
+                last_seq: 0,
+            }),
+            last_used: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)),
+        });
+        // Hold the new session's lock across publication and the WAL
+        // append: a delta racing in through the map sees the session but
+        // blocks until the Create record is on disk, keeping per-session
+        // WAL order equal to apply order.
+        let mut session = slot.session.lock().unwrap();
+        let evicted = self.evict_if_full()?;
+        self.sessions.write().unwrap().insert(id, Arc::clone(&slot));
+        let mut wal_micros = None;
+        if let Some(store) = &self.store {
+            let started = Instant::now();
+            match store.append_create(id, schema_sdl, session.graph()) {
+                Ok(seq) => {
+                    session.last_seq = seq;
+                    wal_micros = Some(started.elapsed().as_micros() as u64);
+                }
+                Err(e) => {
+                    self.sessions.write().unwrap().remove(&id);
+                    return Err(e);
+                }
+            }
+        }
+        drop(session);
+        Ok(CreateOutcome {
+            id,
+            slot,
+            evicted,
+            wal_micros,
+        })
     }
 
-    /// The session with this id, if it exists. The returned handle is
-    /// cloned out of the map, so the registry lock is released before
-    /// the caller locks the session.
-    pub fn get(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
-        self.sessions.read().unwrap().get(&id).cloned()
+    /// Logs a delta against a session the caller has locked (the lock
+    /// proves apply order). Call after `engine.apply`, whether or not it
+    /// succeeded — a failed apply still leaves its deterministic partial
+    /// effects, which replay reproduces.
+    pub fn log_delta(
+        &self,
+        id: u64,
+        session: &mut Session,
+        delta: &GraphDelta,
+    ) -> io::Result<Option<u64>> {
+        let Some(store) = &self.store else {
+            return Ok(None);
+        };
+        let started = Instant::now();
+        let seq = store.append_delta(id, delta)?;
+        session.last_seq = seq;
+        Ok(Some(started.elapsed().as_micros() as u64))
     }
 
-    /// Drops the session with this id; false if there was none.
-    pub fn remove(&self, id: u64) -> bool {
-        self.sessions.write().unwrap().remove(&id).is_some()
+    /// The session with this id. The returned slot is cloned out of the
+    /// map, so the registry lock is released before the caller locks the
+    /// session; the lookup also stamps the slot for LRU.
+    pub fn get(&self, id: u64) -> Lookup {
+        if let Some(slot) = self.sessions.read().unwrap().get(&id) {
+            slot.last_used.store(
+                self.clock.fetch_add(1, Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+            return Lookup::Found(Arc::clone(slot));
+        }
+        if self.evicted.lock().unwrap().contains(&id) {
+            Lookup::Evicted
+        } else {
+            Lookup::Missing
+        }
+    }
+
+    /// Deletes the session with this id, durably when a store is
+    /// attached.
+    pub fn remove(&self, id: u64) -> io::Result<RemoveOutcome> {
+        let removed = self.sessions.write().unwrap().remove(&id);
+        match removed {
+            Some(_) => {
+                let mut wal_micros = None;
+                if let Some(store) = &self.store {
+                    let started = Instant::now();
+                    store.append_delete(id)?;
+                    wal_micros = Some(started.elapsed().as_micros() as u64);
+                }
+                Ok(RemoveOutcome::Removed(wal_micros))
+            }
+            None if self.evicted.lock().unwrap().contains(&id) => Ok(RemoveOutcome::Evicted),
+            None => Ok(RemoveOutcome::Missing),
+        }
     }
 
     /// Number of live sessions (the `/metrics` gauge).
@@ -80,6 +368,81 @@ impl SessionRegistry {
     /// True when no sessions are live.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Runs one compaction cycle: rotate the WAL, capture every live
+    /// session under its own lock, write the snapshot, drop superseded
+    /// segments. Returns `Ok(None)` when another compaction is in
+    /// flight or no store is attached.
+    pub fn compact(&self) -> io::Result<Option<pg_store::CompactionOutcome>> {
+        let Some(store) = &self.store else {
+            return Ok(None);
+        };
+        let Some(mut compaction) = store.try_begin_compaction()? else {
+            return Ok(None);
+        };
+        let slots: Vec<(u64, Arc<SessionSlot>)> = self
+            .sessions
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(id, slot)| (*id, Arc::clone(slot)))
+            .collect();
+        for (id, slot) in slots {
+            let session = slot.session.lock().unwrap();
+            compaction.add_session(
+                id,
+                session.last_seq,
+                session.deltas_applied,
+                &session.schema_sdl,
+                session.graph(),
+            );
+        }
+        let outcome = compaction.finish(self.next_id.load(Ordering::Relaxed))?;
+        Ok(Some(outcome))
+    }
+
+    /// Syncs buffered WAL appends (graceful-shutdown path).
+    pub fn sync_store(&self) -> io::Result<()> {
+        match &self.store {
+            Some(store) => store.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Evicts the least-recently-used session if the registry is at its
+    /// bound; returns the victim's id.
+    fn evict_if_full(&self) -> io::Result<Option<u64>> {
+        let Some(cap) = self.max_sessions else {
+            return Ok(None);
+        };
+        let victim = {
+            let sessions = self.sessions.read().unwrap();
+            if sessions.len() < cap.max(1) {
+                return Ok(None);
+            }
+            sessions
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
+                .map(|(id, _)| *id)
+        };
+        match victim {
+            Some(id) => {
+                self.mark_evicted(id)?;
+                Ok(Some(id))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn mark_evicted(&self, id: u64) -> io::Result<()> {
+        self.sessions.write().unwrap().remove(&id);
+        self.evicted.lock().unwrap().insert(id);
+        self.evicted_total.fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &self.store {
+            store.append_delete(id)?;
+        }
+        Ok(())
     }
 }
 
@@ -94,8 +457,10 @@ mod tests {
     use super::*;
     use pgraph::{GraphBuilder, GraphDelta, Value};
 
+    const SDL: &str = "type User { login: String! @required }";
+
     fn session_parts() -> (PropertyGraph, Arc<PgSchema>) {
-        let schema = PgSchema::parse("type User { login: String! @required }").unwrap();
+        let schema = PgSchema::parse(SDL).unwrap();
         let graph = GraphBuilder::new()
             .node("u", "User")
             .prop("u", "login", "alice")
@@ -104,17 +469,35 @@ mod tests {
         (graph, Arc::new(schema))
     }
 
+    fn create(reg: &SessionRegistry) -> u64 {
+        let (graph, schema) = session_parts();
+        reg.create(graph, schema, SDL, &ValidationOptions::default())
+            .unwrap()
+            .id
+    }
+
     #[test]
     fn create_get_remove() {
         let reg = SessionRegistry::new();
-        let (graph, schema) = session_parts();
-        let id = reg.create(graph, schema, &ValidationOptions::default());
+        let id = create(&reg);
         assert_eq!(reg.len(), 1);
-        let session = reg.get(id).expect("session exists");
-        assert!(session.lock().unwrap().engine.report().conforms());
-        assert!(reg.get(id + 1).is_none());
-        assert!(reg.remove(id));
-        assert!(!reg.remove(id));
+        let Lookup::Found(slot) = reg.get(id) else {
+            panic!("session exists");
+        };
+        assert!(slot
+            .session
+            .lock()
+            .unwrap()
+            .engine()
+            .unwrap()
+            .report()
+            .conforms());
+        assert!(matches!(reg.get(id + 1), Lookup::Missing));
+        assert!(matches!(
+            reg.remove(id).unwrap(),
+            RemoveOutcome::Removed(None)
+        ));
+        assert!(matches!(reg.remove(id).unwrap(), RemoveOutcome::Missing));
         assert!(reg.is_empty());
     }
 
@@ -123,14 +506,47 @@ mod tests {
         let reg = SessionRegistry::new();
         let (graph, schema) = session_parts();
         let u = graph.node_ids().next().unwrap();
-        let id = reg.create(graph, schema, &ValidationOptions::default());
-        let session = reg.get(id).unwrap();
-        let mut s = session.lock().unwrap();
+        let id = reg
+            .create(graph, schema, SDL, &ValidationOptions::default())
+            .unwrap()
+            .id;
+        let Lookup::Found(slot) = reg.get(id) else {
+            panic!("session exists");
+        };
+        let mut s = slot.session.lock().unwrap();
         let outcome = s
-            .engine
+            .engine()
+            .unwrap()
             .apply(&GraphDelta::new().set_node_property(u, "login", Value::Int(3)))
             .unwrap();
         assert_eq!(outcome.violations_added, 1);
-        assert!(!s.engine.report().conforms());
+        assert!(!s.engine().unwrap().report().conforms());
+    }
+
+    #[test]
+    fn lru_eviction_answers_evicted() {
+        let reg = SessionRegistry::in_memory(Some(2));
+        let a = create(&reg);
+        let b = create(&reg);
+        // Touch `a` so `b` is the least recently used.
+        assert!(matches!(reg.get(a), Lookup::Found(_)));
+        let c = create(&reg);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.evicted_total(), 1);
+        assert!(matches!(reg.get(b), Lookup::Evicted));
+        assert!(matches!(reg.get(a), Lookup::Found(_)));
+        assert!(matches!(reg.get(c), Lookup::Found(_)));
+        // Deleting an evicted id reports Evicted, not Missing.
+        assert!(matches!(reg.remove(b).unwrap(), RemoveOutcome::Evicted));
+    }
+
+    #[test]
+    fn cap_of_one_always_keeps_the_newest() {
+        let reg = SessionRegistry::in_memory(Some(1));
+        let a = create(&reg);
+        let b = create(&reg);
+        assert!(matches!(reg.get(a), Lookup::Evicted));
+        assert!(matches!(reg.get(b), Lookup::Found(_)));
+        assert_eq!(reg.len(), 1);
     }
 }

@@ -4,17 +4,19 @@
 
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pg_schema::{validate, Engine, PgSchema, ValidationOptions};
+use pg_store::{FsyncPolicy, Store};
 use pgraph::json::{self, Json};
 
 use crate::http::{self, push_json_string, ReadOutcome, Request, Response};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, RenderGauges};
 use crate::pool::BoundedQueue;
-use crate::registry::SessionRegistry;
+use crate::registry::{Lookup, RemoveOutcome, SessionRegistry};
 
 /// How workers poll the shutdown flag while waiting on an idle
 /// keep-alive connection, and how the accept loop sleeps when idle.
@@ -55,6 +57,16 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Request-log shape.
     pub log_format: LogFormat,
+    /// Durable session storage (`--data-dir`). `None` keeps the daemon
+    /// purely in-memory, exactly as before the store existed.
+    pub data_dir: Option<PathBuf>,
+    /// When to fsync WAL appends (`--fsync`).
+    pub fsync: FsyncPolicy,
+    /// Compact the store once the live WAL exceeds this many bytes
+    /// (`--compact-after-bytes`; 0 disables automatic compaction).
+    pub compact_after_bytes: u64,
+    /// LRU bound on live sessions (`--max-sessions`).
+    pub max_sessions: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +76,10 @@ impl Default for ServerConfig {
             threads: 8,
             queue_depth: 64,
             log_format: LogFormat::Text,
+            data_dir: None,
+            fsync: FsyncPolicy::Always,
+            compact_after_bytes: 8 << 20,
+            max_sessions: None,
         }
     }
 }
@@ -74,6 +90,7 @@ struct Ctx {
     registry: SessionRegistry,
     queue: BoundedQueue<TcpStream>,
     log_format: LogFormat,
+    compact_after_bytes: u64,
 }
 
 /// A bound, not-yet-running daemon. [`bind`](Server::bind) first, read
@@ -93,14 +110,47 @@ impl Server {
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
+        let registry = match &config.data_dir {
+            None => SessionRegistry::in_memory(config.max_sessions),
+            Some(dir) => {
+                let (store, recovered) = Store::open(dir.clone(), config.fsync)?;
+                let info = &recovered.info;
+                if config.log_format != LogFormat::Off {
+                    eprintln!(
+                        "store: recovered {} session(s) from {} (snapshot generation {:?}, \
+                         {} record(s) replayed{})",
+                        recovered.sessions.len(),
+                        dir.display(),
+                        info.snapshot_generation,
+                        info.records_replayed,
+                        match &info.truncated {
+                            Some(t) => format!(
+                                ", torn tail truncated at {} offset {}",
+                                t.segment.display(),
+                                t.offset
+                            ),
+                            None => String::new(),
+                        }
+                    );
+                }
+                let options = ValidationOptions::builder().collect_metrics(true).build();
+                SessionRegistry::with_store(
+                    Arc::new(store),
+                    recovered,
+                    &options,
+                    config.max_sessions,
+                )?
+            }
+        };
         Ok(Server {
             listener,
             threads: config.threads.max(1),
             ctx: Ctx {
                 metrics: Metrics::new(),
-                registry: SessionRegistry::new(),
+                registry,
                 queue: BoundedQueue::new(config.queue_depth),
                 log_format: config.log_format,
+                compact_after_bytes: config.compact_after_bytes,
             },
         })
     }
@@ -143,6 +193,9 @@ impl Server {
             // is queued, exit.
             ctx.queue.close();
         });
+        // Under `--fsync interval|never`, acknowledged appends may still
+        // sit in OS buffers — a graceful shutdown flushes them.
+        self.ctx.registry.sync_store()?;
         Ok(())
     }
 }
@@ -189,6 +242,7 @@ fn serve_connection(ctx: &Ctx, mut stream: TcpStream, shutdown: &AtomicBool) {
                     micros,
                     handled.engine,
                 );
+                maybe_compact(ctx);
                 if close || !write_ok {
                     return;
                 }
@@ -237,7 +291,13 @@ fn route(ctx: &Ctx, request: &Request) -> Handled {
             "/metrics",
             Response::text(
                 200,
-                ctx.metrics.render(ctx.queue.depth(), ctx.registry.len()),
+                ctx.metrics.render(&RenderGauges {
+                    queue_depth: ctx.queue.depth(),
+                    sessions_live: ctx.registry.len(),
+                    sessions_recovered: ctx.registry.recovered_total(),
+                    sessions_evicted: ctx.registry.evicted_total(),
+                    store: ctx.registry.store().map(|s| s.stats()),
+                }),
             ),
         ),
         ("POST", "/validate") => handle_validate(ctx, request),
@@ -278,24 +338,92 @@ fn route_session(ctx: &Ctx, request: &Request, id: u64, tail: &str) -> Handled {
         ("POST", "deltas") => handle_delta(ctx, request, id),
         ("GET", "report") => handle_report(ctx, id),
         ("GET", "graph") => handle_graph(ctx, id),
-        ("DELETE", "") => Handled::plain(
-            "/sessions/{id}",
-            if ctx.registry.remove(id) {
-                Response::json(200, "{\"deleted\":true}")
-            } else {
-                Response::error(404, "no such session")
-            },
-        ),
-        ("POST" | "GET" | "DELETE", "deltas" | "report" | "graph" | "") => {
+        ("POST", "compact") => handle_compact(ctx, id),
+        ("DELETE", "") => handle_delete(ctx, id),
+        ("POST" | "GET" | "DELETE", "deltas" | "report" | "graph" | "compact" | "") => {
             Handled::plain("(unknown)", Response::error(405, "method not allowed"))
         }
         _ => Handled::plain("(unknown)", Response::error(404, "no such route")),
     }
 }
 
+fn handle_delete(ctx: &Ctx, id: u64) -> Handled {
+    const ROUTE: &str = "/sessions/{id}";
+    let response = match ctx.registry.remove(id) {
+        Ok(RemoveOutcome::Removed(wal_micros)) => {
+            if let Some(micros) = wal_micros {
+                ctx.metrics.record_wal_append(micros);
+            }
+            Response::json(200, "{\"deleted\":true}")
+        }
+        Ok(RemoveOutcome::Evicted) => Response::error(410, "session evicted"),
+        Ok(RemoveOutcome::Missing) => Response::error(404, "no such session"),
+        Err(e) => Response::error(500, &format!("wal append failed: {e}")),
+    };
+    Handled::plain(ROUTE, response)
+}
+
+/// Compacts the store (snapshot + drop superseded WAL segments). The
+/// route is addressed to a session for symmetry with the rest of the
+/// session API, but compaction covers the whole store.
+fn handle_compact(ctx: &Ctx, id: u64) -> Handled {
+    const ROUTE: &str = "/sessions/{id}/compact";
+    let response = match ctx.registry.get(id) {
+        Lookup::Missing => Response::error(404, "no such session"),
+        Lookup::Evicted => Response::error(410, "session evicted"),
+        Lookup::Found(_) if ctx.registry.store().is_none() => {
+            Response::error(409, "server is running without --data-dir")
+        }
+        Lookup::Found(_) => match ctx.registry.compact() {
+            Ok(Some(outcome)) => Response::json(
+                200,
+                format!(
+                    "{{\"compacted\":true,\"generation\":{},\"sessions\":{},\
+                     \"segments_removed\":{},\"snapshot_bytes\":{}}}",
+                    outcome.generation,
+                    outcome.sessions,
+                    outcome.segments_removed,
+                    outcome.snapshot_bytes
+                ),
+            ),
+            Ok(None) => Response::error(409, "compaction already in progress"),
+            Err(e) => Response::error(500, &format!("compaction failed: {e}")),
+        },
+    };
+    Handled::plain(ROUTE, response)
+}
+
+/// Compacts in the background of the request that tipped the WAL over
+/// the configured size threshold (after its response has been written).
+fn maybe_compact(ctx: &Ctx) {
+    let Some(store) = ctx.registry.store() else {
+        return;
+    };
+    if ctx.compact_after_bytes == 0 || store.wal_size_bytes() < ctx.compact_after_bytes {
+        return;
+    }
+    match ctx.registry.compact() {
+        Ok(Some(outcome)) => {
+            if ctx.log_format != LogFormat::Off {
+                eprintln!(
+                    "store: auto-compacted to generation {} ({} session(s), {} segment(s) removed)",
+                    outcome.generation, outcome.sessions, outcome.segments_removed
+                );
+            }
+        }
+        Ok(None) => {} // another worker is already compacting
+        Err(e) => {
+            if ctx.log_format != LogFormat::Off {
+                eprintln!("store: auto-compaction failed: {e}");
+            }
+        }
+    }
+}
+
 /// Decodes the `{"schema": <sdl string>, "graph": <graph document>}`
-/// envelope shared by `POST /validate` and `POST /sessions`.
-fn parse_envelope(body: &[u8]) -> Result<(PgSchema, pgraph::PropertyGraph), String> {
+/// envelope shared by `POST /validate` and `POST /sessions`. The raw SDL
+/// text rides along because durable sessions persist it verbatim.
+fn parse_envelope(body: &[u8]) -> Result<(PgSchema, pgraph::PropertyGraph, String), String> {
     let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
     let doc = Json::parse(text).map_err(|e| e.to_string())?;
     let sdl = doc
@@ -307,7 +435,7 @@ fn parse_envelope(body: &[u8]) -> Result<(PgSchema, pgraph::PropertyGraph), Stri
         .get("graph")
         .ok_or_else(|| "missing field \"graph\"".to_owned())?;
     let graph = json::graph_from_value(graph_value).map_err(|e| format!("graph: {e}"))?;
-    Ok((schema, graph))
+    Ok((schema, graph, sdl.to_owned()))
 }
 
 fn handle_validate(ctx: &Ctx, request: &Request) -> Handled {
@@ -323,7 +451,7 @@ fn handle_validate(ctx: &Ctx, request: &Request) -> Handled {
             }
         },
     };
-    let (schema, graph) = match parse_envelope(&request.body) {
+    let (schema, graph, _sdl) = match parse_envelope(&request.body) {
         Ok(parts) => parts,
         Err(message) => return Handled::plain("/validate", Response::error(400, &message)),
     };
@@ -341,17 +469,38 @@ fn handle_validate(ctx: &Ctx, request: &Request) -> Handled {
 }
 
 fn handle_create_session(ctx: &Ctx, request: &Request) -> Handled {
-    let (schema, graph) = match parse_envelope(&request.body) {
+    let (schema, graph, sdl) = match parse_envelope(&request.body) {
         Ok(parts) => parts,
         Err(message) => return Handled::plain("/sessions", Response::error(400, &message)),
     };
     let options = ValidationOptions::builder().collect_metrics(true).build();
-    let id = ctx.registry.create(graph, Arc::new(schema), &options);
-    let session = ctx.registry.get(id).expect("session just created");
-    let report = session.lock().unwrap().engine.report();
+    let created = match ctx.registry.create(graph, Arc::new(schema), &sdl, &options) {
+        Ok(created) => created,
+        Err(e) => {
+            return Handled::plain(
+                "/sessions",
+                Response::error(500, &format!("failed to persist session: {e}")),
+            )
+        }
+    };
+    if let Some(micros) = created.wal_micros {
+        ctx.metrics.record_wal_append(micros);
+    }
+    let report = created
+        .slot
+        .session
+        .lock()
+        .unwrap()
+        .engine()
+        .expect("a freshly created session is hydrated")
+        .report();
     ctx.metrics
         .record_validation(Engine::Incremental, report.metrics());
-    let body = format!("{{\"session\":{},\"report\":{}}}", id, report.to_json());
+    let body = format!(
+        "{{\"session\":{},\"report\":{}}}",
+        created.id,
+        report.to_json()
+    );
     Handled {
         route: "/sessions",
         response: Response::json(201, body),
@@ -368,15 +517,33 @@ fn handle_delta(ctx: &Ctx, request: &Request, id: u64) -> Handled {
         Ok(delta) => delta,
         Err(message) => return Handled::plain(ROUTE, Response::error(400, &message)),
     };
-    let session = match ctx.registry.get(id) {
-        Some(session) => session,
-        None => return Handled::plain(ROUTE, Response::error(404, "no such session")),
+    let slot = match ctx.registry.get(id) {
+        Lookup::Found(slot) => slot,
+        Lookup::Evicted => return Handled::plain(ROUTE, Response::error(410, "session evicted")),
+        Lookup::Missing => return Handled::plain(ROUTE, Response::error(404, "no such session")),
     };
-    let mut session = session.lock().unwrap();
-    match session.engine.apply(&delta) {
+    let mut session = slot.session.lock().unwrap();
+    let applied = match session.engine() {
+        Ok(engine) => engine.apply(&delta),
+        Err(message) => return Handled::plain(ROUTE, Response::error(500, &message)),
+    };
+    // Log the delta whether or not it applied cleanly: a failed apply
+    // still leaves its deterministic partial effects on the graph (the
+    // engine reseeds around them), and replay reproduces exactly those.
+    match ctx.registry.log_delta(id, &mut session, &delta) {
+        Ok(Some(micros)) => ctx.metrics.record_wal_append(micros),
+        Ok(None) => {}
+        Err(e) => {
+            return Handled::plain(
+                ROUTE,
+                Response::error(500, &format!("wal append failed: {e}")),
+            )
+        }
+    }
+    match applied {
         Ok(outcome) => {
             session.deltas_applied += 1;
-            let report = session.engine.report();
+            let report = session.engine().expect("session is hydrated").report();
             let deltas_applied = session.deltas_applied;
             drop(session);
             ctx.metrics
@@ -408,26 +575,36 @@ fn handle_delta(ctx: &Ctx, request: &Request, id: u64) -> Handled {
 fn handle_report(ctx: &Ctx, id: u64) -> Handled {
     const ROUTE: &str = "/sessions/{id}/report";
     match ctx.registry.get(id) {
-        Some(session) => {
-            let report = session.lock().unwrap().engine.report();
+        Lookup::Found(slot) => {
+            // Recovered sessions hydrate here: their first report is a
+            // full revalidation through the incremental engine's seeding
+            // pass.
+            let report = match slot.session.lock().unwrap().engine() {
+                Ok(engine) => engine.report(),
+                Err(message) => return Handled::plain(ROUTE, Response::error(500, &message)),
+            };
             Handled {
                 route: ROUTE,
                 response: Response::json(200, report.to_json()),
                 engine: Some("incremental"),
             }
         }
-        None => Handled::plain(ROUTE, Response::error(404, "no such session")),
+        Lookup::Evicted => Handled::plain(ROUTE, Response::error(410, "session evicted")),
+        Lookup::Missing => Handled::plain(ROUTE, Response::error(404, "no such session")),
     }
 }
 
 fn handle_graph(ctx: &Ctx, id: u64) -> Handled {
     const ROUTE: &str = "/sessions/{id}/graph";
     match ctx.registry.get(id) {
-        Some(session) => {
-            let body = json::to_json(session.lock().unwrap().engine.graph());
+        // The graph is served without hydrating — dormant sessions keep
+        // their recovery cheap until something asks for a report.
+        Lookup::Found(slot) => {
+            let body = json::to_json(slot.session.lock().unwrap().graph());
             Handled::plain(ROUTE, Response::json(200, body))
         }
-        None => Handled::plain(ROUTE, Response::error(404, "no such session")),
+        Lookup::Evicted => Handled::plain(ROUTE, Response::error(410, "session evicted")),
+        Lookup::Missing => Handled::plain(ROUTE, Response::error(404, "no such session")),
     }
 }
 

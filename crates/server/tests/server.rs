@@ -28,6 +28,7 @@ impl Daemon {
             threads,
             queue_depth,
             log_format: LogFormat::Off,
+            ..ServerConfig::default()
         })
         .expect("bind");
         let addr = server.local_addr().expect("local addr");

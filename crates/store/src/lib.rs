@@ -1,0 +1,475 @@
+//! # pg-store — durable sessions for pg-schemad
+//!
+//! A write-ahead log plus snapshots for the server's validation
+//! sessions, std-only like the rest of the workspace. The unit of
+//! durability is the [`StoreRecord`]: session created (schema SDL +
+//! initial graph), delta applied, session deleted. Records are framed
+//! with a length prefix and a CRC-32 over the payload, carry strictly
+//! monotonic sequence numbers, and are appended to segment files named
+//! after their first sequence number. Snapshots capture every live
+//! session in full and are written to a temp file then atomically
+//! renamed, so a crash never leaves a half-snapshot with a valid name.
+//!
+//! Recovery ([`Store::open`]) loads the newest snapshot that passes its
+//! checksum and replays the WAL tail on top, truncating at the first
+//! torn or corrupt frame — see [`recover`](self) internals and DESIGN
+//! §Store for the exact invariants. Compaction
+//! ([`Store::try_begin_compaction`]) rotates the log, snapshots the
+//! sessions the caller feeds it, and deletes the superseded segments.
+//!
+//! What fsync costs is the caller's choice per [`FsyncPolicy`]:
+//! `always` syncs before every acknowledgement (no acknowledged write is
+//! ever lost), `interval` bounds the loss window by time, `never` leaves
+//! flushing entirely to the OS.
+//!
+//! ```no_run
+//! use pg_store::{FsyncPolicy, Store};
+//!
+//! let (store, recovered) = Store::open("/var/lib/pgschema", FsyncPolicy::Always)?;
+//! println!("recovered {} sessions", recovered.sessions.len());
+//! let seq = store.append_delete(42)?;
+//! assert!(seq >= 1);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crc32;
+mod files;
+mod record;
+mod recover;
+mod scan;
+mod snapshot;
+
+pub use record::StoreRecord;
+pub use scan::{scan, ScanReport, SegmentInfo, SnapshotInfo};
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use pgraph::{GraphDelta, PropertyGraph};
+
+/// When appended records are flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` before every append acknowledges — an acknowledged
+    /// write survives any crash.
+    Always,
+    /// Sync at most once per interval (checked on append): bounded loss
+    /// window, near-`Never` throughput.
+    Interval(Duration),
+    /// Never sync explicitly; the OS flushes when it pleases.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses the `--fsync` flag: `always`, `never`, `interval` (100 ms
+    /// default) or `interval:<millis>`.
+    pub fn from_name(name: &str) -> Option<FsyncPolicy> {
+        match name {
+            "always" => Some(FsyncPolicy::Always),
+            "never" => Some(FsyncPolicy::Never),
+            "interval" => Some(FsyncPolicy::Interval(Duration::from_millis(100))),
+            _ => {
+                let millis: u64 = name.strip_prefix("interval:")?.parse().ok()?;
+                Some(FsyncPolicy::Interval(Duration::from_millis(millis)))
+            }
+        }
+    }
+}
+
+/// One session as reconstructed by recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredSession {
+    /// The session id.
+    pub id: u64,
+    /// The schema's SDL source (the caller re-parses it).
+    pub schema_sdl: String,
+    /// The graph with every recovered delta applied.
+    pub graph: PropertyGraph,
+    /// How many deltas applied successfully over the session's life.
+    pub deltas_applied: u64,
+    /// Sequence number of the last record reflected in `graph`.
+    pub last_seq: u64,
+}
+
+/// A torn or corrupt WAL tail found (and removed) during recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TornTail {
+    /// The segment that was truncated.
+    pub segment: PathBuf,
+    /// The byte offset it was truncated to.
+    pub offset: u64,
+    /// Human-readable cause (CRC mismatch, torn payload, …).
+    pub reason: String,
+    /// Later segments that were discarded wholesale.
+    pub segments_dropped: usize,
+}
+
+/// Diagnostics of one recovery pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryInfo {
+    /// Generation of the snapshot that seeded recovery, if any.
+    pub snapshot_generation: Option<u64>,
+    /// Newer snapshots that failed their checksum and were ignored.
+    pub snapshots_skipped: usize,
+    /// WAL records replayed on top of the snapshot.
+    pub records_replayed: u64,
+    /// Records skipped as already covered by the snapshot (or aimed at
+    /// sessions that no longer exist).
+    pub records_skipped: u64,
+    /// The torn tail, when one was found.
+    pub truncated: Option<TornTail>,
+}
+
+/// Everything [`Store::open`] reconstructed from disk.
+#[derive(Debug)]
+pub struct Recovered {
+    /// Live sessions, ascending by id.
+    pub sessions: Vec<RecoveredSession>,
+    /// The next session id to hand out (ids are never reused).
+    pub next_session_id: u64,
+    /// How recovery went.
+    pub info: RecoveryInfo,
+}
+
+/// A point-in-time copy of the store's counters (`/metrics`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Records appended since open.
+    pub appends: u64,
+    /// Explicit fsyncs issued since open.
+    pub fsyncs: u64,
+    /// Bytes appended since open.
+    pub appended_bytes: u64,
+    /// Snapshots written since open.
+    pub snapshots: u64,
+    /// Current bytes across live WAL segments (the compaction trigger).
+    pub wal_size_bytes: u64,
+}
+
+struct Wal {
+    file: File,
+    /// Live segments in replay order; the last is the append target.
+    segments: Vec<(u64, PathBuf)>,
+    /// First sequence number of the append segment.
+    current_first_seq: u64,
+    next_seq: u64,
+    snapshot_generation: u64,
+    last_sync: Instant,
+    dirty: bool,
+}
+
+/// The write-ahead log + snapshot store. All methods take `&self`; the
+/// WAL is serialised by an internal mutex, counters are atomics.
+pub struct Store {
+    dir: PathBuf,
+    fsync: FsyncPolicy,
+    wal: Mutex<Wal>,
+    compacting: AtomicBool,
+    appends: AtomicU64,
+    fsyncs: AtomicU64,
+    appended_bytes: AtomicU64,
+    snapshots: AtomicU64,
+    wal_bytes: AtomicU64,
+}
+
+impl Store {
+    /// Opens (creating if needed) a store directory, running recovery:
+    /// newest valid snapshot + WAL tail replay, torn tails truncated.
+    pub fn open(dir: impl Into<PathBuf>, fsync: FsyncPolicy) -> io::Result<(Store, Recovered)> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let (recovered, position) = recover::recover(&dir)?;
+        let mut segments = position.segments;
+        let mut live_bytes = position.live_bytes;
+        let (current_first_seq, file) = match segments.last() {
+            Some((first_seq, path)) => (*first_seq, OpenOptions::new().append(true).open(path)?),
+            None => {
+                let first_seq = position.next_seq;
+                let path = files::segment_path(&dir, first_seq);
+                let file = OpenOptions::new()
+                    .create_new(true)
+                    .append(true)
+                    .open(&path)?;
+                files::sync_dir(&dir);
+                segments.push((first_seq, path));
+                live_bytes = 0;
+                (first_seq, file)
+            }
+        };
+        let store = Store {
+            fsync,
+            wal: Mutex::new(Wal {
+                file,
+                segments,
+                current_first_seq,
+                next_seq: position.next_seq,
+                snapshot_generation: position.snapshot_generation,
+                last_sync: Instant::now(),
+                dirty: false,
+            }),
+            compacting: AtomicBool::new(false),
+            appends: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            appended_bytes: AtomicU64::new(0),
+            snapshots: AtomicU64::new(0),
+            wal_bytes: AtomicU64::new(live_bytes),
+            dir,
+        };
+        Ok((store, recovered))
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Logs a session creation; returns the record's sequence number
+    /// once it is durable per the fsync policy.
+    pub fn append_create(
+        &self,
+        session: u64,
+        schema_sdl: &str,
+        graph: &PropertyGraph,
+    ) -> io::Result<u64> {
+        self.append(&StoreRecord::Create {
+            session,
+            schema_sdl: schema_sdl.to_owned(),
+            graph: graph.clone(),
+        })
+    }
+
+    /// Logs a delta applied to a session.
+    pub fn append_delta(&self, session: u64, delta: &GraphDelta) -> io::Result<u64> {
+        self.append(&StoreRecord::Delta {
+            session,
+            delta: delta.clone(),
+        })
+    }
+
+    /// Logs a session deletion.
+    pub fn append_delete(&self, session: u64) -> io::Result<u64> {
+        self.append(&StoreRecord::Delete { session })
+    }
+
+    fn append(&self, record: &StoreRecord) -> io::Result<u64> {
+        let mut wal = self.wal.lock().unwrap();
+        let seq = wal.next_seq;
+        let frame = record::encode_frame(seq, record);
+        wal.file.write_all(&frame)?;
+        wal.next_seq += 1;
+        wal.dirty = true;
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        self.appended_bytes
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        self.wal_bytes
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        let sync_now = match self.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::Interval(every) => wal.last_sync.elapsed() >= every,
+            FsyncPolicy::Never => false,
+        };
+        if sync_now {
+            wal.file.sync_data()?;
+            wal.dirty = false;
+            wal.last_sync = Instant::now();
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(seq)
+    }
+
+    /// Forces any buffered appends to stable storage regardless of
+    /// policy (graceful-shutdown path).
+    pub fn sync(&self) -> io::Result<()> {
+        let mut wal = self.wal.lock().unwrap();
+        if wal.dirty {
+            wal.file.sync_data()?;
+            wal.dirty = false;
+            wal.last_sync = Instant::now();
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            appends: self.appends.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            appended_bytes: self.appended_bytes.load(Ordering::Relaxed),
+            snapshots: self.snapshots.load(Ordering::Relaxed),
+            wal_size_bytes: self.wal_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Bytes across live WAL segments — the size-threshold compaction
+    /// trigger reads this without taking the WAL lock.
+    pub fn wal_size_bytes(&self) -> u64 {
+        self.wal_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Starts a compaction, rotating the WAL to a fresh segment so that
+    /// appends continue while sessions are captured. Returns `None` when
+    /// another compaction is already in flight.
+    ///
+    /// Protocol: the rotation point `base_seq` is taken under the WAL
+    /// lock; the caller then feeds every live session through
+    /// [`Compaction::add_session`] (capturing each under its own lock —
+    /// a session captured after the rotation may legitimately include
+    /// records newer than `base_seq`, which is why each entry records
+    /// its own `last_seq`); finally [`Compaction::finish`] writes the
+    /// snapshot atomically and deletes the superseded segments.
+    pub fn try_begin_compaction(&self) -> io::Result<Option<Compaction<'_>>> {
+        if self.compacting.swap(true, Ordering::AcqRel) {
+            return Ok(None);
+        }
+        let result = self.rotate();
+        match result {
+            Ok((base_seq, generation, old_segments)) => Ok(Some(Compaction {
+                store: self,
+                base_seq,
+                generation,
+                old_segments,
+                sessions: Vec::new(),
+            })),
+            Err(e) => {
+                self.compacting.store(false, Ordering::Release);
+                Err(e)
+            }
+        }
+    }
+
+    /// Rotates to a fresh segment; returns `(base_seq, next generation,
+    /// superseded segment paths)`.
+    fn rotate(&self) -> io::Result<(u64, u64, Vec<PathBuf>)> {
+        let mut wal = self.wal.lock().unwrap();
+        // Everything already on disk is about to be superseded; no point
+        // syncing it first.
+        let base_seq = wal.next_seq - 1;
+        let generation = wal.snapshot_generation + 1;
+        let old_segments;
+        if wal.next_seq == wal.current_first_seq {
+            // The append segment holds no records yet — keep it as the
+            // fresh segment and supersede only the older ones.
+            let current = wal.segments.pop().expect("append segment exists");
+            old_segments = std::mem::take(&mut wal.segments)
+                .into_iter()
+                .map(|(_, path)| path)
+                .collect();
+            wal.segments.push(current);
+        } else {
+            let first_seq = wal.next_seq;
+            let path = files::segment_path(&self.dir, first_seq);
+            let file = OpenOptions::new()
+                .create_new(true)
+                .append(true)
+                .open(&path)?;
+            files::sync_dir(&self.dir);
+            wal.file = file;
+            wal.current_first_seq = first_seq;
+            old_segments = std::mem::take(&mut wal.segments)
+                .into_iter()
+                .map(|(_, p)| p)
+                .collect();
+            wal.segments.push((first_seq, path));
+            wal.dirty = false;
+        }
+        self.wal_bytes.store(0, Ordering::Relaxed);
+        Ok((base_seq, generation, old_segments))
+    }
+}
+
+/// An in-flight compaction; see [`Store::try_begin_compaction`].
+pub struct Compaction<'a> {
+    store: &'a Store,
+    base_seq: u64,
+    generation: u64,
+    old_segments: Vec<PathBuf>,
+    sessions: Vec<Vec<u8>>,
+}
+
+impl Compaction<'_> {
+    /// Captures one session into the snapshot. Call with the session's
+    /// own lock held so `last_seq` and `graph` are consistent.
+    pub fn add_session(
+        &mut self,
+        id: u64,
+        last_seq: u64,
+        deltas_applied: u64,
+        schema_sdl: &str,
+        graph: &PropertyGraph,
+    ) {
+        self.sessions.push(snapshot::encode_session(
+            id,
+            last_seq,
+            deltas_applied,
+            schema_sdl,
+            graph,
+        ));
+    }
+
+    /// Writes the snapshot (temp file + atomic rename + directory sync)
+    /// and deletes the superseded segments and older snapshots.
+    pub fn finish(self, next_session_id: u64) -> io::Result<CompactionOutcome> {
+        let store = self.store;
+        let payload = snapshot::assemble(self.base_seq, next_session_id, &self.sessions);
+        let tmp = files::snapshot_tmp_path(&store.dir, self.generation);
+        let path = files::snapshot_path(&store.dir, self.generation);
+        {
+            let mut file = OpenOptions::new().create_new(true).write(true).open(&tmp)?;
+            file.write_all(&payload)?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        files::sync_dir(&store.dir);
+        // Only now is the old state superseded on disk; drop it.
+        for old in &self.old_segments {
+            let _ = std::fs::remove_file(old);
+        }
+        if let Ok(listing) = files::list_dir(&store.dir) {
+            for (generation, old_snap) in listing.snapshots {
+                if generation < self.generation {
+                    let _ = std::fs::remove_file(old_snap);
+                }
+            }
+        }
+        files::sync_dir(&store.dir);
+        store.wal.lock().unwrap().snapshot_generation = self.generation;
+        store.snapshots.fetch_add(1, Ordering::Relaxed);
+        Ok(CompactionOutcome {
+            generation: self.generation,
+            base_seq: self.base_seq,
+            sessions: self.sessions.len(),
+            segments_removed: self.old_segments.len(),
+            snapshot_bytes: payload.len() as u64,
+        })
+        // Drop releases the compacting flag.
+    }
+}
+
+impl Drop for Compaction<'_> {
+    fn drop(&mut self) {
+        self.store.compacting.store(false, Ordering::Release);
+    }
+}
+
+/// What a finished compaction did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionOutcome {
+    /// Generation of the snapshot written.
+    pub generation: u64,
+    /// The WAL rotation point the snapshot corresponds to.
+    pub base_seq: u64,
+    /// Sessions captured.
+    pub sessions: usize,
+    /// Superseded segment files deleted.
+    pub segments_removed: usize,
+    /// Size of the snapshot file.
+    pub snapshot_bytes: u64,
+}

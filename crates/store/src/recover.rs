@@ -1,0 +1,207 @@
+//! Crash recovery: newest valid snapshot + WAL tail replay.
+//!
+//! Invariants this module enforces (see DESIGN §Store):
+//!
+//! 1. **Prefix durability.** Replay stops at the first torn or corrupt
+//!    frame; the segment is physically truncated there and every later
+//!    segment is deleted. What remains is exactly the longest valid
+//!    record prefix of the log.
+//! 2. **Monotonic sequencing.** Record sequence numbers must strictly
+//!    increase across segment boundaries; a regression is treated as
+//!    corruption (rule 1 applies at that record).
+//! 3. **Snapshot-relative replay.** A record mutates a session only if
+//!    its `seq` exceeds the session's snapshotted `last_seq` — sessions
+//!    captured *after* the WAL rotation already contain post-rotation
+//!    records, and double-applying a delta is not idempotent.
+//! 4. **Deterministic partial failure.** A logged delta that fails to
+//!    apply mid-way (it was logged because the live engine also applied
+//!    it partially) is replayed with the same `GraphDelta::apply_to`
+//!    semantics, reproducing the identical partial state.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::files::{self, DirListing};
+use crate::record::{self, StoreRecord};
+use crate::snapshot;
+use crate::{Recovered, RecoveredSession, RecoveryInfo, TornTail};
+
+/// What recovery hands back to [`crate::Store::open`] beyond the public
+/// [`Recovered`] state: where the WAL now ends.
+pub(crate) struct WalPosition {
+    /// Live segments in replay order (the last one is appended to).
+    pub segments: Vec<(u64, PathBuf)>,
+    /// The next sequence number to assign.
+    pub next_seq: u64,
+    /// Generation of the snapshot that was loaded (0 when none).
+    pub snapshot_generation: u64,
+    /// Total bytes across live segments after truncation.
+    pub live_bytes: u64,
+}
+
+pub(crate) fn recover(dir: &Path) -> io::Result<(Recovered, WalPosition)> {
+    let DirListing {
+        segments,
+        snapshots,
+        stale_tmp,
+    } = files::list_dir(dir)?;
+    for tmp in stale_tmp {
+        let _ = std::fs::remove_file(tmp);
+    }
+
+    // Newest snapshot that decodes wins; older ones are only read when
+    // newer ones are damaged.
+    let mut sessions: HashMap<u64, RecoveredSession> = HashMap::new();
+    let mut info = RecoveryInfo::default();
+    let mut next_session_id = 1;
+    let mut max_seq = 0;
+    let mut snapshot_generation = 0;
+    for (generation, path) in &snapshots {
+        match snapshot::decode(&std::fs::read(path)?) {
+            Some(snap) => {
+                info.snapshot_generation = Some(*generation);
+                snapshot_generation = *generation;
+                next_session_id = snap.next_session_id;
+                max_seq = snap.base_seq;
+                for session in snap.sessions {
+                    max_seq = max_seq.max(session.last_seq);
+                    sessions.insert(session.id, session);
+                }
+                break;
+            }
+            None => info.snapshots_skipped += 1,
+        }
+    }
+
+    // Replay segments in order, enforcing the corruption rules.
+    let mut live: Vec<(u64, PathBuf)> = Vec::new();
+    let mut live_bytes = 0u64;
+    let mut prev_seq = 0u64;
+    let mut stop: Option<TornTail> = None;
+    for (ix, (first_seq, path)) in segments.iter().enumerate() {
+        let buf = std::fs::read(path)?;
+        let parse = record::parse_segment(&buf);
+        let mut valid_len = parse.valid_len;
+        let mut torn = parse.torn;
+        let mut kept = 0u64;
+        for parsed in parse.records {
+            if parsed.seq <= prev_seq {
+                torn = Some(format!(
+                    "sequence regression {} after {} at offset {}",
+                    parsed.seq, prev_seq, parsed.offset
+                ));
+                valid_len = parsed.offset;
+                break;
+            }
+            prev_seq = parsed.seq;
+            kept += 1;
+            replay_record(
+                parsed.seq,
+                parsed.record,
+                &mut sessions,
+                &mut next_session_id,
+                &mut info,
+            );
+        }
+        max_seq = max_seq.max(prev_seq);
+        info.records_replayed += kept;
+        if let Some(reason) = torn {
+            // Truncate the damage away and drop everything after it.
+            let file = std::fs::OpenOptions::new().write(true).open(path)?;
+            file.set_len(valid_len)?;
+            file.sync_all()?;
+            let dropped = segments.len() - ix - 1;
+            for (_, later) in &segments[ix + 1..] {
+                let _ = std::fs::remove_file(later);
+            }
+            files::sync_dir(dir);
+            stop = Some(TornTail {
+                segment: path.clone(),
+                offset: valid_len,
+                reason,
+                segments_dropped: dropped,
+            });
+            live.push((*first_seq, path.clone()));
+            live_bytes += valid_len;
+            break;
+        }
+        live.push((*first_seq, path.clone()));
+        live_bytes += buf.len() as u64;
+    }
+    info.truncated = stop;
+
+    let mut recovered_sessions: Vec<RecoveredSession> = sessions.into_values().collect();
+    recovered_sessions.sort_by_key(|s| s.id);
+    let recovered = Recovered {
+        sessions: recovered_sessions,
+        next_session_id,
+        info,
+    };
+    let position = WalPosition {
+        segments: live,
+        next_seq: max_seq + 1,
+        snapshot_generation,
+        live_bytes,
+    };
+    Ok((recovered, position))
+}
+
+fn replay_record(
+    seq: u64,
+    record: StoreRecord,
+    sessions: &mut HashMap<u64, RecoveredSession>,
+    next_session_id: &mut u64,
+    info: &mut RecoveryInfo,
+) {
+    match record {
+        StoreRecord::Create {
+            session,
+            schema_sdl,
+            graph,
+        } => {
+            *next_session_id = (*next_session_id).max(session + 1);
+            if sessions.get(&session).is_some_and(|s| seq <= s.last_seq) {
+                // The snapshot already reflects this creation.
+                info.records_skipped += 1;
+                return;
+            }
+            sessions.insert(
+                session,
+                RecoveredSession {
+                    id: session,
+                    schema_sdl,
+                    graph,
+                    deltas_applied: 0,
+                    last_seq: seq,
+                },
+            );
+        }
+        StoreRecord::Delta { session, delta } => {
+            let Some(state) = sessions.get_mut(&session) else {
+                info.records_skipped += 1;
+                return;
+            };
+            if seq <= state.last_seq {
+                info.records_skipped += 1;
+                return;
+            }
+            // Count only successful applications, mirroring the server's
+            // `deltas_applied`; a failure still leaves its deterministic
+            // partial effects in place (see module docs, rule 4).
+            if delta.apply_to(&mut state.graph).is_ok() {
+                state.deltas_applied += 1;
+            }
+            state.last_seq = seq;
+        }
+        StoreRecord::Delete { session } => {
+            if sessions.get(&session).is_some_and(|s| seq <= s.last_seq) {
+                info.records_skipped += 1;
+                return;
+            }
+            if sessions.remove(&session).is_none() {
+                info.records_skipped += 1;
+            }
+        }
+    }
+}

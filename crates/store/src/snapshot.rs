@@ -1,0 +1,174 @@
+//! Snapshot file codec.
+//!
+//! A snapshot is one CRC-framed blob (same `[len][crc][payload]` frame
+//! as a WAL record) whose payload captures every live session in full:
+//!
+//! ```text
+//! payload = [magic "PGS1"][base_seq u64][next_session_id u64][count u32]
+//!           count × [id u64][last_seq u64][deltas_applied u64]
+//!                   [sdl: u32 len + bytes][graph: u32 len + binary graph]
+//! ```
+//!
+//! `base_seq` is the sequence number at which the WAL was rotated when
+//! the snapshot began; every record with `seq <= base_seq` is superseded.
+//! Each session additionally carries its own `last_seq` — its state may
+//! include records *newer* than `base_seq` (appends continue while the
+//! snapshot is being captured), and replay must skip exactly those.
+//! A snapshot that fails its CRC or structural decode is ignored as a
+//! whole; recovery then falls back to the next older generation.
+
+use pgraph::binary;
+
+use crate::crc32::crc32;
+use crate::record::FRAME_HEADER;
+use crate::RecoveredSession;
+
+const MAGIC: &[u8; 4] = b"PGS1";
+
+/// Everything a decoded snapshot says.
+#[derive(Debug)]
+pub(crate) struct SnapshotData {
+    pub base_seq: u64,
+    pub next_session_id: u64,
+    pub sessions: Vec<RecoveredSession>,
+}
+
+/// Encodes one session entry (used incrementally during compaction so
+/// graphs are serialised straight out of the session lock, no clone).
+pub(crate) fn encode_session(
+    id: u64,
+    last_seq: u64,
+    deltas_applied: u64,
+    schema_sdl: &str,
+    graph: &pgraph::PropertyGraph,
+) -> Vec<u8> {
+    let graph_bytes = binary::graph_to_bytes(graph);
+    let mut out = Vec::with_capacity(32 + schema_sdl.len() + graph_bytes.len());
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&last_seq.to_le_bytes());
+    out.extend_from_slice(&deltas_applied.to_le_bytes());
+    out.extend_from_slice(&(schema_sdl.len() as u32).to_le_bytes());
+    out.extend_from_slice(schema_sdl.as_bytes());
+    out.extend_from_slice(&(graph_bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(&graph_bytes);
+    out
+}
+
+/// Assembles the full framed snapshot file contents.
+pub(crate) fn assemble(base_seq: u64, next_session_id: u64, sessions: &[Vec<u8>]) -> Vec<u8> {
+    let body: usize = sessions.iter().map(Vec::len).sum();
+    let mut payload = Vec::with_capacity(24 + body);
+    payload.extend_from_slice(MAGIC);
+    payload.extend_from_slice(&base_seq.to_le_bytes());
+    payload.extend_from_slice(&next_session_id.to_le_bytes());
+    payload.extend_from_slice(&(sessions.len() as u32).to_le_bytes());
+    for session in sessions {
+        payload.extend_from_slice(session);
+    }
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes a snapshot file; `None` if it is torn, corrupt or malformed
+/// in any way (the caller falls back to an older generation).
+pub(crate) fn decode(buf: &[u8]) -> Option<SnapshotData> {
+    if buf.len() < FRAME_HEADER {
+        return None;
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    if buf.len() != FRAME_HEADER + len {
+        return None;
+    }
+    let payload = &buf[FRAME_HEADER..];
+    if crc32(payload) != crc {
+        return None;
+    }
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+        let slice = payload.get(*pos..*pos + n)?;
+        *pos += n;
+        Some(slice)
+    };
+    if take(&mut pos, 4)? != MAGIC {
+        return None;
+    }
+    let base_seq = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+    let next_session_id = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+    let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+    let mut sessions = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let id = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let last_seq = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let deltas_applied = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        let sdl_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let schema_sdl = std::str::from_utf8(take(&mut pos, sdl_len)?)
+            .ok()?
+            .to_owned();
+        let graph_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let graph = binary::graph_from_bytes(take(&mut pos, graph_len)?).ok()?;
+        sessions.push(RecoveredSession {
+            id,
+            schema_sdl,
+            graph,
+            deltas_applied,
+            last_seq,
+        });
+    }
+    if pos != payload.len() {
+        return None;
+    }
+    Some(SnapshotData {
+        base_seq,
+        next_session_id,
+        sessions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgraph::{PropertyGraph, Value};
+
+    fn sample() -> Vec<u8> {
+        let mut graph = PropertyGraph::new();
+        let u = graph.add_node("User");
+        graph.set_node_property(u, "login", Value::from("alice"));
+        let entries = vec![
+            encode_session(1, 5, 4, "type User { login: String! }", &graph),
+            encode_session(7, 9, 0, "type T { x: Int }", &PropertyGraph::new()),
+        ];
+        assemble(9, 8, &entries)
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let bytes = sample();
+        let snap = decode(&bytes).expect("decodes");
+        assert_eq!(snap.base_seq, 9);
+        assert_eq!(snap.next_session_id, 8);
+        assert_eq!(snap.sessions.len(), 2);
+        assert_eq!(snap.sessions[0].id, 1);
+        assert_eq!(snap.sessions[0].last_seq, 5);
+        assert_eq!(snap.sessions[0].deltas_applied, 4);
+        assert_eq!(snap.sessions[0].graph.node_count(), 1);
+        assert_eq!(snap.sessions[1].id, 7);
+        assert!(snap.sessions[1].graph.is_empty());
+    }
+
+    #[test]
+    fn any_corruption_rejects_the_whole_snapshot() {
+        let clean = sample();
+        for cut in 0..clean.len() {
+            assert!(decode(&clean[..cut]).is_none(), "prefix {cut} decoded");
+        }
+        for byte in 0..clean.len() {
+            let mut buf = clean.clone();
+            buf[byte] ^= 0x10;
+            assert!(decode(&buf).is_none(), "flip at {byte} decoded");
+        }
+    }
+}
