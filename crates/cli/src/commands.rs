@@ -26,7 +26,7 @@ USAGE:
     pgschema normalize <schema.graphql> [--out FILE]
     pgschema import <nodes.csv> <edges.csv> [--schema FILE] [--out FILE]
     pgschema diff <old.graphql> <new.graphql>
-    pgschema serve [--addr HOST:PORT] [--threads N] [--queue-depth N]
+    pgschema serve [--addr HOST:PORT] [--cores N] [--max-connections N]
                    [--log-format text|json|off] [--data-dir DIR]
                    [--fsync always|interval[:MILLIS]|never]
                    [--compact-after-bytes N] [--max-sessions N]
@@ -122,8 +122,8 @@ fn cmd_validate(rest: &[String]) -> Result<()> {
     for (k, v) in values {
         match k {
             "engine" => {
-                builder = builder
-                    .engine(Engine::from_name(v).ok_or_else(|| format!("unknown engine `{v}`"))?);
+                builder =
+                    builder.engine(v.parse::<Engine>().map_err(|e| format!("--engine: {e}"))?);
             }
             "threads" => {
                 builder = builder.threads(
@@ -253,8 +253,8 @@ fn cmd_serve(rest: &[String]) -> Result<()> {
         rest,
         &[
             "addr",
-            "threads",
-            "queue-depth",
+            "cores",
+            "max-connections",
             "log-format",
             "data-dir",
             "fsync",
@@ -266,37 +266,37 @@ fn cmd_serve(rest: &[String]) -> Result<()> {
     if !pos.is_empty() {
         return Err(format!("serve takes no positional arguments, got {pos:?}"));
     }
-    let mut config = pg_server::ServerConfig::default();
+    let mut builder = pg_server::ServerConfig::builder();
     for (k, v) in values {
         match k {
-            "addr" => config.addr = v.to_owned(),
-            "threads" => {
-                config.threads = v
-                    .parse()
-                    .map_err(|_| format!("--threads: not a number: {v}"))?;
+            "addr" => builder = builder.addr(v),
+            "cores" => {
+                builder = builder.cores(
+                    v.parse()
+                        .map_err(|_| format!("--cores: not a number: {v}"))?,
+                );
             }
-            "queue-depth" => {
-                config.queue_depth = v
-                    .parse()
-                    .map_err(|_| format!("--queue-depth: not a number: {v}"))?;
+            "max-connections" => {
+                builder = builder.max_connections(
+                    v.parse()
+                        .map_err(|_| format!("--max-connections: not a number: {v}"))?,
+                );
             }
             "log-format" => {
-                config.log_format = pg_server::LogFormat::from_name(v)
-                    .ok_or_else(|| format!("--log-format: expected text|json|off, got `{v}`"))?;
+                builder = builder.log_format(v.parse().map_err(|e| format!("--log-format: {e}"))?);
             }
-            "data-dir" => config.data_dir = Some(v.into()),
+            "data-dir" => builder = builder.data_dir(v),
             "fsync" => {
-                config.fsync = pg_store::FsyncPolicy::from_name(v).ok_or_else(|| {
-                    format!("--fsync: expected always|interval[:millis]|never, got `{v}`")
-                })?;
+                builder = builder.fsync(v.parse().map_err(|e| format!("--fsync: {e}"))?);
             }
             "compact-after-bytes" => {
-                config.compact_after_bytes = v
-                    .parse()
-                    .map_err(|_| format!("--compact-after-bytes: not a number: {v}"))?;
+                builder = builder.compact_after_bytes(
+                    v.parse()
+                        .map_err(|_| format!("--compact-after-bytes: not a number: {v}"))?,
+                );
             }
             "max-sessions" => {
-                config.max_sessions = Some(
+                builder = builder.max_sessions(
                     v.parse()
                         .map_err(|_| format!("--max-sessions: not a number: {v}"))?,
                 );
@@ -304,19 +304,22 @@ fn cmd_serve(rest: &[String]) -> Result<()> {
             _ => unreachable!(),
         }
     }
-    let threads = config.threads;
-    let queue_depth = config.queue_depth;
-    let server = pg_server::Server::bind(config).map_err(|e| format!("cannot bind server: {e}"))?;
-    let addr = server
-        .local_addr()
-        .map_err(|e| format!("cannot read bound address: {e}"))?;
-    let shutdown = pg_server::signal::install();
+    let server =
+        pg_server::Server::bind(builder.build()).map_err(|e| format!("cannot bind server: {e}"))?;
+    pg_server::signal::install();
+    let handle = server
+        .serve()
+        .map_err(|e| format!("cannot start server: {e}"))?;
     eprintln!(
-        "pg-schemad listening on http://{addr} ({threads} worker(s), accept queue {queue_depth})"
+        "pg-schemad listening on http://{} ({} core(s))",
+        handle.local_addr(),
+        handle.cores()
     );
-    server
-        .run(shutdown)
-        .map_err(|e| format!("server error: {e}"))?;
+    while !pg_server::signal::requested() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    handle.shutdown();
+    handle.join().map_err(|e| format!("server error: {e}"))?;
     eprintln!("pg-schemad: drained, bye");
     Ok(())
 }

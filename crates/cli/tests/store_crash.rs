@@ -71,7 +71,7 @@ fn spawn_daemon(addr: &str, data_dir: &Path) -> Child {
             "serve",
             "--addr",
             addr,
-            "--threads",
+            "--cores",
             "2",
             "--log-format",
             "off",

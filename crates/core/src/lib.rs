@@ -127,16 +127,25 @@ impl Engine {
         }
     }
 
-    /// Parses a wire name back into an engine — the inverse of
-    /// [`name`](Self::name), shared by the CLI's `--engine` flag and the
-    /// validation server's `?engine=` query parameter.
-    pub fn from_name(name: &str) -> Option<Engine> {
+    /// The accepted spellings of [`FromStr`](std::str::FromStr), in
+    /// declaration order.
+    pub const NAMES: &'static [&'static str] = &["naive", "indexed", "parallel", "incremental"];
+}
+
+/// Parses a wire name back into an engine — the inverse of
+/// [`Engine::name`], shared by the CLI's `--engine` flag and the
+/// validation server's `?engine=` query parameter. The error lists the
+/// accepted spellings.
+impl std::str::FromStr for Engine {
+    type Err = pgraph::ParseEnumError;
+
+    fn from_str(name: &str) -> Result<Engine, Self::Err> {
         match name {
-            "naive" => Some(Engine::Naive),
-            "indexed" => Some(Engine::Indexed),
-            "parallel" => Some(Engine::Parallel),
-            "incremental" => Some(Engine::Incremental),
-            _ => None,
+            "naive" => Ok(Engine::Naive),
+            "indexed" => Ok(Engine::Indexed),
+            "parallel" => Ok(Engine::Parallel),
+            "incremental" => Ok(Engine::Incremental),
+            _ => Err(pgraph::ParseEnumError::new("engine", name, Engine::NAMES)),
         }
     }
 }

@@ -56,6 +56,7 @@ pub mod delta;
 pub mod dot;
 pub mod index;
 pub mod json;
+pub mod parse;
 pub mod shard;
 pub mod stats;
 pub mod traverse;
@@ -63,4 +64,5 @@ pub mod traverse;
 pub use builder::{BuildError, GraphBuilder};
 pub use delta::{DeltaEffect, DeltaOp, EdgeTouch, GraphDelta};
 pub use graph::{EdgeId, EdgeRef, GraphError, NodeId, NodeRef, PropertyGraph};
+pub use parse::ParseEnumError;
 pub use value::{Value, ValueKind};

@@ -1,0 +1,64 @@
+//! The shared error type for parsing closed enumerations from flag and
+//! query-parameter text.
+//!
+//! Several crates expose small wire vocabularies — `pg_schema::Engine`
+//! (`naive|indexed|…`), `pg_server::LogFormat` (`text|json|off`),
+//! `pg_store::FsyncPolicy` (`always|interval[:millis]|never`) — and all
+//! of them are parsed from user-typed strings: CLI flags, `?engine=`
+//! query parameters, config values. Each implements [`std::str::FromStr`]
+//! with this error, so every "unknown variant" message lists what *would*
+//! have parsed, in one shared format, instead of each call site
+//! hand-rolling its own hint.
+
+use std::fmt;
+
+/// A string failed to parse as a closed enumeration: carries what was
+/// being parsed, the offending input, and the accepted spellings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEnumError {
+    /// What kind of value was expected, e.g. `"engine"`.
+    pub what: &'static str,
+    /// The input that did not match any variant.
+    pub got: String,
+    /// The accepted spellings (patterns like `interval[:millis]` allowed).
+    pub expected: &'static [&'static str],
+}
+
+impl ParseEnumError {
+    /// A new error for `what` with the accepted `expected` spellings.
+    pub fn new(what: &'static str, got: &str, expected: &'static [&'static str]) -> Self {
+        ParseEnumError {
+            what,
+            got: got.to_owned(),
+            expected,
+        }
+    }
+}
+
+impl fmt::Display for ParseEnumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown {} `{}` (expected {})",
+            self.what,
+            self.got,
+            self.expected.join("|")
+        )
+    }
+}
+
+impl std::error::Error for ParseEnumError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_lists_variants() {
+        let e = ParseEnumError::new("engine", "quantum", &["naive", "indexed"]);
+        assert_eq!(
+            e.to_string(),
+            "unknown engine `quantum` (expected naive|indexed)"
+        );
+    }
+}

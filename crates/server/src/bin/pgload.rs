@@ -3,12 +3,23 @@
 //! Drives N concurrent keep-alive connections of one-shot `/validate`
 //! and/or incremental-session delta traffic against a running daemon
 //! and reports throughput plus p50/p95/p99 client-observed latency —
-//! the measurement behind the E3s table in EXPERIMENTS.md.
+//! the measurement behind the E3s/E3e tables in EXPERIMENTS.md.
+//!
+//! Closed-loop by default (each connection fires its next request when
+//! the previous response lands — measures capacity). `--rate R` switches
+//! to an open loop with a fixed arrival schedule spread across the
+//! connections; latency is then measured from each request's *scheduled*
+//! arrival time, so server stalls surface as tail latency instead of
+//! silently thinning the sample (the coordinated-omission trap).
+//! `--hold N` parks N idle keep-alive connections to exercise
+//! connection-scale rather than request throughput.
 //!
 //! ```text
 //! pgload --addr 127.0.0.1:7878 --mode oneshot --connections 8 --duration 10
 //! pgload --addr 127.0.0.1:7878 --mode session --connections 8 --duration 10
 //! pgload --addr 127.0.0.1:7878 --mode mixed   --connections 8 --duration 10
+//! pgload --addr 127.0.0.1:7878 --mode oneshot --rate 5000 --duration 10
+//! pgload --addr 127.0.0.1:7878 --hold 5000 --duration 10
 //! pgload --addr 127.0.0.1:7878 --smoke   # CI: one pass over the surface
 //! pgload --restart-check path/to/pgschema   # CI: durability across SIGKILL
 //! ```
@@ -79,6 +90,18 @@ struct WorkerStats {
     shed: u64,
 }
 
+/// One worker's slice of the open-loop arrival schedule: its k-th
+/// request is *due* at `start + offset_s + k * interval_s`, regardless
+/// of how the server is doing. Latency is measured from that due time —
+/// a stalled server accumulates schedule debt that shows up as tail
+/// latency, which is what makes the recording coordinated-omission safe.
+#[derive(Clone, Copy)]
+struct Pace {
+    start: Instant,
+    interval_s: f64,
+    offset_s: f64,
+}
+
 /// One worker driving a single connection until `deadline`.
 fn run_worker(
     addr: &str,
@@ -87,6 +110,7 @@ fn run_worker(
     engine: &str,
     deadline: Instant,
     stop: &AtomicBool,
+    pace: Option<Pace>,
 ) -> WorkerStats {
     let mut stats = WorkerStats {
         latencies_micros: Vec::with_capacity(1 << 16),
@@ -98,6 +122,9 @@ fn run_worker(
     let user = user_ids(&graph)[0];
     let target = format!("/validate?engine={engine}");
 
+    // The arrival index persists across reconnects so the schedule is
+    // never silently thinned by a dropped connection.
+    let mut k = 0u64;
     'reconnect: loop {
         if stop.load(Ordering::Relaxed) || Instant::now() >= deadline {
             return stats;
@@ -145,13 +172,28 @@ fn run_worker(
 
         let mut i = 0u64;
         loop {
+            // Open loop: wait for the k-th arrival to come due. If the
+            // previous response came back late the due time is already in
+            // the past and the request fires immediately, carrying the
+            // backlog in its recorded latency.
+            let started = match pace {
+                Some(p) => {
+                    let due =
+                        p.start + Duration::from_secs_f64(p.offset_s + k as f64 * p.interval_s);
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                    due
+                }
+                None => Instant::now(),
+            };
             if stop.load(Ordering::Relaxed) || Instant::now() >= deadline {
                 if let Some(id) = session_id {
                     let _ = client.request("DELETE", &format!("/sessions/{id}"), b"");
                 }
                 return stats;
             }
-            let started = Instant::now();
             let result = if oneshot {
                 client.request("POST", &target, body.as_bytes())
             } else if i % 16 == 15 {
@@ -162,6 +204,7 @@ fn run_worker(
             };
             let micros = started.elapsed().as_micros() as u64;
             i += 1;
+            k += 1;
             match result {
                 Ok((200, _)) => stats.latencies_micros.push(micros),
                 Ok((503, _)) => {
@@ -187,10 +230,18 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
-fn run_load(addr: &str, mode: Mode, connections: usize, seconds: u64, users: usize, engine: &str) {
-    let deadline = Instant::now() + Duration::from_secs(seconds);
+fn run_load(
+    addr: &str,
+    mode: Mode,
+    connections: usize,
+    seconds: u64,
+    users: usize,
+    engine: &str,
+    rate: Option<f64>,
+) {
+    let start = Instant::now();
+    let deadline = start + Duration::from_secs(seconds);
     let stop = AtomicBool::new(false);
-    let started = Instant::now();
     let stop_ref = &stop;
     let stats: Vec<WorkerStats> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
@@ -200,12 +251,22 @@ fn run_load(addr: &str, mode: Mode, connections: usize, seconds: u64, users: usi
                     Mode::Session => false,
                     Mode::Mixed => c % 2 == 0,
                 };
-                scope.spawn(move || run_worker(addr, oneshot, users, engine, deadline, stop_ref))
+                // Open loop: the aggregate rate R is interleaved across
+                // the C connections — worker c owns arrivals c, c+C,
+                // c+2C, … of the global schedule.
+                let pace = rate.map(|r| Pace {
+                    start,
+                    interval_s: connections as f64 / r,
+                    offset_s: c as f64 / r,
+                });
+                scope.spawn(move || {
+                    run_worker(addr, oneshot, users, engine, deadline, stop_ref, pace)
+                })
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
-    let elapsed = started.elapsed().as_secs_f64();
+    let elapsed = start.elapsed().as_secs_f64();
 
     let mut latencies: Vec<u64> = Vec::new();
     let mut errors = 0u64;
@@ -222,8 +283,12 @@ fn run_load(addr: &str, mode: Mode, connections: usize, seconds: u64, users: usi
         Mode::Session => "session",
         Mode::Mixed => "mixed",
     };
+    let target = match rate {
+        Some(r) => format!(" target_rps={r:.0}"),
+        None => String::new(),
+    };
     println!(
-        "mode={mode_name} connections={connections} duration_s={elapsed:.1} \
+        "mode={mode_name} connections={connections} duration_s={elapsed:.1}{target} \
          requests={requests} errors={errors} shed={shed} \
          throughput_rps={:.0} p50_us={} p95_us={} p99_us={}",
         requests as f64 / elapsed,
@@ -231,6 +296,64 @@ fn run_load(addr: &str, mode: Mode, connections: usize, seconds: u64, users: usi
         percentile(&latencies, 0.95),
         percentile(&latencies, 0.99),
     );
+}
+
+/// Connection-scale check (`--hold N`): opens N keep-alive connections,
+/// proves each is live with one `/healthz`, parks them all for the
+/// duration, then re-verifies a sample and the server's own
+/// `pgschemad_connections_open` gauge before closing them. Exercises the
+/// reactor's idle-connection capacity, which a closed-loop run never
+/// does.
+fn run_hold(addr: &str, count: usize, seconds: u64) -> Result<(), String> {
+    let started = Instant::now();
+    let mut clients = Vec::with_capacity(count);
+    for n in 0..count {
+        let mut client =
+            Client::connect(addr).map_err(|e| format!("connect #{n} of {count}: {e}"))?;
+        match client.request("GET", "/healthz", b"") {
+            Ok((200, _)) => clients.push(client),
+            Ok((503, _)) => return Err(format!("connection #{n} shed with 503")),
+            Ok((status, _)) => return Err(format!("connection #{n}: healthz status {status}")),
+            Err(e) => return Err(format!("connection #{n}: healthz: {e}")),
+        }
+    }
+    let ramp_s = started.elapsed().as_secs_f64();
+    println!("hold: {count} connections open after {ramp_s:.1}s, holding {seconds}s");
+    std::thread::sleep(Duration::from_secs(seconds));
+
+    // Every sampled connection must still be alive after idling.
+    let sample = [0, count / 2, count.saturating_sub(1)];
+    for &n in &sample {
+        let Some(client) = clients.get_mut(n) else {
+            continue;
+        };
+        match client.request("GET", "/healthz", b"") {
+            Ok((200, _)) => {}
+            Ok((status, _)) => return Err(format!("held connection #{n}: status {status}")),
+            Err(e) => return Err(format!("held connection #{n} died while idle: {e}")),
+        }
+    }
+    // The server must agree it is holding them all (+1 for this probe).
+    let mut probe = Client::connect(addr).map_err(|e| format!("metrics probe: {e}"))?;
+    let (status, body) = probe
+        .request("GET", "/metrics", b"")
+        .map_err(|e| format!("metrics probe: {e}"))?;
+    if status != 200 {
+        return Err(format!("metrics probe: status {status}"));
+    }
+    let text = String::from_utf8_lossy(&body);
+    let open = text
+        .lines()
+        .find_map(|l| l.strip_prefix("pgschemad_connections_open "))
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .ok_or("metrics probe: no pgschemad_connections_open gauge")?;
+    if open < count {
+        return Err(format!(
+            "server reports {open} open connections, expected at least {count}"
+        ));
+    }
+    println!("hold: ok ({count} connections held, server gauge {open})");
+    Ok(())
 }
 
 /// One deterministic pass over the HTTP surface; any unexpected response
@@ -344,6 +467,12 @@ fn run_smoke(addr: &str) -> Result<(), String> {
     {
         return Err("metrics: missing per-rule counter families".into());
     }
+    if !text.contains("pgschemad_wakeups_total{core=\"0\"}")
+        || !text.contains("pgschemad_connections_open")
+        || !text.contains("pgschemad_core_connections{core=\"0\"}")
+    {
+        return Err("metrics: missing reactor counter families".into());
+    }
 
     let (status, _) = client
         .request("DELETE", &format!("/sessions/{id}"), b"")
@@ -396,7 +525,7 @@ fn run_restart_check(server_bin: &str) -> Result<(), String> {
                 "serve",
                 "--addr",
                 &addr,
-                "--threads",
+                "--cores",
                 "2",
                 "--log-format",
                 "off",
@@ -576,7 +705,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: pgload --addr HOST:PORT [--mode oneshot|session|mixed] \
          [--connections N] [--duration SECS] [--users N] \
-         [--engine naive|indexed|parallel|incremental] [--smoke] \
+         [--engine naive|indexed|parallel|incremental] \
+         [--rate REQS_PER_SEC] [--hold CONNECTIONS] [--smoke] \
          [--restart-check PGSCHEMA_BIN]"
     );
     std::process::exit(2);
@@ -590,6 +720,8 @@ fn main() {
     let mut duration = 10u64;
     let mut users = 4usize;
     let mut engine = "indexed".to_owned();
+    let mut rate: Option<f64> = None;
+    let mut hold: Option<usize> = None;
     let mut smoke = false;
     let mut restart_check: Option<String> = None;
 
@@ -614,6 +746,14 @@ fn main() {
             "--duration" => duration = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--users" => users = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--engine" => engine = value(&mut i),
+            "--rate" => {
+                let r: f64 = value(&mut i).parse().unwrap_or_else(|_| usage());
+                if r <= 0.0 || !r.is_finite() {
+                    usage();
+                }
+                rate = Some(r);
+            }
+            "--hold" => hold = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
             "--smoke" => smoke = true,
             "--restart-check" => restart_check = Some(value(&mut i)),
             "--help" | "-h" => usage(),
@@ -636,5 +776,12 @@ fn main() {
         }
         return;
     }
-    run_load(&addr, mode, connections, duration, users, &engine);
+    if let Some(count) = hold {
+        if let Err(message) = run_hold(&addr, count, duration) {
+            eprintln!("hold: FAIL: {message}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    run_load(&addr, mode, connections, duration, users, &engine, rate);
 }

@@ -2,11 +2,12 @@
 //! for the daemon and its load generator: request line + headers +
 //! `Content-Length` bodies, keep-alive, no chunked encoding, no TLS.
 //!
-//! Parsing is *resumable*: [`read_request`] accumulates into a caller
-//! owned buffer, so a read timeout mid-request (used by workers to poll
-//! the shutdown flag) loses nothing — the next call picks up where the
-//! socket left off. Pipelined bytes beyond the first complete request
-//! stay in the buffer for the next call.
+//! Parsing is *resumable*: [`parse_buffered`] consumes a complete
+//! request from the front of a caller-owned accumulator buffer and
+//! otherwise reports "not yet" — the reactor appends whatever bytes each
+//! wakeup delivered and retries, so a request arriving one byte per
+//! `epoll_wait` costs nothing but the retries. Pipelined bytes beyond
+//! the first complete request stay in the buffer for the next call.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -56,66 +57,30 @@ impl Request {
     }
 }
 
-/// Why [`read_request`] returned without a request.
-#[derive(Debug)]
-pub enum ReadOutcome {
-    /// A complete request was parsed.
-    Request(Request),
-    /// The peer closed the connection at a request boundary.
-    Closed,
-    /// The read timed out with no complete request buffered; the bytes
-    /// read so far remain in the buffer — call again to resume.
-    TimedOut,
-}
-
-/// Reads one request from `stream`, resuming from and leaving surplus
-/// bytes in `buf`. Malformed input is an [`io::ErrorKind::InvalidData`]
-/// error; the connection should then be closed after a `400`.
-pub fn read_request(stream: &mut TcpStream, buf: &mut Vec<u8>) -> io::Result<ReadOutcome> {
-    let mut chunk = [0u8; 8 * 1024];
-    loop {
-        if let Some(head_len) = find_head_end(buf) {
-            let (request, body_len) = parse_head(&buf[..head_len])?;
-            if body_len > MAX_BODY {
-                return Err(invalid("request body too large"));
-            }
-            let total = head_len + body_len;
-            while buf.len() < total {
-                match stream.read(&mut chunk) {
-                    Ok(0) => return Err(invalid("connection closed mid-body")),
-                    Ok(n) => buf.extend_from_slice(&chunk[..n]),
-                    Err(e) if is_timeout(&e) => return Ok(ReadOutcome::TimedOut),
-                    Err(e) => return Err(e),
-                }
-            }
-            let mut request = request;
-            request.body = buf[head_len..total].to_vec();
-            buf.drain(..total);
-            return Ok(ReadOutcome::Request(request));
-        }
+/// Consumes one complete request from the front of `buf`, leaving any
+/// pipelined surplus in place. `Ok(None)` means the buffer holds only a
+/// prefix — append more bytes and call again (this is what makes the
+/// parse resumable across reactor wakeups). Malformed or oversized input
+/// is an [`io::ErrorKind::InvalidData`] error; the connection should
+/// then be closed after a `400`.
+pub fn parse_buffered(buf: &mut Vec<u8>) -> io::Result<Option<Request>> {
+    let Some(head_len) = find_head_end(buf) else {
         if buf.len() > MAX_HEAD {
             return Err(invalid("request head too large"));
         }
-        match stream.read(&mut chunk) {
-            Ok(0) => {
-                return if buf.is_empty() {
-                    Ok(ReadOutcome::Closed)
-                } else {
-                    Err(invalid("connection closed mid-head"))
-                }
-            }
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e) if is_timeout(&e) => return Ok(ReadOutcome::TimedOut),
-            Err(e) => return Err(e),
-        }
+        return Ok(None);
+    };
+    let (mut request, body_len) = parse_head(&buf[..head_len])?;
+    if body_len > MAX_BODY {
+        return Err(invalid("request body too large"));
     }
-}
-
-fn is_timeout(e: &io::Error) -> bool {
-    matches!(
-        e.kind(),
-        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-    )
+    let total = head_len + body_len;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    request.body = buf[head_len..total].to_vec();
+    buf.drain(..total);
+    Ok(Some(request))
 }
 
 fn invalid(msg: &str) -> io::Error {
@@ -271,9 +236,10 @@ impl Response {
         self
     }
 
-    /// Serialises the response to `stream`. `close` adds
-    /// `Connection: close`; otherwise `Connection: keep-alive`.
-    pub fn write_to(&self, stream: &mut TcpStream, close: bool) -> io::Result<()> {
+    /// Serialises the head + body into one contiguous byte vector, ready
+    /// for the reactor's output queue (flushed with `writev`). `close`
+    /// adds `Connection: close`; otherwise `Connection: keep-alive`.
+    pub fn serialize(&self, close: bool) -> Vec<u8> {
         let mut head = format!(
             "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
@@ -289,13 +255,17 @@ impl Response {
             head.push_str("\r\n");
         }
         head.push_str("\r\n");
-        // One buffered write for head + body: responses are small and a
-        // single syscall per response is what keeps loopback throughput
-        // in the tens of thousands of requests per second.
         let mut out = Vec::with_capacity(head.len() + self.body.len());
         out.extend_from_slice(head.as_bytes());
         out.extend_from_slice(&self.body);
-        stream.write_all(&out)
+        out
+    }
+
+    /// Writes the response to `stream` in one buffered syscall. Used on
+    /// the shed path (where the socket is still blocking) and by tests;
+    /// reactor connections go through [`Response::serialize`] instead.
+    pub fn write_to(&self, stream: &mut TcpStream, close: bool) -> io::Result<()> {
+        stream.write_all(&self.serialize(close))
     }
 }
 
@@ -339,8 +309,8 @@ fn reason(status: u16) -> &'static str {
 pub type ResponseParts = (u16, Vec<(String, String)>, Vec<u8>);
 
 /// Client-side helper: reads one response (status, headers, body) from
-/// `stream`, resuming from `buf` like [`read_request`]. Used by the
-/// `pgload` generator and the integration tests.
+/// `stream`, resuming from and leaving pipelined surplus in `buf`. Used
+/// by the `pgload` generator and the integration tests.
 pub fn read_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> io::Result<ResponseParts> {
     let mut chunk = [0u8; 8 * 1024];
     loop {
@@ -419,6 +389,45 @@ mod tests {
         assert!(parse_head(b"nonsense\r\n\r\n").is_err());
         assert!(parse_head(b"GET / SPDY/9\r\n\r\n").is_err());
         assert!(parse_head(b"GET / HTTP/1.1\r\nContent-Length: pony\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn parse_buffered_resumes_and_leaves_surplus() {
+        let wire = b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGET /y HTTP/1.1\r\n\r\n";
+        let mut buf = Vec::new();
+        // Byte at a time: each request must surface exactly when its last
+        // byte arrives, never on a shorter prefix.
+        let mut parsed = Vec::new();
+        for (i, b) in wire.iter().enumerate() {
+            buf.push(*b);
+            if let Some(req) = parse_buffered(&mut buf).unwrap() {
+                parsed.push((i, req));
+            }
+        }
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, 43); // "POST /x … hello" is 44 bytes
+        assert_eq!(parsed[0].1.path, "/x");
+        assert_eq!(parsed[0].1.body, b"hello");
+        assert_eq!(parsed[1].0, wire.len() - 1);
+        assert_eq!(parsed[1].1.method, "GET");
+        assert_eq!(parsed[1].1.path, "/y");
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn parse_buffered_rejects_oversized_head() {
+        let mut buf = vec![b'A'; MAX_HEAD + 8];
+        assert!(parse_buffered(&mut buf).is_err());
+    }
+
+    #[test]
+    fn serialize_matches_content_length_framing() {
+        let bytes = Response::json(200, "{}").serialize(false);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
     }
 
     #[test]

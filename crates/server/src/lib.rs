@@ -3,24 +3,33 @@
 //! Long-lived serving layer over the validation engines of [`pg_schema`]:
 //! the paper frames schema validation as the decision problem a graph
 //! database runs *continuously* (Theorem 1), and this crate is that
-//! database-side service. It is built on `std` alone — `std::net` plus a
-//! hand-rolled HTTP/1.1 — to match the workspace's offline vendoring
-//! constraint.
+//! database-side service. It is built on `std` alone — `std::net`, a
+//! hand-rolled HTTP/1.1, and a thin FFI shim over `epoll(7)` ([`sys`]) —
+//! to match the workspace's offline vendoring constraint.
 //!
 //! ## Architecture
 //!
-//! * one **accept thread** owns the listener, pushing connections onto a
-//!   [bounded queue](pool::BoundedQueue); when the queue is full the
-//!   accept thread itself answers `503` + `Retry-After` and closes the
-//!   socket, so saturation sheds load instead of queueing unboundedly;
-//! * a **worker pool** ([`ServerConfig::threads`]) pops connections and
-//!   serves keep-alive request loops;
+//! * one **accept thread** owns the listener and hands fresh connections
+//!   round-robin to the cores; above [`ServerConfig::max_connections`]
+//!   it answers `503` + `Retry-After` itself and closes the socket, so
+//!   saturation sheds load instead of queueing unboundedly;
+//! * **per-core event loops** ([`ServerConfig::cores`], see
+//!   [`reactor`]): each core runs `epoll_wait` over its own set of
+//!   nonblocking connections, parsing requests incrementally from
+//!   per-connection buffers and flushing responses with `writev` under
+//!   backpressure — tens of thousands of idle keep-alive connections
+//!   cost no threads;
+//! * **session-to-core affinity**: a connection whose request addresses
+//!   `/sessions/{id}` is handed to the session's home core
+//!   ([`registry::home_core`]), so one thread owns all of a session's
+//!   traffic and its engine state stays cache-hot;
 //! * a **session registry** ([`registry::SessionRegistry`]) holds one
 //!   [`pg_schema::IncrementalEngine`] per session behind a per-session
 //!   mutex — deltas to different sessions never contend;
-//! * **graceful shutdown**: SIGTERM / ctrl-c (see [`signal`]) flips a
-//!   shared flag; the accept loop stops, queued connections drain, and
-//!   each worker finishes its in-flight request before exiting.
+//! * **graceful shutdown**: SIGTERM / ctrl-c (see [`signal`]) leads to
+//!   [`ServerHandle::shutdown`]; the accept loop stops, each core
+//!   finishes its in-flight requests (flushing queued responses) and
+//!   closes idle connections before exiting.
 //!
 //! ## HTTP surface
 //!
@@ -50,18 +59,21 @@
 //! (de)serializers — the server adds no JSON parser of its own.
 //!
 //! The `pgload` binary (in `src/bin`) is the matching load generator:
-//! N concurrent connections of mixed one-shot/delta traffic, reporting
-//! throughput and p50/p95/p99 latency (EXPERIMENTS.md §E3s), plus a
-//! `--smoke` mode CI uses to exercise the surface end to end.
+//! N concurrent connections of closed-loop mixed traffic, an open-loop
+//! `--rate` mode with coordinated-omission-safe latency recording, and a
+//! `--hold` mode that parks thousands of idle keep-alive connections
+//! (EXPERIMENTS.md §E3e), plus a `--smoke` mode CI uses to exercise the
+//! surface end to end.
 
 #![warn(missing_docs)]
 
 pub mod http;
 pub mod metrics;
-pub mod pool;
+pub mod reactor;
 pub mod registry;
 pub mod server;
 pub mod signal;
+pub mod sys;
 pub mod workload;
 
-pub use server::{LogFormat, Server, ServerConfig};
+pub use server::{LogFormat, Server, ServerConfig, ServerConfigBuilder, ServerHandle};

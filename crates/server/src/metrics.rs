@@ -22,13 +22,22 @@ pub const LATENCY_BUCKETS_MICROS: [u64; 10] = [
 /// append is single-digit µs) but still cover slow rotational syncs.
 pub const WAL_LATENCY_BUCKETS_MICROS: [u64; 8] = [5, 10, 25, 50, 100, 500, 2_500, 10_000];
 
+/// Upper bounds of the events-per-`epoll_wait` histogram (how much work
+/// each reactor wakeup batches); the last implicit bucket is `+Inf`.
+/// Zero-event wakeups (timeout ticks) are not recorded.
+pub const WAKEUP_EVENT_BUCKETS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
+
 /// Gauges and store counters sampled outside [`Metrics`] at render time
-/// (queue depth, live/evicted/recovered session counts, and — when the
-/// server runs with `--data-dir` — the store's own counters).
+/// (open connections, live/evicted/recovered session counts, and — when
+/// the server runs with `--data-dir` — the store's own counters).
 #[derive(Default)]
 pub struct RenderGauges {
-    /// Connections waiting in the accept queue.
-    pub queue_depth: usize,
+    /// Connections currently open, per reactor core (index = core).
+    pub core_connections: Vec<usize>,
+    /// Connections currently open across all cores (sampled separately
+    /// from the per-core gauges, so the sum may differ transiently while
+    /// a connection migrates).
+    pub connections_open: usize,
     /// Sessions currently held by the registry.
     pub sessions_live: usize,
     /// Sessions rebuilt from the store at startup.
@@ -67,8 +76,18 @@ pub struct Metrics {
     latency_buckets: [AtomicU64; LATENCY_BUCKETS_MICROS.len() + 1],
     latency_sum_micros: AtomicU64,
     latency_count: AtomicU64,
-    /// Connections shed with `503` because the accept queue was full.
+    /// Connections shed with `503` because the connection cap was hit.
     shed: AtomicU64,
+    /// Connections accepted since startup (shed ones included).
+    accepted: AtomicU64,
+    /// `epoll_wait` returns that delivered at least one event, per core.
+    wakeups: Vec<AtomicU64>,
+    /// Events-per-wakeup histogram over [`WAKEUP_EVENT_BUCKETS`], plus
+    /// one `+Inf` slot at the end; aggregated across cores.
+    wakeup_event_buckets: [AtomicU64; WAKEUP_EVENT_BUCKETS.len() + 1],
+    wakeup_event_sum: AtomicU64,
+    /// Connections handed from one core to a session's home core.
+    migrations: AtomicU64,
     /// Per-engine validation counters, indexed like [`ENGINES`].
     engines: [EngineCounters; 4],
     /// Violations found per rule across all runs, indexed like
@@ -85,14 +104,19 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    /// Fresh, all-zero counters.
-    pub fn new() -> Self {
+    /// Fresh, all-zero counters for a reactor with `cores` event loops.
+    pub fn new(cores: usize) -> Self {
         Metrics {
             requests: Mutex::new(BTreeMap::new()),
             latency_buckets: Default::default(),
             latency_sum_micros: AtomicU64::new(0),
             latency_count: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            wakeups: (0..cores.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            wakeup_event_buckets: Default::default(),
+            wakeup_event_sum: AtomicU64::new(0),
+            migrations: AtomicU64::new(0),
             engines: Default::default(),
             rule_violations: Default::default(),
             rule_nanos: Default::default(),
@@ -141,6 +165,31 @@ impl Metrics {
     /// Connections shed so far.
     pub fn shed_count(&self) -> u64 {
         self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Records one accepted connection (whether served or shed).
+    pub fn record_accept(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one productive `epoll_wait` return on `core` that
+    /// delivered `events` (> 0) readiness events.
+    pub fn record_wakeup(&self, core: usize, events: usize) {
+        if let Some(w) = self.wakeups.get(core) {
+            w.fetch_add(1, Ordering::Relaxed);
+        }
+        let events = events as u64;
+        let bucket = WAKEUP_EVENT_BUCKETS
+            .iter()
+            .position(|&b| events <= b)
+            .unwrap_or(WAKEUP_EVENT_BUCKETS.len());
+        self.wakeup_event_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.wakeup_event_sum.fetch_add(events, Ordering::Relaxed);
+    }
+
+    /// Records one connection migrated to its session's home core.
+    pub fn record_migration(&self) {
+        self.migrations.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Folds one validation run's [`ValidationMetrics`] into the
@@ -292,12 +341,72 @@ impl Metrics {
             "pgschemad_sessions_evicted_total {}\n",
             g.sessions_evicted
         ));
-        out.push_str("# HELP pgschemad_queue_depth Connections waiting in the accept queue.\n");
-        out.push_str("# TYPE pgschemad_queue_depth gauge\n");
-        out.push_str(&format!("pgschemad_queue_depth {}\n", g.queue_depth));
-        out.push_str("# HELP pgschemad_shed_total Connections shed with 503 (queue full).\n");
+        out.push_str("# HELP pgschemad_connections_open Connections currently open.\n");
+        out.push_str("# TYPE pgschemad_connections_open gauge\n");
+        out.push_str(&format!(
+            "pgschemad_connections_open {}\n",
+            g.connections_open
+        ));
+        out.push_str(
+            "# HELP pgschemad_core_connections Connections currently owned by each reactor core.\n",
+        );
+        out.push_str("# TYPE pgschemad_core_connections gauge\n");
+        for (core, count) in g.core_connections.iter().enumerate() {
+            out.push_str(&format!(
+                "pgschemad_core_connections{{core=\"{core}\"}} {count}\n"
+            ));
+        }
+        out.push_str(
+            "# HELP pgschemad_connections_accepted_total Connections accepted since startup.\n",
+        );
+        out.push_str("# TYPE pgschemad_connections_accepted_total counter\n");
+        out.push_str(&format!(
+            "pgschemad_connections_accepted_total {}\n",
+            self.accepted.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP pgschemad_shed_total Connections shed with 503 (at the connection cap).\n",
+        );
         out.push_str("# TYPE pgschemad_shed_total counter\n");
         out.push_str(&format!("pgschemad_shed_total {}\n", self.shed_count()));
+        out.push_str(
+            "# HELP pgschemad_wakeups_total Productive epoll_wait returns, by reactor core.\n",
+        );
+        out.push_str("# TYPE pgschemad_wakeups_total counter\n");
+        for (core, w) in self.wakeups.iter().enumerate() {
+            out.push_str(&format!(
+                "pgschemad_wakeups_total{{core=\"{core}\"}} {}\n",
+                w.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str(
+            "# HELP pgschemad_wakeup_events Events delivered per productive epoll_wait return.\n",
+        );
+        out.push_str("# TYPE pgschemad_wakeup_events histogram\n");
+        let mut cumulative = 0u64;
+        for (i, &bound) in WAKEUP_EVENT_BUCKETS.iter().enumerate() {
+            cumulative += self.wakeup_event_buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "pgschemad_wakeup_events_bucket{{le=\"{bound}\"}} {cumulative}\n"
+            ));
+        }
+        cumulative += self.wakeup_event_buckets[WAKEUP_EVENT_BUCKETS.len()].load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "pgschemad_wakeup_events_bucket{{le=\"+Inf\"}} {cumulative}\n"
+        ));
+        out.push_str(&format!(
+            "pgschemad_wakeup_events_sum {}\n",
+            self.wakeup_event_sum.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!("pgschemad_wakeup_events_count {cumulative}\n"));
+        out.push_str(
+            "# HELP pgschemad_session_migrations_total Connections handed to a session's home core.\n",
+        );
+        out.push_str("# TYPE pgschemad_session_migrations_total counter\n");
+        out.push_str(&format!(
+            "pgschemad_session_migrations_total {}\n",
+            self.migrations.load(Ordering::Relaxed)
+        ));
 
         out.push_str(
             "# HELP pgschemad_wal_append_duration_micros WAL append latency histogram \
@@ -368,7 +477,7 @@ impl Metrics {
 
 impl Default for Metrics {
     fn default() -> Self {
-        Metrics::new()
+        Metrics::new(1)
     }
 }
 
@@ -394,15 +503,21 @@ mod tests {
 
     #[test]
     fn render_includes_all_families() {
-        let m = Metrics::new();
+        let m = Metrics::new(2);
         m.record_request("/validate", 200, 120);
         m.record_request("/validate", 200, 80_000);
         m.record_request("/healthz", 200, 3);
         m.record_shed();
+        m.record_accept();
+        m.record_accept();
+        m.record_wakeup(0, 3);
+        m.record_wakeup(1, 70);
+        m.record_migration();
         m.record_validation(Engine::Indexed, None);
         m.record_wal_append(7);
         let text = m.render(&RenderGauges {
-            queue_depth: 2,
+            core_connections: vec![4, 3],
+            connections_open: 7,
             sessions_live: 5,
             sessions_recovered: 3,
             sessions_evicted: 1,
@@ -421,7 +536,17 @@ mod tests {
         assert!(text.contains("pgschemad_sessions_live 5"));
         assert!(text.contains("pgschemad_sessions_recovered_total 3"));
         assert!(text.contains("pgschemad_sessions_evicted_total 1"));
-        assert!(text.contains("pgschemad_queue_depth 2"));
+        assert!(text.contains("pgschemad_connections_open 7"));
+        assert!(text.contains("pgschemad_core_connections{core=\"0\"} 4"));
+        assert!(text.contains("pgschemad_core_connections{core=\"1\"} 3"));
+        assert!(text.contains("pgschemad_connections_accepted_total 2"));
+        assert!(text.contains("pgschemad_wakeups_total{core=\"0\"} 1"));
+        assert!(text.contains("pgschemad_wakeups_total{core=\"1\"} 1"));
+        assert!(text.contains("pgschemad_wakeup_events_bucket{le=\"4\"} 1"));
+        assert!(text.contains("pgschemad_wakeup_events_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("pgschemad_wakeup_events_sum 73"));
+        assert!(text.contains("pgschemad_wakeup_events_count 2"));
+        assert!(text.contains("pgschemad_session_migrations_total 1"));
         assert!(text.contains("pgschemad_shed_total 1"));
         assert!(text.contains("pgschemad_wal_append_duration_micros_bucket{le=\"10\"} 1"));
         assert!(text.contains("pgschemad_wal_append_duration_micros_count 1"));
@@ -437,7 +562,7 @@ mod tests {
     #[test]
     fn rule_counters_accumulate_across_runs() {
         use pg_schema::{RuleMetrics, ValidationMetrics};
-        let m = Metrics::new();
+        let m = Metrics::new(1);
         let run = |ws1_violations| ValidationMetrics {
             engine: "indexed",
             threads: 1,
@@ -471,7 +596,7 @@ mod tests {
 
     #[test]
     fn histogram_is_cumulative() {
-        let m = Metrics::new();
+        let m = Metrics::new(1);
         m.record_request("/healthz", 200, 10); // le=50
         m.record_request("/healthz", 200, 60); // le=100
         let text = m.render(&RenderGauges::default());

@@ -1,0 +1,490 @@
+//! The per-core epoll event loops behind [`crate::server::Server`].
+//!
+//! Each core thread owns one [`Epoll`] instance, a set of nonblocking
+//! connections, and an inbox other threads feed through an eventfd wake:
+//! the accept thread drops fresh connections in round-robin, and sibling
+//! cores hand over connections whose requests address a session homed
+//! elsewhere ([`crate::registry::home_core`]). Nothing but the inbox is
+//! shared between cores — a connection is always driven by exactly one
+//! thread.
+//!
+//! A connection is a small state machine advanced by readiness events:
+//!
+//! ```text
+//!              EPOLLIN: read until WouldBlock,
+//!              parse requests from the buffer
+//!            ┌────────────────────────────────┐
+//!            ▼                                │
+//!        ┌───────┐   response queued,     ┌───┴───┐
+//!  new ─▶│ READ  │──── writev short ─────▶│ FLUSH │─▶ close
+//!        └───┬───┘                        └───┬───┘   (error, EOF, or
+//!            │  ▲                             │        Connection: close
+//!            │  └── out queue fully flushed ──┘        after flush)
+//!            │      (resume pipelined parse)
+//!            └─▶ migrate: parsed request is homed on
+//!                another core → epoll DEL, hand the whole
+//!                connection (+ request) to that core's inbox
+//! ```
+//!
+//! Reading stops while responses are queued (`out` non-empty): that is
+//! the backpressure that keeps a pipelining client from ballooning the
+//! buffers — the kernel's TCP window does the rest. Requests parse
+//! incrementally from a per-connection accumulator, so a request
+//! arriving one byte per wakeup is handled identically to one arriving
+//! whole.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read};
+use std::net::TcpStream;
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::http::{self, Request};
+use crate::registry::home_core;
+use crate::server::{self, Ctx};
+use crate::sys::{self, Epoll, EpollEvent, EventFd};
+
+/// Token reserved for the core's eventfd (fds can never reach it).
+const WAKE_TOKEN: u64 = u64::MAX;
+/// Safety-net timeout for `epoll_wait`: bounds how stale a shutdown
+/// check can get if a wake signal is ever lost.
+const WAIT_TIMEOUT_MS: i32 = 100;
+/// Max bytes read from one connection per readiness event, so a
+/// firehosing peer cannot starve the rest of the core (level-triggered
+/// epoll re-reports whatever is left).
+const READ_BUDGET: usize = 64 * 1024;
+/// How long a draining core waits for unflushed responses before
+/// dropping the connections (a peer that stopped reading would otherwise
+/// stall shutdown forever).
+const DRAIN_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Work other threads hand to a core.
+pub(crate) enum Incoming {
+    /// A freshly accepted connection (still blocking; the core makes it
+    /// nonblocking before registering).
+    Fresh(TcpStream),
+    /// A connection migrating from a sibling core, with the already
+    /// parsed request that triggered the migration.
+    Migrated(Box<Conn>, Request),
+}
+
+/// A core's cross-thread face: the inbox plus the eventfd that wakes its
+/// `epoll_wait`.
+pub(crate) struct CoreShared {
+    inbox: Mutex<Vec<Incoming>>,
+    /// Signalled after every inbox push and on shutdown.
+    pub(crate) wake: EventFd,
+}
+
+impl CoreShared {
+    pub(crate) fn new() -> io::Result<CoreShared> {
+        Ok(CoreShared {
+            inbox: Mutex::new(Vec::new()),
+            wake: EventFd::new()?,
+        })
+    }
+
+    /// Enqueues `item` and wakes the owning core.
+    pub(crate) fn push(&self, item: Incoming) {
+        self.inbox.lock().unwrap().push(item);
+        self.wake.signal();
+    }
+}
+
+/// One connection's state, owned by exactly one core at a time.
+pub(crate) struct Conn {
+    stream: TcpStream,
+    /// Inbound accumulator [`http::parse_buffered`] consumes from.
+    buf: Vec<u8>,
+    /// Serialized responses not yet fully written, oldest first.
+    out: VecDeque<Vec<u8>>,
+    /// Bytes of `out.front()` a previous partial `writev` already sent.
+    out_skip: usize,
+    /// Close once `out` is flushed (`Connection: close`, a 400, or a
+    /// drain in progress).
+    close_after_flush: bool,
+    /// The peer sent EOF; serve what is buffered, then close.
+    peer_eof: bool,
+    /// The readiness mask currently registered with epoll, so interest
+    /// flips cost a syscall only when they actually change.
+    interest: u32,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            buf: Vec::new(),
+            out: VecDeque::new(),
+            out_skip: 0,
+            close_after_flush: false,
+            peer_eof: false,
+            interest: 0,
+        }
+    }
+
+    fn fd(&self) -> RawFd {
+        self.stream.as_raw_fd()
+    }
+}
+
+/// What a burst of parsing/serving left the connection needing.
+enum After {
+    /// Everything served and flushed: wait for more input.
+    KeepReading,
+    /// Unflushed output remains: wait for writability.
+    Flushing,
+    /// Connection is done (error, EOF, or close-after-flush completed).
+    Close,
+    /// The parsed request is homed on another core.
+    Migrate(usize, Request),
+}
+
+/// The core event loop. Runs until shutdown has been requested *and*
+/// every owned connection has drained (or the drain deadline passes).
+pub(crate) fn run_core(index: usize, epoll: Epoll, ctx: Arc<Ctx>, peers: Vec<Arc<CoreShared>>) {
+    let own = Arc::clone(&peers[index]);
+    if epoll.add(own.wake.raw(), sys::EPOLLIN, WAKE_TOKEN).is_err() {
+        return;
+    }
+    let mut conns: HashMap<RawFd, Conn> = HashMap::new();
+    let mut events = vec![EpollEvent::zeroed(); 256];
+    let mut drain_deadline: Option<Instant> = None;
+    while let Ok(n) = epoll.wait(&mut events, WAIT_TIMEOUT_MS) {
+        if n > 0 {
+            ctx.metrics.record_wakeup(index, n);
+        }
+        for event in events.iter().take(n) {
+            let event = *event;
+            let token = { event.data };
+            let mask = { event.events };
+            if token == WAKE_TOKEN {
+                own.wake.drain();
+                continue;
+            }
+            handle_event(
+                &ctx,
+                index,
+                &epoll,
+                &peers,
+                &mut conns,
+                token as RawFd,
+                mask,
+            );
+        }
+        drain_inbox(&ctx, index, &epoll, &peers, &mut conns, &own);
+        if ctx.shutdown.load(Ordering::Relaxed) {
+            let deadline = *drain_deadline.get_or_insert_with(|| Instant::now() + DRAIN_DEADLINE);
+            let expired = Instant::now() >= deadline;
+            // Close idle connections now; ones still flushing get their
+            // EPOLLOUT (close_after_flush is forced below) unless the
+            // deadline has passed.
+            let closing: Vec<RawFd> = conns
+                .iter()
+                .filter(|(_, c)| c.out.is_empty() || expired)
+                .map(|(&fd, _)| fd)
+                .collect();
+            for fd in closing {
+                close_conn(&ctx, index, &epoll, &mut conns, fd);
+            }
+            for conn in conns.values_mut() {
+                conn.close_after_flush = true;
+            }
+            if conns.is_empty() {
+                break;
+            }
+        }
+    }
+}
+
+/// Dispatches one readiness event for `fd`.
+fn handle_event(
+    ctx: &Ctx,
+    index: usize,
+    epoll: &Epoll,
+    peers: &[Arc<CoreShared>],
+    conns: &mut HashMap<RawFd, Conn>,
+    fd: RawFd,
+    mask: u32,
+) {
+    // Stale event: the connection closed (or migrated) earlier this
+    // batch and the fd number may already belong to someone else.
+    let Some(conn) = conns.get_mut(&fd) else {
+        return;
+    };
+    if mask & (sys::EPOLLERR | sys::EPOLLHUP) != 0 {
+        close_conn(ctx, index, epoll, conns, fd);
+        return;
+    }
+    if mask & sys::EPOLLOUT != 0 {
+        if flush(conn).is_err() {
+            close_conn(ctx, index, epoll, conns, fd);
+            return;
+        }
+        if conn.out.is_empty() {
+            if conn.close_after_flush {
+                close_conn(ctx, index, epoll, conns, fd);
+                return;
+            }
+            // Fully flushed: pipelined requests may already be buffered.
+            let after = process_input(ctx, index, conn, None);
+            if !apply_after(ctx, index, epoll, peers, conns, fd, after) {
+                return;
+            }
+        }
+    }
+    if mask & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0 {
+        let Some(conn) = conns.get_mut(&fd) else {
+            return;
+        };
+        if !conn.out.is_empty() {
+            // Backpressured: interest is EPOLLOUT, this is a stale
+            // EPOLLIN from the same batch. Leave the bytes in the kernel.
+            return;
+        }
+        if fill_buf(conn).is_err() {
+            close_conn(ctx, index, epoll, conns, fd);
+            return;
+        }
+        let after = process_input(ctx, index, conn, None);
+        apply_after(ctx, index, epoll, peers, conns, fd, after);
+    }
+}
+
+/// Reads until `WouldBlock`, EOF, or the per-event budget is spent.
+fn fill_buf(conn: &mut Conn) -> io::Result<()> {
+    let mut chunk = [0u8; 8 * 1024];
+    let mut taken = 0usize;
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.peer_eof = true;
+                return Ok(());
+            }
+            Ok(n) => {
+                conn.buf.extend_from_slice(&chunk[..n]);
+                taken += n;
+                if taken >= READ_BUDGET {
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Parses and serves as many buffered requests as possible, starting
+/// with `pending` (a request carried over by a migration). Stops at the
+/// first request that must migrate, the first response that does not
+/// flush in full, or when the buffer holds no complete request.
+fn process_input(ctx: &Ctx, index: usize, conn: &mut Conn, pending: Option<Request>) -> After {
+    let mut pending = pending;
+    loop {
+        let request = match pending.take() {
+            Some(request) => request,
+            None => match http::parse_buffered(&mut conn.buf) {
+                Ok(Some(request)) => request,
+                Ok(None) => {
+                    return if conn.peer_eof {
+                        After::Close
+                    } else {
+                        After::KeepReading
+                    };
+                }
+                Err(e) => {
+                    // Malformed framing: answer 400, close once flushed.
+                    let response = server::bad_request(ctx, &e.to_string());
+                    conn.out.push_back(response.serialize(true));
+                    conn.close_after_flush = true;
+                    return flush_or_close(conn);
+                }
+            },
+        };
+        // Route session traffic to its home core so one thread owns all
+        // of a session's connections. Suppressed during drain — the
+        // target core may already have exited.
+        if ctx.cores > 1 && !ctx.shutdown.load(Ordering::Relaxed) {
+            if let Some(id) = server::session_id_of(&request.path) {
+                let home = home_core(id, ctx.cores);
+                if home != index {
+                    return After::Migrate(home, request);
+                }
+            }
+        }
+        let (response, close) = server::process(ctx, &request);
+        conn.out.push_back(response.serialize(close));
+        if close {
+            conn.close_after_flush = true;
+        }
+        match flush_or_close(conn) {
+            After::KeepReading => {} // fully flushed: next pipelined request
+            other => return other,
+        }
+    }
+}
+
+/// Flushes what it can immediately; classifies what the connection needs
+/// next. `KeepReading` means the queue emptied and the connection stays.
+fn flush_or_close(conn: &mut Conn) -> After {
+    if flush(conn).is_err() {
+        return After::Close;
+    }
+    if conn.out.is_empty() {
+        if conn.close_after_flush {
+            After::Close
+        } else {
+            After::KeepReading
+        }
+    } else {
+        After::Flushing
+    }
+}
+
+/// One `writev` pass over the output queue, advancing it by however many
+/// bytes the kernel took. `Ok` with a non-empty queue means the socket
+/// is full — wait for `EPOLLOUT`.
+fn flush(conn: &mut Conn) -> io::Result<()> {
+    while !conn.out.is_empty() {
+        let fd = conn.fd();
+        let written = match sys::write_vectored(fd, conn.out.make_contiguous(), conn.out_skip) {
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        let mut remaining = written;
+        while remaining > 0 {
+            let front_left = conn.out.front().map_or(0, |b| b.len() - conn.out_skip);
+            if remaining >= front_left {
+                remaining -= front_left;
+                conn.out.pop_front();
+                conn.out_skip = 0;
+            } else {
+                conn.out_skip += remaining;
+                remaining = 0;
+            }
+        }
+        if written == 0 {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+/// Applies a [`After`] to the connection. Returns whether the connection
+/// is still owned by this core (`false` after close or migration).
+fn apply_after(
+    ctx: &Ctx,
+    index: usize,
+    epoll: &Epoll,
+    peers: &[Arc<CoreShared>],
+    conns: &mut HashMap<RawFd, Conn>,
+    fd: RawFd,
+    after: After,
+) -> bool {
+    match after {
+        After::KeepReading => {
+            set_interest(epoll, conns, fd, sys::EPOLLIN | sys::EPOLLRDHUP);
+            true
+        }
+        After::Flushing => {
+            set_interest(epoll, conns, fd, sys::EPOLLOUT);
+            true
+        }
+        After::Close => {
+            close_conn(ctx, index, epoll, conns, fd);
+            false
+        }
+        After::Migrate(target, request) => {
+            let Some(conn) = conns.remove(&fd) else {
+                return false;
+            };
+            let _ = epoll.del(fd);
+            ctx.core_connections[index].fetch_sub(1, Ordering::Relaxed);
+            ctx.metrics.record_migration();
+            peers[target].push(Incoming::Migrated(Box::new(conn), request));
+            false
+        }
+    }
+}
+
+fn set_interest(epoll: &Epoll, conns: &mut HashMap<RawFd, Conn>, fd: RawFd, mask: u32) {
+    if let Some(conn) = conns.get_mut(&fd) {
+        if conn.interest != mask && epoll.modify(fd, mask, fd as u64).is_ok() {
+            conn.interest = mask;
+        }
+    }
+}
+
+/// Deregisters, drops (closing the socket) and un-counts a connection.
+fn close_conn(ctx: &Ctx, index: usize, epoll: &Epoll, conns: &mut HashMap<RawFd, Conn>, fd: RawFd) {
+    if conns.remove(&fd).is_some() {
+        let _ = epoll.del(fd);
+        ctx.core_connections[index].fetch_sub(1, Ordering::Relaxed);
+        ctx.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Adopts everything other threads queued since the last wake: fresh
+/// connections from the accept thread and migrants from sibling cores.
+fn drain_inbox(
+    ctx: &Ctx,
+    index: usize,
+    epoll: &Epoll,
+    peers: &[Arc<CoreShared>],
+    conns: &mut HashMap<RawFd, Conn>,
+    own: &CoreShared,
+) {
+    loop {
+        let items = std::mem::take(&mut *own.inbox.lock().unwrap());
+        if items.is_empty() {
+            return;
+        }
+        for item in items {
+            match item {
+                Incoming::Fresh(stream) => {
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        ctx.open_connections.fetch_sub(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    adopt(ctx, index, epoll, peers, conns, Conn::new(stream), None);
+                }
+                Incoming::Migrated(conn, request) => {
+                    adopt(ctx, index, epoll, peers, conns, *conn, Some(request));
+                }
+            }
+        }
+    }
+}
+
+/// Registers a connection with this core's epoll and immediately drives
+/// whatever is already pending (a migrated request, buffered bytes).
+fn adopt(
+    ctx: &Ctx,
+    index: usize,
+    epoll: &Epoll,
+    peers: &[Arc<CoreShared>],
+    conns: &mut HashMap<RawFd, Conn>,
+    mut conn: Conn,
+    pending: Option<Request>,
+) {
+    let fd = conn.fd();
+    conn.interest = sys::EPOLLIN | sys::EPOLLRDHUP;
+    if epoll.add(fd, conn.interest, fd as u64).is_err() {
+        ctx.open_connections.fetch_sub(1, Ordering::Relaxed);
+        return;
+    }
+    ctx.core_connections[index].fetch_add(1, Ordering::Relaxed);
+    conns.insert(fd, conn);
+    let after = match conns.get_mut(&fd) {
+        Some(conn) if pending.is_some() || !conn.buf.is_empty() || !conn.out.is_empty() => {
+            process_input(ctx, index, conn, pending)
+        }
+        _ => return, // nothing pending: wait for EPOLLIN
+    };
+    apply_after(ctx, index, epoll, peers, conns, fd, after);
+}

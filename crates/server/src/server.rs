@@ -1,25 +1,26 @@
-//! The daemon itself: listener, worker pool, routing and request
-//! logging. See the crate docs for the architecture overview and the
-//! route table.
+//! The daemon itself: listener, reactor core threads, routing and
+//! request logging. See the crate docs for the architecture overview and
+//! the route table; the event loop lives in [`crate::reactor`].
 
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use pg_schema::{validate, Engine, PgSchema, ValidationOptions};
 use pg_store::{FsyncPolicy, Store};
 use pgraph::json::{self, Json};
 
-use crate::http::{self, push_json_string, ReadOutcome, Request, Response};
+use crate::http::{push_json_string, Request, Response};
 use crate::metrics::{Metrics, RenderGauges};
-use crate::pool::BoundedQueue;
+use crate::reactor::{self, CoreShared, Incoming};
 use crate::registry::{Lookup, RemoveOutcome, SessionRegistry};
 
-/// How workers poll the shutdown flag while waiting on an idle
-/// keep-alive connection, and how the accept loop sleeps when idle.
+/// How the accept thread sleeps between polls when no connection is
+/// pending (it also re-checks the shutdown flag at this cadence).
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
 /// Shape of the per-request log lines (`--log-format`).
@@ -35,26 +36,45 @@ pub enum LogFormat {
 }
 
 impl LogFormat {
-    /// Parses the `--log-format` flag value.
-    pub fn from_name(name: &str) -> Option<LogFormat> {
+    /// The accepted spellings of [`FromStr`](std::str::FromStr), in
+    /// declaration order.
+    pub const NAMES: &'static [&'static str] = &["text", "json", "off"];
+}
+
+/// Parses the `--log-format` flag value; the error lists the accepted
+/// spellings.
+impl std::str::FromStr for LogFormat {
+    type Err = pgraph::ParseEnumError;
+
+    fn from_str(name: &str) -> Result<LogFormat, Self::Err> {
         match name {
-            "text" => Some(LogFormat::Text),
-            "json" => Some(LogFormat::Json),
-            "off" => Some(LogFormat::Off),
-            _ => None,
+            "text" => Ok(LogFormat::Text),
+            "json" => Ok(LogFormat::Json),
+            "off" => Ok(LogFormat::Off),
+            _ => Err(pgraph::ParseEnumError::new(
+                "log format",
+                name,
+                LogFormat::NAMES,
+            )),
         }
     }
 }
 
 /// Daemon configuration (the `serve` subcommand's flags).
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`ServerConfig::builder`] (or [`Default`]) rather than a struct
+/// literal, so adding options stays a compatible change.
+#[non_exhaustive]
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Listen address, e.g. `127.0.0.1:7878`. Port 0 picks a free port.
     pub addr: String,
-    /// Worker threads serving connections.
-    pub threads: usize,
-    /// Accept-queue capacity; connections beyond it are shed with `503`.
-    pub queue_depth: usize,
+    /// Reactor cores (event-loop threads); `0` (default) means one per
+    /// available CPU.
+    pub cores: usize,
+    /// Open-connection cap; accepts beyond it are shed with `503`.
+    pub max_connections: usize,
     /// Request-log shape.
     pub log_format: LogFormat,
     /// Durable session storage (`--data-dir`). `None` keeps the daemon
@@ -73,8 +93,8 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:7878".to_owned(),
-            threads: 8,
-            queue_depth: 64,
+            cores: 0,
+            max_connections: 4096,
             log_format: LogFormat::Text,
             data_dir: None,
             fsync: FsyncPolicy::Always,
@@ -84,32 +104,135 @@ impl Default for ServerConfig {
     }
 }
 
-/// Shared state every worker sees.
-struct Ctx {
-    metrics: Metrics,
-    registry: SessionRegistry,
-    queue: BoundedQueue<TcpStream>,
-    log_format: LogFormat,
-    compact_after_bytes: u64,
+impl ServerConfig {
+    /// Starts building a configuration from the defaults.
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            config: ServerConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`ServerConfig`].
+///
+/// ```no_run
+/// use pg_server::{LogFormat, Server, ServerConfig};
+///
+/// let config = ServerConfig::builder()
+///     .addr("127.0.0.1:0")
+///     .cores(2)
+///     .max_connections(10_000)
+///     .log_format(LogFormat::Off)
+///     .build();
+/// let handle = Server::bind(config).unwrap().serve().unwrap();
+/// println!("listening on {}", handle.local_addr());
+/// handle.shutdown();
+/// handle.join().unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Listen address (default `127.0.0.1:7878`; port 0 picks a free
+    /// port).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.config.addr = addr.into();
+        self
+    }
+
+    /// Reactor cores (`0` = one per available CPU).
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.config.cores = cores;
+        self
+    }
+
+    /// Open-connection cap beyond which accepts are shed with `503`.
+    pub fn max_connections(mut self, max: usize) -> Self {
+        self.config.max_connections = max;
+        self
+    }
+
+    /// Request-log shape (default [`LogFormat::Text`]).
+    pub fn log_format(mut self, format: LogFormat) -> Self {
+        self.config.log_format = format;
+        self
+    }
+
+    /// Durable session storage directory.
+    pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.data_dir = Some(dir.into());
+        self
+    }
+
+    /// When to fsync WAL appends (default [`FsyncPolicy::Always`]).
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.config.fsync = policy;
+        self
+    }
+
+    /// Auto-compaction threshold in live WAL bytes (0 disables).
+    pub fn compact_after_bytes(mut self, bytes: u64) -> Self {
+        self.config.compact_after_bytes = bytes;
+        self
+    }
+
+    /// LRU bound on live sessions.
+    pub fn max_sessions(mut self, max: usize) -> Self {
+        self.config.max_sessions = Some(max);
+        self
+    }
+
+    /// Finishes, yielding the configuration.
+    pub fn build(self) -> ServerConfig {
+        self.config
+    }
+}
+
+/// Shared state every reactor core and the accept thread see.
+pub(crate) struct Ctx {
+    pub(crate) metrics: Metrics,
+    pub(crate) registry: SessionRegistry,
+    pub(crate) log_format: LogFormat,
+    pub(crate) compact_after_bytes: u64,
+    /// Number of reactor cores (event-loop threads).
+    pub(crate) cores: usize,
+    /// Open-connection cap enforced by the accept thread.
+    pub(crate) max_connections: usize,
+    /// Connections currently open across all cores (incremented at
+    /// accept, decremented when a core closes the connection).
+    pub(crate) open_connections: AtomicUsize,
+    /// Connections currently owned by each core.
+    pub(crate) core_connections: Vec<AtomicUsize>,
+    /// Set by [`ServerHandle::shutdown`]; every loop drains and exits.
+    pub(crate) shutdown: AtomicBool,
 }
 
 /// A bound, not-yet-running daemon. [`bind`](Server::bind) first, read
 /// [`local_addr`](Server::local_addr) (tests bind port 0), then
-/// [`run`](Server::run) until the shutdown flag flips.
+/// [`serve`](Server::serve) for a [`ServerHandle`] that owns the running
+/// threads.
 pub struct Server {
     listener: TcpListener,
-    threads: usize,
-    ctx: Ctx,
+    ctx: Arc<Ctx>,
 }
 
 impl Server {
-    /// Binds the listener. The listener is switched to nonblocking so
-    /// the accept loop can interleave accepts with shutdown polling —
+    /// Binds the listener and, under `--data-dir`, recovers sessions
+    /// from the store. The listener is switched to nonblocking so the
+    /// accept thread can interleave accepts with shutdown polling —
     /// glibc installs SA_RESTART handlers, so a blocking `accept(2)`
     /// would sleep straight through SIGTERM.
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
+        let cores = match config.cores {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        };
         let registry = match &config.data_dir {
             None => SessionRegistry::in_memory(config.max_sessions),
             Some(dir) => {
@@ -144,14 +267,17 @@ impl Server {
         };
         Ok(Server {
             listener,
-            threads: config.threads.max(1),
-            ctx: Ctx {
-                metrics: Metrics::new(),
+            ctx: Arc::new(Ctx {
+                metrics: Metrics::new(cores),
                 registry,
-                queue: BoundedQueue::new(config.queue_depth),
                 log_format: config.log_format,
                 compact_after_bytes: config.compact_after_bytes,
-            },
+                cores,
+                max_connections: config.max_connections.max(1),
+                open_connections: AtomicUsize::new(0),
+                core_connections: (0..cores).map(|_| AtomicUsize::new(0)).collect(),
+                shutdown: AtomicBool::new(false),
+            }),
         })
     }
 
@@ -160,109 +286,177 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Serves until `shutdown` becomes true, then drains: the accept
-    /// loop stops, queued connections are still served, and each worker
-    /// finishes its in-flight request before exiting. Returns once every
-    /// worker has exited.
-    pub fn run(self, shutdown: &AtomicBool) -> io::Result<()> {
-        let ctx = &self.ctx;
-        std::thread::scope(|scope| {
-            for _ in 0..self.threads {
-                scope.spawn(move || {
-                    while let Some(stream) = ctx.queue.pop() {
-                        serve_connection(ctx, stream, shutdown);
-                    }
-                });
-            }
-
-            while !shutdown.load(Ordering::Relaxed) {
-                match self.listener.accept() {
-                    Ok((stream, _peer)) => {
-                        if let Err(stream) = ctx.queue.try_push(stream) {
-                            shed(ctx, stream);
-                        }
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(POLL_INTERVAL);
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                    Err(_) => std::thread::sleep(POLL_INTERVAL),
-                }
-            }
-            // Drain: no new connections, wake idle workers, serve what
-            // is queued, exit.
-            ctx.queue.close();
-        });
-        // Under `--fsync interval|never`, acknowledged appends may still
-        // sit in OS buffers — a graceful shutdown flushes them.
-        self.ctx.registry.sync_store()?;
-        Ok(())
+    /// Starts the reactor: one epoll event loop per core plus the accept
+    /// thread, then returns immediately with the [`ServerHandle`] that
+    /// controls them. Serving continues until
+    /// [`shutdown`](ServerHandle::shutdown).
+    pub fn serve(self) -> io::Result<ServerHandle> {
+        let addr = self.listener.local_addr()?;
+        let mut peers = Vec::with_capacity(self.ctx.cores);
+        for _ in 0..self.ctx.cores {
+            peers.push(Arc::new(CoreShared::new()?));
+        }
+        let mut threads = Vec::with_capacity(self.ctx.cores + 1);
+        for index in 0..self.ctx.cores {
+            let epoll = crate::sys::Epoll::new()?;
+            let ctx = Arc::clone(&self.ctx);
+            let peers = peers.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("pgschemad-core-{index}"))
+                    .spawn(move || reactor::run_core(index, epoll, ctx, peers))?,
+            );
+        }
+        let ctx = Arc::clone(&self.ctx);
+        let accept_peers = peers.clone();
+        let listener = self.listener;
+        threads.push(
+            std::thread::Builder::new()
+                .name("pgschemad-accept".to_owned())
+                .spawn(move || accept_loop(ctx, listener, accept_peers))?,
+        );
+        Ok(ServerHandle {
+            addr,
+            ctx: self.ctx,
+            peers,
+            threads,
+        })
     }
 }
 
-/// Answers a connection the queue has no room for: `503` with a
+/// A running daemon. Call [`shutdown`](ServerHandle::shutdown) to begin
+/// a graceful drain, then [`join`](ServerHandle::join) to wait for it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    ctx: Arc<Ctx>,
+    peers: Vec<Arc<CoreShared>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address being served.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The number of reactor cores serving connections (after resolving
+    /// [`ServerConfig::cores`]` == 0` to the machine's parallelism).
+    pub fn cores(&self) -> usize {
+        self.ctx.cores
+    }
+
+    /// Requests a graceful drain: the accept thread stops accepting,
+    /// each core finishes its in-flight requests (flushing pending
+    /// responses) and closes idle keep-alive connections. Idempotent and
+    /// safe from any thread (including a signal-watching loop).
+    pub fn shutdown(&self) {
+        self.ctx.shutdown.store(true, Ordering::Relaxed);
+        for peer in &self.peers {
+            peer.wake.signal();
+        }
+    }
+
+    /// Waits until every thread has drained and exited, then flushes the
+    /// store. Under `--fsync interval|never`, acknowledged appends may
+    /// still sit in OS buffers — a graceful shutdown flushes them.
+    pub fn join(mut self) -> io::Result<()> {
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+        self.ctx.registry.sync_store()
+    }
+}
+
+/// The accept thread: hands fresh connections round-robin to the cores
+/// (their first session request migrates them home), shedding with `503`
+/// above the connection cap.
+///
+/// The listener sits behind its own tiny epoll so a connect storm is
+/// drained in a tight accept loop (the [`POLL_INTERVAL`] timeout exists
+/// only to observe the shutdown flag, never to pace accepts — a sleep
+/// there would add up to 50 ms per sequentially-opened connection).
+fn accept_loop(ctx: Arc<Ctx>, listener: TcpListener, peers: Vec<Arc<CoreShared>>) {
+    use std::os::fd::AsRawFd;
+    let epoll = crate::sys::Epoll::new().expect("accept epoll");
+    epoll
+        .add(listener.as_raw_fd(), crate::sys::EPOLLIN, 0)
+        .expect("register listener");
+    let mut events = [crate::sys::EpollEvent::zeroed(); 1];
+    let mut next = 0usize;
+    while !ctx.shutdown.load(Ordering::Relaxed) {
+        // Drain the backlog completely before sleeping again.
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    ctx.metrics.record_accept();
+                    if ctx.open_connections.load(Ordering::Relaxed) >= ctx.max_connections {
+                        shed(&ctx, stream);
+                        continue;
+                    }
+                    ctx.open_connections.fetch_add(1, Ordering::Relaxed);
+                    peers[next % peers.len()].push(Incoming::Fresh(stream));
+                    next += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+        let _ = epoll.wait(&mut events, POLL_INTERVAL.as_millis() as i32);
+    }
+    // Wake every core so none sleeps through the drain.
+    for peer in &peers {
+        peer.wake.signal();
+    }
+}
+
+/// Answers a connection there is no capacity for: `503` with a
 /// `Retry-After` hint, written from the accept thread, then close.
 fn shed(ctx: &Ctx, mut stream: TcpStream) {
     ctx.metrics.record_shed();
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
-    let response =
-        Response::error(503, "accept queue full, retry shortly").with_header("retry-after", "1");
+    let response = Response::error(503, "connection limit reached, retry shortly")
+        .with_header("retry-after", "1");
     let _ = response.write_to(&mut stream, true);
     ctx.metrics.record_request("(shed)", 503, 0);
     log_request(ctx.log_format, "-", "(shed)", 503, 0, None);
 }
 
-/// One worker's keep-alive loop over a single connection.
-fn serve_connection(ctx: &Ctx, mut stream: TcpStream, shutdown: &AtomicBool) {
-    if stream.set_nonblocking(false).is_err() || stream.set_nodelay(true).is_err() {
-        return;
-    }
-    // The read timeout is the worker's shutdown poll: an idle keep-alive
-    // connection wakes every tick to check the flag.
-    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
-        return;
-    }
-    let mut buf = Vec::new();
-    loop {
-        match http::read_request(&mut stream, &mut buf) {
-            Ok(ReadOutcome::Request(request)) => {
-                let started = Instant::now();
-                let handled = route(ctx, &request);
-                let close = request.wants_close() || shutdown.load(Ordering::Relaxed);
-                let write_ok = handled.response.write_to(&mut stream, close).is_ok();
-                let micros = started.elapsed().as_micros() as u64;
-                ctx.metrics
-                    .record_request(handled.route, handled.response.status, micros);
-                log_request(
-                    ctx.log_format,
-                    &request.method,
-                    &request.path,
-                    handled.response.status,
-                    micros,
-                    handled.engine,
-                );
-                maybe_compact(ctx);
-                if close || !write_ok {
-                    return;
-                }
-            }
-            Ok(ReadOutcome::Closed) => return,
-            Ok(ReadOutcome::TimedOut) => {
-                if shutdown.load(Ordering::Relaxed) {
-                    return;
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                let response = Response::error(400, &e.to_string());
-                let _ = response.write_to(&mut stream, true);
-                ctx.metrics.record_request("(bad-request)", 400, 0);
-                log_request(ctx.log_format, "-", "(bad-request)", 400, 0, None);
-                return;
-            }
-            Err(_) => return,
-        }
-    }
+/// Serves one parsed request end to end: routes it, records metrics and
+/// the request log, and triggers threshold compaction. Returns the
+/// response plus whether the connection must close after it.
+pub(crate) fn process(ctx: &Ctx, request: &Request) -> (Response, bool) {
+    let started = Instant::now();
+    let handled = route(ctx, request);
+    let close = request.wants_close() || ctx.shutdown.load(Ordering::Relaxed);
+    let micros = started.elapsed().as_micros() as u64;
+    ctx.metrics
+        .record_request(handled.route, handled.response.status, micros);
+    log_request(
+        ctx.log_format,
+        &request.method,
+        &request.path,
+        handled.response.status,
+        micros,
+        handled.engine,
+    );
+    maybe_compact(ctx);
+    (handled.response, close)
+}
+
+/// The `400` a connection gets for bytes that would not parse as a
+/// request; the connection closes once it is flushed.
+pub(crate) fn bad_request(ctx: &Ctx, message: &str) -> Response {
+    ctx.metrics.record_request("(bad-request)", 400, 0);
+    log_request(ctx.log_format, "-", "(bad-request)", 400, 0, None);
+    Response::error(400, message)
+}
+
+/// The session a request path addresses, if any — what the reactor uses
+/// to decide the connection's home core.
+pub(crate) fn session_id_of(path: &str) -> Option<u64> {
+    parse_session_path(path).map(|(id, _)| id)
 }
 
 /// A routed response plus its labels for metrics and the request log.
@@ -292,7 +486,12 @@ fn route(ctx: &Ctx, request: &Request) -> Handled {
             Response::text(
                 200,
                 ctx.metrics.render(&RenderGauges {
-                    queue_depth: ctx.queue.depth(),
+                    core_connections: ctx
+                        .core_connections
+                        .iter()
+                        .map(|c| c.load(Ordering::Relaxed))
+                        .collect(),
+                    connections_open: ctx.open_connections.load(Ordering::Relaxed),
                     sessions_live: ctx.registry.len(),
                     sessions_recovered: ctx.registry.recovered_total(),
                     sessions_evicted: ctx.registry.evicted_total(),
@@ -394,7 +593,7 @@ fn handle_compact(ctx: &Ctx, id: u64) -> Handled {
 }
 
 /// Compacts in the background of the request that tipped the WAL over
-/// the configured size threshold (after its response has been written).
+/// the configured size threshold (after its response has been routed).
 fn maybe_compact(ctx: &Ctx) {
     let Some(store) = ctx.registry.store() else {
         return;
@@ -411,7 +610,7 @@ fn maybe_compact(ctx: &Ctx) {
                 );
             }
         }
-        Ok(None) => {} // another worker is already compacting
+        Ok(None) => {} // another core is already compacting
         Err(e) => {
             if ctx.log_format != LogFormat::Off {
                 eprintln!("store: auto-compaction failed: {e}");
@@ -441,13 +640,10 @@ fn parse_envelope(body: &[u8]) -> Result<(PgSchema, pgraph::PropertyGraph, Strin
 fn handle_validate(ctx: &Ctx, request: &Request) -> Handled {
     let engine = match request.query_param("engine") {
         None => Engine::Indexed,
-        Some(name) => match Engine::from_name(name) {
-            Some(engine) => engine,
-            None => {
-                return Handled::plain(
-                    "/validate",
-                    Response::error(400, &format!("unknown engine {name:?}")),
-                )
+        Some(name) => match name.parse::<Engine>() {
+            Ok(engine) => engine,
+            Err(e) => {
+                return Handled::plain("/validate", Response::error(400, &e.to_string()));
             }
         },
     };
@@ -658,13 +854,40 @@ mod tests {
         assert_eq!(parse_session_path("/sessions/12"), Some((12, "")));
         assert_eq!(parse_session_path("/sessions/x/report"), None);
         assert_eq!(parse_session_path("/metrics"), None);
+        assert_eq!(session_id_of("/sessions/7/deltas"), Some(7));
+        assert_eq!(session_id_of("/validate"), None);
     }
 
     #[test]
     fn log_formats_parse() {
-        assert_eq!(LogFormat::from_name("text"), Some(LogFormat::Text));
-        assert_eq!(LogFormat::from_name("json"), Some(LogFormat::Json));
-        assert_eq!(LogFormat::from_name("off"), Some(LogFormat::Off));
-        assert_eq!(LogFormat::from_name("xml"), None);
+        assert_eq!("text".parse(), Ok(LogFormat::Text));
+        assert_eq!("json".parse(), Ok(LogFormat::Json));
+        assert_eq!("off".parse(), Ok(LogFormat::Off));
+        let err = "xml".parse::<LogFormat>().unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "unknown log format `xml` (expected text|json|off)"
+        );
+    }
+
+    #[test]
+    fn config_builder_overrides_defaults() {
+        let config = ServerConfig::builder()
+            .addr("127.0.0.1:0")
+            .cores(3)
+            .max_connections(17)
+            .log_format(LogFormat::Off)
+            .compact_after_bytes(0)
+            .max_sessions(9)
+            .build();
+        assert_eq!(config.addr, "127.0.0.1:0");
+        assert_eq!(config.cores, 3);
+        assert_eq!(config.max_connections, 17);
+        assert_eq!(config.log_format, LogFormat::Off);
+        assert_eq!(config.compact_after_bytes, 0);
+        assert_eq!(config.max_sessions, Some(9));
+        // Untouched fields keep their defaults.
+        assert_eq!(config.fsync, pg_store::FsyncPolicy::Always);
+        assert!(config.data_dir.is_none());
     }
 }

@@ -1,0 +1,132 @@
+//! Property test for the reactor's resumable request parsing: a
+//! pipelined keep-alive byte stream must produce the *byte-identical*
+//! response stream no matter how it is fragmented across wakeups — one
+//! byte at a time, random chunks, or a single write.
+//!
+//! The request pool is restricted to routes whose responses are fully
+//! deterministic (no session ids, no timing figures), so the comparison
+//! can be exact.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use pg_server::{LogFormat, Server, ServerConfig, ServerHandle};
+use proptest::prelude::*;
+
+/// Pipelined requests with deterministic responses. Every entry is a
+/// complete HTTP/1.1 request; the last one on a wire is sent with
+/// `connection: close` so the server terminates the stream for us.
+const POOL: &[&str] = &[
+    "GET /healthz HTTP/1.1\r\n\r\n",
+    "GET /nope HTTP/1.1\r\n\r\n",
+    "DELETE /validate HTTP/1.1\r\n\r\n",
+    "POST /validate HTTP/1.1\r\ncontent-length: 9\r\n\r\nnot json!",
+    "GET /sessions/424242/report HTTP/1.1\r\n\r\n",
+    "POST /sessions/424242/deltas HTTP/1.1\r\ncontent-length: 2\r\n\r\n{}",
+];
+
+fn start_daemon() -> ServerHandle {
+    let config = ServerConfig::builder()
+        .addr("127.0.0.1:0")
+        .cores(1)
+        .log_format(LogFormat::Off)
+        .build();
+    Server::bind(config).expect("bind").serve().expect("serve")
+}
+
+/// Concatenates the chosen requests into one pipelined wire image,
+/// marking the final request `connection: close`.
+fn wire_image(picks: &[usize]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for (i, &pick) in picks.iter().enumerate() {
+        let request = POOL[pick % POOL.len()];
+        if i + 1 == picks.len() {
+            let head_end = request.find("\r\n").unwrap() + 2;
+            wire.extend_from_slice(&request.as_bytes()[..head_end]);
+            wire.extend_from_slice(b"connection: close\r\n");
+            wire.extend_from_slice(&request.as_bytes()[head_end..]);
+        } else {
+            wire.extend_from_slice(request.as_bytes());
+        }
+    }
+    wire
+}
+
+/// Sends `wire` split at `cuts` (fragment boundaries, pre-sorted), with
+/// a short pause after each fragment so the reactor observes separate
+/// wakeups, then reads the full response stream to EOF.
+fn exchange(addr: SocketAddr, wire: &[u8], cuts: &[usize]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut from = 0;
+    for &cut in cuts.iter().chain(std::iter::once(&wire.len())) {
+        if cut > from {
+            stream.write_all(&wire[from..cut]).unwrap();
+            from = cut;
+        }
+        if !cuts.is_empty() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    let mut responses = Vec::new();
+    stream.read_to_end(&mut responses).expect("read to EOF");
+    responses
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random pipelined sequences, random fragmentation: the chunked
+    /// response stream equals the single-write response stream.
+    #[test]
+    fn random_chunking_matches_single_write(
+        picks in proptest::collection::vec(0..6usize, 1..5),
+        raw_cuts in proptest::collection::vec(0..512usize, 0..24),
+    ) {
+        let daemon = start_daemon();
+        let addr = daemon.local_addr();
+        let wire = wire_image(&picks);
+        let mut cuts: Vec<usize> = raw_cuts
+            .into_iter()
+            .map(|c| c % wire.len())
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+
+        let baseline = exchange(addr, &wire, &[]);
+        let chunked = exchange(addr, &wire, &cuts);
+        daemon.shutdown();
+        daemon.join().expect("clean shutdown");
+
+        prop_assert!(!baseline.is_empty(), "baseline produced no bytes");
+        prop_assert_eq!(chunked, baseline);
+    }
+}
+
+/// The degenerate fragmentation: every single byte is its own wakeup.
+/// Uses a short two-request pipeline so the one-pause-per-byte pacing
+/// stays fast.
+#[test]
+fn byte_at_a_time_matches_single_write() {
+    let daemon = start_daemon();
+    let addr = daemon.local_addr();
+    let wire = wire_image(&[3, 0]);
+    let cuts: Vec<usize> = (1..wire.len()).collect();
+
+    let baseline = exchange(addr, &wire, &[]);
+    let trickled = exchange(addr, &wire, &cuts);
+    daemon.shutdown();
+    daemon.join().expect("clean shutdown");
+
+    let text = String::from_utf8_lossy(&baseline);
+    assert!(
+        text.starts_with("HTTP/1.1 400"),
+        "first response is the 400"
+    );
+    assert!(text.contains("HTTP/1.1 200"), "second response is the 200");
+    assert_eq!(trickled, baseline);
+}

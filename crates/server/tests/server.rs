@@ -1,53 +1,40 @@
 //! End-to-end tests over a real socket: the daemon is started in
 //! process on port 0, driven by hand-rolled HTTP clients, and shut down
-//! via the same flag SIGTERM flips.
+//! through [`ServerHandle`] — the same drain SIGTERM triggers.
 
-use std::io::{self, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 use pg_schema::{validate, Engine, ValidationOptions};
 use pg_server::http::read_response;
 use pg_server::workload::{sample_graph, toggle_delta, user_ids, SCHEMA_SDL};
-use pg_server::{LogFormat, Server, ServerConfig};
+use pg_server::{LogFormat, Server, ServerConfig, ServerHandle};
 use pgraph::json::{self, Json};
 
 struct Daemon {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    handle: JoinHandle<io::Result<()>>,
+    handle: ServerHandle,
 }
 
 impl Daemon {
-    fn start(threads: usize, queue_depth: usize) -> Daemon {
-        let server = Server::bind(ServerConfig {
-            addr: "127.0.0.1:0".to_owned(),
-            threads,
-            queue_depth,
-            log_format: LogFormat::Off,
-            ..ServerConfig::default()
-        })
-        .expect("bind");
-        let addr = server.local_addr().expect("local addr");
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let flag = Arc::clone(&shutdown);
-        let handle = std::thread::spawn(move || server.run(&flag));
+    fn start(cores: usize, max_connections: usize) -> Daemon {
+        let config = ServerConfig::builder()
+            .addr("127.0.0.1:0")
+            .cores(cores)
+            .max_connections(max_connections)
+            .log_format(LogFormat::Off)
+            .build();
+        let handle = Server::bind(config).expect("bind").serve().expect("serve");
         Daemon {
-            addr,
-            shutdown,
+            addr: handle.local_addr(),
             handle,
         }
     }
 
     fn stop(self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-        self.handle
-            .join()
-            .expect("server thread")
-            .expect("clean shutdown");
+        self.handle.shutdown();
+        self.handle.join().expect("clean shutdown");
     }
 }
 
@@ -212,11 +199,10 @@ fn metrics_count_requests_and_sessions() {
 }
 
 #[test]
-fn saturated_queue_sheds_with_503_and_retry_after() {
-    // One worker and a queue of one: the worker parks on the first idle
-    // connection, the queue holds the second, every further accept must
-    // be shed.
-    let daemon = Daemon::start(1, 1);
+fn saturated_server_sheds_with_503_and_retry_after() {
+    // A connection cap of two: the first two idle connections are
+    // adopted by the reactor, every further accept must be shed.
+    let daemon = Daemon::start(1, 2);
     let mut idle: Vec<TcpStream> = (0..5)
         .map(|_| {
             let s = TcpStream::connect(daemon.addr).expect("connect");
@@ -260,14 +246,11 @@ fn graceful_shutdown_completes_in_flight_work() {
     let (status, _) = client.request("GET", "/healthz", b"");
     assert_eq!(status, 200);
 
-    // Flip the flag (what SIGTERM does) and require a clean exit while a
-    // keep-alive connection is still open.
-    daemon.shutdown.store(true, Ordering::Relaxed);
-    daemon
-        .handle
-        .join()
-        .expect("server thread")
-        .expect("clean shutdown");
+    // Begin the drain (what SIGTERM triggers) and require a clean exit
+    // while a keep-alive connection is still open: the reactor must
+    // close the idle connection rather than wait for the peer.
+    daemon.handle.shutdown();
+    daemon.handle.join().expect("clean shutdown");
 }
 
 /// Satellite: hammer one session from many threads — interleaved delta

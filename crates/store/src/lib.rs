@@ -68,16 +68,28 @@ pub enum FsyncPolicy {
 }
 
 impl FsyncPolicy {
-    /// Parses the `--fsync` flag: `always`, `never`, `interval` (100 ms
-    /// default) or `interval:<millis>`.
-    pub fn from_name(name: &str) -> Option<FsyncPolicy> {
+    /// The accepted spellings of [`FromStr`](std::str::FromStr).
+    pub const NAMES: &'static [&'static str] = &["always", "interval[:millis]", "never"];
+}
+
+/// Parses the `--fsync` flag: `always`, `never`, `interval` (100 ms
+/// default) or `interval:<millis>`. The error lists the accepted
+/// spellings.
+impl std::str::FromStr for FsyncPolicy {
+    type Err = pgraph::ParseEnumError;
+
+    fn from_str(name: &str) -> Result<FsyncPolicy, Self::Err> {
+        let unknown = || pgraph::ParseEnumError::new("fsync policy", name, FsyncPolicy::NAMES);
         match name {
-            "always" => Some(FsyncPolicy::Always),
-            "never" => Some(FsyncPolicy::Never),
-            "interval" => Some(FsyncPolicy::Interval(Duration::from_millis(100))),
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            "interval" => Ok(FsyncPolicy::Interval(Duration::from_millis(100))),
             _ => {
-                let millis: u64 = name.strip_prefix("interval:")?.parse().ok()?;
-                Some(FsyncPolicy::Interval(Duration::from_millis(millis)))
+                let millis: u64 = name
+                    .strip_prefix("interval:")
+                    .and_then(|m| m.parse().ok())
+                    .ok_or_else(unknown)?;
+                Ok(FsyncPolicy::Interval(Duration::from_millis(millis)))
             }
         }
     }

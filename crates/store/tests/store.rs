@@ -302,18 +302,22 @@ fn interval_and_never_policies_survive_clean_reopen() {
 
 #[test]
 fn fsync_policy_parses() {
-    assert_eq!(FsyncPolicy::from_name("always"), Some(FsyncPolicy::Always));
-    assert_eq!(FsyncPolicy::from_name("never"), Some(FsyncPolicy::Never));
+    assert_eq!("always".parse(), Ok(FsyncPolicy::Always));
+    assert_eq!("never".parse(), Ok(FsyncPolicy::Never));
     assert_eq!(
-        FsyncPolicy::from_name("interval"),
-        Some(FsyncPolicy::Interval(std::time::Duration::from_millis(100)))
+        "interval".parse(),
+        Ok(FsyncPolicy::Interval(std::time::Duration::from_millis(100)))
     );
     assert_eq!(
-        FsyncPolicy::from_name("interval:250"),
-        Some(FsyncPolicy::Interval(std::time::Duration::from_millis(250)))
+        "interval:250".parse(),
+        Ok(FsyncPolicy::Interval(std::time::Duration::from_millis(250)))
     );
-    assert_eq!(FsyncPolicy::from_name("sometimes"), None);
-    assert_eq!(FsyncPolicy::from_name("interval:x"), None);
+    let err = "sometimes".parse::<FsyncPolicy>().unwrap_err();
+    assert_eq!(
+        err.to_string(),
+        "unknown fsync policy `sometimes` (expected always|interval[:millis]|never)"
+    );
+    assert!("interval:x".parse::<FsyncPolicy>().is_err());
 }
 
 #[test]
