@@ -30,6 +30,7 @@ USAGE:
                    [--log-format text|json|off] [--data-dir DIR]
                    [--fsync always|interval[:MILLIS]|never]
                    [--compact-after-bytes N] [--max-sessions N]
+                   [--follow HOST:PORT]
     pgschema store inspect <data-dir>
     pgschema store compact <data-dir>
     pgschema store replay <data-dir>
@@ -260,6 +261,7 @@ fn cmd_serve(rest: &[String]) -> Result<()> {
             "fsync",
             "compact-after-bytes",
             "max-sessions",
+            "follow",
         ],
         &[],
     )?;
@@ -301,6 +303,7 @@ fn cmd_serve(rest: &[String]) -> Result<()> {
                         .map_err(|_| format!("--max-sessions: not a number: {v}"))?,
                 );
             }
+            "follow" => builder = builder.follow(v),
             _ => unreachable!(),
         }
     }

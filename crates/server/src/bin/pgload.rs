@@ -20,9 +20,17 @@
 //! pgload --addr 127.0.0.1:7878 --mode mixed   --connections 8 --duration 10
 //! pgload --addr 127.0.0.1:7878 --mode oneshot --rate 5000 --duration 10
 //! pgload --addr 127.0.0.1:7878 --hold 5000 --duration 10
+//! pgload --cluster 127.0.0.1:7878,127.0.0.1:7879 --mode session --duration 10
 //! pgload --addr 127.0.0.1:7878 --smoke   # CI: one pass over the surface
 //! pgload --restart-check path/to/pgschema   # CI: durability across SIGKILL
+//! pgload --failover-check path/to/pgschema  # CI: promote a follower, lose nothing
 //! ```
+//!
+//! `--cluster a,b,c` shards session traffic across independent leaders
+//! with the same consistent-hash ring every other client computes
+//! ([`pg_server::ring::Ring`]); `--failover-check` spawns a leader and
+//! two followers, kills the leader under acknowledged traffic, promotes
+//! a follower and requires zero acked-write loss.
 
 use std::io::{self, Write};
 use std::net::{TcpListener, TcpStream};
@@ -30,8 +38,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use pg_server::http::read_response;
+use pg_server::ring::Ring;
 use pg_server::workload::{sample_graph, toggle_delta, user_ids, SCHEMA_SDL};
 use pgraph::json::{self, Json};
+
+/// Status, response headers (lowercased names), body.
+type FullResponse = (u16, Vec<(String, String)>, Vec<u8>);
 
 /// One keep-alive client connection.
 struct Client {
@@ -51,6 +63,16 @@ impl Client {
     }
 
     fn request(&mut self, method: &str, target: &str, body: &[u8]) -> io::Result<(u16, Vec<u8>)> {
+        let (status, _headers, body) = self.request_full(method, target, body)?;
+        Ok((status, body))
+    }
+
+    fn request_full(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> io::Result<FullResponse> {
         let head = format!(
             "{method} {target} HTTP/1.1\r\nhost: pgload\r\ncontent-length: {}\r\n\r\n",
             body.len()
@@ -59,8 +81,7 @@ impl Client {
         out.extend_from_slice(head.as_bytes());
         out.extend_from_slice(body);
         self.stream.write_all(&out)?;
-        let (status, _headers, body) = read_response(&mut self.stream, &mut self.buf)?;
-        Ok((status, body))
+        read_response(&mut self.stream, &mut self.buf)
     }
 }
 
@@ -230,8 +251,10 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_load(
     addr: &str,
+    cluster: Option<&Ring>,
     mode: Mode,
     connections: usize,
     seconds: u64,
@@ -243,6 +266,17 @@ fn run_load(
     let deadline = start + Duration::from_secs(seconds);
     let stop = AtomicBool::new(false);
     let stop_ref = &stop;
+    // With `--cluster`, each worker's session key picks its node off the
+    // consistent-hash ring — the same placement every client computes
+    // from the same node list, no coordinator involved.
+    let targets: Vec<String> = (0..connections)
+        .map(|c| match cluster {
+            Some(ring) => ring
+                .node_for_key(format!("pgload-{c}").as_bytes())
+                .to_owned(),
+            None => addr.to_owned(),
+        })
+        .collect();
     let stats: Vec<WorkerStats> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
             .map(|c| {
@@ -259,8 +293,9 @@ fn run_load(
                     interval_s: connections as f64 / r,
                     offset_s: c as f64 / r,
                 });
+                let target = targets[c].as_str();
                 scope.spawn(move || {
-                    run_worker(addr, oneshot, users, engine, deadline, stop_ref, pace)
+                    run_worker(target, oneshot, users, engine, deadline, stop_ref, pace)
                 })
             })
             .collect();
@@ -283,10 +318,13 @@ fn run_load(
         Mode::Session => "session",
         Mode::Mixed => "mixed",
     };
-    let target = match rate {
+    let mut target = match rate {
         Some(r) => format!(" target_rps={r:.0}"),
         None => String::new(),
     };
+    if let Some(ring) = cluster {
+        target.push_str(&format!(" cluster_nodes={}", ring.nodes().len()));
+    }
     println!(
         "mode={mode_name} connections={connections} duration_s={elapsed:.1}{target} \
          requests={requests} errors={errors} shed={shed} \
@@ -701,13 +739,337 @@ fn run_restart_check(server_bin: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Reads one Prometheus gauge/counter value from `/metrics`.
+fn metric_value(client: &mut Client, name: &str) -> Result<u64, String> {
+    let (status, body) = client
+        .request("GET", "/metrics", b"")
+        .map_err(|e| format!("metrics: {e}"))?;
+    if status != 200 {
+        return Err(format!("metrics: status {status}"));
+    }
+    let text = String::from_utf8_lossy(&body);
+    text.lines()
+        .find_map(|l| l.strip_prefix(name).and_then(|rest| rest.strip_prefix(' ')))
+        .and_then(|v| v.trim().parse().ok())
+        .ok_or_else(|| format!("metrics: no `{name}` sample"))
+}
+
+/// The failover check (`--failover-check <pgschema-binary>`): spawn a
+/// leader and two followers, write sessions with distinct histories
+/// through the leader, wait for replication lag to reach zero, verify
+/// follower reads match the leader byte-for-byte and that follower
+/// writes answer `421` naming the leader — then SIGKILL the leader,
+/// promote one follower, and require the promoted node to serve every
+/// acknowledged session identically and to accept new writes. This is
+/// the zero-acked-write-loss guarantee of docs/replication.md exercised
+/// across real processes.
+fn run_failover_check(server_bin: &str) -> Result<(), String> {
+    let scratch = std::env::temp_dir().join(format!("pgload-failover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).map_err(|e| format!("cannot create {scratch:?}: {e}"))?;
+
+    let pick_port = || -> Result<u16, String> {
+        TcpListener::bind("127.0.0.1:0")
+            .and_then(|l| l.local_addr())
+            .map(|a| a.port())
+            .map_err(|e| format!("cannot pick a port: {e}"))
+    };
+    let leader_addr = format!("127.0.0.1:{}", pick_port()?);
+    let f1_addr = format!("127.0.0.1:{}", pick_port()?);
+    let f2_addr = format!("127.0.0.1:{}", pick_port()?);
+
+    let spawn =
+        |addr: &str, dir: &str, follow: Option<&str>| -> Result<std::process::Child, String> {
+            let mut cmd = std::process::Command::new(server_bin);
+            cmd.args([
+                "serve",
+                "--addr",
+                addr,
+                "--cores",
+                "2",
+                "--log-format",
+                "off",
+                "--fsync",
+                "always",
+                "--data-dir",
+            ])
+            .arg(scratch.join(dir));
+            if let Some(leader) = follow {
+                cmd.args(["--follow", leader]);
+            }
+            cmd.stdout(std::process::Stdio::null())
+                .stderr(std::process::Stdio::null())
+                .spawn()
+                .map_err(|e| format!("cannot spawn {server_bin}: {e}"))
+        };
+    let wait_ready = |addr: &str| -> Result<Client, String> {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Ok(mut client) = Client::connect(addr) {
+                if let Ok((200, _)) = client.request("GET", "/healthz", b"") {
+                    return Ok(client);
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(format!("daemon on {addr} not ready within 10s"));
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    };
+
+    let mut children = Vec::new();
+    let result = (|| -> Result<(), String> {
+        children.push(spawn(&leader_addr, "leader", None)?);
+        let mut leader = wait_ready(&leader_addr)?;
+
+        // Seed the leader before the followers exist, so they must
+        // bootstrap from `GET /wal/snapshot` rather than tailing from
+        // sequence 1.
+        let mut ids = Vec::new();
+        for users in [2usize, 4, 6] {
+            let (status, body) = leader
+                .request("POST", "/sessions", envelope(users).as_bytes())
+                .map_err(|e| format!("create: {e}"))?;
+            if status != 201 {
+                return Err(format!("create: status {status}"));
+            }
+            let id = Json::parse(&String::from_utf8_lossy(&body))
+                .ok()
+                .and_then(|d| d.get("session")?.as_i64())
+                .ok_or("create: no session id")?;
+            ids.push((id, users));
+        }
+
+        children.push(spawn(&f1_addr, "follower-1", Some(&leader_addr))?);
+        children.push(spawn(&f2_addr, "follower-2", Some(&leader_addr))?);
+        let mut f1 = wait_ready(&f1_addr)?;
+        let mut f2 = wait_ready(&f2_addr)?;
+
+        // More history after the followers attached, so live tailing is
+        // exercised too: one session left broken, one broken-then-
+        // repaired, one untouched.
+        for (i, &(id, users)) in ids.iter().enumerate() {
+            let graph = sample_graph(users);
+            let user = user_ids(&graph)[0];
+            let deltas: u64 = match i {
+                0 => 1,
+                1 => 2,
+                _ => 0,
+            };
+            for d in 0..deltas {
+                let delta = json::delta_to_json(&toggle_delta(user, d));
+                let (status, _) = leader
+                    .request("POST", &format!("/sessions/{id}/deltas"), delta.as_bytes())
+                    .map_err(|e| format!("delta: {e}"))?;
+                if status != 200 {
+                    return Err(format!("delta: status {status}"));
+                }
+            }
+        }
+
+        // Every write above was acknowledged; the oracle is the leader's
+        // own view of them.
+        let mut oracle = Vec::new();
+        for &(id, _) in &ids {
+            let (status, report) = leader
+                .request("GET", &format!("/sessions/{id}/report"), b"")
+                .map_err(|e| format!("oracle report: {e}"))?;
+            if status != 200 {
+                return Err(format!("oracle report: status {status}"));
+            }
+            let (status, graph) = leader
+                .request("GET", &format!("/sessions/{id}/graph"), b"")
+                .map_err(|e| format!("oracle graph: {e}"))?;
+            if status != 200 {
+                return Err(format!("oracle graph: status {status}"));
+            }
+            oracle.push((id, canonical_report(&report)?, graph));
+        }
+
+        // Both followers must drain their lag before the leader dies —
+        // promotion only preserves what replication delivered. A
+        // follower's lag gauges freeze between polls, so "lag 0" alone
+        // can be a stale pre-write reading; the authoritative bar is the
+        // leader's own end sequence, taken from its tail endpoint.
+        let (status, headers, _) = leader
+            .request_full("GET", "/wal/tail?from=1", b"")
+            .map_err(|e| format!("leader tail: {e}"))?;
+        if status != 200 {
+            return Err(format!("leader tail: status {status}"));
+        }
+        // `x-wal-end-seq` is the leader's `next_seq` — one past its
+        // newest record, so that is the sequence a caught-up follower
+        // must have applied.
+        let leader_last = headers
+            .iter()
+            .find(|(k, _)| k == "x-wal-end-seq")
+            .and_then(|(_, v)| v.parse::<u64>().ok())
+            .ok_or("leader tail: no x-wal-end-seq header")?
+            .saturating_sub(1);
+        for (name, follower) in [("follower-1", &mut f1), ("follower-2", &mut f2)] {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                let caught_up = metric_value(follower, "pgschemad_replication_last_applied_seq")
+                    .map(|seq| seq >= leader_last)
+                    .unwrap_or(false);
+                if caught_up {
+                    break;
+                }
+                if Instant::now() >= deadline {
+                    return Err(format!(
+                        "{name} did not reach leader seq {leader_last} within 10s"
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            if metric_value(follower, "pgschemad_replication_state") != Ok(2) {
+                return Err(format!("{name} is not in the tailing state"));
+            }
+            if metric_value(follower, "pgschemad_replication_follower") != Ok(1) {
+                return Err(format!("{name} does not report itself as a follower"));
+            }
+        }
+
+        // Follower reads serve the leader's state byte-for-byte.
+        for (name, follower) in [("follower-1", &mut f1), ("follower-2", &mut f2)] {
+            for (id, report_oracle, graph_oracle) in &oracle {
+                let (status, report) = follower
+                    .request("GET", &format!("/sessions/{id}/report"), b"")
+                    .map_err(|e| format!("{name} report: {e}"))?;
+                if status != 200 {
+                    return Err(format!("{name} report: status {status}"));
+                }
+                if &canonical_report(&report)? != report_oracle {
+                    return Err(format!("{name}: session {id} report diverges from leader"));
+                }
+                let (status, graph) = follower
+                    .request("GET", &format!("/sessions/{id}/graph"), b"")
+                    .map_err(|e| format!("{name} graph: {e}"))?;
+                if status != 200 {
+                    return Err(format!("{name} graph: status {status}"));
+                }
+                if &graph != graph_oracle {
+                    return Err(format!("{name}: session {id} graph diverges from leader"));
+                }
+            }
+        }
+
+        // Follower writes are misdirected to the leader, not applied.
+        let (status, headers, _) = f1
+            .request_full("POST", "/sessions", envelope(2).as_bytes())
+            .map_err(|e| format!("follower write: {e}"))?;
+        if status != 421 {
+            return Err(format!("follower write: expected 421, got {status}"));
+        }
+        let named_leader = headers
+            .iter()
+            .find(|(k, _)| k == "x-pgschema-leader")
+            .map(|(_, v)| v.as_str());
+        if named_leader != Some(leader_addr.as_str()) {
+            return Err(format!(
+                "follower 421 names leader {named_leader:?}, expected {leader_addr}"
+            ));
+        }
+
+        // Leader loss: SIGKILL, then promote follower-1.
+        children[0]
+            .kill()
+            .map_err(|e| format!("kill leader: {e}"))?;
+        let _ = children[0].wait();
+        let promote_started = Instant::now();
+        let (status, body) = f1
+            .request("POST", "/promote", b"")
+            .map_err(|e| format!("promote: {e}"))?;
+        if status != 200 {
+            return Err(format!("promote: status {status}"));
+        }
+        let promoted = Json::parse(&String::from_utf8_lossy(&body))
+            .map_err(|e| format!("promote: bad JSON: {e}"))?;
+        if promoted.get("role") != Some(&Json::Str("leader".into())) {
+            return Err("promote: node did not report itself leader".into());
+        }
+        // Time-to-first-byte after promotion: the first read the new
+        // leader serves in its new role.
+        let (status, _) = f1
+            .request("GET", &format!("/sessions/{}/report", oracle[0].0), b"")
+            .map_err(|e| format!("post-promote read: {e}"))?;
+        if status != 200 {
+            return Err(format!("post-promote read: status {status}"));
+        }
+        let failover_ms = promote_started.elapsed().as_millis();
+        if metric_value(&mut f1, "pgschemad_replication_follower") != Ok(0) {
+            return Err("promoted node still reports itself as a follower".into());
+        }
+
+        // Zero acked-write loss: every oracle session is intact on the
+        // promoted node.
+        for (id, report_oracle, graph_oracle) in &oracle {
+            let (status, report) = f1
+                .request("GET", &format!("/sessions/{id}/report"), b"")
+                .map_err(|e| format!("promoted report: {e}"))?;
+            if status != 200 {
+                return Err(format!("promoted report: status {status}"));
+            }
+            if &canonical_report(&report)? != report_oracle {
+                return Err(format!("promoted node: session {id} lost acked writes"));
+            }
+            let (status, graph) = f1
+                .request("GET", &format!("/sessions/{id}/graph"), b"")
+                .map_err(|e| format!("promoted graph: {e}"))?;
+            if status != 200 || &graph != graph_oracle {
+                return Err(format!("promoted node: session {id} graph diverges"));
+            }
+        }
+
+        // And it takes writes now: a delta on an old session and a
+        // fresh session with an id the old leader never handed out.
+        let graph = sample_graph(ids[1].1);
+        let user = user_ids(&graph)[0];
+        let delta = json::delta_to_json(&toggle_delta(user, 2));
+        let (status, _) = f1
+            .request(
+                "POST",
+                &format!("/sessions/{}/deltas", ids[1].0),
+                delta.as_bytes(),
+            )
+            .map_err(|e| format!("post-promote delta: {e}"))?;
+        if status != 200 {
+            return Err(format!("post-promote delta: status {status}"));
+        }
+        let (status, body) = f1
+            .request("POST", "/sessions", envelope(3).as_bytes())
+            .map_err(|e| format!("post-promote create: {e}"))?;
+        if status != 201 {
+            return Err(format!("post-promote create: status {status}"));
+        }
+        let new_id = Json::parse(&String::from_utf8_lossy(&body))
+            .ok()
+            .and_then(|d| d.get("session")?.as_i64())
+            .ok_or("post-promote create: no session id")?;
+        if ids.iter().any(|&(id, _)| new_id <= id) {
+            return Err(format!("session ids must not be reused: got {new_id}"));
+        }
+
+        println!("failover-check: ok (promote-to-first-read {failover_ms}ms)");
+        Ok(())
+    })();
+
+    for child in &mut children {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    result
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: pgload --addr HOST:PORT [--mode oneshot|session|mixed] \
          [--connections N] [--duration SECS] [--users N] \
          [--engine naive|indexed|parallel|incremental] \
-         [--rate REQS_PER_SEC] [--hold CONNECTIONS] [--smoke] \
-         [--restart-check PGSCHEMA_BIN]"
+         [--rate REQS_PER_SEC] [--cluster HOST:PORT,HOST:PORT,...] \
+         [--hold CONNECTIONS] [--smoke] \
+         [--restart-check PGSCHEMA_BIN] [--failover-check PGSCHEMA_BIN]"
     );
     std::process::exit(2);
 }
@@ -721,9 +1083,11 @@ fn main() {
     let mut users = 4usize;
     let mut engine = "indexed".to_owned();
     let mut rate: Option<f64> = None;
+    let mut cluster: Option<Ring> = None;
     let mut hold: Option<usize> = None;
     let mut smoke = false;
     let mut restart_check: Option<String> = None;
+    let mut failover_check: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -753,9 +1117,21 @@ fn main() {
                 }
                 rate = Some(r);
             }
+            "--cluster" => {
+                let nodes: Vec<String> = value(&mut i)
+                    .split(',')
+                    .map(|n| n.trim().to_owned())
+                    .filter(|n| !n.is_empty())
+                    .collect();
+                if nodes.is_empty() {
+                    usage();
+                }
+                cluster = Some(Ring::new(nodes));
+            }
             "--hold" => hold = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
             "--smoke" => smoke = true,
             "--restart-check" => restart_check = Some(value(&mut i)),
+            "--failover-check" => failover_check = Some(value(&mut i)),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -765,6 +1141,13 @@ fn main() {
     if let Some(server_bin) = restart_check {
         if let Err(message) = run_restart_check(&server_bin) {
             eprintln!("restart-check: FAIL: {message}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if let Some(server_bin) = failover_check {
+        if let Err(message) = run_failover_check(&server_bin) {
+            eprintln!("failover-check: FAIL: {message}");
             std::process::exit(1);
         }
         return;
@@ -783,5 +1166,14 @@ fn main() {
         }
         return;
     }
-    run_load(&addr, mode, connections, duration, users, &engine, rate);
+    run_load(
+        &addr,
+        cluster.as_ref(),
+        mode,
+        connections,
+        duration,
+        users,
+        &engine,
+        rate,
+    );
 }

@@ -1,6 +1,7 @@
 //! Minimal HTTP/1.1 framing over `std::net` — just enough of RFC 9112
 //! for the daemon and its load generator: request line + headers +
-//! `Content-Length` bodies, keep-alive, no chunked encoding, no TLS.
+//! `Content-Length` bodies (plus `Transfer-Encoding: chunked` on the
+//! *response* side, for the WAL tail stream), keep-alive, no TLS.
 //!
 //! Parsing is *resumable*: [`parse_buffered`] consumes a complete
 //! request from the front of a caller-owned accumulator buffer and
@@ -186,7 +187,8 @@ fn percent_decode(s: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
-/// One HTTP response, written with `Content-Length` framing.
+/// One HTTP response, written with `Content-Length` framing — or, when
+/// [`Response::chunks`] is set, with `Transfer-Encoding: chunked`.
 #[derive(Debug)]
 pub struct Response {
     /// Status code.
@@ -194,10 +196,16 @@ pub struct Response {
     /// Extra headers beyond `Content-Length` / `Content-Type` /
     /// `Connection`.
     pub headers: Vec<(String, String)>,
-    /// Response body.
+    /// Response body (ignored when `chunks` is set).
     pub body: Vec<u8>,
     /// `Content-Type` of the body.
     pub content_type: &'static str,
+    /// When set, the response is written with `Transfer-Encoding:
+    /// chunked`, one chunk per entry (empty entries are skipped — a
+    /// zero-length chunk would terminate the stream early). The WAL tail
+    /// endpoint uses one chunk per frame so a tailing follower can apply
+    /// records as they arrive.
+    pub chunks: Option<Vec<Vec<u8>>>,
 }
 
 impl Response {
@@ -208,6 +216,7 @@ impl Response {
             headers: Vec::new(),
             body: body.into(),
             content_type: "application/json",
+            chunks: None,
         }
     }
 
@@ -218,6 +227,29 @@ impl Response {
             headers: Vec::new(),
             body: body.into(),
             content_type: "text/plain; charset=utf-8",
+            chunks: None,
+        }
+    }
+
+    /// A binary response with a `Content-Length` body.
+    pub fn octets(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into(),
+            content_type: "application/octet-stream",
+            chunks: None,
+        }
+    }
+
+    /// A binary chunked-transfer response, one chunk per entry.
+    pub fn chunked(status: u16, chunks: Vec<Vec<u8>>) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+            content_type: "application/octet-stream",
+            chunks: Some(chunks),
         }
     }
 
@@ -240,12 +272,16 @@ impl Response {
     /// for the reactor's output queue (flushed with `writev`). `close`
     /// adds `Connection: close`; otherwise `Connection: keep-alive`.
     pub fn serialize(&self, close: bool) -> Vec<u8> {
+        let framing = match &self.chunks {
+            Some(_) => "transfer-encoding: chunked".to_owned(),
+            None => format!("content-length: {}", self.body.len()),
+        };
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\n{}\r\nconnection: {}\r\n",
             self.status,
             reason(self.status),
             self.content_type,
-            self.body.len(),
+            framing,
             if close { "close" } else { "keep-alive" },
         );
         for (name, value) in &self.headers {
@@ -257,7 +293,17 @@ impl Response {
         head.push_str("\r\n");
         let mut out = Vec::with_capacity(head.len() + self.body.len());
         out.extend_from_slice(head.as_bytes());
-        out.extend_from_slice(&self.body);
+        match &self.chunks {
+            Some(chunks) => {
+                for chunk in chunks.iter().filter(|c| !c.is_empty()) {
+                    out.extend_from_slice(format!("{:x}\r\n", chunk.len()).as_bytes());
+                    out.extend_from_slice(chunk);
+                    out.extend_from_slice(b"\r\n");
+                }
+                out.extend_from_slice(b"0\r\n\r\n");
+            }
+            None => out.extend_from_slice(&self.body),
+        }
         out
     }
 
@@ -299,6 +345,7 @@ fn reason(status: u16) -> &'static str {
         409 => "Conflict",
         410 => "Gone",
         413 => "Payload Too Large",
+        421 => "Misdirected Request",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -339,6 +386,14 @@ pub fn read_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> io::Result<Re
                     headers.push((name, value));
                 }
             }
+            let chunked = headers
+                .iter()
+                .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+            if chunked {
+                let (body, consumed) = read_chunked_body(stream, buf, head_len, &mut chunk)?;
+                buf.drain(..consumed);
+                return Ok((status, headers, body));
+            }
             let total = head_len + body_len;
             while buf.len() < total {
                 let n = stream.read(&mut chunk)?;
@@ -356,6 +411,69 @@ pub fn read_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> io::Result<Re
             return Err(invalid("connection closed before response"));
         }
         buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Decodes a `Transfer-Encoding: chunked` body starting at `start` in
+/// `buf`, reading more from `stream` as needed. Returns the concatenated
+/// chunk data and the index in `buf` one past the terminating chunk, so
+/// the caller can drain the consumed bytes while preserving pipelined
+/// surplus. Trailer fields are consumed and discarded.
+fn read_chunked_body(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    start: usize,
+    scratch: &mut [u8],
+) -> io::Result<(Vec<u8>, usize)> {
+    let mut fill = |buf: &mut Vec<u8>| -> io::Result<()> {
+        let n = stream.read(scratch)?;
+        if n == 0 {
+            return Err(invalid("connection closed mid-chunk"));
+        }
+        buf.extend_from_slice(&scratch[..n]);
+        Ok(())
+    };
+    let mut body = Vec::new();
+    let mut pos = start;
+    loop {
+        let line_end = loop {
+            match buf[pos..].windows(2).position(|w| w == b"\r\n") {
+                Some(p) => break pos + p,
+                None => fill(buf)?,
+            }
+        };
+        let size_text = std::str::from_utf8(&buf[pos..line_end])
+            .map_err(|_| invalid("chunk size is not UTF-8"))?;
+        let size_text = size_text.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_text, 16).map_err(|_| invalid("bad chunk size"))?;
+        if body.len().saturating_add(size) > MAX_BODY {
+            return Err(invalid("chunked body too large"));
+        }
+        pos = line_end + 2;
+        if size == 0 {
+            // Trailer section: lines until an empty one.
+            loop {
+                let trailer_end = loop {
+                    match buf[pos..].windows(2).position(|w| w == b"\r\n") {
+                        Some(p) => break pos + p,
+                        None => fill(buf)?,
+                    }
+                };
+                let empty = trailer_end == pos;
+                pos = trailer_end + 2;
+                if empty {
+                    return Ok((body, pos));
+                }
+            }
+        }
+        while buf.len() < pos + size + 2 {
+            fill(buf)?;
+        }
+        body.extend_from_slice(&buf[pos..pos + size]);
+        if &buf[pos + size..pos + size + 2] != b"\r\n" {
+            return Err(invalid("chunk data not CRLF-terminated"));
+        }
+        pos += size + 2;
     }
 }
 
@@ -428,6 +546,49 @@ mod tests {
         assert!(text.contains("content-length: 2\r\n"));
         assert!(text.contains("connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn serialize_chunked_frames_each_chunk() {
+        let bytes = Response::chunked(200, vec![b"abc".to_vec(), Vec::new(), b"defgh".to_vec()])
+            .serialize(false)
+            .into_iter()
+            .collect::<Vec<u8>>();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("transfer-encoding: chunked\r\n"));
+        assert!(!text.contains("content-length"));
+        // Empty chunks are dropped: a zero-size chunk terminates the
+        // stream, and only the final terminator may do that.
+        assert!(text.ends_with("\r\n\r\n3\r\nabc\r\n5\r\ndefgh\r\n0\r\n\r\n"));
+    }
+
+    #[test]
+    fn chunked_round_trip_over_a_socket() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let payload: Vec<Vec<u8>> = (0u8..5).map(|i| vec![i; 64 * i as usize + 1]).collect();
+        let expected: Vec<u8> = payload.iter().flatten().copied().collect();
+        let wire = Response::chunked(200, payload)
+            .with_header("x-wal-next-from", "42")
+            .serialize(false);
+        let server = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().unwrap();
+            // Dribble the bytes to exercise resumable chunk decoding.
+            for piece in wire.chunks(7) {
+                sock.write_all(piece).unwrap();
+                sock.flush().unwrap();
+            }
+        });
+        let mut sock = TcpStream::connect(addr).unwrap();
+        let mut buf = Vec::new();
+        let (status, headers, body) = read_response(&mut sock, &mut buf).unwrap();
+        server.join().unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, expected);
+        assert!(headers
+            .iter()
+            .any(|(n, v)| n == "x-wal-next-from" && v == "42"));
+        assert!(buf.is_empty(), "no surplus bytes after the terminator");
     }
 
     #[test]

@@ -44,6 +44,9 @@
 //! | `DELETE /sessions/{id}` | drop the session |
 //! | `GET /healthz` | liveness |
 //! | `GET /metrics` | Prometheus text format ([`metrics::Metrics`]) |
+//! | `GET /wal/tail?from={seq}` | replication: raw WAL frames from `seq` on, chunked |
+//! | `GET /wal/snapshot` | replication: bootstrap snapshot of every live session |
+//! | `POST /promote` | replication: flip this follower to leader |
 //!
 //! ## Durability
 //!
@@ -54,6 +57,23 @@
 //! snapshot + WAL tail, tolerating torn tails. Sessions come back
 //! *dormant* and revalidate lazily on their first report. `--max-sessions`
 //! bounds the registry with LRU eviction; evicted ids answer `410 Gone`.
+//!
+//! ## Replication and sharding
+//!
+//! A durable server is also a replication **leader** for free: followers
+//! poll `GET /wal/tail` for raw WAL frames (byte-identical to the
+//! leader's log; the leader keeps no per-follower state) and bootstrap
+//! from `GET /wal/snapshot`. A server started with `--follow <addr>`
+//! (see [`ServerConfig::follow`]) is a read-only **follower**: it
+//! applies the leader's records through the same seq-gated path crash
+//! recovery uses, serves reads locally, answers writes with `421
+//! Misdirected Request` (the `x-pgschema-leader` header names the
+//! leader), and becomes a leader on `POST /promote` or SIGHUP.
+//! Replication lag is exported under `pgschemad_replication_*` in
+//! `/metrics`. Horizontal scale-out uses client-side consistent hashing
+//! ([`ring::Ring`]) across independent leaders. The wire protocol is
+//! specified normatively in `docs/replication.md`; the runbook is
+//! `docs/operations.md`.
 //!
 //! Request and response bodies reuse the `pgraph::json` value types and
 //! (de)serializers — the server adds no JSON parser of its own.
@@ -71,6 +91,8 @@ pub mod http;
 pub mod metrics;
 pub mod reactor;
 pub mod registry;
+mod replication;
+pub mod ring;
 pub mod server;
 pub mod signal;
 pub mod sys;

@@ -34,6 +34,10 @@ pub const WAKEUP_EVENT_BUCKETS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
 pub struct RenderGauges {
     /// Connections currently open, per reactor core (index = core).
     pub core_connections: Vec<usize>,
+    /// Whether this process currently serves as a replication follower
+    /// (`Some(true)`), a leader (`Some(false)`), or runs outside a
+    /// server (`None` — the role gauge is then omitted).
+    pub role_follower: Option<bool>,
     /// Connections currently open across all cores (sampled separately
     /// from the per-core gauges, so the sum may differ transiently while
     /// a connection migrates).
@@ -46,6 +50,38 @@ pub struct RenderGauges {
     pub sessions_evicted: u64,
     /// The store's counters, when the server is durable.
     pub store: Option<pg_store::StoreStats>,
+}
+
+/// [`ReplicationMetrics::state`] value: not replicating (leader, or no
+/// `--follow` configured).
+pub const REPL_STATE_NONE: u64 = 0;
+/// [`ReplicationMetrics::state`] value: follower trying to (re)connect.
+pub const REPL_STATE_CONNECTING: u64 = 1;
+/// [`ReplicationMetrics::state`] value: follower tailing the leader.
+pub const REPL_STATE_TAILING: u64 = 2;
+/// [`ReplicationMetrics::state`] value: follower lost the leader and is
+/// backing off between reconnect attempts.
+pub const REPL_STATE_STALLED: u64 = 3;
+
+/// Follower-side replication counters, mutated by the follower thread
+/// with relaxed stores and rendered alongside everything else. All zero
+/// on a leader.
+#[derive(Default)]
+pub struct ReplicationMetrics {
+    /// Current follower state; one of the `REPL_STATE_*` constants.
+    pub state: AtomicU64,
+    /// Records the leader holds that this follower has not yet applied
+    /// (`end_seq - next_from` of the last tail response).
+    pub lag_records: AtomicU64,
+    /// Bytes of WAL frames the leader holds beyond the last batch this
+    /// follower received.
+    pub lag_bytes: AtomicU64,
+    /// Reconnect attempts since startup (the first connect counts).
+    pub reconnects_total: AtomicU64,
+    /// WAL records applied from the leader since startup.
+    pub records_applied_total: AtomicU64,
+    /// Sequence number of the newest record applied from the leader.
+    pub last_applied_seq: AtomicU64,
 }
 
 const ENGINES: [Engine; 4] = [
@@ -101,6 +137,8 @@ pub struct Metrics {
     wal_append_buckets: [AtomicU64; WAL_LATENCY_BUCKETS_MICROS.len() + 1],
     wal_append_sum_micros: AtomicU64,
     wal_append_count: AtomicU64,
+    /// Follower-side replication counters (all zero on a leader).
+    pub replication: ReplicationMetrics,
 }
 
 impl Metrics {
@@ -123,6 +161,7 @@ impl Metrics {
             wal_append_buckets: Default::default(),
             wal_append_sum_micros: AtomicU64::new(0),
             wal_append_count: AtomicU64::new(0),
+            replication: ReplicationMetrics::default(),
         }
     }
 
@@ -434,6 +473,63 @@ impl Metrics {
             self.wal_append_count.load(Ordering::Relaxed)
         ));
 
+        if let Some(follower) = g.role_follower {
+            out.push_str(
+                "# HELP pgschemad_replication_follower 1 while this process is a follower, \
+                 0 once it is (or becomes) the leader.\n",
+            );
+            out.push_str("# TYPE pgschemad_replication_follower gauge\n");
+            out.push_str(&format!(
+                "pgschemad_replication_follower {}\n",
+                u8::from(follower)
+            ));
+        }
+        let r = &self.replication;
+        let repl_gauges: [(&str, &str, u64); 4] = [
+            (
+                "pgschemad_replication_state",
+                "Follower state: 0 none, 1 connecting, 2 tailing, 3 stalled.",
+                r.state.load(Ordering::Relaxed),
+            ),
+            (
+                "pgschemad_replication_lag_records",
+                "Leader records not yet applied by this follower.",
+                r.lag_records.load(Ordering::Relaxed),
+            ),
+            (
+                "pgschemad_replication_lag_bytes",
+                "Leader WAL bytes not yet received by this follower.",
+                r.lag_bytes.load(Ordering::Relaxed),
+            ),
+            (
+                "pgschemad_replication_last_applied_seq",
+                "Newest leader sequence number applied by this follower.",
+                r.last_applied_seq.load(Ordering::Relaxed),
+            ),
+        ];
+        for (metric, help, value) in repl_gauges {
+            out.push_str(&format!(
+                "# HELP {metric} {help}\n# TYPE {metric} gauge\n{metric} {value}\n"
+            ));
+        }
+        let repl_counters: [(&str, &str, u64); 2] = [
+            (
+                "pgschemad_replication_reconnects_total",
+                "Connection attempts to the leader since startup.",
+                r.reconnects_total.load(Ordering::Relaxed),
+            ),
+            (
+                "pgschemad_replication_records_applied_total",
+                "WAL records applied from the leader since startup.",
+                r.records_applied_total.load(Ordering::Relaxed),
+            ),
+        ];
+        for (metric, help, value) in repl_counters {
+            out.push_str(&format!(
+                "# HELP {metric} {help}\n# TYPE {metric} counter\n{metric} {value}\n"
+            ));
+        }
+
         if let Some(stats) = &g.store {
             let counters: [(&str, &str, u64); 4] = [
                 (
@@ -515,8 +611,16 @@ mod tests {
         m.record_migration();
         m.record_validation(Engine::Indexed, None);
         m.record_wal_append(7);
+        m.replication
+            .state
+            .store(REPL_STATE_TAILING, Ordering::Relaxed);
+        m.replication.lag_records.store(12, Ordering::Relaxed);
+        m.replication
+            .reconnects_total
+            .fetch_add(2, Ordering::Relaxed);
         let text = m.render(&RenderGauges {
             core_connections: vec![4, 3],
+            role_follower: Some(true),
             connections_open: 7,
             sessions_live: 5,
             sessions_recovered: 3,
@@ -553,6 +657,10 @@ mod tests {
         assert!(text.contains("pgschemad_wal_appends_total 9"));
         assert!(text.contains("pgschemad_wal_appended_bytes_total 4096"));
         assert!(text.contains("pgschemad_wal_size_bytes 0"));
+        assert!(text.contains("pgschemad_replication_follower 1"));
+        assert!(text.contains("pgschemad_replication_state 2"));
+        assert!(text.contains("pgschemad_replication_lag_records 12"));
+        assert!(text.contains("pgschemad_replication_reconnects_total 2"));
         // Per-rule families render a sample for every rule even before
         // any run recorded rule metrics.
         assert!(text.contains("pgschemad_rule_violations_total{rule=\"DS7\"} 0"));

@@ -35,7 +35,7 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use pg_schema::{IncrementalEngine, PgSchema, ValidationOptions};
-use pg_store::{Recovered, Store};
+use pg_store::{Recovered, Store, StoreRecord};
 use pgraph::{GraphDelta, PropertyGraph};
 
 /// A session's engine, materialised lazily after recovery.
@@ -159,6 +159,10 @@ pub struct SessionRegistry {
     next_id: AtomicU64,
     clock: AtomicU64,
     store: Option<Arc<Store>>,
+    /// Options new sessions validate with; kept registry-wide so
+    /// replicated `Create` records (which carry no options) hydrate the
+    /// same way locally created sessions do.
+    options: ValidationOptions,
     max_sessions: Option<usize>,
     evicted_total: AtomicU64,
     recovered_total: u64,
@@ -178,6 +182,7 @@ impl SessionRegistry {
             next_id: AtomicU64::new(1),
             clock: AtomicU64::new(0),
             store: None,
+            options: ValidationOptions::default(),
             max_sessions,
             evicted_total: AtomicU64::new(0),
             recovered_total: 0,
@@ -226,6 +231,7 @@ impl SessionRegistry {
             next_id: AtomicU64::new(recovered.next_session_id),
             clock: AtomicU64::new(clock),
             store: Some(store),
+            options: *options,
             max_sessions,
             evicted_total: AtomicU64::new(0),
             recovered_total,
@@ -402,6 +408,105 @@ impl SessionRegistry {
         Ok(Some(outcome))
     }
 
+    /// Applies one WAL record received from the replication leader to
+    /// the live session map. The record's frame is already in the local
+    /// WAL ([`Store::append_replicated`] put it there), so this touches
+    /// memory only — no appends, no eviction (the leader logs `Delete`
+    /// records for its own evictions, and this follower replays those).
+    ///
+    /// Application is seq-gated exactly like recovery replay: a record
+    /// whose `seq` does not exceed the session's `last_seq` is a
+    /// duplicate (snapshot-bootstrapped state, or redelivery after a
+    /// reconnect) and is skipped.
+    pub fn apply_replicated(&self, seq: u64, record: StoreRecord) {
+        match record {
+            StoreRecord::Create {
+                session,
+                schema_sdl,
+                graph,
+            } => {
+                self.next_id.fetch_max(session + 1, Ordering::Relaxed);
+                if let Lookup::Found(slot) = self.get(session) {
+                    if slot.session.lock().unwrap().last_seq >= seq {
+                        return;
+                    }
+                }
+                let slot = Arc::new(SessionSlot {
+                    session: Mutex::new(Session {
+                        state: SessionState::Dormant { graph },
+                        schema_sdl,
+                        options: self.options,
+                        deltas_applied: 0,
+                        last_seq: seq,
+                    }),
+                    last_used: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)),
+                });
+                self.sessions.write().unwrap().insert(session, slot);
+            }
+            StoreRecord::Delta { session, delta } => {
+                let Lookup::Found(slot) = self.get(session) else {
+                    return;
+                };
+                let mut s = slot.session.lock().unwrap();
+                if seq <= s.last_seq {
+                    return;
+                }
+                // Mirror recovery's rule 4: a delta that fails part-way
+                // keeps its deterministic partial effects, and only a
+                // full application counts towards `deltas_applied`.
+                let applied = match &mut s.state {
+                    SessionState::Ready(engine) => engine.apply(&delta).is_ok(),
+                    SessionState::Dormant { graph } => delta.apply_to(graph).is_ok(),
+                    SessionState::Poisoned => false,
+                };
+                if applied {
+                    s.deltas_applied += 1;
+                }
+                s.last_seq = seq;
+            }
+            StoreRecord::Delete { session } => {
+                let Lookup::Found(slot) = self.get(session) else {
+                    return;
+                };
+                if slot.session.lock().unwrap().last_seq >= seq {
+                    return;
+                }
+                self.sessions.write().unwrap().remove(&session);
+            }
+        }
+    }
+
+    /// Captures every live session into a snapshot blob for a
+    /// bootstrapping follower (`GET /wal/snapshot`). Unlike
+    /// [`SessionRegistry::compact`] this neither rotates the WAL nor
+    /// deletes anything — the blob's `base_seq` is sampled *before* the
+    /// capture, so a session that absorbs records mid-capture is still
+    /// consistent: the receiver tails from `base_seq + 1` and its
+    /// per-session seq gating skips what the snapshot already contains.
+    /// `None` without a store.
+    pub fn handoff_snapshot(&self) -> Option<Vec<u8>> {
+        let store = self.store.as_ref()?;
+        let mut handoff = store.begin_handoff();
+        let slots: Vec<(u64, Arc<SessionSlot>)> = self
+            .sessions
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(id, slot)| (*id, Arc::clone(slot)))
+            .collect();
+        for (id, slot) in slots {
+            let session = slot.session.lock().unwrap();
+            handoff.add_session(
+                id,
+                session.last_seq,
+                session.deltas_applied,
+                &session.schema_sdl,
+                session.graph(),
+            );
+        }
+        Some(handoff.finish(self.next_id.load(Ordering::Relaxed)))
+    }
+
     /// Syncs buffered WAL appends (graceful-shutdown path).
     pub fn sync_store(&self) -> io::Result<()> {
         match &self.store {
@@ -566,6 +671,56 @@ mod tests {
         assert!(matches!(reg.get(a), Lookup::Evicted));
         assert!(matches!(reg.get(b), Lookup::Found(_)));
         assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn replicated_records_are_seq_gated_and_keep_sessions_dormant() {
+        let reg = SessionRegistry::new();
+        let (graph, _) = session_parts();
+        let u = graph.node_ids().next().unwrap();
+        reg.apply_replicated(
+            1,
+            StoreRecord::Create {
+                session: 7,
+                schema_sdl: SDL.to_owned(),
+                graph,
+            },
+        );
+        assert!(matches!(reg.get(7), Lookup::Found(_)));
+        // A redelivered create must not reset the session.
+        let delta = GraphDelta::new().set_node_property(u, "login", Value::Int(3));
+        reg.apply_replicated(
+            2,
+            StoreRecord::Delta {
+                session: 7,
+                delta: delta.clone(),
+            },
+        );
+        reg.apply_replicated(2, StoreRecord::Delta { session: 7, delta });
+        reg.apply_replicated(
+            1,
+            StoreRecord::Create {
+                session: 7,
+                schema_sdl: SDL.to_owned(),
+                graph: PropertyGraph::new(),
+            },
+        );
+        let Lookup::Found(slot) = reg.get(7) else {
+            panic!("session exists");
+        };
+        {
+            let s = slot.session.lock().unwrap();
+            assert_eq!(s.deltas_applied, 1, "duplicate delta must be skipped");
+            assert_eq!(s.last_seq, 2);
+            assert!(!s.is_hydrated(), "replication must not seed engines");
+        }
+        // A delete older than the session's state is a duplicate too.
+        reg.apply_replicated(2, StoreRecord::Delete { session: 7 });
+        assert!(matches!(reg.get(7), Lookup::Found(_)));
+        reg.apply_replicated(3, StoreRecord::Delete { session: 7 });
+        assert!(matches!(reg.get(7), Lookup::Missing));
+        // Replicated ids advance the allocator past the leader's.
+        assert_eq!(create(&reg), 8);
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Client-side consistent hashing for session sharding.
+//!
+//! A cluster of independent leaders (`--cluster a,b,c` in the CLI and
+//! `pgload`) partitions sessions by key: each node is hashed onto a ring
+//! at [`VNODES`] points, a key is hashed to one point, and the key
+//! belongs to the first node clockwise from it. Adding or removing one
+//! node then remaps only the keys that fell between the changed node's
+//! points and their predecessors — about `1/n` of the keyspace — instead
+//! of reshuffling everything the way `hash % n` would.
+//!
+//! The hash is FNV-1a with an avalanche finalizer ([`place`]) over the
+//! node name (with the vnode index mixed in) and over the key bytes:
+//! deterministic across processes and platforms, no dependencies, and
+//! well-scattered even for the short, near-identical strings used here.
+//! Every client computes the same ring from the same `--cluster` list —
+//! placement needs no coordination service. The ring is also what the
+//! rebalance procedure in `docs/operations.md` §Rebalancing relies on:
+//! after growing the cluster, only the sessions whose key moved need a
+//! snapshot + WAL-tail handoff to the new node.
+
+/// Points each node contributes to the ring. More vnodes smooth the
+/// load split (the standard deviation of shard sizes shrinks with
+/// `1/sqrt(VNODES)`) at the cost of a bigger sorted table; 64 keeps the
+/// imbalance under a few percent for small clusters.
+pub const VNODES: usize = 64;
+
+/// FNV-1a, the 64-bit variant — stable and allocation-free. Raw FNV is
+/// not enough for ring placement on its own: a trailing byte only
+/// reaches the high bits through a single multiply by the ~2^40 prime,
+/// so short keys differing in their last characters ("worker-1",
+/// "worker-2", …) share their top bits and pile onto one arc of the
+/// ring. [`place`] finishes it with a full avalanche for that reason.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Position of `bytes` on the ring: FNV-1a followed by the 64-bit
+/// xor-shift-multiply finalizer (the `fmix64` step of MurmurHash3),
+/// which avalanches every input bit into every output bit.
+pub fn place(bytes: &[u8]) -> u64 {
+    let mut hash = fnv1a(bytes);
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    hash ^ (hash >> 33)
+}
+
+/// A consistent-hash ring over a fixed set of node addresses.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(point, node index)` sorted by point.
+    points: Vec<(u64, usize)>,
+    nodes: Vec<String>,
+}
+
+impl Ring {
+    /// Builds the ring. Node order does not matter — the ring is a pure
+    /// function of the set of names — but duplicates are kept (they
+    /// would double a node's share, which is never what the caller
+    /// wants, so don't pass them).
+    pub fn new(nodes: impl IntoIterator<Item = impl Into<String>>) -> Ring {
+        let nodes: Vec<String> = nodes.into_iter().map(Into::into).collect();
+        let mut points = Vec::with_capacity(nodes.len() * VNODES);
+        for (index, node) in nodes.iter().enumerate() {
+            for vnode in 0..VNODES {
+                let mut label = Vec::with_capacity(node.len() + 9);
+                label.extend_from_slice(node.as_bytes());
+                label.push(b'#');
+                label.extend_from_slice(&(vnode as u64).to_le_bytes());
+                points.push((place(&label), index));
+            }
+        }
+        points.sort_unstable();
+        Ring { points, nodes }
+    }
+
+    /// The node addresses this ring was built over, in input order.
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// The node that owns `key`: the first ring point at or clockwise
+    /// after the key's hash. Panics on an empty ring.
+    pub fn node_for_key(&self, key: &[u8]) -> &str {
+        assert!(!self.points.is_empty(), "ring has no nodes");
+        let hash = place(key);
+        let index = match self.points.binary_search(&(hash, usize::MAX)) {
+            Ok(i) => i,
+            Err(i) if i == self.points.len() => 0, // wrap around
+            Err(i) => i,
+        };
+        &self.nodes[self.points[index].1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three() -> Ring {
+        Ring::new(["10.0.0.1:7878", "10.0.0.2:7878", "10.0.0.3:7878"])
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let a = three();
+        let b = Ring::new(["10.0.0.1:7878", "10.0.0.2:7878", "10.0.0.3:7878"]);
+        for i in 0..500u64 {
+            let key = format!("session-{i}");
+            assert_eq!(
+                a.node_for_key(key.as_bytes()),
+                b.node_for_key(key.as_bytes())
+            );
+        }
+    }
+
+    #[test]
+    fn load_spreads_across_nodes() {
+        let ring = three();
+        let mut per_node = std::collections::HashMap::new();
+        for i in 0..3000u64 {
+            let key = format!("session-{i}");
+            *per_node
+                .entry(ring.node_for_key(key.as_bytes()).to_owned())
+                .or_insert(0usize) += 1;
+        }
+        assert_eq!(per_node.len(), 3);
+        for (node, count) in &per_node {
+            // Perfect balance would be 1000; tolerate vnode wobble.
+            assert!(
+                (500..=1500).contains(count),
+                "{node} got {count} of 3000 keys"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_node_only_moves_its_own_keys() {
+        let full = three();
+        let reduced = Ring::new(["10.0.0.1:7878", "10.0.0.3:7878"]);
+        let mut moved = 0usize;
+        let total = 3000usize;
+        for i in 0..total as u64 {
+            let key = format!("session-{i}");
+            let before = full.node_for_key(key.as_bytes());
+            let after = reduced.node_for_key(key.as_bytes());
+            if before == "10.0.0.2:7878" {
+                // Keys of the removed node must land on a survivor.
+                assert_ne!(after, "10.0.0.2:7878");
+            } else if before != after {
+                moved += 1;
+            }
+        }
+        // Consistent hashing's whole point: keys on surviving nodes
+        // stay put.
+        assert_eq!(moved, 0, "{moved} keys moved between surviving nodes");
+    }
+
+    #[test]
+    fn short_sequential_keys_still_spread() {
+        // Raw FNV-1a leaves the top bits of "w-0".."w-9" identical, so
+        // without the avalanche finalizer every one of these keys lands
+        // on the same node. Guard the finalizer.
+        let ring = Ring::new(["a:1", "b:1"]);
+        let mut per_node = std::collections::HashMap::new();
+        for c in 0..16u64 {
+            let key = format!("pgload-{c}");
+            *per_node
+                .entry(ring.node_for_key(key.as_bytes()).to_owned())
+                .or_insert(0usize) += 1;
+        }
+        assert_eq!(
+            per_node.len(),
+            2,
+            "sequential keys all on one node: {per_node:?}"
+        );
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let ring = Ring::new(["localhost:7878"]);
+        for i in 0..50u64 {
+            assert_eq!(
+                ring.node_for_key(format!("k{i}").as_bytes()),
+                "localhost:7878"
+            );
+        }
+    }
+}

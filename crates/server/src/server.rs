@@ -23,6 +23,16 @@ use crate::registry::{Lookup, RemoveOutcome, SessionRegistry};
 /// pending (it also re-checks the shutdown flag at this cadence).
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
+/// Upper bound on the frame bytes one `GET /wal/tail` response carries.
+/// A lagging follower catches up in successive batches rather than one
+/// giant response; `read_tail` may exceed this by one frame so progress
+/// is always possible.
+const TAIL_BATCH_BYTES: usize = 1 << 20;
+
+/// How long `POST /promote` waits for the follower loop to observe the
+/// promotion flag and flip the role before answering 503.
+const PROMOTE_TIMEOUT: Duration = Duration::from_secs(10);
+
 /// Shape of the per-request log lines (`--log-format`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum LogFormat {
@@ -87,6 +97,13 @@ pub struct ServerConfig {
     pub compact_after_bytes: u64,
     /// LRU bound on live sessions (`--max-sessions`).
     pub max_sessions: Option<usize>,
+    /// Leader address to replicate from (`--follow`). When set the
+    /// daemon starts as a read-only follower: it bootstraps an empty
+    /// `--data-dir` from the leader's snapshot, tails the leader's WAL,
+    /// answers reads, and rejects writes with `421` until promoted
+    /// (`POST /promote` or SIGHUP). Requires `data_dir`. See
+    /// `docs/replication.md`.
+    pub follow: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -100,6 +117,7 @@ impl Default for ServerConfig {
             fsync: FsyncPolicy::Always,
             compact_after_bytes: 8 << 20,
             max_sessions: None,
+            follow: None,
         }
     }
 }
@@ -184,6 +202,13 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Start as a read-only follower of the leader at `addr` (requires
+    /// [`data_dir`](Self::data_dir)).
+    pub fn follow(mut self, addr: impl Into<String>) -> Self {
+        self.config.follow = Some(addr.into());
+        self
+    }
+
     /// Finishes, yielding the configuration.
     pub fn build(self) -> ServerConfig {
         self.config
@@ -207,6 +232,23 @@ pub(crate) struct Ctx {
     pub(crate) core_connections: Vec<AtomicUsize>,
     /// Set by [`ServerHandle::shutdown`]; every loop drains and exits.
     pub(crate) shutdown: AtomicBool,
+    /// The leader address this daemon follows (`--follow`), if any.
+    /// Fixed for the life of the process even after promotion — it is
+    /// where `421` responses point writers.
+    pub(crate) follow: Option<String>,
+    /// True while this daemon is a read-only follower; flipped to false
+    /// exactly once, by the follower loop, on promotion.
+    pub(crate) role_follower: AtomicBool,
+    /// Set by `POST /promote`; the follower loop polls it (alongside
+    /// SIGHUP) and performs the promotion.
+    pub(crate) promote: AtomicBool,
+}
+
+impl Ctx {
+    /// True while writes must be redirected to the leader.
+    pub(crate) fn is_follower(&self) -> bool {
+        self.role_follower.load(Ordering::Relaxed)
+    }
 }
 
 /// A bound, not-yet-running daemon. [`bind`](Server::bind) first, read
@@ -233,6 +275,34 @@ impl Server {
                 .unwrap_or(1),
             n => n,
         };
+        if let Some(leader) = &config.follow {
+            let Some(dir) = &config.data_dir else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "--follow requires --data-dir (a follower replicates into a durable store)",
+                ));
+            };
+            // An empty (or missing) data dir bootstraps from the
+            // leader's snapshot; anything else resumes tailing from the
+            // recovered WAL position.
+            let empty = match std::fs::read_dir(dir) {
+                Ok(mut entries) => entries.next().is_none(),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => true,
+                Err(e) => return Err(e),
+            };
+            if empty {
+                let blob = crate::replication::fetch_snapshot(leader)?;
+                pg_store::install_snapshot(dir, &blob)?;
+                if config.log_format != LogFormat::Off {
+                    eprintln!(
+                        "replication: bootstrapped {} from leader {leader} \
+                         ({} snapshot bytes)",
+                        dir.display(),
+                        blob.len()
+                    );
+                }
+            }
+        }
         let registry = match &config.data_dir {
             None => SessionRegistry::in_memory(config.max_sessions),
             Some(dir) => {
@@ -277,6 +347,9 @@ impl Server {
                 open_connections: AtomicUsize::new(0),
                 core_connections: (0..cores).map(|_| AtomicUsize::new(0)).collect(),
                 shutdown: AtomicBool::new(false),
+                role_follower: AtomicBool::new(config.follow.is_some()),
+                promote: AtomicBool::new(false),
+                follow: config.follow,
             }),
         })
     }
@@ -315,6 +388,14 @@ impl Server {
                 .name("pgschemad-accept".to_owned())
                 .spawn(move || accept_loop(ctx, listener, accept_peers))?,
         );
+        if self.ctx.follow.is_some() {
+            let ctx = Arc::clone(&self.ctx);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("pgschemad-follower".to_owned())
+                    .spawn(move || crate::replication::run_follower(ctx))?,
+            );
+        }
         Ok(ServerHandle {
             addr,
             ctx: self.ctx,
@@ -491,6 +572,7 @@ fn route(ctx: &Ctx, request: &Request) -> Handled {
                         .iter()
                         .map(|c| c.load(Ordering::Relaxed))
                         .collect(),
+                    role_follower: Some(ctx.is_follower()),
                     connections_open: ctx.open_connections.load(Ordering::Relaxed),
                     sessions_live: ctx.registry.len(),
                     sessions_recovered: ctx.registry.recovered_total(),
@@ -500,8 +582,16 @@ fn route(ctx: &Ctx, request: &Request) -> Handled {
             ),
         ),
         ("POST", "/validate") => handle_validate(ctx, request),
+        ("POST", "/sessions") if ctx.is_follower() => misdirected(ctx, "/sessions"),
         ("POST", "/sessions") => handle_create_session(ctx, request),
-        (_, "/healthz" | "/metrics" | "/validate" | "/sessions") => Handled::plain(
+        ("GET", "/wal/tail") => handle_wal_tail(ctx, request),
+        ("GET", "/wal/snapshot") => handle_wal_snapshot(ctx),
+        ("POST", "/promote") => handle_promote(ctx),
+        (
+            _,
+            "/healthz" | "/metrics" | "/validate" | "/sessions" | "/wal/tail" | "/wal/snapshot"
+            | "/promote",
+        ) => Handled::plain(
             path_template(path),
             Response::error(405, "method not allowed"),
         ),
@@ -518,6 +608,9 @@ fn path_template(path: &str) -> &'static str {
         "/metrics" => "/metrics",
         "/validate" => "/validate",
         "/sessions" => "/sessions",
+        "/wal/tail" => "/wal/tail",
+        "/wal/snapshot" => "/wal/snapshot",
+        "/promote" => "/promote",
         _ => "(unknown)",
     }
 }
@@ -534,6 +627,11 @@ fn parse_session_path(path: &str) -> Option<(u64, &str)> {
 
 fn route_session(ctx: &Ctx, request: &Request, id: u64, tail: &str) -> Handled {
     match (request.method.as_str(), tail) {
+        // A follower's sessions mutate only through replication: every
+        // write is misdirected back to the leader (reads stay local).
+        ("POST", "deltas") if ctx.is_follower() => misdirected(ctx, "/sessions/{id}/deltas"),
+        ("POST", "compact") if ctx.is_follower() => misdirected(ctx, "/sessions/{id}/compact"),
+        ("DELETE", "") if ctx.is_follower() => misdirected(ctx, "/sessions/{id}"),
         ("POST", "deltas") => handle_delta(ctx, request, id),
         ("GET", "report") => handle_report(ctx, id),
         ("GET", "graph") => handle_graph(ctx, id),
@@ -590,6 +688,112 @@ fn handle_compact(ctx: &Ctx, id: u64) -> Handled {
         },
     };
     Handled::plain(ROUTE, response)
+}
+
+/// The `421 Misdirected Request` a follower answers to writes; the
+/// `x-pgschema-leader` header carries the address clients should retry
+/// against.
+fn misdirected(ctx: &Ctx, route: &'static str) -> Handled {
+    let leader = ctx.follow.as_deref().unwrap_or("");
+    Handled::plain(
+        route,
+        Response::error(
+            421,
+            &format!("this node is a read-only follower; write to the leader at {leader}"),
+        )
+        .with_header("x-pgschema-leader", leader),
+    )
+}
+
+/// `GET /wal/tail?from=<seq>`: a bounded batch of raw WAL frames with
+/// `seq >= from`, chunked-transfer encoded (one chunk per frame). The
+/// response headers carry the cursor for the next poll (`x-wal-next-from`),
+/// the log end at read time (`x-wal-end-seq`) and the bytes still
+/// unshipped (`x-wal-remaining-bytes`). `410` when `from` precedes what
+/// compaction retained — the caller must bootstrap from `/wal/snapshot`.
+fn handle_wal_tail(ctx: &Ctx, request: &Request) -> Handled {
+    const ROUTE: &str = "/wal/tail";
+    let Some(store) = ctx.registry.store() else {
+        return Handled::plain(
+            ROUTE,
+            Response::error(409, "server is running without --data-dir"),
+        );
+    };
+    let from = match request.query_param("from").map(str::parse::<u64>) {
+        Some(Ok(from)) if from >= 1 => from,
+        Some(_) => {
+            return Handled::plain(
+                ROUTE,
+                Response::error(400, "query parameter `from` must be a sequence number >= 1"),
+            )
+        }
+        None => {
+            return Handled::plain(
+                ROUTE,
+                Response::error(400, "missing query parameter `from`"),
+            )
+        }
+    };
+    let response = match store.read_tail(from, TAIL_BATCH_BYTES) {
+        Ok(pg_store::Tail::Batch(batch)) => {
+            let next_from = batch.next_from.to_string();
+            let end_seq = batch.end_seq.to_string();
+            let remaining = batch.remaining_bytes.to_string();
+            Response::chunked(200, batch.frames)
+                .with_header("x-wal-next-from", &next_from)
+                .with_header("x-wal-end-seq", &end_seq)
+                .with_header("x-wal-remaining-bytes", &remaining)
+        }
+        Ok(pg_store::Tail::SnapshotRequired { oldest_retained }) => Response::error(
+            410,
+            &format!(
+                "sequence {from} was compacted away (oldest retained: {oldest_retained}); \
+                 bootstrap from GET /wal/snapshot"
+            ),
+        )
+        .with_header("x-wal-oldest-retained", &oldest_retained.to_string()),
+        Err(e) => Response::error(500, &format!("wal read failed: {e}")),
+    };
+    Handled::plain(ROUTE, response)
+}
+
+/// `GET /wal/snapshot`: a consistent point-in-time snapshot blob for
+/// bootstrapping a follower (see [`SessionRegistry::handoff_snapshot`]).
+fn handle_wal_snapshot(ctx: &Ctx) -> Handled {
+    const ROUTE: &str = "/wal/snapshot";
+    let response = match ctx.registry.handoff_snapshot() {
+        Some(blob) => Response::octets(200, blob),
+        None => Response::error(409, "server is running without --data-dir"),
+    };
+    Handled::plain(ROUTE, response)
+}
+
+/// `POST /promote`: asks a follower to become the leader. Sets the
+/// promotion flag and waits (bounded) for the follower loop to observe
+/// it, sync the store and flip the role. Idempotent on a leader.
+fn handle_promote(ctx: &Ctx) -> Handled {
+    const ROUTE: &str = "/promote";
+    if !ctx.is_follower() {
+        return Handled::plain(
+            ROUTE,
+            Response::json(200, "{\"role\":\"leader\",\"promoted\":false}"),
+        );
+    }
+    ctx.promote.store(true, Ordering::Relaxed);
+    let deadline = Instant::now() + PROMOTE_TIMEOUT;
+    while ctx.is_follower() {
+        if Instant::now() >= deadline {
+            return Handled::plain(
+                ROUTE,
+                Response::error(503, "promotion did not complete in time; retry"),
+            );
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    Handled::plain(
+        ROUTE,
+        Response::json(200, "{\"role\":\"leader\",\"promoted\":true}"),
+    )
 }
 
 /// Compacts in the background of the request that tipped the WAL over
@@ -879,6 +1083,7 @@ mod tests {
             .log_format(LogFormat::Off)
             .compact_after_bytes(0)
             .max_sessions(9)
+            .follow("10.0.0.1:7878")
             .build();
         assert_eq!(config.addr, "127.0.0.1:0");
         assert_eq!(config.cores, 3);
@@ -886,6 +1091,7 @@ mod tests {
         assert_eq!(config.log_format, LogFormat::Off);
         assert_eq!(config.compact_after_bytes, 0);
         assert_eq!(config.max_sessions, Some(9));
+        assert_eq!(config.follow.as_deref(), Some("10.0.0.1:7878"));
         // Untouched fields keep their defaults.
         assert_eq!(config.fsync, pg_store::FsyncPolicy::Always);
         assert!(config.data_dir.is_none());

@@ -1,4 +1,6 @@
-//! SIGTERM / SIGINT → a process-global shutdown flag.
+//! SIGTERM / SIGINT → a process-global shutdown flag; SIGHUP → a
+//! promotion flag (a follower flips itself to leader, see
+//! `docs/replication.md` §Promotion).
 //!
 //! `std` exposes no signal API, and the workspace vendors no `libc`
 //! crate, so this module carries the one unavoidable FFI declaration
@@ -13,12 +15,19 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Process-global "a termination signal arrived" flag.
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+/// Process-global "promote this follower" flag (SIGHUP).
+static PROMOTE: AtomicBool = AtomicBool::new(false);
 
+const SIGHUP: i32 = 1;
 const SIGINT: i32 = 2;
 const SIGTERM: i32 = 15;
 
 extern "C" fn on_signal(_signum: i32) {
     SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+extern "C" fn on_promote(_signum: i32) {
+    PROMOTE.store(true, Ordering::Relaxed);
 }
 
 extern "C" {
@@ -38,6 +47,7 @@ pub fn install() -> &'static AtomicBool {
     unsafe {
         signal(SIGTERM, on_signal);
         signal(SIGINT, on_signal);
+        signal(SIGHUP, on_promote);
     }
     &SHUTDOWN
 }
@@ -45,4 +55,12 @@ pub fn install() -> &'static AtomicBool {
 /// True once a termination signal has been observed.
 pub fn requested() -> bool {
     SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// True once SIGHUP asked for promotion. The follower loop also honours
+/// `POST /promote`, which sets its own in-process flag; this one exists
+/// so an operator with only a PID at hand can promote without the HTTP
+/// port (see `docs/operations.md`).
+pub fn promote_requested() -> bool {
+    PROMOTE.load(Ordering::Relaxed)
 }

@@ -1,0 +1,426 @@
+//! Leader/follower replication over real sockets, in process: a durable
+//! daemon is the leader, a second daemon bootstraps from its
+//! `/wal/snapshot`, tails `/wal/tail`, serves the same reads, redirects
+//! writes with `421`, and becomes a leader on `POST /promote` — the
+//! protocol of docs/replication.md exercised end to end.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use pg_server::http::read_response;
+use pg_server::workload::{sample_graph, toggle_delta, user_ids, SCHEMA_SDL};
+use pg_server::{LogFormat, Server, ServerConfig, ServerHandle};
+use pgraph::json::{self, Json};
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("pg-server-repl-tests")
+        .join(format!("{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct Daemon {
+    addr: SocketAddr,
+    handle: ServerHandle,
+}
+
+impl Daemon {
+    fn leader(dir: &Path) -> Daemon {
+        let config = ServerConfig::builder()
+            .addr("127.0.0.1:0")
+            .cores(1)
+            .log_format(LogFormat::Off)
+            .data_dir(dir.to_str().unwrap())
+            .build();
+        let handle = Server::bind(config).expect("bind").serve().expect("serve");
+        Daemon {
+            addr: handle.local_addr(),
+            handle,
+        }
+    }
+
+    fn follower(dir: &Path, leader: SocketAddr) -> Daemon {
+        let config = ServerConfig::builder()
+            .addr("127.0.0.1:0")
+            .cores(1)
+            .log_format(LogFormat::Off)
+            .data_dir(dir.to_str().unwrap())
+            .follow(leader.to_string())
+            .build();
+        let handle = Server::bind(config).expect("bind").serve().expect("serve");
+        Daemon {
+            addr: handle.local_addr(),
+            handle,
+        }
+    }
+
+    fn stop(self) {
+        self.handle.shutdown();
+        self.handle.join().expect("clean shutdown");
+    }
+}
+
+struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        Client {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn request_full(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> (u16, Vec<(String, String)>, Vec<u8>) {
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes()).unwrap();
+        self.stream.write_all(body).unwrap();
+        read_response(&mut self.stream, &mut self.buf).expect("response")
+    }
+
+    fn request(&mut self, method: &str, target: &str, body: &[u8]) -> (u16, Vec<u8>) {
+        let (status, _headers, body) = self.request_full(method, target, body);
+        (status, body)
+    }
+
+    fn metric(&mut self, name: &str) -> u64 {
+        let (status, body) = self.request("GET", "/metrics", b"");
+        assert_eq!(status, 200);
+        String::from_utf8_lossy(&body)
+            .lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|rest| rest.strip_prefix(' ')))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or_else(|| panic!("no `{name}` sample in /metrics"))
+    }
+}
+
+fn envelope(users: usize) -> Vec<u8> {
+    let graph = sample_graph(users);
+    let mut out = String::new();
+    out.push_str("{\"schema\":");
+    pg_server::http::push_json_string(&mut out, SCHEMA_SDL);
+    out.push_str(",\"graph\":");
+    out.push_str(&json::to_json(&graph));
+    out.push('}');
+    out.into_bytes()
+}
+
+/// Strips the volatile timing `metrics` member so reports over the same
+/// state compare byte-for-byte.
+fn canonical_report(body: &[u8]) -> String {
+    let doc = Json::parse(&String::from_utf8_lossy(body)).expect("report JSON");
+    match doc {
+        Json::Object(members) => Json::Object(
+            members
+                .into_iter()
+                .filter(|(name, _)| name != "metrics")
+                .collect(),
+        )
+        .to_string(),
+        other => other.to_string(),
+    }
+}
+
+/// Blocks until the follower has applied the leader's newest sequence
+/// number (polled via its replication metrics).
+fn wait_caught_up(follower: &mut Client, leader_last: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if follower.metric("pgschemad_replication_last_applied_seq") >= leader_last {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "follower did not reach seq {leader_last} within 10s"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The leader's newest sequence number, read from its own tail
+/// endpoint (`x-wal-end-seq` is one past it).
+fn leader_last_seq(leader: &mut Client) -> u64 {
+    let (status, headers, _) = leader.request_full("GET", "/wal/tail?from=1", b"");
+    // 410 once compacted: fall back to the oldest retained hint's
+    // segment via an in-range request.
+    if status == 410 {
+        let oldest = headers
+            .iter()
+            .find(|(k, _)| k == "x-wal-oldest-retained")
+            .and_then(|(_, v)| v.parse::<u64>().ok())
+            .expect("410 carries x-wal-oldest-retained");
+        let (status, headers, _) =
+            leader.request_full("GET", &format!("/wal/tail?from={oldest}"), b"");
+        assert_eq!(status, 200);
+        return header_u64(&headers, "x-wal-end-seq") - 1;
+    }
+    assert_eq!(status, 200);
+    header_u64(&headers, "x-wal-end-seq") - 1
+}
+
+fn header_u64(headers: &[(String, String)], name: &str) -> u64 {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or_else(|| panic!("no numeric `{name}` header"))
+}
+
+#[test]
+fn follower_bootstraps_serves_reads_and_misdirects_writes() {
+    let leader_dir = test_dir("boot-leader");
+    let follower_dir = test_dir("boot-follower");
+    let leader = Daemon::leader(&leader_dir);
+    let mut client = Client::connect(leader.addr);
+
+    // Session history on the leader: one broken, one repaired.
+    let mut ids = Vec::new();
+    for users in [2usize, 3] {
+        let (status, body) = client.request("POST", "/sessions", &envelope(users));
+        assert_eq!(status, 201);
+        let id = Json::parse(&String::from_utf8_lossy(&body))
+            .ok()
+            .and_then(|d| d.get("session")?.as_i64())
+            .expect("session id");
+        ids.push((id, users));
+    }
+    for (i, &(id, users)) in ids.iter().enumerate() {
+        let user = user_ids(&sample_graph(users))[0];
+        for d in 0..(i as u64 + 1) {
+            let delta = json::delta_to_json(&toggle_delta(user, d));
+            let (status, _) =
+                client.request("POST", &format!("/sessions/{id}/deltas"), delta.as_bytes());
+            assert_eq!(status, 200);
+        }
+    }
+    // Compact: now the WAL no longer reaches back to sequence 1, so the
+    // follower MUST bootstrap from the snapshot, not from a full tail.
+    let (status, _) = client.request("POST", &format!("/sessions/{}/compact", ids[0].0), b"");
+    assert_eq!(status, 200);
+    let (status, headers, _) = client.request_full("GET", "/wal/tail?from=1", b"");
+    assert_eq!(status, 410, "compacted history must demand a snapshot");
+    assert!(header_u64(&headers, "x-wal-oldest-retained") > 1);
+
+    let follower = Daemon::follower(&follower_dir, leader.addr);
+    let mut fclient = Client::connect(follower.addr);
+    let last = leader_last_seq(&mut client);
+    wait_caught_up(&mut fclient, last);
+    assert_eq!(fclient.metric("pgschemad_replication_follower"), 1);
+
+    // Reads on the follower are byte-identical to the leader's.
+    for &(id, _) in &ids {
+        let (status, leader_report) = client.request("GET", &format!("/sessions/{id}/report"), b"");
+        assert_eq!(status, 200);
+        let (status, follower_report) =
+            fclient.request("GET", &format!("/sessions/{id}/report"), b"");
+        assert_eq!(status, 200);
+        assert_eq!(
+            canonical_report(&follower_report),
+            canonical_report(&leader_report),
+            "session {id} report"
+        );
+        let (status, leader_graph) = client.request("GET", &format!("/sessions/{id}/graph"), b"");
+        assert_eq!(status, 200);
+        let (status, follower_graph) =
+            fclient.request("GET", &format!("/sessions/{id}/graph"), b"");
+        assert_eq!(status, 200);
+        assert_eq!(follower_graph, leader_graph, "session {id} graph");
+    }
+
+    // Stateless validation still works on a follower — it writes nothing.
+    let (status, _) = fclient.request("POST", "/validate?engine=indexed", &envelope(2));
+    assert_eq!(status, 200);
+
+    // Writes are misdirected to the leader: create, delta, compact,
+    // delete all answer 421 and name the leader.
+    let id = ids[0].0;
+    for (method, target, body) in [
+        ("POST", "/sessions".to_owned(), envelope(2)),
+        (
+            "POST",
+            format!("/sessions/{id}/deltas"),
+            br#"{"ops":[]}"#.to_vec(),
+        ),
+        ("POST", format!("/sessions/{id}/compact"), Vec::new()),
+        ("DELETE", format!("/sessions/{id}"), Vec::new()),
+    ] {
+        let (status, headers, _) = fclient.request_full(method, &target, &body);
+        assert_eq!(status, 421, "{method} {target}");
+        let named = headers
+            .iter()
+            .find(|(k, _)| k == "x-pgschema-leader")
+            .map(|(_, v)| v.clone());
+        assert_eq!(named, Some(leader.addr.to_string()), "{method} {target}");
+    }
+    // …and none of them changed the follower's state.
+    let (status, _) = fclient.request("GET", &format!("/sessions/{id}/report"), b"");
+    assert_eq!(status, 200);
+
+    follower.stop();
+    leader.stop();
+    let _ = std::fs::remove_dir_all(&leader_dir);
+    let _ = std::fs::remove_dir_all(&follower_dir);
+}
+
+#[test]
+fn live_deltas_replicate_while_both_run() {
+    let leader_dir = test_dir("live-leader");
+    let follower_dir = test_dir("live-follower");
+    let leader = Daemon::leader(&leader_dir);
+    let mut client = Client::connect(leader.addr);
+
+    let (status, body) = client.request("POST", "/sessions", &envelope(2));
+    assert_eq!(status, 201);
+    let id = Json::parse(&String::from_utf8_lossy(&body))
+        .ok()
+        .and_then(|d| d.get("session")?.as_i64())
+        .expect("session id");
+
+    let follower = Daemon::follower(&follower_dir, leader.addr);
+    let mut fclient = Client::connect(follower.addr);
+    wait_caught_up(&mut fclient, leader_last_seq(&mut client));
+
+    // Deltas written after the follower attached arrive through live
+    // tailing, ending with the session broken (odd toggle count).
+    let user = user_ids(&sample_graph(2))[0];
+    for d in 0..3u64 {
+        let delta = json::delta_to_json(&toggle_delta(user, d));
+        let (status, _) =
+            client.request("POST", &format!("/sessions/{id}/deltas"), delta.as_bytes());
+        assert_eq!(status, 200);
+    }
+    wait_caught_up(&mut fclient, leader_last_seq(&mut client));
+
+    let (status, report) = fclient.request("GET", &format!("/sessions/{id}/report"), b"");
+    assert_eq!(status, 200);
+    let report = Json::parse(&String::from_utf8_lossy(&report)).expect("report JSON");
+    assert_eq!(
+        report.get("conforms"),
+        Some(&Json::Bool(false)),
+        "the broken state replicated"
+    );
+
+    // A session deleted on the leader disappears from the follower.
+    let (status, _) = client.request("DELETE", &format!("/sessions/{id}"), b"");
+    assert_eq!(status, 200);
+    wait_caught_up(&mut fclient, leader_last_seq(&mut client));
+    let (status, _) = fclient.request("GET", &format!("/sessions/{id}/report"), b"");
+    assert_eq!(status, 404, "replicated delete removes the session");
+
+    follower.stop();
+    leader.stop();
+    let _ = std::fs::remove_dir_all(&leader_dir);
+    let _ = std::fs::remove_dir_all(&follower_dir);
+}
+
+#[test]
+fn promotion_flips_the_role_and_accepts_writes() {
+    let leader_dir = test_dir("promote-leader");
+    let follower_dir = test_dir("promote-follower");
+    let leader = Daemon::leader(&leader_dir);
+    let mut client = Client::connect(leader.addr);
+
+    // Promoting a node that is already a leader is a no-op answer.
+    let (status, body) = client.request("POST", "/promote", b"");
+    assert_eq!(status, 200);
+    let doc = Json::parse(&String::from_utf8_lossy(&body)).expect("promote JSON");
+    assert_eq!(doc.get("promoted"), Some(&Json::Bool(false)));
+
+    let (status, body) = client.request("POST", "/sessions", &envelope(2));
+    assert_eq!(status, 201);
+    let id = Json::parse(&String::from_utf8_lossy(&body))
+        .ok()
+        .and_then(|d| d.get("session")?.as_i64())
+        .expect("session id");
+
+    let follower = Daemon::follower(&follower_dir, leader.addr);
+    let mut fclient = Client::connect(follower.addr);
+    wait_caught_up(&mut fclient, leader_last_seq(&mut client));
+
+    let (status, body) = fclient.request("POST", "/promote", b"");
+    assert_eq!(status, 200);
+    let doc = Json::parse(&String::from_utf8_lossy(&body)).expect("promote JSON");
+    assert_eq!(doc.get("role"), Some(&Json::Str("leader".into())));
+    assert_eq!(doc.get("promoted"), Some(&Json::Bool(true)));
+    assert_eq!(fclient.metric("pgschemad_replication_follower"), 0);
+    assert_eq!(fclient.metric("pgschemad_replication_state"), 0);
+
+    // The promoted node takes writes now: a delta against the
+    // replicated session, and a fresh session.
+    let user = user_ids(&sample_graph(2))[0];
+    let delta = json::delta_to_json(&toggle_delta(user, 0));
+    let (status, _) = fclient.request("POST", &format!("/sessions/{id}/deltas"), delta.as_bytes());
+    assert_eq!(status, 200, "promoted node accepts deltas");
+    let (status, body) = fclient.request("POST", "/sessions", &envelope(2));
+    assert_eq!(status, 201, "promoted node accepts creates");
+    let new_id = Json::parse(&String::from_utf8_lossy(&body))
+        .ok()
+        .and_then(|d| d.get("session")?.as_i64())
+        .expect("session id");
+    assert!(new_id > id, "ids continue past the replicated history");
+
+    follower.stop();
+    leader.stop();
+    let _ = std::fs::remove_dir_all(&leader_dir);
+    let _ = std::fs::remove_dir_all(&follower_dir);
+}
+
+#[test]
+fn replication_endpoints_require_a_store() {
+    // A memory-only daemon has no WAL: the replication surface answers
+    // 409 rather than pretending.
+    let config = ServerConfig::builder()
+        .addr("127.0.0.1:0")
+        .cores(1)
+        .log_format(LogFormat::Off)
+        .build();
+    let handle = Server::bind(config).expect("bind").serve().expect("serve");
+    let mut client = Client::connect(handle.local_addr());
+
+    let (status, _) = client.request("GET", "/wal/tail?from=1", b"");
+    assert_eq!(status, 409);
+    let (status, _) = client.request("GET", "/wal/snapshot", b"");
+    assert_eq!(status, 409);
+
+    handle.shutdown();
+    handle.join().expect("clean shutdown");
+}
+
+#[test]
+fn tail_rejects_bad_from_parameters() {
+    let dir = test_dir("tail-params");
+    let leader = Daemon::leader(&dir);
+    let mut client = Client::connect(leader.addr);
+
+    for target in ["/wal/tail", "/wal/tail?from=0", "/wal/tail?from=nope"] {
+        let (status, _) = client.request("GET", target, b"");
+        assert_eq!(status, 400, "{target}");
+    }
+    // Beyond the end is not an error — it is an empty batch, which is
+    // how a caught-up follower polls.
+    let (status, headers, body) = client.request_full("GET", "/wal/tail?from=999", b"");
+    assert_eq!(status, 200);
+    assert!(body.is_empty());
+    assert_eq!(header_u64(&headers, "x-wal-next-from"), 999);
+
+    leader.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -22,6 +22,15 @@
 //! ever lost), `interval` bounds the loss window by time, `never` leaves
 //! flushing entirely to the OS.
 //!
+//! Replication reads the same log: [`Store::read_tail`] serves raw
+//! frames to followers, [`Store::append_replicated`] ingests them on the
+//! follower with leader sequence numbers preserved (so the follower's
+//! WAL is byte-identical to the leader's shipped prefix), and
+//! [`Store::begin_handoff`] / [`install_snapshot`] bootstrap an empty
+//! follower from a snapshot. The wire format is specified normatively in
+//! `docs/replication.md`; its constants live in [`wire`] and the spec's
+//! tables are tested against them.
+//!
 //! ```no_run
 //! use pg_store::{FsyncPolicy, Store};
 //!
@@ -41,6 +50,7 @@ mod record;
 mod recover;
 mod scan;
 mod snapshot;
+pub mod wire;
 
 pub use record::StoreRecord;
 pub use scan::{scan, ScanReport, SegmentInfo, SnapshotInfo};
@@ -172,6 +182,12 @@ struct Wal {
     /// First sequence number of the append segment.
     current_first_seq: u64,
     next_seq: u64,
+    /// One past the last record physically in the WAL — the replication
+    /// cursor. Equals `next_seq` on a node that appends its own records;
+    /// lags behind it on a follower bootstrapped from a snapshot whose
+    /// sessions were captured past the snapshot's `base_seq`
+    /// ([`Store::append_replicated`] closes the gap).
+    tail_cursor: u64,
     snapshot_generation: u64,
     last_sync: Instant,
     dirty: bool,
@@ -203,7 +219,11 @@ impl Store {
         let (current_first_seq, file) = match segments.last() {
             Some((first_seq, path)) => (*first_seq, OpenOptions::new().append(true).open(path)?),
             None => {
-                let first_seq = position.next_seq;
+                // Name the fresh segment after the replication cursor,
+                // not `next_seq`: on a snapshot-bootstrapped follower the
+                // first frames appended here are the leader's records
+                // from `base_seq + 1` on.
+                let first_seq = position.tail_cursor;
                 let path = files::segment_path(&dir, first_seq);
                 let file = OpenOptions::new()
                     .create_new(true)
@@ -222,6 +242,7 @@ impl Store {
                 segments,
                 current_first_seq,
                 next_seq: position.next_seq,
+                tail_cursor: position.tail_cursor,
                 snapshot_generation: position.snapshot_generation,
                 last_sync: Instant::now(),
                 dirty: false,
@@ -276,6 +297,7 @@ impl Store {
         let frame = record::encode_frame(seq, record);
         wal.file.write_all(&frame)?;
         wal.next_seq += 1;
+        wal.tail_cursor = wal.next_seq;
         wal.dirty = true;
         self.appends.fetch_add(1, Ordering::Relaxed);
         self.appended_bytes
@@ -324,6 +346,191 @@ impl Store {
     /// trigger reads this without taking the WAL lock.
     pub fn wal_size_bytes(&self) -> u64 {
         self.wal_bytes.load(Ordering::Relaxed)
+    }
+
+    /// The next sequence number this store would assign to an append.
+    /// `next_seq() - 1` is the newest record reflected anywhere in the
+    /// store (WAL or snapshot).
+    pub fn next_seq(&self) -> u64 {
+        self.wal.lock().unwrap().next_seq
+    }
+
+    /// The replication cursor: one past the last record physically in
+    /// the WAL. This is the `from` a follower of *this* store's leader
+    /// passes to the next `read_tail` request. It equals [`next_seq`]
+    /// (Self::next_seq) except on a freshly snapshot-bootstrapped
+    /// follower, where sessions captured after the snapshot's `base_seq`
+    /// push `next_seq` ahead of the frames actually on disk.
+    pub fn tail_cursor(&self) -> u64 {
+        self.wal.lock().unwrap().tail_cursor
+    }
+
+    /// Reads the suffix of the WAL starting at sequence number `from`,
+    /// returning whole raw frames (verbatim disk bytes, CRC included) up
+    /// to roughly `max_bytes` — the leader side of `GET /wal/tail`.
+    ///
+    /// Reads race benignly with concurrent appends: frames are
+    /// self-delimiting and checksummed, so a partially-written frame at
+    /// the tail parses as torn and is simply not included (the follower
+    /// re-requests it next poll). Records are bounded by the `next_seq`
+    /// sampled at entry, so a batch never runs past the position it
+    /// reports. At least one frame is returned even when it alone
+    /// exceeds `max_bytes`, so a single giant record cannot wedge a
+    /// follower.
+    pub fn read_tail(&self, from: u64, max_bytes: usize) -> io::Result<Tail> {
+        let (segments, end_seq) = {
+            let wal = self.wal.lock().unwrap();
+            (wal.segments.clone(), wal.next_seq)
+        };
+        let oldest_retained = segments.first().map(|(s, _)| *s).unwrap_or(1);
+        if from < oldest_retained {
+            // Compaction already dropped records at or above `from`; the
+            // follower must bootstrap from a snapshot instead.
+            return Ok(Tail::SnapshotRequired { oldest_retained });
+        }
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        let mut next_from = from;
+        let mut taken = 0usize;
+        let mut remaining_bytes = 0u64;
+        let mut full = false;
+        for (ix, (_, path)) in segments.iter().enumerate() {
+            // Skip segments that end before `from`.
+            if segments.get(ix + 1).is_some_and(|(next, _)| *next <= from) {
+                continue;
+            }
+            if full {
+                remaining_bytes += std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                continue;
+            }
+            let buf = match std::fs::read(path) {
+                Ok(buf) => buf,
+                // A compaction may delete the segment between listing
+                // and read; the follower just retries.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
+            let parse = record::parse_segment(&buf);
+            for i in 0..parse.records.len() {
+                let parsed = &parse.records[i];
+                if parsed.seq < from || parsed.seq >= end_seq {
+                    continue;
+                }
+                let start = parsed.offset as usize;
+                let end = parse
+                    .records
+                    .get(i + 1)
+                    .map(|r| r.offset as usize)
+                    .unwrap_or(parse.valid_len as usize);
+                if full || (taken + (end - start) > max_bytes && !frames.is_empty()) {
+                    full = true;
+                    remaining_bytes += (end - start) as u64;
+                    continue;
+                }
+                taken += end - start;
+                frames.push(buf[start..end].to_vec());
+                next_from = parsed.seq + 1;
+            }
+        }
+        Ok(Tail::Batch(TailBatch {
+            frames,
+            next_from,
+            end_seq,
+            remaining_bytes,
+        }))
+    }
+
+    /// Appends a batch of raw frames shipped from a leader, preserving
+    /// their sequence numbers — the follower side of the tail protocol.
+    ///
+    /// Every frame is re-verified (length, CRC, structural decode)
+    /// before anything is written; a bad frame ends the batch without
+    /// erroring (`torn` says why) and the follower re-requests from its
+    /// unchanged cursor. Frames below the local [`tail_cursor`]
+    /// (Self::tail_cursor) are counted as duplicates and skipped —
+    /// redelivery after a reconnect is idempotent — and the first
+    /// non-duplicate frame must carry exactly the cursor's sequence
+    /// number: a gap means the leader no longer retains records this
+    /// store needs, which is divergence, not data.
+    ///
+    /// The returned records are decoded copies of what was appended, in
+    /// order, for the caller to apply to its live state. Fsync policy
+    /// applies to the batch as a whole.
+    pub fn append_replicated(&self, frames: &[u8]) -> io::Result<ReplicatedBatch> {
+        let parse = record::parse_segment(frames);
+        let ends: Vec<usize> = parse
+            .records
+            .iter()
+            .skip(1)
+            .map(|r| r.offset as usize)
+            .chain(std::iter::once(parse.valid_len as usize))
+            .collect();
+        let mut wal = self.wal.lock().unwrap();
+        let mut records = Vec::new();
+        let mut duplicates = 0u64;
+        let mut appended_bytes = 0u64;
+        for (parsed, end) in parse.records.into_iter().zip(ends) {
+            if parsed.seq < wal.tail_cursor {
+                duplicates += 1;
+                continue;
+            }
+            if parsed.seq != wal.tail_cursor {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "replication gap: expected seq {} next, leader sent {}",
+                        wal.tail_cursor, parsed.seq
+                    ),
+                ));
+            }
+            let frame = &frames[parsed.offset as usize..end];
+            wal.file.write_all(frame)?;
+            wal.tail_cursor = parsed.seq + 1;
+            wal.next_seq = wal.next_seq.max(parsed.seq + 1);
+            wal.dirty = true;
+            appended_bytes += frame.len() as u64;
+            records.push((parsed.seq, parsed.record));
+        }
+        if !records.is_empty() {
+            self.appends
+                .fetch_add(records.len() as u64, Ordering::Relaxed);
+            self.appended_bytes
+                .fetch_add(appended_bytes, Ordering::Relaxed);
+            self.wal_bytes.fetch_add(appended_bytes, Ordering::Relaxed);
+            let sync_now = match self.fsync {
+                FsyncPolicy::Always => true,
+                FsyncPolicy::Interval(every) => wal.last_sync.elapsed() >= every,
+                FsyncPolicy::Never => false,
+            };
+            if sync_now {
+                wal.file.sync_data()?;
+                wal.dirty = false;
+                wal.last_sync = Instant::now();
+                self.fsyncs.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(ReplicatedBatch {
+            records,
+            duplicates,
+            appended_bytes,
+            torn: parse.torn,
+        })
+    }
+
+    /// Starts assembling a handoff snapshot — the leader side of
+    /// `GET /wal/snapshot`, used to bootstrap an empty follower. Unlike
+    /// [`try_begin_compaction`](Self::try_begin_compaction) this rotates
+    /// nothing and deletes nothing: `base_seq` is simply the current WAL
+    /// position, and the caller feeds every live session through
+    /// [`SnapshotHandoff::add_session`] exactly as during compaction
+    /// (sessions captured after `base_seq` legitimately carry newer
+    /// records; the receiver's per-session `last_seq` gating makes the
+    /// overlap idempotent).
+    pub fn begin_handoff(&self) -> SnapshotHandoff {
+        let base_seq = self.wal.lock().unwrap().next_seq - 1;
+        SnapshotHandoff {
+            base_seq,
+            sessions: Vec::new(),
+        }
     }
 
     /// Starts a compaction, rotating the WAL to a fresh segment so that
@@ -484,4 +691,131 @@ pub struct CompactionOutcome {
     pub segments_removed: usize,
     /// Size of the snapshot file.
     pub snapshot_bytes: u64,
+}
+
+/// The result of one [`Store::read_tail`] call.
+#[derive(Debug)]
+pub enum Tail {
+    /// Frames with `seq >= from` (possibly none, when the caller is
+    /// caught up).
+    Batch(TailBatch),
+    /// `from` precedes the oldest record the WAL still retains —
+    /// compaction dropped it, and the caller must bootstrap from a
+    /// snapshot (`GET /wal/snapshot` upstream).
+    SnapshotRequired {
+        /// First sequence number the WAL can still serve.
+        oldest_retained: u64,
+    },
+}
+
+/// A batch of raw WAL frames read by [`Store::read_tail`].
+#[derive(Debug)]
+pub struct TailBatch {
+    /// Whole frames in sequence order, each byte-identical to its disk
+    /// representation (header, CRC and payload).
+    pub frames: Vec<Vec<u8>>,
+    /// The `from` of the next request: one past the last frame's
+    /// sequence number, or the request's own `from` when the batch is
+    /// empty.
+    pub next_from: u64,
+    /// The store's `next_seq` sampled at read time; `end_seq -
+    /// next_from` is the caller's remaining lag in records.
+    pub end_seq: u64,
+    /// Bytes of valid frames past this batch still on disk — the
+    /// caller's remaining lag in bytes.
+    pub remaining_bytes: u64,
+}
+
+/// What [`Store::append_replicated`] did with a shipped batch.
+#[derive(Debug)]
+pub struct ReplicatedBatch {
+    /// The records appended (leader sequence numbers preserved), decoded
+    /// for the caller to apply to its live state.
+    pub records: Vec<(u64, StoreRecord)>,
+    /// Frames skipped because their seq was below the local cursor
+    /// (redelivery after a reconnect).
+    pub duplicates: u64,
+    /// Raw frame bytes appended.
+    pub appended_bytes: u64,
+    /// Why the batch ended early, if a frame failed verification (the
+    /// valid prefix is still appended).
+    pub torn: Option<String>,
+}
+
+/// An in-flight handoff snapshot; see [`Store::begin_handoff`].
+pub struct SnapshotHandoff {
+    base_seq: u64,
+    sessions: Vec<Vec<u8>>,
+}
+
+impl SnapshotHandoff {
+    /// The WAL position the snapshot corresponds to: the receiver tails
+    /// from `base_seq + 1`.
+    pub fn base_seq(&self) -> u64 {
+        self.base_seq
+    }
+
+    /// Captures one session. Call with the session's own lock held so
+    /// `last_seq` and `graph` are consistent.
+    pub fn add_session(
+        &mut self,
+        id: u64,
+        last_seq: u64,
+        deltas_applied: u64,
+        schema_sdl: &str,
+        graph: &PropertyGraph,
+    ) {
+        self.sessions.push(snapshot::encode_session(
+            id,
+            last_seq,
+            deltas_applied,
+            schema_sdl,
+            graph,
+        ));
+    }
+
+    /// Assembles the snapshot blob (the same CRC-framed format written
+    /// to disk by compaction), ready to ship over HTTP.
+    pub fn finish(self, next_session_id: u64) -> Vec<u8> {
+        snapshot::assemble(self.base_seq, next_session_id, &self.sessions)
+    }
+}
+
+/// Installs a handoff snapshot blob into an *empty* store directory —
+/// the follower side of `GET /wal/snapshot`. The blob is fully validated
+/// first, then written as snapshot generation 1 with the same temp-file +
+/// atomic-rename + directory-sync dance as compaction, so a crash leaves
+/// either nothing or a valid snapshot. [`Store::open`] afterwards runs
+/// the ordinary recovery path over it.
+///
+/// Refuses (with [`io::ErrorKind::AlreadyExists`]) to touch a directory
+/// that already holds segments or snapshots: bootstrapping is for new
+/// followers, not for overwriting history.
+pub fn install_snapshot(dir: impl Into<PathBuf>, bytes: &[u8]) -> io::Result<()> {
+    let dir = dir.into();
+    if snapshot::decode(bytes).is_none() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "snapshot blob failed validation (torn, corrupt or malformed)",
+        ));
+    }
+    std::fs::create_dir_all(&dir)?;
+    let listing = files::list_dir(&dir)?;
+    if !listing.segments.is_empty() || !listing.snapshots.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::AlreadyExists,
+            "refusing to install a snapshot into a non-empty store directory",
+        ));
+    }
+    let generation = 1;
+    let tmp = files::snapshot_tmp_path(&dir, generation);
+    let path = files::snapshot_path(&dir, generation);
+    {
+        let mut file = OpenOptions::new().create_new(true).write(true).open(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, &path)?;
+    files::sync_dir(&dir);
+    Ok(())
 }

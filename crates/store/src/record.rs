@@ -18,14 +18,10 @@
 use pgraph::{binary, GraphDelta, PropertyGraph};
 
 use crate::crc32::crc32;
-
-/// Frame header size: payload length + CRC.
-pub(crate) const FRAME_HEADER: usize = 8;
-
-/// Sanity cap on a single record's payload (64 MiB matches the HTTP
-/// body cap upstream; a "length" beyond it is treated as corruption
-/// rather than an allocation request).
-pub(crate) const MAX_PAYLOAD: usize = 64 << 20;
+pub(crate) use crate::wire::FRAME_HEADER_BYTES as FRAME_HEADER;
+use crate::wire::{
+    KIND_CREATE, KIND_DELETE, KIND_DELTA, MAX_PAYLOAD_BYTES as MAX_PAYLOAD, MIN_PAYLOAD_BYTES,
+};
 
 /// One durable event in a session's life.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,10 +51,6 @@ pub enum StoreRecord {
         session: u64,
     },
 }
-
-const KIND_CREATE: u8 = 1;
-const KIND_DELTA: u8 = 2;
-const KIND_DELETE: u8 = 3;
 
 /// Encodes one framed record ready to append to a segment.
 pub(crate) fn encode_frame(seq: u64, record: &StoreRecord) -> Vec<u8> {
@@ -131,7 +123,7 @@ pub(crate) fn parse_segment(buf: &[u8]) -> SegmentParse {
         }
         let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
         let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
-        if !(9..=MAX_PAYLOAD).contains(&len) {
+        if !(MIN_PAYLOAD_BYTES..=MAX_PAYLOAD).contains(&len) {
             break Some(format!("implausible payload length {len} at offset {pos}"));
         }
         if buf.len() - pos - FRAME_HEADER < len {

@@ -38,6 +38,13 @@ pub(crate) struct WalPosition {
     pub snapshot_generation: u64,
     /// Total bytes across live segments after truncation.
     pub live_bytes: u64,
+    /// The replication cursor: one past the last record *physically
+    /// present* in the WAL (or past the snapshot's `base_seq` when the
+    /// WAL holds nothing newer). A follower resumes tailing from here —
+    /// distinct from `next_seq`, which also counts records reflected
+    /// only in per-session snapshot state (see `docs/replication.md`
+    /// §Snapshot handoff).
+    pub tail_cursor: u64,
 }
 
 pub(crate) fn recover(dir: &Path) -> io::Result<(Recovered, WalPosition)> {
@@ -56,6 +63,7 @@ pub(crate) fn recover(dir: &Path) -> io::Result<(Recovered, WalPosition)> {
     let mut info = RecoveryInfo::default();
     let mut next_session_id = 1;
     let mut max_seq = 0;
+    let mut snapshot_base = 0;
     let mut snapshot_generation = 0;
     for (generation, path) in &snapshots {
         match snapshot::decode(&std::fs::read(path)?) {
@@ -64,6 +72,7 @@ pub(crate) fn recover(dir: &Path) -> io::Result<(Recovered, WalPosition)> {
                 snapshot_generation = *generation;
                 next_session_id = snap.next_session_id;
                 max_seq = snap.base_seq;
+                snapshot_base = snap.base_seq;
                 for session in snap.sessions {
                     max_seq = max_seq.max(session.last_seq);
                     sessions.insert(session.id, session);
@@ -143,6 +152,7 @@ pub(crate) fn recover(dir: &Path) -> io::Result<(Recovered, WalPosition)> {
         next_seq: max_seq + 1,
         snapshot_generation,
         live_bytes,
+        tail_cursor: snapshot_base.max(prev_seq) + 1,
     };
     Ok((recovered, position))
 }

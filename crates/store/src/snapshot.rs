@@ -21,9 +21,10 @@ use pgraph::binary;
 
 use crate::crc32::crc32;
 use crate::record::FRAME_HEADER;
+use crate::wire::SNAPSHOT_MAGIC;
 use crate::RecoveredSession;
 
-const MAGIC: &[u8; 4] = b"PGS1";
+const MAGIC: &[u8; 4] = &SNAPSHOT_MAGIC;
 
 /// Everything a decoded snapshot says.
 #[derive(Debug)]

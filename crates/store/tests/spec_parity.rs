@@ -1,0 +1,184 @@
+//! docs/replication.md is the *normative* protocol spec: its frame
+//! layout, record kinds, bounds and file naming tables are parsed here
+//! and compared against the implementation's constants
+//! (`pg_store::wire`). Drift in either direction — code changed without
+//! the spec, or spec edited away from the code — fails the build.
+
+use pg_store::wire;
+
+fn spec_text() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/replication.md");
+    std::fs::read_to_string(path).expect("docs/replication.md exists")
+}
+
+/// The rows of the first markdown table following the `heading` line:
+/// each row is its `|`-separated cells, trimmed, header and `|---|`
+/// separator rows excluded.
+fn table_after<'a>(text: &'a str, heading: &str) -> Vec<Vec<&'a str>> {
+    let mut lines = text.lines();
+    lines
+        .by_ref()
+        .find(|l| l.trim() == heading)
+        .unwrap_or_else(|| panic!("spec has a `{heading}` heading"));
+    let mut rows = Vec::new();
+    let mut in_table = false;
+    for line in lines {
+        let line = line.trim();
+        if line.starts_with('|') {
+            in_table = true;
+            let cells: Vec<&str> = line.trim_matches('|').split('|').map(str::trim).collect();
+            // Skip the |---|---| separator row.
+            if cells.iter().all(|c| c.chars().all(|ch| ch == '-')) {
+                continue;
+            }
+            rows.push(cells);
+        } else if in_table {
+            break;
+        }
+    }
+    assert!(
+        rows.len() > 1,
+        "no table found under `{heading}` in the spec"
+    );
+    rows.remove(0); // header row
+    rows
+}
+
+fn field_row<'a>(rows: &'a [Vec<&'a str>], field: &str) -> &'a Vec<&'a str> {
+    rows.iter()
+        .find(|r| r.get(2) == Some(&field))
+        .unwrap_or_else(|| panic!("spec frame table has a `{field}` row"))
+}
+
+#[test]
+fn frame_layout_table_matches_wire_constants() {
+    let text = spec_text();
+    let rows = table_after(&text, "## Frame layout");
+
+    let check = |field: &str, offset: usize, size: usize| {
+        let row = field_row(&rows, field);
+        assert_eq!(
+            row[0].parse::<usize>().ok(),
+            Some(offset),
+            "spec offset of `{field}`"
+        );
+        assert_eq!(
+            row[1].parse::<usize>().ok(),
+            Some(size),
+            "spec size of `{field}`"
+        );
+    };
+    check("payload_len", wire::FRAME_LEN_OFFSET, wire::FRAME_LEN_BYTES);
+    check("crc32", wire::FRAME_CRC_OFFSET, wire::FRAME_CRC_BYTES);
+    check("seq", wire::FRAME_SEQ_OFFSET, wire::FRAME_SEQ_BYTES);
+    check("kind", wire::FRAME_KIND_OFFSET, wire::FRAME_KIND_BYTES);
+
+    let body = field_row(&rows, "body");
+    assert_eq!(
+        body[0].parse::<usize>().ok(),
+        Some(wire::FRAME_BODY_OFFSET),
+        "spec offset of `body`"
+    );
+    // The body row's size is the expression `payload_len − N` where N
+    // is seq + kind — the minimum payload.
+    assert_eq!(
+        body[1],
+        format!("payload_len − {}", wire::MIN_PAYLOAD_BYTES),
+        "spec body size expression"
+    );
+
+    // The seq row states where numbering starts.
+    assert!(
+        field_row(&rows, "seq")[3].contains("first seq is 1"),
+        "spec states the first sequence number"
+    );
+}
+
+#[test]
+fn payload_bounds_match_wire_constants() {
+    let text = spec_text();
+    let rows = table_after(&text, "## Frame layout");
+    // The bounds table is the second table in the section; re-scan from
+    // the section start past the first table.
+    let section = text.split("## Frame layout").nth(1).unwrap();
+    let bounds: Vec<(String, u64)> = section
+        .lines()
+        .filter(|l| l.trim_start().starts_with('|'))
+        .filter_map(|l| {
+            let cells: Vec<&str> = l
+                .trim()
+                .trim_matches('|')
+                .split('|')
+                .map(str::trim)
+                .collect();
+            Some((cells.first()?.to_string(), cells.get(1)?.parse().ok()?))
+        })
+        .collect();
+    let lookup = |name: &str| -> u64 {
+        bounds
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("spec bounds table has `{name}`"))
+    };
+    assert_eq!(lookup("MIN_PAYLOAD_BYTES"), wire::MIN_PAYLOAD_BYTES as u64);
+    assert_eq!(lookup("MAX_PAYLOAD_BYTES"), wire::MAX_PAYLOAD_BYTES as u64);
+    // And the frame table's minimum is consistent with itself.
+    assert_eq!(
+        rows.len(),
+        5,
+        "frame table lists exactly the five frame fields"
+    );
+}
+
+#[test]
+fn record_kind_table_matches_wire_constants() {
+    let text = spec_text();
+    let rows = table_after(&text, "## Record kinds");
+    let kind_of = |name: &str| -> u8 {
+        rows.iter()
+            .find(|r| r.get(1) == Some(&name))
+            .and_then(|r| r[0].parse().ok())
+            .unwrap_or_else(|| panic!("spec kinds table has `{name}`"))
+    };
+    assert_eq!(kind_of("Create"), wire::KIND_CREATE);
+    assert_eq!(kind_of("Delta"), wire::KIND_DELTA);
+    assert_eq!(kind_of("Delete"), wire::KIND_DELETE);
+    assert_eq!(rows.len(), 3, "spec lists exactly three record kinds");
+}
+
+#[test]
+fn file_naming_matches_wire_constants() {
+    let text = spec_text();
+    let rows = table_after(&text, "## Files and naming");
+    let pattern_of = |file: &str| -> &str {
+        rows.iter()
+            .find(|r| r.first() == Some(&file))
+            .map(|r| r[1].trim_matches('`'))
+            .unwrap_or_else(|| panic!("spec files table has `{file}`"))
+    };
+    assert_eq!(
+        pattern_of("WAL segment"),
+        format!(
+            "{}{{first_seq:0{}}}{}",
+            wire::SEGMENT_PREFIX,
+            wire::SEGMENT_SEQ_DIGITS,
+            wire::SEGMENT_SUFFIX
+        )
+    );
+    assert_eq!(
+        pattern_of("snapshot"),
+        format!(
+            "{}{{generation:0{}}}{}",
+            wire::SNAPSHOT_PREFIX,
+            wire::SNAPSHOT_GENERATION_DIGITS,
+            wire::SNAPSHOT_SUFFIX
+        )
+    );
+    // The snapshot magic is stated in prose right below the table.
+    let magic = String::from_utf8(wire::SNAPSHOT_MAGIC.to_vec()).unwrap();
+    assert!(
+        text.contains(&format!("`{magic}`")),
+        "spec names the snapshot magic {magic}"
+    );
+}
