@@ -48,6 +48,11 @@ fn main() {
             tables::schema_scaling(counts, 3000, if quick { 2 } else { 5 })
         );
     }
+    if run("E4m") {
+        println!("## E4m — migration planning vs full revalidation\n");
+        let (types, npt, iters) = if quick { (8, 50, 2) } else { (16, 6500, 5) };
+        println!("{}", tables::migration_planning(types, npt, iters));
+    }
     if run("E4") {
         println!("## E4a — random 3-SAT phase transition (DPLL oracle)\n");
         let (vars, instances) = if quick { (15, 10) } else { (30, 40) };

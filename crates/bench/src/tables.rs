@@ -226,6 +226,76 @@ pub fn incremental_scaling(sizes: &[usize], iters: usize) -> String {
     out
 }
 
+/// E4m — migration planning: dirty-region impact preview vs a full
+/// revalidation under the candidate schema.
+///
+/// The schema is a ring of `num_types` otherwise-identical types; the
+/// two candidates change only `T0` (an added optional attribute and an
+/// `@required` tightening), so `migrate::plan`'s dirty region is one
+/// type's nodes plus their incident edges while the full pass touches
+/// everything.
+pub fn migration_planning(num_types: usize, nodes_per_type: usize, iters: usize) -> String {
+    fn sdl(num_types: usize, tighten: bool, extend: bool) -> String {
+        let mut s = String::new();
+        for t in 0..num_types {
+            let req = if tighten && t == 0 { " @required" } else { "" };
+            let _ = writeln!(s, "type T{t} {{");
+            let _ = writeln!(s, "    name: String{req}");
+            if extend && t == 0 {
+                let _ = writeln!(s, "    zmig: String");
+            }
+            let _ = writeln!(s, "    next: [T{}] @distinct", (t + 1) % num_types);
+            let _ = writeln!(s, "}}");
+        }
+        s
+    }
+    let old = PgSchema::parse(&sdl(num_types, false, false)).unwrap();
+    let graph = GraphGen::new(
+        &old,
+        GraphGenParams {
+            nodes_per_type,
+            ..Default::default()
+        },
+    )
+    .generate_conforming(10)
+    .expect("constraint-free ring schema admits conforming graphs");
+    let options = ValidationOptions::default();
+    let mut out = String::from(
+        "| candidate | nodes | edges | full revalidation | `migrate plan` | speedup | dirty region |\n\
+         |---|---|---|---|---|---|---|\n",
+    );
+    for (label, tighten, extend) in [
+        ("add optional `T0.zmig`", false, true),
+        ("tighten `T0.name @required`", true, false),
+    ] {
+        let candidate = PgSchema::parse(&sdl(num_types, tighten, extend)).unwrap();
+        let t_full = time_median(iters, || {
+            validate(
+                &graph,
+                &candidate,
+                &ValidationOptions::with_engine(Engine::Indexed),
+            )
+        });
+        let t_plan = time_median(iters.max(5), || {
+            pg_schema::migrate::plan(&graph, &old, &candidate, &options)
+        });
+        let p = pg_schema::migrate::plan(&graph, &old, &candidate, &options);
+        let _ = writeln!(
+            out,
+            "| {label} | {} | {} | {} | {} | {:.0}× | {} nodes + {} edges of {} |",
+            graph.node_count(),
+            graph.edge_count(),
+            fmt_duration(t_full),
+            fmt_duration(t_plan),
+            t_full.as_secs_f64() / t_plan.as_secs_f64(),
+            p.dirty_nodes,
+            p.dirty_edges,
+            p.elements_total,
+        );
+    }
+    out
+}
+
 /// E3 — validation time vs schema size at (roughly) constant graph size.
 pub fn schema_scaling(type_counts: &[usize], total_nodes: usize, iters: usize) -> String {
     let mut out =
@@ -611,6 +681,13 @@ mod tests {
         let t = incremental_scaling(&[20], 1);
         assert!(t.contains("of "), "{t}");
         assert_eq!(t.lines().count(), 3, "{t}");
+    }
+
+    #[test]
+    fn migration_planning_smoke() {
+        let t = migration_planning(4, 20, 1);
+        assert!(t.contains("tighten `T0.name @required`"), "{t}");
+        assert_eq!(t.lines().count(), 4, "{t}");
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use std::fmt::Write as _;
 use std::fs;
 
-use pg_schema::{validate, Engine, PgSchema, ValidationOptions};
+use pg_schema::{validate, Engine, IncrementalEngine, PgSchema, ValidationOptions};
 
 type Result<T> = std::result::Result<T, String>;
 
@@ -25,7 +25,9 @@ USAGE:
     pgschema extend-api <schema.graphql> [--mutations] [--out FILE]
     pgschema normalize <schema.graphql> [--out FILE]
     pgschema import <nodes.csv> <edges.csv> [--schema FILE] [--out FILE]
-    pgschema diff <old.graphql> <new.graphql>
+    pgschema diff <old.graphql> <new.graphql> [--json]
+    pgschema migrate plan <old.graphql> <new.graphql> <graph.json> [--json]
+    pgschema migrate apply <old.graphql> <new.graphql> <graph.json> [--force] [--json]
     pgschema serve [--addr HOST:PORT] [--cores N] [--max-connections N]
                    [--log-format text|json|off] [--data-dir DIR]
                    [--fsync always|interval[:MILLIS]|never]
@@ -53,6 +55,7 @@ pub fn run(args: &[String]) -> Result<()> {
         "normalize" => cmd_normalize(rest),
         "import" => cmd_import(rest),
         "diff" => cmd_diff(rest),
+        "migrate" => cmd_migrate(rest),
         "serve" => cmd_serve(rest),
         "store" => cmd_store(rest),
         "help" | "--help" | "-h" => {
@@ -506,18 +509,81 @@ fn cmd_extend_api(rest: &[String]) -> Result<()> {
 }
 
 fn cmd_diff(rest: &[String]) -> Result<()> {
-    let (pos, _, _) = parse_flags(rest, &[], &[])?;
+    let (pos, _, bools) = parse_flags(rest, &[], &["json"])?;
     let [old_path, new_path] = pos.as_slice() else {
         return Err("diff needs <old.graphql> <new.graphql>".to_owned());
     };
     let old = load_schema(old_path)?;
     let new = load_schema(new_path)?;
     let diff = pg_schema::diff::diff(&old, &new);
-    print!("{diff}");
+    if bools.contains(&"json") {
+        println!("{}", diff.to_json());
+    } else {
+        print!("{diff}");
+    }
     if diff.is_breaking() {
         Err(format!("{} breaking change(s)", diff.breaking().count()))
     } else {
         Ok(())
+    }
+}
+
+/// `migrate plan` previews a schema change against a concrete graph —
+/// which elements a revalidation must touch and exactly which
+/// violations appear or resolve. `migrate apply` refuses a breaking
+/// migration (unless `--force`) and otherwise prints the graph's
+/// report under the new schema, produced through the same dual-schema
+/// window the server uses.
+fn cmd_migrate(rest: &[String]) -> Result<()> {
+    let Some((sub, rest)) = rest.split_first() else {
+        return Err("migrate needs a subcommand: plan | apply".to_owned());
+    };
+    let (pos, _, bools) = parse_flags(rest, &[], &["json", "force"])?;
+    let [old_path, new_path, graph_path] = pos.as_slice() else {
+        return Err(format!(
+            "migrate {sub} needs <old.graphql> <new.graphql> <graph.json>"
+        ));
+    };
+    let old = load_schema(old_path)?;
+    let new = load_schema(new_path)?;
+    let graph_text =
+        fs::read_to_string(graph_path).map_err(|e| format!("cannot read {graph_path}: {e}"))?;
+    let graph = pgraph::json::from_json(&graph_text).map_err(|e| format!("{graph_path}: {e}"))?;
+    let options = ValidationOptions::default();
+    match sub.as_str() {
+        "plan" => {
+            let plan = pg_schema::migrate::plan(&graph, &old, &new, &options);
+            if bools.contains(&"json") {
+                println!("{}", plan.to_json());
+            } else {
+                print!("{plan}");
+            }
+            if plan.compatible() {
+                Ok(())
+            } else {
+                Err(format!("{} new violation(s)", plan.added.len()))
+            }
+        }
+        "apply" => {
+            let mut engine = IncrementalEngine::new(graph, std::sync::Arc::new(old), &options);
+            let plan = engine.begin_migration(new);
+            if !plan.compatible() && !bools.contains(&"force") {
+                eprint!("{plan}");
+                return Err(format!(
+                    "refusing to apply: {} new violation(s) (use --force)",
+                    plan.added.len()
+                ));
+            }
+            assert!(engine.commit_migration());
+            let report = engine.report();
+            if bools.contains(&"json") {
+                println!("{}", report.to_json());
+            } else {
+                print!("{report}");
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown migrate subcommand `{other}`")),
     }
 }
 
@@ -619,10 +685,10 @@ fn store_inspect(dir: &std::path::Path) -> Result<()> {
     }
     let mut torn = false;
     for seg in &report.segments {
-        let (creates, deltas, deletes) = seg.records;
+        let (creates, deltas, deletes, schema_changes) = seg.records;
         print!(
             "segment first_seq={} bytes={} valid_bytes={} creates={creates} deltas={deltas} \
-             deletes={deletes} last_seq={} ({})",
+             deletes={deletes} schema_changes={schema_changes} last_seq={} ({})",
             seg.first_seq,
             seg.bytes,
             seg.valid_bytes,
@@ -653,7 +719,14 @@ fn store_compact(dir: &std::path::Path) -> Result<()> {
         .map_err(|e| format!("cannot start compaction: {e}"))?
         .ok_or("compaction already in progress")?;
     for s in &recovered.sessions {
-        compaction.add_session(s.id, s.last_seq, s.deltas_applied, &s.schema_sdl, &s.graph);
+        compaction.add_session(
+            s.id,
+            s.last_seq,
+            s.deltas_applied,
+            &s.schema_sdl,
+            &s.graph,
+            s.pending_migration.as_deref(),
+        );
     }
     let outcome = compaction
         .finish(recovered.next_session_id)

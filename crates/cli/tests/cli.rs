@@ -339,3 +339,111 @@ fn missing_files_are_reported() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }
+
+#[test]
+fn diff_json_reports_compat_per_change() {
+    let old = write_tmp("dj-old.graphql", "type A { x: Int }");
+    let new = write_tmp("dj-new.graphql", "type A { x: Int! @required\n y: String }");
+    let out = pgschema(&["diff", &old, &new, "--json"]);
+    assert!(!out.status.success(), "the @required addition is breaking");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let doc = pgraph::json::Json::parse(&stdout).expect("diff --json emits JSON");
+    assert_eq!(
+        doc.get("breaking"),
+        Some(&pgraph::json::Json::Bool(true)),
+        "{stdout}"
+    );
+    let changes = doc.get("changes").and_then(|c| c.as_array()).unwrap();
+    let compats: Vec<&str> = changes
+        .iter()
+        .filter_map(|c| c.get("compat").and_then(|v| v.as_str()))
+        .collect();
+    assert!(compats.contains(&"breaking"), "{stdout}");
+    assert!(compats.contains(&"compatible"), "{stdout}");
+
+    let same = write_tmp("dj-same.graphql", "type A { x: Int }");
+    let out = pgschema(&["diff", &old, &same, "--json"]);
+    assert!(out.status.success());
+    let doc = pgraph::json::Json::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(doc.get("equivalent"), Some(&pgraph::json::Json::Bool(true)));
+}
+
+const MIGRATE_OLD: &str = r#"
+    type User @key(fields: ["id"]) {
+        id: ID! @required
+        login: String
+    }
+"#;
+
+const MIGRATE_BREAKING: &str = r#"
+    type User @key(fields: ["id"]) {
+        id: ID! @required
+        login: String @required
+    }
+"#;
+
+const MIGRATE_GRAPH: &str = r#"{
+    "nodes": [
+        {"id": 0, "label": "User", "properties": {"id": {"$id": "u1"}, "login": "alice"}},
+        {"id": 1, "label": "User", "properties": {"id": {"$id": "u2"}}}
+    ],
+    "edges": []
+}"#;
+
+#[test]
+fn migrate_plan_previews_violations_and_apply_guards() {
+    let old = write_tmp("mg-old.graphql", MIGRATE_OLD);
+    let new = write_tmp("mg-new.graphql", MIGRATE_BREAKING);
+    let graph = write_tmp("mg-graph.json", MIGRATE_GRAPH);
+
+    // plan: breaking (u2 lacks login), nonzero exit, names the rule.
+    let out = pgschema(&["migrate", "plan", &old, &new, &graph]);
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("BREAKING"), "{stdout}");
+    assert!(stdout.contains("DS5"), "{stdout}");
+
+    // plan --json carries the verdict and the previewed violations.
+    let out = pgschema(&["migrate", "plan", &old, &new, &graph, "--json"]);
+    let doc = pgraph::json::Json::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(
+        doc.get("compatible"),
+        Some(&pgraph::json::Json::Bool(false))
+    );
+    assert!(doc
+        .get("violations_added")
+        .and_then(|v| v.as_array())
+        .is_some_and(|v| !v.is_empty()));
+
+    // apply refuses a breaking migration, then yields under --force and
+    // prints the new schema's (non-conforming) report.
+    let out = pgschema(&["migrate", "apply", &old, &new, &graph]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--force"));
+    let out = pgschema(&["migrate", "apply", &old, &new, &graph, "--force"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("DS5"));
+
+    // A compatible migration applies without force.
+    let compat = write_tmp(
+        "mg-compat.graphql",
+        r#"
+        type User @key(fields: ["id"]) {
+            id: ID! @required
+            login: String
+            note: String
+        }
+    "#,
+    );
+    let out = pgschema(&["migrate", "apply", &old, &compat, &graph]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("strongly satisfies"));
+}

@@ -191,3 +191,32 @@ fn the_replication_docs_are_cross_linked() {
         "the runbook links the spec"
     );
 }
+
+#[test]
+fn the_migration_docs_are_cross_linked() {
+    // The migration story spans four documents: the README overview,
+    // the DESIGN rationale, the runbook's rollout procedure and the
+    // spec's SchemaChange record. Each must point a reader onward.
+    let root = repo_root();
+    let readme = std::fs::read_to_string(root.join("README.md")).unwrap();
+    assert!(
+        readme.contains("docs/operations.md#live-schema-migration")
+            && readme.contains("docs/replication.md#schemachange-body"),
+        "README links the migration runbook and the SchemaChange record layout"
+    );
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).unwrap();
+    assert!(
+        design.contains("## Live migration"),
+        "DESIGN documents the migration subsystem"
+    );
+    let runbook = std::fs::read_to_string(root.join("docs/operations.md")).unwrap();
+    assert!(
+        runbook.contains("## Live schema migration") && runbook.contains("SchemaChange"),
+        "the runbook has the migration section and names the WAL record"
+    );
+    let spec = std::fs::read_to_string(root.join("docs/replication.md")).unwrap();
+    assert!(
+        spec.contains("### SchemaChange body"),
+        "the spec documents the SchemaChange body layout"
+    );
+}

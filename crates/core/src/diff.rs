@@ -146,6 +146,53 @@ impl SchemaChange {
             SchemaChange::EdgePropChanged { compat, .. } => *compat,
         }
     }
+
+    /// The human-readable description, without the compatibility tag
+    /// ([`Display`](fmt::Display) prepends it).
+    pub fn describe(&self) -> String {
+        match self {
+            SchemaChange::TypeAdded { name } => format!("type {name} added"),
+            SchemaChange::TypeRemoved { name } => format!("type {name} removed"),
+            SchemaChange::FieldAdded { ty, field } => format!("field {ty}.{field} added"),
+            SchemaChange::FieldRemoved { ty, field } => {
+                format!("field {ty}.{field} removed")
+            }
+            SchemaChange::FieldTypeChanged {
+                ty,
+                field,
+                old,
+                new,
+                ..
+            } => format!("field {ty}.{field}: {old} → {new}"),
+            SchemaChange::ConstraintAdded {
+                ty,
+                field,
+                directive,
+            } => {
+                format!("@{directive} added on {ty}.{field}")
+            }
+            SchemaChange::ConstraintRemoved {
+                ty,
+                field,
+                directive,
+            } => {
+                format!("@{directive} removed from {ty}.{field}")
+            }
+            SchemaChange::KeyAdded { ty, fields } => {
+                format!("@key({}) added on {ty}", fields.join(", "))
+            }
+            SchemaChange::KeyRemoved { ty, fields } => {
+                format!("@key({}) removed from {ty}", fields.join(", "))
+            }
+            SchemaChange::EdgePropChanged {
+                ty,
+                field,
+                prop,
+                what,
+                ..
+            } => format!("edge property {ty}.{field}({prop}:) {what}"),
+        }
+    }
 }
 
 impl fmt::Display for SchemaChange {
@@ -154,49 +201,7 @@ impl fmt::Display for SchemaChange {
             Compat::Compatible => "compatible",
             Compat::Breaking => "BREAKING",
         };
-        write!(f, "[{tag}] ")?;
-        match self {
-            SchemaChange::TypeAdded { name } => write!(f, "type {name} added"),
-            SchemaChange::TypeRemoved { name } => write!(f, "type {name} removed"),
-            SchemaChange::FieldAdded { ty, field } => write!(f, "field {ty}.{field} added"),
-            SchemaChange::FieldRemoved { ty, field } => {
-                write!(f, "field {ty}.{field} removed")
-            }
-            SchemaChange::FieldTypeChanged {
-                ty,
-                field,
-                old,
-                new,
-                ..
-            } => write!(f, "field {ty}.{field}: {old} → {new}"),
-            SchemaChange::ConstraintAdded {
-                ty,
-                field,
-                directive,
-            } => {
-                write!(f, "@{directive} added on {ty}.{field}")
-            }
-            SchemaChange::ConstraintRemoved {
-                ty,
-                field,
-                directive,
-            } => {
-                write!(f, "@{directive} removed from {ty}.{field}")
-            }
-            SchemaChange::KeyAdded { ty, fields } => {
-                write!(f, "@key({}) added on {ty}", fields.join(", "))
-            }
-            SchemaChange::KeyRemoved { ty, fields } => {
-                write!(f, "@key({}) removed from {ty}", fields.join(", "))
-            }
-            SchemaChange::EdgePropChanged {
-                ty,
-                field,
-                prop,
-                what,
-                ..
-            } => write!(f, "edge property {ty}.{field}({prop}:) {what}"),
-        }
+        write!(f, "[{tag}] {}", self.describe())
     }
 }
 
@@ -223,6 +228,36 @@ impl SchemaDiff {
     /// True if the schemas are identical under the diff.
     pub fn is_empty(&self) -> bool {
         self.changes.is_empty()
+    }
+
+    /// Renders the diff as a JSON document for machine consumption
+    /// (`pgschema diff --json`), following the report JSON conventions:
+    ///
+    /// ```json
+    /// {"equivalent": false, "breaking": true,
+    ///  "changes": [{"change": "type T removed", "compat": "breaking"}]}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"equivalent\": {}, \"breaking\": {}, \"changes\": [",
+            self.is_empty(),
+            self.is_breaking()
+        );
+        for (i, c) in self.changes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let compat = match c.compat() {
+                Compat::Compatible => "compatible",
+                Compat::Breaking => "breaking",
+            };
+            out.push_str(&format!(
+                "{{\"change\": \"{}\", \"compat\": \"{compat}\"}}",
+                crate::report::esc(&c.describe())
+            ));
+        }
+        out.push_str("]}");
+        out
     }
 }
 

@@ -58,9 +58,10 @@ use pgraph::{DeltaEffect, EdgeId, GraphDelta, GraphError, NodeId, PropertyGraph}
 
 use crate::indexed;
 use crate::metrics::families_from_rules;
+use crate::migrate;
 use crate::pgschema::PgSchema;
 use crate::report::{ValidationMetrics, ValidationReport, Violation};
-use crate::rules::{self, Ds7Plan, KeyTable, Scope, Sink};
+use crate::rules::{self, Ds7Plan, KeyTable, Scope, Sink, SinkOutput};
 use crate::ValidationOptions;
 
 /// Stateless entry point behind [`Engine::Incremental`](crate::Engine):
@@ -148,6 +149,18 @@ pub struct IncrementalEngine<S: Borrow<PgSchema>> {
     key_tables: Vec<KeyTable>,
     /// Metrics of the last apply (or the seeding run), when requested.
     metrics: Option<ValidationMetrics>,
+    /// An open dual-schema migration window, if any — the candidate
+    /// schema's own violation set and key tables, patched by every
+    /// [`apply`](Self::apply) alongside the primary side.
+    window: Option<Box<WindowState>>,
+}
+
+/// The candidate side of an open migration window: everything the
+/// primary side keeps, re-derived under the candidate schema.
+struct WindowState {
+    schema: PgSchema,
+    violations: Vec<Violation>,
+    key_tables: Vec<KeyTable>,
 }
 
 impl<S: Borrow<PgSchema>> IncrementalEngine<S> {
@@ -165,6 +178,7 @@ impl<S: Borrow<PgSchema>> IncrementalEngine<S> {
             inc: Vec::new(),
             key_tables: Vec::new(),
             metrics: None,
+            window: None,
         };
         engine.reseed();
         engine
@@ -196,6 +210,15 @@ impl<S: Borrow<PgSchema>> IncrementalEngine<S> {
             m.elements_rechecked = total;
             m.elements_total = total;
             self.metrics = Some(m);
+        }
+        // An open window is re-seeded the same way, under its schema.
+        if let Some(w) = &mut self.window {
+            let mut report =
+                indexed::run_named(&self.graph, &w.schema, &self.options, "incremental");
+            report.canonicalize();
+            w.violations = report.take_violations();
+            w.key_tables =
+                rules::directives::build_key_tables(&w.schema, &self.graph, &self.options);
         }
     }
 
@@ -300,59 +323,45 @@ impl<S: Borrow<PgSchema>> IncrementalEngine<S> {
         let removed_edge_ids: BTreeSet<EdgeId> =
             effect.removed_edges.iter().map(|t| t.edge).collect();
 
-        // -- 3. drop every violation anchored in the dirty region -------
-        let old = std::mem::take(&mut self.violations);
-        let (kept, dropped): (Vec<Violation>, Vec<Violation>) = old.into_iter().partition(|v| {
-            let (node_anchor, edge_anchor, pair) = anchors(v);
-            if let Some(n) = node_anchor {
-                if dirty.contains(&n) {
-                    return false;
-                }
-            }
-            if let Some(e) = edge_anchor {
-                if local_edges.contains(&e) || removed_edge_ids.contains(&e) {
-                    return false;
-                }
-            }
-            if let Some((a, b)) = pair {
-                if dirty.contains(&a) || dirty.contains(&b) {
-                    return false;
-                }
-            }
-            true
-        });
-
-        // -- 4. re-derive over the dirty region -------------------------
-        // The same kernels every engine runs, under a dirty scope and the
-        // DS7 recheck plan against this session's persistent key tables.
-        let mut fresh = ValidationReport::default();
+        // -- 3..5. drop, re-derive, merge — once per live schema --------
+        // The partial index covers the dirty region and is
+        // schema-independent, so an open migration window reuses it: the
+        // candidate side is patched through the same kernels against its
+        // own violation set and key tables.
         let ix = GraphIndex::build_partial(
             &self.graph,
             dirty.iter().copied(),
             local_edges.iter().copied(),
         );
         let labels: Vec<String> = ix.node_labels().map(str::to_owned).collect();
-        let g = &self.graph;
-        let s = self.schema.borrow();
-        let o = &self.options;
-        let scope = Scope::dirty(g, s, &ix, &labels, &dirty, &local_edges);
-        let mut sink = Sink::new(&mut fresh, o.collect_metrics);
-        rules::run(&scope, o, &mut sink, Ds7Plan::Recheck(&mut self.key_tables));
-        let sink_out = sink.finish();
-
-        // -- 5. merge ----------------------------------------------------
-        // `kept` and the re-derived set have disjoint anchor spaces by the
-        // symmetry invariant; the sort restores canonical order and dedup
-        // absorbs duplicate emissions within the fresh set (e.g. one loop
-        // edge matching two `@noLoops` sites).
-        let mut fresh_v = fresh.take_violations();
-        fresh_v.sort();
-        fresh_v.dedup();
-        let (added, removed) = diff_counts(&dropped, &fresh_v);
-        self.violations = kept;
-        self.violations.extend(fresh_v);
-        self.violations.sort();
-        self.violations.dedup();
+        let (added, removed, sink_out) = repatch(
+            &self.graph,
+            self.schema.borrow(),
+            &self.options,
+            &ix,
+            &labels,
+            &dirty,
+            &local_edges,
+            &removed_edge_ids,
+            &mut self.violations,
+            &mut self.key_tables,
+            self.options.collect_metrics,
+        );
+        if let Some(w) = &mut self.window {
+            repatch(
+                &self.graph,
+                &w.schema,
+                &self.options,
+                &ix,
+                &labels,
+                &dirty,
+                &local_edges,
+                &removed_edge_ids,
+                &mut w.violations,
+                &mut w.key_tables,
+                false,
+            );
+        }
 
         let rechecked = (dirty.len() + local_edges.len()) as u64;
         let total = (self.graph.node_count() + self.graph.edge_count()) as u64;
@@ -379,6 +388,190 @@ impl<S: Borrow<PgSchema>> IncrementalEngine<S> {
             violations_removed: removed,
         }
     }
+
+    /// Opens a dual-schema migration window: from now on every
+    /// [`apply`](Self::apply) keeps a second violation set up to date
+    /// under `candidate`, alongside the primary schema's. Returns the
+    /// [`MigrationPlan`](migrate::MigrationPlan) — the exact violation
+    /// preview of migrating the *current* graph.
+    ///
+    /// The candidate side is seeded from the dirty region the schema
+    /// diff maps to, not a full pass: outside that region the two
+    /// schemas decide every rule identically, so the primary violations
+    /// carry over (see the [`migrate`] module docs). A previously open
+    /// window is replaced.
+    pub fn begin_migration(&mut self, candidate: PgSchema) -> migrate::MigrationPlan {
+        let schema = self.schema.borrow();
+        let sdiff = crate::diff::diff(schema, &candidate);
+        let all_labels = migrate::graph_labels(&self.graph);
+        let (changes, affected) = migrate::impacts(schema, &candidate, &sdiff, &all_labels);
+        let region = migrate::region_of(&self.graph, &affected, true);
+        // Partition the live violations by region anchoring — the kept
+        // part seeds the window, the in-region part is the preview's old
+        // side (no old-schema region run needed).
+        let mut kept = Vec::new();
+        let mut in_region = Vec::new();
+        for v in &self.violations {
+            let (node_anchor, edge_anchor, pair) = anchors(v);
+            let hit = node_anchor.is_some_and(|n| region.nodes.contains(&n))
+                || edge_anchor.is_some_and(|e| region.edges.contains(&e))
+                || pair
+                    .is_some_and(|(a, b)| region.nodes.contains(&a) || region.nodes.contains(&b));
+            if hit {
+                in_region.push(v.clone());
+            } else {
+                kept.push(v.clone());
+            }
+        }
+        let fresh = migrate::region_run(&self.graph, &candidate, &self.options, &region);
+        let (added, removed) = migrate::diff_violations(&in_region, &fresh);
+        let mut violations = kept;
+        violations.extend(fresh);
+        violations.sort();
+        violations.dedup();
+        let key_tables =
+            rules::directives::build_key_tables(&candidate, &self.graph, &self.options);
+        let plan = migrate::MigrationPlan {
+            changes,
+            dirty_nodes: region.nodes.len(),
+            dirty_edges: region.edges.len(),
+            elements_total: self.graph.node_count() + self.graph.edge_count(),
+            added,
+            removed,
+        };
+        self.window = Some(Box::new(WindowState {
+            schema: candidate,
+            violations,
+            key_tables,
+        }));
+        plan
+    }
+
+    /// True while a migration window is open.
+    pub fn migration_active(&self) -> bool {
+        self.window.is_some()
+    }
+
+    /// The candidate schema of the open window.
+    pub fn migration_schema(&self) -> Option<&PgSchema> {
+        self.window.as_ref().map(|w| &w.schema)
+    }
+
+    /// The candidate side's report — equal to a full validation of the
+    /// current graph under the candidate schema.
+    pub fn migration_report(&self) -> Option<ValidationReport> {
+        self.window.as_ref().map(|w| {
+            let mut r = ValidationReport::new(w.violations.clone());
+            r.set_engine("incremental");
+            r
+        })
+    }
+
+    /// Violations present under the candidate schema but not the
+    /// current one — what committing *now* would newly break. Empty
+    /// means the window can close clean.
+    pub fn migration_regressions(&self) -> Option<Vec<Violation>> {
+        self.window
+            .as_ref()
+            .map(|w| migrate::diff_violations(&self.violations, &w.violations).0)
+    }
+
+    /// Closes the window without switching schemas. Returns false when
+    /// no window was open.
+    pub fn abort_migration(&mut self) -> bool {
+        self.window.take().is_some()
+    }
+
+    /// Consumes the engine, handing back its graph (used when a session
+    /// is demoted to a dormant state).
+    pub fn into_graph(self) -> PropertyGraph {
+        self.graph
+    }
+}
+
+impl<S: Borrow<PgSchema> + From<PgSchema>> IncrementalEngine<S> {
+    /// Atomically swaps the engine onto the open window's candidate
+    /// schema: its violation set and key tables — kept exact across
+    /// every delta since [`begin_migration`](Self::begin_migration) —
+    /// become the live ones. Returns false (and changes nothing) when
+    /// no window is open.
+    ///
+    /// Only schema handles that can own a freshly built schema (e.g.
+    /// `Arc<PgSchema>`) support committing; a `&PgSchema`-holding
+    /// engine can still plan and track a window, but the swap would
+    /// dangle.
+    pub fn commit_migration(&mut self) -> bool {
+        let Some(w) = self.window.take() else {
+            return false;
+        };
+        let w = *w;
+        self.schema = S::from(w.schema);
+        self.violations = w.violations;
+        self.key_tables = w.key_tables;
+        self.metrics = None;
+        true
+    }
+}
+
+/// Drops every violation anchored in the dirty region, re-derives over
+/// it through the shared kernels under one schema, and merges — steps
+/// 3–5 of [`IncrementalEngine::absorb`], factored out so an open
+/// migration window patches its candidate side identically.
+///
+/// `kept` and the re-derived set have disjoint anchor spaces by the
+/// symmetry invariant; the sort restores canonical order and dedup
+/// absorbs duplicate emissions within the fresh set (e.g. one loop
+/// edge matching two `@noLoops` sites).
+#[allow(clippy::too_many_arguments)]
+fn repatch(
+    g: &PropertyGraph,
+    s: &PgSchema,
+    options: &ValidationOptions,
+    ix: &GraphIndex,
+    labels: &[String],
+    dirty: &BTreeSet<NodeId>,
+    local_edges: &BTreeSet<EdgeId>,
+    removed_edge_ids: &BTreeSet<EdgeId>,
+    violations: &mut Vec<Violation>,
+    key_tables: &mut [KeyTable],
+    collect_metrics: bool,
+) -> (usize, usize, Option<SinkOutput>) {
+    let old = std::mem::take(violations);
+    let (kept, dropped): (Vec<Violation>, Vec<Violation>) = old.into_iter().partition(|v| {
+        let (node_anchor, edge_anchor, pair) = anchors(v);
+        if let Some(n) = node_anchor {
+            if dirty.contains(&n) {
+                return false;
+            }
+        }
+        if let Some(e) = edge_anchor {
+            if local_edges.contains(&e) || removed_edge_ids.contains(&e) {
+                return false;
+            }
+        }
+        if let Some((a, b)) = pair {
+            if dirty.contains(&a) || dirty.contains(&b) {
+                return false;
+            }
+        }
+        true
+    });
+
+    let mut fresh = ValidationReport::default();
+    let scope = Scope::dirty(g, s, ix, labels, dirty, local_edges);
+    let mut sink = Sink::new(&mut fresh, collect_metrics);
+    rules::run(&scope, options, &mut sink, Ds7Plan::Recheck(key_tables));
+    let sink_out = sink.finish();
+
+    let mut fresh_v = fresh.take_violations();
+    fresh_v.sort();
+    fresh_v.dedup();
+    let (added, removed) = diff_counts(&dropped, &fresh_v);
+    *violations = kept;
+    violations.extend(fresh_v);
+    violations.sort();
+    violations.dedup();
+    (added, removed, sink_out)
 }
 
 /// Counts `(|new \ old|, |old \ new|)` over two sorted, deduped slices.
@@ -407,7 +600,7 @@ fn diff_counts(old: &[Violation], new: &[Violation]) -> (usize, usize) {
 /// The elements a violation is anchored at: `(node, edge, ds7 pair)`.
 /// Exactly one of the three is `Some` for every variant.
 #[allow(clippy::type_complexity)]
-fn anchors(v: &Violation) -> (Option<NodeId>, Option<EdgeId>, Option<(NodeId, NodeId)>) {
+pub(crate) fn anchors(v: &Violation) -> (Option<NodeId>, Option<EdgeId>, Option<(NodeId, NodeId)>) {
     match v {
         Violation::NodePropertyType { node, .. }
         | Violation::LoopViolated { node, .. }
@@ -612,5 +805,136 @@ mod tests {
         let b = validate(&g, &s, &ValidationOptions::with_engine(Engine::Indexed));
         assert_eq!(a, b);
         assert_eq!(a.engine(), Some("incremental"));
+    }
+
+    /// [`schema`] tightened: at most one incoming `follows` edge per
+    /// `User` (`@uniqueForTarget`).
+    fn candidate() -> PgSchema {
+        let doc = gql_sdl::parse(
+            r#"
+            type User @key(fields: ["login"]) {
+                login: String! @required
+                follows: [User] @noLoops @distinct @uniqueForTarget
+                session: UserSession
+            }
+            type UserSession {
+                user: User! @uniqueForTarget
+            }
+            "#,
+        )
+        .unwrap();
+        PgSchema::from_document(&doc).unwrap()
+    }
+
+    /// After every delta, both sides of an open window must equal a
+    /// full validation under their respective schemas.
+    #[test]
+    fn window_tracks_deltas_on_both_sides() {
+        let old = schema();
+        let new = candidate();
+        let g = conforming();
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        let (u1, u2) = (ids[0], ids[1]);
+        let options = ValidationOptions::default();
+        let u3 = NodeId::from_index(g.node_index_bound());
+        let mut engine = IncrementalEngine::new(g, &old, &options);
+        let plan = engine.begin_migration(candidate());
+        assert!(
+            plan.compatible(),
+            "clean graph, tightening is compatible here"
+        );
+        let deltas = [
+            // a second follower of u2: clean under old, breaks the new
+            // @uniqueForTarget on follows
+            GraphDelta::new()
+                .add_node("User")
+                .set_node_property(u3, "login", Value::from("carol"))
+                .add_edge(u3, u2, "follows"),
+            GraphDelta::new().set_node_property(u1, "login", Value::Int(7)),
+            GraphDelta::new().set_node_property(u1, "login", Value::from("alice")),
+        ];
+        for (i, d) in deltas.iter().enumerate() {
+            engine.apply(d).unwrap();
+            let full_old = validate(engine.graph(), &old, &options);
+            let full_new = validate(engine.graph(), &new, &options);
+            assert_eq!(engine.report(), full_old, "delta #{i}: primary diverged");
+            assert_eq!(
+                engine.migration_report().unwrap(),
+                full_new,
+                "delta #{i}: window diverged"
+            );
+        }
+        let regressions = engine.migration_regressions().unwrap();
+        assert!(
+            regressions
+                .iter()
+                .any(|v| matches!(v, Violation::UniqueForTargetViolated { .. })),
+            "u2's second follower regresses under @uniqueForTarget"
+        );
+    }
+
+    #[test]
+    fn commit_swaps_to_the_candidate_schema() {
+        let old = std::sync::Arc::new(schema());
+        let new = candidate();
+        let g = conforming();
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        let options = ValidationOptions::default();
+        let mut engine = IncrementalEngine::new(g, std::sync::Arc::clone(&old), &options);
+        engine.begin_migration(candidate());
+        engine
+            .apply(&GraphDelta::new().set_node_property(ids[1], "login", Value::from("alice")))
+            .unwrap();
+        assert!(engine.commit_migration());
+        assert!(!engine.migration_active());
+        assert_eq!(engine.report(), validate(engine.graph(), &new, &options));
+        // committed state keeps absorbing deltas exactly
+        engine
+            .apply(&GraphDelta::new().set_node_property(ids[1], "login", Value::from("bob")))
+            .unwrap();
+        assert_eq!(engine.report(), validate(engine.graph(), &new, &options));
+        assert!(!engine.commit_migration(), "no window left to commit");
+    }
+
+    #[test]
+    fn abort_keeps_the_old_schema() {
+        let old = schema();
+        let g = conforming();
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        let options = ValidationOptions::default();
+        let mut engine = IncrementalEngine::new(g, &old, &options);
+        engine.begin_migration(candidate());
+        engine
+            .apply(&GraphDelta::new().set_node_property(ids[1], "login", Value::from("alice")))
+            .unwrap();
+        assert!(engine.abort_migration());
+        assert!(!engine.abort_migration());
+        assert!(engine.migration_report().is_none());
+        assert_eq!(engine.report(), validate(engine.graph(), &old, &options));
+    }
+
+    /// A failed delta re-seeds the primary side — the open window must
+    /// be re-seeded with it, not left tracking a stale graph.
+    #[test]
+    fn failed_apply_reseeds_the_window_too() {
+        let old = schema();
+        let new = candidate();
+        let g = conforming();
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        let options = ValidationOptions::default();
+        let mut engine = IncrementalEngine::new(g, &old, &options);
+        engine.begin_migration(candidate());
+        let bogus = NodeId::from_index(1_000_000);
+        let err = engine.apply(
+            &GraphDelta::new()
+                .set_node_property(ids[1], "login", Value::from("alice"))
+                .set_node_property(bogus, "login", Value::from("x")),
+        );
+        assert!(err.is_err());
+        assert_eq!(engine.report(), validate(engine.graph(), &old, &options));
+        assert_eq!(
+            engine.migration_report().unwrap(),
+            validate(engine.graph(), &new, &options)
+        );
     }
 }

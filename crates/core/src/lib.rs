@@ -78,6 +78,7 @@ pub mod diff;
 pub mod incremental;
 mod indexed;
 mod metrics;
+pub mod migrate;
 mod naive;
 mod parallel;
 mod pgschema;
@@ -86,6 +87,7 @@ mod rules;
 
 pub use api_extension::ApiExtensionError;
 pub use incremental::{DeltaOutcome, IncrementalEngine};
+pub use migrate::{ChangeImpact, MigrationPlan};
 pub use pgschema::{
     AttributeDef, ConstraintSite, FieldClass, KeyConstraint, PgSchema, PgSchemaError,
     RelationshipDef,

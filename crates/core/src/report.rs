@@ -676,28 +676,6 @@ impl ValidationReport {
     /// The full schema of this document is specified in the repository
     /// README ("JSON report schema").
     pub fn to_json(&self) -> String {
-        fn esc(s: &str) -> String {
-            let mut out = String::with_capacity(s.len() + 2);
-            for c in s.chars() {
-                match c {
-                    '"' => out.push_str("\\\""),
-                    '\\' => out.push_str("\\\\"),
-                    '\n' => out.push_str("\\n"),
-                    '\r' => out.push_str("\\r"),
-                    '\t' => out.push_str("\\t"),
-                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                    c => out.push(c),
-                }
-            }
-            out
-        }
-        fn family_name(f: RuleFamily) -> &'static str {
-            match f {
-                RuleFamily::Weak => "weak",
-                RuleFamily::Directives => "directives",
-                RuleFamily::Strong => "strong",
-            }
-        }
         let mut out = format!("{{\"conforms\": {}", self.conforms());
         if let Some(engine) = self.engine {
             out.push_str(&format!(", \"engine\": \"{engine}\""));
@@ -710,12 +688,7 @@ impl ValidationReport {
             if i > 0 {
                 out.push_str(", ");
             }
-            out.push_str(&format!(
-                "{{\"rule\": \"{}\", \"family\": \"{}\", \"message\": \"{}\"}}",
-                v.rule(),
-                family_name(v.rule().family()),
-                esc(&v.to_string())
-            ));
+            out.push_str(&violation_json(v));
         }
         out.push(']');
         out.push_str(", \"rule_counts\": {");
@@ -780,6 +753,44 @@ impl ValidationReport {
     pub fn is_empty(&self) -> bool {
         self.violations.is_empty()
     }
+}
+
+/// JSON string escaping shared by every hand-rolled renderer in the
+/// crate (report, migration plan, schema diff).
+pub(crate) fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The wire name of a rule family.
+pub(crate) fn family_name(f: RuleFamily) -> &'static str {
+    match f {
+        RuleFamily::Weak => "weak",
+        RuleFamily::Directives => "directives",
+        RuleFamily::Strong => "strong",
+    }
+}
+
+/// One violation as the `{"rule", "family", "message"}` JSON object used
+/// by every violation list the crate renders.
+pub(crate) fn violation_json(v: &Violation) -> String {
+    format!(
+        "{{\"rule\": \"{}\", \"family\": \"{}\", \"message\": \"{}\"}}",
+        v.rule(),
+        family_name(v.rule().family()),
+        esc(&v.to_string())
+    )
 }
 
 impl fmt::Display for ValidationReport {

@@ -1,0 +1,121 @@
+//! Property tests for `pg_schema::diff` — the contract the migration
+//! subsystem stands on:
+//!
+//! 1. `diff(s, s)` is empty (the diff never invents changes);
+//! 2. a diff with no breaking changes really is *compatible*: every
+//!    graph that conforms to the old schema still conforms to the new
+//!    one. The new schemas are derived from random generated schemas by
+//!    the transformations `SchemaChange::compat` classifies as
+//!    compatible (type/field additions, constraint/key removals), so a
+//!    counterexample indicts the classification itself.
+
+use pg_datagen::{GraphGen, GraphGenParams, SchemaGen, SchemaGenParams};
+use pg_schema::diff::diff;
+use pg_schema::{validate, PgSchema, ValidationOptions};
+use proptest::prelude::*;
+
+fn parse(sdl: &str) -> PgSchema {
+    PgSchema::parse(sdl).expect("generated SDL parses")
+}
+
+/// Removes the first ` @{name}` directive occurrence whose match is not
+/// a prefix of a longer directive name (`@required` inside
+/// `@requiredForTarget`).
+fn drop_directive(sdl: &str, name: &str) -> String {
+    let needle = format!(" @{name}");
+    let mut from = 0;
+    while let Some(i) = sdl[from..].find(&needle) {
+        let at = from + i;
+        let end = at + needle.len();
+        let next = sdl[end..].chars().next();
+        if !next.is_some_and(|c| c.is_ascii_alphanumeric()) {
+            return format!("{}{}", &sdl[..at], &sdl[end..]);
+        }
+        from = end;
+    }
+    sdl.to_owned()
+}
+
+/// Removes the first `@key(...)` clause, if any.
+fn drop_key(sdl: &str) -> String {
+    match sdl.find(" @key(") {
+        Some(at) => {
+            let close = sdl[at..].find(')').expect("@key clause closes") + at + 1;
+            format!("{}{}", &sdl[..at], &sdl[close..])
+        }
+        None => sdl.to_owned(),
+    }
+}
+
+/// Applies one compatible transformation, selected by `which`; `i`
+/// uniquifies added names so repeated additions stay well-formed.
+fn compatible_mutation(sdl: &str, which: usize, i: usize) -> String {
+    match which {
+        0 => format!("{sdl}type Zadded{i} {{\n    z0: Int\n    z1: [String!]\n}}\n"),
+        1 => {
+            // An optional attribute on the first type.
+            match sdl.find("}\n") {
+                Some(at) => format!("{}    zextra{i}: String\n{}", &sdl[..at], &sdl[at..]),
+                None => sdl.to_owned(),
+            }
+        }
+        2 => drop_directive(sdl, "required"),
+        3 => drop_directive(sdl, "distinct"),
+        4 => drop_directive(sdl, "noLoops"),
+        5 => drop_directive(sdl, "uniqueForTarget"),
+        6 => drop_directive(sdl, "requiredForTarget"),
+        _ => drop_key(sdl),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The diff of a schema against itself is empty, whatever the
+    /// schema's shape.
+    #[test]
+    fn diff_of_a_schema_with_itself_is_empty(seed in any::<u64>(), num_types in 1usize..6) {
+        let params = SchemaGenParams { num_types, seed, ..Default::default() };
+        let sdl = SchemaGen::new(params).generate();
+        let a = parse(&sdl);
+        let b = parse(&sdl);
+        let d = diff(&a, &b);
+        prop_assert!(d.is_empty(), "non-empty self diff:\n{d}\nschema:\n{sdl}");
+    }
+
+    /// Compatible-by-construction changes are classified compatible by
+    /// the diff, and old-conforming graphs stay clean under the new
+    /// schema.
+    #[test]
+    fn compatible_diffs_preserve_conformance(
+        seed in any::<u64>(),
+        num_types in 1usize..5,
+        mutations in prop::collection::vec(0usize..8, 1..4),
+    ) {
+        // Benchmarkable parameters: no target-side obligations, so a
+        // conforming instance generates on the first attempt.
+        let params = SchemaGenParams::benchmarkable(num_types, seed);
+        let old_sdl = SchemaGen::new(params).generate();
+        let mut new_sdl = old_sdl.clone();
+        for (i, which) in mutations.into_iter().enumerate() {
+            new_sdl = compatible_mutation(&new_sdl, which, i);
+        }
+        let old = parse(&old_sdl);
+        let new = parse(&new_sdl);
+
+        let d = diff(&old, &new);
+        prop_assert!(
+            !d.is_breaking(),
+            "compatible-by-construction diff classified breaking:\n{d}\nold:\n{old_sdl}\nnew:\n{new_sdl}"
+        );
+
+        let graph = GraphGen::new(&old, GraphGenParams { seed, ..Default::default() })
+            .generate_conforming(10)
+            .expect("benchmarkable schemas admit conforming graphs");
+        let report = validate(&graph, &new, &ValidationOptions::default());
+        prop_assert!(
+            report.conforms(),
+            "old-conforming graph violates the compatibly-changed schema:\n{report}\nold:\n{old_sdl}\nnew:\n{new_sdl}"
+        );
+    }
+}

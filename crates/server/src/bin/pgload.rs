@@ -24,6 +24,7 @@
 //! pgload --addr 127.0.0.1:7878 --smoke   # CI: one pass over the surface
 //! pgload --restart-check path/to/pgschema   # CI: durability across SIGKILL
 //! pgload --failover-check path/to/pgschema  # CI: promote a follower, lose nothing
+//! pgload --migrate-check path/to/pgschema   # CI: dual-schema window survives SIGKILL
 //! ```
 //!
 //! `--cluster a,b,c` shards session traffic across independent leaders
@@ -1062,6 +1063,411 @@ fn run_failover_check(server_bin: &str) -> Result<(), String> {
     result
 }
 
+/// Builds the `POST /sessions/{id}/migrate` JSON body.
+fn migrate_request(action: &str, schema: Option<&str>, force: bool) -> Vec<u8> {
+    let mut out = String::new();
+    out.push_str("{\"action\":\"");
+    out.push_str(action);
+    out.push('"');
+    if let Some(sdl) = schema {
+        out.push_str(",\"schema\":");
+        pg_server::http::push_json_string(&mut out, sdl);
+    }
+    if force {
+        out.push_str(",\"force\":true");
+    }
+    out.push('}');
+    out.into_bytes()
+}
+
+/// Like [`canonical_report`], but also strips the `engine` member, so a
+/// session report (always `incremental`) compares against the one-shot
+/// `/validate` oracles of the other engines.
+fn canonical_engineless(body: &[u8]) -> Result<String, String> {
+    let doc = Json::parse(&String::from_utf8_lossy(body)).map_err(|e| format!("bad JSON: {e}"))?;
+    let canonical = match doc {
+        Json::Object(members) => Json::Object(
+            members
+                .into_iter()
+                .filter(|(name, _)| name != "metrics" && name != "engine")
+                .collect(),
+        ),
+        other => other,
+    };
+    Ok(canonical.to_string())
+}
+
+/// The migration check (`--migrate-check <pgschema-binary>`): a live
+/// dual-schema window across real processes. Plans a breaking and a
+/// compatible candidate, opens a breaking window, applies deltas
+/// through it, SIGKILLs the leader mid-window and requires recovery to
+/// re-open the window (commit still refused), force-commits and checks
+/// the post-commit report against all four one-shot engines, then runs
+/// a clean compatible commit and a begin/abort cycle — with a follower
+/// tailing the whole history, required to finish byte-identical to the
+/// leader and to answer migrate writes with `421`.
+fn run_migrate_check(server_bin: &str) -> Result<(), String> {
+    let breaking_sdl = SCHEMA_SDL.replace("endTime: Time!", "endTime: Time! @required");
+    let compatible_sdl = SCHEMA_SDL.replace(
+        "nicknames: [String!]!",
+        "nicknames: [String!]!\n    note: String",
+    );
+
+    let scratch = std::env::temp_dir().join(format!("pgload-migrate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).map_err(|e| format!("cannot create {scratch:?}: {e}"))?;
+
+    let pick_port = || -> Result<u16, String> {
+        TcpListener::bind("127.0.0.1:0")
+            .and_then(|l| l.local_addr())
+            .map(|a| a.port())
+            .map_err(|e| format!("cannot pick a port: {e}"))
+    };
+    let leader_addr = format!("127.0.0.1:{}", pick_port()?);
+    let follower_addr = format!("127.0.0.1:{}", pick_port()?);
+
+    let spawn =
+        |addr: &str, dir: &str, follow: Option<&str>| -> Result<std::process::Child, String> {
+            let mut cmd = std::process::Command::new(server_bin);
+            cmd.args([
+                "serve",
+                "--addr",
+                addr,
+                "--cores",
+                "2",
+                "--log-format",
+                "off",
+                "--fsync",
+                "always",
+                "--data-dir",
+            ])
+            .arg(scratch.join(dir));
+            if let Some(leader) = follow {
+                cmd.args(["--follow", leader]);
+            }
+            cmd.stdout(std::process::Stdio::null())
+                .stderr(std::process::Stdio::null())
+                .spawn()
+                .map_err(|e| format!("cannot spawn {server_bin}: {e}"))
+        };
+    let wait_ready = |addr: &str| -> Result<Client, String> {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Ok(mut client) = Client::connect(addr) {
+                if let Ok((200, _)) = client.request("GET", "/healthz", b"") {
+                    return Ok(client);
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(format!("daemon on {addr} not ready within 10s"));
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    };
+
+    let mut leader_child: Option<std::process::Child> = None;
+    let mut follower_child: Option<std::process::Child> = None;
+    let result = (|| -> Result<(), String> {
+        leader_child = Some(spawn(&leader_addr, "leader", None)?);
+        let mut leader = wait_ready(&leader_addr)?;
+
+        let (status, body) = leader
+            .request("POST", "/sessions", envelope(4).as_bytes())
+            .map_err(|e| format!("create: {e}"))?;
+        if status != 201 {
+            return Err(format!("create: status {status}"));
+        }
+        let id = Json::parse(&String::from_utf8_lossy(&body))
+            .ok()
+            .and_then(|d| d.get("session")?.as_i64())
+            .ok_or("create: no session id")?;
+        let migrate = format!("/sessions/{id}/migrate");
+
+        follower_child = Some(spawn(&follower_addr, "follower", Some(&leader_addr))?);
+        let mut follower = wait_ready(&follower_addr)?;
+
+        // A caught-up barrier against the leader's own end sequence (the
+        // follower's lag gauges freeze between polls).
+        let wait_caught_up = |leader: &mut Client, follower: &mut Client| -> Result<(), String> {
+            let (status, headers, _) = leader
+                .request_full("GET", "/wal/tail?from=1", b"")
+                .map_err(|e| format!("leader tail: {e}"))?;
+            if status != 200 {
+                return Err(format!("leader tail: status {status}"));
+            }
+            let leader_last = headers
+                .iter()
+                .find(|(k, _)| k == "x-wal-end-seq")
+                .and_then(|(_, v)| v.parse::<u64>().ok())
+                .ok_or("leader tail: no x-wal-end-seq header")?
+                .saturating_sub(1);
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                let caught_up = metric_value(follower, "pgschemad_replication_last_applied_seq")
+                    .map(|seq| seq >= leader_last)
+                    .unwrap_or(false);
+                if caught_up {
+                    return Ok(());
+                }
+                if Instant::now() >= deadline {
+                    return Err(format!(
+                        "follower did not reach leader seq {leader_last} within 10s"
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        };
+
+        // Plans — read-only previews, no window opened.
+        let (status, body) = leader
+            .request(
+                "POST",
+                &migrate,
+                &migrate_request("plan", Some(&breaking_sdl), false),
+            )
+            .map_err(|e| format!("plan breaking: {e}"))?;
+        if status != 200 {
+            return Err(format!("plan breaking: status {status}"));
+        }
+        let plan = Json::parse(&String::from_utf8_lossy(&body))
+            .ok()
+            .and_then(|d| d.get("plan").cloned())
+            .ok_or("plan breaking: no plan member")?;
+        if plan.get("compatible") != Some(&Json::Bool(false)) {
+            return Err("plan breaking: `endTime @required` must preview as breaking".into());
+        }
+        if plan
+            .get("violations_added")
+            .and_then(Json::as_array)
+            .is_none_or(|v| v.is_empty())
+        {
+            return Err("plan breaking: expected a non-empty violation preview".into());
+        }
+        let (status, body) = leader
+            .request(
+                "POST",
+                &migrate,
+                &migrate_request("plan", Some(&compatible_sdl), false),
+            )
+            .map_err(|e| format!("plan compatible: {e}"))?;
+        let compatible_plan = Json::parse(&String::from_utf8_lossy(&body))
+            .ok()
+            .and_then(|d| d.get("plan")?.get("compatible").cloned());
+        if status != 200 || compatible_plan != Some(Json::Bool(true)) {
+            return Err("plan compatible: optional `note` must preview as compatible".into());
+        }
+        if metric_value(&mut leader, "pgschemad_migration_windows_open") != Ok(0) {
+            return Err("plans must not open migration windows".into());
+        }
+
+        // Open a breaking window and run delta traffic through it.
+        let (status, _) = leader
+            .request(
+                "POST",
+                &migrate,
+                &migrate_request("begin", Some(&breaking_sdl), false),
+            )
+            .map_err(|e| format!("begin: {e}"))?;
+        if status != 200 {
+            return Err(format!("begin: status {status}"));
+        }
+        if metric_value(&mut leader, "pgschemad_migration_windows_open") != Ok(1) {
+            return Err("begin: expected one open migration window".into());
+        }
+        let graph = sample_graph(4);
+        let user = user_ids(&graph)[0];
+        for d in 0..2u64 {
+            let delta = json::delta_to_json(&toggle_delta(user, d));
+            let (status, _) = leader
+                .request("POST", &format!("/sessions/{id}/deltas"), delta.as_bytes())
+                .map_err(|e| format!("mid-window delta: {e}"))?;
+            if status != 200 {
+                return Err(format!("mid-window delta: status {status}"));
+            }
+        }
+        // Mid-window, reads still serve the old schema: the follower's
+        // replicated report must conform.
+        wait_caught_up(&mut leader, &mut follower)?;
+        let (status, body) = follower
+            .request("GET", &format!("/sessions/{id}/report"), b"")
+            .map_err(|e| format!("mid-window follower report: {e}"))?;
+        if status != 200 {
+            return Err(format!("mid-window follower report: status {status}"));
+        }
+        let doc = Json::parse(&String::from_utf8_lossy(&body))
+            .map_err(|e| format!("mid-window follower report: bad JSON: {e}"))?;
+        if doc.get("conforms") != Some(&Json::Bool(true)) {
+            return Err("mid-window follower report must still use the old schema".into());
+        }
+
+        // The breaking window has regressions (sessions miss `endTime`),
+        // so a plain commit is refused.
+        let (status, _) = leader
+            .request("POST", &migrate, &migrate_request("commit", None, false))
+            .map_err(|e| format!("commit: {e}"))?;
+        if status != 409 {
+            return Err(format!(
+                "commit with regressions: expected 409, got {status}"
+            ));
+        }
+
+        // SIGKILL mid-window; the WAL-logged Begin must re-open it.
+        let child = leader_child.as_mut().expect("leader spawned");
+        child.kill().map_err(|e| format!("kill leader: {e}"))?;
+        let _ = child.wait();
+        leader_child = Some(spawn(&leader_addr, "leader", None)?);
+        let mut leader = wait_ready(&leader_addr)?;
+        if metric_value(&mut leader, "pgschemad_migration_windows_open") != Ok(1) {
+            return Err("recovery must re-open the migration window".into());
+        }
+        let (status, _) = leader
+            .request("POST", &migrate, &migrate_request("commit", None, false))
+            .map_err(|e| format!("post-recovery commit: {e}"))?;
+        if status != 409 {
+            return Err(format!(
+                "post-recovery commit: regressions survive recovery, expected 409, got {status}"
+            ));
+        }
+
+        // Force the swap and check the session's report against the
+        // four one-shot engine oracles on the session's own graph.
+        let (status, _) = leader
+            .request("POST", &migrate, &migrate_request("commit", None, true))
+            .map_err(|e| format!("force commit: {e}"))?;
+        if status != 200 {
+            return Err(format!("force commit: status {status}"));
+        }
+        let (status, session_report) = leader
+            .request("GET", &format!("/sessions/{id}/report"), b"")
+            .map_err(|e| format!("post-commit report: {e}"))?;
+        if status != 200 {
+            return Err(format!("post-commit report: status {status}"));
+        }
+        let doc = Json::parse(&String::from_utf8_lossy(&session_report))
+            .map_err(|e| format!("post-commit report: bad JSON: {e}"))?;
+        if doc.get("conforms") != Some(&Json::Bool(false)) {
+            return Err("post-commit report must be non-conforming under the new schema".into());
+        }
+        let (status, graph_json) = leader
+            .request("GET", &format!("/sessions/{id}/graph"), b"")
+            .map_err(|e| format!("post-commit graph: {e}"))?;
+        if status != 200 {
+            return Err(format!("post-commit graph: status {status}"));
+        }
+        let mut oneshot = String::new();
+        oneshot.push_str("{\"schema\":");
+        pg_server::http::push_json_string(&mut oneshot, &breaking_sdl);
+        oneshot.push_str(",\"graph\":");
+        oneshot.push_str(&String::from_utf8_lossy(&graph_json));
+        oneshot.push('}');
+        let session_canonical = canonical_engineless(&session_report)?;
+        for engine in ["naive", "indexed", "parallel", "incremental"] {
+            let (status, body) = leader
+                .request(
+                    "POST",
+                    &format!("/validate?engine={engine}"),
+                    oneshot.as_bytes(),
+                )
+                .map_err(|e| format!("oracle({engine}): {e}"))?;
+            if status != 200 {
+                return Err(format!("oracle({engine}): status {status}"));
+            }
+            if canonical_engineless(&body)? != session_canonical {
+                return Err(format!(
+                    "oracle({engine}): post-commit session report diverges from \
+                     a from-scratch validation under the new schema"
+                ));
+            }
+        }
+
+        // A compatible window commits cleanly, and abort closes without
+        // swapping.
+        let (status, _) = leader
+            .request(
+                "POST",
+                &migrate,
+                &migrate_request("begin", Some(&compatible_sdl), false),
+            )
+            .map_err(|e| format!("compatible begin: {e}"))?;
+        if status != 200 {
+            return Err(format!("compatible begin: status {status}"));
+        }
+        let (status, body) = leader
+            .request("POST", &migrate, &migrate_request("commit", None, false))
+            .map_err(|e| format!("compatible commit: {e}"))?;
+        if status != 200 {
+            return Err(format!("compatible commit: status {status}"));
+        }
+        let doc = Json::parse(&String::from_utf8_lossy(&body))
+            .map_err(|e| format!("compatible commit: bad JSON: {e}"))?;
+        if doc.get("committed") != Some(&Json::Bool(true)) {
+            return Err("compatible commit: expected committed:true".into());
+        }
+        let (status, _) = leader
+            .request(
+                "POST",
+                &migrate,
+                &migrate_request("begin", Some(&breaking_sdl), false),
+            )
+            .map_err(|e| format!("abort begin: {e}"))?;
+        if status != 200 {
+            return Err(format!("abort begin: status {status}"));
+        }
+        let (status, _) = leader
+            .request("POST", &migrate, &migrate_request("abort", None, false))
+            .map_err(|e| format!("abort: {e}"))?;
+        if status != 200 {
+            return Err(format!("abort: status {status}"));
+        }
+        if metric_value(&mut leader, "pgschemad_migration_windows_open") != Ok(0) {
+            return Err("abort must close the migration window".into());
+        }
+
+        // The follower replays the whole history — kills, commits,
+        // aborts — and must finish byte-identical, while refusing
+        // migrate writes itself.
+        wait_caught_up(&mut leader, &mut follower)?;
+        let (status, leader_report) = leader
+            .request("GET", &format!("/sessions/{id}/report"), b"")
+            .map_err(|e| format!("final leader report: {e}"))?;
+        if status != 200 {
+            return Err(format!("final leader report: status {status}"));
+        }
+        let (status, follower_report) = follower
+            .request("GET", &format!("/sessions/{id}/report"), b"")
+            .map_err(|e| format!("final follower report: {e}"))?;
+        if status != 200 {
+            return Err(format!("final follower report: status {status}"));
+        }
+        if canonical_report(&leader_report)? != canonical_report(&follower_report)? {
+            return Err("follower report diverges from the leader after the migration".into());
+        }
+        let (status, _) = follower
+            .request(
+                "POST",
+                &migrate,
+                &migrate_request("begin", Some(&compatible_sdl), false),
+            )
+            .map_err(|e| format!("follower migrate: {e}"))?;
+        if status != 421 {
+            return Err(format!("follower migrate: expected 421, got {status}"));
+        }
+
+        println!("migrate-check: ok");
+        Ok(())
+    })();
+
+    for child in [&mut leader_child, &mut follower_child]
+        .into_iter()
+        .flatten()
+    {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    result
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: pgload --addr HOST:PORT [--mode oneshot|session|mixed] \
@@ -1069,7 +1475,8 @@ fn usage() -> ! {
          [--engine naive|indexed|parallel|incremental] \
          [--rate REQS_PER_SEC] [--cluster HOST:PORT,HOST:PORT,...] \
          [--hold CONNECTIONS] [--smoke] \
-         [--restart-check PGSCHEMA_BIN] [--failover-check PGSCHEMA_BIN]"
+         [--restart-check PGSCHEMA_BIN] [--failover-check PGSCHEMA_BIN] \
+         [--migrate-check PGSCHEMA_BIN]"
     );
     std::process::exit(2);
 }
@@ -1088,6 +1495,7 @@ fn main() {
     let mut smoke = false;
     let mut restart_check: Option<String> = None;
     let mut failover_check: Option<String> = None;
+    let mut migrate_check: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -1132,6 +1540,7 @@ fn main() {
             "--smoke" => smoke = true,
             "--restart-check" => restart_check = Some(value(&mut i)),
             "--failover-check" => failover_check = Some(value(&mut i)),
+            "--migrate-check" => migrate_check = Some(value(&mut i)),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -1148,6 +1557,13 @@ fn main() {
     if let Some(server_bin) = failover_check {
         if let Err(message) = run_failover_check(&server_bin) {
             eprintln!("failover-check: FAIL: {message}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if let Some(server_bin) = migrate_check {
+        if let Err(message) = run_migrate_check(&server_bin) {
+            eprintln!("migrate-check: FAIL: {message}");
             std::process::exit(1);
         }
         return;

@@ -48,9 +48,29 @@ pub struct RenderGauges {
     pub sessions_recovered: u64,
     /// Sessions evicted by `--max-sessions` since startup.
     pub sessions_evicted: u64,
+    /// Sessions currently inside an open dual-schema migration window.
+    pub migration_windows_open: usize,
     /// The store's counters, when the server is durable.
     pub store: Option<pg_store::StoreStats>,
 }
+
+/// A schema-migration API action, counted per kind. The discriminant
+/// indexes [`MIGRATION_ACTIONS`].
+#[derive(Debug, Clone, Copy)]
+pub enum MigrationAction {
+    /// Impact analysis only (no window opened).
+    Plan = 0,
+    /// A dual-schema window was opened.
+    Begin = 1,
+    /// An open window committed (schema swapped).
+    Commit = 2,
+    /// An open window was abandoned.
+    Abort = 3,
+}
+
+/// Label values for `pgschemad_migration_actions_total`, indexed by
+/// [`MigrationAction`] discriminant.
+const MIGRATION_ACTIONS: [&str; 4] = ["plan", "begin", "commit", "abort"];
 
 /// [`ReplicationMetrics::state`] value: not replicating (leader, or no
 /// `--follow` configured).
@@ -124,6 +144,8 @@ pub struct Metrics {
     wakeup_event_sum: AtomicU64,
     /// Connections handed from one core to a session's home core.
     migrations: AtomicU64,
+    /// Schema-migration API actions, indexed like [`MIGRATION_ACTIONS`].
+    migration_actions: [AtomicU64; MIGRATION_ACTIONS.len()],
     /// Per-engine validation counters, indexed like [`ENGINES`].
     engines: [EngineCounters; 4],
     /// Violations found per rule across all runs, indexed like
@@ -155,6 +177,7 @@ impl Metrics {
             wakeup_event_buckets: Default::default(),
             wakeup_event_sum: AtomicU64::new(0),
             migrations: AtomicU64::new(0),
+            migration_actions: Default::default(),
             engines: Default::default(),
             rule_violations: Default::default(),
             rule_nanos: Default::default(),
@@ -229,6 +252,11 @@ impl Metrics {
     /// Records one connection migrated to its session's home core.
     pub fn record_migration(&self) {
         self.migrations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one schema-migration API action on a session.
+    pub fn record_migration_action(&self, action: MigrationAction) {
+        self.migration_actions[action as usize].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Folds one validation run's [`ValidationMetrics`] into the
@@ -448,6 +476,27 @@ impl Metrics {
         ));
 
         out.push_str(
+            "# HELP pgschemad_migration_actions_total Schema-migration actions taken, \
+             by action.\n",
+        );
+        out.push_str("# TYPE pgschemad_migration_actions_total counter\n");
+        for (i, name) in MIGRATION_ACTIONS.iter().enumerate() {
+            out.push_str(&format!(
+                "pgschemad_migration_actions_total{{action=\"{name}\"}} {}\n",
+                self.migration_actions[i].load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str(
+            "# HELP pgschemad_migration_windows_open Sessions currently inside an open \
+             dual-schema migration window.\n",
+        );
+        out.push_str("# TYPE pgschemad_migration_windows_open gauge\n");
+        out.push_str(&format!(
+            "pgschemad_migration_windows_open {}\n",
+            g.migration_windows_open
+        ));
+
+        out.push_str(
             "# HELP pgschemad_wal_append_duration_micros WAL append latency histogram \
              (microseconds; includes inline fsync).\n",
         );
@@ -609,6 +658,7 @@ mod tests {
         m.record_wakeup(0, 3);
         m.record_wakeup(1, 70);
         m.record_migration();
+        m.record_migration_action(MigrationAction::Plan);
         m.record_validation(Engine::Indexed, None);
         m.record_wal_append(7);
         m.replication
@@ -625,6 +675,7 @@ mod tests {
             sessions_live: 5,
             sessions_recovered: 3,
             sessions_evicted: 1,
+            migration_windows_open: 2,
             store: Some(pg_store::StoreStats {
                 appends: 9,
                 appended_bytes: 4096,
@@ -651,6 +702,9 @@ mod tests {
         assert!(text.contains("pgschemad_wakeup_events_sum 73"));
         assert!(text.contains("pgschemad_wakeup_events_count 2"));
         assert!(text.contains("pgschemad_session_migrations_total 1"));
+        assert!(text.contains("pgschemad_migration_actions_total{action=\"plan\"} 1"));
+        assert!(text.contains("pgschemad_migration_actions_total{action=\"commit\"} 0"));
+        assert!(text.contains("pgschemad_migration_windows_open 2"));
         assert!(text.contains("pgschemad_shed_total 1"));
         assert!(text.contains("pgschemad_wal_append_duration_micros_bucket{le=\"10\"} 1"));
         assert!(text.contains("pgschemad_wal_append_duration_micros_count 1"));

@@ -64,6 +64,10 @@ pub struct Session {
     /// Sequence number of this session's last WAL record (0 without a
     /// store).
     pub last_seq: u64,
+    /// Candidate schema SDL of an open migration window, kept verbatim
+    /// for snapshot capture (an open window must survive compaction) and
+    /// for rehydrating the window after recovery.
+    pub pending_migration: Option<String>,
 }
 
 impl Session {
@@ -78,11 +82,16 @@ impl Session {
             };
             let schema = PgSchema::parse(&self.schema_sdl)
                 .map_err(|e| format!("recovered schema no longer parses: {e}"))?;
-            self.state = SessionState::Ready(Box::new(IncrementalEngine::new(
-                graph,
-                Arc::new(schema),
-                &self.options,
-            )));
+            let mut engine = IncrementalEngine::new(graph, Arc::new(schema), &self.options);
+            // A WAL-recovered (or follower-replicated) open migration
+            // window re-opens with the engine: the candidate side picks
+            // up exactly where the crash left it.
+            if let Some(sdl) = &self.pending_migration {
+                let candidate = PgSchema::parse(sdl)
+                    .map_err(|e| format!("pending migration schema no longer parses: {e}"))?;
+                engine.begin_migration(candidate);
+            }
+            self.state = SessionState::Ready(Box::new(engine));
         }
         match &mut self.state {
             SessionState::Ready(engine) => Ok(engine),
@@ -219,6 +228,7 @@ impl SessionRegistry {
                     options: *options,
                     deltas_applied: s.deltas_applied,
                     last_seq: s.last_seq,
+                    pending_migration: s.pending_migration,
                 }),
                 last_used: AtomicU64::new(clock),
             });
@@ -277,6 +287,7 @@ impl SessionRegistry {
                 options: *options,
                 deltas_applied: 0,
                 last_seq: 0,
+                pending_migration: None,
             }),
             last_used: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)),
         });
@@ -329,6 +340,26 @@ impl SessionRegistry {
         Ok(Some(started.elapsed().as_micros() as u64))
     }
 
+    /// Durably logs a migration phase transition for this session, as
+    /// [`log_delta`](Self::log_delta) does for deltas. `schema_sdl` is
+    /// the candidate SDL on [`MigrationPhase::Begin`] and empty
+    /// otherwise.
+    pub fn log_schema_change(
+        &self,
+        id: u64,
+        session: &mut Session,
+        phase: pg_store::MigrationPhase,
+        schema_sdl: &str,
+    ) -> io::Result<Option<u64>> {
+        let Some(store) = &self.store else {
+            return Ok(None);
+        };
+        let started = Instant::now();
+        let seq = store.append_schema_change(id, phase, schema_sdl)?;
+        session.last_seq = seq;
+        Ok(Some(started.elapsed().as_micros() as u64))
+    }
+
     /// The session with this id. The returned slot is cloned out of the
     /// map, so the registry lock is released before the caller locks the
     /// session; the lookup also stamps the slot for LRU.
@@ -376,6 +407,17 @@ impl SessionRegistry {
         self.len() == 0
     }
 
+    /// Number of sessions with an open migration window (the
+    /// `pgschemad_migration_windows_open` gauge). Takes each session's
+    /// lock briefly; called only from `/metrics` rendering.
+    pub fn open_migrations(&self) -> usize {
+        let slots: Vec<_> = self.sessions.read().unwrap().values().cloned().collect();
+        slots
+            .iter()
+            .filter(|slot| slot.session.lock().unwrap().pending_migration.is_some())
+            .count()
+    }
+
     /// Runs one compaction cycle: rotate the WAL, capture every live
     /// session under its own lock, write the snapshot, drop superseded
     /// segments. Returns `Ok(None)` when another compaction is in
@@ -402,6 +444,7 @@ impl SessionRegistry {
                 session.deltas_applied,
                 &session.schema_sdl,
                 session.graph(),
+                session.pending_migration.as_deref(),
             );
         }
         let outcome = compaction.finish(self.next_id.load(Ordering::Relaxed))?;
@@ -438,6 +481,7 @@ impl SessionRegistry {
                         options: self.options,
                         deltas_applied: 0,
                         last_seq: seq,
+                        pending_migration: None,
                     }),
                     last_used: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)),
                 });
@@ -473,6 +517,39 @@ impl SessionRegistry {
                 }
                 self.sessions.write().unwrap().remove(&session);
             }
+            StoreRecord::SchemaChange {
+                session,
+                phase,
+                schema_sdl,
+            } => {
+                let Lookup::Found(slot) = self.get(session) else {
+                    return;
+                };
+                let mut s = slot.session.lock().unwrap();
+                if seq <= s.last_seq {
+                    return;
+                }
+                match phase {
+                    pg_store::MigrationPhase::Begin => s.pending_migration = Some(schema_sdl),
+                    pg_store::MigrationPhase::Commit => {
+                        if let Some(sdl) = s.pending_migration.take() {
+                            s.schema_sdl = sdl;
+                            // Demote to dormant so the next read re-seeds
+                            // the engine under the committed schema — the
+                            // follower then serves the new schema's report.
+                            let state = std::mem::replace(&mut s.state, SessionState::Poisoned);
+                            s.state = match state {
+                                SessionState::Ready(engine) => SessionState::Dormant {
+                                    graph: engine.into_graph(),
+                                },
+                                other => other,
+                            };
+                        }
+                    }
+                    pg_store::MigrationPhase::Abort => s.pending_migration = None,
+                }
+                s.last_seq = seq;
+            }
         }
     }
 
@@ -502,6 +579,7 @@ impl SessionRegistry {
                 session.deltas_applied,
                 &session.schema_sdl,
                 session.graph(),
+                session.pending_migration.as_deref(),
             );
         }
         Some(handoff.finish(self.next_id.load(Ordering::Relaxed)))

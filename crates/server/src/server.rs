@@ -15,7 +15,7 @@ use pg_store::{FsyncPolicy, Store};
 use pgraph::json::{self, Json};
 
 use crate::http::{push_json_string, Request, Response};
-use crate::metrics::{Metrics, RenderGauges};
+use crate::metrics::{Metrics, MigrationAction, RenderGauges};
 use crate::reactor::{self, CoreShared, Incoming};
 use crate::registry::{Lookup, RemoveOutcome, SessionRegistry};
 
@@ -577,6 +577,7 @@ fn route(ctx: &Ctx, request: &Request) -> Handled {
                     sessions_live: ctx.registry.len(),
                     sessions_recovered: ctx.registry.recovered_total(),
                     sessions_evicted: ctx.registry.evicted_total(),
+                    migration_windows_open: ctx.registry.open_migrations(),
                     store: ctx.registry.store().map(|s| s.stats()),
                 }),
             ),
@@ -631,13 +632,15 @@ fn route_session(ctx: &Ctx, request: &Request, id: u64, tail: &str) -> Handled {
         // write is misdirected back to the leader (reads stay local).
         ("POST", "deltas") if ctx.is_follower() => misdirected(ctx, "/sessions/{id}/deltas"),
         ("POST", "compact") if ctx.is_follower() => misdirected(ctx, "/sessions/{id}/compact"),
+        ("POST", "migrate") if ctx.is_follower() => misdirected(ctx, "/sessions/{id}/migrate"),
         ("DELETE", "") if ctx.is_follower() => misdirected(ctx, "/sessions/{id}"),
         ("POST", "deltas") => handle_delta(ctx, request, id),
         ("GET", "report") => handle_report(ctx, id),
         ("GET", "graph") => handle_graph(ctx, id),
         ("POST", "compact") => handle_compact(ctx, id),
+        ("POST", "migrate") => handle_migrate(ctx, request, id),
         ("DELETE", "") => handle_delete(ctx, id),
-        ("POST" | "GET" | "DELETE", "deltas" | "report" | "graph" | "compact" | "") => {
+        ("POST" | "GET" | "DELETE", "deltas" | "report" | "graph" | "compact" | "migrate" | "") => {
             Handled::plain("(unknown)", Response::error(405, "method not allowed"))
         }
         _ => Handled::plain("(unknown)", Response::error(404, "no such route")),
@@ -688,6 +691,204 @@ fn handle_compact(ctx: &Ctx, id: u64) -> Handled {
         },
     };
     Handled::plain(ROUTE, response)
+}
+
+/// Live schema migration on a session: `{"action": "plan"}` previews a
+/// candidate schema's impact, `begin` opens a dual-schema window,
+/// `commit` atomically swaps the session onto the candidate (refused
+/// with `409` while the window has regressions, unless
+/// `"force": true`), `abort` closes the window. `begin`, `commit` and
+/// `abort` are WAL-logged as `SchemaChange` records, so open windows
+/// survive crashes and replicate to followers.
+fn handle_migrate(ctx: &Ctx, request: &Request, id: u64) -> Handled {
+    const ROUTE: &str = "/sessions/{id}/migrate";
+    let doc = match std::str::from_utf8(&request.body)
+        .map_err(|_| "body is not UTF-8".to_owned())
+        .and_then(|text| Json::parse(text).map_err(|e| e.to_string()))
+    {
+        Ok(doc) => doc,
+        Err(message) => return Handled::plain(ROUTE, Response::error(400, &message)),
+    };
+    let action = match doc.get("action").and_then(Json::as_str) {
+        Some(a @ ("plan" | "begin" | "commit" | "abort")) => a.to_owned(),
+        Some(other) => {
+            return Handled::plain(
+                ROUTE,
+                Response::error(400, &format!("unknown action {other:?}")),
+            )
+        }
+        None => {
+            return Handled::plain(
+                ROUTE,
+                Response::error(400, "missing string field \"action\""),
+            )
+        }
+    };
+    let slot = match ctx.registry.get(id) {
+        Lookup::Found(slot) => slot,
+        Lookup::Evicted => return Handled::plain(ROUTE, Response::error(410, "session evicted")),
+        Lookup::Missing => return Handled::plain(ROUTE, Response::error(404, "no such session")),
+    };
+    let mut session = slot.session.lock().unwrap();
+    let response = match action.as_str() {
+        "plan" | "begin" => {
+            let sdl = match doc.get("schema").and_then(Json::as_str) {
+                Some(sdl) => sdl.to_owned(),
+                None => {
+                    return Handled::plain(
+                        ROUTE,
+                        Response::error(400, "missing string field \"schema\""),
+                    )
+                }
+            };
+            let candidate = match PgSchema::parse(&sdl) {
+                Ok(c) => c,
+                Err(e) => {
+                    return Handled::plain(ROUTE, Response::error(400, &format!("schema: {e}")))
+                }
+            };
+            if action == "begin" && session.pending_migration.is_some() {
+                return Handled::plain(
+                    ROUTE,
+                    Response::error(409, "a migration window is already open"),
+                );
+            }
+            if action == "begin" {
+                match ctx.registry.log_schema_change(
+                    id,
+                    &mut session,
+                    pg_store::MigrationPhase::Begin,
+                    &sdl,
+                ) {
+                    Ok(Some(micros)) => ctx.metrics.record_wal_append(micros),
+                    Ok(None) => {}
+                    Err(e) => {
+                        return Handled::plain(
+                            ROUTE,
+                            Response::error(500, &format!("wal append failed: {e}")),
+                        )
+                    }
+                }
+            }
+            let plan = match session.engine() {
+                Ok(engine) => {
+                    if action == "begin" {
+                        engine.begin_migration(candidate)
+                    } else {
+                        pg_schema::migrate::plan(
+                            engine.graph(),
+                            engine.schema(),
+                            &candidate,
+                            engine.options(),
+                        )
+                    }
+                }
+                Err(message) => return Handled::plain(ROUTE, Response::error(500, &message)),
+            };
+            if action == "begin" {
+                session.pending_migration = Some(sdl);
+                ctx.metrics.record_migration_action(MigrationAction::Begin);
+            } else {
+                ctx.metrics.record_migration_action(MigrationAction::Plan);
+            }
+            Response::json(
+                200,
+                format!(
+                    "{{\"session\":{id},\"action\":\"{action}\",\"plan\":{}}}",
+                    plan.to_json()
+                ),
+            )
+        }
+        "commit" => {
+            let force = matches!(doc.get("force"), Some(Json::Bool(true)));
+            let Some(sdl) = session.pending_migration.clone() else {
+                return Handled::plain(ROUTE, Response::error(409, "no open migration window"));
+            };
+            let regressions = match session.engine() {
+                Ok(engine) => engine
+                    .migration_regressions()
+                    .expect("pending_migration implies an open window"),
+                Err(message) => return Handled::plain(ROUTE, Response::error(500, &message)),
+            };
+            if !regressions.is_empty() && !force {
+                return Handled::plain(
+                    ROUTE,
+                    Response::json(
+                        409,
+                        format!(
+                            "{{\"committed\":false,\"regressions\":{},\
+                             \"error\":\"window has regressions; pass force to commit anyway\"}}",
+                            regressions.len()
+                        ),
+                    ),
+                );
+            }
+            match ctx.registry.log_schema_change(
+                id,
+                &mut session,
+                pg_store::MigrationPhase::Commit,
+                "",
+            ) {
+                Ok(Some(micros)) => ctx.metrics.record_wal_append(micros),
+                Ok(None) => {}
+                Err(e) => {
+                    return Handled::plain(
+                        ROUTE,
+                        Response::error(500, &format!("wal append failed: {e}")),
+                    )
+                }
+            }
+            let report = match session.engine() {
+                Ok(engine) => {
+                    assert!(engine.commit_migration());
+                    engine.report()
+                }
+                Err(message) => return Handled::plain(ROUTE, Response::error(500, &message)),
+            };
+            session.schema_sdl = sdl;
+            session.pending_migration = None;
+            ctx.metrics.record_migration_action(MigrationAction::Commit);
+            Response::json(
+                200,
+                format!("{{\"committed\":true,\"report\":{}}}", report.to_json()),
+            )
+        }
+        _ => {
+            if session.pending_migration.is_none() {
+                return Handled::plain(ROUTE, Response::error(409, "no open migration window"));
+            }
+            match ctx.registry.log_schema_change(
+                id,
+                &mut session,
+                pg_store::MigrationPhase::Abort,
+                "",
+            ) {
+                Ok(Some(micros)) => ctx.metrics.record_wal_append(micros),
+                Ok(None) => {}
+                Err(e) => {
+                    return Handled::plain(
+                        ROUTE,
+                        Response::error(500, &format!("wal append failed: {e}")),
+                    )
+                }
+            }
+            // A dormant session's window exists only as the pending SDL;
+            // clearing it is the whole abort — no need to hydrate.
+            if session.is_hydrated() {
+                if let Ok(engine) = session.engine() {
+                    engine.abort_migration();
+                }
+            }
+            session.pending_migration = None;
+            ctx.metrics.record_migration_action(MigrationAction::Abort);
+            Response::json(200, "{\"aborted\":true}".to_owned())
+        }
+    };
+    Handled {
+        route: ROUTE,
+        response,
+        engine: Some("incremental"),
+    }
 }
 
 /// The `421 Misdirected Request` a follower answers to writes; the

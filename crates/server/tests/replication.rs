@@ -424,3 +424,151 @@ fn tail_rejects_bad_from_parameters() {
     leader.stop();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// [`SCHEMA_SDL`] with `UserSession.endTime` made `@required` — every
+/// sample session lacks it, so commit needs `force` and the new
+/// schema's report is non-conforming.
+const BREAKING_SDL: &str = r#"
+type UserSession {
+    id: ID! @required
+    user(certainty: Float! comment: String): User! @required
+    startTime: Time! @required
+    endTime: Time! @required
+}
+type User @key(fields: ["id"]) {
+    id: ID! @required
+    login: String! @required
+    nicknames: [String!]!
+}
+scalar Time
+"#;
+
+fn migrate_body(action: &str, schema: Option<&str>, force: bool) -> Vec<u8> {
+    let mut out = String::new();
+    out.push_str("{\"action\":\"");
+    out.push_str(action);
+    out.push('"');
+    if let Some(sdl) = schema {
+        out.push_str(",\"schema\":");
+        pg_server::http::push_json_string(&mut out, sdl);
+    }
+    if force {
+        out.push_str(",\"force\":true");
+    }
+    out.push('}');
+    out.into_bytes()
+}
+
+/// An open migration window is WAL state: killing the leader mid-window
+/// and restarting from the same directory re-opens it — the commit (and
+/// its regression guard) behave exactly as they would have before the
+/// crash.
+#[test]
+fn open_migration_window_survives_restart() {
+    let dir = test_dir("migrate-restart");
+    let leader = Daemon::leader(&dir);
+    let mut client = Client::connect(leader.addr);
+
+    let (status, body) = client.request("POST", "/sessions", &envelope(3));
+    assert_eq!(status, 201);
+    let created = Json::parse(&String::from_utf8_lossy(&body)).unwrap();
+    let id = created.get("session").and_then(Json::as_i64).unwrap();
+    let migrate = format!("/sessions/{id}/migrate");
+
+    let (status, _) = client.request(
+        "POST",
+        &migrate,
+        &migrate_body("begin", Some(BREAKING_SDL), false),
+    );
+    assert_eq!(status, 200);
+    // Mutate inside the window so recovery replays a delta under it too.
+    let users = user_ids(&sample_graph(3));
+    let (status, _) = client.request(
+        "POST",
+        &format!("/sessions/{id}/deltas"),
+        json::delta_to_json(&toggle_delta(users[0], 1)).as_bytes(),
+    );
+    assert_eq!(status, 200);
+    leader.stop();
+
+    let leader = Daemon::leader(&dir);
+    let mut client = Client::connect(leader.addr);
+    // The recovered window still guards its regressions...
+    let (status, body) = client.request("POST", &migrate, &migrate_body("commit", None, false));
+    assert_eq!(status, 409, "{}", String::from_utf8_lossy(&body));
+    // ...and still commits when forced, serving the new schema's report.
+    let (status, body) = client.request("POST", &migrate, &migrate_body("commit", None, true));
+    assert_eq!(status, 200);
+    let committed = Json::parse(&String::from_utf8_lossy(&body)).unwrap();
+    assert_eq!(
+        committed.get("report").and_then(|r| r.get("conforms")),
+        Some(&Json::Bool(false))
+    );
+    leader.stop();
+}
+
+/// A follower applies replicated `SchemaChange` records: after the
+/// leader commits a migration, the follower's report for the session is
+/// byte-identical to the leader's — i.e. it serves the *new* schema's
+/// violations, and misdirects migration writes throughout.
+#[test]
+fn follower_applies_replicated_migration() {
+    let leader_dir = test_dir("migrate-leader");
+    let follower_dir = test_dir("migrate-follower");
+    let leader = Daemon::leader(&leader_dir);
+    let mut client = Client::connect(leader.addr);
+
+    let (status, body) = client.request("POST", "/sessions", &envelope(4));
+    assert_eq!(status, 201);
+    let created = Json::parse(&String::from_utf8_lossy(&body)).unwrap();
+    let id = created.get("session").and_then(Json::as_i64).unwrap();
+    let migrate = format!("/sessions/{id}/migrate");
+
+    let follower = Daemon::follower(&follower_dir, leader.addr);
+    let mut fclient = Client::connect(follower.addr);
+    wait_caught_up(&mut fclient, leader_last_seq(&mut client));
+
+    // Writes are misdirected on the follower, including migrations.
+    let (status, _) = fclient.request(
+        "POST",
+        &migrate,
+        &migrate_body("begin", Some(BREAKING_SDL), false),
+    );
+    assert_eq!(status, 421);
+
+    let (status, _) = client.request(
+        "POST",
+        &migrate,
+        &migrate_body("begin", Some(BREAKING_SDL), false),
+    );
+    assert_eq!(status, 200);
+    wait_caught_up(&mut fclient, leader_last_seq(&mut client));
+    // Mid-window the follower still serves the *old* schema's report.
+    let (status, body) = fclient.request("GET", &format!("/sessions/{id}/report"), b"");
+    assert_eq!(status, 200);
+    let report = Json::parse(&String::from_utf8_lossy(&body)).unwrap();
+    assert_eq!(report.get("conforms"), Some(&Json::Bool(true)));
+
+    let (status, _) = client.request("POST", &migrate, &migrate_body("commit", None, true));
+    assert_eq!(status, 200);
+    wait_caught_up(&mut fclient, leader_last_seq(&mut client));
+
+    let (status, leader_report) = client.request("GET", &format!("/sessions/{id}/report"), b"");
+    assert_eq!(status, 200);
+    let (status, follower_report) = fclient.request("GET", &format!("/sessions/{id}/report"), b"");
+    assert_eq!(status, 200);
+    assert_eq!(
+        canonical_report(&follower_report),
+        canonical_report(&leader_report),
+        "follower serves the committed schema's report"
+    );
+    let parsed = Json::parse(&String::from_utf8_lossy(&follower_report)).unwrap();
+    assert_eq!(
+        parsed.get("conforms"),
+        Some(&Json::Bool(false)),
+        "the committed schema is the breaking one"
+    );
+
+    follower.stop();
+    leader.stop();
+}

@@ -345,3 +345,172 @@ fn hammered_session_report_equals_from_scratch_validation() {
 
     daemon.stop();
 }
+
+/// [`SCHEMA_SDL`] with `UserSession.endTime` made `@required` — every
+/// sample session lacks it, so the change is breaking on sample graphs.
+const BREAKING_SDL: &str = r#"
+type UserSession {
+    id: ID! @required
+    user(certainty: Float! comment: String): User! @required
+    startTime: Time! @required
+    endTime: Time! @required
+}
+type User @key(fields: ["id"]) {
+    id: ID! @required
+    login: String! @required
+    nicknames: [String!]!
+}
+scalar Time
+"#;
+
+/// [`SCHEMA_SDL`] plus an optional `User.note` attribute — compatible
+/// by construction (field additions constrain nothing retroactively).
+const COMPATIBLE_SDL: &str = r#"
+type UserSession {
+    id: ID! @required
+    user(certainty: Float! comment: String): User! @required
+    startTime: Time! @required
+    endTime: Time!
+}
+type User @key(fields: ["id"]) {
+    id: ID! @required
+    login: String! @required
+    nicknames: [String!]!
+    note: String
+}
+scalar Time
+"#;
+
+fn migrate_body(action: &str, schema: Option<&str>, force: bool) -> Vec<u8> {
+    let mut out = String::new();
+    out.push_str("{\"action\":\"");
+    out.push_str(action);
+    out.push('"');
+    if let Some(sdl) = schema {
+        out.push_str(",\"schema\":");
+        pg_server::http::push_json_string(&mut out, sdl);
+    }
+    if force {
+        out.push_str(",\"force\":true");
+    }
+    out.push('}');
+    out.into_bytes()
+}
+
+#[test]
+fn migration_window_lifecycle() {
+    let daemon = Daemon::start(2, 16);
+    let mut client = Client::connect(daemon.addr);
+
+    let (status, created) = client.request_json("POST", "/sessions", &envelope(3));
+    assert_eq!(status, 201);
+    let id = created.get("session").and_then(Json::as_i64).unwrap();
+    let migrate = format!("/sessions/{id}/migrate");
+
+    // A plan is a preview: it opens nothing.
+    let (status, planned) = client.request_json(
+        "POST",
+        &migrate,
+        &migrate_body("plan", Some(BREAKING_SDL), false),
+    );
+    assert_eq!(status, 200);
+    let plan = planned.get("plan").unwrap();
+    assert_eq!(plan.get("compatible"), Some(&Json::Bool(false)));
+    assert!(plan
+        .get("violations_added")
+        .and_then(Json::as_array)
+        .is_some_and(|v| !v.is_empty()));
+    let (status, _) = client.request_json("POST", &migrate, &migrate_body("commit", None, false));
+    assert_eq!(status, 409, "plan must not have opened a window");
+
+    // Begin a compatible window; a second begin is refused.
+    let (status, begun) = client.request_json(
+        "POST",
+        &migrate,
+        &migrate_body("begin", Some(COMPATIBLE_SDL), false),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        begun.get("plan").and_then(|p| p.get("compatible")),
+        Some(&Json::Bool(true))
+    );
+    let (status, _) = client.request_json(
+        "POST",
+        &migrate,
+        &migrate_body("begin", Some(COMPATIBLE_SDL), false),
+    );
+    assert_eq!(status, 409);
+    let (status, metrics) = client.request("GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    let metrics = String::from_utf8(metrics).unwrap();
+    assert!(metrics.contains("pgschemad_migration_windows_open 1"));
+    assert!(metrics.contains("pgschemad_migration_actions_total{action=\"begin\"} 1"));
+
+    // Deltas keep flowing during the window; commit swaps cleanly.
+    let users = user_ids(&sample_graph(3));
+    let delta = toggle_delta(users[0], 1);
+    let (status, _) = client.request_json(
+        "POST",
+        &format!("/sessions/{id}/deltas"),
+        json::delta_to_json(&delta).as_bytes(),
+    );
+    assert_eq!(status, 200);
+    let (status, committed) =
+        client.request_json("POST", &migrate, &migrate_body("commit", None, false));
+    assert_eq!(status, 200);
+    assert_eq!(committed.get("committed"), Some(&Json::Bool(true)));
+    assert_eq!(
+        committed.get("report").and_then(|r| r.get("conforms")),
+        Some(&Json::Bool(true))
+    );
+    let (status, _) = client.request_json("POST", &migrate, &migrate_body("abort", None, false));
+    assert_eq!(status, 409, "commit closed the window");
+
+    // A breaking window: commit refused until forced.
+    let (status, begun) = client.request_json(
+        "POST",
+        &migrate,
+        &migrate_body("begin", Some(BREAKING_SDL), false),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        begun.get("plan").and_then(|p| p.get("compatible")),
+        Some(&Json::Bool(false))
+    );
+    let (status, refused) =
+        client.request_json("POST", &migrate, &migrate_body("commit", None, false));
+    assert_eq!(status, 409);
+    assert_eq!(refused.get("committed"), Some(&Json::Bool(false)));
+    let (status, committed) =
+        client.request_json("POST", &migrate, &migrate_body("commit", None, true));
+    assert_eq!(status, 200);
+    assert_eq!(
+        committed.get("report").and_then(|r| r.get("conforms")),
+        Some(&Json::Bool(false)),
+        "forced breaking commit serves the new schema's violations"
+    );
+
+    // Abort path and malformed requests.
+    let (status, _) = client.request_json(
+        "POST",
+        &migrate,
+        &migrate_body("begin", Some(COMPATIBLE_SDL), false),
+    );
+    assert_eq!(status, 200);
+    let (status, aborted) =
+        client.request_json("POST", &migrate, &migrate_body("abort", None, false));
+    assert_eq!(status, 200);
+    assert_eq!(aborted.get("aborted"), Some(&Json::Bool(true)));
+    let (status, _) = client.request_json("POST", &migrate, &migrate_body("tango", None, false));
+    assert_eq!(status, 400);
+    let (status, _) = client.request_json("POST", &migrate, &migrate_body("plan", None, false));
+    assert_eq!(status, 400);
+    let (status, _) = client.request_json(
+        "POST",
+        "/sessions/999/migrate",
+        &migrate_body("abort", None, false),
+    );
+    assert_eq!(status, 404);
+
+    daemon.stop();
+}

@@ -52,7 +52,7 @@ mod scan;
 mod snapshot;
 pub mod wire;
 
-pub use record::StoreRecord;
+pub use record::{MigrationPhase, StoreRecord};
 pub use scan::{scan, ScanReport, SegmentInfo, SnapshotInfo};
 
 use std::fs::{File, OpenOptions};
@@ -118,6 +118,9 @@ pub struct RecoveredSession {
     pub deltas_applied: u64,
     /// Sequence number of the last record reflected in `graph`.
     pub last_seq: u64,
+    /// The candidate schema SDL of an open migration window (a
+    /// `SchemaChange(begin)` with no commit/abort yet), if any.
+    pub pending_migration: Option<String>,
 }
 
 /// A torn or corrupt WAL tail found (and removed) during recovery.
@@ -291,6 +294,22 @@ impl Store {
         self.append(&StoreRecord::Delete { session })
     }
 
+    /// Logs a schema-migration phase transition on a session. Pass the
+    /// candidate schema's SDL for [`MigrationPhase::Begin`]; commit and
+    /// abort carry no SDL (recovery resolves the pending one).
+    pub fn append_schema_change(
+        &self,
+        session: u64,
+        phase: MigrationPhase,
+        schema_sdl: &str,
+    ) -> io::Result<u64> {
+        self.append(&StoreRecord::SchemaChange {
+            session,
+            phase,
+            schema_sdl: schema_sdl.to_owned(),
+        })
+    }
+
     fn append(&self, record: &StoreRecord) -> io::Result<u64> {
         let mut wal = self.wal.lock().unwrap();
         let seq = wal.next_seq;
@@ -410,6 +429,16 @@ impl Store {
                 Err(e) => return Err(e),
             };
             let parse = record::parse_segment(&buf);
+            if let Some(unknown) = &parse.unknown {
+                // A valid frame of an unknown kind in the local WAL: a
+                // newer writer's record that this binary cannot serve
+                // faithfully — refuse rather than silently drop it from
+                // the shipped stream.
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    format!("{}: {}", path.display(), unknown.to_error()),
+                ));
+            }
             for i in 0..parse.records.len() {
                 let parsed = &parse.records[i];
                 if parsed.seq < from || parsed.seq >= end_seq {
@@ -457,6 +486,17 @@ impl Store {
     /// applies to the batch as a whole.
     pub fn append_replicated(&self, frames: &[u8]) -> io::Result<ReplicatedBatch> {
         let parse = record::parse_segment(frames);
+        if let Some(unknown) = &parse.unknown {
+            // The leader shipped a record kind this follower does not
+            // implement (newer leader, older follower). Appending it
+            // blind would leave live state diverged from the WAL;
+            // refuse the whole batch — nothing has been written yet —
+            // so the follower stalls loudly instead of truncating.
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!("leader batch: {}", unknown.to_error()),
+            ));
+        }
         let ends: Vec<usize> = parse
             .records
             .iter()
@@ -616,6 +656,8 @@ pub struct Compaction<'a> {
 impl Compaction<'_> {
     /// Captures one session into the snapshot. Call with the session's
     /// own lock held so `last_seq` and `graph` are consistent.
+    /// `pending_migration` is the candidate SDL of an open migration
+    /// window, so compaction does not lose the window.
     pub fn add_session(
         &mut self,
         id: u64,
@@ -623,6 +665,7 @@ impl Compaction<'_> {
         deltas_applied: u64,
         schema_sdl: &str,
         graph: &PropertyGraph,
+        pending_migration: Option<&str>,
     ) {
         self.sessions.push(snapshot::encode_session(
             id,
@@ -630,6 +673,7 @@ impl Compaction<'_> {
             deltas_applied,
             schema_sdl,
             graph,
+            pending_migration,
         ));
     }
 
@@ -756,7 +800,8 @@ impl SnapshotHandoff {
     }
 
     /// Captures one session. Call with the session's own lock held so
-    /// `last_seq` and `graph` are consistent.
+    /// `last_seq` and `graph` are consistent. An open migration
+    /// window's candidate SDL travels in `pending_migration`.
     pub fn add_session(
         &mut self,
         id: u64,
@@ -764,6 +809,7 @@ impl SnapshotHandoff {
         deltas_applied: u64,
         schema_sdl: &str,
         graph: &PropertyGraph,
+        pending_migration: Option<&str>,
     ) {
         self.sessions.push(snapshot::encode_session(
             id,
@@ -771,6 +817,7 @@ impl SnapshotHandoff {
             deltas_applied,
             schema_sdl,
             graph,
+            pending_migration,
         ));
     }
 

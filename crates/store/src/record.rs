@@ -20,8 +20,34 @@ use pgraph::{binary, GraphDelta, PropertyGraph};
 use crate::crc32::crc32;
 pub(crate) use crate::wire::FRAME_HEADER_BYTES as FRAME_HEADER;
 use crate::wire::{
-    KIND_CREATE, KIND_DELETE, KIND_DELTA, MAX_PAYLOAD_BYTES as MAX_PAYLOAD, MIN_PAYLOAD_BYTES,
+    KIND_CREATE, KIND_DELETE, KIND_DELTA, KIND_SCHEMA, MAX_PAYLOAD_BYTES as MAX_PAYLOAD,
+    MIN_PAYLOAD_BYTES,
 };
+
+/// The phase a [`StoreRecord::SchemaChange`] logs, encoded as one byte
+/// in the record body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationPhase {
+    /// A dual-schema migration window opened; the record carries the
+    /// candidate schema's SDL.
+    Begin = 1,
+    /// The window closed clean: the candidate schema is now the
+    /// session's schema.
+    Commit = 2,
+    /// The window was abandoned; the session keeps its old schema.
+    Abort = 3,
+}
+
+impl MigrationPhase {
+    fn from_byte(b: u8) -> Option<MigrationPhase> {
+        match b {
+            1 => Some(MigrationPhase::Begin),
+            2 => Some(MigrationPhase::Commit),
+            3 => Some(MigrationPhase::Abort),
+            _ => None,
+        }
+    }
+}
 
 /// One durable event in a session's life.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +76,19 @@ pub enum StoreRecord {
         /// The session id.
         session: u64,
     },
+    /// A schema-migration phase transition on a session: a dual-schema
+    /// window opened (carrying the candidate schema's SDL, produced by
+    /// the `sdl` printer), committed, or aborted. Logged so an open
+    /// window survives crashes and ships to followers.
+    SchemaChange {
+        /// The session id.
+        session: u64,
+        /// Which transition this record logs.
+        phase: MigrationPhase,
+        /// The candidate schema's SDL for [`MigrationPhase::Begin`];
+        /// empty for commit/abort (recovery resolves the pending SDL).
+        schema_sdl: String,
+    },
 }
 
 /// Encodes one framed record ready to append to a segment.
@@ -77,6 +116,17 @@ pub(crate) fn encode_frame(seq: u64, record: &StoreRecord) -> Vec<u8> {
             payload.push(KIND_DELETE);
             payload.extend_from_slice(&session.to_le_bytes());
         }
+        StoreRecord::SchemaChange {
+            session,
+            phase,
+            schema_sdl,
+        } => {
+            payload.push(KIND_SCHEMA);
+            payload.extend_from_slice(&session.to_le_bytes());
+            payload.push(*phase as u8);
+            payload.extend_from_slice(&(schema_sdl.len() as u32).to_le_bytes());
+            payload.extend_from_slice(schema_sdl.as_bytes());
+        }
     }
     let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -96,6 +146,33 @@ pub(crate) struct ParsedRecord {
     pub offset: u64,
 }
 
+/// A CRC-valid frame whose `kind` byte this implementation does not
+/// know — written by a newer implementation, not corruption. Readers
+/// must surface this as an explicit error instead of truncating the
+/// tail at a frame that is perfectly intact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct UnknownKind {
+    /// The unrecognised `kind` byte.
+    pub kind: u8,
+    /// The frame's sequence number.
+    pub seq: u64,
+    /// Byte offset of the frame within its segment.
+    pub offset: u64,
+}
+
+impl UnknownKind {
+    /// The canonical reader-facing error for this condition.
+    pub fn to_error(&self) -> std::io::Error {
+        std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            format!(
+                "unknown record kind {} (newer writer?) at seq {}, offset {}",
+                self.kind, self.seq, self.offset
+            ),
+        )
+    }
+}
+
 /// The result of walking one segment's frames.
 #[derive(Debug)]
 pub(crate) struct SegmentParse {
@@ -104,16 +181,23 @@ pub(crate) struct SegmentParse {
     /// Bytes consumed by valid frames; equals the buffer length when the
     /// segment is clean.
     pub valid_len: u64,
-    /// Why parsing stopped early, if it did.
+    /// Why parsing stopped early at a torn or *corrupt* frame, if it
+    /// did. Mutually exclusive with `unknown`.
     pub torn: Option<String>,
+    /// Set when parsing stopped at a CRC-valid frame of an unknown kind
+    /// (forward compatibility: a newer writer, not damage).
+    pub unknown: Option<UnknownKind>,
 }
 
 /// Walks `buf` frame by frame, stopping at the first torn or corrupt
-/// frame. Never fails: corruption terminates the parse, it does not
-/// error it.
+/// frame (`torn`) or at the first valid frame of an unrecognised kind
+/// (`unknown`). Never fails: the stop reason terminates the parse, it
+/// does not error it — callers decide (truncate damage, refuse unknown
+/// kinds).
 pub(crate) fn parse_segment(buf: &[u8]) -> SegmentParse {
     let mut records = Vec::new();
     let mut pos = 0usize;
+    let mut unknown = None;
     let torn = loop {
         if pos == buf.len() {
             break None;
@@ -134,12 +218,20 @@ pub(crate) fn parse_segment(buf: &[u8]) -> SegmentParse {
             break Some(format!("CRC mismatch at offset {pos}"));
         }
         match decode_payload(payload) {
-            Some((seq, record)) => records.push(ParsedRecord {
+            Decoded::Record(seq, record) => records.push(ParsedRecord {
                 seq,
                 record,
                 offset: pos as u64,
             }),
-            None => break Some(format!("undecodable record body at offset {pos}")),
+            Decoded::UnknownKind { kind, seq } => {
+                unknown = Some(UnknownKind {
+                    kind,
+                    seq,
+                    offset: pos as u64,
+                });
+                break None;
+            }
+            Decoded::Corrupt => break Some(format!("undecodable record body at offset {pos}")),
         }
         pos += FRAME_HEADER + len;
     };
@@ -147,13 +239,30 @@ pub(crate) fn parse_segment(buf: &[u8]) -> SegmentParse {
         records,
         valid_len: pos as u64,
         torn,
+        unknown,
     }
 }
 
-fn decode_payload(payload: &[u8]) -> Option<(u64, StoreRecord)> {
+enum Decoded {
+    Record(u64, StoreRecord),
+    UnknownKind { kind: u8, seq: u64 },
+    Corrupt,
+}
+
+fn decode_payload(payload: &[u8]) -> Decoded {
+    match try_decode_payload(payload) {
+        Some(decoded) => decoded,
+        None => Decoded::Corrupt,
+    }
+}
+
+fn try_decode_payload(payload: &[u8]) -> Option<Decoded> {
     let seq = u64::from_le_bytes(payload.get(..8)?.try_into().unwrap());
     let kind = *payload.get(8)?;
     let body = &payload[9..];
+    if !matches!(kind, KIND_CREATE | KIND_DELTA | KIND_DELETE | KIND_SCHEMA) {
+        return Some(Decoded::UnknownKind { kind, seq });
+    }
     let session = u64::from_le_bytes(body.get(..8)?.try_into().unwrap());
     let rest = &body[8..];
     let record = match kind {
@@ -178,9 +287,22 @@ fn decode_payload(payload: &[u8]) -> Option<(u64, StoreRecord)> {
             }
             StoreRecord::Delete { session }
         }
-        _ => return None,
+        KIND_SCHEMA => {
+            let phase = MigrationPhase::from_byte(*rest.first()?)?;
+            let sdl_len = u32::from_le_bytes(rest.get(1..5)?.try_into().unwrap()) as usize;
+            let sdl_bytes = rest.get(5..)?;
+            if sdl_bytes.len() != sdl_len {
+                return None;
+            }
+            StoreRecord::SchemaChange {
+                session,
+                phase,
+                schema_sdl: std::str::from_utf8(sdl_bytes).ok()?.to_owned(),
+            }
+        }
+        _ => unreachable!("kind checked above"),
     };
-    Some((seq, record))
+    Some(Decoded::Record(seq, record))
 }
 
 #[cfg(test)]
@@ -205,6 +327,16 @@ mod tests {
                     "login",
                     Value::Int(3),
                 ),
+            },
+            StoreRecord::SchemaChange {
+                session: 1,
+                phase: MigrationPhase::Begin,
+                schema_sdl: "type User { login: String! handle: String }".to_owned(),
+            },
+            StoreRecord::SchemaChange {
+                session: 1,
+                phase: MigrationPhase::Commit,
+                schema_sdl: String::new(),
             },
             StoreRecord::Delete { session: 1 },
         ]
@@ -273,5 +405,58 @@ mod tests {
                 "flip at byte {byte} was silently accepted"
             );
         }
+    }
+
+    /// Frames a raw payload the way `encode_frame` would.
+    fn frame_raw(payload: &[u8]) -> Vec<u8> {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        frame
+    }
+
+    #[test]
+    fn unknown_kind_is_not_misclassified_as_corruption() {
+        let records = sample_records();
+        let mut buf = encode_all(&records);
+        let prefix_len = buf.len() as u64;
+        // A CRC-valid frame with kind 5 — written by a newer
+        // implementation this code does not know about.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&(records.len() as u64 + 1).to_le_bytes());
+        payload.push(5);
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        buf.extend_from_slice(&frame_raw(&payload));
+
+        let parse = parse_segment(&buf);
+        assert_eq!(parse.records.len(), records.len(), "valid prefix kept");
+        assert_eq!(parse.valid_len, prefix_len, "stops before the frame");
+        assert!(parse.torn.is_none(), "not reported as damage");
+        let unknown = parse.unknown.expect("unknown kind reported");
+        assert_eq!(unknown.kind, 5);
+        assert_eq!(unknown.seq, records.len() as u64 + 1);
+        assert_eq!(unknown.offset, prefix_len);
+        let msg = unknown.to_error().to_string();
+        assert!(
+            msg.contains("unknown record kind 5 (newer writer?)"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn schema_change_bad_phase_is_corruption() {
+        // Phase 0 is structurally invalid for a known kind — corruption,
+        // not forward compatibility.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.push(KIND_SCHEMA);
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        payload.push(0);
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        let parse = parse_segment(&frame_raw(&payload));
+        assert!(parse.records.is_empty());
+        assert!(parse.unknown.is_none());
+        assert!(parse.torn.unwrap().contains("undecodable record body"));
     }
 }

@@ -91,6 +91,16 @@ pub(crate) fn recover(dir: &Path) -> io::Result<(Recovered, WalPosition)> {
     for (ix, (first_seq, path)) in segments.iter().enumerate() {
         let buf = std::fs::read(path)?;
         let parse = record::parse_segment(&buf);
+        if let Some(unknown) = &parse.unknown {
+            // A CRC-valid frame of a kind this implementation does not
+            // know: written by a newer version, not damage. Refuse to
+            // open (and above all refuse to truncate) rather than
+            // silently discard a valid tail.
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!("{}: {}", path.display(), unknown.to_error()),
+            ));
+        }
         let mut valid_len = parse.valid_len;
         let mut torn = parse.torn;
         let mut kept = 0u64;
@@ -184,6 +194,7 @@ fn replay_record(
                     graph,
                     deltas_applied: 0,
                     last_seq: seq,
+                    pending_migration: None,
                 },
             );
         }
@@ -212,6 +223,39 @@ fn replay_record(
             if sessions.remove(&session).is_none() {
                 info.records_skipped += 1;
             }
+        }
+        StoreRecord::SchemaChange {
+            session,
+            phase,
+            schema_sdl,
+        } => {
+            let Some(state) = sessions.get_mut(&session) else {
+                info.records_skipped += 1;
+                return;
+            };
+            if seq <= state.last_seq {
+                info.records_skipped += 1;
+                return;
+            }
+            match phase {
+                crate::MigrationPhase::Begin => state.pending_migration = Some(schema_sdl),
+                crate::MigrationPhase::Commit => {
+                    // The commit record's body is empty; the candidate
+                    // SDL comes from the pending begin (or the snapshot
+                    // that captured the open window).
+                    if let Some(sdl) = state.pending_migration.take() {
+                        state.schema_sdl = sdl;
+                    } else {
+                        info.records_skipped += 1;
+                    }
+                }
+                crate::MigrationPhase::Abort => {
+                    if state.pending_migration.take().is_none() {
+                        info.records_skipped += 1;
+                    }
+                }
+            }
+            state.last_seq = seq;
         }
     }
 }

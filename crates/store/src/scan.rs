@@ -39,8 +39,9 @@ pub struct SegmentInfo {
     pub bytes: u64,
     /// Bytes covered by valid frames (equals `bytes` when clean).
     pub valid_bytes: u64,
-    /// Valid records, by kind: `(creates, deltas, deletes)`.
-    pub records: (u64, u64, u64),
+    /// Valid records, by kind: `(creates, deltas, deletes,
+    /// schema_changes)`.
+    pub records: (u64, u64, u64, u64),
     /// Last valid sequence number in the segment, if any record exists.
     pub last_seq: Option<u64>,
     /// Why the frame walk stopped early, if it did.
@@ -82,12 +83,22 @@ pub fn scan(dir: &Path) -> io::Result<ScanReport> {
     for (first_seq, path) in segments {
         let buf = std::fs::read(&path)?;
         let parse = record::parse_segment(&buf);
-        let mut records = (0u64, 0u64, 0u64);
+        if let Some(unknown) = &parse.unknown {
+            // Forward compatibility: a valid frame of an unknown kind is
+            // a newer writer's work, not corruption — refuse loudly
+            // instead of reporting a bogus torn tail.
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!("{}: {}", path.display(), unknown.to_error()),
+            ));
+        }
+        let mut records = (0u64, 0u64, 0u64, 0u64);
         for parsed in &parse.records {
             match parsed.record {
                 StoreRecord::Create { .. } => records.0 += 1,
                 StoreRecord::Delta { .. } => records.1 += 1,
                 StoreRecord::Delete { .. } => records.2 += 1,
+                StoreRecord::SchemaChange { .. } => records.3 += 1,
             }
         }
         report.segments.push(SegmentInfo {

@@ -7,7 +7,13 @@
 //! payload = [magic "PGS1"][base_seq u64][next_session_id u64][count u32]
 //!           count × [id u64][last_seq u64][deltas_applied u64]
 //!                   [sdl: u32 len + bytes][graph: u32 len + binary graph]
+//!                   [pending: u8 flag][flag = 1: u32 len + bytes]
 //! ```
+//!
+//! The trailing `pending` field carries the candidate schema SDL of an
+//! open migration window (flag 1), so compacting away the window's
+//! `SchemaChange(begin)` WAL record does not lose it; flag 0 means no
+//! window is open.
 //!
 //! `base_seq` is the sequence number at which the WAL was rotated when
 //! the snapshot began; every record with `seq <= base_seq` is superseded.
@@ -42,9 +48,10 @@ pub(crate) fn encode_session(
     deltas_applied: u64,
     schema_sdl: &str,
     graph: &pgraph::PropertyGraph,
+    pending_migration: Option<&str>,
 ) -> Vec<u8> {
     let graph_bytes = binary::graph_to_bytes(graph);
-    let mut out = Vec::with_capacity(32 + schema_sdl.len() + graph_bytes.len());
+    let mut out = Vec::with_capacity(33 + schema_sdl.len() + graph_bytes.len());
     out.extend_from_slice(&id.to_le_bytes());
     out.extend_from_slice(&last_seq.to_le_bytes());
     out.extend_from_slice(&deltas_applied.to_le_bytes());
@@ -52,6 +59,14 @@ pub(crate) fn encode_session(
     out.extend_from_slice(schema_sdl.as_bytes());
     out.extend_from_slice(&(graph_bytes.len() as u32).to_le_bytes());
     out.extend_from_slice(&graph_bytes);
+    match pending_migration {
+        Some(sdl) => {
+            out.push(1);
+            out.extend_from_slice(&(sdl.len() as u32).to_le_bytes());
+            out.extend_from_slice(sdl.as_bytes());
+        }
+        None => out.push(0),
+    }
     out
 }
 
@@ -111,12 +126,21 @@ pub(crate) fn decode(buf: &[u8]) -> Option<SnapshotData> {
             .to_owned();
         let graph_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
         let graph = binary::graph_from_bytes(take(&mut pos, graph_len)?).ok()?;
+        let pending_migration = match take(&mut pos, 1)?[0] {
+            0 => None,
+            1 => {
+                let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+                Some(std::str::from_utf8(take(&mut pos, len)?).ok()?.to_owned())
+            }
+            _ => return None,
+        };
         sessions.push(RecoveredSession {
             id,
             schema_sdl,
             graph,
             deltas_applied,
             last_seq,
+            pending_migration,
         });
     }
     if pos != payload.len() {
@@ -139,8 +163,15 @@ mod tests {
         let u = graph.add_node("User");
         graph.set_node_property(u, "login", Value::from("alice"));
         let entries = vec![
-            encode_session(1, 5, 4, "type User { login: String! }", &graph),
-            encode_session(7, 9, 0, "type T { x: Int }", &PropertyGraph::new()),
+            encode_session(1, 5, 4, "type User { login: String! }", &graph, None),
+            encode_session(
+                7,
+                9,
+                0,
+                "type T { x: Int }",
+                &PropertyGraph::new(),
+                Some("type T { x: Int y: Int }"),
+            ),
         ];
         assemble(9, 8, &entries)
     }
@@ -156,8 +187,14 @@ mod tests {
         assert_eq!(snap.sessions[0].last_seq, 5);
         assert_eq!(snap.sessions[0].deltas_applied, 4);
         assert_eq!(snap.sessions[0].graph.node_count(), 1);
+        assert_eq!(snap.sessions[0].pending_migration, None);
         assert_eq!(snap.sessions[1].id, 7);
         assert!(snap.sessions[1].graph.is_empty());
+        assert_eq!(
+            snap.sessions[1].pending_migration.as_deref(),
+            Some("type T { x: Int y: Int }"),
+            "open migration window survives the snapshot"
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! 0       4     payload_len   u32 LE, length of payload in bytes
 //! 4       4     crc32         u32 LE, CRC-32 (IEEE) over the payload
 //! 8       8     seq           u64 LE, strictly monotonic sequence number
-//! 16      1     kind          u8: 1 Create, 2 Delta, 3 Delete
+//! 16      1     kind          u8: 1 Create, 2 Delta, 3 Delete, 4 SchemaChange
 //! 17      …     body          kind-specific, `pgraph::binary` codec
 //! ```
 //!
@@ -70,6 +70,15 @@ pub const KIND_DELTA: u8 = 2;
 /// `kind` byte of a `Delete` record (session id only; the body is
 /// empty).
 pub const KIND_DELETE: u8 = 3;
+
+/// `kind` byte of a `SchemaChange` record (session id, migration phase,
+/// new schema SDL — non-empty only for the begin phase).
+pub const KIND_SCHEMA: u8 = 4;
+
+/// Any `kind` byte above this is unknown to this implementation: readers
+/// must refuse it with an explicit "unknown record kind" error rather
+/// than misclassify the (CRC-valid) frame as corruption.
+pub const KIND_MAX: u8 = KIND_SCHEMA;
 
 /// Magic bytes opening a snapshot payload.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"PGS1";

@@ -135,7 +135,7 @@ fn compacted_history_demands_a_snapshot() {
     for i in 0..4 {
         toggle(i).apply_to(&mut graph).unwrap();
     }
-    compaction.add_session(1, 5, 4, SDL, &graph);
+    compaction.add_session(1, 5, 4, SDL, &graph, None);
     compaction.finish(2).unwrap();
     match leader.read_tail(1, usize::MAX >> 1).unwrap() {
         Tail::SnapshotRequired { oldest_retained } => assert_eq!(oldest_retained, 6),
@@ -238,7 +238,7 @@ fn snapshot_handoff_bootstraps_an_empty_follower() {
     for i in 0..8 {
         toggle(i).apply_to(&mut graph).unwrap();
     }
-    handoff.add_session(1, 9, 8, SDL, &graph);
+    handoff.add_session(1, 9, 8, SDL, &graph, None);
     let blob = handoff.finish(2);
 
     let dir = test_dir("handoff-follower");
@@ -281,7 +281,7 @@ fn handoff_tolerates_sessions_captured_past_base_seq() {
     for i in 0..4 {
         toggle(i).apply_to(&mut graph).unwrap();
     }
-    handoff.add_session(1, 5, 4, SDL, &graph);
+    handoff.add_session(1, 5, 4, SDL, &graph, None);
     let blob = handoff.finish(2);
 
     let dir = test_dir("race-follower");

@@ -144,7 +144,63 @@ fn record_kind_table_matches_wire_constants() {
     assert_eq!(kind_of("Create"), wire::KIND_CREATE);
     assert_eq!(kind_of("Delta"), wire::KIND_DELTA);
     assert_eq!(kind_of("Delete"), wire::KIND_DELETE);
-    assert_eq!(rows.len(), 3, "spec lists exactly three record kinds");
+    assert_eq!(kind_of("SchemaChange"), wire::KIND_SCHEMA);
+    assert_eq!(rows.len(), 4, "spec lists exactly four record kinds");
+    assert_eq!(
+        wire::KIND_MAX,
+        wire::KIND_SCHEMA,
+        "SchemaChange is the newest kind the spec documents"
+    );
+}
+
+#[test]
+fn schema_change_body_table_matches_the_record_codec() {
+    let text = spec_text();
+    let rows = table_after(&text, "### SchemaChange body");
+    let check = |field: &str, offset: usize| {
+        let row = rows
+            .iter()
+            .find(|r| r.get(2) == Some(&field))
+            .unwrap_or_else(|| panic!("SchemaChange body table has a `{field}` row"));
+        assert_eq!(
+            row[0].parse::<usize>().ok(),
+            Some(offset),
+            "spec offset of SchemaChange `{field}`"
+        );
+    };
+    // The codec packs [session u64][phase u8][sdl_len u32][sdl];
+    // the offsets below are fixed by those widths.
+    check("session", 0);
+    check("phase", 8);
+    check("sdl_len", 9);
+    check("sdl", 13);
+
+    // The phase byte values in the spec match MigrationPhase's wire
+    // values (Begin/Commit/Abort survive an encode/decode round-trip
+    // in record.rs tests; here we pin the documented numerals).
+    let phase_row = rows.iter().find(|r| r.get(2) == Some(&"phase")).unwrap();
+    for needle in ["1 = Begin", "2 = Commit", "3 = Abort"] {
+        assert!(
+            phase_row[3].contains(needle),
+            "spec phase encoding names `{needle}`"
+        );
+    }
+}
+
+#[test]
+fn unknown_kind_rule_is_documented() {
+    let text = spec_text();
+    // The forward-compat rule (never truncate at an unknown kind) must
+    // quote the implementation's error message so operators can grep
+    // their way from a log line back to this spec.
+    assert!(
+        text.contains("unknown record kind N (newer writer?)"),
+        "spec quotes the unknown-kind error shape"
+    );
+    assert!(
+        text.contains("### Unknown kinds (forward compatibility)"),
+        "spec has the forward-compatibility subsection"
+    );
 }
 
 #[test]

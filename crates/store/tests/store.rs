@@ -136,7 +136,7 @@ fn compaction_supersedes_segments_and_preserves_state() {
     let mut compaction = store.try_begin_compaction().unwrap().expect("not busy");
     // A second compaction is refused while one is in flight.
     assert!(store.try_begin_compaction().unwrap().is_none());
-    compaction.add_session(1, last_seq, applied, SDL, &tracked);
+    compaction.add_session(1, last_seq, applied, SDL, &tracked, None);
     let outcome = compaction.finish(2).unwrap();
     assert_eq!(outcome.sessions, 1);
     assert_eq!(outcome.base_seq, 11);
@@ -162,7 +162,7 @@ fn compaction_supersedes_segments_and_preserves_state() {
     assert_eq!(report.snapshots.len(), 1);
     assert!(report.snapshots[0].valid);
     assert_eq!(report.segments.len(), 1);
-    assert_eq!(report.segments[0].records, (0, 1, 0));
+    assert_eq!(report.segments[0].records, (0, 1, 0, 0));
 }
 
 /// Drives a store to a known state, returning the expected per-prefix
