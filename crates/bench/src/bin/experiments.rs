@@ -40,6 +40,15 @@ fn main() {
         };
         println!("{}", tables::incremental_scaling(sizes, iters));
     }
+    if run("E2c") {
+        println!("## E2c — columnar core: CSR adjacency and zero-copy recovery\n");
+        let (sizes, iters): (&[usize], usize) = if quick {
+            (&[200, 400], 2)
+        } else {
+            (&[1000, 4000, 16000], 5)
+        };
+        println!("{}", tables::columnar_core(sizes, iters));
+    }
     if run("E3") {
         println!("## E3 — validation vs schema size (combined complexity)\n");
         let counts: &[usize] = if quick { &[4, 8] } else { &[4, 8, 16, 32, 64] };

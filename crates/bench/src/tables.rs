@@ -226,6 +226,167 @@ pub fn incremental_scaling(sizes: &[usize], iters: usize) -> String {
     out
 }
 
+/// E2c — the columnar graph core: CSR adjacency vs the hash-map
+/// `GraphIndex`, and snapshot recovery time (legacy `PGS1` eager decode
+/// vs the mmap'd zero-copy `PGS2` path).
+///
+/// The adjacency workload is identical on both sides: for every live
+/// node and every edge label, the labelled out- and in-edge groups are
+/// fetched and their lengths summed. The recovery workload times
+/// `Store::open` on a one-session data directory whose snapshot holds
+/// the same graph in both formats; the `materialize` column is the
+/// deferred first-use cost of thawing the mapped columnar image.
+pub fn columnar_core(sizes: &[usize], iters: usize) -> String {
+    use pgraph::index::GraphIndex;
+    use pgraph::ColumnarGraph;
+
+    let schema = PgSchema::parse(pg_datagen::schemagen::social_schema()).unwrap();
+    let mut out = String::from(
+        "| nodes | edges | index build | freeze | hash-map scan | CSR scan | scan speedup |\n\
+         |---|---|---|---|---|---|---|\n",
+    );
+    let mut recovery = String::from(
+        "| elements | snapshot bytes | open (PGS1 eager) | open (PGS2 mmap) | speedup | materialize |\n\
+         |---|---|---|---|---|---|\n",
+    );
+    for &npt in sizes {
+        let graph = GraphGen::new(
+            &schema,
+            GraphGenParams {
+                nodes_per_type: npt,
+                ..Default::default()
+            },
+        )
+        .generate_conforming(5)
+        .expect("social schema generable");
+        let n = graph.node_count();
+        let e = graph.edge_count();
+
+        // --- adjacency: the same labelled-neighbourhood sweep, both ways.
+        let mut edge_labels: Vec<String> = graph.edges().map(|e| e.label().to_owned()).collect();
+        edge_labels.sort();
+        edge_labels.dedup();
+        let t_build = time_median(iters, || GraphIndex::build(&graph));
+        let t_freeze = time_median(iters, || ColumnarGraph::freeze(&graph));
+        let ix = GraphIndex::build(&graph);
+        let cols = ColumnarGraph::freeze(&graph);
+        let syms: Vec<pgraph::Sym> = edge_labels
+            .iter()
+            .filter_map(|l| cols.symbols().lookup(l))
+            .collect();
+        let nodes: Vec<pgraph::NodeId> = graph.node_ids().collect();
+        let t_hash = time_median(iters, || {
+            let mut total = 0usize;
+            for &v in &nodes {
+                for l in &edge_labels {
+                    total += ix.out_edges_labelled(v, l).len();
+                    total += ix.in_edges_labelled(v, l).len();
+                }
+            }
+            total
+        });
+        let t_csr = time_median(iters, || {
+            let mut total = 0usize;
+            for &v in &nodes {
+                for &l in &syms {
+                    total += cols.out_edges_labelled(v, l).len();
+                    total += cols.in_edges_labelled(v, l).len();
+                }
+            }
+            total
+        });
+        let _ = writeln!(
+            out,
+            "| {n} | {e} | {} | {} | {} | {} | {:.1}× |",
+            fmt_duration(t_build),
+            fmt_duration(t_freeze),
+            fmt_duration(t_hash),
+            fmt_duration(t_csr),
+            t_hash.as_secs_f64() / t_csr.as_secs_f64(),
+        );
+
+        // --- recovery: the same session, PGS1-eager vs PGS2-mmap.
+        let sdl = pg_datagen::schemagen::social_schema();
+        let tag = std::process::id();
+        let legacy_dir = std::env::temp_dir().join(format!("pgbench-e2c-v1-{tag}-{npt}"));
+        let mapped_dir = std::env::temp_dir().join(format!("pgbench-e2c-v2-{tag}-{npt}"));
+        for d in [&legacy_dir, &mapped_dir] {
+            let _ = std::fs::remove_dir_all(d);
+            std::fs::create_dir_all(d).unwrap();
+        }
+        write_legacy_snapshot(&legacy_dir, 1, sdl, &graph);
+        {
+            let (store, _) = pg_store::Store::open(&mapped_dir, pg_store::FsyncPolicy::Never)
+                .expect("store opens");
+            store.append_create(1, sdl, &graph).unwrap();
+            let mut compaction = store.try_begin_compaction().unwrap().unwrap();
+            compaction.add_session(1, 1, 0, sdl, &graph, None);
+            compaction.finish(2).unwrap();
+        }
+        let snap_bytes = std::fs::read_dir(&mapped_dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "snap"))
+            .map(|e| e.metadata().unwrap().len())
+            .max()
+            .unwrap();
+        let t_eager = time_median(iters, || {
+            pg_store::Store::open(&legacy_dir, pg_store::FsyncPolicy::Never).expect("legacy opens")
+        });
+        let t_mmap = time_median(iters, || {
+            pg_store::Store::open(&mapped_dir, pg_store::FsyncPolicy::Never).expect("reopens")
+        });
+        let (_store, recovered) =
+            pg_store::Store::open(&mapped_dir, pg_store::FsyncPolicy::Never).unwrap();
+        assert!(
+            recovered.sessions[0].graph.is_mapped(),
+            "PGS2 recovery must be zero-copy"
+        );
+        let t_thaw = time_median(iters, || {
+            recovered.sessions[0].graph.clone().into_graph().unwrap()
+        });
+        let _ = writeln!(
+            recovery,
+            "| {} | {snap_bytes} | {} | {} | {:.0}× | {} |",
+            n + e,
+            fmt_duration(t_eager),
+            fmt_duration(t_mmap),
+            t_eager.as_secs_f64() / t_mmap.as_secs_f64(),
+            fmt_duration(t_thaw),
+        );
+        for d in [&legacy_dir, &mapped_dir] {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+    let _ = writeln!(out, "\nrecovery (one session, WAL fully compacted):\n");
+    out.push_str(&recovery);
+    out
+}
+
+/// Writes a snapshot file exactly as the pre-columnar build's `PGS1`
+/// encoder did, so the eager decode path is measurable from this build.
+fn write_legacy_snapshot(dir: &std::path::Path, id: u64, sdl: &str, graph: &pgraph::PropertyGraph) {
+    let graph_bytes = pgraph::binary::graph_to_bytes(graph);
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&pg_store::wire::SNAPSHOT_MAGIC);
+    payload.extend_from_slice(&1u64.to_le_bytes()); // base_seq
+    payload.extend_from_slice(&(id + 1).to_le_bytes()); // next_session_id
+    payload.extend_from_slice(&1u32.to_le_bytes()); // count
+    payload.extend_from_slice(&id.to_le_bytes());
+    payload.extend_from_slice(&1u64.to_le_bytes()); // last_seq
+    payload.extend_from_slice(&0u64.to_le_bytes()); // deltas_applied
+    payload.extend_from_slice(&(sdl.len() as u32).to_le_bytes());
+    payload.extend_from_slice(sdl.as_bytes());
+    payload.extend_from_slice(&(graph_bytes.len() as u32).to_le_bytes());
+    payload.extend_from_slice(&graph_bytes);
+    payload.push(0); // no pending migration
+    let mut file = Vec::new();
+    file.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    file.extend_from_slice(&pgraph::snapshot::crc32(&payload).to_le_bytes());
+    file.extend_from_slice(&payload);
+    std::fs::write(dir.join("snapshot-000001.snap"), file).unwrap();
+}
+
 /// E4m — migration planning: dirty-region impact preview vs a full
 /// revalidation under the candidate schema.
 ///
@@ -681,6 +842,15 @@ mod tests {
         let t = incremental_scaling(&[20], 1);
         assert!(t.contains("of "), "{t}");
         assert_eq!(t.lines().count(), 3, "{t}");
+    }
+
+    #[test]
+    fn columnar_core_smoke() {
+        let t = columnar_core(&[30], 1);
+        assert!(t.contains("scan speedup"), "{t}");
+        assert!(t.contains("| open (PGS1 eager) | open (PGS2 mmap) |"), "{t}");
+        // One adjacency row + one recovery row for the single size.
+        assert!(t.matches('×').count() >= 2, "{t}");
     }
 
     #[test]

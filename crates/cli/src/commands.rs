@@ -673,15 +673,35 @@ fn store_inspect(dir: &std::path::Path) -> Result<()> {
         return Ok(());
     }
     for s in &report.snapshots {
+        let format = match s.format {
+            0 => "unknown".to_owned(),
+            v => format!("PGS{v}"),
+        };
         println!(
-            "snapshot generation={} bytes={} valid={} sessions={} base_seq={} ({})",
+            "snapshot generation={} format={format} bytes={} crc_ok={} valid={} sessions={} \
+             base_seq={} ({})",
             s.generation,
             s.bytes,
+            s.crc_ok,
             s.valid,
             s.sessions,
             s.base_seq,
             s.path.display()
         );
+        for g in &s.graphs {
+            println!(
+                "  graph session={} last_seq={} pgcs_version={} crc_ok={} file_offset={} bytes={}",
+                g.session,
+                g.last_seq,
+                g.version.map_or("-".to_owned(), |v| v.to_string()),
+                g.crc_ok,
+                g.file_offset,
+                g.len
+            );
+            for (name, offset, len) in &g.sections {
+                println!("    section {name} offset={offset} len={len}");
+            }
+        }
     }
     let mut torn = false;
     for seg in &report.segments {
@@ -771,6 +791,13 @@ fn store_replay(dir: &std::path::Path) -> Result<()> {
     for s in &recovered.sessions {
         let schema = PgSchema::parse(&s.schema_sdl)
             .map_err(|e| format!("session {}: stored schema no longer parses: {e}", s.id))?;
+        // A session untouched by WAL replay is still a zero-copy view
+        // into the snapshot file; validating it needs the elements.
+        let graph = s
+            .graph
+            .clone()
+            .into_graph()
+            .map_err(|e| format!("session {}: graph failed to materialize: {e}", s.id))?;
         let engines = [
             Engine::Naive,
             Engine::Indexed,
@@ -778,7 +805,7 @@ fn store_replay(dir: &std::path::Path) -> Result<()> {
             Engine::Incremental,
         ];
         let reports =
-            engines.map(|e| validate(&s.graph, &schema, &ValidationOptions::with_engine(e)));
+            engines.map(|e| validate(&graph, &schema, &ValidationOptions::with_engine(e)));
         let agree = reports
             .iter()
             .all(|r| r.violations() == reports[0].violations());
@@ -789,8 +816,8 @@ fn store_replay(dir: &std::path::Path) -> Result<()> {
             "session {}: {} node(s), {} edge(s), {} delta(s) applied, last_seq={}, \
              conforms={}, {} violation(s), engines_agree={agree}",
             s.id,
-            s.graph.node_count(),
-            s.graph.edge_count(),
+            graph.node_count(),
+            graph.edge_count(),
             s.deltas_applied,
             s.last_seq,
             reports[0].conforms(),

@@ -28,11 +28,12 @@
 //! Violations anchored in `D ∪ L` (or at removed elements) are dropped,
 //! and the shared rule kernels (the crate-private `rules` module) are
 //! re-run over a dirty `Scope`: element scans walk `D` and `L`,
-//! group-keyed kernels run over a partial [`GraphIndex`] of the region
-//! whose scope owns exactly the nodes of `D` — the same
+//! group-keyed kernels run over an interned
+//! [`PartialCols`](crate::rules::partial::PartialCols) view of the
+//! region whose scope owns exactly the nodes of `D` — the same
 //! ownership-predicate mechanism the sharded `parallel` engine uses,
 //! with "shard" = the dirty set (groups keyed by a node of `D` are
-//! complete in the partial index, because *all* of that node's incident
+//! complete in the partial view, because *all* of that node's incident
 //! edges are in `L`). DS7 is maintained as a persistent tuple table per
 //! key (`Ds7Plan::Recheck` — the durable form of the parallel engine's
 //! map side), so only affected key groups are re-emitted.
@@ -53,14 +54,15 @@
 use std::borrow::Borrow;
 use std::collections::BTreeSet;
 
-use pgraph::index::GraphIndex;
-use pgraph::{DeltaEffect, EdgeId, GraphDelta, GraphError, NodeId, PropertyGraph};
+use pgraph::{DeltaEffect, EdgeId, GraphDelta, GraphError, NodeId, PropertyGraph, SymbolTable};
 
 use crate::indexed;
 use crate::metrics::families_from_rules;
 use crate::migrate;
 use crate::pgschema::PgSchema;
 use crate::report::{ValidationMetrics, ValidationReport, Violation};
+use crate::rules::partial::PartialCols;
+use crate::rules::symschema::SymSchema;
 use crate::rules::{self, Ds7Plan, KeyTable, Scope, Sink, SinkOutput};
 use crate::ValidationOptions;
 
@@ -149,6 +151,14 @@ pub struct IncrementalEngine<S: Borrow<PgSchema>> {
     key_tables: Vec<KeyTable>,
     /// Metrics of the last apply (or the seeding run), when requested.
     metrics: Option<ValidationMetrics>,
+    /// Shared symbol space for the per-delta partial views, with the
+    /// primary schema compiled onto it. Cached across deltas: the table
+    /// is append-only, and a graph symbol interned after the compile
+    /// falls back to the `SymSchema` empty row — the unknown-label
+    /// answer, which is exactly what a symbol the schema never
+    /// mentioned deserves (see the `symschema` module docs).
+    symbols: SymbolTable,
+    sym_schema: SymSchema,
     /// An open dual-schema migration window, if any — the candidate
     /// schema's own violation set and key tables, patched by every
     /// [`apply`](Self::apply) alongside the primary side.
@@ -159,6 +169,8 @@ pub struct IncrementalEngine<S: Borrow<PgSchema>> {
 /// primary side keeps, re-derived under the candidate schema.
 struct WindowState {
     schema: PgSchema,
+    /// The candidate compiled onto the engine's shared symbol table.
+    sym_schema: SymSchema,
     violations: Vec<Violation>,
     key_tables: Vec<KeyTable>,
 }
@@ -169,6 +181,8 @@ impl<S: Borrow<PgSchema>> IncrementalEngine<S> {
     pub fn new(graph: PropertyGraph, schema: S, options: &ValidationOptions) -> Self {
         let mut options = *options;
         options.max_violations = None;
+        let mut symbols = SymbolTable::new();
+        let sym_schema = SymSchema::build(schema.borrow(), &mut symbols);
         let mut engine = IncrementalEngine {
             graph,
             schema,
@@ -178,6 +192,8 @@ impl<S: Borrow<PgSchema>> IncrementalEngine<S> {
             inc: Vec::new(),
             key_tables: Vec::new(),
             metrics: None,
+            symbols,
+            sym_schema,
             window: None,
         };
         engine.reseed();
@@ -324,22 +340,21 @@ impl<S: Borrow<PgSchema>> IncrementalEngine<S> {
             effect.removed_edges.iter().map(|t| t.edge).collect();
 
         // -- 3..5. drop, re-derive, merge — once per live schema --------
-        // The partial index covers the dirty region and is
+        // The interned partial view covers the dirty region and is
         // schema-independent, so an open migration window reuses it: the
         // candidate side is patched through the same kernels against its
-        // own violation set and key tables.
-        let ix = GraphIndex::build_partial(
-            &self.graph,
-            dirty.iter().copied(),
-            local_edges.iter().copied(),
-        );
-        let labels: Vec<String> = ix.node_labels().map(str::to_owned).collect();
+        // own violation set and key tables. Schema compilation happened
+        // once at construction; every schema-known name is already in
+        // the table, and a graph symbol first seen here resolves to the
+        // SymSchema empty row — the unknown-label answer.
+        let pc = PartialCols::build(&self.graph, &dirty, &local_edges, &mut self.symbols);
         let (added, removed, sink_out) = repatch(
             &self.graph,
             self.schema.borrow(),
             &self.options,
-            &ix,
-            &labels,
+            &self.sym_schema,
+            &self.symbols,
+            &pc,
             &dirty,
             &local_edges,
             &removed_edge_ids,
@@ -348,17 +363,24 @@ impl<S: Borrow<PgSchema>> IncrementalEngine<S> {
             self.options.collect_metrics,
         );
         if let Some(w) = &mut self.window {
+            let WindowState {
+                schema,
+                sym_schema,
+                violations,
+                key_tables,
+            } = &mut **w;
             repatch(
                 &self.graph,
-                &w.schema,
+                schema,
                 &self.options,
-                &ix,
-                &labels,
+                sym_schema,
+                &self.symbols,
+                &pc,
                 &dirty,
                 &local_edges,
                 &removed_edge_ids,
-                &mut w.violations,
-                &mut w.key_tables,
+                violations,
+                key_tables,
                 false,
             );
         }
@@ -439,8 +461,13 @@ impl<S: Borrow<PgSchema>> IncrementalEngine<S> {
             added,
             removed,
         };
+        // Compile the candidate onto the shared symbol table once; names
+        // only it introduces extend the table, and the primary SymSchema
+        // answers them with its unknown-label row.
+        let sym_schema = SymSchema::build(&candidate, &mut self.symbols);
         self.window = Some(Box::new(WindowState {
             schema: candidate,
+            sym_schema,
             violations,
             key_tables,
         }));
@@ -506,6 +533,7 @@ impl<S: Borrow<PgSchema> + From<PgSchema>> IncrementalEngine<S> {
         };
         let w = *w;
         self.schema = S::from(w.schema);
+        self.sym_schema = w.sym_schema;
         self.violations = w.violations;
         self.key_tables = w.key_tables;
         self.metrics = None;
@@ -527,8 +555,9 @@ fn repatch(
     g: &PropertyGraph,
     s: &PgSchema,
     options: &ValidationOptions,
-    ix: &GraphIndex,
-    labels: &[String],
+    ss: &SymSchema,
+    symbols: &SymbolTable,
+    pc: &PartialCols<'_>,
     dirty: &BTreeSet<NodeId>,
     local_edges: &BTreeSet<EdgeId>,
     removed_edge_ids: &BTreeSet<EdgeId>,
@@ -558,7 +587,7 @@ fn repatch(
     });
 
     let mut fresh = ValidationReport::default();
-    let scope = Scope::dirty(g, s, ix, labels, dirty, local_edges);
+    let scope = Scope::dirty(g, s, ss, symbols, pc, dirty);
     let mut sink = Sink::new(&mut fresh, collect_metrics);
     rules::run(&scope, options, &mut sink, Ds7Plan::Recheck(key_tables));
     let sink_out = sink.finish();

@@ -1,17 +1,20 @@
 //! The indexed validation engine — a thin planner over the rule kernels.
 //!
-//! One `O(|V| + |E|)` pass builds a [`GraphIndex`] (label index, adjacency
-//! grouped by edge label, parallel-edge groups); the
+//! One `O(|V| + |E|)` pass freezes the graph into a
+//! [`ColumnarGraph`](pgraph::ColumnarGraph) (interned symbols,
+//! struct-of-arrays element tables, CSR adjacency in both directions plus
+//! a label-index CSR) and compiles the schema onto the same symbol space
+//! ([`SymSchema`](crate::rules::symschema::SymSchema)); the
 //! [`rules`](crate::rules) layer then evaluates every enabled kernel over
 //! a whole-graph [`Scope`](crate::rules::Scope):
 //!
-//! * WS1/SS1/SS2 are single scans over nodes and their properties,
-//! * WS2/WS3/DS2/SS3/SS4 are single scans over edges,
-//! * WS4/DS1/DS3 read the precomputed `(source, label)` / `(source,
-//!   label, target)` / `(target, label)` groups,
-//! * DS4–DS6 scan label buckets of the node-label index,
-//! * DS7 builds one hash map from key tuples to nodes per `@key`
-//!   ([`Ds7Plan::Inline`]).
+//! * WS1/SS1/SS2 are single contiguous scans over the node columns,
+//! * WS2/WS3/DS2/SS3/SS4 are single contiguous scans over the edge
+//!   columns,
+//! * WS4/DS1/DS3 walk label/target runs of the CSR rows,
+//! * DS4–DS6 scan label buckets of the label-index CSR,
+//! * DS7 builds one hash map from value-class-id key tuples to nodes per
+//!   `@key` ([`Ds7Plan::Inline`]).
 //!
 //! The result is near-linear in `|V| + |E|` for a fixed schema — the
 //! practical counterpart of the paper's AC0/`O(n²)` analysis — and is
@@ -20,12 +23,12 @@
 
 use std::time::Instant;
 
-use pgraph::index::GraphIndex;
-use pgraph::PropertyGraph;
+use pgraph::{ColumnarGraph, PropertyGraph};
 
 use crate::metrics::MetricsRecorder;
 use crate::pgschema::PgSchema;
 use crate::report::ValidationReport;
+use crate::rules::symschema::SymSchema;
 use crate::rules::{self, Ds7Plan, Scope, Sink};
 use crate::ValidationOptions;
 
@@ -50,12 +53,14 @@ pub(crate) fn run_named(
     let mut r = ValidationReport::with_limit(options.max_violations);
     let mut rec = MetricsRecorder::new(options.collect_metrics, engine_name, 1);
 
+    // Freeze first, compile second: the symbol table must hold every
+    // graph-side string before the SymSchema sizes its per-symbol rows.
     let start = Instant::now();
-    let ix = GraphIndex::build(g);
-    let labels: Vec<String> = ix.node_labels().map(str::to_owned).collect();
+    let mut cols = ColumnarGraph::freeze(g);
+    let ss = SymSchema::build(s, cols.symbols_mut());
     rec.index_build(start.elapsed().as_nanos() as u64);
 
-    let scope = Scope::full(g, s, &ix, &labels);
+    let scope = Scope::full(g, s, &ss, &cols);
     let mut sink = Sink::new(&mut r, options.collect_metrics);
     rules::run(&scope, options, &mut sink, Ds7Plan::Inline);
     rec.absorb(sink.finish());

@@ -41,12 +41,13 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use pgraph::index::GraphIndex;
-use pgraph::{EdgeId, NodeId, PropertyGraph};
+use pgraph::{EdgeId, NodeId, PropertyGraph, SymbolTable};
 
 use crate::diff::{self, Compat, SchemaChange};
 use crate::pgschema::PgSchema;
 use crate::report::{self, ValidationReport, Violation};
+use crate::rules::partial::PartialCols;
+use crate::rules::symschema::SymSchema;
 use crate::rules::{self, Ds7Plan, Scope, Sink};
 use crate::ValidationOptions;
 
@@ -367,13 +368,12 @@ pub(crate) fn region_run(
     let mut options = *options;
     options.max_violations = None;
     options.collect_metrics = false;
-    let ix = GraphIndex::build_partial(
-        g,
-        region.nodes.iter().copied(),
-        region.edges.iter().copied(),
-    );
-    let labels: Vec<String> = ix.node_labels().map(str::to_owned).collect();
-    let scope = Scope::dirty(g, s, &ix, &labels, &region.nodes, &region.edges);
+    // Region strings are interned before the schema is compiled so the
+    // SymSchema's row table covers every graph-side symbol.
+    let mut symbols = SymbolTable::new();
+    let pc = PartialCols::build(g, &region.nodes, &region.edges, &mut symbols);
+    let ss = SymSchema::build(s, &mut symbols);
+    let scope = Scope::dirty(g, s, &ss, &symbols, &pc, &region.nodes);
     let mut report = ValidationReport::default();
     let mut sink = Sink::new(&mut report, false);
     rules::run(&scope, &options, &mut sink, Ds7Plan::Inline);

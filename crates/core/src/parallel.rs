@@ -1,25 +1,29 @@
 //! The parallel validation engine — a sharding planner over the rule
 //! kernels.
 //!
-//! Partitions the node and edge id spaces into one contiguous shard per
-//! worker ([`pgraph::shard::GraphShards`]) and runs the shared rule
-//! kernels ([`crate::rules`]) shard-locally on scoped threads
-//! ([`std::thread::scope`] — no dependencies beyond std). Each worker
-//! evaluates every kernel over a shard [`Scope`], which assigns work so
-//! every violation is produced by exactly one worker:
+//! Freezes the graph into a [`ColumnarGraph`] once, serially, compiles
+//! the schema onto its symbol space, then partitions the node and edge
+//! slot spaces into one contiguous shard per worker
+//! ([`pgraph::shard::GraphShards`] supplies the ranges) and runs the
+//! shared rule kernels ([`crate::rules`]) shard-locally on scoped
+//! threads ([`std::thread::scope`] — no dependencies beyond std). Each
+//! worker evaluates every kernel over a shard [`Scope`] — a contiguous
+//! slice of the shared columnar tables — which assigns work so every
+//! violation is produced by exactly one worker:
 //!
 //! * element-local rules (WS1–WS3, DS2, DS5, DS6, SS1–SS4) run over the
 //!   shard's own live nodes and edges;
-//! * group-keyed rules read the shared [`GraphIndex`] but only process
-//!   groups whose key element the shard owns — WS4 and DS1 key on the
-//!   source node, DS3 and DS4 on the target node;
+//! * group-keyed rules read the shared CSR rows but only process groups
+//!   whose key element the shard owns — WS4 and DS1 key on the source
+//!   node, DS3 and DS4 on the target node;
 //! * the one genuinely cross-shard rule, `@key` (DS7), is split
 //!   map-reduce style ([`Ds7Plan::Map`]): each worker builds shard-local
-//!   key-tuple tables, the main thread merges them (tables from disjoint
-//!   shards merge by appending node lists) and emits the violations in
-//!   one pass.
+//!   key-tuple tables over graph-global value-class ids, the main thread
+//!   merges them (tables from disjoint shards merge by appending node
+//!   lists — equal tuples carry equal ids regardless of shard) and emits
+//!   the violations in one pass.
 //!
-//! Workers never synchronise: graph, index and schema are borrowed
+//! Workers never synchronise: columnar view and schema are borrowed
 //! immutably and each worker writes its own [`ValidationReport`].
 //! Reports are merged in shard order and canonicalised by the caller,
 //! so the outcome is deterministic for any thread count and agrees
@@ -33,13 +37,13 @@ use std::collections::HashMap;
 use std::thread;
 use std::time::Instant;
 
-use pgraph::index::GraphIndex;
-use pgraph::shard::{GraphShard, GraphShards};
-use pgraph::{NodeId, PropertyGraph, Value};
+use pgraph::shard::GraphShards;
+use pgraph::{ColumnarGraph, NodeId, PropertyGraph};
 
 use crate::metrics::MetricsRecorder;
 use crate::pgschema::PgSchema;
 use crate::report::{Rule, RuleMetrics, ValidationReport};
+use crate::rules::symschema::SymSchema;
 use crate::rules::{self, directives, Ds7Plan, Scope, Sink};
 use crate::ValidationOptions;
 
@@ -60,12 +64,12 @@ fn effective_threads(requested: usize) -> usize {
 }
 
 /// What one worker sends back: its shard-local report, per-rule metrics,
-/// the shard-local DS7 key tables (one per `@key`, in schema order), and
-/// its scan counters.
+/// the shard-local DS7 key tables (one per `@key`, in schema order,
+/// tuples as value-class ids), and its scan counters.
 struct WorkerOutput {
     report: ValidationReport,
     rules: Vec<RuleMetrics>,
-    key_tables: Vec<HashMap<Vec<Option<Value>>, Vec<NodeId>>>,
+    key_tables: Vec<HashMap<Vec<Option<u32>>, Vec<NodeId>>>,
     nodes_scanned: u64,
     edges_scanned: u64,
     elements: u64,
@@ -79,11 +83,13 @@ pub(crate) fn run(
     let threads = effective_threads(options.threads);
     let mut rec = MetricsRecorder::new(options.collect_metrics, "parallel", threads);
 
-    // The index is built once, serially, and shared read-only by all
-    // workers (same O(|V| + |E|) pass as the indexed engine).
+    // The columnar view is frozen once, serially, and shared read-only
+    // by all workers (same O(|V| + |E|) pass as the indexed engine).
+    // Freeze before compiling the schema so the symbol table covers
+    // every graph-side string.
     let start = Instant::now();
-    let ix = GraphIndex::build(g);
-    let labels: Vec<String> = ix.node_labels().map(str::to_owned).collect();
+    let mut cols = ColumnarGraph::freeze(g);
+    let ss = SymSchema::build(s, cols.symbols_mut());
     rec.index_build(start.elapsed().as_nanos() as u64);
 
     let shards = GraphShards::new(g, threads);
@@ -91,8 +97,8 @@ pub(crate) fn run(
         let handles: Vec<_> = shards
             .iter()
             .map(|shard| {
-                let (ix, labels) = (&ix, &labels);
-                scope.spawn(move || worker(g, s, ix, labels, options, shard))
+                let (cols, ss) = (&cols, &ss);
+                scope.spawn(move || worker(g, s, cols, ss, options, shard))
             })
             .collect();
         handles
@@ -101,21 +107,21 @@ pub(crate) fn run(
             .collect()
     });
 
-    merge(s, options, outputs, rec)
+    merge(&ss, options, outputs, rec)
 }
 
 fn worker(
     g: &PropertyGraph,
     s: &PgSchema,
-    ix: &GraphIndex,
-    labels: &[String],
+    cols: &ColumnarGraph,
+    ss: &SymSchema,
     options: &ValidationOptions,
-    shard: GraphShard<'_>,
+    shard: pgraph::shard::GraphShard<'_>,
 ) -> WorkerOutput {
     let mut r = ValidationReport::with_limit(options.max_violations);
     let mut key_tables = Vec::new();
 
-    let scope = Scope::shard(g, s, ix, labels, &shard);
+    let scope = Scope::shard(g, s, ss, cols, shard.node_range(), shard.edge_range());
     let mut sink = Sink::new(&mut r, options.collect_metrics);
     rules::run(&scope, options, &mut sink, Ds7Plan::Map(&mut key_tables));
     let out = sink.finish();
@@ -144,7 +150,7 @@ fn worker(
 /// worker — the critical path — with the reduce time and violations
 /// added to the DS7 entry).
 fn merge(
-    s: &PgSchema,
+    ss: &SymSchema,
     options: &ValidationOptions,
     mut outputs: Vec<WorkerOutput>,
     mut rec: MetricsRecorder,
@@ -164,14 +170,15 @@ fn merge(
         elements.push(out.elements);
     }
 
-    // DS7 reduce: merge the shard-local key tables, then emit as the
-    // serial engine would.
+    // DS7 reduce: merge the shard-local key tables (value-class-id
+    // tuples are graph-global, so equal tuples collide), then emit as
+    // the serial engine would.
     let start = Instant::now();
     let mut ds7_violations = 0;
     if options.directives {
         let before = merged.len();
-        for (ki, key) in s.keys().iter().enumerate() {
-            let mut table: HashMap<Vec<Option<Value>>, Vec<NodeId>> = HashMap::new();
+        for (ki, key) in ss.keys.iter().enumerate() {
+            let mut table: HashMap<Vec<Option<u32>>, Vec<NodeId>> = HashMap::new();
             for out in &mut outputs {
                 if let Some(local) = out.key_tables.get_mut(ki) {
                     for (tuple, mut nodes) in local.drain() {
@@ -179,7 +186,7 @@ fn merge(
                     }
                 }
             }
-            directives::ds7_emit(s, key, table, &mut merged);
+            directives::ds7_emit(&key.ty_name, &key.fields, table, &mut merged);
         }
         ds7_violations = merged.len() - before;
     }

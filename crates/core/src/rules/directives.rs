@@ -6,15 +6,25 @@
 //! both inline, [`ds7_map`] collects shard-local tables for a later
 //! cross-shard [`ds7_emit`] reduce, and [`ds7_recheck`] maintains the
 //! persistent [`KeyTable`]s of an incremental session.
+//!
+//! Over a columnar scope the collect phase is allocation-free per node:
+//! a key tuple is the vector of `Option<u32>` *value-class ids* over the
+//! key's scalar fields ([`ValueTable::eq_rep`](pgraph::ValueTable)
+//! collapses ids to one representative per `Value`-equal class), so
+//! tuple equality coincides with the `Value`-tuple equality the paper's
+//! "agree" relation asks for — including across shards, because the ids
+//! are graph-global.
 
 use std::collections::HashMap;
+use std::hash::Hash;
 
 use pgraph::{NodeId, PropertyGraph, Value};
 
 use crate::pgschema::{KeyConstraint, PgSchema};
-use crate::report::{Rule, Violation};
+use crate::report::{Rule, ValidationReport, Violation};
 use crate::ValidationOptions;
 
+use super::symschema::KeySlot;
 use super::{Scope, Sink};
 
 /// DS1 (`@distinct`): no parallel edges between the same endpoints with
@@ -22,28 +32,29 @@ use super::{Scope, Sink};
 /// owns.
 pub(crate) fn ds1(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
     sink.rule(Rule::DS1, |sink| {
-        let (g, s) = (scope.g, scope.s);
-        for site in s.constraint_sites() {
-            if !site.rel.distinct {
+        let ss = scope.ss;
+        for site in &ss.sites {
+            if !site.distinct {
                 continue;
             }
-            for (src, label, dst, edges) in scope.ix.parallel_groups() {
+            scope.for_parallel_runs(site.rel_sym, &mut |src, dst, edges| {
                 if sink.at_limit() {
-                    return;
+                    return false;
                 }
-                if label != site.rel.name || edges.len() < 2 || !scope.owns(src) {
-                    continue;
+                if edges.len() < 2 {
+                    return true;
                 }
                 sink.group_visited();
-                if s.label_subtype(g.node_label(src).unwrap_or(""), site.site) {
+                if ss.label_subtype_opt(scope.label_sym(src), site.site) {
                     sink.push(Violation::DistinctViolated {
                         source: src,
                         target: dst,
-                        field: label.to_owned(),
+                        field: site.rel_name.clone(),
                         count: edges.len(),
                     });
                 }
-            }
+                true
+            });
         }
     });
 }
@@ -52,12 +63,8 @@ pub(crate) fn ds1(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
 /// run (all loop sites checked in the same pass).
 pub(crate) fn ds2(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
     sink.rule(Rule::DS2, |sink| {
-        let (g, s) = (scope.g, scope.s);
-        let loop_sites: Vec<_> = s
-            .constraint_sites()
-            .iter()
-            .filter(|site| site.rel.no_loops)
-            .collect();
+        let ss = scope.ss;
+        let loop_sites: Vec<_> = ss.sites.iter().filter(|site| site.no_loops).collect();
         if loop_sites.is_empty() {
             return;
         }
@@ -66,16 +73,16 @@ pub(crate) fn ds2(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
                 return;
             }
             sink.edge_visited();
-            if e.source() != e.target() {
+            if e.src != e.dst {
                 continue;
             }
             for site in &loop_sites {
-                if e.label() == site.rel.name
-                    && s.label_subtype(g.node_label(e.source()).unwrap_or(""), site.site)
+                if e.label == site.rel_sym
+                    && ss.label_subtype_opt(scope.label_sym(e.src), site.site)
                 {
                     sink.push(Violation::LoopViolated {
-                        node: e.source(),
-                        field: site.rel.name.clone(),
+                        node: e.src,
+                        field: site.rel_name.clone(),
                     });
                 }
             }
@@ -89,36 +96,35 @@ pub(crate) fn ds2(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
 /// reading note in the naive engine).
 pub(crate) fn ds3(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
     sink.rule(Rule::DS3, |sink| {
-        let (g, s) = (scope.g, scope.s);
-        for site in s.constraint_sites() {
-            if !site.rel.unique_for_target {
+        let ss = scope.ss;
+        for site in &ss.sites {
+            if !site.unique_for_target {
                 continue;
             }
-            for (target, label, edges) in scope.ix.in_groups() {
+            scope.for_in_runs(site.rel_sym, &mut |target, edges| {
                 if sink.at_limit() {
-                    return;
+                    return false;
                 }
-                if label != site.rel.name || edges.len() < 2 || !scope.owns(target) {
-                    continue;
+                if edges.len() < 2 {
+                    return true;
                 }
                 sink.group_visited();
                 let count = edges
                     .iter()
-                    .filter(|&&e| {
-                        let src = g.edge_endpoints(e).map(|(s0, _)| s0);
-                        src.is_some_and(|v| {
-                            s.label_subtype(g.node_label(v).unwrap_or(""), site.site)
-                        })
+                    .filter(|&e| {
+                        let src = scope.edge_source(e);
+                        src.is_some_and(|v| ss.label_subtype_opt(scope.label_sym(v), site.site))
                     })
                     .count();
                 if count > 1 {
                     sink.push(Violation::UniqueForTargetViolated {
                         target,
-                        field: label.to_owned(),
+                        field: site.rel_name.clone(),
                         count,
                     });
                 }
-            }
+                true
+            });
         }
     });
 }
@@ -128,33 +134,33 @@ pub(crate) fn ds3(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
 /// field type, check the incoming `(target, label)` group.
 pub(crate) fn ds4(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
     sink.rule(Rule::DS4, |sink| {
-        let (g, s, ix) = (scope.g, scope.s, scope.ix);
-        for site in s.constraint_sites() {
-            if !site.rel.required_for_target {
+        let ss = scope.ss;
+        for (si, site) in ss.sites.iter().enumerate() {
+            if !site.required_for_target {
                 continue;
             }
-            for label in scope.labels {
+            for &label in scope.labels() {
                 if sink.at_limit() {
                     return;
                 }
-                if !s.label_subtype_wrapped(label, &site.rel.ty) {
+                if !ss.row(label).site_target_ok(si) {
                     continue;
                 }
-                for &n in ix.nodes_with_label(label) {
+                for n in scope.nodes_with_label(label) {
                     if !scope.owns(n) {
                         continue;
                     }
                     sink.group_visited();
-                    let ok = ix.in_edges_labelled(n, &site.rel.name).iter().any(|&e| {
-                        g.edge_endpoints(e).is_some_and(|(src, _)| {
-                            s.label_subtype(g.node_label(src).unwrap_or(""), site.site)
-                        })
+                    let ok = scope.in_edges_labelled(n, site.rel_sym).iter().any(|e| {
+                        scope
+                            .edge_source(e)
+                            .is_some_and(|src| ss.label_subtype_opt(scope.label_sym(src), site.site))
                     });
                     if !ok {
                         sink.push(Violation::RequiredForTargetViolated {
                             target: n,
-                            field: site.rel.name.clone(),
-                            site: s.schema().type_name(site.site).to_owned(),
+                            field: site.rel_name.clone(),
+                            site: site.site_name.clone(),
                         });
                     }
                 }
@@ -167,41 +173,30 @@ pub(crate) fn ds4(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
 /// non-empty — via the label index, over owned nodes.
 pub(crate) fn ds5(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
     sink.rule(Rule::DS5, |sink| {
-        let (g, s, ix) = (scope.g, scope.s, scope.ix);
-        let sites: Vec<_> = s
-            .schema()
-            .object_types()
-            .chain(s.schema().interface_types())
-            .flat_map(|t| {
-                s.attributes(t)
-                    .iter()
-                    .filter(|a| a.required)
-                    .map(move |a| (t, a))
-            })
-            .collect();
-        for (t, attr) in sites {
-            for label in scope.labels {
+        let ss = scope.ss;
+        for site in &ss.ds5_sites {
+            for &label in scope.labels() {
                 if sink.at_limit() {
                     return;
                 }
-                if !s.label_subtype(label, t) {
+                if !ss.label_subtype(label, site.t) {
                     continue;
                 }
-                for &n in ix.nodes_with_label(label) {
+                for n in scope.nodes_with_label(label) {
                     if !scope.owns(n) {
                         continue;
                     }
                     sink.group_visited();
-                    match g.node_property(n, &attr.name) {
+                    match scope.node_prop(n, site.sym) {
                         None => sink.push(Violation::RequiredPropertyMissing {
                             node: n,
-                            field: attr.name.clone(),
+                            field: site.name.clone(),
                             empty_list: false,
                         }),
-                        Some(Value::List(items)) if attr.ty.is_list() && items.is_empty() => {
+                        Some(Value::List(items)) if site.is_list && items.is_empty() => {
                             sink.push(Violation::RequiredPropertyMissing {
                                 node: n,
-                                field: attr.name.clone(),
+                                field: site.name.clone(),
                                 empty_list: true,
                             });
                         }
@@ -217,27 +212,27 @@ pub(crate) fn ds5(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
 /// via the label index and out-groups, over owned nodes.
 pub(crate) fn ds6(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
     sink.rule(Rule::DS6, |sink| {
-        let (s, ix) = (scope.s, scope.ix);
-        for site in s.constraint_sites() {
-            if !site.rel.required {
+        let ss = scope.ss;
+        for site in &ss.sites {
+            if !site.required {
                 continue;
             }
-            for label in scope.labels {
+            for &label in scope.labels() {
                 if sink.at_limit() {
                     return;
                 }
-                if !s.label_subtype(label, site.site) {
+                if !ss.label_subtype(label, site.site) {
                     continue;
                 }
-                for &n in ix.nodes_with_label(label) {
+                for n in scope.nodes_with_label(label) {
                     if !scope.owns(n) {
                         continue;
                     }
                     sink.group_visited();
-                    if ix.out_edges_labelled(n, &site.rel.name).is_empty() {
+                    if scope.out_edges_labelled(n, site.rel_sym).is_empty() {
                         sink.push(Violation::RequiredEdgeMissing {
                             node: n,
-                            field: site.rel.name.clone(),
+                            field: site.rel_name.clone(),
                         });
                     }
                 }
@@ -247,7 +242,9 @@ pub(crate) fn ds6(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
 }
 
 /// The scalar fields of a key (only those participate in DS7; condition
-/// `typeS(t, fi) ∈ S∪WS`).
+/// `typeS(t, fi) ∈ S∪WS`). String-keyed helper for the persistent
+/// incremental tables; the columnar collect uses the precompiled
+/// [`KeySlot::scalar_syms`].
 pub(crate) fn ds7_scalar_fields<'s>(s: &'s PgSchema, key: &'s KeyConstraint) -> Vec<&'s str> {
     key.fields
         .iter()
@@ -260,31 +257,64 @@ pub(crate) fn ds7_scalar_fields<'s>(s: &'s PgSchema, key: &'s KeyConstraint) -> 
         .collect()
 }
 
-/// DS7 map phase: groups the owned nodes below the key's site by their
-/// key tuple.
+/// DS7 map phase over a columnar scope: groups the owned nodes below the
+/// key's site by their key tuple of value-class ids.
 ///
-/// A key tuple is the vector of `Option<Value>` over the key's scalar
-/// fields; DS7's "agree" relation (both lack the property, or both have
-/// equal values) is exactly tuple equality, so tables from disjoint
-/// shards merge by appending the node lists.
-fn ds7_collect(
+/// DS7's "agree" relation (both lack the property, or both have equal
+/// values) is exactly tuple equality, so tables from disjoint shards
+/// merge by appending the node lists.
+fn ds7_collect_vids(
     scope: &Scope<'_, '_>,
     sink: &mut Sink<'_>,
-    key: &KeyConstraint,
-    scalar_fields: &[&str],
-) -> HashMap<Vec<Option<Value>>, Vec<NodeId>> {
-    let (g, s, ix) = (scope.g, scope.s, scope.ix);
-    let mut groups: HashMap<Vec<Option<Value>>, Vec<NodeId>> = HashMap::new();
-    for label in scope.labels {
-        if !s.label_subtype(label, key.site) {
+    key: &KeySlot,
+) -> HashMap<Vec<Option<u32>>, Vec<NodeId>> {
+    let ss = scope.ss;
+    let cols = scope
+        .cols()
+        .expect("vid collect requires a columnar scope");
+    let vt = cols.values();
+    let mut groups: HashMap<Vec<Option<u32>>, Vec<NodeId>> = HashMap::new();
+    for &label in scope.labels() {
+        if !ss.label_subtype(label, key.site) {
             continue;
         }
-        for &n in ix.nodes_with_label(label) {
+        for n in scope.nodes_with_label(label) {
             if !scope.owns(n) {
                 continue;
             }
             sink.group_visited();
-            let tuple: Vec<Option<Value>> = scalar_fields
+            let tuple: Vec<Option<u32>> = key
+                .scalar_syms
+                .iter()
+                .map(|&f| cols.node_prop_vid(n, f).map(|vid| vt.eq_rep(vid)))
+                .collect();
+            groups.entry(tuple).or_default().push(n);
+        }
+    }
+    groups
+}
+
+/// DS7 map phase over the dirty scope: same grouping, with owned `Value`
+/// tuples read back from the graph (the dirty region is too small to
+/// justify a freeze).
+fn ds7_collect_values(
+    scope: &Scope<'_, '_>,
+    sink: &mut Sink<'_>,
+    key: &KeySlot,
+) -> HashMap<Vec<Option<Value>>, Vec<NodeId>> {
+    let (g, ss) = (scope.g, scope.ss);
+    let mut groups: HashMap<Vec<Option<Value>>, Vec<NodeId>> = HashMap::new();
+    for &label in scope.labels() {
+        if !ss.label_subtype(label, key.site) {
+            continue;
+        }
+        for n in scope.nodes_with_label(label) {
+            if !scope.owns(n) {
+                continue;
+            }
+            sink.group_visited();
+            let tuple: Vec<Option<Value>> = key
+                .scalar_names
                 .iter()
                 .map(|f| g.node_property(n, f).cloned())
                 .collect();
@@ -295,13 +325,14 @@ fn ds7_collect(
 }
 
 /// DS7 reduce phase: emits one violation per unordered pair of nodes
-/// sharing a key tuple, in sorted node order. Used inline by [`ds7`] and
-/// by the parallel engine's cross-shard merge.
-pub(crate) fn ds7_emit(
-    s: &PgSchema,
-    key: &KeyConstraint,
-    groups: HashMap<Vec<Option<Value>>, Vec<NodeId>>,
-    r: &mut crate::report::ValidationReport,
+/// sharing a key tuple, in sorted node order. Generic over the tuple
+/// representation (value-class ids or `Value`s); used inline by [`ds7`]
+/// and by the parallel engine's cross-shard merge.
+pub(crate) fn ds7_emit<K: Hash + Eq>(
+    ty: &str,
+    fields: &[String],
+    groups: HashMap<K, Vec<NodeId>>,
+    r: &mut ValidationReport,
 ) {
     for mut nodes in groups.into_values() {
         if nodes.len() < 2 {
@@ -316,8 +347,8 @@ pub(crate) fn ds7_emit(
                 r.push(Violation::KeyViolated {
                     a,
                     b,
-                    ty: s.schema().type_name(key.site).to_owned(),
-                    fields: key.fields.clone(),
+                    ty: ty.to_owned(),
+                    fields: fields.to_vec(),
                 });
             }
         }
@@ -325,17 +356,20 @@ pub(crate) fn ds7_emit(
 }
 
 /// DS7 (`@key`), inline plan: collect and emit per key (serial
-/// full-graph engines).
+/// full-graph engines, and the dirty-region revalidation of migrations).
 pub(crate) fn ds7(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
     sink.rule(Rule::DS7, |sink| {
-        let s = scope.s;
-        for key in s.keys() {
+        for key in &scope.ss.keys {
             if sink.at_limit() {
                 return;
             }
-            let scalar_fields = ds7_scalar_fields(s, key);
-            let groups = ds7_collect(scope, sink, key, &scalar_fields);
-            ds7_emit(s, key, groups, sink.report);
+            if scope.cols().is_some() {
+                let groups = ds7_collect_vids(scope, sink, key);
+                ds7_emit(&key.ty_name, &key.fields, groups, sink.report);
+            } else {
+                let groups = ds7_collect_values(scope, sink, key);
+                ds7_emit(&key.ty_name, &key.fields, groups, sink.report);
+            }
         }
     });
 }
@@ -343,23 +377,24 @@ pub(crate) fn ds7(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
 /// DS7, map plan: collect one shard-local tuple table per key (in schema
 /// key order) for the caller's cross-shard reduce. Emits no violations
 /// itself; the recorded DS7 timing covers the map side only — the
-/// planner adds the reduce time after the join.
+/// planner adds the reduce time after the join. Columnar scopes only.
 pub(crate) fn ds7_map(
     scope: &Scope<'_, '_>,
     sink: &mut Sink<'_>,
-    tables: &mut Vec<HashMap<Vec<Option<Value>>, Vec<NodeId>>>,
+    tables: &mut Vec<HashMap<Vec<Option<u32>>, Vec<NodeId>>>,
 ) {
     sink.rule(Rule::DS7, |sink| {
-        for key in scope.s.keys() {
-            let scalar_fields = ds7_scalar_fields(scope.s, key);
-            tables.push(ds7_collect(scope, sink, key, &scalar_fields));
+        for key in &scope.ss.keys {
+            tables.push(ds7_collect_vids(scope, sink, key));
         }
     });
 }
 
 /// Per-`@key` persistent state of an incremental session: each node's
 /// current key tuple and the groups of nodes sharing one — the durable
-/// form of the DS7 collect phase.
+/// form of the DS7 collect phase. Tuples stay `Value`-based here: the
+/// tables outlive any one frozen columnar view, so value-class ids
+/// (which are per-freeze) cannot name them.
 pub(crate) struct KeyTable {
     scalar_fields: Vec<String>,
     tuples: HashMap<NodeId, Vec<Option<Value>>>,

@@ -1,5 +1,5 @@
 //! The rule-kernel layer: each of the paper's fifteen rules, implemented
-//! exactly once.
+//! exactly once — over the *columnar* graph core.
 //!
 //! The paper defines one set of semantics — [`Rule::WS1`]–[`Rule::WS4`]
 //! (Definition 5.1), [`Rule::DS1`]–[`Rule::DS7`] (Definition 5.2) and
@@ -17,28 +17,47 @@
 //!   oracle the kernels are property-tested against
 //!   (`tests/engine_agreement.rs`).
 //!
-//! # Scope
+//! # The columnar scope
 //!
-//! A [`Scope`] bundles the graph, schema, [`GraphIndex`] and label list
-//! with an evaluation *domain* — which slice of the graph the kernels
-//! should derive violations for:
+//! Kernels no longer touch the pointer-rich [`PropertyGraph`] directly.
+//! A [`Scope`] pairs a symbol-keyed view of the *data* with a
+//! symbol-keyed compilation of the *schema*:
+//!
+//! * full and shard scopes scan a frozen
+//!   [`ColumnarGraph`](pgraph::ColumnarGraph) — struct-of-arrays element
+//!   tables plus CSR adjacency, so an element scan is a walk over
+//!   contiguous `u32` columns and a "parallel edges of `v` under label
+//!   `l`" query is a binary-searched subslice of one CSR row;
+//! * the dirty scope of the incremental engine scans a small
+//!   [`PartialCols`](partial::PartialCols) interned over just the dirty
+//!   region, sharing the same symbol space;
+//! * every label/field question goes through the
+//!   [`SymSchema`](symschema::SymSchema) — one row per interned symbol,
+//!   making `λ(v) ⊑ t` a binary search over `u32`s and putting the
+//!   report strings (expected types, site names) behind precomputed
+//!   fields, so the hot loops never hash or compare strings.
+//!
+//! The three scope variants answer the same questions:
 //!
 //! * **full** — the whole graph (the serial indexed engine, and the
 //!   seeding pass of an incremental session); benchmark E2 runs kernels
 //!   under this scope;
-//! * **shard** — one contiguous id-range shard of the parallel engine;
-//!   element scans walk the shard's own live elements and group-keyed
-//!   kernels process exactly the groups whose key element the shard
-//!   owns, so every violation is derived by exactly one worker (E2p);
+//! * **shard** — one contiguous raw-index range of the columnar tables
+//!   (parallel engine, E2p); element scans walk the shard's own slots
+//!   and group-keyed kernels process exactly the groups whose key
+//!   element the shard owns, so every violation is derived by exactly
+//!   one worker;
 //! * **dirty** — the dirty region computed from a
 //!   [`GraphDelta`](pgraph::GraphDelta) closure by the incremental
-//!   engine: a set of dirty nodes plus the live edges incident to them,
-//!   evaluated over a partial index of that region (E2i).
+//!   engine: a set of dirty nodes plus the live edges incident to them
+//!   (E2i).
 //!
 //! Kernels never ask which variant they run under: element scans iterate
-//! [`Scope::nodes`]/[`Scope::edges`], group-keyed kernels filter shared
-//! index groups through [`Scope::owns`]. That one predicate is what
-//! makes the same kernel body correct in all three plans.
+//! [`Scope::nodes`]/[`Scope::edges`], group-keyed kernels walk
+//! [`Scope::for_out_groups`]/[`Scope::for_parallel_runs`]/
+//! [`Scope::for_in_runs`] and filter through [`Scope::owns`]. That one
+//! predicate is what makes the same kernel body correct in all three
+//! plans.
 //!
 //! # Sink
 //!
@@ -64,150 +83,623 @@
 //! `@key` (DS7) is the one rule whose violations pair *two* elements, so
 //! its kernel is split into a tuple-collect and a pair-emit phase
 //! (see [`directives`]). [`Ds7Plan`] selects how the planner composes
-//! them: inline (collect + emit in one go), map (collect only; the
-//! parallel engine reduces the shard-local tables after join), or
-//! recheck (the incremental engine's persistent [`KeyTable`]s are
-//! updated for the dirty nodes and only affected pairs re-emitted).
+//! them: inline (collect + emit in one go), map (collect only, as
+//! interned value-class tuples; the parallel engine reduces the
+//! shard-local tables after join), or recheck (the incremental engine's
+//! persistent [`KeyTable`]s are updated for the dirty nodes and only
+//! affected pairs re-emitted).
 
 pub(crate) mod directives;
+pub(crate) mod partial;
 pub(crate) mod strong;
+pub(crate) mod symschema;
 pub(crate) mod weak;
 
 use std::collections::{BTreeSet, HashMap};
+use std::ops::Range;
+use std::slice;
 use std::time::Instant;
 
-use pgraph::index::GraphIndex;
-use pgraph::shard::GraphShard;
-use pgraph::{EdgeId, EdgeRef, NodeId, NodeRef, PropertyGraph, Value};
+use pgraph::{ColumnarGraph, EdgeId, NodeId, PropertyGraph, Sym, SymbolTable, Value, ValueTable};
 
 use crate::pgschema::PgSchema;
 use crate::report::{Rule, RuleMetrics, ValidationReport, Violation};
 use crate::ValidationOptions;
 
 pub(crate) use directives::KeyTable;
+use partial::{PartialCols, PartialNode};
+use symschema::SymSchema;
 
 /// The slice of the graph a kernel invocation derives violations for.
-enum Domain<'a, 'g> {
-    /// The whole graph.
-    Full,
-    /// One contiguous id-range shard (parallel engine).
-    Shard(&'a GraphShard<'g>),
-    /// The dirty region of a delta: dirty nodes plus their incident live
-    /// edges (incremental engine).
+enum View<'a, 'g> {
+    /// Every slot of the frozen columnar tables.
+    Full { cols: &'a ColumnarGraph },
+    /// One contiguous raw-index range of the columnar tables (parallel
+    /// engine).
+    Shard {
+        cols: &'a ColumnarGraph,
+        nodes: Range<usize>,
+        edges: Range<usize>,
+    },
+    /// The interned dirty region of a delta (incremental engine):
+    /// `nodes` is the dirty-node closure driving ownership.
     Dirty {
+        pc: &'a PartialCols<'g>,
         nodes: &'a BTreeSet<NodeId>,
-        edges: &'a BTreeSet<EdgeId>,
     },
 }
 
-/// Everything a rule kernel reads: graph, schema, index, the labels
-/// present, and the evaluation domain. See the module docs for the three
-/// domain variants and how the planners instantiate them.
+/// Everything a rule kernel reads: the graph (for the few cold lookups
+/// that still need it), the schema in both its string-keyed and
+/// symbol-compiled forms, the symbol table for rendering report strings,
+/// and the evaluation view. See the module docs for the three view
+/// variants and how the planners instantiate them.
 pub(crate) struct Scope<'a, 'g> {
-    /// The graph under validation (always the *whole* graph — domains
+    /// The graph under validation (always the *whole* graph — views
     /// restrict which elements are scanned, not what lookups can see).
+    /// Kernels use it only for DS7's persistent recheck tables; the hot
+    /// paths read the columnar view.
     pub(crate) g: &'g PropertyGraph,
-    /// The schema validated against.
+    /// The schema validated against (string-keyed; DS7 recheck only).
     pub(crate) s: &'a PgSchema,
-    /// Label/adjacency/parallel-edge groups: full for the full and shard
-    /// domains, partial (covering the dirty region) for the dirty one.
-    pub(crate) ix: &'a GraphIndex,
-    /// The node labels present in `ix`, resolved once by the planner.
-    pub(crate) labels: &'a [String],
-    domain: Domain<'a, 'g>,
+    /// The schema compiled onto the symbol space.
+    pub(crate) ss: &'a SymSchema,
+    /// The shared symbol table — resolves [`Sym`]s into report strings.
+    pub(crate) syms: &'a SymbolTable,
+    view: View<'a, 'g>,
 }
 
-impl<'a, 'g> Scope<'a, 'g> {
-    /// Whole-graph scope (indexed engine, incremental seeding).
-    pub(crate) fn full(
-        g: &'g PropertyGraph,
-        s: &'a PgSchema,
-        ix: &'a GraphIndex,
-        labels: &'a [String],
-    ) -> Self {
-        Scope {
-            g,
-            s,
-            ix,
-            labels,
-            domain: Domain::Full,
+/// A node under the cursor of a scope scan.
+pub(crate) struct NodeCur<'a> {
+    pub(crate) id: NodeId,
+    pub(crate) label: Sym,
+    pub(crate) props: PropsRef<'a>,
+}
+
+/// An edge under the cursor of a scope scan.
+pub(crate) struct EdgeCur<'a> {
+    pub(crate) id: EdgeId,
+    pub(crate) label: Sym,
+    pub(crate) src: NodeId,
+    pub(crate) dst: NodeId,
+    pub(crate) props: PropsRef<'a>,
+}
+
+/// An element's property list, interned: key symbols in name order plus
+/// the values (columnar: value ids into the shared [`ValueTable`];
+/// dirty: borrowed values).
+pub(crate) enum PropsRef<'a> {
+    Cols {
+        keys: &'a [Sym],
+        vids: &'a [u32],
+        vt: &'a ValueTable,
+    },
+    Slice(&'a [(Sym, &'a Value)]),
+}
+
+impl<'a> PropsRef<'a> {
+    /// Iterates `(key symbol, value)` in property-name order.
+    pub(crate) fn iter(&self) -> PropsIter<'a> {
+        match *self {
+            PropsRef::Cols { keys, vids, vt } => PropsIter::Cols {
+                keys: keys.iter(),
+                vids: vids.iter(),
+                vt,
+            },
+            PropsRef::Slice(s) => PropsIter::Slice(s.iter()),
+        }
+    }
+}
+
+/// Iterator over a [`PropsRef`].
+pub(crate) enum PropsIter<'a> {
+    Cols {
+        keys: slice::Iter<'a, Sym>,
+        vids: slice::Iter<'a, u32>,
+        vt: &'a ValueTable,
+    },
+    Slice(slice::Iter<'a, (Sym, &'a Value)>),
+}
+
+impl<'a> Iterator for PropsIter<'a> {
+    type Item = (Sym, &'a Value);
+    fn next(&mut self) -> Option<(Sym, &'a Value)> {
+        match self {
+            PropsIter::Cols { keys, vids, vt } => {
+                let k = *keys.next()?;
+                let vid = *vids.next()?;
+                Some((k, vt.value(vid)))
+            }
+            PropsIter::Slice(it) => it.next().map(|&(k, v)| (k, v)),
+        }
+    }
+}
+
+/// Live-node scan over a scope's view, in ascending id order.
+pub(crate) enum NodeIter<'a> {
+    Cols {
+        cols: &'a ColumnarGraph,
+        range: Range<usize>,
+    },
+    Partial(slice::Iter<'a, PartialNode<'a>>),
+}
+
+impl<'a> Iterator for NodeIter<'a> {
+    type Item = NodeCur<'a>;
+    fn next(&mut self) -> Option<NodeCur<'a>> {
+        match self {
+            NodeIter::Cols { cols, range } => loop {
+                let ix = range.next()?;
+                if !cols.node_is_live(ix) {
+                    continue;
+                }
+                let id = NodeId::from_index(ix);
+                return Some(NodeCur {
+                    id,
+                    label: cols.node_label_sym(id),
+                    props: PropsRef::Cols {
+                        keys: cols.node_prop_syms(id),
+                        vids: cols.node_prop_vids(id),
+                        vt: cols.values(),
+                    },
+                });
+            },
+            NodeIter::Partial(it) => it.next().map(|n| NodeCur {
+                id: n.id,
+                label: n.label,
+                props: PropsRef::Slice(&n.props),
+            }),
+        }
+    }
+}
+
+/// Live-edge scan over a scope's view, in ascending id order.
+pub(crate) enum EdgeIter<'a> {
+    Cols {
+        cols: &'a ColumnarGraph,
+        range: Range<usize>,
+    },
+    Partial(slice::Iter<'a, partial::PartialEdge<'a>>),
+}
+
+impl<'a> Iterator for EdgeIter<'a> {
+    type Item = EdgeCur<'a>;
+    fn next(&mut self) -> Option<EdgeCur<'a>> {
+        match self {
+            EdgeIter::Cols { cols, range } => loop {
+                let ix = range.next()?;
+                if !cols.edge_is_live(ix) {
+                    continue;
+                }
+                let id = EdgeId::from_index(ix);
+                return Some(EdgeCur {
+                    id,
+                    label: cols.edge_label_sym(id),
+                    src: cols.edge_source(id),
+                    dst: cols.edge_target(id),
+                    props: PropsRef::Cols {
+                        keys: cols.edge_prop_syms(id),
+                        vids: cols.edge_prop_vids(id),
+                        vt: cols.values(),
+                    },
+                });
+            },
+            EdgeIter::Partial(it) => it.next().map(|e| EdgeCur {
+                id: e.id,
+                label: e.label,
+                src: e.src,
+                dst: e.dst,
+                props: PropsRef::Slice(&e.props),
+            }),
+        }
+    }
+}
+
+/// Node ids from a per-label index: raw `u32` slots (columnar) or
+/// materialised ids (dirty view).
+pub(crate) enum NodeIdIter<'a> {
+    Raw(slice::Iter<'a, u32>),
+    Ids(slice::Iter<'a, NodeId>),
+}
+
+impl Iterator for NodeIdIter<'_> {
+    type Item = NodeId;
+    fn next(&mut self) -> Option<NodeId> {
+        match self {
+            NodeIdIter::Raw(it) => it.next().map(|&ix| NodeId::from_index(ix as usize)),
+            NodeIdIter::Ids(it) => it.next().copied(),
+        }
+    }
+}
+
+/// One adjacency group: a run of edge ids, either a CSR subslice (raw
+/// `u32` slots) or a materialised id list (dirty view).
+#[derive(Clone, Copy)]
+pub(crate) enum EdgeRun<'a> {
+    Raw(&'a [u32]),
+    Ids(&'a [EdgeId]),
+}
+
+impl<'a> EdgeRun<'a> {
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            EdgeRun::Raw(r) => r.len(),
+            EdgeRun::Ids(r) => r.len(),
         }
     }
 
-    /// One worker's shard of the parallel engine.
-    pub(crate) fn shard(
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn iter(&self) -> EdgeRunIter<'a> {
+        match *self {
+            EdgeRun::Raw(r) => EdgeRunIter::Raw(r.iter()),
+            EdgeRun::Ids(r) => EdgeRunIter::Ids(r.iter()),
+        }
+    }
+}
+
+/// Iterator over an [`EdgeRun`], yielding [`EdgeId`]s.
+pub(crate) enum EdgeRunIter<'a> {
+    Raw(slice::Iter<'a, u32>),
+    Ids(slice::Iter<'a, EdgeId>),
+}
+
+impl Iterator for EdgeRunIter<'_> {
+    type Item = EdgeId;
+    fn next(&mut self) -> Option<EdgeId> {
+        match self {
+            EdgeRunIter::Raw(it) => it.next().map(|&ix| EdgeId::from_index(ix as usize)),
+            EdgeRunIter::Ids(it) => it.next().copied(),
+        }
+    }
+}
+
+impl<'a, 'g: 'a> Scope<'a, 'g> {
+    /// Whole-graph scope (indexed engine, incremental seeding) over a
+    /// frozen columnar view.
+    pub(crate) fn full(
         g: &'g PropertyGraph,
         s: &'a PgSchema,
-        ix: &'a GraphIndex,
-        labels: &'a [String],
-        shard: &'a GraphShard<'g>,
+        ss: &'a SymSchema,
+        cols: &'a ColumnarGraph,
     ) -> Self {
         Scope {
             g,
             s,
-            ix,
-            labels,
-            domain: Domain::Shard(shard),
+            ss,
+            syms: cols.symbols(),
+            view: View::Full { cols },
+        }
+    }
+
+    /// One worker's contiguous slot ranges of the parallel engine.
+    pub(crate) fn shard(
+        g: &'g PropertyGraph,
+        s: &'a PgSchema,
+        ss: &'a SymSchema,
+        cols: &'a ColumnarGraph,
+        nodes: Range<usize>,
+        edges: Range<usize>,
+    ) -> Self {
+        Scope {
+            g,
+            s,
+            ss,
+            syms: cols.symbols(),
+            view: View::Shard { cols, nodes, edges },
         }
     }
 
     /// The dirty region of the incremental engine: `nodes` is the dirty
-    /// node closure, `edges` the live edges incident to it, and `ix` a
-    /// partial index over exactly that region.
+    /// node closure, `pc` the interned view of it and its incident live
+    /// edges (sharing `syms` with `ss`).
     pub(crate) fn dirty(
         g: &'g PropertyGraph,
         s: &'a PgSchema,
-        ix: &'a GraphIndex,
-        labels: &'a [String],
+        ss: &'a SymSchema,
+        syms: &'a SymbolTable,
+        pc: &'a PartialCols<'g>,
         nodes: &'a BTreeSet<NodeId>,
-        edges: &'a BTreeSet<EdgeId>,
     ) -> Self {
         Scope {
             g,
             s,
-            ix,
-            labels,
-            domain: Domain::Dirty { nodes, edges },
+            ss,
+            syms,
+            view: View::Dirty { pc, nodes },
         }
     }
 
     /// Does this scope own the given node? Group-keyed kernels process
-    /// exactly the index groups whose key element is owned, which is
-    /// what makes shard/dirty evaluation partition-exact.
+    /// exactly the groups whose key element is owned, which is what
+    /// makes shard/dirty evaluation partition-exact.
     #[inline]
     pub(crate) fn owns(&self, n: NodeId) -> bool {
-        match &self.domain {
-            Domain::Full => true,
-            Domain::Shard(shard) => shard.owns_node(n),
-            Domain::Dirty { nodes, .. } => nodes.contains(&n),
+        match &self.view {
+            View::Full { .. } => true,
+            View::Shard { nodes, .. } => nodes.contains(&n.index()),
+            View::Dirty { nodes, .. } => nodes.contains(&n),
         }
     }
 
-    /// The live nodes of the domain, in ascending id order.
-    pub(crate) fn nodes(&self) -> Box<dyn Iterator<Item = NodeRef<'g>> + '_> {
-        match &self.domain {
-            Domain::Full => Box::new(self.g.nodes()),
-            Domain::Shard(shard) => Box::new(shard.nodes()),
-            Domain::Dirty { nodes, .. } => Box::new(nodes.iter().filter_map(|&v| self.g.node(v))),
+    /// The live nodes of the view, in ascending id order.
+    pub(crate) fn nodes(&self) -> NodeIter<'a> {
+        match &self.view {
+            View::Full { cols } => NodeIter::Cols {
+                cols,
+                range: 0..cols.node_slots(),
+            },
+            View::Shard { cols, nodes, .. } => NodeIter::Cols {
+                cols,
+                range: nodes.clone(),
+            },
+            View::Dirty { pc, .. } => NodeIter::Partial(pc.nodes.iter()),
         }
     }
 
-    /// The live edges of the domain, in ascending id order.
-    pub(crate) fn edges(&self) -> Box<dyn Iterator<Item = EdgeRef<'g>> + '_> {
-        match &self.domain {
-            Domain::Full => Box::new(self.g.edges()),
-            Domain::Shard(shard) => Box::new(shard.edges()),
-            Domain::Dirty { edges, .. } => Box::new(edges.iter().filter_map(|&e| self.g.edge(e))),
+    /// The live edges of the view, in ascending id order.
+    pub(crate) fn edges(&self) -> EdgeIter<'a> {
+        match &self.view {
+            View::Full { cols } => EdgeIter::Cols {
+                cols,
+                range: 0..cols.edge_slots(),
+            },
+            View::Shard { cols, edges, .. } => EdgeIter::Cols {
+                cols,
+                range: edges.clone(),
+            },
+            View::Dirty { pc, .. } => EdgeIter::Partial(pc.edges.iter()),
         }
     }
 
-    /// The dirty node set — `Some` only under the dirty domain. DS7's
+    /// The label symbol of a live node — any node of the graph for the
+    /// columnar views; dirty nodes and local-edge endpoints for the
+    /// dirty one (exactly the nodes its kernels classify).
+    #[inline]
+    pub(crate) fn label_sym(&self, n: NodeId) -> Option<Sym> {
+        match &self.view {
+            View::Full { cols } | View::Shard { cols, .. } => {
+                if cols.node_is_live(n.index()) {
+                    Some(cols.node_label_sym(n))
+                } else {
+                    None
+                }
+            }
+            View::Dirty { pc, .. } => pc.label_of(n),
+        }
+    }
+
+    /// The distinct labels with at least one live node in the view's
+    /// population, sorted by symbol.
+    pub(crate) fn labels(&self) -> &'a [Sym] {
+        match &self.view {
+            View::Full { cols } | View::Shard { cols, .. } => cols.labels_present(),
+            View::Dirty { pc, .. } => pc.labels(),
+        }
+    }
+
+    /// Live nodes carrying `label` (the whole graph for columnar views,
+    /// the dirty set for the dirty one), ascending id order.
+    pub(crate) fn nodes_with_label(&self, label: Sym) -> NodeIdIter<'a> {
+        match &self.view {
+            View::Full { cols } | View::Shard { cols, .. } => {
+                NodeIdIter::Raw(cols.nodes_with_label(label).iter())
+            }
+            View::Dirty { pc, .. } => NodeIdIter::Ids(pc.nodes_with_label(label).iter()),
+        }
+    }
+
+    /// Out-edges of `v` labelled `label` (local edges only under the
+    /// dirty view), ascending id order.
+    pub(crate) fn out_edges_labelled(&self, v: NodeId, label: Sym) -> EdgeRun<'a> {
+        match &self.view {
+            View::Full { cols } | View::Shard { cols, .. } => {
+                EdgeRun::Raw(cols.out_edges_labelled(v, label))
+            }
+            View::Dirty { pc, .. } => EdgeRun::Ids(pc.out_edges_labelled(v, label)),
+        }
+    }
+
+    /// In-edges of `v` labelled `label`, ascending id order.
+    pub(crate) fn in_edges_labelled(&self, v: NodeId, label: Sym) -> EdgeRun<'a> {
+        match &self.view {
+            View::Full { cols } | View::Shard { cols, .. } => {
+                EdgeRun::Raw(cols.in_edges_labelled(v, label))
+            }
+            View::Dirty { pc, .. } => EdgeRun::Ids(pc.in_edges_labelled(v, label)),
+        }
+    }
+
+    /// The source endpoint of a live edge.
+    #[inline]
+    pub(crate) fn edge_source(&self, e: EdgeId) -> Option<NodeId> {
+        match &self.view {
+            View::Full { cols } | View::Shard { cols, .. } => {
+                if cols.edge_is_live(e.index()) {
+                    Some(cols.edge_source(e))
+                } else {
+                    None
+                }
+            }
+            View::Dirty { .. } => self.g.edge_endpoints(e).map(|(s, _)| s),
+        }
+    }
+
+    /// A node's property by key symbol (columnar lookup or dirty-region
+    /// lookup).
+    #[inline]
+    pub(crate) fn node_prop(&self, n: NodeId, key: Sym) -> Option<&'a Value> {
+        match &self.view {
+            View::Full { cols } | View::Shard { cols, .. } => cols.node_prop(n, key),
+            View::Dirty { pc, .. } => pc.node_prop(n, key),
+        }
+    }
+
+    /// The columnar view, when this scope has one (DS7's tuple collect
+    /// interns against its value table).
+    pub(crate) fn cols(&self) -> Option<&'a ColumnarGraph> {
+        match &self.view {
+            View::Full { cols } | View::Shard { cols, .. } => Some(cols),
+            View::Dirty { .. } => None,
+        }
+    }
+
+    /// The dirty node set — `Some` only under the dirty view. DS7's
     /// recheck plan uses this to move exactly the dirty nodes between
     /// key groups.
-    pub(crate) fn dirty_nodes(&self) -> Option<&BTreeSet<NodeId>> {
-        match &self.domain {
-            Domain::Dirty { nodes, .. } => Some(nodes),
+    pub(crate) fn dirty_nodes(&self) -> Option<&'a BTreeSet<NodeId>> {
+        match &self.view {
+            View::Dirty { nodes, .. } => Some(nodes),
             _ => None,
+        }
+    }
+
+    /// Walks every `(source, edge label, edges)` out-group whose source
+    /// the scope owns (WS4's groups). `f` returns `false` to stop early.
+    pub(crate) fn for_out_groups(&self, f: &mut dyn FnMut(NodeId, Sym, EdgeRun<'a>) -> bool) {
+        match &self.view {
+            View::Full { cols } => out_groups_cols(cols, 0..cols.node_slots(), f),
+            View::Shard { cols, nodes, .. } => out_groups_cols(cols, nodes.clone(), f),
+            View::Dirty { pc, nodes } => {
+                for (src, label, run) in pc.out_groups() {
+                    if !nodes.contains(&src) {
+                        continue;
+                    }
+                    if !f(src, label, EdgeRun::Ids(run)) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Walks every `(source, target, edges)` parallel-edge group under
+    /// `label` whose source the scope owns (DS1's groups).
+    pub(crate) fn for_parallel_runs(
+        &self,
+        label: Sym,
+        f: &mut dyn FnMut(NodeId, NodeId, EdgeRun<'a>) -> bool,
+    ) {
+        match &self.view {
+            View::Full { cols } => parallel_runs_cols(cols, 0..cols.node_slots(), label, f),
+            View::Shard { cols, nodes, .. } => parallel_runs_cols(cols, nodes.clone(), label, f),
+            View::Dirty { pc, nodes } => {
+                for (src, dst, run) in pc.parallel_runs(label) {
+                    if !nodes.contains(&src) {
+                        continue;
+                    }
+                    if !f(src, dst, EdgeRun::Ids(run)) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Walks every `(target, edges)` in-group under `label` whose target
+    /// the scope owns (DS3's groups).
+    pub(crate) fn for_in_runs(&self, label: Sym, f: &mut dyn FnMut(NodeId, EdgeRun<'a>) -> bool) {
+        match &self.view {
+            View::Full { cols } => in_runs_cols(cols, 0..cols.node_slots(), label, f),
+            View::Shard { cols, nodes, .. } => in_runs_cols(cols, nodes.clone(), label, f),
+            View::Dirty { pc, nodes } => {
+                for (dst, run) in pc.in_runs(label) {
+                    if !nodes.contains(&dst) {
+                        continue;
+                    }
+                    if !f(dst, EdgeRun::Ids(run)) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// CSR walk behind [`Scope::for_out_groups`]: each live node slot's out
+/// row, split into label runs (the row is sorted by label first).
+fn out_groups_cols<'a>(
+    cols: &'a ColumnarGraph,
+    range: Range<usize>,
+    f: &mut dyn FnMut(NodeId, Sym, EdgeRun<'a>) -> bool,
+) {
+    for ix in range {
+        if !cols.node_is_live(ix) {
+            continue;
+        }
+        let v = NodeId::from_index(ix);
+        let row = cols.out_row(v);
+        let mut start = 0;
+        while start < row.len() {
+            let label = cols.edge_label_sym(EdgeId::from_index(row[start] as usize));
+            let mut end = start + 1;
+            while end < row.len()
+                && cols.edge_label_sym(EdgeId::from_index(row[end] as usize)) == label
+            {
+                end += 1;
+            }
+            if !f(v, label, EdgeRun::Raw(&row[start..end])) {
+                return;
+            }
+            start = end;
+        }
+    }
+}
+
+/// CSR walk behind [`Scope::for_parallel_runs`]: each live node slot's
+/// labelled out run, split into same-target runs (sorted by target
+/// within a label run).
+fn parallel_runs_cols<'a>(
+    cols: &'a ColumnarGraph,
+    range: Range<usize>,
+    label: Sym,
+    f: &mut dyn FnMut(NodeId, NodeId, EdgeRun<'a>) -> bool,
+) {
+    for ix in range {
+        if !cols.node_is_live(ix) {
+            continue;
+        }
+        let v = NodeId::from_index(ix);
+        let run = cols.out_edges_labelled(v, label);
+        let mut start = 0;
+        while start < run.len() {
+            let dst = cols.edge_target(EdgeId::from_index(run[start] as usize));
+            let mut end = start + 1;
+            while end < run.len()
+                && cols.edge_target(EdgeId::from_index(run[end] as usize)) == dst
+            {
+                end += 1;
+            }
+            if !f(v, dst, EdgeRun::Raw(&run[start..end])) {
+                return;
+            }
+            start = end;
+        }
+    }
+}
+
+/// CSR walk behind [`Scope::for_in_runs`]: each live node slot's
+/// labelled in run (non-empty runs only — a group exists only where an
+/// edge does).
+fn in_runs_cols<'a>(
+    cols: &'a ColumnarGraph,
+    range: Range<usize>,
+    label: Sym,
+    f: &mut dyn FnMut(NodeId, EdgeRun<'a>) -> bool,
+) {
+    for ix in range {
+        if !cols.node_is_live(ix) {
+            continue;
+        }
+        let v = NodeId::from_index(ix);
+        let run = cols.in_edges_labelled(v, label);
+        if run.is_empty() {
+            continue;
+        }
+        if !f(v, EdgeRun::Raw(run)) {
+            return;
         }
     }
 }
@@ -340,8 +832,10 @@ pub(crate) enum Ds7Plan<'p> {
     /// Collect and emit in one pass (serial full-graph engines).
     Inline,
     /// Map phase only: one shard-local tuple table per key is pushed for
-    /// the caller's cross-shard reduce (parallel engine).
-    Map(&'p mut Vec<HashMap<Vec<Option<Value>>, Vec<NodeId>>>),
+    /// the caller's cross-shard reduce (parallel engine). Tuples are
+    /// graph-global value-class ids, so equal tuples collide across
+    /// shards exactly as their [`Value`] counterparts would.
+    Map(&'p mut Vec<HashMap<Vec<Option<u32>>, Vec<NodeId>>>),
     /// Move the scope's dirty nodes between the persistent per-key
     /// tables and re-emit exactly the pairs they participate in
     /// (incremental engine). Requires a dirty scope.

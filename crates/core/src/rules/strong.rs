@@ -1,4 +1,8 @@
 //! Kernels for strong satisfaction — rules SS1–SS4 (Definition 5.3).
+//!
+//! Like the weak kernels, these run entirely over interned symbols; the
+//! per-label "is this justified?" questions are precompiled into
+//! [`SymSchema`](super::symschema::SymSchema) rows.
 
 use crate::report::{Rule, Violation};
 
@@ -8,16 +12,16 @@ use super::{Scope, Sink};
 /// the scope's nodes.
 pub(crate) fn ss1(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
     sink.rule(Rule::SS1, |sink| {
-        let s = scope.s;
+        let ss = scope.ss;
         for n in scope.nodes() {
             if sink.at_limit() {
                 return;
             }
             sink.node_visited();
-            if !s.is_object_label(n.label()) {
+            if !ss.row(n.label).is_object {
                 sink.push(Violation::UnjustifiedNode {
                     node: n.id,
-                    label: n.label().to_owned(),
+                    label: scope.syms.resolve(n.label).to_owned(),
                 });
             }
         }
@@ -28,17 +32,18 @@ pub(crate) fn ss1(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
 /// scan over the scope's nodes.
 pub(crate) fn ss2(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
     sink.rule(Rule::SS2, |sink| {
-        let s = scope.s;
+        let ss = scope.ss;
         for n in scope.nodes() {
             if sink.at_limit() {
                 return;
             }
             sink.node_visited();
-            for (prop, _) in n.properties() {
-                if s.attribute(n.label(), prop).is_none() {
+            let row = ss.row(n.label);
+            for (prop, _) in n.props.iter() {
+                if row.attr(prop).is_none() {
                     sink.push(Violation::UnjustifiedNodeProperty {
                         node: n.id,
-                        prop: prop.to_owned(),
+                        prop: scope.syms.resolve(prop).to_owned(),
                     });
                 }
             }
@@ -50,20 +55,19 @@ pub(crate) fn ss2(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
 /// scan over the scope's edges.
 pub(crate) fn ss3(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
     sink.rule(Rule::SS3, |sink| {
-        let (g, s) = (scope.g, scope.s);
+        let ss = scope.ss;
         for e in scope.edges() {
             if sink.at_limit() {
                 return;
             }
             sink.edge_visited();
-            let src_label = g.node_label(e.source()).unwrap_or("");
-            let rel = s.relationship(src_label, e.label());
-            for (prop, _) in e.properties() {
-                let justified = rel.is_some_and(|rd| rd.edge_props.iter().any(|p| p.name == prop));
+            let rel = ss.relationship(scope.label_sym(e.src), e.label);
+            for (prop, _) in e.props.iter() {
+                let justified = rel.is_some_and(|rd| rd.edge_prop(prop).is_some());
                 if !justified {
                     sink.push(Violation::UnjustifiedEdgeProperty {
                         edge: e.id,
-                        prop: prop.to_owned(),
+                        prop: scope.syms.resolve(prop).to_owned(),
                     });
                 }
             }
@@ -75,18 +79,19 @@ pub(crate) fn ss3(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
 /// over the scope's edges.
 pub(crate) fn ss4(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
     sink.rule(Rule::SS4, |sink| {
-        let (g, s) = (scope.g, scope.s);
+        let ss = scope.ss;
         for e in scope.edges() {
             if sink.at_limit() {
                 return;
             }
             sink.edge_visited();
-            let src_label = g.node_label(e.source()).unwrap_or("");
-            if s.relationship(src_label, e.label()).is_none() {
+            let src_label = scope.label_sym(e.src);
+            if ss.relationship(src_label, e.label).is_none() {
                 sink.push(Violation::UnjustifiedEdge {
                     edge: e.id,
-                    label: e.label().to_owned(),
-                    source_label: src_label.to_owned(),
+                    label: scope.syms.resolve(e.label).to_owned(),
+                    source_label: src_label
+                        .map_or_else(String::new, |l| scope.syms.resolve(l).to_owned()),
                 });
             }
         }

@@ -1,4 +1,10 @@
 //! Kernels for weak satisfaction — rules WS1–WS4 (Definition 5.1).
+//!
+//! All lookups are symbol-keyed: labels and property keys arrive as
+//! [`Sym`](pgraph::Sym)s from the scope's columnar scan and are resolved
+//! against the compiled [`SymSchema`](super::symschema::SymSchema) rows,
+//! so the hot loops compare `u32`s and only allocate when a violation is
+//! actually emitted.
 
 use crate::report::{Rule, Violation};
 
@@ -8,20 +14,21 @@ use super::{Scope, Sink};
 /// one scan over the scope's nodes.
 pub(crate) fn ws1(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
     sink.rule(Rule::WS1, |sink| {
-        let s = scope.s;
+        let (s, ss) = (scope.s, scope.ss);
         for n in scope.nodes() {
             if sink.at_limit() {
                 return;
             }
             sink.node_visited();
-            for (prop, value) in n.properties() {
-                if let Some(attr) = s.attribute(n.label(), prop) {
+            let row = ss.row(n.label);
+            for (prop, value) in n.props.iter() {
+                if let Some(attr) = row.attr(prop) {
                     if !s.schema().value_conforms(value, &attr.ty) {
                         sink.push(Violation::NodePropertyType {
                             node: n.id,
-                            field: prop.to_owned(),
+                            field: scope.syms.resolve(prop).to_owned(),
                             value: value.to_string(),
-                            expected: s.display_type(&attr.ty),
+                            expected: attr.expected.clone(),
                         });
                     }
                 }
@@ -35,24 +42,23 @@ pub(crate) fn ws1(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
 /// §3.6) — one scan over the scope's edges.
 pub(crate) fn ws2(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
     sink.rule(Rule::WS2, |sink| {
-        let (g, s) = (scope.g, scope.s);
+        let (s, ss) = (scope.s, scope.ss);
         for e in scope.edges() {
             if sink.at_limit() {
                 return;
             }
             sink.edge_visited();
-            let src_label = g.node_label(e.source()).unwrap_or("");
-            let Some(rel) = s.relationship(src_label, e.label()) else {
+            let Some(rel) = ss.relationship(scope.label_sym(e.src), e.label) else {
                 continue;
             };
-            for (prop, value) in e.properties() {
-                if let Some(ep) = rel.edge_props.iter().find(|p| p.name == prop) {
+            for (prop, value) in e.props.iter() {
+                if let Some(ep) = rel.edge_prop(prop) {
                     if !s.schema().value_conforms(value, &ep.ty) {
                         sink.push(Violation::EdgePropertyType {
                             edge: e.id,
-                            prop: prop.to_owned(),
+                            prop: scope.syms.resolve(prop).to_owned(),
                             value: value.to_string(),
-                            expected: s.display_type(&ep.ty),
+                            expected: ep.expected.clone(),
                         });
                     }
                 }
@@ -66,26 +72,26 @@ pub(crate) fn ws2(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
 /// over the scope's edges.
 pub(crate) fn ws3(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
     sink.rule(Rule::WS3, |sink| {
-        let (g, s) = (scope.g, scope.s);
+        let ss = scope.ss;
         for e in scope.edges() {
             if sink.at_limit() {
                 return;
             }
             sink.edge_visited();
-            let src_label = g.node_label(e.source()).unwrap_or("");
-            let Some(src_ty) = s.label_type(src_label) else {
+            let Some(src_label) = scope.label_sym(e.src) else {
                 continue;
             };
-            let Some(field) = s.schema().field(src_ty, e.label()) else {
+            let Some(field) = ss.row(src_label).field(e.label) else {
                 continue;
             };
-            let target_label = g.node_label(e.target()).unwrap_or("");
-            if !s.label_subtype(target_label, field.ty.base) {
+            let target_label = scope.label_sym(e.dst);
+            if !ss.label_subtype_opt(target_label, field.base) {
                 sink.push(Violation::EdgeTargetType {
                     edge: e.id,
-                    target: e.target(),
-                    target_label: target_label.to_owned(),
-                    expected: s.schema().type_name(field.ty.base).to_owned(),
+                    target: e.dst,
+                    target_label: target_label
+                        .map_or_else(String::new, |l| scope.syms.resolve(l).to_owned()),
+                    expected: field.base_name.clone(),
                 });
             }
         }
@@ -96,31 +102,29 @@ pub(crate) fn ws3(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
 /// the `(source, label)` out-groups whose source the scope owns.
 pub(crate) fn ws4(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
     sink.rule(Rule::WS4, |sink| {
-        let (g, s) = (scope.g, scope.s);
-        for (source, label, edges) in scope.ix.out_groups() {
+        let ss = scope.ss;
+        scope.for_out_groups(&mut |source, label, edges| {
             if sink.at_limit() {
-                return;
+                return false;
             }
-            if edges.len() < 2 || !scope.owns(source) {
-                continue;
+            if edges.len() < 2 {
+                return true;
             }
             sink.group_visited();
-            let Some(src_label) = g.node_label(source) else {
-                continue;
+            let Some(src_label) = scope.label_sym(source) else {
+                return true;
             };
-            let Some(src_ty) = s.label_type(src_label) else {
-                continue;
+            let Some(field) = ss.row(src_label).field(label) else {
+                return true;
             };
-            let Some(field) = s.schema().field(src_ty, label) else {
-                continue;
-            };
-            if !field.ty.is_list() {
+            if !field.is_list {
                 sink.push(Violation::NonListFieldMultiEdge {
                     source,
-                    field: label.to_owned(),
+                    field: scope.syms.resolve(label).to_owned(),
                     count: edges.len(),
                 });
             }
-        }
+            true
+        });
     });
 }

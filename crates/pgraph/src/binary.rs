@@ -134,6 +134,25 @@ fn put_value(out: &mut Vec<u8>, v: &Value) {
     }
 }
 
+/// Encodes one value in the tagged binary form — shared with the columnar
+/// snapshot codec ([`crate::snapshot`]), whose value heap is a
+/// concatenation of exactly these encodings.
+pub(crate) fn encode_value(out: &mut Vec<u8>, v: &Value) {
+    put_value(out, v);
+}
+
+/// Decodes `count` consecutive values, requiring the buffer to be fully
+/// consumed. Inverse of `count` × [`encode_value`].
+pub(crate) fn decode_values(buf: &[u8], count: usize) -> Result<Vec<Value>, BinError> {
+    let mut c = Cursor { buf, pos: 0 };
+    let mut values = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        values.push(c.value()?);
+    }
+    c.finish()?;
+    Ok(values)
+}
+
 fn put_props(out: &mut Vec<u8>, props: &PropMap) {
     put_u32(out, props.len() as u32);
     for (name, value) in props {

@@ -1,0 +1,700 @@
+//! Columnar (struct-of-arrays) graph representation with CSR adjacency.
+//!
+//! [`PropertyGraph`] is the *mutable* element store: a `Vec` of per-element
+//! structs whose properties live in `BTreeMap<String, Value>`. That shape
+//! is right for deltas but wrong for validation, where the 15 rule kernels
+//! are dominated by label comparisons, property lookups and neighbourhood
+//! scans — every one of which pays pointer chasing and string hashing in
+//! the map-shaped form.
+//!
+//! [`ColumnarGraph::freeze`] converts a graph into dense parallel columns:
+//!
+//! * labels and property keys become [`Sym`]s in one [`SymbolTable`];
+//! * property values are deduplicated into a [`ValueTable`] and referred
+//!   to by `u32` value ids;
+//! * per-element property lists are flattened into `(start, keys, vals)`
+//!   prefix-sum columns, sorted by key symbol so lookup is a binary
+//!   search over a handful of `u32`s;
+//! * adjacency is CSR (compressed sparse row) in **both** directions,
+//!   each row sorted by `(label, neighbour, edge id)` so "edges of `v`
+//!   labelled `l`" is a subslice and parallel-edge groups are contiguous
+//!   runs;
+//! * a label index CSR maps each label symbol to the sorted slice of
+//!   live nodes carrying it.
+//!
+//! Tombstoned slots keep their label and properties in the columns (the
+//! id space must round-trip exactly — see [`crate::binary`]) but are
+//! excluded from the CSR and label indexes. The frozen form is immutable;
+//! [`ColumnarGraph::thaw`] rebuilds an identical [`PropertyGraph`].
+//!
+//! The columns (not the derived CSR) are also the on-disk snapshot
+//! layout — see [`crate::snapshot`].
+
+use std::collections::HashMap;
+
+use crate::graph::{EdgeData, NodeData, PropMap};
+use crate::symbols::{Sym, SymbolTable};
+use crate::{binary, EdgeId, NodeId, PropertyGraph, Value};
+
+/// Interned property values, deduplicated two ways.
+///
+/// *Storage identity* is bit-exact: two values share a value id iff their
+/// binary encodings are identical, so NaN payloads and `-0.0` survive a
+/// round-trip untouched. *Comparison identity* follows [`Value`]'s `Eq`
+/// (which canonicalises floats: every NaN is equal to every NaN, `-0.0 ==
+/// 0.0`): [`ValueTable::eq_rep`] maps each value id to the id of the first
+/// value in its equivalence class, so kernels that ask "do these two
+/// properties agree?" (DS7) compare two `u32`s.
+#[derive(Debug, Clone, Default)]
+pub struct ValueTable {
+    exact: Vec<Value>,
+    eq_rep: Vec<u32>,
+    by_bytes: HashMap<Vec<u8>, u32>,
+    by_eq: HashMap<Value, u32>,
+    scratch: Vec<u8>,
+}
+
+impl ValueTable {
+    /// Interns a value, returning its (bit-exact) value id.
+    pub fn intern(&mut self, v: &Value) -> u32 {
+        self.scratch.clear();
+        binary::encode_value(&mut self.scratch, v);
+        if let Some(&id) = self.by_bytes.get(self.scratch.as_slice()) {
+            return id;
+        }
+        let id = self.exact.len() as u32;
+        self.by_bytes.insert(self.scratch.clone(), id);
+        let rep = *self.by_eq.entry(v.clone()).or_insert(id);
+        self.exact.push(v.clone());
+        self.eq_rep.push(rep);
+        id
+    }
+
+    /// The exact stored value behind an id.
+    pub fn value(&self, id: u32) -> &Value {
+        &self.exact[id as usize]
+    }
+
+    /// The representative id of `id`'s `Value`-equality class.
+    pub fn eq_rep(&self, id: u32) -> u32 {
+        self.eq_rep[id as usize]
+    }
+
+    /// Number of distinct (bit-exact) values.
+    pub fn len(&self) -> usize {
+        self.exact.len()
+    }
+
+    /// True when no value has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.exact.is_empty()
+    }
+
+    /// All stored values in id order.
+    pub fn values(&self) -> &[Value] {
+        &self.exact
+    }
+
+    /// Rebuilds a table from decoded values (snapshot thaw): re-derives
+    /// the equality classes, keyed by the values themselves.
+    pub(crate) fn from_values(values: Vec<Value>) -> ValueTable {
+        let mut t = ValueTable::default();
+        for v in &values {
+            t.scratch.clear();
+            binary::encode_value(&mut t.scratch, v);
+            let id = t.exact.len() as u32;
+            t.by_bytes.insert(t.scratch.clone(), id);
+            let rep = *t.by_eq.entry(v.clone()).or_insert(id);
+            t.eq_rep.push(rep);
+            t.exact.push(v.clone());
+        }
+        t
+    }
+}
+
+/// The frozen, columnar form of a [`PropertyGraph`].
+///
+/// All columns are parallel to the raw id space (tombstones included);
+/// derived CSR indexes cover live elements only. See the module docs for
+/// the layout.
+#[derive(Debug, Clone)]
+pub struct ColumnarGraph {
+    pub(crate) symbols: SymbolTable,
+    pub(crate) values: ValueTable,
+
+    pub(crate) node_alive: Vec<bool>,
+    pub(crate) node_label: Vec<Sym>,
+    pub(crate) node_prop_start: Vec<u32>,
+    pub(crate) node_prop_keys: Vec<Sym>,
+    pub(crate) node_prop_vals: Vec<u32>,
+
+    pub(crate) edge_alive: Vec<bool>,
+    pub(crate) edge_label: Vec<Sym>,
+    pub(crate) edge_src: Vec<u32>,
+    pub(crate) edge_dst: Vec<u32>,
+    pub(crate) edge_prop_start: Vec<u32>,
+    pub(crate) edge_prop_keys: Vec<Sym>,
+    pub(crate) edge_prop_vals: Vec<u32>,
+
+    // Derived — rebuilt on freeze/thaw, never serialised.
+    out_start: Vec<u32>,
+    out_edges: Vec<u32>,
+    in_start: Vec<u32>,
+    in_edges: Vec<u32>,
+    label_start: Vec<u32>,
+    label_nodes: Vec<u32>,
+    labels_present: Vec<Sym>,
+
+    live_nodes: usize,
+    live_edges: usize,
+}
+
+impl ColumnarGraph {
+    /// Freezes a graph into columns. Deterministic: symbols and value ids
+    /// are assigned by one fixed walk (node slots in id order — label
+    /// first, then property keys in name order — then edge slots), so the
+    /// same graph always freezes to the same bytes.
+    pub fn freeze(g: &PropertyGraph) -> ColumnarGraph {
+        let mut symbols = SymbolTable::new();
+        let mut values = ValueTable::default();
+
+        let n = g.node_index_bound();
+        let mut node_alive = Vec::with_capacity(n);
+        let mut node_label = Vec::with_capacity(n);
+        let mut node_prop_start = Vec::with_capacity(n + 1);
+        let mut node_prop_keys = Vec::new();
+        let mut node_prop_vals = Vec::new();
+        node_prop_start.push(0);
+        for data in &g.nodes {
+            node_alive.push(data.alive);
+            node_label.push(symbols.intern(&data.label));
+            push_props(
+                &data.props,
+                &mut symbols,
+                &mut values,
+                &mut node_prop_keys,
+                &mut node_prop_vals,
+            );
+            node_prop_start.push(node_prop_keys.len() as u32);
+        }
+
+        let m = g.edge_index_bound();
+        let mut edge_alive = Vec::with_capacity(m);
+        let mut edge_label = Vec::with_capacity(m);
+        let mut edge_src = Vec::with_capacity(m);
+        let mut edge_dst = Vec::with_capacity(m);
+        let mut edge_prop_start = Vec::with_capacity(m + 1);
+        let mut edge_prop_keys = Vec::new();
+        let mut edge_prop_vals = Vec::new();
+        edge_prop_start.push(0);
+        for data in &g.edges {
+            edge_alive.push(data.alive);
+            edge_label.push(symbols.intern(&data.label));
+            edge_src.push(data.src.index() as u32);
+            edge_dst.push(data.dst.index() as u32);
+            push_props(
+                &data.props,
+                &mut symbols,
+                &mut values,
+                &mut edge_prop_keys,
+                &mut edge_prop_vals,
+            );
+            edge_prop_start.push(edge_prop_keys.len() as u32);
+        }
+
+        let mut cg = ColumnarGraph {
+            symbols,
+            values,
+            node_alive,
+            node_label,
+            node_prop_start,
+            node_prop_keys,
+            node_prop_vals,
+            edge_alive,
+            edge_label,
+            edge_src,
+            edge_dst,
+            edge_prop_start,
+            edge_prop_keys,
+            edge_prop_vals,
+            out_start: Vec::new(),
+            out_edges: Vec::new(),
+            in_start: Vec::new(),
+            in_edges: Vec::new(),
+            label_start: Vec::new(),
+            label_nodes: Vec::new(),
+            labels_present: Vec::new(),
+            live_nodes: 0,
+            live_edges: 0,
+        };
+        cg.rebuild_derived();
+        cg
+    }
+
+    /// Assembles a graph from raw columns (snapshot thaw). The caller has
+    /// already validated the columns; this only rebuilds derived indexes.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_columns(
+        symbols: SymbolTable,
+        values: ValueTable,
+        node_alive: Vec<bool>,
+        node_label: Vec<Sym>,
+        node_prop_start: Vec<u32>,
+        node_prop_keys: Vec<Sym>,
+        node_prop_vals: Vec<u32>,
+        edge_alive: Vec<bool>,
+        edge_label: Vec<Sym>,
+        edge_src: Vec<u32>,
+        edge_dst: Vec<u32>,
+        edge_prop_start: Vec<u32>,
+        edge_prop_keys: Vec<Sym>,
+        edge_prop_vals: Vec<u32>,
+    ) -> ColumnarGraph {
+        let mut cg = ColumnarGraph {
+            symbols,
+            values,
+            node_alive,
+            node_label,
+            node_prop_start,
+            node_prop_keys,
+            node_prop_vals,
+            edge_alive,
+            edge_label,
+            edge_src,
+            edge_dst,
+            edge_prop_start,
+            edge_prop_keys,
+            edge_prop_vals,
+            out_start: Vec::new(),
+            out_edges: Vec::new(),
+            in_start: Vec::new(),
+            in_edges: Vec::new(),
+            label_start: Vec::new(),
+            label_nodes: Vec::new(),
+            labels_present: Vec::new(),
+            live_nodes: 0,
+            live_edges: 0,
+        };
+        cg.rebuild_derived();
+        cg
+    }
+
+    /// (Re)builds the CSR adjacency and label indexes from the columns.
+    fn rebuild_derived(&mut self) {
+        self.live_nodes = self.node_alive.iter().filter(|&&a| a).count();
+        self.live_edges = self.edge_alive.iter().filter(|&&a| a).count();
+        let n = self.node_alive.len();
+
+        // Out-CSR: live edge ids sorted by (src, label, dst, id); rows are
+        // then label-runs, and within a label, target-runs (= parallel
+        // edge groups).
+        let mut out: Vec<u32> = (0..self.edge_alive.len() as u32)
+            .filter(|&e| self.edge_alive[e as usize])
+            .collect();
+        out.sort_unstable_by_key(|&e| {
+            let ix = e as usize;
+            (
+                self.edge_src[ix],
+                self.edge_label[ix],
+                self.edge_dst[ix],
+                e,
+            )
+        });
+        self.out_start = prefix_counts(n, out.iter().map(|&e| self.edge_src[e as usize]));
+        self.out_edges = out;
+
+        let mut inc: Vec<u32> = (0..self.edge_alive.len() as u32)
+            .filter(|&e| self.edge_alive[e as usize])
+            .collect();
+        inc.sort_unstable_by_key(|&e| {
+            let ix = e as usize;
+            (
+                self.edge_dst[ix],
+                self.edge_label[ix],
+                self.edge_src[ix],
+                e,
+            )
+        });
+        self.in_start = prefix_counts(n, inc.iter().map(|&e| self.edge_dst[e as usize]));
+        self.in_edges = inc;
+
+        // Label index: live node ids grouped by label symbol.
+        let mut by_label: Vec<u32> = (0..n as u32)
+            .filter(|&v| self.node_alive[v as usize])
+            .collect();
+        by_label.sort_unstable_by_key(|&v| (self.node_label[v as usize], v));
+        self.label_start = prefix_counts(
+            self.symbols.len(),
+            by_label.iter().map(|&v| self.node_label[v as usize].0),
+        );
+        self.labels_present = {
+            let mut syms: Vec<Sym> = by_label
+                .iter()
+                .map(|&v| self.node_label[v as usize])
+                .collect();
+            syms.dedup();
+            syms
+        };
+        self.label_nodes = by_label;
+    }
+
+    /// Rebuilds the mutable [`PropertyGraph`] the columns were frozen
+    /// from, `PartialEq`-identical to the original (tombstones included).
+    pub fn thaw(&self) -> PropertyGraph {
+        let nodes = (0..self.node_alive.len())
+            .map(|ix| NodeData {
+                label: self.symbols.resolve(self.node_label[ix]).to_owned(),
+                props: self.props_map(
+                    self.node_prop_start[ix],
+                    self.node_prop_start[ix + 1],
+                    &self.node_prop_keys,
+                    &self.node_prop_vals,
+                ),
+                alive: self.node_alive[ix],
+            })
+            .collect();
+        let edges = (0..self.edge_alive.len())
+            .map(|ix| EdgeData {
+                label: self.symbols.resolve(self.edge_label[ix]).to_owned(),
+                src: NodeId::from_index(self.edge_src[ix] as usize),
+                dst: NodeId::from_index(self.edge_dst[ix] as usize),
+                props: self.props_map(
+                    self.edge_prop_start[ix],
+                    self.edge_prop_start[ix + 1],
+                    &self.edge_prop_keys,
+                    &self.edge_prop_vals,
+                ),
+                alive: self.edge_alive[ix],
+            })
+            .collect();
+        PropertyGraph::from_raw_parts(nodes, edges)
+    }
+
+    fn props_map(&self, start: u32, end: u32, keys: &[Sym], vals: &[u32]) -> PropMap {
+        let mut map = PropMap::new();
+        for ix in start as usize..end as usize {
+            map.insert(
+                self.symbols.resolve(keys[ix]).to_owned(),
+                self.values.value(vals[ix]).clone(),
+            );
+        }
+        map
+    }
+
+    // ------------------------------------------------------------ access
+
+    /// The intern table (labels, property keys).
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Mutable intern table — lets a schema be interned into the *same*
+    /// symbol space after freezing (new symbols simply have no elements).
+    pub fn symbols_mut(&mut self) -> &mut SymbolTable {
+        &mut self.symbols
+    }
+
+    /// The value pool.
+    pub fn values(&self) -> &ValueTable {
+        &self.values
+    }
+
+    /// Raw node slot count (tombstones included).
+    pub fn node_slots(&self) -> usize {
+        self.node_alive.len()
+    }
+
+    /// Raw edge slot count (tombstones included).
+    pub fn edge_slots(&self) -> usize {
+        self.edge_alive.len()
+    }
+
+    /// Live node count.
+    pub fn live_node_count(&self) -> usize {
+        self.live_nodes
+    }
+
+    /// Live edge count.
+    pub fn live_edge_count(&self) -> usize {
+        self.live_edges
+    }
+
+    /// Whether node slot `ix` is live.
+    pub fn node_is_live(&self, ix: usize) -> bool {
+        self.node_alive.get(ix).copied().unwrap_or(false)
+    }
+
+    /// Whether edge slot `ix` is live.
+    pub fn edge_is_live(&self, ix: usize) -> bool {
+        self.edge_alive.get(ix).copied().unwrap_or(false)
+    }
+
+    /// Label symbol of a node slot (live or tombstoned).
+    pub fn node_label_sym(&self, n: NodeId) -> Sym {
+        self.node_label[n.index()]
+    }
+
+    /// Label symbol of an edge slot.
+    pub fn edge_label_sym(&self, e: EdgeId) -> Sym {
+        self.edge_label[e.index()]
+    }
+
+    /// Source of an edge slot.
+    pub fn edge_source(&self, e: EdgeId) -> NodeId {
+        NodeId::from_index(self.edge_src[e.index()] as usize)
+    }
+
+    /// Target of an edge slot.
+    pub fn edge_target(&self, e: EdgeId) -> NodeId {
+        NodeId::from_index(self.edge_dst[e.index()] as usize)
+    }
+
+    /// Property key symbols of a node, sorted.
+    pub fn node_prop_syms(&self, n: NodeId) -> &[Sym] {
+        let (a, b) = self.node_prop_range(n);
+        &self.node_prop_keys[a..b]
+    }
+
+    /// Property value ids of a node, parallel to
+    /// [`node_prop_syms`](Self::node_prop_syms).
+    pub fn node_prop_vids(&self, n: NodeId) -> &[u32] {
+        let (a, b) = self.node_prop_range(n);
+        &self.node_prop_vals[a..b]
+    }
+
+    /// Property key symbols of an edge, sorted.
+    pub fn edge_prop_syms(&self, e: EdgeId) -> &[Sym] {
+        let (a, b) = self.edge_prop_range(e);
+        &self.edge_prop_keys[a..b]
+    }
+
+    /// Property value ids of an edge.
+    pub fn edge_prop_vids(&self, e: EdgeId) -> &[u32] {
+        let (a, b) = self.edge_prop_range(e);
+        &self.edge_prop_vals[a..b]
+    }
+
+    /// `σ(v, key)` by symbol — binary search over the node's key column.
+    pub fn node_prop(&self, n: NodeId, key: Sym) -> Option<&Value> {
+        self.node_prop_vid(n, key).map(|vid| self.values.value(vid))
+    }
+
+    /// The value id of `σ(v, key)`, if defined.
+    pub fn node_prop_vid(&self, n: NodeId, key: Sym) -> Option<u32> {
+        let (a, b) = self.node_prop_range(n);
+        let keys = &self.node_prop_keys[a..b];
+        keys.binary_search(&key)
+            .ok()
+            .map(|i| self.node_prop_vals[a + i])
+    }
+
+    fn node_prop_range(&self, n: NodeId) -> (usize, usize) {
+        let ix = n.index();
+        (
+            self.node_prop_start[ix] as usize,
+            self.node_prop_start[ix + 1] as usize,
+        )
+    }
+
+    fn edge_prop_range(&self, e: EdgeId) -> (usize, usize) {
+        let ix = e.index();
+        (
+            self.edge_prop_start[ix] as usize,
+            self.edge_prop_start[ix + 1] as usize,
+        )
+    }
+
+    /// Out-CSR row of `v`: live out-edge ids sorted by
+    /// `(label, target, id)`. Empty for out-of-range ids.
+    pub fn out_row(&self, v: NodeId) -> &[u32] {
+        csr_row(&self.out_start, &self.out_edges, v.index())
+    }
+
+    /// In-CSR row of `v`: live in-edge ids sorted by `(label, source, id)`.
+    pub fn in_row(&self, v: NodeId) -> &[u32] {
+        csr_row(&self.in_start, &self.in_edges, v.index())
+    }
+
+    /// Live out-edges of `v` labelled `label` — a subslice of
+    /// [`out_row`](Self::out_row), found by binary search. Zero
+    /// allocation.
+    pub fn out_edges_labelled(&self, v: NodeId, label: Sym) -> &[u32] {
+        label_run(self.out_row(v), &self.edge_label, label)
+    }
+
+    /// Live in-edges of `v` labelled `label`.
+    pub fn in_edges_labelled(&self, v: NodeId, label: Sym) -> &[u32] {
+        label_run(self.in_row(v), &self.edge_label, label)
+    }
+
+    /// Sorted live node ids labelled `label`. Empty for symbols interned
+    /// after the freeze (e.g. schema names).
+    pub fn nodes_with_label(&self, label: Sym) -> &[u32] {
+        csr_row(&self.label_start, &self.label_nodes, label.index())
+    }
+
+    /// Sorted distinct label symbols with at least one live node.
+    pub fn labels_present(&self) -> &[Sym] {
+        &self.labels_present
+    }
+}
+
+/// Interns one element's property map into the flattened columns, keys
+/// sorted by symbol (not by name — lookup binary-searches symbols).
+fn push_props(
+    props: &PropMap,
+    symbols: &mut SymbolTable,
+    values: &mut ValueTable,
+    keys: &mut Vec<Sym>,
+    vals: &mut Vec<u32>,
+) {
+    let start = keys.len();
+    for (name, value) in props {
+        keys.push(symbols.intern(name));
+        vals.push(values.intern(value));
+    }
+    // Few properties per element: insertion sort via sort_unstable is fine.
+    let slice_start = start;
+    let mut pairs: Vec<(Sym, u32)> = keys[slice_start..]
+        .iter()
+        .copied()
+        .zip(vals[slice_start..].iter().copied())
+        .collect();
+    pairs.sort_unstable_by_key(|&(k, _)| k);
+    for (i, (k, v)) in pairs.into_iter().enumerate() {
+        keys[slice_start + i] = k;
+        vals[slice_start + i] = v;
+    }
+}
+
+/// Builds a CSR `start` array of length `bins + 1` from an iterator of
+/// bin keys that is sorted ascending.
+fn prefix_counts(bins: usize, sorted_keys: impl Iterator<Item = u32>) -> Vec<u32> {
+    let mut start = vec![0u32; bins + 1];
+    for k in sorted_keys {
+        start[k as usize + 1] += 1;
+    }
+    for i in 0..bins {
+        start[i + 1] += start[i];
+    }
+    start
+}
+
+fn csr_row<'a>(start: &[u32], items: &'a [u32], ix: usize) -> &'a [u32] {
+    if ix + 1 >= start.len() {
+        return &[];
+    }
+    &items[start[ix] as usize..start[ix + 1] as usize]
+}
+
+/// The `(label == l)` run inside a row sorted by label-first order.
+fn label_run<'a>(row: &'a [u32], edge_label: &[Sym], label: Sym) -> &'a [u32] {
+    let lo = row.partition_point(|&e| edge_label[e as usize] < label);
+    let hi = row.partition_point(|&e| edge_label[e as usize] <= label);
+    &row[lo..hi]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample() -> PropertyGraph {
+        let mut g = GraphBuilder::new()
+            .node("a", "User")
+            .prop("a", "login", "alice")
+            .prop("a", "age", 30i64)
+            .node("b", "User")
+            .prop("b", "login", "bob")
+            .node("s", "Session")
+            .edge("a", "b", "follows")
+            .edge("a", "b", "follows")
+            .edge("s", "a", "user")
+            .build()
+            .unwrap();
+        let doomed = g.add_node("Doomed");
+        g.set_node_property(doomed, "x", Value::Int(1));
+        g.remove_node(doomed).unwrap();
+        g
+    }
+
+    #[test]
+    fn freeze_thaw_round_trips_including_tombstones() {
+        let g = sample();
+        let cg = ColumnarGraph::freeze(&g);
+        assert_eq!(cg.thaw(), g);
+        assert_eq!(cg.node_slots(), g.node_index_bound());
+        assert_eq!(cg.live_node_count(), g.node_count());
+        assert_eq!(cg.live_edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn label_index_covers_live_nodes_only() {
+        let g = sample();
+        let cg = ColumnarGraph::freeze(&g);
+        let user = cg.symbols().lookup("User").unwrap();
+        assert_eq!(cg.nodes_with_label(user).len(), 2);
+        let doomed = cg.symbols().lookup("Doomed").unwrap();
+        assert_eq!(cg.nodes_with_label(doomed).len(), 0);
+        // A symbol interned after freezing resolves to an empty slice.
+        let mut cg = cg;
+        let fresh = cg.symbols_mut().intern("Fresh");
+        assert_eq!(cg.nodes_with_label(fresh).len(), 0);
+        assert_eq!(cg.out_row(NodeId::from_index(9999)).len(), 0);
+    }
+
+    #[test]
+    fn csr_rows_group_labels_and_parallels() {
+        let g = sample();
+        let cg = ColumnarGraph::freeze(&g);
+        let a = NodeId::from_index(0);
+        let follows = cg.symbols().lookup("follows").unwrap();
+        let user = cg.symbols().lookup("user").unwrap();
+        assert_eq!(cg.out_edges_labelled(a, follows).len(), 2);
+        assert_eq!(cg.out_edges_labelled(a, user).len(), 0);
+        assert_eq!(cg.in_edges_labelled(a, user).len(), 1);
+        // The two parallel follows edges are adjacent in the row.
+        let row = cg.out_row(a);
+        assert_eq!(row.len(), 2);
+        assert_eq!(
+            cg.edge_target(EdgeId::from_index(row[0] as usize)),
+            cg.edge_target(EdgeId::from_index(row[1] as usize))
+        );
+    }
+
+    #[test]
+    fn property_lookup_by_symbol() {
+        let g = sample();
+        let cg = ColumnarGraph::freeze(&g);
+        let a = NodeId::from_index(0);
+        let login = cg.symbols().lookup("login").unwrap();
+        assert_eq!(cg.node_prop(a, login), Some(&Value::from("alice")));
+        let age = cg.symbols().lookup("age").unwrap();
+        assert_eq!(cg.node_prop(a, age), Some(&Value::Int(30)));
+        let absent = Sym::from_index(10_000);
+        assert_eq!(cg.node_prop(a, absent), None);
+    }
+
+    #[test]
+    fn value_table_separates_exact_and_eq_identity() {
+        let mut t = ValueTable::default();
+        let zero = t.intern(&Value::Float(0.0));
+        let neg_zero = t.intern(&Value::Float(-0.0));
+        // Bit-distinct → distinct ids; Value-equal → same representative.
+        assert_ne!(zero, neg_zero);
+        assert_eq!(t.eq_rep(zero), t.eq_rep(neg_zero));
+        assert_eq!(t.value(neg_zero).to_string(), Value::Float(-0.0).to_string());
+        // Identical bits → identical id.
+        assert_eq!(t.intern(&Value::Float(0.0)), zero);
+        let i = t.intern(&Value::Int(0));
+        assert_ne!(t.eq_rep(i), t.eq_rep(zero));
+    }
+
+    #[test]
+    fn empty_graph_freezes() {
+        let g = PropertyGraph::new();
+        let cg = ColumnarGraph::freeze(&g);
+        assert_eq!(cg.thaw(), g);
+        assert!(cg.labels_present().is_empty());
+    }
+}

@@ -51,6 +51,7 @@ mod graph;
 mod value;
 
 pub mod binary;
+pub mod columnar;
 pub mod csv;
 pub mod delta;
 pub mod dot;
@@ -58,11 +59,15 @@ pub mod index;
 pub mod json;
 pub mod parse;
 pub mod shard;
+pub mod snapshot;
 pub mod stats;
+pub mod symbols;
 pub mod traverse;
 
 pub use builder::{BuildError, GraphBuilder};
+pub use columnar::{ColumnarGraph, ValueTable};
 pub use delta::{DeltaEffect, DeltaOp, EdgeTouch, GraphDelta};
 pub use graph::{EdgeId, EdgeRef, GraphError, NodeId, NodeRef, PropertyGraph};
 pub use parse::ParseEnumError;
+pub use symbols::{Sym, SymbolTable};
 pub use value::{Value, ValueKind};

@@ -116,6 +116,18 @@ impl<'g> GraphShard<'g> {
             .filter_map(move |ix| g.edge(EdgeId::from_index(ix)))
     }
 
+    /// The raw node-index range this shard covers (tombstones included).
+    /// Columnar planners use this to scan the same slice of a frozen
+    /// [`crate::ColumnarGraph`] the shard owns.
+    pub fn node_range(&self) -> Range<usize> {
+        self.nodes.clone()
+    }
+
+    /// The raw edge-index range this shard covers.
+    pub fn edge_range(&self) -> Range<usize> {
+        self.edges.clone()
+    }
+
     /// True iff this shard owns the node id (live or not). Group-keyed
     /// work (e.g. "all out-edges of v") is assigned to the shard owning
     /// the key node, so each group is processed exactly once.

@@ -1,0 +1,148 @@
+//! String interning for the columnar graph core.
+//!
+//! Labels and property keys repeat massively across a graph — a 100k-node
+//! social graph has a handful of distinct labels and a few dozen property
+//! names. The validation kernels compare them constantly (every rule is
+//! keyed on a label or a field name), so the columnar representation
+//! replaces every such string with a dense [`Sym`] into one append-only
+//! [`SymbolTable`], turning string comparison into a `u32` compare and
+//! letting per-label indexes become plain arrays indexed by symbol.
+//!
+//! Symbols are assigned in first-intern order and never removed, so a
+//! table built by a deterministic walk of the graph is itself
+//! deterministic — the snapshot codec relies on that to make encoded
+//! bytes reproducible.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned string: a dense index into a [`SymbolTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(pub(crate) u32);
+
+impl Sym {
+    /// The raw index of this symbol.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+    /// Builds a `Sym` from a raw index (deserialisation only; an
+    /// out-of-range symbol resolves to nothing).
+    pub fn from_index(ix: usize) -> Self {
+        Sym(ix as u32)
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Append-only intern table mapping strings to dense [`Sym`]s.
+///
+/// Interning the same string twice returns the same symbol; resolution is
+/// an array index. The table never forgets a string, so symbols remain
+/// valid for the table's lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    strings: Vec<String>,
+    index: HashMap<String, Sym>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its symbol (existing or freshly assigned).
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.index.get(s) {
+            return sym;
+        }
+        let sym = Sym(self.strings.len() as u32);
+        self.strings.push(s.to_owned());
+        self.index.insert(s.to_owned(), sym);
+        sym
+    }
+
+    /// Looks up a string without interning it.
+    pub fn lookup(&self, s: &str) -> Option<Sym> {
+        self.index.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string. Panics on a foreign symbol.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Resolves a symbol, returning `None` when out of range.
+    pub fn try_resolve(&self, sym: Sym) -> Option<&str> {
+        self.strings.get(sym.index()).map(String::as_str)
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// All interned strings in symbol order.
+    pub fn strings(&self) -> impl Iterator<Item = &str> {
+        self.strings.iter().map(String::as_str)
+    }
+
+    /// Rebuilds a table from its string list (snapshot thaw). Strings are
+    /// assumed distinct; duplicates would alias to the first occurrence.
+    pub(crate) fn from_strings(strings: Vec<String>) -> SymbolTable {
+        let index = strings
+            .iter()
+            .enumerate()
+            .map(|(ix, s)| (s.clone(), Sym(ix as u32)))
+            .collect();
+        SymbolTable { strings, index }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("User");
+        let b = t.intern("login");
+        let a2 = t.intern("User");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.resolve(a), "User");
+        assert_eq!(t.resolve(b), "login");
+        assert_eq!(t.lookup("User"), Some(a));
+        assert_eq!(t.lookup("absent"), None);
+    }
+
+    #[test]
+    fn try_resolve_tolerates_foreign_symbols() {
+        let t = SymbolTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.try_resolve(Sym::from_index(7)), None);
+    }
+
+    #[test]
+    fn strings_iterate_in_symbol_order() {
+        let mut t = SymbolTable::new();
+        t.intern("b");
+        t.intern("a");
+        t.intern("c");
+        let all: Vec<_> = t.strings().collect();
+        assert_eq!(all, vec!["b", "a", "c"]);
+    }
+}

@@ -35,7 +35,7 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use pg_schema::{IncrementalEngine, PgSchema, ValidationOptions};
-use pg_store::{Recovered, Store, StoreRecord};
+use pg_store::{GraphPayload, LazyGraph, Recovered, Store, StoreRecord};
 use pgraph::{GraphDelta, PropertyGraph};
 
 /// A session's engine, materialised lazily after recovery.
@@ -43,10 +43,14 @@ enum SessionState {
     /// The engine is live (seeded by a full validation pass).
     Ready(Box<IncrementalEngine<Arc<PgSchema>>>),
     /// Recovered from disk but not yet revalidated; the first request
-    /// that needs the engine pays for the seeding pass.
+    /// that needs the engine pays for the seeding pass. The graph may
+    /// still be a zero-copy view into the memory-mapped snapshot file
+    /// ([`LazyGraph::is_mapped`]); it stays that way until something
+    /// touches it, and snapshot capture re-ships the mapped bytes
+    /// verbatim.
     Dormant {
         /// The recovered graph.
-        graph: PropertyGraph,
+        graph: LazyGraph,
     },
     /// Hydration failed (the stored SDL no longer parses) — terminal.
     Poisoned,
@@ -82,6 +86,9 @@ impl Session {
             };
             let schema = PgSchema::parse(&self.schema_sdl)
                 .map_err(|e| format!("recovered schema no longer parses: {e}"))?;
+            let graph = graph
+                .into_graph()
+                .map_err(|e| format!("recovered graph failed to materialize: {e}"))?;
             let mut engine = IncrementalEngine::new(graph, Arc::new(schema), &self.options);
             // A WAL-recovered (or follower-replicated) open migration
             // window re-opens with the engine: the candidate side picks
@@ -99,15 +106,34 @@ impl Session {
         }
     }
 
-    /// The session's graph, without forcing hydration (snapshot capture
-    /// must not trigger full revalidations).
-    pub fn graph(&self) -> &PropertyGraph {
+    /// The session's graph as a snapshot-writer payload, without forcing
+    /// hydration *or* materialization: a dormant session whose graph is
+    /// still mapped into the snapshot file hands back its verbatim
+    /// `PGCS` bytes, so compaction and handoff capture it zero-copy.
+    pub fn payload(&self) -> GraphPayload<'_> {
         match &self.state {
-            SessionState::Ready(engine) => engine.graph(),
-            SessionState::Dormant { graph } => graph,
+            SessionState::Ready(engine) => GraphPayload::Graph(engine.graph()),
+            SessionState::Dormant { graph } => GraphPayload::from(graph),
             SessionState::Poisoned => {
                 static EMPTY: std::sync::OnceLock<PropertyGraph> = std::sync::OnceLock::new();
-                EMPTY.get_or_init(PropertyGraph::new)
+                GraphPayload::Graph(EMPTY.get_or_init(PropertyGraph::new))
+            }
+        }
+    }
+
+    /// The session's materialized graph, loading a mapped dormant graph
+    /// in place but *not* seeding the engine (serving `GET …/graph` must
+    /// not trigger a full revalidation).
+    pub fn graph(&mut self) -> Result<&PropertyGraph, String> {
+        match &mut self.state {
+            SessionState::Ready(engine) => Ok(engine.graph()),
+            SessionState::Dormant { graph } => graph
+                .load()
+                .map(|g| &*g)
+                .map_err(|e| format!("recovered graph failed to materialize: {e}")),
+            SessionState::Poisoned => {
+                static EMPTY: std::sync::OnceLock<PropertyGraph> = std::sync::OnceLock::new();
+                Ok(EMPTY.get_or_init(PropertyGraph::new))
             }
         }
     }
@@ -301,7 +327,8 @@ impl SessionRegistry {
         let mut wal_micros = None;
         if let Some(store) = &self.store {
             let started = Instant::now();
-            match store.append_create(id, schema_sdl, session.graph()) {
+            let graph = session.graph().expect("fresh session has a live engine");
+            match store.append_create(id, schema_sdl, graph) {
                 Ok(seq) => {
                     session.last_seq = seq;
                     wal_micros = Some(started.elapsed().as_micros() as u64);
@@ -443,7 +470,7 @@ impl SessionRegistry {
                 session.last_seq,
                 session.deltas_applied,
                 &session.schema_sdl,
-                session.graph(),
+                session.payload(),
                 session.pending_migration.as_deref(),
             );
         }
@@ -476,7 +503,9 @@ impl SessionRegistry {
                 }
                 let slot = Arc::new(SessionSlot {
                     session: Mutex::new(Session {
-                        state: SessionState::Dormant { graph },
+                        state: SessionState::Dormant {
+                            graph: graph.into(),
+                        },
                         schema_sdl,
                         options: self.options,
                         deltas_applied: 0,
@@ -500,7 +529,10 @@ impl SessionRegistry {
                 // full application counts towards `deltas_applied`.
                 let applied = match &mut s.state {
                     SessionState::Ready(engine) => engine.apply(&delta).is_ok(),
-                    SessionState::Dormant { graph } => delta.apply_to(graph).is_ok(),
+                    SessionState::Dormant { graph } => match graph.load() {
+                        Ok(g) => delta.apply_to(g).is_ok(),
+                        Err(_) => false,
+                    },
                     SessionState::Poisoned => false,
                 };
                 if applied {
@@ -540,7 +572,7 @@ impl SessionRegistry {
                             let state = std::mem::replace(&mut s.state, SessionState::Poisoned);
                             s.state = match state {
                                 SessionState::Ready(engine) => SessionState::Dormant {
-                                    graph: engine.into_graph(),
+                                    graph: engine.into_graph().into(),
                                 },
                                 other => other,
                             };
@@ -578,7 +610,7 @@ impl SessionRegistry {
                 session.last_seq,
                 session.deltas_applied,
                 &session.schema_sdl,
-                session.graph(),
+                session.payload(),
                 session.pending_migration.as_deref(),
             );
         }

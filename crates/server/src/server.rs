@@ -1199,11 +1199,15 @@ fn handle_graph(ctx: &Ctx, id: u64) -> Handled {
     const ROUTE: &str = "/sessions/{id}/graph";
     match ctx.registry.get(id) {
         // The graph is served without hydrating — dormant sessions keep
-        // their recovery cheap until something asks for a report.
-        Lookup::Found(slot) => {
-            let body = json::to_json(slot.session.lock().unwrap().graph());
-            Handled::plain(ROUTE, Response::json(200, body))
-        }
+        // their recovery cheap until something asks for a report (a
+        // mapped graph does materialize here: JSON needs the elements).
+        Lookup::Found(slot) => match slot.session.lock().unwrap().graph() {
+            Ok(graph) => {
+                let body = json::to_json(graph);
+                Handled::plain(ROUTE, Response::json(200, body))
+            }
+            Err(message) => Handled::plain(ROUTE, Response::error(500, &message)),
+        },
         Lookup::Evicted => Handled::plain(ROUTE, Response::error(410, "session evicted")),
         Lookup::Missing => Handled::plain(ROUTE, Response::error(404, "no such session")),
     }

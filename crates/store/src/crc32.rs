@@ -1,13 +1,19 @@
-//! CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+//! CRC-32 (IEEE 802.3 polynomial, reflected), slicing-by-8.
 //!
 //! The standard library ships no checksum, and the workspace is offline,
 //! so the WAL frames carry this hand-rolled implementation. It matches
 //! the ubiquitous `crc32(b"123456789") == 0xCBF43926` check value, which
 //! keeps the on-disk format compatible with external tooling (`cksum -o
 //! 3`, Python's `zlib.crc32`, …) should anyone want to audit a log.
+//!
+//! The slicing-by-8 variant processes eight input bytes per step through
+//! eight derived tables — byte-identical results to the classic
+//! byte-at-a-time loop, several times the throughput. Snapshot recovery
+//! is one CRC pass over an mmap'd multi-megabyte file, so the checksum
+//! is the recovery hot loop.
 
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -20,19 +26,44 @@ const fn build_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    // tables[k][b] = crc of byte b followed by k zero bytes.
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
 }
 
-static TABLE: [u32; 256] = build_table();
+static TABLES: [[u32; 256]; 8] = build_tables();
 
 /// The CRC-32 of `data`.
 pub fn crc32(data: &[u8]) -> u32 {
+    let t = &TABLES;
     let mut crc = !0u32;
-    for &byte in data {
-        crc = TABLE[((crc ^ byte as u32) & 0xFF) as usize] ^ (crc >> 8);
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+        let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        crc = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &byte in chunks.remainder() {
+        crc = t[0][((crc ^ byte as u32) & 0xFF) as usize] ^ (crc >> 8);
     }
     !crc
 }
@@ -41,11 +72,33 @@ pub fn crc32(data: &[u8]) -> u32 {
 mod tests {
     use super::*;
 
+    /// The classic byte-at-a-time loop, kept as the oracle the sliced
+    /// implementation must agree with on every input.
+    fn crc32_bytewise(data: &[u8]) -> u32 {
+        let mut crc = !0u32;
+        for &byte in data {
+            crc = TABLES[0][((crc ^ byte as u32) & 0xFF) as usize] ^ (crc >> 8);
+        }
+        !crc
+    }
+
     #[test]
     fn check_value() {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
         assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn sliced_agrees_with_bytewise_at_every_length() {
+        let data: Vec<u8> = (0..257u32).map(|i| (i * 131 + 7) as u8).collect();
+        for len in 0..data.len() {
+            assert_eq!(
+                crc32(&data[..len]),
+                crc32_bytewise(&data[..len]),
+                "length {len}"
+            );
+        }
     }
 
     #[test]

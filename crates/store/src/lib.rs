@@ -10,10 +10,14 @@
 //! session in full and are written to a temp file then atomically
 //! renamed, so a crash never leaves a half-snapshot with a valid name.
 //!
-//! Recovery ([`Store::open`]) loads the newest snapshot that passes its
-//! checksum and replays the WAL tail on top, truncating at the first
-//! torn or corrupt frame — see [`recover`](self) internals and DESIGN
-//! §Store for the exact invariants. Compaction
+//! Recovery ([`Store::open`]) memory-maps the newest snapshot that
+//! passes its checksum and replays the WAL tail on top, truncating at
+//! the first torn or corrupt frame — see [`recover`](self) internals
+//! and DESIGN §Store for the exact invariants. Current-format (`PGS2`)
+//! snapshots embed each graph as a verbatim `PGCS` columnar image, so
+//! recovery validates headers and CRCs but deserializes **nothing**:
+//! sessions come back as [`LazyGraph`]s pointing into the mapped file
+//! and materialize only when touched. Compaction
 //! ([`Store::try_begin_compaction`]) rotates the log, snapshots the
 //! sessions the caller feeds it, and deletes the superseded segments.
 //!
@@ -41,19 +45,25 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `mmap` module opts back in for its
+// two audited `mmap(2)`/`munmap(2)` calls; everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod crc32;
 mod files;
+mod lazy;
+mod mmap;
 mod record;
 mod recover;
 mod scan;
 mod snapshot;
 pub mod wire;
 
+pub use lazy::{GraphPayload, LazyGraph};
 pub use record::{MigrationPhase, StoreRecord};
 pub use scan::{scan, ScanReport, SegmentInfo, SnapshotInfo};
+pub use snapshot::{GraphDesc, SnapshotDesc};
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, Write};
@@ -112,8 +122,11 @@ pub struct RecoveredSession {
     pub id: u64,
     /// The schema's SDL source (the caller re-parses it).
     pub schema_sdl: String,
-    /// The graph with every recovered delta applied.
-    pub graph: PropertyGraph,
+    /// The graph with every recovered delta applied. Recovered from a
+    /// current-format (`PGS2`) snapshot with no WAL records to replay,
+    /// this is still a zero-copy [`LazyGraph::is_mapped`] view into the
+    /// memory-mapped snapshot file; it materializes on first use.
+    pub graph: LazyGraph,
     /// How many deltas applied successfully over the session's life.
     pub deltas_applied: u64,
     /// Sequence number of the last record reflected in `graph`.
@@ -650,21 +663,23 @@ pub struct Compaction<'a> {
     base_seq: u64,
     generation: u64,
     old_segments: Vec<PathBuf>,
-    sessions: Vec<Vec<u8>>,
+    sessions: Vec<snapshot::SessionEntry>,
 }
 
 impl Compaction<'_> {
     /// Captures one session into the snapshot. Call with the session's
     /// own lock held so `last_seq` and `graph` are consistent.
     /// `pending_migration` is the candidate SDL of an open migration
-    /// window, so compaction does not lose the window.
-    pub fn add_session(
+    /// window, so compaction does not lose the window. A still-mapped
+    /// [`LazyGraph`] flows through as [`GraphPayload::Pgcs`] — its bytes
+    /// are embedded verbatim, never deserialized.
+    pub fn add_session<'g>(
         &mut self,
         id: u64,
         last_seq: u64,
         deltas_applied: u64,
         schema_sdl: &str,
-        graph: &PropertyGraph,
+        graph: impl Into<GraphPayload<'g>>,
         pending_migration: Option<&str>,
     ) {
         self.sessions.push(snapshot::encode_session(
@@ -672,7 +687,7 @@ impl Compaction<'_> {
             last_seq,
             deltas_applied,
             schema_sdl,
-            graph,
+            graph.into(),
             pending_migration,
         ));
     }
@@ -789,7 +804,7 @@ pub struct ReplicatedBatch {
 /// An in-flight handoff snapshot; see [`Store::begin_handoff`].
 pub struct SnapshotHandoff {
     base_seq: u64,
-    sessions: Vec<Vec<u8>>,
+    sessions: Vec<snapshot::SessionEntry>,
 }
 
 impl SnapshotHandoff {
@@ -801,14 +816,16 @@ impl SnapshotHandoff {
 
     /// Captures one session. Call with the session's own lock held so
     /// `last_seq` and `graph` are consistent. An open migration
-    /// window's candidate SDL travels in `pending_migration`.
-    pub fn add_session(
+    /// window's candidate SDL travels in `pending_migration`; a
+    /// still-mapped [`LazyGraph`] ships verbatim as
+    /// [`GraphPayload::Pgcs`].
+    pub fn add_session<'g>(
         &mut self,
         id: u64,
         last_seq: u64,
         deltas_applied: u64,
         schema_sdl: &str,
-        graph: &PropertyGraph,
+        graph: impl Into<GraphPayload<'g>>,
         pending_migration: Option<&str>,
     ) {
         self.sessions.push(snapshot::encode_session(
@@ -816,7 +833,7 @@ impl SnapshotHandoff {
             last_seq,
             deltas_applied,
             schema_sdl,
-            graph,
+            graph.into(),
             pending_migration,
         ));
     }
@@ -840,11 +857,18 @@ impl SnapshotHandoff {
 /// followers, not for overwriting history.
 pub fn install_snapshot(dir: impl Into<PathBuf>, bytes: &[u8]) -> io::Result<()> {
     let dir = dir.into();
-    if snapshot::decode(bytes).is_none() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "snapshot blob failed validation (torn, corrupt or malformed)",
-        ));
+    let backing = lazy::Backing::Heap(std::sync::Arc::new(bytes.to_vec()));
+    match snapshot::decode(&backing) {
+        Ok(_) => {}
+        Err(snapshot::DecodeError::Unsupported(msg)) => {
+            return Err(io::Error::new(io::ErrorKind::Unsupported, msg));
+        }
+        Err(snapshot::DecodeError::Corrupt) => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "snapshot blob failed validation (torn, corrupt or malformed)",
+            ));
+        }
     }
     std::fs::create_dir_all(&dir)?;
     let listing = files::list_dir(&dir)?;

@@ -21,10 +21,13 @@
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::files::{self, DirListing};
+use crate::lazy::{Backing, LazyGraph};
+use crate::mmap;
 use crate::record::{self, StoreRecord};
-use crate::snapshot;
+use crate::snapshot::{self, DecodeError};
 use crate::{Recovered, RecoveredSession, RecoveryInfo, TornTail};
 
 /// What recovery hands back to [`crate::Store::open`] beyond the public
@@ -66,8 +69,12 @@ pub(crate) fn recover(dir: &Path) -> io::Result<(Recovered, WalPosition)> {
     let mut snapshot_base = 0;
     let mut snapshot_generation = 0;
     for (generation, path) in &snapshots {
-        match snapshot::decode(&std::fs::read(path)?) {
-            Some(snap) => {
+        // Map the file rather than read it: for a current-format
+        // snapshot the decoded sessions *point into* this mapping
+        // (zero-copy), which stays alive as long as any of them does.
+        let backing = Backing::Map(Arc::new(mmap::map_file(path)?));
+        match snapshot::decode(&backing) {
+            Ok(snap) => {
                 info.snapshot_generation = Some(*generation);
                 snapshot_generation = *generation;
                 next_session_id = snap.next_session_id;
@@ -79,7 +86,16 @@ pub(crate) fn recover(dir: &Path) -> io::Result<(Recovered, WalPosition)> {
                 }
                 break;
             }
-            None => info.snapshots_skipped += 1,
+            // Damage: fall back to the next older generation.
+            Err(DecodeError::Corrupt) => info.snapshots_skipped += 1,
+            // A newer format: refuse loudly instead of silently
+            // regressing to an older snapshot's stale state.
+            Err(DecodeError::Unsupported(msg)) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    format!("{}: {msg}", path.display()),
+                ));
+            }
         }
     }
 
@@ -121,7 +137,7 @@ pub(crate) fn recover(dir: &Path) -> io::Result<(Recovered, WalPosition)> {
                 &mut sessions,
                 &mut next_session_id,
                 &mut info,
-            );
+            )?;
         }
         max_seq = max_seq.max(prev_seq);
         info.records_replayed += kept;
@@ -173,7 +189,7 @@ fn replay_record(
     sessions: &mut HashMap<u64, RecoveredSession>,
     next_session_id: &mut u64,
     info: &mut RecoveryInfo,
-) {
+) -> io::Result<()> {
     match record {
         StoreRecord::Create {
             session,
@@ -184,14 +200,14 @@ fn replay_record(
             if sessions.get(&session).is_some_and(|s| seq <= s.last_seq) {
                 // The snapshot already reflects this creation.
                 info.records_skipped += 1;
-                return;
+                return Ok(());
             }
             sessions.insert(
                 session,
                 RecoveredSession {
                     id: session,
                     schema_sdl,
-                    graph,
+                    graph: LazyGraph::from(graph),
                     deltas_applied: 0,
                     last_seq: seq,
                     pending_migration: None,
@@ -201,16 +217,19 @@ fn replay_record(
         StoreRecord::Delta { session, delta } => {
             let Some(state) = sessions.get_mut(&session) else {
                 info.records_skipped += 1;
-                return;
+                return Ok(());
             };
             if seq <= state.last_seq {
                 info.records_skipped += 1;
-                return;
+                return Ok(());
             }
             // Count only successful applications, mirroring the server's
             // `deltas_applied`; a failure still leaves its deterministic
-            // partial effects in place (see module docs, rule 4).
-            if delta.apply_to(&mut state.graph).is_ok() {
+            // partial effects in place (see module docs, rule 4). A WAL
+            // record touching a snapshotted session is what finally
+            // materializes its mapped graph; untouched sessions stay
+            // zero-copy.
+            if delta.apply_to(state.graph.load()?).is_ok() {
                 state.deltas_applied += 1;
             }
             state.last_seq = seq;
@@ -218,7 +237,7 @@ fn replay_record(
         StoreRecord::Delete { session } => {
             if sessions.get(&session).is_some_and(|s| seq <= s.last_seq) {
                 info.records_skipped += 1;
-                return;
+                return Ok(());
             }
             if sessions.remove(&session).is_none() {
                 info.records_skipped += 1;
@@ -231,11 +250,11 @@ fn replay_record(
         } => {
             let Some(state) = sessions.get_mut(&session) else {
                 info.records_skipped += 1;
-                return;
+                return Ok(());
             };
             if seq <= state.last_seq {
                 info.records_skipped += 1;
-                return;
+                return Ok(());
             }
             match phase {
                 crate::MigrationPhase::Begin => state.pending_migration = Some(schema_sdl),
@@ -258,4 +277,5 @@ fn replay_record(
             state.last_seq = seq;
         }
     }
+    Ok(())
 }

@@ -9,7 +9,7 @@ use std::path::{Path, PathBuf};
 
 use crate::files::{self, DirListing};
 use crate::record::{self, StoreRecord};
-use crate::snapshot;
+use crate::snapshot::{self, GraphDesc};
 
 /// One snapshot file as seen on disk.
 #[derive(Debug)]
@@ -26,6 +26,12 @@ pub struct SnapshotInfo {
     pub sessions: usize,
     /// The WAL rotation point it corresponds to (0 when invalid).
     pub base_seq: u64,
+    /// Container format: 1 (`PGS1` legacy), 2 (`PGS2`), 0 unrecognized.
+    pub format: u32,
+    /// Container frame CRC verdict (structure aside).
+    pub crc_ok: bool,
+    /// Per-graph `PGCS` header details (v2 snapshots only).
+    pub graphs: Vec<GraphDesc>,
 }
 
 /// One WAL segment as seen on disk.
@@ -70,13 +76,16 @@ pub fn scan(dir: &Path) -> io::Result<ScanReport> {
     };
     for (generation, path) in snapshots {
         let buf = std::fs::read(&path)?;
-        let decoded = snapshot::decode(&buf);
+        let desc = snapshot::describe(&buf);
         report.snapshots.push(SnapshotInfo {
             generation,
             bytes: buf.len() as u64,
-            valid: decoded.is_some(),
-            sessions: decoded.as_ref().map_or(0, |s| s.sessions.len()),
-            base_seq: decoded.as_ref().map_or(0, |s| s.base_seq),
+            valid: desc.valid,
+            sessions: desc.sessions,
+            base_seq: desc.base_seq,
+            format: desc.format,
+            crc_ok: desc.crc_ok,
+            graphs: desc.graphs,
             path,
         });
     }

@@ -80,8 +80,35 @@ pub const KIND_SCHEMA: u8 = 4;
 /// than misclassify the (CRC-valid) frame as corruption.
 pub const KIND_MAX: u8 = KIND_SCHEMA;
 
-/// Magic bytes opening a snapshot payload.
+/// Magic bytes opening a legacy (v1) snapshot payload: sessions carry
+/// their graphs as `pgraph::binary` element streams, decoded eagerly.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"PGS1";
+
+/// Magic bytes opening a current (v2) snapshot payload: sessions embed
+/// their graphs as verbatim `PGCS` columnar images
+/// ([`pgraph::snapshot`]), each 8-byte aligned *in the file* so a
+/// memory-mapped snapshot hands out aligned zero-copy graph views.
+pub const SNAPSHOT_MAGIC_V2: [u8; 4] = *b"PGS2";
+
+/// File-offset alignment of every embedded `PGCS` graph image inside a
+/// v2 snapshot. Because the CRC frame header is itself 8 bytes
+/// ([`FRAME_HEADER_BYTES`]), payload-relative and file-relative
+/// alignment coincide.
+pub const SNAPSHOT_GRAPH_ALIGN: usize = 8;
+
+/// Magic bytes opening an embedded columnar graph image (re-exported
+/// from the graph crate so the spec-parity tests can check the snapshot
+/// table against one source of truth).
+pub const PGCS_MAGIC: [u8; 4] = pgraph::snapshot::MAGIC;
+
+/// Version of the embedded columnar graph format this build writes.
+pub const PGCS_VERSION: u32 = pgraph::snapshot::VERSION;
+
+/// Length of a `PGCS` graph header in bytes.
+pub const PGCS_HEADER_LEN: usize = pgraph::snapshot::HEADER_LEN;
+
+/// Number of sections in a `PGCS` graph image.
+pub const PGCS_SECTION_COUNT: usize = pgraph::snapshot::SECTION_COUNT;
 
 /// WAL segment file names: `wal-{first_seq:020}.log`, zero-padded so
 /// lexicographic order equals replay order.

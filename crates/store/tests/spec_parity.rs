@@ -204,6 +204,103 @@ fn unknown_kind_rule_is_documented() {
 }
 
 #[test]
+fn snapshot_container_table_matches_wire_constants() {
+    let text = spec_text();
+    let rows = table_after(&text, "## Snapshot format");
+
+    let check = |field: &str, offset: usize, size: usize| {
+        let row = field_row(&rows, field);
+        assert_eq!(
+            row[0].parse::<usize>().ok(),
+            Some(offset),
+            "spec offset of snapshot `{field}`"
+        );
+        assert_eq!(
+            row[1].parse::<usize>().ok(),
+            Some(size),
+            "spec size of snapshot `{field}`"
+        );
+    };
+    check("magic", 0, wire::SNAPSHOT_MAGIC_V2.len());
+    check("base_seq", 4, 8);
+    check("next_session_id", 12, 8);
+    check("count", 20, 4);
+    assert_eq!(
+        field_row(&rows, "sessions")[0].parse::<usize>().ok(),
+        Some(24),
+        "session entries start right after the container header"
+    );
+
+    // The magic row names both the current and the legacy magic.
+    let magic_v2 = String::from_utf8(wire::SNAPSHOT_MAGIC_V2.to_vec()).unwrap();
+    let magic_v1 = String::from_utf8(wire::SNAPSHOT_MAGIC.to_vec()).unwrap();
+    let notes = field_row(&rows, "magic")[3];
+    assert!(
+        notes.contains(&format!("`{magic_v2}`")) && notes.contains(&format!("`{magic_v1}`")),
+        "spec magic row names `{magic_v2}` and legacy `{magic_v1}`: {notes}"
+    );
+
+    // The alignment guarantee is stated with the frame-header width
+    // that makes payload- and file-relative alignment coincide.
+    assert_eq!(wire::FRAME_HEADER_BYTES % wire::SNAPSHOT_GRAPH_ALIGN, 0);
+    assert!(
+        text.contains("8-byte *file* offset"),
+        "spec states the file-offset alignment of embedded images"
+    );
+}
+
+#[test]
+fn embedded_graph_image_table_matches_pgcs_constants() {
+    let text = spec_text();
+    let rows = table_after(&text, "### Embedded graph images");
+    let value_of = |field: &str| -> &str {
+        rows.iter()
+            .find(|r| r.first() == Some(&field))
+            .map(|r| r[1])
+            .unwrap_or_else(|| panic!("embedded-image table has `{field}`"))
+    };
+    let magic = String::from_utf8(wire::PGCS_MAGIC.to_vec()).unwrap();
+    assert_eq!(value_of("magic").trim_matches('`'), magic);
+    assert_eq!(
+        value_of("version").parse::<u32>().ok(),
+        Some(wire::PGCS_VERSION)
+    );
+    assert_eq!(
+        value_of("header length").parse::<usize>().ok(),
+        Some(wire::PGCS_HEADER_LEN)
+    );
+    assert_eq!(
+        value_of("section count").parse::<usize>().ok(),
+        Some(wire::PGCS_SECTION_COUNT)
+    );
+    assert_eq!(
+        value_of("alignment").parse::<usize>().ok(),
+        Some(wire::SNAPSHOT_GRAPH_ALIGN)
+    );
+}
+
+#[test]
+fn snapshot_version_rule_is_documented() {
+    let text = spec_text();
+    // The reader rule quotes the implementation's error message so an
+    // operator can grep a refused bootstrap back to this spec.
+    assert!(
+        text.contains("unsupported snapshot version"),
+        "spec quotes the unsupported-version error shape"
+    );
+    assert!(
+        text.contains("### Version handling"),
+        "spec has the snapshot version-handling subsection"
+    );
+    // The corruption rule (fall back a generation) and the version rule
+    // (refuse, mutate nothing) are stated as distinct classes.
+    assert!(
+        text.contains("falls back\n  to the next older generation"),
+        "spec states the corruption fallback rule"
+    );
+}
+
+#[test]
 fn file_naming_matches_wire_constants() {
     let text = spec_text();
     let rows = table_after(&text, "## Files and naming");
