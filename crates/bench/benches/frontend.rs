@@ -41,10 +41,38 @@ fn bench_print_roundtrip(c: &mut Criterion) {
     c.bench_function("E8_sdl_print", |b| b.iter(|| gql_sdl::print_document(&doc)));
 }
 
+/// E5f: the same bilingual schema compiled to a `PgSchema` through each
+/// frontend. The corpus generator emits SDL inside the PG-Schema
+/// fragment, so the PG-Schema input is its exact rendering and both
+/// paths produce the same schema.
+fn bench_second_frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5f_frontend_compile");
+    for seed in [1u64, 7, 42] {
+        let sdl = pg_pgschema::corpus::corpus_sdl(seed);
+        let doc = gql_sdl::parse(&sdl).unwrap();
+        let pgs =
+            pg_pgschema::print_pgschema(&doc, "Corpus", pg_pgschema::TypeMode::Strict).unwrap();
+        group.throughput(Throughput::Bytes(sdl.len() as u64));
+        group.bench_with_input(BenchmarkId::new("sdl", seed), &sdl, |b, s| {
+            b.iter(|| pg_schema::PgSchema::parse(s).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("pgschema", seed), &pgs, |b, s| {
+            b.iter(|| pg_pgschema::compile(s).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("translate", seed), &doc, |b, d| {
+            b.iter(|| {
+                pg_pgschema::print_pgschema(d, "Corpus", pg_pgschema::TypeMode::Strict).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_parse,
     bench_build_and_consistency,
-    bench_print_roundtrip
+    bench_print_roundtrip,
+    bench_second_frontend
 );
 criterion_main!(benches);

@@ -848,7 +848,10 @@ mod tests {
     fn columnar_core_smoke() {
         let t = columnar_core(&[30], 1);
         assert!(t.contains("scan speedup"), "{t}");
-        assert!(t.contains("| open (PGS1 eager) | open (PGS2 mmap) |"), "{t}");
+        assert!(
+            t.contains("| open (PGS1 eager) | open (PGS2 mmap) |"),
+            "{t}"
+        );
         // One adjacency row + one recovery row for the single size.
         assert!(t.matches('×').count() >= 2, "{t}");
     }

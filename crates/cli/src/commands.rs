@@ -5,6 +5,7 @@
 use std::fmt::Write as _;
 use std::fs;
 
+use pg_pgschema::SchemaLanguage;
 use pg_schema::{validate, Engine, IncrementalEngine, PgSchema, ValidationOptions};
 
 type Result<T> = std::result::Result<T, String>;
@@ -12,13 +13,19 @@ type Result<T> = std::result::Result<T, String>;
 const USAGE: &str = "\
 pgschema — GraphQL SDL schemas for Property Graphs
 
+Schemas are GraphQL SDL by default; `--lang pgschema` (or a `.pgs` /
+`.pgschema` file extension) selects the PG-Schema frontend instead.
+
 USAGE:
-    pgschema validate <schema.graphql> <graph.json>
+    pgschema validate <schema> <graph.json> [--lang sdl|pgschema]
                       [--engine naive|indexed|parallel|incremental] [--threads N]
                       [--max-violations N] [--metrics] [--weak-only] [--json]
                       [--watch-delta delta.json]...
+    pgschema translate <schema> [--lang sdl|pgschema] [--to sdl|pgschema]
+                       [--name GraphTypeName] [--out FILE]
     pgschema consistency <schema.graphql>
-    pgschema check-sat <schema.graphql> <TypeName> [--max-size K] [--field f] [--dot]
+    pgschema check-sat <schema> <TypeName> [--lang sdl|pgschema]
+                       [--max-size K] [--field f] [--dot]
     pgschema generate <schema.graphql> [--nodes N] [--seed S] [--out FILE]
     pgschema reduce-sat <formula.cnf> [--out FILE]
     pgschema describe <schema.graphql>
@@ -46,6 +53,7 @@ pub fn run(args: &[String]) -> Result<()> {
     let rest = &args[1..];
     match cmd.as_str() {
         "validate" => cmd_validate(rest),
+        "translate" => cmd_translate(rest),
         "consistency" => cmd_consistency(rest),
         "check-sat" => cmd_check_sat(rest),
         "generate" => cmd_generate(rest),
@@ -100,21 +108,51 @@ fn parse_flags<'a>(
     Ok((positional, values, bools))
 }
 
-fn load_schema(path: &str) -> Result<PgSchema> {
+/// Resolves the schema language: an explicit `--lang` wins, otherwise
+/// the file extension decides (`.pgs` / `.pgschema` → PG-Schema).
+fn resolve_lang(path: &str, flag: Option<&str>) -> Result<SchemaLanguage> {
+    match flag {
+        Some(v) => v.parse().map_err(|e| format!("--lang: {e}")),
+        None => Ok(SchemaLanguage::detect(std::path::Path::new(path))),
+    }
+}
+
+/// Loads a schema in either language. Alongside the classified schema
+/// it returns the canonical SDL text — pragma-prefixed when compiled
+/// from PG-Schema, so `pg_pgschema::apply_pragma` can recover a LOOSE
+/// graph type's open-world mode later.
+fn load_schema_as(path: &str, lang: SchemaLanguage) -> Result<(PgSchema, String)> {
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    PgSchema::parse(&text).map_err(|e| format!("{path}: {e}"))
+    match lang {
+        SchemaLanguage::Sdl => {
+            let schema = PgSchema::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+            Ok((schema, text))
+        }
+        SchemaLanguage::PgSchema => {
+            let compiled =
+                pg_pgschema::compile(&text).map_err(|e| format!("{path}:\n{}", e.render(&text)))?;
+            Ok((compiled.schema, compiled.sdl))
+        }
+    }
+}
+
+fn load_schema(path: &str) -> Result<PgSchema> {
+    let lang = SchemaLanguage::detect(std::path::Path::new(path));
+    Ok(load_schema_as(path, lang)?.0)
 }
 
 fn cmd_validate(rest: &[String]) -> Result<()> {
     let (pos, values, bools) = parse_flags(
         rest,
-        &["engine", "threads", "max-violations", "watch-delta"],
+        &["engine", "threads", "max-violations", "watch-delta", "lang"],
         &["weak-only", "json", "metrics"],
     )?;
     let [schema_path, graph_path] = pos.as_slice() else {
-        return Err("validate needs <schema.graphql> <graph.json>".to_owned());
+        return Err("validate needs <schema> <graph.json>".to_owned());
     };
-    let schema = load_schema(schema_path)?;
+    let lang_flag = values.iter().find(|(k, _)| *k == "lang").map(|(_, v)| *v);
+    let lang = resolve_lang(schema_path, lang_flag)?;
+    let (schema, schema_sdl) = load_schema_as(schema_path, lang)?;
     let graph_text =
         fs::read_to_string(graph_path).map_err(|e| format!("cannot read {graph_path}: {e}"))?;
     let graph = pgraph::json::from_json(&graph_text).map_err(|e| format!("{graph_path}: {e}"))?;
@@ -142,20 +180,25 @@ fn cmd_validate(rest: &[String]) -> Result<()> {
                 );
             }
             "watch-delta" => delta_paths.push(v),
+            "lang" => {}
             _ => unreachable!(),
         }
     }
+    // A `LOOSE` PG-Schema graph type is open-world: its pragma switches
+    // the strong (closed-world) rule family off, exactly as the server
+    // does on session hydration.
+    let options = pg_pgschema::apply_pragma(&builder.build(), &schema_sdl);
     if !delta_paths.is_empty() {
         return validate_deltas(
             &mut std::io::stdout().lock(),
             graph,
             &schema,
-            &builder.build(),
+            &options,
             &delta_paths,
             bools.contains(&"json"),
         );
     }
-    let report = validate(&graph, &schema, &builder.build());
+    let report = validate(&graph, &schema, &options);
     if bools.contains(&"json") {
         println!("{}", report.to_json());
     } else {
@@ -330,6 +373,84 @@ fn cmd_serve(rest: &[String]) -> Result<()> {
     Ok(())
 }
 
+/// `pgschema translate`: convert a schema between the two languages
+/// over the overlapping fragment. SDL → PG-Schema uses the canonical
+/// printer (and reports which construct falls outside the fragment if
+/// one does); PG-Schema → SDL emits the lowered document, prefixed with
+/// the language pragma when the graph type is `LOOSE` so the open-world
+/// mode survives the round trip. Translating into the *same* language
+/// canonicalises the text instead.
+fn cmd_translate(rest: &[String]) -> Result<()> {
+    let (pos, values, _) = parse_flags(rest, &["lang", "to", "name", "out"], &[])?;
+    let [schema_path] = pos.as_slice() else {
+        return Err("translate needs <schema>".to_owned());
+    };
+    let mut lang_flag = None;
+    let mut to_flag = None;
+    let mut name = "G";
+    let mut out_path = None;
+    for (k, v) in values {
+        match k {
+            "lang" => lang_flag = Some(v),
+            "to" => to_flag = Some(v),
+            "name" => name = v,
+            "out" => out_path = Some(v),
+            _ => unreachable!(),
+        }
+    }
+    let from = resolve_lang(schema_path, lang_flag)?;
+    let to = match to_flag {
+        Some(v) => v.parse().map_err(|e| format!("--to: {e}"))?,
+        // Default: the other language.
+        None => match from {
+            SchemaLanguage::Sdl => SchemaLanguage::PgSchema,
+            SchemaLanguage::PgSchema => SchemaLanguage::Sdl,
+        },
+    };
+    let text =
+        fs::read_to_string(schema_path).map_err(|e| format!("cannot read {schema_path}: {e}"))?;
+    let output = match from {
+        SchemaLanguage::Sdl => {
+            let doc = gql_sdl::parse(&text).map_err(|e| format!("{schema_path}: {e}"))?;
+            // A pragma on persisted lowered SDL names the original mode.
+            let mode = pg_pgschema::pragma_of(&text)
+                .map(|(_, m)| m)
+                .unwrap_or_default();
+            match to {
+                SchemaLanguage::PgSchema => pg_pgschema::print_pgschema(&doc, name, mode)
+                    .map_err(|e| format!("{schema_path}: {e}"))?,
+                SchemaLanguage::Sdl => gql_sdl::print_document(&doc),
+            }
+        }
+        SchemaLanguage::PgSchema => {
+            let compiled = pg_pgschema::compile(&text)
+                .map_err(|e| format!("{schema_path}:\n{}", e.render(&text)))?;
+            match to {
+                SchemaLanguage::Sdl => {
+                    let printed = gql_sdl::print_document(&compiled.document);
+                    if compiled.mode == pg_pgschema::TypeMode::Loose {
+                        format!("{}\n{printed}", pg_pgschema::pragma_line(compiled.mode))
+                    } else {
+                        printed
+                    }
+                }
+                SchemaLanguage::PgSchema => {
+                    pg_pgschema::print_pgschema(&compiled.document, &compiled.name, compiled.mode)
+                        .map_err(|e| format!("{schema_path}: {e}"))?
+                }
+            }
+        }
+    };
+    match out_path {
+        Some(p) => {
+            fs::write(p, &output).map_err(|e| format!("cannot write {p}: {e}"))?;
+            println!("wrote {to} translation to {p}");
+        }
+        None => print!("{output}"),
+    }
+    Ok(())
+}
+
 fn cmd_consistency(rest: &[String]) -> Result<()> {
     let (pos, _, _) = parse_flags(rest, &[], &[])?;
     let [schema_path] = pos.as_slice() else {
@@ -358,12 +479,14 @@ fn cmd_consistency(rest: &[String]) -> Result<()> {
 }
 
 fn cmd_check_sat(rest: &[String]) -> Result<()> {
-    let (pos, values, bools) = parse_flags(rest, &["max-size", "field"], &["dot"])?;
+    let (pos, values, bools) = parse_flags(rest, &["max-size", "field", "lang"], &["dot"])?;
     let [schema_path, type_name] = pos.as_slice() else {
-        return Err("check-sat needs <schema.graphql> <TypeName>".to_owned());
+        return Err("check-sat needs <schema> <TypeName>".to_owned());
     };
     let as_dot = bools.contains(&"dot");
-    let schema = load_schema(schema_path)?;
+    let lang_flag = values.iter().find(|(k, _)| *k == "lang").map(|(_, v)| *v);
+    let lang = resolve_lang(schema_path, lang_flag)?;
+    let (schema, schema_sdl) = load_schema_as(schema_path, lang)?;
     let mut config = pg_reason::ReasonerConfig::default();
     let mut field: Option<&str> = None;
     for (k, v) in values {
@@ -374,14 +497,15 @@ fn cmd_check_sat(rest: &[String]) -> Result<()> {
                     .map_err(|_| format!("--max-size: not a number: {v}"))?;
             }
             "field" => field = Some(v),
+            "lang" => {}
             _ => unreachable!(),
         }
     }
     let result = match field {
         Some(f) => {
-            let text = fs::read_to_string(schema_path)
-                .map_err(|e| format!("cannot read {schema_path}: {e}"))?;
-            let doc = gql_sdl::parse(&text).map_err(|e| e.to_string())?;
+            // `schema_sdl` is the lowered SDL for PG-Schema inputs, so
+            // field-mode reasoning works identically in both languages.
+            let doc = gql_sdl::parse(&schema_sdl).map_err(|e| e.to_string())?;
             pg_reason::check_field_satisfiable(&doc, type_name, f, &config)?
         }
         None => pg_reason::check_type_satisfiable(&schema, type_name, &config),

@@ -368,6 +368,175 @@ fn diff_json_reports_compat_per_change() {
     assert_eq!(doc.get("equivalent"), Some(&pgraph::json::Json::Bool(true)));
 }
 
+/// The PG-Schema rendering of [`SCHEMA`]: same labels, same mandatory
+/// properties, same key constraint.
+const SCHEMA_PGS: &str = "\
+CREATE GRAPH TYPE Accounts STRICT {
+    (User {id ID, login STRING}),
+    FOR (u : User) KEY u.id
+}
+";
+
+#[test]
+fn validate_detects_pgschema_by_extension() {
+    let schema = write_tmp("pl1.pgs", SCHEMA_PGS);
+    let graph = write_tmp("pl1.json", GOOD_GRAPH);
+    let out = pgschema(&["validate", &schema, &graph]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("strongly satisfies"));
+}
+
+#[test]
+fn validate_lang_flag_overrides_extension() {
+    // A `.txt` extension would be read as SDL; `--lang pgschema` wins.
+    let schema = write_tmp("pl2.txt", SCHEMA_PGS);
+    let graph = write_tmp("pl2.json", GOOD_GRAPH);
+    assert!(!pgschema(&["validate", &schema, &graph]).status.success());
+    let out = pgschema(&["validate", &schema, &graph, "--lang", "pgschema"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Unknown language values go through the shared enum error.
+    let out = pgschema(&["validate", &schema, &graph, "--lang", "cypher"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("schema language"), "{stderr}");
+    assert!(stderr.contains("pgschema"), "{stderr}");
+}
+
+#[test]
+fn validate_reports_agree_across_languages() {
+    // The same broken graph yields the same violations whichever
+    // language the schema was written in.
+    let bad_graph = write_tmp(
+        "pl3.json",
+        r#"{"nodes": [{"id": 0, "label": "User", "properties": {"login": 7}}],
+            "edges": []}"#,
+    );
+    let sdl = write_tmp("pl3.graphql", SCHEMA);
+    let pgs = write_tmp("pl3.pgs", SCHEMA_PGS);
+    let out_sdl = pgschema(&["validate", &sdl, &bad_graph, "--json"]);
+    let out_pgs = pgschema(&["validate", &pgs, &bad_graph, "--json"]);
+    assert!(!out_sdl.status.success());
+    assert!(!out_pgs.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&out_sdl.stdout),
+        String::from_utf8_lossy(&out_pgs.stdout)
+    );
+}
+
+#[test]
+fn loose_graph_type_switches_off_the_strong_family() {
+    // `nickname` is not declared: closed-world STRICT rejects it, the
+    // open-world LOOSE mode accepts it.
+    let graph = write_tmp(
+        "pl4.json",
+        r#"{"nodes": [{"id": 0, "label": "User",
+             "properties": {"login": "alice", "nickname": "al"}}],
+            "edges": []}"#,
+    );
+    let strict = write_tmp(
+        "pl4s.pgs",
+        "CREATE GRAPH TYPE G STRICT { (User {login STRING}) }",
+    );
+    let loose = write_tmp(
+        "pl4l.pgs",
+        "CREATE GRAPH TYPE G LOOSE { (User {login STRING}) }",
+    );
+    assert!(!pgschema(&["validate", &strict, &graph]).status.success());
+    let out = pgschema(&["validate", &loose, &graph]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn translate_round_trips_between_languages() {
+    // SDL → PG-Schema: the rendering validates identically.
+    let sdl = write_tmp("tr1.graphql", SCHEMA);
+    let out = pgschema(&["translate", &sdl, "--name", "Accounts"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let pgs_text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        pgs_text.contains("CREATE GRAPH TYPE Accounts STRICT"),
+        "{pgs_text}"
+    );
+    let pgs = write_tmp("tr1.pgs", &pgs_text);
+    let graph = write_tmp("tr1.json", GOOD_GRAPH);
+    assert!(pgschema(&["validate", &pgs, &graph]).status.success());
+
+    // PG-Schema → SDL: the lowering is plain SDL the core accepts.
+    let out = pgschema(&["translate", &pgs]);
+    assert!(out.status.success());
+    let sdl_text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(sdl_text.contains("type User"), "{sdl_text}");
+    let back = write_tmp("tr1b.graphql", &sdl_text);
+    assert!(pgschema(&["validate", &back, &graph]).status.success());
+
+    // PG-Schema → PG-Schema is a canonicalising fixpoint.
+    let out = pgschema(&["translate", &pgs, "--to", "pgschema"]);
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout), pgs_text);
+}
+
+#[test]
+fn translate_reports_out_of_fragment_constructs() {
+    let sdl = write_tmp(
+        "tr2.graphql",
+        "union U = A | B\ntype A { x: Int! }\ntype B { x: Int! }",
+    );
+    let out = pgschema(&["translate", &sdl]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("outside the PG-Schema fragment"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn check_sat_works_on_pgschema_inputs() {
+    let sat = write_tmp("cs1.pgs", SCHEMA_PGS);
+    let out = pgschema(&["check-sat", &sat, "User"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("satisfiable"));
+
+    // Example 6.1's contradictory endpoint cardinalities, in PG-Schema:
+    // every OT1 has at most one incoming f overall, yet needs one from
+    // an OT2 and one from an OT3.
+    let unsat = write_tmp(
+        "cs2.pgs",
+        "CREATE GRAPH TYPE G STRICT {
+            (OT1),
+            ABSTRACT (IT),
+            (: IT & OT2),
+            (: IT & OT3),
+            (:IT)-[:f]->(:OT1) INCOMING 0..1,
+            (:OT2)-[:f]->(:OT1) INCOMING 1..*,
+            (:OT3)-[:f]->(:OT1) INCOMING 1..*
+        }",
+    );
+    let out = pgschema(&["check-sat", &unsat, "OT1", "--max-size", "4"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("UNSATISFIABLE"));
+}
+
 const MIGRATE_OLD: &str = r#"
     type User @key(fields: ["id"]) {
         id: ID! @required

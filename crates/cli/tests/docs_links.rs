@@ -193,6 +193,45 @@ fn the_replication_docs_are_cross_linked() {
 }
 
 #[test]
+fn the_schema_language_docs_are_cross_linked() {
+    // The second frontend spans the README overview, the DESIGN
+    // lowering spec, the replication spec's language-tag rule and the
+    // E5f experiment. Each must point a reader onward.
+    let root = repo_root();
+    let readme = std::fs::read_to_string(root.join("README.md")).unwrap();
+    assert!(
+        readme.contains("## Schema languages"),
+        "README has the schema-languages section"
+    );
+    assert!(
+        readme.contains("DESIGN.md#pg-schema-frontend") && readme.contains("EXPERIMENTS.md#e5f"),
+        "README links the lowering spec and the E5f experiment"
+    );
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).unwrap();
+    assert!(
+        design.contains("## PG-Schema frontend")
+            && design.contains("### Lowering table")
+            && design.contains("### Unsupported-construct policy"),
+        "DESIGN documents the frontend, its lowering table and the \
+         out-of-fragment policy"
+    );
+    assert!(
+        design.contains("docs/replication.md#schemachange-body"),
+        "DESIGN links the SchemaChange record the pragma rides in"
+    );
+    let spec = std::fs::read_to_string(root.join("docs/replication.md")).unwrap();
+    assert!(
+        spec.contains("# schema-language:"),
+        "the replication spec documents the language tag pragma"
+    );
+    let experiments = std::fs::read_to_string(root.join("EXPERIMENTS.md")).unwrap();
+    assert!(
+        experiments.contains("## E5f"),
+        "EXPERIMENTS has the second-frontend table"
+    );
+}
+
+#[test]
 fn the_migration_docs_are_cross_linked() {
     // The migration story spans four documents: the README overview,
     // the DESIGN rationale, the runbook's rollout procedure and the

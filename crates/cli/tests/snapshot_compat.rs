@@ -15,10 +15,8 @@ use pg_server::workload::{sample_graph, SCHEMA_SDL};
 use pgraph::{binary, snapshot, PropertyGraph};
 
 fn tmp_dir(tag: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "pgschema-snapcompat-{tag}-{}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("pgschema-snapcompat-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     dir
@@ -81,8 +79,7 @@ fn legacy_snapshot_loads_and_agrees_with_mmap_path_byte_for_byte() {
     // Path B: the same session written by this build (PGS2, mmap'd back).
     let current_dir = tmp_dir("current");
     {
-        let (store, _) =
-            pg_store::Store::open(&current_dir, pg_store::FsyncPolicy::Never).unwrap();
+        let (store, _) = pg_store::Store::open(&current_dir, pg_store::FsyncPolicy::Never).unwrap();
         store.append_create(1, SCHEMA_SDL, &graph).unwrap();
         let mut compaction = store.try_begin_compaction().unwrap().unwrap();
         compaction.add_session(1, 1, 0, SCHEMA_SDL, &graph, None);

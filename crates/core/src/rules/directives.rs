@@ -152,9 +152,9 @@ pub(crate) fn ds4(scope: &Scope<'_, '_>, sink: &mut Sink<'_>) {
                     }
                     sink.group_visited();
                     let ok = scope.in_edges_labelled(n, site.rel_sym).iter().any(|e| {
-                        scope
-                            .edge_source(e)
-                            .is_some_and(|src| ss.label_subtype_opt(scope.label_sym(src), site.site))
+                        scope.edge_source(e).is_some_and(|src| {
+                            ss.label_subtype_opt(scope.label_sym(src), site.site)
+                        })
                     });
                     if !ok {
                         sink.push(Violation::RequiredForTargetViolated {
@@ -269,9 +269,7 @@ fn ds7_collect_vids(
     key: &KeySlot,
 ) -> HashMap<Vec<Option<u32>>, Vec<NodeId>> {
     let ss = scope.ss;
-    let cols = scope
-        .cols()
-        .expect("vid collect requires a columnar scope");
+    let cols = scope.cols().expect("vid collect requires a columnar scope");
     let vt = cols.values();
     let mut groups: HashMap<Vec<Option<u32>>, Vec<NodeId>> = HashMap::new();
     for &label in scope.labels() {

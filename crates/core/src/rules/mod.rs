@@ -667,8 +667,7 @@ fn parallel_runs_cols<'a>(
         while start < run.len() {
             let dst = cols.edge_target(EdgeId::from_index(run[start] as usize));
             let mut end = start + 1;
-            while end < run.len()
-                && cols.edge_target(EdgeId::from_index(run[end] as usize)) == dst
+            while end < run.len() && cols.edge_target(EdgeId::from_index(run[end] as usize)) == dst
             {
                 end += 1;
             }

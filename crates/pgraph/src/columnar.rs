@@ -293,12 +293,7 @@ impl ColumnarGraph {
             .collect();
         out.sort_unstable_by_key(|&e| {
             let ix = e as usize;
-            (
-                self.edge_src[ix],
-                self.edge_label[ix],
-                self.edge_dst[ix],
-                e,
-            )
+            (self.edge_src[ix], self.edge_label[ix], self.edge_dst[ix], e)
         });
         self.out_start = prefix_counts(n, out.iter().map(|&e| self.edge_src[e as usize]));
         self.out_edges = out;
@@ -308,12 +303,7 @@ impl ColumnarGraph {
             .collect();
         inc.sort_unstable_by_key(|&e| {
             let ix = e as usize;
-            (
-                self.edge_dst[ix],
-                self.edge_label[ix],
-                self.edge_src[ix],
-                e,
-            )
+            (self.edge_dst[ix], self.edge_label[ix], self.edge_src[ix], e)
         });
         self.in_start = prefix_counts(n, inc.iter().map(|&e| self.edge_dst[e as usize]));
         self.in_edges = inc;
@@ -683,7 +673,10 @@ mod tests {
         // Bit-distinct → distinct ids; Value-equal → same representative.
         assert_ne!(zero, neg_zero);
         assert_eq!(t.eq_rep(zero), t.eq_rep(neg_zero));
-        assert_eq!(t.value(neg_zero).to_string(), Value::Float(-0.0).to_string());
+        assert_eq!(
+            t.value(neg_zero).to_string(),
+            Value::Float(-0.0).to_string()
+        );
         // Identical bits → identical id.
         assert_eq!(t.intern(&Value::Float(0.0)), zero);
         let i = t.intern(&Value::Int(0));

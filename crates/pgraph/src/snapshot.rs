@@ -104,7 +104,10 @@ impl fmt::Display for SnapshotError {
         match self {
             SnapshotError::BadMagic => write!(f, "not a PGCS snapshot (bad magic)"),
             SnapshotError::UnsupportedVersion { found } => {
-                write!(f, "unsupported snapshot version {found} (this build reads {VERSION})")
+                write!(
+                    f,
+                    "unsupported snapshot version {found} (this build reads {VERSION})"
+                )
             }
             SnapshotError::Truncated => write!(f, "snapshot truncated"),
             SnapshotError::BadCrc => write!(f, "snapshot CRC mismatch"),
@@ -220,22 +223,22 @@ impl GraphHeader {
         let m = self.edge_slots as u64;
         let s = &self.sections;
         let want = [
-            n,           // node_alive
-            n * 4,       // node_label
-            (n + 1) * 4, // node_prop_start
-            s[3].len,    // node_prop_keys (checked against prop_start below)
-            s[3].len,    // node_prop_vals parallel to keys
-            m,           // edge_alive
-            m * 4,       // edge_label
-            m * 4,       // edge_src
-            m * 4,       // edge_dst
-            (m + 1) * 4, // edge_prop_start
-            s[10].len,   // edge_prop_keys
-            s[10].len,   // edge_prop_vals
+            n,                             // node_alive
+            n * 4,                         // node_label
+            (n + 1) * 4,                   // node_prop_start
+            s[3].len,                      // node_prop_keys (checked against prop_start below)
+            s[3].len,                      // node_prop_vals parallel to keys
+            m,                             // edge_alive
+            m * 4,                         // edge_label
+            m * 4,                         // edge_src
+            m * 4,                         // edge_dst
+            (m + 1) * 4,                   // edge_prop_start
+            s[10].len,                     // edge_prop_keys
+            s[10].len,                     // edge_prop_vals
             (self.symbols as u64 + 1) * 4, // sym_start
-            s[13].len,   // sym_heap (delimited by sym_start)
+            s[13].len,                     // sym_heap (delimited by sym_start)
             (self.values as u64 + 1) * 4,  // val_start
-            s[15].len,   // val_heap
+            s[15].len,                     // val_heap
         ];
         for (i, (&section, &expected)) in s.iter().zip(want.iter()).enumerate() {
             if section.len != expected {
@@ -385,8 +388,7 @@ impl<'a> SnapshotView<'a> {
         // Decode straight into NodeData/EdgeData without building the
         // derived CSR the ColumnarGraph path would.
         let symbols = self.decode_symbols()?;
-        let values =
-            binary::decode_values(self.section(15), self.header.values as usize)?;
+        let values = binary::decode_values(self.section(15), self.header.values as usize)?;
         check_prefix(&self.u32_column(14), self.header.sections[15].len)?;
         let sym_bound = symbols.len();
         let val_bound = values.len() as u32;
@@ -397,7 +399,11 @@ impl<'a> SnapshotView<'a> {
                 .map(str::to_owned)
                 .ok_or(SnapshotError::Layout("symbol out of range"))
         };
-        let props = |start: &[u32], keys: &[Sym], vals: &[u32], ix: usize| -> Result<PropMap, SnapshotError> {
+        let props = |start: &[u32],
+                     keys: &[Sym],
+                     vals: &[u32],
+                     ix: usize|
+         -> Result<PropMap, SnapshotError> {
             let (a, b) = (start[ix] as usize, start[ix + 1] as usize);
             if a > b || b > keys.len() || b > vals.len() {
                 return Err(SnapshotError::Layout("prop range"));

@@ -1,0 +1,151 @@
+//! Abstract syntax of PG-Schema documents (the supported subset).
+//!
+//! A document is a single `CREATE GRAPH TYPE` statement. Node types,
+//! edge types and key constraints are kept in declaration order; spans
+//! are recorded on every construct so the lowering pass can point
+//! unsupported-construct and resolution errors at source locations.
+
+use crate::token::Span;
+
+/// Whether a graph type is closed (`STRICT`) or open (`LOOSE`) —
+/// PG-Schema's type-mode switch. `STRICT` is the default and maps onto
+/// the paper's full rule set (weak + directive + strong); `LOOSE`
+/// disables the strong (closed-world) family, leaving the open-world
+/// checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TypeMode {
+    /// Closed-world: graphs must not use labels/properties/edges outside
+    /// the schema (paper rules SS1–SS4 stay on).
+    #[default]
+    Strict,
+    /// Open-world: the strong rule family is off.
+    Loose,
+}
+
+impl TypeMode {
+    /// The canonical lowercase keyword spellings.
+    pub const NAMES: &'static [&'static str] = &["strict", "loose"];
+
+    /// The canonical lowercase spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            TypeMode::Strict => "strict",
+            TypeMode::Loose => "loose",
+        }
+    }
+}
+
+impl std::str::FromStr for TypeMode {
+    type Err = pgraph::ParseEnumError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "strict" => Ok(TypeMode::Strict),
+            "loose" => Ok(TypeMode::Loose),
+            other => Err(pgraph::ParseEnumError::new("type mode", other, Self::NAMES)),
+        }
+    }
+}
+
+/// A parsed `CREATE GRAPH TYPE` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphType {
+    /// The graph type's name.
+    pub name: String,
+    /// `STRICT` (default) or `LOOSE`.
+    pub mode: TypeMode,
+    /// Node types in declaration order.
+    pub nodes: Vec<NodeType>,
+    /// Edge types in declaration order.
+    pub edges: Vec<EdgeType>,
+    /// Key constraints in declaration order.
+    pub keys: Vec<KeyConstraint>,
+    /// Source location of the statement head.
+    pub span: Span,
+}
+
+/// A node type: `(Person {name STRING, OPTIONAL age INT})`, optionally
+/// `ABSTRACT`, optionally inheriting abstract types through a label
+/// conjunction: `(: Message & Post {...})`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeType {
+    /// Declared with the `ABSTRACT` prefix — lowered to an interface.
+    pub is_abstract: bool,
+    /// Declared with a per-type `OPEN` marker. Parsed, but rejected by
+    /// lowering: per-type openness has no SDL counterpart (the policy
+    /// error names this construct).
+    pub open: bool,
+    /// The label conjunction, in source order. Exactly one conjunct must
+    /// be fresh (it becomes the label = SDL type name); the others must
+    /// name previously declared `ABSTRACT` node types (the supertypes).
+    pub labels: Vec<String>,
+    /// Property definitions.
+    pub props: Vec<PropDef>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// One property definition: `OPTIONAL? name TYPE ARRAY?`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropDef {
+    /// `OPTIONAL` prefix: the property may be absent.
+    pub optional: bool,
+    /// The property name.
+    pub name: String,
+    /// The value type name as written (`STRING`, `INT`, … or a custom
+    /// scalar name used verbatim).
+    pub ty: String,
+    /// `ARRAY` suffix: the property holds a list of values.
+    pub array: bool,
+    /// Source location.
+    pub span: Span,
+}
+
+/// An inclusive cardinality interval `min..max`, `max = None` meaning
+/// unbounded (`*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cardinality {
+    /// Lower bound.
+    pub min: u64,
+    /// Upper bound; `None` is `*`.
+    pub max: Option<u64>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// An edge type:
+/// `(:Src)-[:label {props}]->(:Tgt) OUTGOING 0..1 INCOMING 1..* DISTINCT NO LOOPS`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeType {
+    /// The source node label (may be abstract).
+    pub source: String,
+    /// The edge label — becomes the SDL field name.
+    pub label: String,
+    /// The target node label.
+    pub target: String,
+    /// Edge-property definitions.
+    pub props: Vec<PropDef>,
+    /// Per-source out-degree bounds (`OUTGOING m..n`); default `0..*`.
+    pub outgoing: Option<Cardinality>,
+    /// Per-target in-degree bounds (`INCOMING m..n`); default `0..*`.
+    pub incoming: Option<Cardinality>,
+    /// `DISTINCT`: parallel edges collapse (DS1).
+    pub distinct: bool,
+    /// `NO LOOPS`: self-loops forbidden (DS2).
+    pub no_loops: bool,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A key constraint: `FOR (x : Person) KEY x.name, x.birthday`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyConstraint {
+    /// The bound variable (`x`).
+    pub var: String,
+    /// The constrained node label.
+    pub label: String,
+    /// The property names forming the key.
+    pub fields: Vec<String>,
+    /// Source location.
+    pub span: Span,
+}

@@ -1,0 +1,90 @@
+//! PG-Schema parse and compile errors, with source locations.
+//!
+//! The error discipline mirrors the SDL frontend (`gql_sdl::error`):
+//! every failure — lexical, syntactic, or an unsupported construct hit
+//! during lowering — carries a 1-based line/column [`Pos`] and can be
+//! rendered with a caret snippet pointing at the offending source.
+
+use std::fmt;
+
+use crate::token::Pos;
+
+/// What went wrong.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseErrorKind {
+    /// A character with no role in the PG-Schema grammar.
+    UnexpectedCharacter(char),
+    /// The parser expected one construct and found another.
+    Unexpected {
+        /// What was expected, e.g. "`{`" or "a node or edge type".
+        expected: String,
+        /// What was found (token description).
+        found: String,
+    },
+    /// A construct that is valid PG-Schema but outside the supported
+    /// subset, with the documented policy message (DESIGN §PG-Schema
+    /// frontend). Raised by the parser or by the lowering pass.
+    UnsupportedConstruct(String),
+    /// A name resolution or well-formedness failure during lowering,
+    /// e.g. an edge endpoint naming an undeclared node type.
+    Invalid(String),
+}
+
+/// A lexing, parsing, or lowering failure, with its position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// The failure class.
+    pub kind: ParseErrorKind,
+    /// Where in the source it happened.
+    pub pos: Pos,
+}
+
+impl ParseError {
+    /// Builds an error at `pos`.
+    pub fn new(kind: ParseErrorKind, pos: Pos) -> Self {
+        ParseError { kind, pos }
+    }
+
+    /// Renders the error with a source snippet and caret, in the same
+    /// shape the SDL frontend uses:
+    ///
+    /// ```text
+    /// error: expected a name, found `:`
+    ///   --> 2:12
+    ///    |
+    ///  2 |     (Person : { )
+    ///    |            ^
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let line_no = self.pos.line as usize;
+        let line = source.lines().nth(line_no.saturating_sub(1)).unwrap_or("");
+        let gutter = line_no.to_string().len().max(2);
+        let caret_pad = " ".repeat(self.pos.column.saturating_sub(1) as usize);
+        format!(
+            "error: {self}\n{pad}--> {}:{}\n{pad} |\n{line_no:>gutter$} | {line}\n{pad} | {caret_pad}^\n",
+            self.pos.line,
+            self.pos.column,
+            pad = " ".repeat(gutter),
+        )
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.pos)?;
+        match &self.kind {
+            ParseErrorKind::UnexpectedCharacter(c) => {
+                write!(f, "unexpected character {c:?}")
+            }
+            ParseErrorKind::Unexpected { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            ParseErrorKind::UnsupportedConstruct(what) => {
+                write!(f, "{what} is not supported by the PG-Schema frontend")
+            }
+            ParseErrorKind::Invalid(what) => f.write_str(what),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,316 @@
+//! The PG-Schema lexical analyser.
+//!
+//! A hand-rolled scanner in the same style as the SDL lexer
+//! (`gql_sdl::Lexer`): whitespace, line terminators and comments are
+//! ignored; everything else becomes a [`Token`] with a source span.
+//! Both `//` (PG-Schema/GQL style) and `#` (GraphQL style) line comments
+//! are ignored, so schemas can carry either convention. One character of
+//! lookahead suffices except for `..`, `->` and `//`.
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::token::{Pos, Span, Token, TokenKind};
+
+/// Streaming tokenizer. Usually used through [`crate::parse`], but
+/// exposed for tooling and token-level tests.
+pub struct Lexer<'a> {
+    src: &'a str,
+    chars: std::str::CharIndices<'a>,
+    /// One-char lookahead: (byte offset, char).
+    peeked: Option<(usize, char)>,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        let mut lx = Lexer {
+            src,
+            chars: src.char_indices(),
+            peeked: None,
+            line: 1,
+            column: 1,
+        };
+        lx.peeked = lx.chars.next();
+        // Skip a UTF-8 byte-order mark if present.
+        if let Some((_, '\u{FEFF}')) = lx.peeked {
+            lx.bump();
+        }
+        lx
+    }
+
+    /// Tokenises the whole input, ending with an `Eof` token.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let done = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            column: self.column,
+            offset: self.peeked.map_or(self.src.len(), |(o, _)| o),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.peeked.map(|(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let (_, c) = self.peeked?;
+        self.peeked = self.chars.next();
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_ignored(&mut self) {
+        loop {
+            match self.peek() {
+                Some(' ' | '\t' | '\n') => {
+                    self.bump();
+                }
+                Some('\r') => {
+                    self.bump();
+                    // CRLF counts as one line terminator; '\n' handling
+                    // in bump() advances the line if it follows.
+                    if self.peek() != Some('\n') {
+                        self.line += 1;
+                        self.column = 1;
+                    }
+                }
+                Some('#') => self.line_comment(),
+                Some('/') if self.peek2() == Some('/') => self.line_comment(),
+                _ => return,
+            }
+        }
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.chars.clone();
+        it.next().map(|(_, c)| c)
+    }
+
+    fn line_comment(&mut self) {
+        while let Some(c) = self.peek() {
+            if c == '\n' || c == '\r' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    /// Produces the next significant token.
+    pub fn next_token(&mut self) -> Result<Token, ParseError> {
+        self.skip_ignored();
+        let start = self.pos();
+        let Some(c) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                span: Span::at(start),
+            });
+        };
+        let kind = match c {
+            '(' => self.punct(TokenKind::ParenL),
+            ')' => self.punct(TokenKind::ParenR),
+            '{' => self.punct(TokenKind::BraceL),
+            '}' => self.punct(TokenKind::BraceR),
+            '[' => self.punct(TokenKind::BracketL),
+            ']' => self.punct(TokenKind::BracketR),
+            ':' => self.punct(TokenKind::Colon),
+            ',' => self.punct(TokenKind::Comma),
+            '&' => self.punct(TokenKind::Amp),
+            '*' => self.punct(TokenKind::Star),
+            '-' => {
+                self.bump();
+                if self.peek() == Some('>') {
+                    self.bump();
+                    Ok(TokenKind::Arrow)
+                } else {
+                    Ok(TokenKind::Dash)
+                }
+            }
+            '.' => {
+                self.bump();
+                if self.peek() == Some('.') {
+                    self.bump();
+                    Ok(TokenKind::DotDot)
+                } else {
+                    Ok(TokenKind::Dot)
+                }
+            }
+            c if c == '_' || c.is_ascii_alphabetic() => Ok(self.name()),
+            c if c.is_ascii_digit() => Ok(self.number()),
+            other => {
+                self.bump();
+                Err(ParseError::new(
+                    ParseErrorKind::UnexpectedCharacter(other),
+                    start,
+                ))
+            }
+        }?;
+        Ok(Token {
+            kind,
+            span: Span {
+                start,
+                end: self.pos(),
+            },
+        })
+    }
+
+    fn punct(&mut self, kind: TokenKind) -> Result<TokenKind, ParseError> {
+        self.bump();
+        Ok(kind)
+    }
+
+    fn name(&mut self) -> TokenKind {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c == '_' || c.is_ascii_alphanumeric() {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenKind::Name(s)
+    }
+
+    fn number(&mut self) -> TokenKind {
+        let mut n: u64 = 0;
+        while let Some(c) = self.peek() {
+            if let Some(d) = c.to_digit(10) {
+                n = n.saturating_mul(10).saturating_add(u64::from(d));
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenKind::Int(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn punctuation_and_compounds() {
+        assert_eq!(
+            kinds("( ) { } [ ] : , & * - -> . .."),
+            vec![
+                TokenKind::ParenL,
+                TokenKind::ParenR,
+                TokenKind::BraceL,
+                TokenKind::BraceR,
+                TokenKind::BracketL,
+                TokenKind::BracketR,
+                TokenKind::Colon,
+                TokenKind::Comma,
+                TokenKind::Amp,
+                TokenKind::Star,
+                TokenKind::Dash,
+                TokenKind::Arrow,
+                TokenKind::Dot,
+                TokenKind::DotDot,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn edge_arrow_splits_into_tokens() {
+        assert_eq!(
+            kinds("(:A)-[:r]->(:B)"),
+            vec![
+                TokenKind::ParenL,
+                TokenKind::Colon,
+                TokenKind::Name("A".into()),
+                TokenKind::ParenR,
+                TokenKind::Dash,
+                TokenKind::BracketL,
+                TokenKind::Colon,
+                TokenKind::Name("r".into()),
+                TokenKind::BracketR,
+                TokenKind::Arrow,
+                TokenKind::ParenL,
+                TokenKind::Colon,
+                TokenKind::Name("B".into()),
+                TokenKind::ParenR,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn cardinality_tokens() {
+        assert_eq!(
+            kinds("1..* 0..1"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::DotDot,
+                TokenKind::Star,
+                TokenKind::Int(0),
+                TokenKind::DotDot,
+                TokenKind::Int(1),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn both_comment_styles_are_ignored() {
+        assert_eq!(
+            kinds("// line one\nA # trailing\nB"),
+            vec![
+                TokenKind::Name("A".into()),
+                TokenKind::Name("B".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based_and_crlf_is_one_terminator() {
+        let toks = Lexer::new("A\r\nB\rC").tokenize().unwrap();
+        let spans: Vec<(u32, u32)> = toks
+            .iter()
+            .map(|t| (t.span.start.line, t.span.start.column))
+            .collect();
+        assert_eq!(spans, vec![(1, 1), (2, 1), (3, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn unexpected_character_carries_its_position() {
+        let err = Lexer::new("A\n  %").tokenize().unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::UnexpectedCharacter('%'));
+        assert_eq!((err.pos.line, err.pos.column), (2, 3));
+    }
+
+    #[test]
+    fn a_lone_slash_is_an_error_not_a_comment() {
+        let err = Lexer::new("/").tokenize().unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::UnexpectedCharacter('/'));
+    }
+}

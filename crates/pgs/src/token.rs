@@ -1,0 +1,95 @@
+//! Tokens and source positions for PG-Schema documents.
+//!
+//! Positions reuse the same discipline as the SDL lexer
+//! (`gql_sdl::token`): 1-based line/column in Unicode scalar values,
+//! 0-based byte offsets, CRLF counted as one line terminator. The types
+//! are re-exported from `gql-sdl` so spans are interchangeable between
+//! the two frontends.
+
+use std::fmt;
+
+pub use gql_sdl::{Pos, Span};
+
+/// The kind (and payload) of a lexical PG-Schema token.
+///
+/// Keywords (`CREATE`, `OPTIONAL`, `ABSTRACT`, …) are lexed as
+/// [`TokenKind::Name`]; the parser matches them by spelling, which keeps
+/// the lexer oblivious to the keyword set and lets identifiers reuse
+/// keyword spellings in positions where no keyword is expected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `/[_A-Za-z][_0-9A-Za-z]*/`
+    Name(String),
+    /// A non-negative integer literal (cardinality bound).
+    Int(u64),
+    /// `(`
+    ParenL,
+    /// `)`
+    ParenR,
+    /// `{`
+    BraceL,
+    /// `}`
+    BraceR,
+    /// `[`
+    BracketL,
+    /// `]`
+    BracketR,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `&`
+    Amp,
+    /// `.`
+    Dot,
+    /// `..`
+    DotDot,
+    /// `-`
+    Dash,
+    /// `->`
+    Arrow,
+    /// `*`
+    Star,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short description used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Name(n) => format!("name `{n}`"),
+            TokenKind::Int(i) => format!("integer `{i}`"),
+            TokenKind::ParenL => "`(`".to_owned(),
+            TokenKind::ParenR => "`)`".to_owned(),
+            TokenKind::BraceL => "`{`".to_owned(),
+            TokenKind::BraceR => "`}`".to_owned(),
+            TokenKind::BracketL => "`[`".to_owned(),
+            TokenKind::BracketR => "`]`".to_owned(),
+            TokenKind::Colon => "`:`".to_owned(),
+            TokenKind::Comma => "`,`".to_owned(),
+            TokenKind::Amp => "`&`".to_owned(),
+            TokenKind::Dot => "`.`".to_owned(),
+            TokenKind::DotDot => "`..`".to_owned(),
+            TokenKind::Dash => "`-`".to_owned(),
+            TokenKind::Arrow => "`->`".to_owned(),
+            TokenKind::Star => "`*`".to_owned(),
+            TokenKind::Eof => "end of input".to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: Span,
+}

@@ -1,0 +1,121 @@
+//! Parser robustness: `pg_pgschema::compile` on mutated valid inputs
+//! (truncations, token swaps, character noise) must never panic, and
+//! every rejection must carry a usable 1-based line/column position —
+//! the error contract DESIGN §PG-Schema frontend promises tooling.
+
+use pg_pgschema::{compile, corpus::corpus_sdl, print_pgschema, ParseError, TypeMode};
+use proptest::prelude::*;
+
+/// A valid PG-Schema text: the bilingual corpus schema for `seed`,
+/// rendered through the printer (the same path `pgschema translate`
+/// takes).
+fn corpus_pgs(seed: u64) -> String {
+    let sdl = corpus_sdl(seed);
+    let doc = gql_sdl::parse(&sdl).expect("corpus SDL parses");
+    print_pgschema(&doc, "Corpus", TypeMode::Strict)
+        .expect("corpus stays inside the PG-Schema fragment")
+}
+
+/// Every error must point into (or just past) the source it was raised
+/// on, with 1-based coordinates, and must render a caret snippet
+/// without panicking.
+fn assert_error_is_located(err: &ParseError, source: &str) {
+    assert!(err.pos.line >= 1, "0-based line in {err}");
+    assert!(err.pos.column >= 1, "0-based column in {err}");
+    let lines = source.lines().count().max(1) as u32;
+    assert!(
+        err.pos.line <= lines + 1,
+        "line {} beyond the {}-line source",
+        err.pos.line,
+        lines
+    );
+    assert!(
+        err.pos.offset <= source.len(),
+        "offset {} beyond the {}-byte source",
+        err.pos.offset,
+        source.len()
+    );
+    let rendered = err.render(source);
+    assert!(rendered.contains('^'), "no caret in:\n{rendered}");
+    assert!(
+        rendered.contains(&format!("{}:{}", err.pos.line, err.pos.column)),
+        "no position in:\n{rendered}"
+    );
+}
+
+/// Compile arbitrary (possibly mangled) text: no panic, and a located
+/// error on rejection. Acceptance is fine — some mutations stay valid.
+fn check(text: &str) {
+    if let Err(err) = compile(text) {
+        assert_error_is_located(&err, text);
+    }
+}
+
+/// Clamp `at` to the nearest char boundary at or below it.
+fn char_floor(text: &str, at: usize) -> usize {
+    let mut i = at.min(text.len());
+    while !text.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The unmutated corpus rendering always compiles.
+    #[test]
+    fn corpus_renderings_compile(seed in 0u64..64) {
+        let text = corpus_pgs(seed);
+        compile(&text).expect("valid rendering must compile");
+    }
+
+    /// Truncation at any byte: never a panic, always a located error
+    /// (or acceptance, for cuts landing after the closing brace).
+    #[test]
+    fn truncations_never_panic(seed in 0u64..24, cut in 0usize..4096) {
+        let text = corpus_pgs(seed);
+        let cut = char_floor(&text, cut % (text.len() + 1));
+        check(&text[..cut]);
+    }
+
+    /// Swapping two whitespace-delimited tokens: never a panic, and
+    /// rejections stay located.
+    #[test]
+    fn token_swaps_never_panic(seed in 0u64..24, a in 0usize..256, b in 0usize..256) {
+        let text = corpus_pgs(seed);
+        let tokens: Vec<&str> = text.split_whitespace().collect();
+        if tokens.len() < 2 {
+            return Ok(());
+        }
+        let (a, b) = (a % tokens.len(), b % tokens.len());
+        let mut swapped = tokens.clone();
+        swapped.swap(a, b);
+        check(&swapped.join(" "));
+    }
+
+    /// Single-character noise — insertion of a grammar-significant
+    /// character, or deletion of one in place: never a panic.
+    #[test]
+    fn character_noise_never_panics(seed in 0u64..24, at in 0usize..4096, which in 0usize..12) {
+        let text = corpus_pgs(seed);
+        let at = char_floor(&text, at % (text.len() + 1));
+        const NOISE: [char; 11] = ['(', ')', '{', '}', '[', ']', ':', ',', '.', '-', '\u{e9}'];
+        let mutated = if which < NOISE.len() {
+            let mut m = String::with_capacity(text.len() + 2);
+            m.push_str(&text[..at]);
+            m.push(NOISE[which]);
+            m.push_str(&text[at..]);
+            m
+        } else {
+            // Delete the character at `at` (no-op at end of input).
+            let mut m = String::with_capacity(text.len());
+            m.push_str(&text[..at]);
+            let rest = &text[at..];
+            let skip = rest.chars().next().map_or(0, char::len_utf8);
+            m.push_str(&rest[skip..]);
+            m
+        };
+        check(&mutated);
+    }
+}

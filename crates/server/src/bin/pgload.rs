@@ -86,13 +86,50 @@ impl Client {
     }
 }
 
+/// Set once from `--lang pgschema`: the workload then posts the
+/// PG-Schema rendering of the worked-example schema, and schema-carrying
+/// creation requests add `lang=pgschema`. Deltas, reports and graphs are
+/// language-neutral, so everything downstream is unchanged — which is
+/// the point: E5f measures the per-language frontend cost in isolation.
+static USE_PGSCHEMA: AtomicBool = AtomicBool::new(false);
+
+fn use_pgschema() -> bool {
+    USE_PGSCHEMA.load(Ordering::Relaxed)
+}
+
+/// The workload schema in the selected language.
+fn workload_schema() -> String {
+    if use_pgschema() {
+        let doc = gql_sdl::parse(SCHEMA_SDL).expect("workload schema parses");
+        pg_pgschema::print_pgschema(&doc, "Workload", pg_pgschema::TypeMode::Strict)
+            .expect("workload schema is inside the PG-Schema fragment")
+    } else {
+        SCHEMA_SDL.to_owned()
+    }
+}
+
+/// The session-creation target in the selected language.
+fn sessions_target() -> &'static str {
+    if use_pgschema() {
+        "/sessions?lang=pgschema"
+    } else {
+        "/sessions"
+    }
+}
+
+/// The one-shot validation target in the selected language.
+fn validate_target(engine: &str) -> String {
+    let lang = if use_pgschema() { "&lang=pgschema" } else { "" };
+    format!("/validate?engine={engine}{lang}")
+}
+
 /// The `{"schema": …, "graph": …}` envelope for the worked-example
 /// workload.
 fn envelope(users: usize) -> String {
     let graph = sample_graph(users);
     let mut out = String::new();
     out.push_str("{\"schema\":");
-    pg_server::http::push_json_string(&mut out, SCHEMA_SDL);
+    pg_server::http::push_json_string(&mut out, &workload_schema());
     out.push_str(",\"graph\":");
     out.push_str(&json::to_json(&graph));
     out.push('}');
@@ -142,7 +179,7 @@ fn run_worker(
     let body = envelope(users);
     let graph = sample_graph(users);
     let user = user_ids(&graph)[0];
-    let target = format!("/validate?engine={engine}");
+    let target = validate_target(engine);
 
     // The arrival index persists across reconnects so the schedule is
     // never silently thinned by a dropped connection.
@@ -164,7 +201,7 @@ fn run_worker(
         let session_id = if oneshot {
             None
         } else {
-            match client.request("POST", "/sessions", body.as_bytes()) {
+            match client.request("POST", sessions_target(), body.as_bytes()) {
                 Ok((201, response)) => {
                     let text = String::from_utf8_lossy(&response).into_owned();
                     match Json::parse(&text)
@@ -415,11 +452,7 @@ fn run_smoke(addr: &str) -> Result<(), String> {
     let envelope = envelope(4);
     for engine in ["naive", "indexed", "parallel", "incremental"] {
         let (status, body) = client
-            .request(
-                "POST",
-                &format!("/validate?engine={engine}"),
-                envelope.as_bytes(),
-            )
+            .request("POST", &validate_target(engine), envelope.as_bytes())
             .map_err(|e| format!("validate({engine}): {e}"))?;
         if status != 200 {
             return Err(format!("validate({engine}): status {status}"));
@@ -433,7 +466,7 @@ fn run_smoke(addr: &str) -> Result<(), String> {
 
     // Session round trip: create, break, observe, repair, verify.
     let (status, body) = client
-        .request("POST", "/sessions", envelope.as_bytes())
+        .request("POST", sessions_target(), envelope.as_bytes())
         .map_err(|e| format!("create session: {e}"))?;
     if status != 201 {
         return Err(format!("create session: status {status}"));
@@ -604,7 +637,7 @@ fn run_restart_check(server_bin: &str) -> Result<(), String> {
         let mut ids = Vec::new();
         for users in [2usize, 4, 6] {
             let (status, body) = client
-                .request("POST", "/sessions", envelope(users).as_bytes())
+                .request("POST", sessions_target(), envelope(users).as_bytes())
                 .map_err(|e| format!("create: {e}"))?;
             if status != 201 {
                 return Err(format!("create: status {status}"));
@@ -647,7 +680,7 @@ fn run_restart_check(server_bin: &str) -> Result<(), String> {
 
         // A deleted session must stay deleted across the restart.
         let (status, body) = client
-            .request("POST", "/sessions", envelope(3).as_bytes())
+            .request("POST", sessions_target(), envelope(3).as_bytes())
             .map_err(|e| format!("create doomed: {e}"))?;
         if status != 201 {
             return Err(format!("create doomed: status {status}"));
@@ -715,7 +748,7 @@ fn run_restart_check(server_bin: &str) -> Result<(), String> {
         }
         // Recovery must keep handing out fresh ids.
         let (status, body) = client
-            .request("POST", "/sessions", envelope(2).as_bytes())
+            .request("POST", sessions_target(), envelope(2).as_bytes())
             .map_err(|e| format!("post-restart create: {e}"))?;
         if status != 201 {
             return Err(format!("post-restart create: status {status}"));
@@ -829,7 +862,7 @@ fn run_failover_check(server_bin: &str) -> Result<(), String> {
         let mut ids = Vec::new();
         for users in [2usize, 4, 6] {
             let (status, body) = leader
-                .request("POST", "/sessions", envelope(users).as_bytes())
+                .request("POST", sessions_target(), envelope(users).as_bytes())
                 .map_err(|e| format!("create: {e}"))?;
             if status != 201 {
                 return Err(format!("create: status {status}"));
@@ -957,7 +990,7 @@ fn run_failover_check(server_bin: &str) -> Result<(), String> {
 
         // Follower writes are misdirected to the leader, not applied.
         let (status, headers, _) = f1
-            .request_full("POST", "/sessions", envelope(2).as_bytes())
+            .request_full("POST", sessions_target(), envelope(2).as_bytes())
             .map_err(|e| format!("follower write: {e}"))?;
         if status != 421 {
             return Err(format!("follower write: expected 421, got {status}"));
@@ -1038,7 +1071,7 @@ fn run_failover_check(server_bin: &str) -> Result<(), String> {
             return Err(format!("post-promote delta: status {status}"));
         }
         let (status, body) = f1
-            .request("POST", "/sessions", envelope(3).as_bytes())
+            .request("POST", sessions_target(), envelope(3).as_bytes())
             .map_err(|e| format!("post-promote create: {e}"))?;
         if status != 201 {
             return Err(format!("post-promote create: status {status}"));
@@ -1172,7 +1205,7 @@ fn run_migrate_check(server_bin: &str) -> Result<(), String> {
         let mut leader = wait_ready(&leader_addr)?;
 
         let (status, body) = leader
-            .request("POST", "/sessions", envelope(4).as_bytes())
+            .request("POST", sessions_target(), envelope(4).as_bytes())
             .map_err(|e| format!("create: {e}"))?;
         if status != 201 {
             return Err(format!("create: status {status}"));
@@ -1473,6 +1506,7 @@ fn usage() -> ! {
         "usage: pgload --addr HOST:PORT [--mode oneshot|session|mixed] \
          [--connections N] [--duration SECS] [--users N] \
          [--engine naive|indexed|parallel|incremental] \
+         [--lang sdl|pgschema] \
          [--rate REQS_PER_SEC] [--cluster HOST:PORT,HOST:PORT,...] \
          [--hold CONNECTIONS] [--smoke] \
          [--restart-check PGSCHEMA_BIN] [--failover-check PGSCHEMA_BIN] \
@@ -1518,6 +1552,19 @@ fn main() {
             "--duration" => duration = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--users" => users = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--engine" => engine = value(&mut i),
+            "--lang" => {
+                let lang: pg_pgschema::SchemaLanguage = match value(&mut i).parse() {
+                    Ok(lang) => lang,
+                    Err(e) => {
+                        eprintln!("pgload: --lang: {e}");
+                        usage();
+                    }
+                };
+                USE_PGSCHEMA.store(
+                    lang == pg_pgschema::SchemaLanguage::PgSchema,
+                    Ordering::Relaxed,
+                );
+            }
             "--rate" => {
                 let r: f64 = value(&mut i).parse().unwrap_or_else(|_| usage());
                 if r <= 0.0 || !r.is_finite() {

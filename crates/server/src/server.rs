@@ -10,6 +10,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use pg_pgschema::SchemaLanguage;
 use pg_schema::{validate, Engine, PgSchema, ValidationOptions};
 use pg_store::{FsyncPolicy, Store};
 use pgraph::json::{self, Json};
@@ -583,6 +584,9 @@ fn route(ctx: &Ctx, request: &Request) -> Handled {
             ),
         ),
         ("POST", "/validate") => handle_validate(ctx, request),
+        // Satisfiability is a pure read over the posted schema, so a
+        // follower answers it locally like /validate.
+        ("POST", "/check-sat") => handle_check_sat(request),
         ("POST", "/sessions") if ctx.is_follower() => misdirected(ctx, "/sessions"),
         ("POST", "/sessions") => handle_create_session(ctx, request),
         ("GET", "/wal/tail") => handle_wal_tail(ctx, request),
@@ -590,8 +594,8 @@ fn route(ctx: &Ctx, request: &Request) -> Handled {
         ("POST", "/promote") => handle_promote(ctx),
         (
             _,
-            "/healthz" | "/metrics" | "/validate" | "/sessions" | "/wal/tail" | "/wal/snapshot"
-            | "/promote",
+            "/healthz" | "/metrics" | "/validate" | "/check-sat" | "/sessions" | "/wal/tail"
+            | "/wal/snapshot" | "/promote",
         ) => Handled::plain(
             path_template(path),
             Response::error(405, "method not allowed"),
@@ -608,6 +612,7 @@ fn path_template(path: &str) -> &'static str {
         "/healthz" => "/healthz",
         "/metrics" => "/metrics",
         "/validate" => "/validate",
+        "/check-sat" => "/check-sat",
         "/sessions" => "/sessions",
         "/wal/tail" => "/wal/tail",
         "/wal/snapshot" => "/wal/snapshot",
@@ -732,8 +737,8 @@ fn handle_migrate(ctx: &Ctx, request: &Request, id: u64) -> Handled {
     let mut session = slot.session.lock().unwrap();
     let response = match action.as_str() {
         "plan" | "begin" => {
-            let sdl = match doc.get("schema").and_then(Json::as_str) {
-                Some(sdl) => sdl.to_owned(),
+            let source = match doc.get("schema").and_then(Json::as_str) {
+                Some(sdl) => sdl,
                 None => {
                     return Handled::plain(
                         ROUTE,
@@ -741,11 +746,22 @@ fn handle_migrate(ctx: &Ctx, request: &Request, id: u64) -> Handled {
                     )
                 }
             };
-            let candidate = match PgSchema::parse(&sdl) {
-                Ok(c) => c,
-                Err(e) => {
-                    return Handled::plain(ROUTE, Response::error(400, &format!("schema: {e}")))
-                }
+            // An optional "lang" field lets migration windows cross
+            // languages: a pgschema candidate is compiled and stored as
+            // its pragma-tagged lowered SDL, so the SchemaChange WAL
+            // record (and every follower) carries the language too.
+            let lang: SchemaLanguage = match doc.get("lang").and_then(Json::as_str) {
+                None => SchemaLanguage::Sdl,
+                Some(name) => match name.parse() {
+                    Ok(lang) => lang,
+                    Err(e) => {
+                        return Handled::plain(ROUTE, Response::error(400, &format!("lang: {e}")))
+                    }
+                },
+            };
+            let (candidate, sdl) = match compile_schema(source, lang) {
+                Ok(parts) => parts,
+                Err(message) => return Handled::plain(ROUTE, Response::error(400, &message)),
             };
             if action == "begin" && session.pending_migration.is_some() {
                 return Handled::plain(
@@ -838,15 +854,20 @@ fn handle_migrate(ctx: &Ctx, request: &Request, id: u64) -> Handled {
                     )
                 }
             }
-            let report = match session.engine() {
-                Ok(engine) => {
-                    assert!(engine.commit_migration());
-                    engine.report()
-                }
+            match session.engine() {
+                Ok(engine) => assert!(engine.commit_migration()),
                 Err(message) => return Handled::plain(ROUTE, Response::error(500, &message)),
-            };
+            }
             session.schema_sdl = sdl;
             session.pending_migration = None;
+            // A commit that crossed languages can change the rule
+            // families (STRICT ↔ LOOSE): demote-and-reseed so the
+            // report below already reflects the new mode.
+            session.realign_options();
+            let report = match session.engine() {
+                Ok(engine) => engine.report(),
+                Err(message) => return Handled::plain(ROUTE, Response::error(500, &message)),
+            };
             ctx.metrics.record_migration_action(MigrationAction::Commit);
             Response::json(
                 200,
@@ -1024,22 +1045,54 @@ fn maybe_compact(ctx: &Ctx) {
     }
 }
 
-/// Decodes the `{"schema": <sdl string>, "graph": <graph document>}`
-/// envelope shared by `POST /validate` and `POST /sessions`. The raw SDL
-/// text rides along because durable sessions persist it verbatim.
-fn parse_envelope(body: &[u8]) -> Result<(PgSchema, pgraph::PropertyGraph, String), String> {
+/// Resolves the `?lang=` query parameter (default SDL).
+fn lang_param(request: &Request) -> Result<SchemaLanguage, String> {
+    match request.query_param("lang") {
+        None => Ok(SchemaLanguage::Sdl),
+        Some(name) => name
+            .parse()
+            .map_err(|e: pgraph::ParseEnumError| e.to_string()),
+    }
+}
+
+/// Compiles `source` from `lang` into the classified schema plus the
+/// canonical SDL text that gets persisted: PG-Schema inputs lower to
+/// SDL prefixed with the language pragma, so sessions, WAL records and
+/// replication carry the source language with no format change.
+fn compile_schema(source: &str, lang: SchemaLanguage) -> Result<(PgSchema, String), String> {
+    match lang {
+        SchemaLanguage::Sdl => {
+            let schema = PgSchema::parse(source).map_err(|e| format!("schema: {e}"))?;
+            Ok((schema, source.to_owned()))
+        }
+        SchemaLanguage::PgSchema => {
+            let compiled =
+                pg_pgschema::compile(source).map_err(|e| format!("schema (pgschema): {e}"))?;
+            Ok((compiled.schema, compiled.sdl))
+        }
+    }
+}
+
+/// Decodes the `{"schema": <schema string>, "graph": <graph document>}`
+/// envelope shared by `POST /validate` and `POST /sessions`. The
+/// returned text is the canonical SDL (see [`compile_schema`]) because
+/// durable sessions persist it.
+fn parse_envelope(
+    body: &[u8],
+    lang: SchemaLanguage,
+) -> Result<(PgSchema, pgraph::PropertyGraph, String), String> {
     let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
     let doc = Json::parse(text).map_err(|e| e.to_string())?;
-    let sdl = doc
+    let source = doc
         .get("schema")
         .and_then(Json::as_str)
         .ok_or_else(|| "missing string field \"schema\"".to_owned())?;
-    let schema = PgSchema::parse(sdl).map_err(|e| format!("schema: {e}"))?;
+    let (schema, sdl) = compile_schema(source, lang)?;
     let graph_value = doc
         .get("graph")
         .ok_or_else(|| "missing field \"graph\"".to_owned())?;
     let graph = json::graph_from_value(graph_value).map_err(|e| format!("graph: {e}"))?;
-    Ok((schema, graph, sdl.to_owned()))
+    Ok((schema, graph, sdl))
 }
 
 fn handle_validate(ctx: &Ctx, request: &Request) -> Handled {
@@ -1052,7 +1105,11 @@ fn handle_validate(ctx: &Ctx, request: &Request) -> Handled {
             }
         },
     };
-    let (schema, graph, _sdl) = match parse_envelope(&request.body) {
+    let lang = match lang_param(request) {
+        Ok(lang) => lang,
+        Err(message) => return Handled::plain("/validate", Response::error(400, &message)),
+    };
+    let (schema, graph, sdl) = match parse_envelope(&request.body, lang) {
         Ok(parts) => parts,
         Err(message) => return Handled::plain("/validate", Response::error(400, &message)),
     };
@@ -1060,6 +1117,8 @@ fn handle_validate(ctx: &Ctx, request: &Request) -> Handled {
         .engine(engine)
         .collect_metrics(true)
         .build();
+    // A LOOSE PG-Schema graph type validates open-world.
+    let options = pg_pgschema::apply_pragma(&options, &sdl);
     let report = validate(&graph, &schema, &options);
     ctx.metrics.record_validation(engine, report.metrics());
     Handled {
@@ -1069,8 +1128,105 @@ fn handle_validate(ctx: &Ctx, request: &Request) -> Handled {
     }
 }
 
+/// `POST /check-sat`: finite-model satisfiability of one type (or one
+/// field) of the posted schema, through the ALCQI tableau plus the CDCL
+/// finite-model search. Body:
+/// `{"schema": <text>, "type": <name>, "field"?: <name>, "max_size"?: K}`,
+/// with `?lang=` selecting the schema language as on `/validate`.
+/// Answers `{"result": "satisfiable", "witness_size": N}`,
+/// `{"result": "unsatisfiable"}`, or `{"result": "no_finite_model",
+/// "bound": K, "tableau_satisfiable": bool|null}` — all with status 200;
+/// the check itself succeeded either way.
+fn handle_check_sat(request: &Request) -> Handled {
+    const ROUTE: &str = "/check-sat";
+    let lang = match lang_param(request) {
+        Ok(lang) => lang,
+        Err(message) => return Handled::plain(ROUTE, Response::error(400, &message)),
+    };
+    let doc = match std::str::from_utf8(&request.body)
+        .map_err(|_| "body is not UTF-8".to_owned())
+        .and_then(|text| Json::parse(text).map_err(|e| e.to_string()))
+    {
+        Ok(doc) => doc,
+        Err(message) => return Handled::plain(ROUTE, Response::error(400, &message)),
+    };
+    let Some(source) = doc.get("schema").and_then(Json::as_str) else {
+        return Handled::plain(
+            ROUTE,
+            Response::error(400, "missing string field \"schema\""),
+        );
+    };
+    let Some(type_name) = doc.get("type").and_then(Json::as_str) else {
+        return Handled::plain(ROUTE, Response::error(400, "missing string field \"type\""));
+    };
+    let (schema, sdl) = match compile_schema(source, lang) {
+        Ok(parts) => parts,
+        Err(message) => return Handled::plain(ROUTE, Response::error(400, &message)),
+    };
+    let mut config = pg_reason::ReasonerConfig::default();
+    if let Some(k) = doc.get("max_size") {
+        match k.as_i64() {
+            Some(k) if k >= 1 => config.max_graph_size = k as usize,
+            _ => {
+                return Handled::plain(
+                    ROUTE,
+                    Response::error(400, "\"max_size\" must be a positive integer"),
+                )
+            }
+        }
+    }
+    let result = match doc.get("field").and_then(Json::as_str) {
+        Some(field) => {
+            // Field-mode reasoning works over the document; `sdl` is the
+            // lowered text for PG-Schema inputs, so both languages share
+            // the same path.
+            let parsed = match gql_sdl::parse(&sdl) {
+                Ok(parsed) => parsed,
+                Err(e) => {
+                    return Handled::plain(ROUTE, Response::error(400, &format!("schema: {e}")))
+                }
+            };
+            match pg_reason::check_field_satisfiable(&parsed, type_name, field, &config) {
+                Ok(result) => result,
+                Err(message) => return Handled::plain(ROUTE, Response::error(400, &message)),
+            }
+        }
+        None => pg_reason::check_type_satisfiable(&schema, type_name, &config),
+    };
+    let mut body = String::with_capacity(96);
+    body.push_str("{\"type\":");
+    push_json_string(&mut body, type_name);
+    match result {
+        pg_reason::Satisfiability::Satisfiable { size, .. } => {
+            body.push_str(&format!(
+                ",\"result\":\"satisfiable\",\"witness_size\":{size}}}"
+            ));
+        }
+        pg_reason::Satisfiability::Unsatisfiable => {
+            body.push_str(",\"result\":\"unsatisfiable\"}");
+        }
+        pg_reason::Satisfiability::NoFiniteModelFound {
+            bound,
+            tableau_satisfiable,
+        } => {
+            body.push_str(&format!(
+                ",\"result\":\"no_finite_model\",\"bound\":{bound},\"tableau_satisfiable\":{}}}",
+                match tableau_satisfiable {
+                    Some(b) => b.to_string(),
+                    None => "null".to_owned(),
+                }
+            ));
+        }
+    }
+    Handled::plain(ROUTE, Response::json(200, body))
+}
+
 fn handle_create_session(ctx: &Ctx, request: &Request) -> Handled {
-    let (schema, graph, sdl) = match parse_envelope(&request.body) {
+    let lang = match lang_param(request) {
+        Ok(lang) => lang,
+        Err(message) => return Handled::plain("/sessions", Response::error(400, &message)),
+    };
+    let (schema, graph, sdl) = match parse_envelope(&request.body, lang) {
         Ok(parts) => parts,
         Err(message) => return Handled::plain("/sessions", Response::error(400, &message)),
     };
@@ -1098,8 +1254,9 @@ fn handle_create_session(ctx: &Ctx, request: &Request) -> Handled {
     ctx.metrics
         .record_validation(Engine::Incremental, report.metrics());
     let body = format!(
-        "{{\"session\":{},\"report\":{}}}",
+        "{{\"session\":{},\"lang\":\"{}\",\"report\":{}}}",
         created.id,
+        lang.name(),
         report.to_json()
     );
     Handled {

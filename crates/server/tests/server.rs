@@ -514,3 +514,205 @@ fn migration_window_lifecycle() {
 
     daemon.stop();
 }
+
+/// Builds a `/validate` / `/sessions` envelope with an explicit schema
+/// text (any language) and graph JSON.
+fn envelope_with(schema: &str, graph_json: &str) -> Vec<u8> {
+    let mut out = String::new();
+    out.push_str("{\"schema\":");
+    pg_server::http::push_json_string(&mut out, schema);
+    out.push_str(",\"graph\":");
+    out.push_str(graph_json);
+    out.push('}');
+    out.into_bytes()
+}
+
+/// Builds a `/check-sat` body.
+fn check_sat_body(schema: &str, type_name: &str, max_size: Option<u64>) -> Vec<u8> {
+    let mut out = String::new();
+    out.push_str("{\"schema\":");
+    pg_server::http::push_json_string(&mut out, schema);
+    out.push_str(",\"type\":");
+    pg_server::http::push_json_string(&mut out, type_name);
+    if let Some(k) = max_size {
+        out.push_str(&format!(",\"max_size\":{k}"));
+    }
+    out.push('}');
+    out.into_bytes()
+}
+
+#[test]
+fn pgschema_language_is_served_end_to_end() {
+    let daemon = Daemon::start(2, 16);
+    let mut client = Client::connect(daemon.addr);
+
+    // Render the workload schema into PG-Schema; both texts must yield
+    // the same served report.
+    let doc = gql_sdl::parse(SCHEMA_SDL).expect("workload schema parses");
+    let pgs = pg_pgschema::print_pgschema(&doc, "Workload", pg_pgschema::TypeMode::Strict)
+        .expect("workload schema is inside the PG-Schema fragment");
+    let graph_json = json::to_json(&sample_graph(3));
+
+    let (status, sdl_report) =
+        client.request_json("POST", "/validate", &envelope_with(SCHEMA_SDL, &graph_json));
+    assert_eq!(status, 200);
+    let (status, pgs_report) = client.request_json(
+        "POST",
+        "/validate?lang=pgschema",
+        &envelope_with(&pgs, &graph_json),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(sdl_report.get("conforms"), pgs_report.get("conforms"));
+    assert_eq!(
+        sdl_report.get("violations"),
+        pgs_report.get("violations"),
+        "identical violations whichever language carried the schema"
+    );
+
+    // Unknown languages fail through the shared enum error.
+    let (status, body) = client.request(
+        "POST",
+        "/validate?lang=cypher",
+        &envelope_with(SCHEMA_SDL, &graph_json),
+    );
+    assert_eq!(status, 400);
+    let text = String::from_utf8_lossy(&body);
+    assert!(text.contains("schema language"), "{text}");
+
+    // SDL text posted as pgschema is a clean 400, not a panic.
+    let (status, _) = client.request(
+        "POST",
+        "/validate?lang=pgschema",
+        &envelope_with(SCHEMA_SDL, &graph_json),
+    );
+    assert_eq!(status, 400);
+
+    // Sessions record the language and serve reports identically.
+    let (status, created) = client.request_json(
+        "POST",
+        "/sessions?lang=pgschema",
+        &envelope_with(&pgs, &graph_json),
+    );
+    assert_eq!(status, 201);
+    assert_eq!(created.get("lang").and_then(Json::as_str), Some("pgschema"));
+    let id = created.get("session").and_then(Json::as_i64).unwrap();
+    let (status, report) = client.request_json("GET", &format!("/sessions/{id}/report"), b"");
+    assert_eq!(status, 200);
+    assert_eq!(report.get("conforms"), sdl_report.get("conforms"));
+
+    daemon.stop();
+}
+
+#[test]
+fn check_sat_answers_sat_with_witness_and_unsat() {
+    let daemon = Daemon::start(1, 8);
+    let mut client = Client::connect(daemon.addr);
+
+    // Satisfiable: a keyed node type has a finite witness.
+    let sat_pgs =
+        "CREATE GRAPH TYPE Accounts STRICT { (User {id STRING}), FOR (x : User) KEY x.id }";
+    let (status, doc) = client.request_json(
+        "POST",
+        "/check-sat?lang=pgschema",
+        &check_sat_body(sat_pgs, "User", None),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        doc.get("result").and_then(Json::as_str),
+        Some("satisfiable"),
+        "{doc:?}"
+    );
+    assert!(doc.get("witness_size").and_then(Json::as_i64).unwrap() >= 1);
+
+    // Unsatisfiable: Example 6.1's contradictory endpoint
+    // cardinalities, posted in PG-Schema.
+    let unsat_pgs = "CREATE GRAPH TYPE G STRICT {
+        (OT1),
+        ABSTRACT (IT),
+        (: IT & OT2),
+        (: IT & OT3),
+        (:IT)-[:f]->(:OT1) INCOMING 0..1,
+        (:OT2)-[:f]->(:OT1) INCOMING 1..*,
+        (:OT3)-[:f]->(:OT1) INCOMING 1..*
+    }";
+    let (status, doc) = client.request_json(
+        "POST",
+        "/check-sat?lang=pgschema",
+        &check_sat_body(unsat_pgs, "OT1", Some(4)),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        doc.get("result").and_then(Json::as_str),
+        Some("unsatisfiable"),
+        "{doc:?}"
+    );
+
+    // The same route takes plain SDL (the default language).
+    let (status, doc) = client.request_json(
+        "POST",
+        "/check-sat",
+        &check_sat_body("type A { b: B @required } type B { x: Int }", "A", None),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(
+        doc.get("result").and_then(Json::as_str),
+        Some("satisfiable")
+    );
+
+    // Malformed requests are clean 400s; wrong methods are 405s.
+    let (status, _) = client.request("POST", "/check-sat", b"{\"schema\": \"type A { x: Int }\"}");
+    assert_eq!(status, 400);
+    let (status, _) = client.request("POST", "/check-sat", b"not json");
+    assert_eq!(status, 400);
+    let (status, _) = client.request("GET", "/check-sat", b"");
+    assert_eq!(status, 405);
+
+    daemon.stop();
+}
+
+#[test]
+fn migration_windows_cross_languages() {
+    let daemon = Daemon::start(1, 8);
+    let mut client = Client::connect(daemon.addr);
+
+    // `nickname` is not declared: the closed-world SDL schema rejects
+    // it through the strong family.
+    let graph_json = r#"{"nodes":[{"id":0,"label":"User",
+        "properties":{"login":"alice","nickname":"al"}}],"edges":[]}"#;
+    let (status, created) = client.request_json(
+        "POST",
+        "/sessions",
+        &envelope_with("type User { login: String! @required }", graph_json),
+    );
+    assert_eq!(status, 201);
+    assert_eq!(
+        created.get("report").and_then(|r| r.get("conforms")),
+        Some(&Json::Bool(false))
+    );
+    let id = created.get("session").and_then(Json::as_i64).unwrap();
+    let migrate = format!("/sessions/{id}/migrate");
+
+    // Migrate to an open-world (LOOSE) PG-Schema candidate: the window
+    // crosses languages via the body's "lang" field.
+    let mut begin = String::from("{\"action\":\"begin\",\"lang\":\"pgschema\",\"schema\":");
+    pg_server::http::push_json_string(
+        &mut begin,
+        "CREATE GRAPH TYPE G LOOSE { (User {login STRING}) }",
+    );
+    begin.push('}');
+    let (status, planned) = client.request_json("POST", &migrate, begin.as_bytes());
+    assert_eq!(status, 200, "{planned:?}");
+
+    let (status, committed) = client.request_json("POST", &migrate, b"{\"action\":\"commit\"}");
+    assert_eq!(status, 200, "{committed:?}");
+    assert_eq!(committed.get("committed"), Some(&Json::Bool(true)));
+    // The committed LOOSE schema validates open-world: the undeclared
+    // property is no longer a violation.
+    assert_eq!(
+        committed.get("report").and_then(|r| r.get("conforms")),
+        Some(&Json::Bool(true)),
+        "{committed:?}"
+    );
+
+    daemon.stop();
+}

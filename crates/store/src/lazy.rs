@@ -49,7 +49,10 @@ pub struct LazyGraph(Inner);
 #[derive(Clone, Debug)]
 enum Inner {
     Loaded(PropertyGraph),
-    Mapped { backing: Backing, range: Range<usize> },
+    Mapped {
+        backing: Backing,
+        range: Range<usize>,
+    },
 }
 
 impl From<PropertyGraph> for LazyGraph {
@@ -142,8 +145,9 @@ impl PartialEq<PropertyGraph> for LazyGraph {
     fn eq(&self, other: &PropertyGraph) -> bool {
         match &self.0 {
             Inner::Loaded(g) => g == other,
-            Inner::Mapped { backing, range } => Self::thaw(&backing.bytes()[range.clone()])
-                .is_ok_and(|g| &g == other),
+            Inner::Mapped { backing, range } => {
+                Self::thaw(&backing.bytes()[range.clone()]).is_ok_and(|g| &g == other)
+            }
         }
     }
 }

@@ -157,7 +157,10 @@ mod tests {
         let m = map_file(&path).unwrap();
         assert_eq!(&*m, &data[..]);
         #[cfg(unix)]
-        assert!(matches!(m, Mapping::Mapped(_)), "non-empty file should really map");
+        assert!(
+            matches!(m, Mapping::Mapped(_)),
+            "non-empty file should really map"
+        );
         fs::remove_dir_all(&dir).ok();
     }
 

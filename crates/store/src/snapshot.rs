@@ -170,19 +170,21 @@ fn framed_payload(buf: &[u8]) -> Result<&[u8], DecodeError> {
 }
 
 fn take<'a>(payload: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], DecodeError> {
-    let slice = payload
-        .get(*pos..*pos + n)
-        .ok_or(DecodeError::Corrupt)?;
+    let slice = payload.get(*pos..*pos + n).ok_or(DecodeError::Corrupt)?;
     *pos += n;
     Ok(slice)
 }
 
 fn take_u32(payload: &[u8], pos: &mut usize) -> Result<u32, DecodeError> {
-    Ok(u32::from_le_bytes(take(payload, pos, 4)?.try_into().unwrap()))
+    Ok(u32::from_le_bytes(
+        take(payload, pos, 4)?.try_into().unwrap(),
+    ))
 }
 
 fn take_u64(payload: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
-    Ok(u64::from_le_bytes(take(payload, pos, 8)?.try_into().unwrap()))
+    Ok(u64::from_le_bytes(
+        take(payload, pos, 8)?.try_into().unwrap(),
+    ))
 }
 
 fn take_str(payload: &[u8], pos: &mut usize) -> Result<String, DecodeError> {
@@ -282,8 +284,7 @@ pub(crate) fn decode(backing: &Backing) -> Result<SnapshotData, DecodeError> {
                 // CRC re-verifies at materialize time.
                 GraphHeader::parse(graph_bytes).map_err(graph_error)?;
                 // File-relative range into the shared backing.
-                let range =
-                    FRAME_HEADER + e.graph_range.start..FRAME_HEADER + e.graph_range.end;
+                let range = FRAME_HEADER + e.graph_range.start..FRAME_HEADER + e.graph_range.end;
                 sessions.push(RecoveredSession {
                     id: e.id,
                     schema_sdl: e.schema_sdl,
@@ -530,7 +531,12 @@ mod tests {
         assert_eq!(desc.graphs.len(), 2);
         for g in &desc.graphs {
             let offset = g.file_offset as usize;
-            assert_eq!(offset % SNAPSHOT_GRAPH_ALIGN, 0, "session {} misaligned", g.session);
+            assert_eq!(
+                offset % SNAPSHOT_GRAPH_ALIGN,
+                0,
+                "session {} misaligned",
+                g.session
+            );
             assert_eq!(&bytes[offset..offset + 4], b"PGCS");
         }
     }

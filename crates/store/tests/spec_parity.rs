@@ -188,6 +188,36 @@ fn schema_change_body_table_matches_the_record_codec() {
 }
 
 #[test]
+fn language_tag_rule_matches_the_pgschema_pragma() {
+    let text = spec_text();
+    // The spec's language-tag paragraph must quote the exact pragma
+    // prefix the PG-Schema frontend writes into lowered SDL, so the
+    // replayed bytes and the documented bytes cannot drift apart.
+    assert!(
+        text.contains(pg_pgschema::PRAGMA_PREFIX),
+        "spec quotes the schema-language pragma prefix `{}`",
+        pg_pgschema::PRAGMA_PREFIX
+    );
+    assert!(
+        text.contains("# schema-language: pgschema strict|loose"),
+        "spec spells out the pragma's value space"
+    );
+    // And the quoted shape really is what the frontend emits and
+    // re-derives: pragma_line → pragma_of round-trips for both modes.
+    for mode in [pg_pgschema::TypeMode::Strict, pg_pgschema::TypeMode::Loose] {
+        let line = pg_pgschema::pragma_line(mode);
+        assert!(line.starts_with(pg_pgschema::PRAGMA_PREFIX));
+        assert_eq!(
+            pg_pgschema::pragma_of(&line),
+            Some((pg_pgschema::SchemaLanguage::PgSchema, mode)),
+            "pragma round-trip for {mode:?}"
+        );
+    }
+    // An untagged (plain SDL) body carries no pragma.
+    assert_eq!(pg_pgschema::pragma_of("type A { x: Int }"), None);
+}
+
+#[test]
 fn unknown_kind_rule_is_documented() {
     let text = spec_text();
     // The forward-compat rule (never truncate at an unknown kind) must

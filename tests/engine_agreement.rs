@@ -307,6 +307,60 @@ proptest! {
         }
     }
 
+    /// The language axis: a bilingual corpus schema compiled through
+    /// the SDL frontend and through its PG-Schema rendering yields
+    /// byte-identical canonical violation reports on every engine. This
+    /// is the end-to-end translation-parity property — the PG-Schema
+    /// compiler lowers onto the same `PgSchema` the SDL path builds, so
+    /// no engine can tell which language a schema arrived in.
+    #[test]
+    fn languages_agree_across_engines(corpus_seed in 0u64..24, graph_seed in 0u64..8) {
+        let sdl = pg_pgschema::corpus::corpus_sdl(corpus_seed);
+        let via_sdl = PgSchema::parse(&sdl).expect("corpus SDL builds");
+        let doc = gql_sdl::parse(&sdl).expect("corpus SDL parses");
+        let pgs = pg_pgschema::print_pgschema(&doc, "Corpus", pg_pgschema::TypeMode::Strict)
+            .expect("corpus stays inside the PG-Schema fragment");
+        let via_pgs = pg_pgschema::compile(&pgs).expect("rendering compiles back").schema;
+        let graph = GraphGen::new(&via_sdl, GraphGenParams {
+            nodes_per_type: 6,
+            seed: graph_seed,
+            ..Default::default()
+        }).generate();
+        let render = |schema: &PgSchema, opts: &ValidationOptions| {
+            let r = validate(&graph, schema, opts);
+            let canonical = ValidationReport::new(r.violations().to_vec());
+            (canonical.to_json(), canonical.to_string())
+        };
+        let (oracle_json, oracle_text) =
+            render(&via_sdl, &ValidationOptions::with_engine(Engine::Naive));
+        for (engine, threads) in
+            std::iter::once((Engine::Naive, 1)).chain(KERNEL_CONFIGS)
+        {
+            let opts = ValidationOptions::builder()
+                .engine(engine)
+                .threads(threads)
+                .build();
+            let (json, text) = render(&via_pgs, &opts);
+            prop_assert_eq!(
+                &json, &oracle_json,
+                "pgschema-compiled JSON diverged on {:?}/{}", engine, threads
+            );
+            prop_assert_eq!(
+                &text, &oracle_text,
+                "pgschema-compiled text diverged on {:?}/{}", engine, threads
+            );
+        }
+        // And the rendering itself is stable: PG-Schema → SDL → PG-Schema
+        // reaches a fixpoint, so the two languages stay in lockstep.
+        let reprinted = pg_pgschema::print_pgschema(
+            &pg_pgschema::compile(&pgs).unwrap().document,
+            "Corpus",
+            pg_pgschema::TypeMode::Strict,
+        )
+        .unwrap();
+        prop_assert_eq!(&reprinted, &pgs, "PG-Schema rendering is not a fixpoint");
+    }
+
     /// Graphs round-tripped through JSON validate identically.
     #[test]
     fn json_roundtrip_preserves_validation(schema_seed in 0u64..10, graph_seed in 0u64..10) {
